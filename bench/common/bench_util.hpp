@@ -1,0 +1,61 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper's evaluation
+// (Sec. IV) and prints the measured series next to the paper's reference
+// numbers, so the *shape* comparison (who wins, by what factor, where the
+// knees are) is visible directly in the output. See EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace shadow::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// One point of a latency/throughput curve.
+struct CurvePoint {
+  std::size_t clients = 0;
+  double throughput_per_sec = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double abort_rate = 0.0;
+};
+
+inline void print_curve(const std::string& name, const std::vector<CurvePoint>& points,
+                        bool with_aborts = false) {
+  std::printf("\n-- %s --\n", name.c_str());
+  if (with_aborts) {
+    std::printf("%8s %14s %14s %12s %10s\n", "clients", "commits/s", "mean lat ms", "p99 ms",
+                "aborts");
+  } else {
+    std::printf("%8s %14s %14s %12s\n", "clients", "throughput/s", "mean lat ms", "p99 ms");
+  }
+  for (const CurvePoint& p : points) {
+    if (with_aborts) {
+      std::printf("%8zu %14.1f %14.3f %12.3f %9.1f%%\n", p.clients, p.throughput_per_sec,
+                  p.mean_latency_ms, p.p99_latency_ms, p.abort_rate * 100.0);
+    } else {
+      std::printf("%8zu %14.1f %14.3f %12.3f\n", p.clients, p.throughput_per_sec,
+                  p.mean_latency_ms, p.p99_latency_ms);
+    }
+  }
+}
+
+inline double peak_throughput(const std::vector<CurvePoint>& points) {
+  double best = 0.0;
+  for (const CurvePoint& p : points) best = std::max(best, p.throughput_per_sec);
+  return best;
+}
+
+}  // namespace shadow::bench

@@ -1,0 +1,149 @@
+// Chain replication vs primary-backup, side by side (extension demo).
+//
+// Sec. III of the paper lists chain replication among the protocols the
+// formally-modeled broadcast service enables. This example runs the same
+// bank workload against a 3-replica PBR group and a 3-link chain, compares
+// the normal-case numbers, then crashes the chain's head mid-run and shows
+// the TOB-driven reconfiguration splicing the chain back together.
+#include <cstdio>
+#include <memory>
+
+#include "core/shadowdb.hpp"
+#include "workload/bank.hpp"
+
+using namespace shadow;
+
+namespace {
+
+struct RunResult {
+  double throughput = 0;
+  double latency_ms = 0;
+  std::uint64_t committed = 0;
+};
+
+RunResult drive(sim::World& world, const std::vector<NodeId>& targets, std::size_t n_clients,
+                std::size_t txns, const workload::bank::BankConfig& bank) {
+  std::vector<std::unique_ptr<core::DbClient>> clients;
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const NodeId node = world.add_node("client" + std::to_string(i));
+    core::DbClient::Options copts;
+    copts.mode = core::DbClient::Mode::kDirect;
+    copts.targets = targets;
+    copts.txn_limit = txns;
+    auto rng = std::make_shared<Rng>(100 + i);
+    clients.push_back(std::make_unique<core::DbClient>(
+        world, node, ClientId{static_cast<std::uint32_t>(i + 1)}, copts, [rng, bank]() {
+          return std::make_pair(std::string(workload::bank::kDepositProc),
+                                workload::bank::make_deposit(*rng, bank));
+        }));
+    clients.back()->start();
+  }
+  sim::Time horizon = 0;
+  while (true) {
+    horizon += 50000;
+    world.run_until(horizon);
+    const bool all = std::all_of(clients.begin(), clients.end(),
+                                 [](const auto& c) { return c->done(); });
+    if (all || horizon > 600'000'000) break;
+  }
+  RunResult out;
+  double lat = 0;
+  for (auto& c : clients) {
+    out.committed += c->committed();
+    lat += c->latencies().mean_ms();
+  }
+  out.throughput = static_cast<double>(out.committed) * 1e6 / static_cast<double>(world.now());
+  out.latency_ms = lat / static_cast<double>(n_clients);
+  return out;
+}
+
+core::ClusterOptions base_options(std::shared_ptr<workload::ProcedureRegistry> registry,
+                                  const workload::bank::BankConfig& bank) {
+  core::ClusterOptions opts;
+  opts.registry = std::move(registry);
+  opts.machines = 4;
+  opts.db_replicas = 3;
+  opts.db_spares = 1;
+  opts.engines = {db::make_h2_traits()};
+  opts.tob_tier = gpm::ExecutionTier::kInterpretedOpt;
+  opts.loader = [bank](db::Engine& e) { workload::bank::load(e, bank); };
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  const workload::bank::BankConfig bank{20000, 0};
+  auto registry = std::make_shared<workload::ProcedureRegistry>();
+  workload::bank::register_procedures(*registry);
+
+  // -- normal case, 12 clients ---------------------------------------------------
+  std::printf("normal case (3 replicas, 12 clients x 500 deposits):\n");
+  {
+    sim::World world(7);
+    core::PbrCluster pbr = core::make_pbr_cluster(world, base_options(registry, bank));
+    const RunResult r = drive(world, pbr.request_targets(), 12, 500, bank);
+    std::printf("  PBR:   %6.0f txn/s, %5.2f ms mean (%llu committed)\n", r.throughput,
+                r.latency_ms, static_cast<unsigned long long>(r.committed));
+  }
+  {
+    sim::World world(7);
+    core::ChainCluster chain = core::make_chain_cluster(world, base_options(registry, bank));
+    const RunResult r = drive(world, chain.request_targets(), 12, 500, bank);
+    std::printf("  chain: %6.0f txn/s, %5.2f ms mean (%llu committed)\n", r.throughput,
+                r.latency_ms, static_cast<unsigned long long>(r.committed));
+    std::printf("  (the chain's tail answers once an update is on *every* replica —\n"
+                "   stronger durability than PBR's ack collection, and faster here\n"
+                "   because the head never blocks on acknowledgements)\n");
+  }
+
+  // -- crash the head mid-run -----------------------------------------------------
+  std::printf("\nhead crash and TOB-driven chain splice:\n");
+  sim::World world(11);
+  core::ClusterOptions opts = base_options(registry, bank);
+  core::ChainConfig chain_config;
+  chain_config.suspect_timeout = 2'000'000;
+  chain_config.hb_period = 400'000;
+  core::ChainCluster chain = core::make_chain_cluster(world, opts, chain_config);
+
+  const NodeId node = world.add_node("client");
+  core::DbClient::Options copts;
+  copts.mode = core::DbClient::Mode::kDirect;
+  copts.targets = chain.request_targets();
+  copts.txn_limit = 3000;
+  copts.retry_timeout = 1'000'000;
+  auto rng = std::make_shared<Rng>(5);
+  std::int64_t total = 0;
+  core::DbClient client(world, node, ClientId{1}, copts, [rng, bank, &total]() {
+    auto params = workload::bank::make_deposit(*rng, bank);
+    total += params[1].as_int();
+    return std::make_pair(std::string(workload::bank::kDepositProc), std::move(params));
+  });
+  client.start();
+  world.run_until(500'000);
+  std::printf("  t=0.5s  committed %llu; crashing the head\n",
+              static_cast<unsigned long long>(client.committed()));
+  world.crash(chain.head());
+  world.run_until(120'000'000);
+
+  std::printf("  t=120s  client done=%d committed=%llu retries=%llu\n", client.done(),
+              static_cast<unsigned long long>(client.committed()),
+              static_cast<unsigned long long>(client.retries()));
+  bool ok = client.done();
+  for (std::size_t i = 1; i < chain.replicas.size(); ++i) {
+    auto& replica = *chain.replicas[i];
+    const auto& members = replica.chain();
+    if (std::find(members.begin(), members.end(), chain.replica_nodes[i]) == members.end()) {
+      continue;
+    }
+    const std::int64_t balance = workload::bank::total_balance(replica.engine());
+    const bool conserved = balance == 1000 * bank.accounts + total;
+    std::printf("  replica %zu: config=%llu position %s, conservation %s\n", i,
+                static_cast<unsigned long long>(replica.config_seq()),
+                replica.is_head() ? "head" : (replica.is_tail() ? "tail" : "middle"),
+                conserved ? "ok" : "VIOLATED");
+    ok = ok && conserved;
+  }
+  std::printf("\n%s\n", ok ? "chain failover completed correctly" : "CHAIN PROBLEM");
+  return ok ? 0 : 1;
+}

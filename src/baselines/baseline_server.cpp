@@ -1,0 +1,338 @@
+#include "baselines/baseline_server.hpp"
+
+namespace shadow::baselines {
+
+// ------------------------------------------------------------ ReplicaApplier
+
+ReplicaApplier::ReplicaApplier(sim::World& world, NodeId self,
+                               std::shared_ptr<db::Engine> engine)
+    : world_(world), self_(self), engine_(std::move(engine)) {
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+}
+
+void ReplicaApplier::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.header != kReplicateHeader) return;
+  const auto& body = sim::msg_body<ReplicateBody>(msg);
+  // The applier is the engine's only user: statements never block.
+  const db::TxnId txn = engine_->begin();
+  ctx.charge(engine_->traits().costs.begin_us);
+  for (const db::Statement& stmt : body.statements) {
+    const db::ExecResult r = engine_->execute(txn, stmt);
+    ctx.charge(r.cost_us);
+    SHADOW_CHECK_MSG(r.ok(), "replicated statement failed on the secondary");
+  }
+  ctx.charge(engine_->commit(txn).cost_us);
+  ctx.send(msg.from, sim::make_msg(kReplicateAckHeader, ReplicateAckBody{body.session}, 32));
+}
+
+// ------------------------------------------------------------ BaselineServer
+
+BaselineServer::BaselineServer(sim::World& world, NodeId self,
+                               std::shared_ptr<db::Engine> engine,
+                               std::shared_ptr<const workload::ProcedureRegistry> registry,
+                               BaselineConfig config, std::optional<NodeId> replica)
+    : world_(world),
+      self_(self),
+      engine_(std::move(engine)),
+      registry_(std::move(registry)),
+      config_(config),
+      replica_(replica) {
+  SHADOW_REQUIRE(config_.replication == Replication::kNone || replica_.has_value());
+  engine_->set_clock([this] { return world_.now(); });
+  engine_->set_wake([this](db::TxnId txn, const db::ExecResult& result) {
+    on_engine_wake(txn, result);
+  });
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    current_ctx_ = &ctx;
+    on_message(ctx, msg);
+    current_ctx_ = nullptr;
+  });
+  world_.schedule_timer_for_node(self_, world_.now() + config_.engine_tick_period,
+                                 [this](sim::Context& ctx) {
+                                   current_ctx_ = &ctx;
+                                   tick(ctx);
+                                   current_ctx_ = nullptr;
+                                 });
+}
+
+void BaselineServer::tick(sim::Context& ctx) {
+  engine_->tick(ctx.now());
+  ctx.set_timer(config_.engine_tick_period, [this](sim::Context& c) {
+    current_ctx_ = &c;
+    tick(c);
+    current_ctx_ = nullptr;
+  });
+}
+
+void BaselineServer::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.header == workload::kTxnRequestHeader) {
+    on_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    return;
+  }
+  if (msg.header == kReplicateAckHeader) {
+    const auto& ack = sim::msg_body<ReplicateAckBody>(msg);
+    auto it = sessions_.find(ack.session);
+    if (it == sessions_.end() || !it->second.awaiting_replica) return;
+    Session& session = it->second;
+    session.awaiting_replica = false;
+    if (config_.replication == Replication::kEager) {
+      // Locks were held across the replication round trip; commit now.
+      ctx.charge(engine_->commit(session.txn).cost_us);
+    }
+    finish(ctx, session, true, "");
+    return;
+  }
+}
+
+void BaselineServer::on_request(sim::Context& ctx, const workload::TxnRequest& req) {
+  ctx.charge(config_.per_txn_server_us);
+  if (auto it = last_by_client_.find(req.client.value);
+      it != last_by_client_.end() && req.seq <= it->second.first) {
+    workload::TxnResponse resp = it->second.second;
+    resp.seq = req.seq;
+    ctx.send(req.reply_to, workload::make_response_msg(resp));
+    return;
+  }
+  Session session;
+  session.id = next_session_++;
+  session.request = req;
+  session.txn = engine_->begin();
+  ctx.charge(engine_->traits().costs.begin_us);
+  session_by_txn_[session.txn] = session.id;
+  auto [it, inserted] = sessions_.emplace(session.id, std::move(session));
+  SHADOW_CHECK(inserted);
+  advance(ctx, it->second);
+}
+
+void BaselineServer::advance(sim::Context& ctx, Session& session) {
+  const workload::ProcedureFn& proc = registry_->get(session.request.proc);
+  while (true) {
+    const workload::ProcStep next =
+        proc(workload::StepContext{session.request.params, session.step, session.results});
+    if (next.kind == workload::ProcStep::Kind::kCommit) {
+      reach_commit(ctx, session);
+      return;
+    }
+    if (next.kind == workload::ProcStep::Kind::kRollback) {
+      ctx.charge(engine_->abort(session.txn).cost_us);
+      finish(ctx, session, false, "rolled back by transaction logic");
+      return;
+    }
+
+    // JDBC pacing: every statement after the first costs a client round
+    // trip during which the transaction's locks stay held.
+    if (session.step > 0 && config_.per_statement_delay > 0) {
+      const std::uint64_t id = session.id;
+      db::Statement stmt = next.stmt;
+      ctx.set_timer(config_.per_statement_delay,
+                    [this, id, stmt = std::move(stmt)](sim::Context& c) {
+                      current_ctx_ = &c;
+                      auto it = sessions_.find(id);
+                      if (it != sessions_.end()) {
+                        c.charge(config_.per_stmt_server_us);
+                        const db::ExecResult r = engine_->execute(it->second.txn, stmt);
+                        c.charge(r.cost_us);
+                        if (r.status == db::ExecResult::Status::kBlocked) {
+                          it->second.awaiting_wake = true;
+                          it->second.pending_stmt = stmt;
+                        } else {
+                          if (r.ok() && !stmt.is_read_only()) {
+                            it->second.statement_log.push_back(stmt);
+                          }
+                          handle_result(c, it->second, r);
+                        }
+                      }
+                      current_ctx_ = nullptr;
+                    });
+      return;
+    }
+
+    ctx.charge(config_.per_stmt_server_us);
+    const db::ExecResult result = engine_->execute(session.txn, next.stmt);
+    ctx.charge(result.cost_us);
+    if (result.status == db::ExecResult::Status::kBlocked) {
+      session.awaiting_wake = true;
+      session.pending_stmt = next.stmt;
+      return;
+    }
+    if (result.ok() && !next.stmt.is_read_only()) session.statement_log.push_back(next.stmt);
+    if (result.status == db::ExecResult::Status::kAborted) {
+      if (engine_->is_active(session.txn)) engine_->abort(session.txn);
+      finish(ctx, session, false, result.error);
+      return;
+    }
+    if (!result.rows.empty()) session.answer_rows = result.rows;
+    session.results.push_back(result);
+    ++session.step;
+  }
+}
+
+void BaselineServer::handle_result(sim::Context& ctx, Session& session,
+                                   const db::ExecResult& result) {
+  if (result.status == db::ExecResult::Status::kAborted) {
+    if (engine_->is_active(session.txn)) engine_->abort(session.txn);
+    finish(ctx, session, false, result.error);
+    return;
+  }
+  if (!result.rows.empty()) session.answer_rows = result.rows;
+  session.results.push_back(result);
+  ++session.step;
+  advance(ctx, session);
+}
+
+void BaselineServer::reach_commit(sim::Context& ctx, Session& session) {
+  if (config_.replication == Replication::kNone || session.statement_log.empty()) {
+    ctx.charge(engine_->commit(session.txn).cost_us);
+    finish(ctx, session, true, "");
+    return;
+  }
+  if (config_.replication == Replication::kSemiSync) {
+    // The binlog/group-commit window: locks stay held while the log write
+    // completes; concurrent writers pile up on the table lock meanwhile —
+    // the contention that bends MySQL-memory's curve downward.
+    if (config_.commit_delay_us > 0) {
+      const std::uint64_t id = session.id;
+      ctx.set_timer(config_.commit_delay_us, [this, id](sim::Context& c) {
+        current_ctx_ = &c;
+        auto it = sessions_.find(id);
+        if (it != sessions_.end()) {
+          c.charge(engine_->commit(it->second.txn).cost_us);
+          ship_to_replica(c, it->second);
+        }
+        current_ctx_ = nullptr;
+      });
+      return;
+    }
+    // Commit locally first (locks released), then wait for the slave ack.
+    ctx.charge(engine_->commit(session.txn).cost_us);
+  }
+  // kEager: commit deferred until the replica acknowledged — locks held.
+  ship_to_replica(ctx, session);
+}
+
+void BaselineServer::ship_to_replica(sim::Context& ctx, Session& session) {
+  session.awaiting_replica = true;
+  ReplicateBody body{session.id, session.statement_log};
+  std::size_t wire = 64 + body.statements.size() * 48;
+  ctx.send(*replica_, sim::make_msg(kReplicateHeader, body, wire));
+}
+
+void BaselineServer::finish(sim::Context& ctx, Session& session, bool committed,
+                            const std::string& error) {
+  // Contention collapse: waking the herd of lock waiters burns CPU in
+  // proportion to their number (MySQL-memory's declining curve).
+  if (config_.herd_wake_us > 0) {
+    ctx.charge(config_.herd_wake_us * engine_->waiting_count());
+  }
+  workload::TxnResponse resp;
+  resp.client = session.request.client;
+  resp.seq = session.request.seq;
+  resp.committed = committed;
+  resp.rows = session.answer_rows;
+  resp.error = error;
+  if (committed) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  last_by_client_[resp.client.value] = {resp.seq, resp};
+  ctx.send(session.request.reply_to, workload::make_response_msg(resp));
+  session_by_txn_.erase(session.txn);
+  sessions_.erase(session.id);
+}
+
+void BaselineServer::on_engine_wake(db::TxnId txn, const db::ExecResult& result) {
+  SHADOW_CHECK_MSG(current_ctx_ != nullptr, "engine wake outside a handler");
+  auto sit = session_by_txn_.find(txn);
+  if (sit == session_by_txn_.end()) return;
+  const std::uint64_t session_id = sit->second;
+  // Defer the woken session's continuation out of the current handler:
+  // running it inline (inside another session's commit) would let its own
+  // commit overtake the committing session's replication log on the wire,
+  // reordering conflicting transactions at the secondary.
+  current_ctx_->set_timer(0, [this, session_id, result](sim::Context& c) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || !it->second.awaiting_wake) return;
+    current_ctx_ = &c;
+    Session& session = it->second;
+    session.awaiting_wake = false;
+    // A write that completed through the wake path still belongs in the
+    // replication log.
+    if (session.pending_stmt.has_value()) {
+      if (result.status == db::ExecResult::Status::kOk &&
+          !session.pending_stmt->is_read_only()) {
+        session.statement_log.push_back(*session.pending_stmt);
+      }
+      session.pending_stmt.reset();
+    }
+    handle_result(c, session, result);
+    current_ctx_ = nullptr;
+  });
+}
+
+// ------------------------------------------------------------------ bundles
+
+StandaloneDb make_standalone(sim::World& world, std::shared_ptr<db::Engine> engine,
+                             std::shared_ptr<const workload::ProcedureRegistry> registry,
+                             BaselineConfig config) {
+  config.replication = Replication::kNone;
+  StandaloneDb bundle;
+  const NodeId node = world.add_node("standalone-" + engine->traits().name);
+  bundle.server = std::make_unique<BaselineServer>(world, node, std::move(engine),
+                                                   std::move(registry), config);
+  return bundle;
+}
+
+ReplicatedDb make_h2_repl(sim::World& world,
+                          std::shared_ptr<const workload::ProcedureRegistry> registry,
+                          const std::function<void(db::Engine&)>& loader,
+                          BaselineConfig config) {
+  config.replication = Replication::kEager;
+  // H2's replication ships statements synchronously while the transaction
+  // runs: every statement costs the client round trip PLUS the replica
+  // round trip, all under the transaction's table locks.
+  config.per_statement_delay = std::max<sim::Time>(config.per_statement_delay, 260);
+  auto primary_engine = std::make_shared<db::Engine>(db::make_h2_traits());
+  auto secondary_engine = std::make_shared<db::Engine>(db::make_h2_traits());
+  if (loader) {
+    loader(*primary_engine);
+    loader(*secondary_engine);
+  }
+  ReplicatedDb bundle;
+  const NodeId secondary_node = world.add_node("h2repl-secondary");
+  bundle.secondary =
+      std::make_unique<ReplicaApplier>(world, secondary_node, std::move(secondary_engine));
+  const NodeId primary_node = world.add_node("h2repl-primary");
+  bundle.primary = std::make_unique<BaselineServer>(
+      world, primary_node, std::move(primary_engine), std::move(registry), config,
+      secondary_node);
+  return bundle;
+}
+
+ReplicatedDb make_mysql_repl(sim::World& world,
+                             std::shared_ptr<const workload::ProcedureRegistry> registry,
+                             const std::function<void(db::Engine&)>& loader,
+                             db::EngineTraits traits, BaselineConfig config) {
+  config.replication = Replication::kSemiSync;
+  // Table-lock engines hold statement locks across the binlog write window.
+  if (config.commit_delay_us == 0 && !traits.row_locks) config.commit_delay_us = 150;
+  auto primary_engine = std::make_shared<db::Engine>(traits);
+  auto secondary_engine = std::make_shared<db::Engine>(traits);
+  if (loader) {
+    loader(*primary_engine);
+    loader(*secondary_engine);
+  }
+  ReplicatedDb bundle;
+  const NodeId secondary_node = world.add_node("mysql-slave");
+  bundle.secondary =
+      std::make_unique<ReplicaApplier>(world, secondary_node, std::move(secondary_engine));
+  const NodeId primary_node = world.add_node("mysql-primary");
+  bundle.primary = std::make_unique<BaselineServer>(
+      world, primary_node, std::move(primary_engine), std::move(registry), config,
+      secondary_node);
+  return bundle;
+}
+
+}  // namespace shadow::baselines

@@ -1,0 +1,61 @@
+// Invariant checking macros.
+//
+// SHADOW_CHECK is used for internal invariants that must hold in every
+// execution; violations throw (they are bugs, and the runtime-verification
+// harness converts them into test failures). SHADOW_REQUIRE is used for
+// caller-facing preconditions of public APIs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace shadow {
+
+/// Thrown when an internal invariant is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionViolation : public std::invalid_argument {
+ public:
+  explicit PreconditionViolation(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'S') throw InvariantViolation(os.str());
+  throw PreconditionViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace shadow
+
+#define SHADOW_CHECK(expr)                                                               \
+  do {                                                                                   \
+    if (!(expr)) ::shadow::detail::check_failed("SHADOW_CHECK", #expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SHADOW_CHECK_MSG(expr, msg)                                                     \
+  do {                                                                                  \
+    if (!(expr))                                                                        \
+      ::shadow::detail::check_failed("SHADOW_CHECK", #expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SHADOW_REQUIRE(expr)                                                            \
+  do {                                                                                  \
+    if (!(expr))                                                                        \
+      ::shadow::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, "");         \
+  } while (0)
+
+#define SHADOW_REQUIRE_MSG(expr, msg)                                                   \
+  do {                                                                                  \
+    if (!(expr))                                                                        \
+      ::shadow::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, (msg));      \
+  } while (0)

@@ -1,0 +1,55 @@
+// Strongly-typed identifiers used across the ShadowDB codebase.
+//
+// Following the paper, processes are addressed by abstract locations
+// ("Loc" in EventML); clients and replication groups get their own id
+// spaces so they cannot be confused at compile time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace shadow {
+
+/// A location in the distributed system (an EventML "Loc").
+/// Identifies one simulated process/node.
+struct NodeId {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+/// Identifies a client of the replicated database or broadcast service.
+struct ClientId {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const ClientId&) const = default;
+};
+
+/// Sequence number of a group configuration (PBR recovery, SMR membership).
+using ConfigSeq = std::uint64_t;
+
+/// Slot number in the total order (one consensus instance per slot).
+using Slot = std::uint64_t;
+
+/// Per-client request sequence number, used for at-most-once execution.
+using RequestSeq = std::uint64_t;
+
+inline std::string to_string(NodeId id) { return "n" + std::to_string(id.value); }
+inline std::string to_string(ClientId id) { return "c" + std::to_string(id.value); }
+
+}  // namespace shadow
+
+template <>
+struct std::hash<shadow::NodeId> {
+  std::size_t operator()(const shadow::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<shadow::ClientId> {
+  std::size_t operator()(const shadow::ClientId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value) * 0x9e3779b97f4a7c15ULL;
+  }
+};

@@ -1,0 +1,16 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace shadow {
+
+double Rng::exponential(double mean) {
+  SHADOW_REQUIRE(mean >= 0.0);
+  if (mean == 0.0) return 0.0;
+  // Inverse-CDF sampling; clamp away from 0 so log() is finite.
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace shadow

@@ -1,0 +1,94 @@
+// Deterministic random number generation.
+//
+// All randomness in the simulator, workloads and property-based tests flows
+// through Rng so that every execution is reproducible from a 64-bit seed.
+// The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace shadow {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic PRNG (xoshiro256**). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5d3ad4fbe1f0c2a7ULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    SHADOW_REQUIRE(lo <= hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range
+    // Rejection-free modulo is fine here: span << 2^64 in all our uses.
+    return lo + next() % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (for jitter).
+  double exponential(double mean);
+
+  /// Pick a uniformly random element index for a container of size n.
+  std::size_t index(std::size_t n) {
+    SHADOW_REQUIRE(n > 0);
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() { return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace shadow

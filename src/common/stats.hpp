@@ -1,0 +1,74 @@
+// Latency/throughput statistics used by the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace shadow {
+
+/// Collects latency samples (microseconds of virtual time) and summarizes.
+class LatencyStats {
+ public:
+  void add(std::uint64_t micros) {
+    samples_.push_back(micros);
+    sum_ += micros;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean_ms() const {
+    if (samples_.empty()) return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_.size()) / 1000.0;
+  }
+
+  double percentile_ms(double p) {
+    if (samples_.empty()) return 0.0;
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const double v = static_cast<double>(sorted[lo]) * (1.0 - frac) +
+                     static_cast<double>(sorted[hi]) * frac;
+    return v / 1000.0;
+  }
+
+  std::uint64_t max_us() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t sum_ = 0;
+};
+
+/// Bins completion events into fixed-width time buckets; used for the
+/// instantaneous-throughput timeline of Fig. 10(a).
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(std::uint64_t bucket_micros) : bucket_(bucket_micros) {}
+
+  void add(std::uint64_t at_micros) {
+    const std::size_t idx = static_cast<std::size_t>(at_micros / bucket_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+  }
+
+  /// Committed operations per second in bucket i.
+  double rate_per_sec(std::size_t i) const {
+    if (i >= buckets_.size()) return 0.0;
+    return static_cast<double>(buckets_[i]) * 1e6 / static_cast<double>(bucket_);
+  }
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket_micros() const { return bucket_; }
+
+ private:
+  std::uint64_t bucket_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace shadow

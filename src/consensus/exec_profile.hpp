@@ -1,0 +1,70 @@
+// Work accounting for the generated-code components.
+//
+// The consensus modules and the broadcast service correspond to generated
+// GPM programs in the paper (Table I gives their sizes in Nuprl AST nodes).
+// Handling one message tree-walks the program once, plus a fraction of a
+// walk per batched command it touches, so the abstract work of one handler
+// execution is proportional to program size — exactly the quantity the tier
+// cost model (gpm/tier.hpp) prices differently for the interpreted /
+// interpreted-optimized / compiled runs of Fig. 8. Calibration of the cost
+// coefficients against §IV.A's endpoints is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "gpm/tier.hpp"
+#include "sim/world.hpp"
+
+namespace shadow::consensus {
+
+/// Program sizes in GPM AST nodes, from the paper's Table I.
+inline constexpr std::uint64_t kTwoThirdProgramWork = 1343;
+inline constexpr std::uint64_t kSynodProgramWork = 2625;
+inline constexpr std::uint64_t kBroadcastProgramWork = 1352;
+
+/// Fraction of work remaining after the Nuprl program optimizer runs
+/// (matches eventml::OptimizerConfig::fusion_gain).
+inline constexpr double kOptimizedWorkFraction = 0.62;
+
+struct ExecProfile {
+  gpm::ExecutionTier tier = gpm::ExecutionTier::kCompiled;
+  gpm::CostModel costs{};
+  std::uint64_t program_work = kSynodProgramWork;  // per-message program walk
+  /// Extra walks per batched command, as a fraction of one program walk.
+  /// The broadcast frontend touches each command individually (fraction 1);
+  /// consensus messages only scan the batch (small fraction).
+  double cmd_walk_fraction = 0.08;
+
+  /// Effective program size for the tier (optimized program is smaller).
+  std::uint64_t effective_program() const {
+    return tier == gpm::ExecutionTier::kInterpreted
+               ? program_work
+               : static_cast<std::uint64_t>(static_cast<double>(program_work) *
+                                            kOptimizedWorkFraction);
+  }
+
+  /// Work of one handler execution over a batch of `items` commands.
+  std::uint64_t work(std::size_t items = 0) const {
+    const std::uint64_t eff = effective_program();
+    return eff + static_cast<std::uint64_t>(static_cast<double>(eff) * cmd_walk_fraction *
+                                            static_cast<double>(items));
+  }
+
+  /// Charges the virtual CPU for one handler execution.
+  void charge(sim::Context& ctx, std::size_t items = 0) const {
+    ctx.charge(costs.cost_us(tier, work(items)));
+  }
+
+  /// Fraction of a program walk a small control message (p1a/p2b/ack)
+  /// triggers: the recognizer structure is walked but the heavy handler
+  /// bodies are not.
+  static constexpr double kControlFraction = 0.35;
+
+  void charge_control(sim::Context& ctx) const {
+    ctx.charge(costs.cost_us(
+        tier, static_cast<std::uint64_t>(static_cast<double>(effective_program()) *
+                                         kControlFraction)));
+  }
+};
+
+}  // namespace shadow::consensus

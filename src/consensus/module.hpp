@@ -1,0 +1,51 @@
+// The consensus-module interface the total order broadcast service builds
+// on. The paper's broadcast service "is able to switch between protocols for
+// different messages"; both TwoThirdModule and PaxosModule implement this
+// interface, and the TOB node instantiates whichever the configuration
+// selects.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "consensus/exec_profile.hpp"
+#include "consensus/safety.hpp"
+#include "consensus/types.hpp"
+#include "sim/world.hpp"
+
+namespace shadow::consensus {
+
+class ConsensusModule {
+ public:
+  using DecideFn = std::function<void(sim::Context&, Slot, const Batch&)>;
+
+  virtual ~ConsensusModule() = default;
+
+  /// Propose `batch` for `slot` on behalf of this node.
+  virtual void propose(sim::Context& ctx, Slot slot, const Batch& batch) = 0;
+
+  /// Offers an incoming message; returns true if consumed.
+  virtual bool on_message(sim::Context& ctx, const sim::Message& msg) = 0;
+
+  /// Periodic driver for round/ballot timeouts and retransmissions.
+  virtual void on_tick(sim::Context& ctx) = 0;
+
+  /// Best proposer for new values, if the protocol has one (Paxos: the
+  /// current leader; leaderless protocols return nullopt). The broadcast
+  /// service forwards pending commands there instead of racing proposals
+  /// for the same slot.
+  virtual std::optional<NodeId> proposer_hint() const { return std::nullopt; }
+
+  /// Called (at most once per slot per node) when a slot's value is learned.
+  void set_on_decide(DecideFn fn) { on_decide_ = std::move(fn); }
+
+ protected:
+  void notify_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
+    if (on_decide_) on_decide_(ctx, slot, batch);
+  }
+
+  DecideFn on_decide_;
+};
+
+}  // namespace shadow::consensus

@@ -1,0 +1,262 @@
+#include "consensus/paxos.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace shadow::consensus {
+
+namespace {
+
+constexpr const char* kP1a = "px-p1a";
+constexpr const char* kP1b = "px-p1b";
+constexpr const char* kP2a = "px-p2a";
+constexpr const char* kP2b = "px-p2b";
+constexpr const char* kDecision = "px-decision";
+constexpr const char* kPropose = "px-propose";
+
+struct P1aBody {
+  Ballot ballot;
+};
+struct P1bBody {
+  Ballot scout_ballot;           // the ballot this p1b answers
+  Ballot promised;               // acceptor's current promise
+  std::vector<PValue> accepted;  // acceptor's accepted pvalues
+};
+struct P2aBody {
+  PValue pvalue;
+};
+struct P2bBody {
+  Ballot commander_ballot;  // the ballot this p2b answers
+  Ballot promised;
+  Slot slot = 0;
+};
+struct DecisionBody {
+  Slot slot = 0;
+  Batch batch;
+};
+struct ProposeBody {
+  Slot slot = 0;
+  Batch batch;
+};
+
+std::size_t pvalues_wire_size(const std::vector<PValue>& pvs) {
+  std::size_t n = 16;
+  for (const PValue& pv : pvs) n += 24 + batch_wire_size(pv.batch);
+  return n;
+}
+
+}  // namespace
+
+PaxosModule::PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety)
+    : self_(self), config_(std::move(config)), safety_(safety) {
+  SHADOW_REQUIRE_MSG(config_.peers.size() >= 3, "Paxos needs at least 3 peers for f=1");
+  SHADOW_REQUIRE(std::find(config_.peers.begin(), config_.peers.end(), self_) !=
+                 config_.peers.end());
+  leader_.ballot = Ballot{0, self_};
+}
+
+void PaxosModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
+  if (safety_ != nullptr) safety_->on_propose(slot, batch);
+  ProposeBody body{slot, batch};
+  const std::size_t wire = 24 + batch_wire_size(batch);
+  for (NodeId peer : config_.peers) {
+    ctx.send(peer, sim::make_msg(kPropose, body, wire));
+  }
+}
+
+bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
+  // ---- leader role: a replica hands us a proposal -------------------------
+  if (msg.header == kPropose) {
+    const auto& body = sim::msg_body<ProposeBody>(msg);
+    config_.profile.charge(ctx, body.batch.size());
+    if (auto learned_it = learned_.find(body.slot); learned_it != learned_.end()) {
+      // Already decided: help the proposer catch up.
+      DecisionBody dec{body.slot, learned_it->second};
+      ctx.send(msg.from, sim::make_msg(kDecision, dec, 24 + batch_wire_size(dec.batch)));
+      return true;
+    }
+    const bool had_pending = std::any_of(
+        leader_.proposals.begin(), leader_.proposals.end(),
+        [this](const auto& kv) { return learned_.count(kv.first) == 0; });
+    auto [it, inserted] = leader_.proposals.try_emplace(body.slot, body.batch);
+    if (inserted && !had_pending) pending_since_ = ctx.now();
+    if (inserted && leader_.active) start_commander(ctx, body.slot, it->second);
+    return true;
+  }
+
+  // ---- acceptor role -------------------------------------------------------
+  if (msg.header == kP1a) {
+    const auto& body = sim::msg_body<P1aBody>(msg);
+    config_.profile.charge_control(ctx);
+    if (acceptor_.promised < body.ballot) {
+      acceptor_.promised = body.ballot;
+      if (safety_ != nullptr) safety_->on_promise(self_, acceptor_.promised);
+    }
+    P1bBody reply{body.ballot, acceptor_.promised, {}};
+    reply.accepted.reserve(acceptor_.accepted.size());
+    for (const auto& [slot, pv] : acceptor_.accepted) reply.accepted.push_back(pv);
+    ctx.send(msg.from, sim::make_msg(kP1b, reply, pvalues_wire_size(reply.accepted)));
+    return true;
+  }
+  if (msg.header == kP2a) {
+    const auto& body = sim::msg_body<P2aBody>(msg);
+    config_.profile.charge(ctx, body.pvalue.batch.size());
+    if (!(body.pvalue.ballot < acceptor_.promised)) {
+      if (acceptor_.promised < body.pvalue.ballot) {
+        acceptor_.promised = body.pvalue.ballot;
+        if (safety_ != nullptr) safety_->on_promise(self_, acceptor_.promised);
+      }
+      auto [it, inserted] = acceptor_.accepted.try_emplace(body.pvalue.slot, body.pvalue);
+      if (!inserted && it->second.ballot < body.pvalue.ballot) it->second = body.pvalue;
+      if (safety_ != nullptr) {
+        safety_->on_accept(self_, body.pvalue.ballot, body.pvalue.slot, body.pvalue.batch);
+      }
+    }
+    P2bBody reply{body.pvalue.ballot, acceptor_.promised, body.pvalue.slot};
+    ctx.send(msg.from, sim::make_msg(kP2b, reply, 48));
+    return true;
+  }
+
+  // ---- scout (phase 1 collector) -------------------------------------------
+  if (msg.header == kP1b) {
+    const auto& body = sim::msg_body<P1bBody>(msg);
+    config_.profile.charge(ctx, body.accepted.size());
+    if (!leader_.scout || !(body.scout_ballot == leader_.scout->ballot)) return true;
+    if (leader_.scout->ballot < body.promised) {
+      preempted(ctx, body.promised);
+      return true;
+    }
+    Scout& scout = *leader_.scout;
+    if (scout.waitfor.erase(msg.from.value) == 0) return true;
+    for (const PValue& pv : body.accepted) {
+      auto [it, inserted] = scout.pvalues.try_emplace(pv.slot, pv);
+      if (!inserted && it->second.ballot < pv.ballot) it->second = pv;  // pmax
+    }
+    if (config_.peers.size() - scout.waitfor.size() >= quorum()) {
+      // Adopted: earlier accepted values override our own proposals.
+      leader_.ballot = scout.ballot;
+      for (const auto& [slot, pv] : scout.pvalues) {
+        if (learned_.count(slot) > 0) continue;
+        leader_.proposals[slot] = pv.batch;
+      }
+      leader_.active = true;
+      leader_.scout.reset();
+      for (const auto& [slot, batch] : leader_.proposals) {
+        if (learned_.count(slot) == 0) start_commander(ctx, slot, batch);
+      }
+    }
+    return true;
+  }
+
+  // ---- commander (phase 2 collector) ----------------------------------------
+  if (msg.header == kP2b) {
+    const auto& body = sim::msg_body<P2bBody>(msg);
+    config_.profile.charge_control(ctx);
+    auto it = leader_.commanders.find(body.slot);
+    if (it == leader_.commanders.end() || !(it->second.ballot == body.commander_ballot)) {
+      return true;
+    }
+    if (it->second.ballot < body.promised) {
+      preempted(ctx, body.promised);
+      return true;
+    }
+    Commander& cmd = it->second;
+    if (cmd.waitfor.erase(msg.from.value) == 0) return true;
+    if (config_.peers.size() - cmd.waitfor.size() >= quorum()) {
+      DecisionBody dec{cmd.slot, cmd.batch};
+      const std::size_t wire = 24 + batch_wire_size(dec.batch);
+      for (NodeId peer : config_.peers) {
+        ctx.send(peer, sim::make_msg(kDecision, dec, wire));
+      }
+      leader_.commanders.erase(it);
+    }
+    return true;
+  }
+
+  // ---- learner role ---------------------------------------------------------
+  if (msg.header == kDecision) {
+    const auto& body = sim::msg_body<DecisionBody>(msg);
+    config_.profile.charge(ctx, body.batch.size());
+    learn(ctx, body.slot, body.batch);
+    return true;
+  }
+  return false;
+}
+
+void PaxosModule::start_scout(sim::Context& ctx) {
+  last_scout_attempt_ = ctx.now();
+  max_round_seen_ += 1;
+  Scout scout;
+  scout.ballot = Ballot{max_round_seen_, self_};
+  scout.waitfor.clear();
+  for (NodeId peer : config_.peers) scout.waitfor.insert(peer.value);
+  leader_.scout = std::move(scout);
+  P1aBody body{leader_.scout->ballot};
+  for (NodeId peer : config_.peers) {
+    ctx.send(peer, sim::make_msg(kP1a, body, 40));
+  }
+}
+
+void PaxosModule::start_commander(sim::Context& ctx, Slot slot, const Batch& batch) {
+  Commander cmd;
+  cmd.ballot = leader_.ballot;
+  cmd.slot = slot;
+  cmd.batch = batch;
+  for (NodeId peer : config_.peers) cmd.waitfor.insert(peer.value);
+  leader_.commanders[slot] = std::move(cmd);
+  P2aBody body{PValue{leader_.ballot, slot, batch}};
+  const std::size_t wire = 40 + batch_wire_size(batch);
+  for (NodeId peer : config_.peers) {
+    ctx.send(peer, sim::make_msg(kP2a, body, wire));
+  }
+}
+
+void PaxosModule::preempted(sim::Context& ctx, const Ballot& by) {
+  (void)ctx;
+  max_round_seen_ = std::max(max_round_seen_, by.round);
+  leader_.active = false;
+  leader_.scout.reset();
+  leader_.commanders.clear();
+}
+
+void PaxosModule::learn(sim::Context& ctx, Slot slot, const Batch& batch) {
+  auto [it, inserted] = learned_.try_emplace(slot, batch);
+  if (!inserted) return;
+  last_progress_ = ctx.now();
+  if (safety_ != nullptr) safety_->on_decide(self_, slot, batch);
+  leader_.proposals.erase(slot);
+  leader_.commanders.erase(slot);
+  notify_decide(ctx, slot, batch);
+}
+
+void PaxosModule::on_tick(sim::Context& ctx) {
+  const bool pending = std::any_of(
+      leader_.proposals.begin(), leader_.proposals.end(),
+      [this](const auto& kv) { return learned_.count(kv.first) == 0; });
+  if (!pending) return;
+  // While active, every pending proposal either has a commander in flight
+  // or its decision is already on the way (commanders are erased exactly at
+  // quorum); preemption deactivates us, and re-adoption restarts commanders
+  // for everything pending — so no tick-driven re-drive is needed.
+  if (leader_.active) return;
+  if (leader_.scout) return;  // phase 1 in flight
+
+  // Failure detection is unreliable and timeout-based; stagger timeouts by
+  // peer rank so a single node usually takes over first.
+  const auto rank = static_cast<std::uint64_t>(
+      std::find(config_.peers.begin(), config_.peers.end(), self_) - config_.peers.begin());
+  const bool bootstrap = max_round_seen_ == 0 && rank == 0;
+  // "No progress" is measured from whichever is later: the last decision or
+  // the moment the currently-pending work appeared (an idle system is not a
+  // dead leader).
+  const sim::Time reference = std::max(last_progress_, pending_since_);
+  const sim::Time patience = config_.leader_timeout * (1 + rank);
+  if (bootstrap ||
+      (ctx.now() - reference > patience &&
+       ctx.now() - last_scout_attempt_ > config_.scout_retry)) {
+    start_scout(ctx);
+  }
+}
+
+}  // namespace shadow::consensus

@@ -1,0 +1,101 @@
+// Multi-decree Paxos Synod, after "Paxos Made Moderately Complex" (the
+// paper's reference [20] — the informal specification its EventML Synod was
+// developed from).
+//
+// Every participant co-locates three roles, exactly as the paper deploys the
+// broadcast service on three machines:
+//   acceptor   — promise/accept state, the only durable state of the synod;
+//   leader     — owns a ballot; runs one scout (phase 1) and per-slot
+//                commanders (phase 2); activates on adoption, deactivates on
+//                preemption;
+//   learner    — collects decisions and surfaces them via notify_decide.
+//
+// Safety hooks feed the SafetyRecorder: promise monotonicity (the invariant
+// whose violation was the Google Paxos disk-corruption bug discussed in
+// Sec. II-D), accept-above-promise, agreement, validity and chosen-value
+// stability are all machine-checked per execution.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/module.hpp"
+
+namespace shadow::consensus {
+
+struct PaxosConfig {
+  std::vector<NodeId> peers;  // the synod participants (majority quorums)
+  // Batched commands only add a small scan per item to a synod message walk.
+  ExecProfile profile{.program_work = kSynodProgramWork, .cmd_walk_fraction = 0.02};
+  sim::Time leader_timeout = 50000;   // 50 ms without progress → suspect leader
+  sim::Time scout_retry = 30000;      // backoff before re-running phase 1
+};
+
+class PaxosModule final : public ConsensusModule {
+ public:
+  PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety = nullptr);
+
+  void propose(sim::Context& ctx, Slot slot, const Batch& batch) override;
+  bool on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  /// The owner of the highest ballot this node has promised — the best
+  /// guess at who can get values chosen without a ballot fight.
+  std::optional<NodeId> proposer_hint() const override {
+    if (leader_.active) return self_;
+    if (acceptor_.promised.round == 0) return std::nullopt;  // no leader yet
+    return acceptor_.promised.leader;
+  }
+
+  /// True while this node believes it owns the active ballot.
+  bool is_active_leader() const { return leader_.active; }
+  const Ballot& current_ballot() const { return leader_.ballot; }
+
+ private:
+  // -- acceptor role ----------------------------------------------------------
+  struct Acceptor {
+    Ballot promised;                 // highest ballot promised
+    std::map<Slot, PValue> accepted; // highest accepted pvalue per slot
+  };
+
+  // -- leader role ------------------------------------------------------------
+  struct Scout {
+    Ballot ballot;
+    std::set<std::uint32_t> waitfor;          // acceptors not yet heard from
+    std::map<Slot, PValue> pvalues;           // pmax accumulator
+  };
+  struct Commander {
+    Ballot ballot;
+    Slot slot = 0;
+    Batch batch;
+    std::set<std::uint32_t> waitfor;
+  };
+  struct Leader {
+    Ballot ballot;
+    bool active = false;
+    std::map<Slot, Batch> proposals;
+    std::optional<Scout> scout;
+    std::map<Slot, Commander> commanders;  // one in-flight commander per slot
+  };
+
+  void start_scout(sim::Context& ctx);
+  void start_commander(sim::Context& ctx, Slot slot, const Batch& batch);
+  void preempted(sim::Context& ctx, const Ballot& by);
+  void learn(sim::Context& ctx, Slot slot, const Batch& batch);
+  std::size_t quorum() const { return config_.peers.size() / 2 + 1; }
+
+  NodeId self_;
+  PaxosConfig config_;
+  SafetyRecorder* safety_;
+  Acceptor acceptor_;
+  Leader leader_;
+  std::map<Slot, Batch> learned_;
+  std::uint64_t max_round_seen_ = 0;
+  sim::Time last_progress_ = 0;
+  sim::Time pending_since_ = 0;  // when the oldest currently-pending work arrived
+  sim::Time last_scout_attempt_ = 0;
+};
+
+}  // namespace shadow::consensus

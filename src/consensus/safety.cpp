@@ -1,0 +1,131 @@
+#include "consensus/safety.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace shadow::consensus {
+
+void SafetyRecorder::on_propose(Slot slot, const Batch& batch) {
+  proposed_[slot].push_back(batch);
+}
+
+void SafetyRecorder::on_decide(NodeId node, Slot slot, const Batch& batch) {
+  ++decision_count_;
+  // Integrity: at most one decision per (node, slot) — and it must be stable.
+  auto key = std::make_pair(node.value, slot);
+  auto [it, inserted] = decided_by_node_.try_emplace(key, batch);
+  if (!inserted) {
+    SHADOW_CHECK_MSG(it->second == batch,
+                     "integrity violated: " + to_string(node) + " re-decided slot " +
+                         std::to_string(slot) + " differently");
+  }
+  // Agreement (online): first decision for the slot fixes the value.
+  auto [dit, dinserted] = decided_.try_emplace(slot, batch);
+  if (!dinserted) {
+    SHADOW_CHECK_MSG(dit->second == batch,
+                     "agreement violated at slot " + std::to_string(slot) + ": " +
+                         to_string(batch) + " vs " + to_string(dit->second));
+  }
+}
+
+void SafetyRecorder::on_promise(NodeId acceptor, const Ballot& ballot) {
+  auto [it, inserted] = promises_.try_emplace(acceptor.value, ballot);
+  if (!inserted) {
+    SHADOW_CHECK_MSG(!(ballot < it->second),
+                     "promise monotonicity violated at acceptor " + to_string(acceptor) +
+                         ": promised " + to_string(it->second) + " then " + to_string(ballot));
+    it->second = ballot;
+  }
+}
+
+void SafetyRecorder::on_accept(NodeId acceptor, const Ballot& ballot, Slot slot,
+                               const Batch& batch) {
+  // An acceptor only accepts at its current promise or above.
+  if (auto it = promises_.find(acceptor.value); it != promises_.end()) {
+    SHADOW_CHECK_MSG(!(ballot < it->second),
+                     "accept below promise at acceptor " + to_string(acceptor));
+  }
+  // Per-acceptor accepted ballot for a slot never decreases.
+  auto key = std::make_pair(acceptor.value, slot);
+  auto [it, inserted] = last_accept_.try_emplace(key, ballot);
+  if (!inserted) {
+    SHADOW_CHECK_MSG(!(ballot < it->second), "acceptor accepted a lower ballot for a slot");
+    it->second = ballot;
+  }
+  accepts_by_slot_[slot].emplace_back(ballot, batch);
+}
+
+loe::CheckResult SafetyRecorder::check_agreement() const {
+  // Agreement is enforced online in on_decide; re-verify the aggregate here.
+  for (const auto& [key, batch] : decided_by_node_) {
+    auto it = decided_.find(key.second);
+    if (it == decided_.end() || !(it->second == batch)) {
+      return loe::CheckResult::fail("agreement violated at slot " + std::to_string(key.second));
+    }
+  }
+  return loe::CheckResult::pass();
+}
+
+loe::CheckResult SafetyRecorder::check_validity() const {
+  for (const auto& [slot, batch] : decided_) {
+    auto it = proposed_.find(slot);
+    if (it == proposed_.end()) {
+      return loe::CheckResult::fail("slot " + std::to_string(slot) +
+                                    " decided without any proposal");
+    }
+    // TwoThird merges proposals: a decided batch is valid when every command
+    // in it appears in some proposal for the slot (no-creation), and a pure
+    // Paxos decision is one of the proposed batches (a special case).
+    for (const Command& cmd : batch) {
+      const bool found = std::any_of(it->second.begin(), it->second.end(),
+                                     [&cmd](const Batch& proposal) {
+                                       return std::find(proposal.begin(), proposal.end(), cmd) !=
+                                              proposal.end();
+                                     });
+      if (!found) {
+        return loe::CheckResult::fail("validity violated at slot " + std::to_string(slot) +
+                                      ": command " + to_string(cmd) + " was never proposed");
+      }
+    }
+  }
+  return loe::CheckResult::pass();
+}
+
+loe::CheckResult SafetyRecorder::check_integrity() const {
+  // Enforced online; nothing further to verify at end of run.
+  return loe::CheckResult::pass();
+}
+
+loe::CheckResult SafetyRecorder::check_chosen_stability(std::size_t quorum) const {
+  for (const auto& [slot, accepts] : accepts_by_slot_) {
+    // Find the earliest ballot with quorum acceptances.
+    std::map<Ballot, std::size_t> count;
+    std::map<Ballot, Batch> value;
+    for (const auto& [ballot, batch] : accepts) {
+      ++count[ballot];
+      value[ballot] = batch;
+    }
+    const Ballot* chosen = nullptr;
+    for (const auto& [ballot, n] : count) {
+      if (n >= quorum) {
+        chosen = &ballot;
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;
+    for (const auto& [ballot, batch] : accepts) {
+      if (*chosen < ballot && !(batch == value[*chosen])) {
+        std::ostringstream os;
+        os << "chosen-value stability violated at slot " << slot << ": ballot "
+           << to_string(ballot) << " accepted a different batch after " << to_string(*chosen)
+           << " was chosen";
+        return loe::CheckResult::fail(os.str());
+      }
+    }
+  }
+  return loe::CheckResult::pass();
+}
+
+}  // namespace shadow::consensus

@@ -1,0 +1,62 @@
+// Runtime-verified consensus safety properties.
+//
+// The paper proves the safety of TwoThird consensus and the Paxos Synod in
+// Nuprl. Our substitution (DESIGN.md §2) checks the same properties on every
+// simulated execution, including failure-injected ones:
+//
+//   agreement          — no two processes decide differently for a slot;
+//   validity           — every decided value was proposed for that slot;
+//   integrity          — a process decides a slot at most once;
+//   promise monotonic  — an acceptor's promised ballot never decreases
+//                        (the Google disk-corruption bug of §II.D is exactly
+//                        a violation of this invariant);
+//   accept safety      — an acceptor only accepts ballots >= its promise.
+//
+// Protocol implementations call the on_* hooks; hooks throw immediately on
+// an online-checkable violation, and the check_* methods verify the global
+// properties at the end of a run.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/types.hpp"
+#include "loe/properties.hpp"
+
+namespace shadow::consensus {
+
+class SafetyRecorder {
+ public:
+  // -- instrumentation hooks -------------------------------------------------
+  void on_propose(Slot slot, const Batch& batch);
+  void on_decide(NodeId node, Slot slot, const Batch& batch);
+  void on_promise(NodeId acceptor, const Ballot& ballot);
+  void on_accept(NodeId acceptor, const Ballot& ballot, Slot slot, const Batch& batch);
+
+  // -- end-of-run property checks ---------------------------------------------
+  loe::CheckResult check_agreement() const;
+  loe::CheckResult check_validity() const;
+  loe::CheckResult check_integrity() const;
+
+  /// Chosen-value stability: once a quorum of acceptors has accepted a
+  /// ballot b for slot s, every later accepted ballot for s carries the
+  /// same batch. Requires `quorum` (majority size).
+  loe::CheckResult check_chosen_stability(std::size_t quorum) const;
+
+  std::size_t decisions() const { return decision_count_; }
+  const std::map<Slot, Batch>& decided() const { return decided_; }
+
+ private:
+  std::map<Slot, std::vector<Batch>> proposed_;
+  std::map<Slot, Batch> decided_;
+  std::map<std::pair<std::uint32_t, Slot>, Batch> decided_by_node_;  // integrity
+  std::unordered_map<std::uint32_t, Ballot> promises_;
+  std::map<Slot, std::vector<std::pair<Ballot, Batch>>> accepts_by_slot_;
+  std::map<std::pair<std::uint32_t, Slot>, Ballot> last_accept_;
+  std::size_t decision_count_ = 0;
+  mutable std::vector<std::string> violations_;
+};
+
+}  // namespace shadow::consensus

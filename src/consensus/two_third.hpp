@@ -1,0 +1,68 @@
+// TwoThird consensus — the paper's leaderless, round-based, fully symmetric
+// consensus protocol, based on the One-Third-Rule algorithm of the Heard-Of
+// model (Charron-Bost & Schiper). Tolerates f < n/3 crash failures.
+//
+// Per round every process sends its estimate to all. When a process has
+// received estimates from more than 2n/3 processes in its current round it
+//   - decides v if more than 2n/3 of *all* processes sent v, and
+//   - otherwise adopts the smallest most-frequently-received value and
+//     advances to the next round.
+// Decisions are broadcast so lagging processes learn them, and a decided
+// process answers later-round votes with the decision.
+//
+// Safety (agreement, validity, integrity) is checked on every execution by
+// the SafetyRecorder; the original deadlock the authors found by inspection
+// (Sec. II-D) is covered by the liveness tests in tests/consensus.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/module.hpp"
+
+namespace shadow::consensus {
+
+struct TwoThirdConfig {
+  std::vector<NodeId> peers;  // all participants; needs |peers| > 3f
+  ExecProfile profile{.program_work = kTwoThirdProgramWork};
+  sim::Time round_timeout = 20000;  // 20 ms retransmission period
+};
+
+class TwoThirdModule final : public ConsensusModule {
+ public:
+  TwoThirdModule(NodeId self, TwoThirdConfig config, SafetyRecorder* safety = nullptr);
+
+  void propose(sim::Context& ctx, Slot slot, const Batch& batch) override;
+  bool on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  /// The number of crash failures the configuration tolerates.
+  std::size_t tolerated_failures() const { return (config_.peers.size() - 1) / 3; }
+
+ private:
+  struct Instance {
+    std::uint64_t round = 0;
+    std::optional<Batch> estimate;
+    // votes[round][peer index] = batch
+    std::map<std::uint64_t, std::map<std::uint32_t, Batch>> votes;
+    std::optional<Batch> decision;
+    sim::Time last_sent = 0;
+  };
+
+  void send_vote(sim::Context& ctx, Slot slot, Instance& inst);
+  void try_advance(sim::Context& ctx, Slot slot, Instance& inst);
+  void decide(sim::Context& ctx, Slot slot, Instance& inst, const Batch& value);
+  std::size_t threshold() const {  // strictly more than 2n/3
+    return 2 * config_.peers.size() / 3 + 1;
+  }
+
+  NodeId self_;
+  TwoThirdConfig config_;
+  SafetyRecorder* safety_;
+  std::map<Slot, Instance> instances_;
+};
+
+}  // namespace shadow::consensus

@@ -1,0 +1,68 @@
+// Shared types for the consensus modules and the total order broadcast
+// service: commands, batches (one batch is decided per consensus instance /
+// slot), and Paxos ballots.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace shadow::consensus {
+
+/// One client message to be totally ordered. `payload` is opaque to the
+/// broadcast service (ShadowDB puts serialized transactions in it).
+struct Command {
+  ClientId client{};
+  RequestSeq seq = 0;
+  std::string payload;
+
+  auto operator<=>(const Command&) const = default;
+};
+
+/// The value decided per slot: a batch of commands (the paper's batching —
+/// "multiple messages can be bundled in one Paxos proposal").
+using Batch = std::vector<Command>;
+
+/// A Paxos ballot: totally ordered, tied to the leader that owns it.
+struct Ballot {
+  std::uint64_t round = 0;
+  NodeId leader{};
+
+  auto operator<=>(const Ballot&) const = default;
+};
+
+/// A pvalue (PMMC): the triple an acceptor accepts.
+struct PValue {
+  Ballot ballot;
+  Slot slot = 0;
+  Batch batch;
+};
+
+inline std::string to_string(const Ballot& b) {
+  return "(" + std::to_string(b.round) + "," + to_string(b.leader) + ")";
+}
+
+inline std::string to_string(const Command& c) {
+  return to_string(c.client) + "#" + std::to_string(c.seq);
+}
+
+inline std::string to_string(const Batch& b) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i > 0) s += " ";
+    s += to_string(b[i]);
+  }
+  return s + "]";
+}
+
+/// Estimated wire size of a batch, for the network bandwidth model.
+inline std::size_t batch_wire_size(const Batch& b) {
+  return std::accumulate(b.begin(), b.end(), std::size_t{16},
+                         [](std::size_t n, const Command& c) { return n + 16 + c.payload.size(); });
+}
+
+}  // namespace shadow::consensus

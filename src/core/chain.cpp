@@ -1,0 +1,397 @@
+#include "core/chain.hpp"
+
+#include "core/pbr.hpp"
+
+#include <algorithm>
+
+namespace shadow::core {
+
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+constexpr std::uint64_t kForwardCost = 20;  // µs to relay one update down-chain
+
+}  // namespace
+
+ChainReplica::ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+                           std::shared_ptr<db::Engine> engine,
+                           std::shared_ptr<const workload::ProcedureRegistry> registry,
+                           std::vector<NodeId> chain, std::vector<NodeId> spares,
+                           ChainConfig config, ServerCosts costs)
+    : world_(world),
+      self_(self),
+      tob_(tob),
+      executor_(std::move(engine), std::move(registry), costs),
+      config_(std::move(config)),
+      chain_(std::move(chain)),
+      spares_(std::move(spares)) {
+  SHADOW_REQUIRE(!chain_.empty());
+  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+                     "chain replicas are co-located with their broadcast service node");
+  chain_size_target_ = chain_.size();
+  reconfig_client_id_ = ClientId{0x60000000u + self_.value};
+  if (!contains(chain_, self_)) state_ = State::kSpare;
+
+  tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
+    ctx.send(self_, sim::make_msg(kChainDeliverHeader, cmd, 48 + cmd.payload.size()));
+  });
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+  if (config_.enable_failure_detection) {
+    world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
+                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+  }
+}
+
+std::optional<NodeId> ChainReplica::successor() const {
+  auto it = std::find(chain_.begin(), chain_.end(), self_);
+  if (it == chain_.end() || it + 1 == chain_.end()) return std::nullopt;
+  return *(it + 1);
+}
+
+// ---------------------------------------------------------------- messages --
+
+void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+  last_heard_[msg.from.value] = ctx.now();
+
+  if (msg.header == kChainDeliverHeader) {
+    on_deliver(ctx, sim::msg_body<tob::Command>(msg));
+    return;
+  }
+  if (msg.header == workload::kTxnRequestHeader) {
+    on_client_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    return;
+  }
+  if (msg.header == kChainFwdHeader) {
+    on_forward(ctx, sim::msg_body<ForwardBody>(msg));
+    return;
+  }
+  if (msg.header == kChainElectHeader) {
+    on_elect(ctx, msg.from, sim::msg_body<ElectBody>(msg));
+    return;
+  }
+  if (msg.header == kChainHbHeader) {
+    return;  // liveness recorded above
+  }
+  if (msg.header == kChainCatchupHeader) {
+    const auto& body = sim::msg_body<CatchupBody>(msg);
+    if (body.config != config_seq_) return;
+    for (const auto& [order, req] : body.txns) {
+      if (order != executed_order_ + 1) continue;
+      execute_and_cache(ctx, order, req, /*answer_client=*/false);
+    }
+    state_ = State::kNormal;
+    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    apply_buffered(ctx);
+    return;
+  }
+  if (msg.header == kChainSnapBeginHeader) {
+    const auto& body = sim::msg_body<SnapBeginBody>(msg);
+    if (body.config != config_seq_) return;
+    executor_.engine().reset_for_restore(body.schemas);
+    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
+    for (const auto& [client, seq] : body.dedup_seqs) {
+      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
+    }
+    executor_.install_dedup_table(std::move(dedup));
+    // The snapshot's order is claimed only once the full snapshot applied:
+    // a partially-restored replica must not present itself as up to date in
+    // a later election (a crash of the sender mid-stream would otherwise
+    // let garbage state win).
+    pending_snapshot_order_ = body.order;
+    awaiting_snapshot_ = true;
+    return;
+  }
+  if (msg.header == kChainSnapBatchHeader) {
+    if (!awaiting_snapshot_) return;
+    ctx.charge(executor_.engine().restore_batch(sim::msg_body<SnapBatchBody>(msg).batch));
+    return;
+  }
+  if (msg.header == kChainSnapDoneHeader) {
+    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    if (body.config != config_seq_ || !awaiting_snapshot_) return;
+    awaiting_snapshot_ = false;
+    executed_order_ = pending_snapshot_order_;
+    next_order_ = std::max(next_order_, executed_order_);
+    state_ = State::kNormal;
+    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    apply_buffered(ctx);
+    return;
+  }
+  if (msg.header == kChainRecoveredHeader) {
+    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    if (body.config != config_seq_) return;
+    recovered_.insert(msg.from.value);
+    if (recovered_.size() >= chain_.size() - 1) accepting_ = true;
+    return;
+  }
+}
+
+// -------------------------------------------------------------- normal case --
+
+void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest& req) {
+  const bool read_only = config_.read_only_procs.count(req.proc) > 0;
+  if (state_ != State::kNormal || chain_.empty()) {
+    ctx.send(req.reply_to,
+             sim::make_msg(kPbrRedirectHeader,
+                           RedirectBody{NodeId{UINT32_MAX}, config_seq_, true}, 40));
+    return;
+  }
+
+  if (read_only) {
+    // Queries are the tail's job: it only knows fully-replicated updates.
+    if (chain_.back() != self_) {
+      ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+                                           RedirectBody{chain_.back(), config_seq_, false}, 40));
+      return;
+    }
+    const TxnExecutor::Execution exec = executor_.execute(req);
+    ctx.charge(exec.cost_us);
+    ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+    return;
+  }
+
+  // Updates enter at the head.
+  if (chain_.front() != self_) {
+    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+                                         RedirectBody{chain_.front(), config_seq_, false}, 40));
+    return;
+  }
+  if (!accepting_) {
+    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+                                         RedirectBody{self_, config_seq_, true}, 40));
+    return;
+  }
+  const TxnExecutor::Execution exec = executor_.execute(req);
+  ctx.charge(exec.cost_us);
+  if (exec.duplicate) {
+    ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+    return;
+  }
+  const std::uint64_t order = ++next_order_;
+  executed_order_ = order;
+  txn_cache_.emplace_back(order, req);
+  if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
+  if (chain_.size() == 1) {
+    // Degenerate chain: head is tail; answer directly.
+    ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+    return;
+  }
+  forward_down(ctx, order, req);
+}
+
+void ChainReplica::forward_down(sim::Context& ctx, std::uint64_t order,
+                                const workload::TxnRequest& req) {
+  const auto next = successor();
+  if (!next) return;
+  ctx.charge(kForwardCost);
+  ctx.send(*next, sim::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req},
+                                48 + workload::request_wire_size(req)));
+}
+
+void ChainReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
+  if (fwd.config != config_seq_) return;
+  if (state_ == State::kRecovering) {
+    buffered_forwards_.push_back(fwd);
+    return;
+  }
+  if (state_ != State::kNormal || !contains(chain_, self_)) return;
+  if (fwd.order != executed_order_ + 1) return;  // FIFO links make gaps impossible
+  // The tail answers the client: the update is now in every replica.
+  execute_and_cache(ctx, fwd.order, fwd.request, /*answer_client=*/chain_.back() == self_);
+  forward_down(ctx, fwd.order, fwd.request);
+}
+
+void ChainReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
+                                     const workload::TxnRequest& req, bool answer_client) {
+  const TxnExecutor::Execution exec = executor_.execute(req);
+  ctx.charge(exec.cost_us);
+  executed_order_ = order;
+  next_order_ = std::max(next_order_, order);
+  txn_cache_.emplace_back(order, req);
+  if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
+  if (answer_client) ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+}
+
+void ChainReplica::apply_buffered(sim::Context& ctx) {
+  while (!buffered_forwards_.empty()) {
+    const ForwardBody fwd = buffered_forwards_.front();
+    buffered_forwards_.pop_front();
+    if (fwd.config != config_seq_ || fwd.order != executed_order_ + 1) continue;
+    execute_and_cache(ctx, fwd.order, fwd.request, chain_.back() == self_);
+    forward_down(ctx, fwd.order, fwd.request);
+  }
+}
+
+// ------------------------------------------------------------------ recovery --
+
+void ChainReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
+  const workload::TxnRequest req = workload::decode_request(cmd.payload);
+  if (req.proc != kChainReconfigProc) return;
+  const auto g = static_cast<ConfigSeq>(req.params[0].as_int());
+  if (g != config_seq_) return;  // only the first proposal counts
+
+  std::vector<NodeId> new_chain;
+  for (std::size_t i = 2; i < req.params.size(); ++i) {
+    new_chain.push_back(NodeId{static_cast<std::uint32_t>(req.params[i].as_int())});
+  }
+  config_seq_ = g + 1;
+  chain_ = new_chain;
+  buffered_forwards_.clear();
+  awaiting_snapshot_ = false;
+  recovered_.clear();
+  accepting_ = false;
+
+  if (!contains(chain_, self_)) {
+    state_ = state_ == State::kSpare ? State::kSpare : State::kDeposed;
+    return;
+  }
+  state_ = State::kElecting;
+  const sim::Time now = ctx.now();
+  for (NodeId member : chain_) last_heard_[member.value] = now;
+  const ElectBody elect{config_seq_, executed_order_};
+  for (NodeId member : chain_) {
+    if (member != self_) ctx.send(member, sim::make_msg(kChainElectHeader, elect, 40));
+  }
+  pending_elects_[config_seq_][self_.value] = executed_order_;
+  maybe_finish_election(ctx);
+}
+
+void ChainReplica::on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect) {
+  pending_elects_[elect.config][from.value] = elect.executed;
+  if (elect.config == config_seq_ && state_ == State::kElecting) maybe_finish_election(ctx);
+}
+
+void ChainReplica::maybe_finish_election(sim::Context& ctx) {
+  const auto& elects = pending_elects_[config_seq_];
+  for (NodeId member : chain_) {
+    if (elects.count(member.value) == 0) return;
+  }
+  // In a chain the most-advanced survivor is authoritative (updates flow
+  // head → tail, so prefixes only shrink down-chain). It brings the others
+  // up to date and the configured chain order then resumes.
+  NodeId source = chain_[0];
+  std::uint64_t best = elects.at(chain_[0].value);
+  for (NodeId member : chain_) {
+    const std::uint64_t seq = elects.at(member.value);
+    if (seq > best || (seq == best && member.value < source.value)) {
+      source = member;
+      best = seq;
+    }
+  }
+  if (source != self_) {
+    state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
+    if (state_ == State::kNormal) {
+      ctx.send(source, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    }
+    return;
+  }
+
+  state_ = State::kNormal;
+  next_order_ = executed_order_;
+  recovered_.clear();
+  std::size_t up_to_date = 0;
+  for (NodeId member : chain_) {
+    if (member == self_) continue;
+    const std::uint64_t seq = elects.at(member.value);
+    if (seq == executed_order_) {
+      recovered_.insert(member.value);
+      ++up_to_date;
+    } else {
+      send_state_to(ctx, member, seq);
+    }
+  }
+  accepting_ = recovered_.size() >= chain_.size() - 1;
+  (void)up_to_date;
+}
+
+void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t member_seq) {
+  const bool cache_covers =
+      !txn_cache_.empty() && txn_cache_.front().first <= member_seq + 1;
+  if (cache_covers || member_seq == executed_order_) {
+    CatchupBody body;
+    body.config = config_seq_;
+    std::size_t wire = 32;
+    for (const auto& [order, req] : txn_cache_) {
+      if (order > member_seq) {
+        body.txns.emplace_back(order, req);
+        wire += workload::request_wire_size(req);
+      }
+    }
+    ctx.send(member, sim::make_msg(kChainCatchupHeader, body, wire));
+    return;
+  }
+  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
+  ctx.charge(snap.serialize_cost_us);
+  SnapBeginBody begin;
+  begin.config = config_seq_;
+  begin.schemas = snap.schemas;
+  begin.order = executed_order_;
+  for (const auto& [client, entry] : executor_.dedup_table()) {
+    begin.dedup_seqs.emplace_back(client, entry.first);
+  }
+  ctx.send(member, sim::make_msg(kChainSnapBeginHeader, begin, 256));
+  for (const auto& batch : snap.batches) {
+    ctx.send(member, sim::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch},
+                                   batch.data.size() + 64));
+  }
+  ctx.send(member, sim::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}, 32));
+}
+
+// ----------------------------------------------------------- failure detection --
+
+void ChainReplica::on_heartbeat_tick(sim::Context& ctx) {
+  if (state_ == State::kNormal || state_ == State::kElecting ||
+      state_ == State::kRecovering) {
+    for (NodeId member : chain_) {
+      if (member != self_) ctx.send(member, sim::make_signal(kChainHbHeader));
+    }
+    const sim::Time now = ctx.now();
+    std::vector<NodeId> suspects;
+    for (NodeId member : chain_) {
+      if (member == self_) continue;
+      auto [it, first] = last_heard_.try_emplace(member.value, now);
+      (void)first;
+      if (now - it->second >= config_.suspect_timeout) {
+        const std::uint64_t key = (config_seq_ << 32) | member.value;
+        if (proposed_.insert(key).second) suspects.push_back(member);
+      }
+    }
+    if (!suspects.empty()) suspect_and_propose(ctx, suspects);
+  }
+  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+}
+
+void ChainReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects) {
+  accepting_ = false;
+  // Splice the suspects out of the chain and append spares at the tail (the
+  // canonical chain-replication repair).
+  std::vector<NodeId> proposal;
+  for (NodeId member : chain_) {
+    if (!contains(suspects, member)) proposal.push_back(member);
+  }
+  for (NodeId spare : spares_) {
+    if (proposal.size() >= chain_size_target_) break;
+    if (!contains(proposal, spare) && !contains(suspects, spare)) proposal.push_back(spare);
+  }
+  if (proposal.empty()) return;
+
+  workload::TxnRequest req;
+  req.client = reconfig_client_id_;
+  req.seq = ++reconfig_seq_;
+  req.reply_to = self_;
+  req.proc = kChainReconfigProc;
+  req.params = {db::Value(static_cast<std::int64_t>(config_seq_)),
+                db::Value(static_cast<std::int64_t>(self_.value))};
+  for (NodeId member : proposal) {
+    req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
+  }
+  tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
+  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 160));
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,148 @@
+// Chain replication on the total order broadcast service (extension).
+//
+// Sec. III of the paper lists chain replication [23] among the protocols the
+// formally-modeled broadcast service enables, alongside primary-backup and
+// state machine replication; this module implements it, reusing the same
+// recovery pattern as PBR (suspicion → TOB-agreed reconfiguration →
+// election by longest log → catch-up/snapshot → resume).
+//
+// Normal case (van Renesse & Schneider):
+//   * update transactions enter at the HEAD, execute, and flow down the
+//     chain over FIFO links; every replica executes in the same order; the
+//     TAIL answers the client — so an answered update is in *every* replica
+//     (stronger than PBR's ack-collection, with no ack traffic at all);
+//   * read-only transactions are answered by the TAIL alone, which is safe
+//     precisely because the tail only knows updates the whole chain has.
+//
+// A replica that receives a transaction out of place redirects the client
+// (writes → head, reads → tail).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/replica_common.hpp"
+#include "tob/tob.hpp"
+
+namespace shadow::core {
+
+inline constexpr const char* kChainReconfigProc = "::chain-reconfig";
+inline constexpr const char* kChainFwdHeader = "chain-fwd";
+inline constexpr const char* kChainElectHeader = "chain-elect";
+inline constexpr const char* kChainCatchupHeader = "chain-catchup";
+inline constexpr const char* kChainSnapBeginHeader = "chain-snap-begin";
+inline constexpr const char* kChainSnapBatchHeader = "chain-snap-batch";
+inline constexpr const char* kChainSnapDoneHeader = "chain-snap-done";
+inline constexpr const char* kChainRecoveredHeader = "chain-recovered";
+inline constexpr const char* kChainHbHeader = "chain-hb";
+inline constexpr const char* kChainDeliverHeader = "chain-deliver";
+// Redirects reuse the PBR redirect message (DbClient already follows it);
+// `primary` carries the head for writes or the tail for reads.
+
+struct ChainConfig {
+  sim::Time hb_period = 1000000;
+  sim::Time suspect_timeout = 10000000;
+  std::size_t txn_cache_max = 20000;
+  std::size_t snapshot_batch_bytes = 50 * 1024;
+  bool enable_failure_detection = true;
+  /// Procedures the tail may answer alone (read-only).
+  std::set<std::string> read_only_procs;
+};
+
+class ChainReplica {
+ public:
+  ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+               std::shared_ptr<db::Engine> engine,
+               std::shared_ptr<const workload::ProcedureRegistry> registry,
+               std::vector<NodeId> chain,  // head first, tail last
+               std::vector<NodeId> spares, ChainConfig config = {},
+               ServerCosts costs = {});
+
+  NodeId node() const { return self_; }
+  bool is_head() const { return state_ == State::kNormal && !chain_.empty() && chain_.front() == self_; }
+  bool is_tail() const { return state_ == State::kNormal && !chain_.empty() && chain_.back() == self_; }
+  ConfigSeq config_seq() const { return config_seq_; }
+  const std::vector<NodeId>& chain() const { return chain_; }
+  std::uint64_t executed_order() const { return executed_order_; }
+  std::uint64_t state_digest() const { return executor_.engine().state_digest(); }
+  std::uint64_t executed() const { return executor_.executed_count(); }
+  db::Engine& engine() { return executor_.engine(); }
+
+  void make_spare() { state_ = State::kSpare; }
+
+ private:
+  enum class State : std::uint8_t { kNormal, kElecting, kRecovering, kSpare, kDeposed };
+
+  struct ForwardBody {
+    ConfigSeq config = 0;
+    std::uint64_t order = 0;
+    workload::TxnRequest request;
+  };
+  struct ElectBody {
+    ConfigSeq config = 0;
+    std::uint64_t executed = 0;
+  };
+  struct CatchupBody {
+    ConfigSeq config = 0;
+    std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
+  };
+  struct SnapBeginBody {
+    ConfigSeq config = 0;
+    std::vector<db::TableSchema> schemas;
+    std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
+    std::uint64_t order = 0;
+  };
+  struct SnapBatchBody {
+    db::Engine::SnapshotBatch batch;
+  };
+  struct SnapDoneBody {
+    ConfigSeq config = 0;
+  };
+
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_deliver(sim::Context& ctx, const tob::Command& cmd);
+  void on_client_request(sim::Context& ctx, const workload::TxnRequest& req);
+  void on_forward(sim::Context& ctx, const ForwardBody& fwd);
+  void on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect);
+  void maybe_finish_election(sim::Context& ctx);
+  void send_state_to(sim::Context& ctx, NodeId member, std::uint64_t member_seq);
+  void on_heartbeat_tick(sim::Context& ctx);
+  void suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects);
+  void execute_and_cache(sim::Context& ctx, std::uint64_t order,
+                         const workload::TxnRequest& req, bool answer_client);
+  void forward_down(sim::Context& ctx, std::uint64_t order, const workload::TxnRequest& req);
+  void apply_buffered(sim::Context& ctx);
+  std::optional<NodeId> successor() const;
+
+  sim::World& world_;
+  NodeId self_;
+  tob::TobNode& tob_;
+  TxnExecutor executor_;
+  ChainConfig config_;
+
+  State state_ = State::kNormal;
+  ConfigSeq config_seq_ = 0;
+  std::vector<NodeId> chain_;
+  std::vector<NodeId> spares_;
+  std::size_t chain_size_target_ = 0;
+  std::uint64_t executed_order_ = 0;
+  std::uint64_t next_order_ = 0;  // head only
+
+  std::deque<std::pair<std::uint64_t, workload::TxnRequest>> txn_cache_;
+  std::map<ConfigSeq, std::map<std::uint32_t, std::uint64_t>> pending_elects_;
+  std::deque<ForwardBody> buffered_forwards_;
+  bool awaiting_snapshot_ = false;
+  std::uint64_t pending_snapshot_order_ = 0;
+  std::set<std::uint32_t> recovered_;
+  bool accepting_ = true;
+
+  std::map<std::uint32_t, sim::Time> last_heard_;
+  std::set<std::uint64_t> proposed_;
+  ClientId reconfig_client_id_;
+  RequestSeq reconfig_seq_ = 0;
+};
+
+}  // namespace shadow::core

@@ -1,0 +1,125 @@
+#include "core/client.hpp"
+
+#include "core/pbr.hpp"
+
+namespace shadow::core {
+
+DbClient::DbClient(sim::World& world, NodeId self, ClientId id, Options options,
+                   NextTxnFn next_txn)
+    : world_(world),
+      self_(self),
+      id_(id),
+      options_(std::move(options)),
+      next_txn_(std::move(next_txn)) {
+  SHADOW_REQUIRE(!options_.targets.empty());
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+}
+
+void DbClient::start(sim::Time initial_delay) {
+  world_.schedule_timer_for_node(self_, world_.now() + initial_delay,
+                                 [this](sim::Context& ctx) { submit_next(ctx); });
+}
+
+void DbClient::submit_next(sim::Context& ctx) {
+  if (submitted_ >= options_.txn_limit) {
+    done_ = true;
+    return;
+  }
+  ++submitted_;
+  auto [proc, params] = next_txn_();
+  workload::TxnRequest req;
+  req.client = id_;
+  req.seq = ++seq_;
+  req.reply_to = self_;
+  req.proc = std::move(proc);
+  req.params = std::move(params);
+  in_flight_ = std::move(req);
+  sent_at_ = ctx.now();
+  send_current(ctx);
+}
+
+void DbClient::send_current(sim::Context& ctx) {
+  SHADOW_CHECK(in_flight_.has_value());
+  ctx.charge(options_.client_cpu_us);
+  const NodeId target = options_.targets[target_idx_ % options_.targets.size()];
+  if (options_.mode == Mode::kDirect) {
+    ctx.send(target, workload::make_request_msg(*in_flight_));
+  } else {
+    tob::BroadcastBody body{
+        tob::Command{id_, in_flight_->seq, workload::encode_request(*in_flight_)}};
+    ctx.send(target, sim::make_msg(tob::kBroadcastHeader, body,
+                                   32 + workload::request_wire_size(*in_flight_)));
+  }
+  timeout_timer_ = ctx.set_timer(options_.retry_timeout,
+                                 [this](sim::Context& c) { on_timeout(c); });
+}
+
+void DbClient::on_timeout(sim::Context& ctx) {
+  if (!in_flight_ || done_) return;
+  ++retries_;
+  ++target_idx_;  // rotate: the old target may have crashed
+  send_current(ctx);
+}
+
+void DbClient::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.header == workload::kTxnResponseHeader) {
+    const auto& resp = sim::msg_body<workload::TxnResponse>(msg);
+    if (!in_flight_ || resp.seq != in_flight_->seq) return;  // late duplicate
+    finish_current(ctx, resp);
+    return;
+  }
+  if (msg.header == kPbrRedirectHeader) {
+    if (!in_flight_) return;
+    const auto& body = sim::msg_body<RedirectBody>(msg);
+    ctx.cancel_timer(timeout_timer_);
+    const bool unknown_primary = body.primary.value == UINT32_MAX;
+    if (!body.busy && !unknown_primary) {
+      // Point directly at the new primary and resend immediately.
+      for (std::size_t i = 0; i < options_.targets.size(); ++i) {
+        if (options_.targets[i] == body.primary) target_idx_ = i;
+      }
+      if (options_.targets[target_idx_ % options_.targets.size()] != body.primary) {
+        options_.targets.push_back(body.primary);
+        target_idx_ = options_.targets.size() - 1;
+      }
+      consecutive_busy_ = 0;
+      ++retries_;
+      send_current(ctx);
+    } else {
+      // Recovery in progress (or the primary is not known yet): back off,
+      // then retry the same request. A node that stays "busy" for long may
+      // itself be out of the configuration — rotate away from it.
+      if (++consecutive_busy_ >= 8) {
+        consecutive_busy_ = 0;
+        ++target_idx_;
+      }
+      ctx.set_timer(options_.busy_backoff, [this](sim::Context& c) {
+        if (in_flight_ && !done_) {
+          ++retries_;
+          send_current(c);
+        }
+      });
+    }
+    return;
+  }
+  // tob-ack and other service chatter is not the transaction answer.
+}
+
+void DbClient::finish_current(sim::Context& ctx, const workload::TxnResponse& resp) {
+  consecutive_busy_ = 0;
+  ctx.cancel_timer(timeout_timer_);
+  ctx.charge(options_.client_cpu_us);
+  latencies_.add(ctx.now() - sent_at_);
+  if (resp.committed) {
+    ++committed_;
+    if (commit_hook_) commit_hook_(ctx.now());
+  } else {
+    ++aborted_;
+  }
+  in_flight_.reset();
+  submit_next(ctx);
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,85 @@
+// The ShadowDB client library.
+//
+// Closed-loop client: submits one transaction at a time (type + parameters),
+// waits for the answer, and retries on timeout — "In case of failures,
+// clients may timeout and resend transactions to the replicas"; replicas
+// deduplicate by (client, seq). Two submission modes:
+//
+//   kDirect — send the request to a server node (PBR primary, standalone or
+//             baseline servers). Handles pbr-redirect responses (new primary
+//             after a reconfiguration, or busy during recovery).
+//   kTob    — broadcast the request through the total order broadcast
+//             service (SMR); the client "waits to receive the first answer".
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "tob/tob.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::core {
+
+class DbClient {
+ public:
+  enum class Mode : std::uint8_t { kDirect, kTob };
+
+  struct Options {
+    Mode mode = Mode::kDirect;
+    std::vector<NodeId> targets;        // servers (direct) or TOB nodes (tob)
+    sim::Time retry_timeout = 2000000;  // 2 s resend timeout
+    sim::Time busy_backoff = 100000;    // retry delay on a busy redirect
+    std::size_t txn_limit = 1000;       // closed-loop transaction count
+    std::uint64_t client_cpu_us = 4;    // per send/receive on the client machine
+  };
+
+  /// Supplies the next transaction (procedure name + parameters).
+  using NextTxnFn = std::function<std::pair<std::string, workload::Params>()>;
+  /// Optional per-commit hook (virtual completion time) for timelines.
+  using CommitHook = std::function<void(sim::Time)>;
+
+  DbClient(sim::World& world, NodeId self, ClientId id, Options options, NextTxnFn next_txn);
+
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Begins the closed loop (schedules the first submission).
+  void start(sim::Time initial_delay = 0);
+
+  bool done() const { return done_; }
+  const LatencyStats& latencies() const { return latencies_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t aborted() const { return aborted_; }
+  std::uint64_t retries() const { return retries_; }
+  ClientId id() const { return id_; }
+
+ private:
+  void submit_next(sim::Context& ctx);
+  void send_current(sim::Context& ctx);
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_timeout(sim::Context& ctx);
+  void finish_current(sim::Context& ctx, const workload::TxnResponse& resp);
+
+  sim::World& world_;
+  NodeId self_;
+  ClientId id_;
+  Options options_;
+  NextTxnFn next_txn_;
+  CommitHook commit_hook_;
+
+  RequestSeq seq_ = 0;
+  std::optional<workload::TxnRequest> in_flight_;
+  sim::Time sent_at_ = 0;
+  std::size_t target_idx_ = 0;
+  sim::TimerId timeout_timer_ = 0;
+  std::size_t consecutive_busy_ = 0;
+  bool done_ = false;
+
+  LatencyStats latencies_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t retries_ = 0;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace shadow::core

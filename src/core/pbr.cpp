@@ -1,0 +1,430 @@
+#include "core/pbr.hpp"
+
+#include <algorithm>
+
+namespace shadow::core {
+
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+constexpr std::uint64_t kAckCost = 18;      // µs to process one ack
+constexpr std::uint64_t kForwardCost = 34;  // µs to marshal one forward
+
+}  // namespace
+
+PbrReplica::PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+                       std::shared_ptr<db::Engine> engine,
+                       std::shared_ptr<const workload::ProcedureRegistry> registry,
+                       std::vector<NodeId> initial_group, std::vector<NodeId> spares,
+                       PbrConfig config, ServerCosts costs)
+    : world_(world),
+      self_(self),
+      tob_(tob),
+      executor_(std::move(engine), std::move(registry), costs),
+      config_(config),
+      costs_(costs),
+      members_(std::move(initial_group)),
+      spares_(std::move(spares)) {
+  SHADOW_REQUIRE(!members_.empty());
+  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+                     "PBR replicas are co-located with their broadcast service node");
+  primary_ = members_[0];
+  group_size_target_ = members_.size();
+  reconfig_client_id_ = ClientId{0x50000000u + self_.value};
+  if (!contains(members_, self_)) state_ = State::kSpare;
+  for (NodeId b : members_) {
+    if (b != self_) recovered_backups_.insert(b.value);
+  }
+
+  // Hand TOB deliveries to the replica process through a loopback message so
+  // the replica acts under its own identity (and stops acting when crashed).
+  tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
+    ctx.send(self_, sim::make_msg(kPbrDeliverHeader, cmd, 48 + cmd.payload.size()));
+  });
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+  if (config_.enable_failure_detection) {
+    world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
+                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+  }
+}
+
+// --------------------------------------------------------------- messages --
+
+void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+  // Any traffic from a configuration member counts as a liveness signal.
+  last_heard_[msg.from.value] = ctx.now();
+
+  if (msg.header == kPbrDeliverHeader) {
+    on_deliver(ctx, sim::msg_body<tob::Command>(msg));
+    return;
+  }
+  if (msg.header == workload::kTxnRequestHeader) {
+    on_client_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    return;
+  }
+  if (msg.header == kPbrForwardHeader) {
+    on_forward(ctx, sim::msg_body<ForwardBody>(msg));
+    return;
+  }
+  if (msg.header == kPbrAckHeader) {
+    on_ack(ctx, msg.from, sim::msg_body<AckBody>(msg));
+    return;
+  }
+  if (msg.header == kPbrElectHeader) {
+    on_elect(ctx, msg.from, sim::msg_body<ElectBody>(msg));
+    return;
+  }
+  if (msg.header == kPbrHbHeader) {
+    return;  // the blanket last_heard_ update above is all a heartbeat does
+  }
+  if (msg.header == kPbrCatchupHeader) {
+    const auto& body = sim::msg_body<CatchupBody>(msg);
+    if (body.config != config_seq_) return;
+    for (const auto& [order, req] : body.txns) {
+      if (order != executed_order_ + 1) continue;  // already have it
+      execute_and_cache(ctx, order, req, /*send_response=*/false);
+    }
+    state_ = State::kNormal;
+    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    apply_buffered_forwards(ctx);
+    return;
+  }
+  if (msg.header == kPbrSnapBeginHeader) {
+    const auto& body = sim::msg_body<SnapBeginBody>(msg);
+    if (body.config != config_seq_) return;
+    executor_.engine().reset_for_restore(body.schemas);
+    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
+    for (const auto& [client, seq] : body.dedup_seqs) {
+      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
+    }
+    executor_.install_dedup_table(std::move(dedup));
+    // The snapshot's order is claimed only once the full snapshot applied:
+    // a partially-restored replica must not present itself as up to date in
+    // a later election (a crash of the sender mid-stream would otherwise
+    // let garbage state win).
+    pending_snapshot_order_ = body.order;
+    awaiting_snapshot_ = true;
+    return;
+  }
+  if (msg.header == kPbrSnapBatchHeader) {
+    if (!awaiting_snapshot_) return;
+    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    ctx.charge(executor_.engine().restore_batch(body.batch));
+    return;
+  }
+  if (msg.header == kPbrSnapDoneHeader) {
+    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    if (body.config != config_seq_ || !awaiting_snapshot_) return;
+    awaiting_snapshot_ = false;
+    executed_order_ = pending_snapshot_order_;
+    next_order_ = std::max(next_order_, executed_order_);
+    state_ = State::kNormal;
+    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    apply_buffered_forwards(ctx);
+    return;
+  }
+  if (msg.header == kPbrRecoveredHeader) {
+    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    if (body.config != config_seq_) return;
+    backup_recovered(ctx, msg.from);
+    return;
+  }
+}
+
+// ------------------------------------------------------------- normal case --
+
+void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest& req) {
+  // A deposed replica (or a spare) is not part of the configuration at all:
+  // point the client at the new membership rather than asking it to wait.
+  if (!contains(members_, self_) && !members_.empty()) {
+    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+                                         RedirectBody{members_.front(), config_seq_, false},
+                                         40));
+    return;
+  }
+  if (state_ != State::kNormal || primary_ != self_ || stopped_) {
+    redirect(ctx, req.reply_to, /*busy=*/primary_ == self_ || stopped_);
+    return;
+  }
+  if (!accepting()) {
+    redirect(ctx, req.reply_to, /*busy=*/true);
+    return;
+  }
+
+  // (ii) upon first reception, execute and commit; duplicates are no-ops
+  // answered from the dedup table.
+  const TxnExecutor::Execution exec = executor_.execute(req);
+  ctx.charge(exec.cost_us);
+  if (exec.duplicate) {
+    ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+    return;
+  }
+  const std::uint64_t order = ++next_order_;
+  executed_order_ = order;
+  txn_cache_.emplace_back(order, req);
+  if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
+
+  // (iii) forward to every backup, recovered or still recovering (the
+  // latter buffer); (iv) wait for acks from recovered backups only.
+  Outstanding out;
+  out.request = req;
+  out.response = exec.response;
+  out.waiting = recovered_backups_;
+  const ForwardBody fwd{config_seq_, order, req};
+  const std::size_t wire = 48 + workload::request_wire_size(req);
+  for (NodeId member : members_) {
+    if (member == self_) continue;
+    ctx.charge(kForwardCost);
+    ctx.send(member, sim::make_msg(kPbrForwardHeader, fwd, wire));
+  }
+  if (out.waiting.empty()) {
+    ctx.send(req.reply_to, workload::make_response_msg(out.response));
+    ++responses_sent_;
+    return;
+  }
+  outstanding_.emplace(order, std::move(out));
+}
+
+void PbrReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
+  if (fwd.config != config_seq_ || stopped_) return;  // stale configuration
+  if (state_ == State::kRecovering) {
+    buffered_forwards_.push_back(fwd);
+    return;
+  }
+  if (state_ != State::kNormal || primary_ == self_) return;
+  if (fwd.order != executed_order_ + 1) return;  // duplicate (FIFO channels)
+  execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
+  ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}, 40));
+}
+
+void PbrReplica::on_ack(sim::Context& ctx, NodeId from, const AckBody& ack) {
+  if (ack.config != config_seq_) return;
+  ctx.charge(kAckCost);
+  auto it = outstanding_.find(ack.order);
+  if (it == outstanding_.end()) return;
+  it->second.waiting.erase(from.value);
+  if (it->second.waiting.empty()) {
+    // (iv) all recovered backups acknowledged: notify the client.
+    ctx.send(it->second.request.reply_to, workload::make_response_msg(it->second.response));
+    ++responses_sent_;
+    outstanding_.erase(it);
+  }
+}
+
+void PbrReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
+                                   const workload::TxnRequest& req, bool send_response) {
+  const TxnExecutor::Execution exec = executor_.execute(req);
+  ctx.charge(exec.cost_us);
+  executed_order_ = order;
+  next_order_ = std::max(next_order_, order);
+  txn_cache_.emplace_back(order, req);
+  if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
+  if (send_response) ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+}
+
+void PbrReplica::apply_buffered_forwards(sim::Context& ctx) {
+  while (!buffered_forwards_.empty()) {
+    const ForwardBody fwd = buffered_forwards_.front();
+    buffered_forwards_.pop_front();
+    if (fwd.config != config_seq_) continue;
+    if (fwd.order != executed_order_ + 1) continue;
+    execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
+    ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}, 40));
+  }
+}
+
+void PbrReplica::redirect(sim::Context& ctx, NodeId to, bool busy) {
+  // An unknown primary (mid-election) is a "try again later", not a target.
+  if (primary_.value == UINT32_MAX) busy = true;
+  ctx.send(to, sim::make_msg(kPbrRedirectHeader, RedirectBody{primary_, config_seq_, busy}, 40));
+}
+
+// ---------------------------------------------------------------- recovery --
+
+void PbrReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
+  const workload::TxnRequest req = workload::decode_request(cmd.payload);
+  if (req.proc != kPbrReconfigProc) return;
+  SHADOW_CHECK(req.params.size() >= 3);
+  const auto g = static_cast<ConfigSeq>(req.params[0].as_int());
+  if (g != config_seq_) return;  // only the first proposal counts (step 3)
+
+  std::vector<NodeId> new_members;
+  for (std::size_t i = 2; i < req.params.size(); ++i) {
+    new_members.push_back(NodeId{static_cast<std::uint32_t>(req.params[i].as_int())});
+  }
+  config_seq_ = g + 1;
+  members_ = new_members;
+  outstanding_.clear();
+  recovered_backups_.clear();
+  buffered_forwards_.clear();
+  awaiting_snapshot_ = false;
+  stopped_ = false;
+  primary_ = NodeId{UINT32_MAX};
+
+  if (!contains(members_, self_)) {
+    state_ = state_ == State::kSpare ? State::kSpare : State::kDeposed;
+    return;
+  }
+  state_ = State::kElecting;
+  const sim::Time now = ctx.now();
+  for (NodeId member : members_) last_heard_[member.value] = now;
+
+  // Step 3: send (g+1, seq_r) to all members of the new configuration.
+  const ElectBody elect{config_seq_, executed_order_};
+  for (NodeId member : members_) {
+    if (member != self_) ctx.send(member, sim::make_msg(kPbrElectHeader, elect, 40));
+  }
+  pending_elects_[config_seq_][self_.value] = executed_order_;
+  maybe_finish_election(ctx);
+}
+
+void PbrReplica::on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect) {
+  pending_elects_[elect.config][from.value] = elect.executed;
+  if (elect.config == config_seq_ && state_ == State::kElecting) maybe_finish_election(ctx);
+}
+
+void PbrReplica::maybe_finish_election(sim::Context& ctx) {
+  const auto& elects = pending_elects_[config_seq_];
+  for (NodeId member : members_) {
+    if (elects.count(member.value) == 0) return;  // step 4: wait for all
+  }
+  // Largest sequence number wins; ties go to the smallest identifier.
+  NodeId leader = members_[0];
+  std::uint64_t best = elects.at(members_[0].value);
+  for (NodeId member : members_) {
+    const std::uint64_t seq = elects.at(member.value);
+    if (seq > best || (seq == best && member.value < leader.value)) {
+      leader = member;
+      best = seq;
+    }
+  }
+  primary_ = leader;
+
+  if (primary_ != self_) {
+    // Step 5/6 happen when the primary's catch-up or snapshot arrives; until
+    // then we are recovering (we might already be fully up to date — the
+    // primary sends an empty catch-up in that case).
+    state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
+    if (state_ == State::kNormal) {
+      ctx.send(primary_, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    }
+    return;
+  }
+
+  // We are the new primary.
+  state_ = State::kNormal;
+  next_order_ = executed_order_;
+  for (NodeId member : members_) {
+    if (member == self_) continue;
+    const std::uint64_t seq = elects.at(member.value);
+    if (seq == executed_order_) {
+      recovered_backups_.insert(member.value);
+    } else {
+      send_state_to(ctx, member, seq);
+    }
+  }
+}
+
+void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t backup_seq) {
+  // Step 5: catch-up from the bounded cache where possible, else snapshot.
+  const bool cache_covers =
+      !txn_cache_.empty() && txn_cache_.front().first <= backup_seq + 1;
+  if (cache_covers || backup_seq == executed_order_) {
+    CatchupBody body;
+    body.config = config_seq_;
+    std::size_t wire = 32;
+    for (const auto& [order, req] : txn_cache_) {
+      if (order > backup_seq) {
+        body.txns.emplace_back(order, req);
+        wire += workload::request_wire_size(req);
+      }
+    }
+    ctx.send(backup, sim::make_msg(kPbrCatchupHeader, body, wire));
+    return;
+  }
+
+  // Snapshot path: serialize here (cost charged on this machine), stream
+  // ~50 KB batches; the backup pays the insertion cost per batch.
+  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
+  ctx.charge(snap.serialize_cost_us);
+  SnapBeginBody begin;
+  begin.config = config_seq_;
+  begin.schemas = snap.schemas;
+  begin.order = executed_order_;
+  for (const auto& [client, entry] : executor_.dedup_table()) {
+    begin.dedup_seqs.emplace_back(client, entry.first);
+  }
+  ctx.send(backup, sim::make_msg(kPbrSnapBeginHeader, begin, 256));
+  for (const auto& batch : snap.batches) {
+    ctx.send(backup,
+             sim::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}, batch.data.size() + 64));
+  }
+  ctx.send(backup, sim::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}, 32));
+}
+
+void PbrReplica::backup_recovered(sim::Context& ctx, NodeId backup) {
+  (void)ctx;
+  if (!contains(members_, backup) || primary_ != self_) return;
+  recovered_backups_.insert(backup.value);
+}
+
+// --------------------------------------------------------- failure detection --
+
+void PbrReplica::on_heartbeat_tick(sim::Context& ctx) {
+  if (state_ == State::kNormal || state_ == State::kElecting ||
+      state_ == State::kRecovering) {
+    for (NodeId member : members_) {
+      if (member != self_) ctx.send(member, sim::make_signal(kPbrHbHeader));
+    }
+    const sim::Time now = ctx.now();
+    std::vector<NodeId> suspects;
+    for (NodeId member : members_) {
+      if (member == self_) continue;
+      auto [it, first] = last_heard_.try_emplace(member.value, now);
+      (void)first;
+      if (now - it->second >= config_.suspect_timeout) {
+        const std::uint64_t key = (config_seq_ << 32) | member.value;
+        if (proposed_.insert(key).second) suspects.push_back(member);
+      }
+    }
+    if (!suspects.empty()) suspect_and_propose(ctx, suspects);
+  }
+  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+}
+
+void PbrReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects) {
+  // Step 1: stop executing in the current configuration.
+  stopped_ = true;
+  outstanding_.clear();
+
+  // Step 2: propose the new configuration via the total order broadcast.
+  std::vector<NodeId> proposal;
+  for (NodeId member : members_) {
+    if (!contains(suspects, member)) proposal.push_back(member);
+  }
+  for (NodeId spare : spares_) {
+    if (proposal.size() >= group_size_target_) break;
+    if (!contains(proposal, spare) && !contains(suspects, spare)) proposal.push_back(spare);
+  }
+  if (proposal.empty()) return;  // nobody left to run the system
+
+  workload::TxnRequest req;
+  req.client = reconfig_client_id_;
+  req.seq = ++reconfig_seq_;
+  req.reply_to = self_;
+  req.proc = kPbrReconfigProc;
+  req.params = {db::Value(static_cast<std::int64_t>(config_seq_)),
+                db::Value(static_cast<std::int64_t>(self_.value))};
+  for (NodeId member : proposal) {
+    req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
+  }
+  tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
+  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 160));
+}
+
+}  // namespace shadow::core

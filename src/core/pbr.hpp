@@ -1,0 +1,203 @@
+// ShadowDB — primary-backup replication (Sec. III-A).
+//
+// Normal case (hand-written, as in the paper): the client sends T to the
+// primary; on first reception the primary executes and commits T and
+// forwards it to the backups; backups execute, commit and acknowledge; the
+// primary answers the client once every (recovered) backup acknowledged.
+// Execution is sequential at every replica. Transactions are tagged with the
+// configuration sequence number; backups only accept matching tags.
+//
+// Recovery (driven by the formally-generated TOB service) follows the
+// paper's seven steps:
+//   1. a suspecting replica stops executing in the current configuration;
+//   2. it broadcasts a proposal (current seq g + new member list) via TOB;
+//   3. on delivery, replicas adopt g+1 iff the proposal's g matches, and
+//      send (g+1, seq_r) to all members of the new configuration;
+//   4. everyone waits for all members: the primary is the replica with the
+//      largest executed sequence number (ties → smallest id);
+//   5. the new primary sends missing transactions from its bounded cache,
+//      or a full snapshot when the cache does not reach far enough;
+//   6. each backup acknowledges recovery;
+//   7. the primary resumes once all backups recovered — or, with the
+//      overlap optimization, once at least one backup is up to date, while
+//      the remaining snapshots stream in the background and the recovering
+//      replicas buffer forwarded transactions.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/replica_common.hpp"
+#include "tob/tob.hpp"
+
+namespace shadow::core {
+
+inline constexpr const char* kPbrReconfigProc = "::pbr-reconfig";
+inline constexpr const char* kPbrForwardHeader = "pbr-fwd";
+inline constexpr const char* kPbrAckHeader = "pbr-ack";
+inline constexpr const char* kPbrElectHeader = "pbr-elect";
+inline constexpr const char* kPbrCatchupHeader = "pbr-catchup";
+inline constexpr const char* kPbrSnapBeginHeader = "pbr-snap-begin";
+inline constexpr const char* kPbrSnapBatchHeader = "pbr-snap-batch";
+inline constexpr const char* kPbrSnapDoneHeader = "pbr-snap-done";
+inline constexpr const char* kPbrRecoveredHeader = "pbr-recovered";
+inline constexpr const char* kPbrRedirectHeader = "pbr-redirect";
+inline constexpr const char* kPbrHbHeader = "pbr-hb";
+inline constexpr const char* kPbrDeliverHeader = "pbr-deliver";
+
+/// Redirect sent to clients that contact a non-primary (or a recovering
+/// primary): points at the current primary, if known.
+struct RedirectBody {
+  NodeId primary{};
+  ConfigSeq config = 0;
+  bool busy = false;  // true: retry the same node later
+};
+
+struct PbrConfig {
+  sim::Time hb_period = 1000000;         // 1 s
+  sim::Time suspect_timeout = 10000000;  // 10 s detection (Fig. 10(a) setting)
+  std::size_t txn_cache_max = 20000;     // bounded executed-transaction cache
+  std::size_t snapshot_batch_bytes = 50 * 1024;
+  bool overlap_state_transfer = true;
+  bool enable_failure_detection = true;
+};
+
+class PbrReplica {
+ public:
+  PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+             std::shared_ptr<db::Engine> engine,
+             std::shared_ptr<const workload::ProcedureRegistry> registry,
+             std::vector<NodeId> initial_group,  // [0] is the initial primary
+             std::vector<NodeId> spares, PbrConfig config = {}, ServerCosts costs = {});
+
+  NodeId node() const { return self_; }
+  bool is_primary() const { return state_ == State::kNormal && primary_ == self_; }
+  ConfigSeq config_seq() const { return config_seq_; }
+  const std::vector<NodeId>& members() const { return members_; }
+  std::uint64_t executed_order() const { return executed_order_; }
+  std::uint64_t state_digest() const { return executor_.engine().state_digest(); }
+  std::uint64_t executed() const { return executor_.executed_count(); }
+  db::Engine& engine() { return executor_.engine(); }
+
+  /// Marks this replica as a passive spare (watches reconfigurations only).
+  void make_spare() { state_ = State::kSpare; }
+
+ private:
+  enum class State : std::uint8_t {
+    kNormal,      // member of the active configuration
+    kElecting,    // proposal adopted, waiting for (g+1, seq) from all members
+    kRecovering,  // backup receiving catch-up/snapshot
+    kSpare,       // passive replacement candidate
+    kDeposed,     // removed from the configuration
+  };
+
+  struct ForwardBody {
+    ConfigSeq config = 0;
+    std::uint64_t order = 0;
+    workload::TxnRequest request;
+  };
+  struct AckBody {
+    ConfigSeq config = 0;
+    std::uint64_t order = 0;
+  };
+  struct ElectBody {
+    ConfigSeq config = 0;
+    std::uint64_t executed = 0;
+  };
+  struct CatchupBody {
+    ConfigSeq config = 0;
+    std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
+  };
+  struct SnapBeginBody {
+    ConfigSeq config = 0;
+    std::vector<db::TableSchema> schemas;
+    std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
+    std::uint64_t order = 0;  // executed-order the snapshot represents
+  };
+  struct SnapBatchBody {
+    db::Engine::SnapshotBatch batch;
+  };
+  struct SnapDoneBody {
+    ConfigSeq config = 0;
+  };
+
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_deliver(sim::Context& ctx, const tob::Command& cmd);
+  void on_client_request(sim::Context& ctx, const workload::TxnRequest& req);
+  void on_forward(sim::Context& ctx, const ForwardBody& fwd);
+  void on_ack(sim::Context& ctx, NodeId from, const AckBody& ack);
+  void on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect);
+  void on_heartbeat_tick(sim::Context& ctx);
+  void suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects);
+  void maybe_finish_election(sim::Context& ctx);
+  void start_backup_recovery(sim::Context& ctx);
+  void send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t backup_seq);
+  void backup_recovered(sim::Context& ctx, NodeId backup);
+  void execute_and_cache(sim::Context& ctx, std::uint64_t order,
+                         const workload::TxnRequest& req, bool send_response);
+  void apply_buffered_forwards(sim::Context& ctx);
+  void redirect(sim::Context& ctx, NodeId to, bool busy);
+
+  sim::World& world_;
+  NodeId self_;
+  tob::TobNode& tob_;
+  TxnExecutor executor_;
+  PbrConfig config_;
+  ServerCosts costs_;
+
+  State state_ = State::kNormal;
+  ConfigSeq config_seq_ = 0;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> spares_;
+  NodeId primary_{};
+  std::uint64_t executed_order_ = 0;  // last executed transaction order index
+  std::uint64_t next_order_ = 0;      // primary: next order index to assign
+
+  // Primary bookkeeping: outstanding transactions awaiting backup acks.
+  struct Outstanding {
+    workload::TxnRequest request;
+    workload::TxnResponse response;
+    std::set<std::uint32_t> waiting;  // backups that have not acked yet
+  };
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  std::set<std::uint32_t> recovered_backups_;  // acks required only from these
+
+  // Bounded cache of executed transactions, for catch-up (step 5).
+  std::deque<std::pair<std::uint64_t, workload::TxnRequest>> txn_cache_;
+
+  // Election state.
+  std::map<ConfigSeq, std::map<std::uint32_t, std::uint64_t>> pending_elects_;
+
+  // Backup recovery state.
+  std::deque<ForwardBody> buffered_forwards_;
+  bool awaiting_snapshot_ = false;
+  std::uint64_t pending_snapshot_order_ = 0;
+
+  // Failure detection.
+  std::map<std::uint32_t, sim::Time> last_heard_;
+  ClientId reconfig_client_id_;
+  RequestSeq reconfig_seq_ = 0;
+  std::set<std::uint64_t> proposed_;  // (config, suspect) pairs already proposed
+  bool stopped_ = false;              // step 1: configuration stopped
+  std::size_t group_size_target_ = 0;
+
+  std::uint64_t responses_sent_ = 0;
+
+  /// Step 7 / overlap optimization: the primary accepts new transactions
+  /// once every backup recovered, or — with overlap enabled and at least
+  /// three members — once one backup is up to date.
+  bool accepting() const {
+    if (members_.size() <= 1) return true;
+    const std::size_t backups = members_.size() - 1;
+    if (config_.overlap_state_transfer && members_.size() >= 3) {
+      return !recovered_backups_.empty();
+    }
+    return recovered_backups_.size() >= backups;
+  }
+};
+
+}  // namespace shadow::core

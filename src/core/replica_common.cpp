@@ -1,0 +1,38 @@
+#include "core/replica_common.hpp"
+
+namespace shadow::core {
+
+TxnExecutor::TxnExecutor(std::shared_ptr<db::Engine> engine,
+                         std::shared_ptr<const workload::ProcedureRegistry> registry,
+                         ServerCosts costs)
+    : engine_(std::move(engine)), registry_(std::move(registry)), costs_(costs) {
+  SHADOW_REQUIRE(engine_ != nullptr && registry_ != nullptr);
+}
+
+TxnExecutor::Execution TxnExecutor::execute(const workload::TxnRequest& req) {
+  Execution exec;
+  auto it = last_by_client_.find(req.client.value);
+  if (it != last_by_client_.end() && req.seq <= it->second.first) {
+    // Duplicate (client retry): a no-op that replays the recorded answer.
+    exec.duplicate = true;
+    exec.response = it->second.second;
+    exec.response.seq = req.seq;
+    exec.cost_us = costs_.per_txn_us / 4;
+    return exec;
+  }
+
+  const workload::TxnOutcome outcome =
+      workload::run_procedure(*engine_, registry_->get(req.proc), req.params);
+  ++executed_;
+
+  exec.response.client = req.client;
+  exec.response.seq = req.seq;
+  exec.response.committed = outcome.committed;
+  exec.response.rows = outcome.rows;
+  exec.response.error = outcome.error;
+  exec.cost_us = costs_.per_txn_us + outcome.cost_us + costs_.per_stmt_us * outcome.statements;
+  last_by_client_[req.client.value] = {req.seq, exec.response};
+  return exec;
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,72 @@
+// Machinery shared by both ShadowDB replication protocols: transaction
+// execution against the local engine, at-most-once bookkeeping, and the
+// server-side cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "db/engine.hpp"
+#include "workload/messages.hpp"
+#include "workload/procedures.hpp"
+
+namespace shadow::core {
+
+/// Server-side virtual CPU costs beyond the engine's own (request decode,
+/// dispatch, reply marshalling). Replicas execute transactions in-process
+/// ("in the same JVM as the database"), so per-statement dispatch is cheap.
+struct ServerCosts {
+  std::uint64_t per_txn_us = 80;
+  // In-process JDBC still pays per-statement dispatch (prepared-statement
+  // lookup, parameter binding, result marshalling).
+  std::uint64_t per_stmt_us = 14;
+};
+
+/// Executes transactions exactly once. "Each replica has to keep track of
+/// which transactions have been performed already, treating duplicates as
+/// no-ops... by recording the sequence number of the last transaction
+/// submitted by each client."
+class TxnExecutor {
+ public:
+  TxnExecutor(std::shared_ptr<db::Engine> engine,
+              std::shared_ptr<const workload::ProcedureRegistry> registry,
+              ServerCosts costs = {});
+
+  /// Executes (or deduplicates) the request. Returns the response and the
+  /// virtual CPU cost the caller must charge.
+  struct Execution {
+    workload::TxnResponse response;
+    std::uint64_t cost_us = 0;
+    bool duplicate = false;
+  };
+  Execution execute(const workload::TxnRequest& req);
+
+  /// Number of distinct transactions executed (not deduplicated).
+  std::uint64_t executed_count() const { return executed_; }
+
+  db::Engine& engine() { return *engine_; }
+  const db::Engine& engine() const { return *engine_; }
+  std::shared_ptr<db::Engine> engine_ptr() const { return engine_; }
+
+  /// The dedup table travels with state transfer so a restored replica
+  /// keeps treating old duplicates as no-ops.
+  const std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>>&
+  dedup_table() const {
+    return last_by_client_;
+  }
+  void install_dedup_table(
+      std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> table) {
+    last_by_client_ = std::move(table);
+  }
+
+ private:
+  std::shared_ptr<db::Engine> engine_;
+  std::shared_ptr<const workload::ProcedureRegistry> registry_;
+  ServerCosts costs_;
+  std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> last_by_client_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace shadow::core

@@ -1,0 +1,129 @@
+#include "core/shadowdb.hpp"
+
+namespace shadow::core {
+
+db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index) {
+  if (!options.engines.empty()) return options.engines[index % options.engines.size()];
+  // The paper's diversity deployment: H2 primary, HSQLDB backup, Derby spare.
+  switch (index % 3) {
+    case 0: return db::make_h2_traits();
+    case 1: return db::make_hsqldb_traits();
+    default: return db::make_derby_traits();
+  }
+}
+
+namespace {
+
+tob::TobConfig make_tob_config(sim::World& world, const ClusterOptions& options,
+                               std::vector<sim::MachineId>& machines,
+                               std::vector<NodeId>& tob_nodes) {
+  tob::TobConfig config;
+  config.protocol = options.protocol;
+  config.profile.tier = options.tob_tier;
+  config.batch_max = options.tob_batch_max;
+  config.max_outstanding = options.tob_max_outstanding;
+  // TwoThird needs n > 3f; Paxos needs a majority: both satisfied by the
+  // requested machine count (callers pick 3 for Paxos, 4 for TwoThird).
+  for (std::size_t i = 0; i < options.machines; ++i) {
+    machines.push_back(world.add_machine());
+    tob_nodes.push_back(world.add_node("tob" + std::to_string(i), machines.back()));
+  }
+  config.nodes = tob_nodes;
+  return config;
+}
+
+std::shared_ptr<db::Engine> make_loaded_engine(const ClusterOptions& options,
+                                               std::size_t index) {
+  auto engine = std::make_shared<db::Engine>(engine_for_replica(options, index));
+  if (options.loader) options.loader(*engine);
+  return engine;
+}
+
+}  // namespace
+
+SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options) {
+  SHADOW_REQUIRE(options.registry != nullptr);
+  SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
+  SmrCluster cluster;
+  cluster.safety = std::make_shared<consensus::SafetyRecorder>();
+  const tob::TobConfig tob_config =
+      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
+  cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
+
+  const std::size_t total = options.db_replicas + options.db_spares;
+  std::vector<NodeId> group;
+  std::vector<NodeId> spares;
+  for (std::size_t i = 0; i < total; ++i) {
+    cluster.replica_nodes.push_back(
+        world.add_node("db" + std::to_string(i), cluster.machines[i]));
+    (i < options.db_replicas ? group : spares).push_back(cluster.replica_nodes.back());
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    auto replica = std::make_unique<SmrReplica>(
+        world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
+        make_loaded_engine(options, i), options.registry, group, spares, options.smr,
+        options.server_costs);
+    if (i >= options.db_replicas) replica->make_spare();
+    cluster.replicas.push_back(std::move(replica));
+  }
+  return cluster;
+}
+
+PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options) {
+  SHADOW_REQUIRE(options.registry != nullptr);
+  SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
+  PbrCluster cluster;
+  cluster.safety = std::make_shared<consensus::SafetyRecorder>();
+  const tob::TobConfig tob_config =
+      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
+  cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
+
+  const std::size_t total = options.db_replicas + options.db_spares;
+  std::vector<NodeId> group;
+  std::vector<NodeId> spares;
+  for (std::size_t i = 0; i < total; ++i) {
+    cluster.replica_nodes.push_back(
+        world.add_node("db" + std::to_string(i), cluster.machines[i]));
+    (i < options.db_replicas ? group : spares).push_back(cluster.replica_nodes.back());
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    auto replica = std::make_unique<PbrReplica>(
+        world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
+        make_loaded_engine(options, i), options.registry, group, spares, options.pbr,
+        options.server_costs);
+    if (i >= options.db_replicas) replica->make_spare();
+    cluster.replicas.push_back(std::move(replica));
+  }
+  return cluster;
+}
+
+ChainCluster make_chain_cluster(sim::World& world, const ClusterOptions& options,
+                                ChainConfig chain_config) {
+  SHADOW_REQUIRE(options.registry != nullptr);
+  SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
+  ChainCluster cluster;
+  cluster.safety = std::make_shared<consensus::SafetyRecorder>();
+  const tob::TobConfig tob_config =
+      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
+  cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
+
+  const std::size_t total = options.db_replicas + options.db_spares;
+  std::vector<NodeId> chain;
+  std::vector<NodeId> spares;
+  for (std::size_t i = 0; i < total; ++i) {
+    cluster.replica_nodes.push_back(
+        world.add_node("db" + std::to_string(i), cluster.machines[i]));
+    (i < options.db_replicas ? chain : spares).push_back(cluster.replica_nodes.back());
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    auto replica = std::make_unique<ChainReplica>(
+        world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
+        make_loaded_engine(options, i), options.registry, chain, spares, chain_config,
+        options.server_costs);
+    if (i >= options.db_replicas) replica->make_spare();
+    cluster.replicas.push_back(std::move(replica));
+  }
+  return cluster;
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,95 @@
+// ShadowDB cluster assembly.
+//
+// Wires up the full deployment of Sec. IV: three server machines, each
+// hosting one broadcast-service node and one database replica process
+// (co-located, sharing the machine's CPU); a configurable replica group
+// (default two databases, f = 1, third machine's database as spare); and
+// engine diversity (H2-like, HSQLDB-like, Derby-like by default — benchmarks
+// that compare against H2 deploy H2 everywhere, as the paper does "to make
+// the comparison fair").
+#pragma once
+
+#include <memory>
+
+#include "core/chain.hpp"
+#include "core/client.hpp"
+#include "core/pbr.hpp"
+#include "core/smr.hpp"
+
+namespace shadow::core {
+
+struct ClusterOptions {
+  std::size_t machines = 3;        // broadcast service size (Paxos: f = 1)
+  std::size_t db_replicas = 2;     // active database group size
+  std::size_t db_spares = 1;       // passive replacements
+  tob::Protocol protocol = tob::Protocol::kPaxos;
+  gpm::ExecutionTier tob_tier = gpm::ExecutionTier::kCompiled;
+  std::size_t tob_batch_max = 64;
+  // Multi-decree pipelining (PMMC's WINDOW): proposals in flight per node.
+  // 1 maximizes batching, which wins when consensus work dominates.
+  std::size_t tob_max_outstanding = 1;
+
+  /// Engine flavour per replica index (cycled). Empty → the paper's diverse
+  /// default [H2, HSQLDB, Derby].
+  std::vector<db::EngineTraits> engines;
+
+  /// Populates each replica's database identically before the run.
+  std::function<void(db::Engine&)> loader;
+
+  std::shared_ptr<const workload::ProcedureRegistry> registry;
+  ServerCosts server_costs{};
+  PbrConfig pbr{};
+  SmrConfig smr{};
+};
+
+db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index);
+
+/// A deployed ShadowDB-SMR cluster.
+struct SmrCluster {
+  std::vector<sim::MachineId> machines;
+  tob::TobService tob;
+  std::vector<std::unique_ptr<SmrReplica>> replicas;  // actives then spares
+  std::vector<NodeId> tob_nodes;
+  std::vector<NodeId> replica_nodes;
+  std::shared_ptr<consensus::SafetyRecorder> safety;
+
+  /// Submission targets for kTob clients.
+  const std::vector<NodeId>& broadcast_targets() const { return tob_nodes; }
+};
+
+SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options);
+
+/// A deployed ShadowDB-PBR cluster.
+struct PbrCluster {
+  std::vector<sim::MachineId> machines;
+  tob::TobService tob;
+  std::vector<std::unique_ptr<PbrReplica>> replicas;  // group order, then spares
+  std::vector<NodeId> tob_nodes;
+  std::vector<NodeId> replica_nodes;
+  std::shared_ptr<consensus::SafetyRecorder> safety;
+
+  NodeId initial_primary() const { return replica_nodes.front(); }
+  /// Submission targets for kDirect clients (primary first; clients rotate
+  /// and follow redirects after failures).
+  const std::vector<NodeId>& request_targets() const { return replica_nodes; }
+};
+
+PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options);
+
+/// A deployed chain-replication cluster (extension; see core/chain.hpp).
+struct ChainCluster {
+  std::vector<sim::MachineId> machines;
+  tob::TobService tob;
+  std::vector<std::unique_ptr<ChainReplica>> replicas;  // chain order, then spares
+  std::vector<NodeId> tob_nodes;
+  std::vector<NodeId> replica_nodes;
+  std::shared_ptr<consensus::SafetyRecorder> safety;
+
+  NodeId head() const { return replica_nodes.front(); }
+  const std::vector<NodeId>& request_targets() const { return replica_nodes; }
+};
+
+ChainCluster make_chain_cluster(sim::World& world, const ClusterOptions& options,
+                                ChainConfig chain_config = {});
+
+}  // namespace shadow::core

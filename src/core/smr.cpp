@@ -1,0 +1,213 @@
+#include "core/smr.hpp"
+
+#include <algorithm>
+
+namespace shadow::core {
+
+namespace {
+
+struct SnapBeginBody {
+  std::vector<db::TableSchema> schemas;
+  std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
+};
+struct SnapBatchBody {
+  db::Engine::SnapshotBatch batch;
+};
+struct SnapDoneBody {
+  std::uint64_t rows = 0;
+};
+
+/// In-process hand-off of one TOB delivery from the service to the replica.
+struct DeliverHandoff {
+  Slot slot = 0;
+  std::uint64_t index = 0;
+  tob::Command command;
+};
+
+constexpr const char* kHbHeader = "smr-hb";
+constexpr const char* kSmrDeliverHeader = "smr-deliver";
+
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+}  // namespace
+
+SmrReplica::SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+                       std::shared_ptr<db::Engine> engine,
+                       std::shared_ptr<const workload::ProcedureRegistry> registry,
+                       std::vector<NodeId> replica_group, std::vector<NodeId> spares,
+                       SmrConfig config, ServerCosts costs)
+    : world_(world),
+      self_(self),
+      tob_(tob),
+      executor_(std::move(engine), std::move(registry), costs),
+      config_(config),
+      group_(std::move(replica_group)),
+      spares_(std::move(spares)) {
+  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+                     "SMR replicas must be co-located with their broadcast service node");
+  reconfig_client_id_ = ClientId{0x40000000u + self_.value};
+
+  // The broadcast service hands deliveries to the co-located replica through
+  // an in-process queue: model it as a loopback message so that (a) the
+  // replica processes them under its own identity and (b) a crashed replica
+  // process genuinely stops executing even if the service node survives.
+  tob_.subscribe_local([this](sim::Context& ctx, Slot slot, std::uint64_t index,
+                              const tob::Command& cmd) {
+    ctx.send(self_, sim::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd},
+                                  48 + cmd.payload.size()));
+  });
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+  if (config_.enable_failure_detection) {
+    world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
+                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+  }
+}
+
+void SmrReplica::on_deliver(sim::Context& ctx, Slot /*slot*/, std::uint64_t index,
+                            const tob::Command& cmd) {
+  delivered_index_ = index;
+  const workload::TxnRequest req = workload::decode_request(cmd.payload);
+  if (req.proc == kSmrReconfigProc) {
+    handle_reconfig(ctx, req, index);
+    return;
+  }
+  if (!active_) {
+    if (joining_) buffered_.push_back(req);
+    return;
+  }
+  execute_txn(ctx, req);
+}
+
+void SmrReplica::execute_txn(sim::Context& ctx, const workload::TxnRequest& req) {
+  const TxnExecutor::Execution exec = executor_.execute(req);
+  ctx.charge(exec.cost_us);
+  ctx.send(req.reply_to, workload::make_response_msg(exec.response));
+}
+
+void SmrReplica::handle_reconfig(sim::Context& ctx, const workload::TxnRequest& req,
+                                 std::uint64_t index) {
+  SHADOW_CHECK(req.params.size() >= 3);
+  const NodeId removed{static_cast<std::uint32_t>(req.params[0].as_int())};
+  const NodeId added{static_cast<std::uint32_t>(req.params[1].as_int())};
+  const NodeId proposer{static_cast<std::uint32_t>(req.params[2].as_int())};
+
+  // Only the first valid proposal against the current group applies.
+  if (!contains(group_, removed) || contains(group_, added)) return;
+  std::erase(group_, removed);
+  group_.push_back(added);
+
+  if (removed == self_) {
+    active_ = false;  // deposed (possibly a false suspicion)
+    return;
+  }
+  if (added == self_ && !active_) {
+    // We are the replacement: fetch the snapshot from the proposer and
+    // buffer every delivery past this reconfiguration point.
+    joining_ = true;
+    join_from_index_ = index + 1;
+    buffered_.clear();
+    ctx.send(proposer, sim::make_signal(kSnapRequestHeader));
+  }
+}
+
+void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.header == kSmrDeliverHeader) {
+    const auto& handoff = sim::msg_body<DeliverHandoff>(msg);
+    on_deliver(ctx, handoff.slot, handoff.index, handoff.command);
+    return;
+  }
+  if (msg.header == kHbHeader) {
+    last_heard_[msg.from.value] = ctx.now();
+    return;
+  }
+  if (msg.header == kSnapRequestHeader) {
+    // Proposer side of the state transfer: serialize at the deterministic
+    // point we are at now (all actives have applied the same prefix), then
+    // stream ~50 KB batches. Row serialization cost is charged here.
+    const db::Engine::Snapshot snap =
+        executor_.engine().snapshot(config_.snapshot_batch_bytes);
+    ctx.charge(snap.serialize_cost_us);
+    SnapBeginBody begin;
+    begin.schemas = snap.schemas;
+    for (const auto& [client, entry] : executor_.dedup_table()) {
+      begin.dedup_seqs.emplace_back(client, entry.first);
+    }
+    ctx.send(msg.from, sim::make_msg(kSnapBeginHeader, begin, 256));
+    for (const auto& batch : snap.batches) {
+      ctx.send(msg.from, sim::make_msg(kSnapBatchHeader, SnapBatchBody{batch},
+                                       batch.data.size() + 64));
+    }
+    ctx.send(msg.from, sim::make_msg(kSnapDoneHeader, SnapDoneBody{snap.total_rows}, 32));
+    return;
+  }
+  if (msg.header == kSnapBeginHeader) {
+    const auto& begin = sim::msg_body<SnapBeginBody>(msg);
+    executor_.engine().reset_for_restore(begin.schemas);
+    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
+    for (const auto& [client, seq] : begin.dedup_seqs) {
+      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
+    }
+    executor_.install_dedup_table(std::move(dedup));
+    return;
+  }
+  if (msg.header == kSnapBatchHeader) {
+    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    // "Row insertion speed constitutes the bottleneck of state transfer."
+    ctx.charge(executor_.engine().restore_batch(body.batch));
+    return;
+  }
+  if (msg.header == kSnapDoneHeader) {
+    active_ = true;
+    joining_ = false;
+    for (const workload::TxnRequest& req : buffered_) execute_txn(ctx, req);
+    buffered_.clear();
+    return;
+  }
+}
+
+void SmrReplica::on_heartbeat_tick(sim::Context& ctx) {
+  if (active_) {
+    for (NodeId peer : group_) {
+      if (peer != self_) ctx.send(peer, sim::make_signal(kHbHeader));
+    }
+    const sim::Time now = ctx.now();
+    for (NodeId peer : group_) {
+      if (peer == self_) continue;
+      // First sighting starts the suspicion clock at "now".
+      auto [it, first_sight] = last_heard_.try_emplace(peer.value, now);
+      (void)first_sight;
+      const sim::Time heard = it->second;
+      if (now - heard >= config_.suspect_timeout &&
+          proposed_removals_.insert(peer.value).second) {
+        // Propose to replace the suspect with the first spare outside the group.
+        NodeId replacement{};
+        bool found = false;
+        for (NodeId spare : spares_) {
+          if (!contains(group_, spare)) {
+            replacement = spare;
+            found = true;
+            break;
+          }
+        }
+        if (!found) continue;  // no spare available: stay degraded
+        workload::TxnRequest req;
+        req.client = reconfig_client_id_;
+        req.seq = ++reconfig_seq_;
+        req.reply_to = self_;
+        req.proc = kSmrReconfigProc;
+        req.params = {db::Value(static_cast<std::int64_t>(peer.value)),
+                      db::Value(static_cast<std::int64_t>(replacement.value)),
+                      db::Value(static_cast<std::int64_t>(self_.value))};
+        tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
+        ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 128));
+      }
+    }
+  }
+  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,97 @@
+// ShadowDB — state machine replication (Sec. III-B).
+//
+// All transactions are ordered by the total order broadcast service: the
+// client broadcasts T, every database replica executes T in delivery order
+// and answers, and the client keeps the first answer. A replica crash is
+// transparent while at least one replica survives. On suspicion, a replica
+// snapshots its database and broadcasts a reconfiguration request (carrying
+// the last ordered sequence number, not the snapshot); the replacement
+// replica fetches the snapshot from the proposer and buffers deliveries that
+// arrive while the transfer is in progress.
+//
+// Replicas are co-located with the broadcast service processes (same
+// simulated machine), so transaction execution competes with Paxos for CPU —
+// the effect that bounds ShadowDB-SMR's micro-benchmark throughput in
+// Fig. 9(a).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/replica_common.hpp"
+#include "tob/tob.hpp"
+
+namespace shadow::core {
+
+inline constexpr const char* kSmrReconfigProc = "::smr-reconfig";
+inline constexpr const char* kSnapRequestHeader = "smr-snap-req";
+inline constexpr const char* kSnapBeginHeader = "smr-snap-begin";
+inline constexpr const char* kSnapBatchHeader = "smr-snap-batch";
+inline constexpr const char* kSnapDoneHeader = "smr-snap-done";
+
+struct SmrConfig {
+  sim::Time hb_period = 1000000;        // 1 s heartbeats between replicas
+  sim::Time suspect_timeout = 10000000; // 10 s detection (paper's Fig. 10 setting)
+  std::size_t snapshot_batch_bytes = 50 * 1024;
+  bool enable_failure_detection = true;
+};
+
+/// One SMR database replica. `tob` must be the co-located broadcast-service
+/// node (same machine); the replica subscribes to its local deliveries.
+class SmrReplica {
+ public:
+  SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+             std::shared_ptr<db::Engine> engine,
+             std::shared_ptr<const workload::ProcedureRegistry> registry,
+             std::vector<NodeId> replica_group, std::vector<NodeId> spares,
+             SmrConfig config = {}, ServerCosts costs = {});
+
+  NodeId node() const { return self_; }
+  bool active() const { return active_; }
+  std::uint64_t executed() const { return executor_.executed_count(); }
+  std::uint64_t state_digest() const { return executor_.engine().state_digest(); }
+  const std::vector<NodeId>& group() const { return group_; }
+  db::Engine& engine() { return executor_.engine(); }
+
+  /// Pre-provisioned spare: knows the group but is passive until a
+  /// reconfiguration names it. Spares watch deliveries through their
+  /// co-located TOB node from the start (they discard transaction commands
+  /// until activated).
+  void make_spare() { active_ = false; }
+
+ private:
+  void on_deliver(sim::Context& ctx, Slot slot, std::uint64_t index,
+                  const tob::Command& cmd);
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_heartbeat_tick(sim::Context& ctx);
+  void handle_reconfig(sim::Context& ctx, const workload::TxnRequest& req, std::uint64_t index);
+  void execute_txn(sim::Context& ctx, const workload::TxnRequest& req);
+
+  sim::World& world_;
+  NodeId self_;
+  tob::TobNode& tob_;
+  TxnExecutor executor_;
+  SmrConfig config_;
+  std::vector<NodeId> group_;    // current active replicas
+  std::vector<NodeId> spares_;   // pre-provisioned replacements
+  bool active_ = true;
+  std::uint64_t delivered_index_ = 0;  // last applied global delivery index
+
+  // Failure detection.
+  std::map<std::uint32_t, sim::Time> last_heard_;
+  std::set<std::uint32_t> proposed_removals_;
+  ClientId reconfig_client_id_;
+  RequestSeq reconfig_seq_ = 0;
+
+  // Joining state (replacement replica).
+  bool joining_ = false;
+  std::uint64_t join_from_index_ = 0;
+  std::deque<workload::TxnRequest> buffered_;
+  std::uint64_t buffered_from_ = 0;
+};
+
+}  // namespace shadow::core

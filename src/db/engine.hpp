@@ -1,0 +1,168 @@
+// The in-memory SQL engine.
+//
+// One implementation, parameterized by EngineTraits, backs the "diverse"
+// databases the paper deploys (H2, HSQLDB, Derby for ShadowDB replicas;
+// MySQL's memory and InnoDB engines for the baselines). The traits control
+// what actually distinguishes those systems for the paper's experiments:
+// lock granularity (table vs row), index structure (hash vs ordered), the
+// per-operation cost profile, and the lock-wait timeout.
+//
+// Transactions use strict two-phase locking with undo-based rollback.
+// Statements that hit a lock conflict return kBlocked and complete later
+// through the wake callback (granted) or abort on timeout — the mechanism
+// behind the H2-repl/MySQL contention collapse in Fig. 9(a).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "db/lock_manager.hpp"
+#include "db/statement.hpp"
+#include "db/table.hpp"
+#include "sim/time.hpp"
+
+namespace shadow::db {
+
+/// Virtual CPU costs (µs) of engine operations; calibrated per engine
+/// flavour (see make_*_traits below and EXPERIMENTS.md).
+struct EngineCosts {
+  std::uint64_t begin_us = 6;
+  std::uint64_t commit_us = 28;
+  std::uint64_t insert_us = 16;
+  std::uint64_t point_read_us = 9;
+  std::uint64_t point_write_us = 14;
+  double scan_row_us = 0.35;        // per row visited
+  double byte_us = 0.08;            // per byte touched by point reads/writes
+  std::uint64_t lock_retry_us = 20; // CPU burned on a failed acquisition
+  // State transfer (Fig. 10(b)): row-insertion speed is the bottleneck.
+  double snap_serialize_col_us = 4.0;   // per column serialized
+  double snap_serialize_byte_us = 0.045;
+  double snap_insert_row_us = 30.0;     // per row inserted at the destination
+  double snap_insert_byte_us = 0.045;
+};
+
+struct EngineTraits {
+  std::string name = "h2like";
+  bool row_locks = false;     // false: table-level locks (H2, MySQL-memory)
+  bool ordered_index = false; // true: ordered storage (HSQLDB, Derby, InnoDB)
+  // READ_COMMITTED (H2's default): plain read locks are statement-scoped,
+  // released as soon as the statement finishes; write locks are held to
+  // commit. false: strict 2PL (Derby/InnoDB serializable-style behaviour).
+  bool read_committed = false;
+  EngineCosts costs;
+  sim::Time lock_timeout = 500000;  // 500 ms, H2's default order of magnitude
+};
+
+// The engine flavours deployed in the paper's evaluation.
+EngineTraits make_h2_traits();      // table locks, hash index, fastest
+EngineTraits make_hsqldb_traits();  // table locks, ordered index
+EngineTraits make_derby_traits();   // row locks, ordered index, slowest
+EngineTraits make_innodb_traits();  // row locks, ordered index, redo overhead
+EngineTraits make_mysql_memory_traits();  // table locks, hash index
+
+class Engine {
+ public:
+  using WakeFn = std::function<void(TxnId, const ExecResult&)>;
+
+  explicit Engine(EngineTraits traits);
+
+  const EngineTraits& traits() const { return traits_; }
+
+  /// DDL, outside transactions (schema setup).
+  void create_table(TableSchema schema);
+  bool has_table(const std::string& name) const;
+
+  // -- transactions -----------------------------------------------------------
+  TxnId begin();
+  ExecResult execute(TxnId txn, const Statement& stmt);
+  ExecResult commit(TxnId txn);
+  /// Client-requested rollback; also used internally on failures.
+  ExecResult abort(TxnId txn);
+  bool is_active(TxnId txn) const;
+
+  /// Delivery channel for kBlocked statements (grant or timeout-abort).
+  void set_wake(WakeFn fn) { wake_ = std::move(fn); }
+
+  /// Drives lock-wait timeouts; call with the current virtual time.
+  void tick(sim::Time now);
+  /// Current virtual time source for lock deadlines (set by the server).
+  void set_clock(std::function<sim::Time()> clock) { clock_ = std::move(clock); }
+
+  // -- statistics ---------------------------------------------------------------
+  std::uint64_t committed_count() const { return committed_; }
+  std::uint64_t aborted_count() const { return aborted_; }
+  std::size_t total_rows() const;
+  /// Transactions currently queued on locks (contention gauge).
+  std::size_t waiting_count() const { return locks_.waiting_count(); }
+
+  // -- snapshots / state transfer ----------------------------------------------
+  struct SnapshotBatch {
+    std::string table;
+    Bytes data;
+    std::size_t rows = 0;
+  };
+  struct Snapshot {
+    std::vector<SnapshotBatch> batches;
+    std::vector<TableSchema> schemas;
+    std::uint64_t serialize_cost_us = 0;
+    std::size_t total_bytes = 0;
+    std::size_t total_rows = 0;
+  };
+
+  /// Serializes all tables in ~batch_bytes chunks (the paper uses ~50 KB).
+  Snapshot snapshot(std::size_t batch_bytes = 50 * 1024) const;
+  /// Applies one batch; returns the CPU cost (row insertion dominates).
+  std::uint64_t restore_batch(const SnapshotBatch& batch);
+  /// Installs schemas and clears data (start of a full state transfer).
+  void reset_for_restore(const std::vector<TableSchema>& schemas);
+
+  /// Order-independent digest of the full database state, for the paper's
+  /// State-agreement property ("replicas start in the same state").
+  std::uint64_t state_digest() const;
+
+ private:
+  struct UndoEntry {
+    enum class Kind : std::uint8_t { kInsert, kUpdate, kDelete };
+    Kind kind;
+    std::string table;
+    Key key;
+    Row old_row;  // kUpdate/kDelete
+  };
+
+  struct Txn {
+    enum class State : std::uint8_t { kActive, kBlocked, kCommitted, kAborted };
+    State state = State::kActive;
+    std::vector<UndoEntry> undo;
+    std::unique_ptr<Statement> blocked;  // statement awaiting a lock
+  };
+
+  Table& table_of(const std::string& name);
+  const Table& table_of(const std::string& name) const;
+  ExecResult run_statement(Txn& txn, TxnId id, const Statement& stmt);
+  ExecResult do_insert(Txn& txn, const Statement& stmt, Table& table);
+  ExecResult do_point(Txn& txn, const Statement& stmt, Table& table);
+  ExecResult do_predicate(Txn& txn, const Statement& stmt, Table& table);
+  AcquireStatus acquire(TxnId id, Txn& txn, const LockTarget& target, LockMode mode);
+  void rollback(Txn& txn);
+  void wake_granted(const std::vector<TxnId>& granted);
+  ExecResult abort_result(TxnId id, Txn& txn, std::string why);
+  sim::Time now() const { return clock_ ? clock_() : 0; }
+
+  EngineTraits traits_;
+  std::map<std::string, Table> tables_;
+  LockManager locks_;
+  std::unordered_map<TxnId, Txn> txns_;
+  TxnId next_txn_ = 1;
+  WakeFn wake_;
+  std::function<sim::Time()> clock_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace shadow::db

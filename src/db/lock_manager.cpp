@@ -1,0 +1,163 @@
+#include "db/lock_manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace shadow::db {
+
+namespace {
+constexpr LockMode kAllModes[] = {LockMode::kIntentionShared, LockMode::kIntentionExclusive,
+                                  LockMode::kShared, LockMode::kExclusive};
+}  // namespace
+
+bool LockManager::LockState::grantable(TxnId txn, LockMode mode) const {
+  for (const auto& [holder, modes] : holders) {
+    if (holder == txn) continue;  // own holds never conflict (upgrade in place)
+    for (LockMode held : kAllModes) {
+      if ((modes & (1u << static_cast<unsigned>(held))) == 0) continue;
+      if (!lock_compatible(mode, held)) return false;
+    }
+  }
+  return true;
+}
+
+AcquireStatus LockManager::acquire(TxnId txn, const LockTarget& target, LockMode mode,
+                                   sim::Time deadline) {
+  LockState& state = locks_[target];
+  const bool already_holder = state.holders.count(txn) > 0;
+  // Do not jump a non-empty wait queue unless re-entering/upgrading (holders
+  // must be allowed to strengthen, or upgrades would self-deadlock).
+  if (state.grantable(txn, mode) && (state.queue.empty() || already_holder)) {
+    state.grant(txn, mode);
+    return AcquireStatus::kGranted;
+  }
+  if (would_deadlock(txn, target, mode)) return AcquireStatus::kDeadlock;
+  state.queue.push_back(LockState::Waiter{txn, mode, deadline});
+  return AcquireStatus::kQueued;
+}
+
+bool LockManager::would_deadlock(TxnId requester, const LockTarget& target,
+                                 LockMode mode) const {
+  // Waits-for edge: A waits on lock L in mode m → every holder of L whose
+  // mode is incompatible with m. The requester is about to add edges to the
+  // conflicting holders of `target`; a path from any of them back to the
+  // requester closes a cycle.
+  std::vector<TxnId> stack;
+  std::vector<TxnId> seen;
+  bool found = false;
+
+  const auto push_conflicting = [&](const LockState& state, LockMode want, bool skip_self) {
+    for (const auto& [holder, modes] : state.holders) {
+      if (holder == requester) {
+        if (!skip_self) found = true;  // cycle closed
+        continue;
+      }
+      bool conflicts = false;
+      for (LockMode held : kAllModes) {
+        if ((modes & (1u << static_cast<unsigned>(held))) == 0) continue;
+        if (!lock_compatible(want, held)) conflicts = true;
+      }
+      if (!conflicts) continue;
+      if (std::find(seen.begin(), seen.end(), holder) == seen.end()) {
+        seen.push_back(holder);
+        stack.push_back(holder);
+      }
+    }
+  };
+
+  auto it = locks_.find(target);
+  if (it == locks_.end()) return false;
+  // Self-holds on the seed target are upgrades, not wait-for edges.
+  push_conflicting(it->second, mode, /*skip_self=*/true);
+
+  while (!found && !stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    for (const auto& [other_target, other_state] : locks_) {
+      for (const auto& waiter : other_state.queue) {
+        if (waiter.txn == t) push_conflicting(other_state, waiter.mode, /*skip_self=*/false);
+      }
+    }
+  }
+  return found;
+}
+
+std::vector<TxnId> LockManager::release_shared(TxnId txn, const LockTarget& target) {
+  std::vector<TxnId> granted;
+  auto it = locks_.find(target);
+  if (it == locks_.end()) return granted;
+  LockState& state = it->second;
+  auto hit = state.holders.find(txn);
+  if (hit == state.holders.end()) return granted;
+  hit->second &= static_cast<std::uint8_t>(
+      ~((1u << static_cast<unsigned>(LockMode::kShared)) |
+        (1u << static_cast<unsigned>(LockMode::kIntentionShared))));
+  if (hit->second == 0) state.holders.erase(hit);
+  grant_from_queue(state, granted);
+  if (state.holders.empty() && state.queue.empty()) locks_.erase(it);
+  return granted;
+}
+
+void LockManager::grant_from_queue(LockState& state, std::vector<TxnId>& granted) {
+  while (!state.queue.empty()) {
+    const LockState::Waiter& head = state.queue.front();
+    if (!state.grantable(head.txn, head.mode)) break;
+    state.grant(head.txn, head.mode);
+    granted.push_back(head.txn);
+    state.queue.pop_front();
+  }
+}
+
+std::vector<TxnId> LockManager::release_all(TxnId txn) {
+  std::vector<TxnId> granted;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    LockState& state = it->second;
+    state.holders.erase(txn);
+    std::erase_if(state.queue,
+                  [txn](const LockState::Waiter& w) { return w.txn == txn; });
+    grant_from_queue(state, granted);
+    if (state.holders.empty() && state.queue.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return granted;
+}
+
+LockManager::ExpireResult LockManager::expire(sim::Time now) {
+  ExpireResult result;
+  for (auto& [target, state] : locks_) {
+    std::erase_if(state.queue, [now, &result](const LockState::Waiter& w) {
+      if (w.deadline <= now) {
+        result.expired.push_back(w.txn);
+        return true;
+      }
+      return false;
+    });
+  }
+  // Expiry may unblock queue heads.
+  for (auto& [target, state] : locks_) grant_from_queue(state, result.granted);
+  return result;
+}
+
+bool LockManager::holds(TxnId txn, const LockTarget& target, LockMode at_least) const {
+  auto it = locks_.find(target);
+  if (it == locks_.end()) return false;
+  auto hit = it->second.holders.find(txn);
+  if (hit == it->second.holders.end()) return false;
+  for (LockMode m : kAllModes) {
+    if (static_cast<unsigned>(m) < static_cast<unsigned>(at_least)) continue;
+    if (hit->second & (1u << static_cast<unsigned>(m))) return true;
+  }
+  return false;
+}
+
+std::size_t LockManager::waiting_count() const {
+  std::size_t n = 0;
+  for (const auto& [target, state] : locks_) n += state.queue.size();
+  return n;
+}
+
+}  // namespace shadow::db

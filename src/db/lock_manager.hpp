@@ -1,0 +1,120 @@
+// Multigranularity two-phase locking with wait timeouts.
+//
+// The performance-relevant difference between the engines the paper deploys
+// is lock granularity: H2 and MySQL's memory engine take table-level locks
+// ("H2 does not offer row-level locks"), while Derby and InnoDB lock rows.
+// Row-locking engines use the standard intention-lock hierarchy: point
+// operations take IS/IX on the table plus S/X on the row; predicate scans
+// take S/X on the whole table, which conflicts with writers' IX — that is
+// what keeps scans from observing uncommitted row updates.
+//
+// Lock-timeout aborts under contention are exactly what makes the H2-repl
+// and MySQL curves of Fig. 9(a) collapse, so the manager models compatible
+// mode sets, in-place upgrades, FIFO wait queues and deadline expiry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+#include "sim/time.hpp"
+
+namespace shadow::db {
+
+using TxnId = std::uint64_t;
+
+enum class LockMode : std::uint8_t {
+  kIntentionShared,     // IS
+  kIntentionExclusive,  // IX
+  kShared,              // S
+  kExclusive,           // X
+};
+
+/// True iff a holder in `held` mode permits another transaction in `want`.
+constexpr bool lock_compatible(LockMode want, LockMode held) {
+  using M = LockMode;
+  switch (want) {
+    case M::kIntentionShared: return held != M::kExclusive;
+    case M::kIntentionExclusive:
+      return held == M::kIntentionShared || held == M::kIntentionExclusive;
+    case M::kShared: return held == M::kIntentionShared || held == M::kShared;
+    case M::kExclusive: return false;
+  }
+  return false;
+}
+
+/// What is being locked: a table, or one row of it.
+struct LockTarget {
+  std::string table;
+  std::optional<Key> row;  // nullopt = whole table
+
+  bool operator<(const LockTarget& o) const {
+    if (table != o.table) return table < o.table;
+    return row < o.row;
+  }
+};
+
+enum class AcquireStatus : std::uint8_t {
+  kGranted,
+  kQueued,
+  kDeadlock,  // waiting would close a waits-for cycle; the requester aborts
+              // immediately (H2/InnoDB-style deadlock detection)
+};
+
+class LockManager {
+ public:
+  /// Tries to acquire; on conflict the request is queued FIFO with the given
+  /// absolute deadline. Re-entrant: a transaction may hold several modes on
+  /// a target; re-requesting a mode it effectively holds is granted, and a
+  /// holder upgrades in place when compatible with the *other* holders.
+  AcquireStatus acquire(TxnId txn, const LockTarget& target, LockMode mode, sim::Time deadline);
+
+  /// Releases all locks of `txn` (commit/abort) and removes its queued
+  /// requests. Returns transactions whose queued request is now granted.
+  std::vector<TxnId> release_all(TxnId txn);
+
+  /// Removes queued requests whose deadline passed. `expired` transactions
+  /// are aborted by the engine (the lock-timeout abort of H2/MySQL);
+  /// `granted` waiters became lock holders because of the expiry.
+  struct ExpireResult {
+    std::vector<TxnId> expired;
+    std::vector<TxnId> granted;
+  };
+  ExpireResult expire(sim::Time now);
+
+  /// Releases just the shared hold on one target (READ_COMMITTED read locks
+  /// are statement-scoped on H2-style engines). Returns newly granted
+  /// waiters.
+  std::vector<TxnId> release_shared(TxnId txn, const LockTarget& target);
+
+  bool holds(TxnId txn, const LockTarget& target, LockMode at_least) const;
+  std::size_t waiting_count() const;
+
+ private:
+  bool would_deadlock(TxnId requester, const LockTarget& target, LockMode mode) const;
+  struct LockState {
+    // mode bit set per holding transaction (bit = static_cast<int>(mode)).
+    std::map<TxnId, std::uint8_t> holders;
+    struct Waiter {
+      TxnId txn;
+      LockMode mode;
+      sim::Time deadline;
+    };
+    std::deque<Waiter> queue;
+
+    bool grantable(TxnId txn, LockMode mode) const;
+    void grant(TxnId txn, LockMode mode) {
+      holders[txn] |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(mode));
+    }
+  };
+
+  void grant_from_queue(LockState& state, std::vector<TxnId>& granted);
+
+  std::map<LockTarget, LockState> locks_;
+};
+
+}  // namespace shadow::db

@@ -1,0 +1,49 @@
+// Table schemas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "db/value.hpp"
+
+namespace shadow::db {
+
+enum class ColumnType : std::uint8_t { kBigInt, kDouble, kVarchar };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kBigInt;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::size_t> primary_key;  // column indexes
+
+  std::size_t column_index(const std::string& column) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column) return i;
+    }
+    SHADOW_REQUIRE_MSG(false, "unknown column '" + column + "' in table '" + name + "'");
+    return 0;
+  }
+
+  bool has_column(const std::string& column) const {
+    for (const ColumnDef& c : columns) {
+      if (c.name == column) return true;
+    }
+    return false;
+  }
+
+  Key key_of(const Row& row) const {
+    SHADOW_REQUIRE(row.size() == columns.size());
+    Key key;
+    key.reserve(primary_key.size());
+    for (std::size_t idx : primary_key) key.push_back(row[idx]);
+    return key;
+  }
+};
+
+}  // namespace shadow::db

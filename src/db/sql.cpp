@@ -1,0 +1,385 @@
+#include "db/sql.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace shadow::db {
+namespace {
+
+// ------------------------------------------------------------------ lexer --
+
+enum class TokKind : std::uint8_t { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  /// Takes the next token, requiring it to be the given symbol/keyword.
+  void expect(const std::string& text) {
+    Token t = take();
+    SHADOW_REQUIRE_MSG(upper(t.text) == upper(text),
+                       "SQL syntax error: expected '" + text + "', got '" + t.text + "'");
+  }
+
+  bool accept(const std::string& text) {
+    if (upper(current_.text) == upper(text) && current_.kind != TokKind::kEnd) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool at_end() const { return current_.kind == TokKind::kEnd; }
+
+  static std::string upper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return s;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_]))) ++pos_;
+    if (pos_ >= input_.size()) {
+      current_ = Token{TokKind::kEnd, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < input_.size() && (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                                      input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kIdent, input_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() && (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                                      input_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kNumber, input_.substr(start, pos_ - start)};
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < input_.size() && input_[pos_] != '\'') text += input_[pos_++];
+      SHADOW_REQUIRE_MSG(pos_ < input_.size(), "SQL syntax error: unterminated string");
+      ++pos_;  // closing quote
+      current_ = Token{TokKind::kString, std::move(text)};
+      return;
+    }
+    // Multi-char comparison operators.
+    for (const char* op : {"<=", ">=", "<>", "!="}) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        current_ = Token{TokKind::kSymbol, std::string(op)};
+        pos_ += 2;
+        return;
+      }
+    }
+    current_ = Token{TokKind::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+// ----------------------------------------------------------------- helpers --
+
+Value parse_literal(Lexer& lex) {
+  Token t = lex.take();
+  if (t.kind == TokKind::kString) return Value(t.text);
+  if (t.kind == TokKind::kNumber) {
+    if (t.text.find('.') != std::string::npos) return Value(std::stod(t.text));
+    return Value(static_cast<std::int64_t>(std::stoll(t.text)));
+  }
+  if (t.kind == TokKind::kIdent && Lexer::upper(t.text) == "NULL") return Value();
+  SHADOW_REQUIRE_MSG(false, "SQL syntax error: expected literal, got '" + t.text + "'");
+  return Value();
+}
+
+CmpOp parse_cmp_op(Lexer& lex) {
+  Token t = lex.take();
+  if (t.text == "=") return CmpOp::kEq;
+  if (t.text == "<>" || t.text == "!=") return CmpOp::kNe;
+  if (t.text == "<") return CmpOp::kLt;
+  if (t.text == "<=") return CmpOp::kLe;
+  if (t.text == ">") return CmpOp::kGt;
+  if (t.text == ">=") return CmpOp::kGe;
+  SHADOW_REQUIRE_MSG(false, "SQL syntax error: expected comparison, got '" + t.text + "'");
+  return CmpOp::kEq;
+}
+
+std::vector<Condition> parse_where(Lexer& lex, const TableSchema& schema) {
+  std::vector<Condition> where;
+  do {
+    Token col = lex.take();
+    SHADOW_REQUIRE_MSG(col.kind == TokKind::kIdent, "SQL syntax error in WHERE clause");
+    Condition cond;
+    cond.column = schema.column_index(col.text);
+    cond.op = parse_cmp_op(lex);
+    cond.value = parse_literal(lex);
+    where.push_back(std::move(cond));
+  } while (lex.accept("AND"));
+  return where;
+}
+
+/// If the conjunction pins the full primary key with equalities, extract it.
+std::optional<Key> try_extract_point_key(const std::vector<Condition>& where,
+                                         const TableSchema& schema) {
+  if (where.size() != schema.primary_key.size()) return std::nullopt;
+  Key key(schema.primary_key.size());
+  for (const Condition& cond : where) {
+    if (cond.op != CmpOp::kEq) return std::nullopt;
+    auto it = std::find(schema.primary_key.begin(), schema.primary_key.end(), cond.column);
+    if (it == schema.primary_key.end()) return std::nullopt;
+    key[static_cast<std::size_t>(it - schema.primary_key.begin())] = cond.value;
+  }
+  return key;
+}
+
+const TableSchema& resolve(const SchemaLookup& lookup, const std::string& table) {
+  const TableSchema* schema = lookup(table);
+  SHADOW_REQUIRE_MSG(schema != nullptr, "unknown table: " + table);
+  return *schema;
+}
+
+// ------------------------------------------------------------- statements --
+
+Statement parse_create(Lexer& lex) {
+  lex.expect("TABLE");
+  Token name = lex.take();
+  TableSchema schema;
+  schema.name = name.text;
+  lex.expect("(");
+  while (true) {
+    if (lex.accept("PRIMARY")) {
+      lex.expect("KEY");
+      lex.expect("(");
+      do {
+        Token col = lex.take();
+        schema.primary_key.push_back(schema.column_index(col.text));
+      } while (lex.accept(","));
+      lex.expect(")");
+    } else {
+      Token col = lex.take();
+      Token type = lex.take();
+      const std::string t = Lexer::upper(type.text);
+      ColumnType ct = ColumnType::kBigInt;
+      if (t == "BIGINT" || t == "INT" || t == "INTEGER") {
+        ct = ColumnType::kBigInt;
+      } else if (t == "DOUBLE" || t == "DECIMAL" || t == "FLOAT") {
+        ct = ColumnType::kDouble;
+      } else if (t == "VARCHAR" || t == "TEXT" || t == "CHAR") {
+        ct = ColumnType::kVarchar;
+        if (lex.accept("(")) {  // VARCHAR(n): size is advisory
+          lex.take();
+          lex.expect(")");
+        }
+      } else {
+        SHADOW_REQUIRE_MSG(false, "unknown column type: " + type.text);
+      }
+      schema.columns.push_back(ColumnDef{col.text, ct});
+    }
+    if (lex.accept(")")) break;
+    lex.expect(",");
+  }
+  SHADOW_REQUIRE_MSG(!schema.primary_key.empty(),
+                     "CREATE TABLE requires a PRIMARY KEY clause");
+  return make_create_table(std::move(schema));
+}
+
+Statement parse_insert(Lexer& lex, const SchemaLookup& lookup) {
+  lex.expect("INTO");
+  Token table = lex.take();
+  const TableSchema& schema = resolve(lookup, table.text);
+  lex.expect("VALUES");
+  lex.expect("(");
+  Row row;
+  do {
+    row.push_back(parse_literal(lex));
+  } while (lex.accept(","));
+  lex.expect(")");
+  SHADOW_REQUIRE_MSG(row.size() == schema.columns.size(),
+                     "INSERT arity mismatch for table " + table.text);
+  return make_insert(table.text, std::move(row));
+}
+
+Statement parse_select(Lexer& lex, const SchemaLookup& lookup) {
+  Statement stmt;
+  stmt.kind = Statement::Kind::kScan;
+
+  // Projection / aggregate list (bound to column indexes after FROM).
+  std::vector<std::string> columns;
+  std::string agg_fn;
+  std::string agg_col;
+  if (lex.accept("*")) {
+    // all columns
+  } else {
+    Token first = lex.take();
+    const std::string up = Lexer::upper(first.text);
+    if ((up == "COUNT" || up == "SUM" || up == "MIN" || up == "MAX") && lex.accept("(")) {
+      agg_fn = up;
+      if (lex.accept("*")) {
+        SHADOW_REQUIRE_MSG(up == "COUNT", "only COUNT(*) may aggregate over *");
+      } else {
+        agg_col = lex.take().text;
+      }
+      lex.expect(")");
+    } else {
+      columns.push_back(first.text);
+      while (lex.accept(",")) columns.push_back(lex.take().text);
+    }
+  }
+
+  lex.expect("FROM");
+  Token table = lex.take();
+  const TableSchema& schema = resolve(lookup, table.text);
+  stmt.table = table.text;
+  for (const std::string& col : columns) stmt.select_columns.push_back(schema.column_index(col));
+  if (!agg_fn.empty()) {
+    stmt.agg = agg_fn == "COUNT"  ? Agg::kCount
+               : agg_fn == "SUM"  ? Agg::kSum
+               : agg_fn == "MIN"  ? Agg::kMin
+                                  : Agg::kMax;
+    if (!agg_col.empty()) stmt.agg_column = schema.column_index(agg_col);
+  }
+
+  if (lex.accept("WHERE")) stmt.where = parse_where(lex, schema);
+  if (lex.accept("ORDER")) {
+    lex.expect("BY");
+    Token col = lex.take();
+    const std::size_t col_idx = schema.column_index(col.text);
+    const bool desc = lex.accept("DESC");
+    if (!desc) lex.accept("ASC");
+    // The engine orders after projection; translate to a projected index.
+    std::size_t projected = col_idx;
+    if (!stmt.select_columns.empty()) {
+      auto it = std::find(stmt.select_columns.begin(), stmt.select_columns.end(), col_idx);
+      SHADOW_REQUIRE_MSG(it != stmt.select_columns.end(),
+                         "ORDER BY column must appear in the select list");
+      projected = static_cast<std::size_t>(it - stmt.select_columns.begin());
+    }
+    stmt.order_by = {projected, desc};
+  }
+  if (lex.accept("LIMIT")) {
+    Token n = lex.take();
+    stmt.limit = static_cast<std::size_t>(std::stoull(n.text));
+  }
+
+  // Point lookup when the whole PK is pinned and no aggregate/order needed.
+  if (stmt.agg == Agg::kNone && !stmt.order_by) {
+    if (auto key = try_extract_point_key(stmt.where, schema)) {
+      Statement point = make_select(stmt.table, std::move(*key));
+      point.select_columns = stmt.select_columns;
+      return point;
+    }
+  }
+  return stmt;
+}
+
+Statement parse_update(Lexer& lex, const SchemaLookup& lookup) {
+  Token table = lex.take();
+  const TableSchema& schema = resolve(lookup, table.text);
+  lex.expect("SET");
+  std::vector<SetClause> sets;
+  do {
+    Token col = lex.take();
+    SetClause set;
+    set.column = schema.column_index(col.text);
+    lex.expect("=");
+    // Either `col = literal` or `col = col + literal` / `col = col - literal`.
+    if (lex.peek().kind == TokKind::kIdent &&
+        Lexer::upper(lex.peek().text) == Lexer::upper(col.text)) {
+      lex.take();
+      Token op = lex.take();
+      SHADOW_REQUIRE_MSG(op.text == "+" || op.text == "-",
+                         "SQL syntax error: expected + or - in arithmetic SET");
+      Value delta = parse_literal(lex);
+      if (op.text == "-") {
+        delta = delta.is_double() ? Value(-delta.as_double()) : Value(-delta.as_int());
+      }
+      set.op = SetOp::kAdd;
+      set.value = std::move(delta);
+    } else {
+      set.op = SetOp::kAssign;
+      set.value = parse_literal(lex);
+    }
+    sets.push_back(std::move(set));
+  } while (lex.accept(","));
+
+  std::vector<Condition> where;
+  if (lex.accept("WHERE")) where = parse_where(lex, schema);
+  if (auto key = try_extract_point_key(where, schema)) {
+    return make_update(table.text, std::move(*key), std::move(sets));
+  }
+  return make_update_where(table.text, std::move(where), std::move(sets));
+}
+
+Statement parse_delete(Lexer& lex, const SchemaLookup& lookup) {
+  lex.expect("FROM");
+  Token table = lex.take();
+  const TableSchema& schema = resolve(lookup, table.text);
+  std::vector<Condition> where;
+  if (lex.accept("WHERE")) where = parse_where(lex, schema);
+  if (auto key = try_extract_point_key(where, schema)) {
+    return make_delete(table.text, std::move(*key));
+  }
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDeleteWhere;
+  stmt.table = table.text;
+  stmt.where = std::move(where);
+  return stmt;
+}
+
+}  // namespace
+
+Statement parse_sql(const std::string& sql, const SchemaLookup& lookup) {
+  Lexer lex(sql);
+  Token verb = lex.take();
+  const std::string up = Lexer::upper(verb.text);
+  Statement stmt;
+  if (up == "CREATE") {
+    stmt = parse_create(lex);
+  } else if (up == "INSERT") {
+    stmt = parse_insert(lex, lookup);
+  } else if (up == "SELECT") {
+    stmt = parse_select(lex, lookup);
+  } else if (up == "UPDATE") {
+    stmt = parse_update(lex, lookup);
+  } else if (up == "DELETE") {
+    stmt = parse_delete(lex, lookup);
+  } else {
+    SHADOW_REQUIRE_MSG(false, "unsupported SQL verb: " + verb.text);
+  }
+  lex.accept(";");
+  SHADOW_REQUIRE_MSG(lex.at_end(), "SQL syntax error: trailing tokens after statement");
+  return stmt;
+}
+
+}  // namespace shadow::db

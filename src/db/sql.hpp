@@ -1,0 +1,34 @@
+// Mini-SQL front end.
+//
+// ShadowDB "allows to easily plug in any JDBC-enabled database"; the textual
+// interface the examples use is a small SQL dialect that covers what the
+// paper's workloads need:
+//
+//   CREATE TABLE t (a BIGINT, b VARCHAR, c DOUBLE, PRIMARY KEY (a))
+//   INSERT INTO t VALUES (1, 'x', 2.5)
+//   SELECT * FROM t WHERE a = 1
+//   SELECT b, c FROM t WHERE c > 2 ORDER BY c DESC LIMIT 10
+//   SELECT COUNT(*) | SUM(c) | MIN(c) | MAX(c) FROM t WHERE ...
+//   UPDATE t SET c = 3, b = 'y', c = c + 1 WHERE a = 1
+//   DELETE FROM t WHERE a = 1
+//
+// WHERE clauses are conjunctions of comparisons against literals. When the
+// conjunction pins the entire primary key with equalities, the parser emits
+// a point statement (index lookup); otherwise a predicate scan.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "db/statement.hpp"
+
+namespace shadow::db {
+
+/// Resolves a table name to its schema (needed to bind column names).
+using SchemaLookup = std::function<const TableSchema*(const std::string&)>;
+
+/// Parses one SQL statement. Throws PreconditionViolation with a diagnostic
+/// on syntax errors or unknown tables/columns.
+Statement parse_sql(const std::string& sql, const SchemaLookup& lookup);
+
+}  // namespace shadow::db

@@ -1,0 +1,70 @@
+#include "db/statement.hpp"
+
+namespace shadow::db {
+
+Statement make_create_table(TableSchema schema) {
+  Statement s;
+  s.kind = Statement::Kind::kCreateTable;
+  s.table = schema.name;
+  s.schema = std::move(schema);
+  return s;
+}
+
+Statement make_insert(std::string table, Row row) {
+  Statement s;
+  s.kind = Statement::Kind::kInsert;
+  s.table = std::move(table);
+  s.row = std::move(row);
+  return s;
+}
+
+Statement make_select(std::string table, Key key) {
+  Statement s;
+  s.kind = Statement::Kind::kSelect;
+  s.table = std::move(table);
+  s.key = std::move(key);
+  return s;
+}
+
+Statement make_select_for_update(std::string table, Key key) {
+  Statement s = make_select(std::move(table), std::move(key));
+  s.for_update = true;
+  return s;
+}
+
+Statement make_update(std::string table, Key key, std::vector<SetClause> sets) {
+  Statement s;
+  s.kind = Statement::Kind::kUpdate;
+  s.table = std::move(table);
+  s.key = std::move(key);
+  s.sets = std::move(sets);
+  return s;
+}
+
+Statement make_delete(std::string table, Key key) {
+  Statement s;
+  s.kind = Statement::Kind::kDelete;
+  s.table = std::move(table);
+  s.key = std::move(key);
+  return s;
+}
+
+Statement make_scan(std::string table, std::vector<Condition> where) {
+  Statement s;
+  s.kind = Statement::Kind::kScan;
+  s.table = std::move(table);
+  s.where = std::move(where);
+  return s;
+}
+
+Statement make_update_where(std::string table, std::vector<Condition> where,
+                            std::vector<SetClause> sets) {
+  Statement s;
+  s.kind = Statement::Kind::kUpdateWhere;
+  s.table = std::move(table);
+  s.where = std::move(where);
+  s.sets = std::move(sets);
+  return s;
+}
+
+}  // namespace shadow::db

@@ -1,0 +1,83 @@
+#include "db/table.hpp"
+
+namespace shadow::db {
+
+std::size_t KeyHash::operator()(const Key& key) const {
+  std::size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : key) {
+    std::size_t vh = std::visit(
+        [](const auto& x) -> std::size_t {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, Value::Null>) {
+            return 0;
+          } else if constexpr (std::is_same_v<T, std::int64_t>) {
+            return std::hash<std::int64_t>{}(x);
+          } else if constexpr (std::is_same_v<T, double>) {
+            return std::hash<double>{}(x);
+          } else {
+            return std::hash<std::string>{}(x);
+          }
+        },
+        v.rep());
+    h ^= vh + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool HashStorage::insert(const Key& key, Row row) {
+  return rows_.try_emplace(key, std::move(row)).second;
+}
+
+const Row* HashStorage::get(const Key& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Row* HashStorage::get_mutable(const Key& key) {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool HashStorage::erase(const Key& key) { return rows_.erase(key) > 0; }
+
+void HashStorage::scan(const std::function<bool(const Key&, const Row&)>& visit) const {
+  for (const auto& [key, row] : rows_) {
+    if (!visit(key, row)) return;
+  }
+}
+
+void HashStorage::scan_from(const Key& /*start*/,
+                            const std::function<bool(const Key&, const Row&)>& visit) const {
+  scan(visit);  // no key order available: full scan
+}
+
+bool OrderedStorage::insert(const Key& key, Row row) {
+  return rows_.try_emplace(key, std::move(row)).second;
+}
+
+const Row* OrderedStorage::get(const Key& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Row* OrderedStorage::get_mutable(const Key& key) {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool OrderedStorage::erase(const Key& key) { return rows_.erase(key) > 0; }
+
+void OrderedStorage::scan(const std::function<bool(const Key&, const Row&)>& visit) const {
+  for (const auto& [key, row] : rows_) {
+    if (!visit(key, row)) return;
+  }
+}
+
+void OrderedStorage::scan_from(const Key& start,
+                               const std::function<bool(const Key&, const Row&)>& visit) const {
+  for (auto it = rows_.lower_bound(start); it != rows_.end(); ++it) {
+    if (!visit(it->first, it->second)) return;
+  }
+}
+
+}  // namespace shadow::db

@@ -1,0 +1,91 @@
+// Row storage. Two independent storage structures back the "diverse"
+// engines: a hash index (H2-like) and an ordered index (HSQLDB/Derby-like).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "db/schema.hpp"
+#include "db/value.hpp"
+
+namespace shadow::db {
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const;
+};
+
+/// Abstract per-table row store, keyed by primary key.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Inserts; returns false on duplicate key.
+  virtual bool insert(const Key& key, Row row) = 0;
+  virtual const Row* get(const Key& key) const = 0;
+  virtual Row* get_mutable(const Key& key) = 0;
+  virtual bool erase(const Key& key) = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Visits all rows (ordered stores visit in key order); the visitor
+  /// returns false to stop early.
+  virtual void scan(const std::function<bool(const Key&, const Row&)>& visit) const = 0;
+
+  /// True if scan() visits rows in primary-key order; enables index range
+  /// scans (the "less than" / "order by" optimization the MySQL memory
+  /// engine lacks, per the paper's §IV.B).
+  virtual bool ordered() const = 0;
+
+  /// Visits rows with key >= start in key order. Hash stores fall back to a
+  /// full scan (callers must not early-stop on key order then).
+  virtual void scan_from(const Key& start,
+                         const std::function<bool(const Key&, const Row&)>& visit) const = 0;
+};
+
+/// Hash-indexed storage (the H2-style engines).
+class HashStorage final : public Storage {
+ public:
+  bool insert(const Key& key, Row row) override;
+  const Row* get(const Key& key) const override;
+  Row* get_mutable(const Key& key) override;
+  bool erase(const Key& key) override;
+  std::size_t size() const override { return rows_.size(); }
+  void scan(const std::function<bool(const Key&, const Row&)>& visit) const override;
+  bool ordered() const override { return false; }
+  void scan_from(const Key& start,
+                 const std::function<bool(const Key&, const Row&)>& visit) const override;
+
+ private:
+  std::unordered_map<Key, Row, KeyHash> rows_;
+};
+
+/// Ordered storage (AVL/B-tree-style engines; scans are key-ordered).
+class OrderedStorage final : public Storage {
+ public:
+  bool insert(const Key& key, Row row) override;
+  const Row* get(const Key& key) const override;
+  Row* get_mutable(const Key& key) override;
+  bool erase(const Key& key) override;
+  std::size_t size() const override { return rows_.size(); }
+  void scan(const std::function<bool(const Key&, const Row&)>& visit) const override;
+  bool ordered() const override { return true; }
+  void scan_from(const Key& start,
+                 const std::function<bool(const Key&, const Row&)>& visit) const override;
+
+ private:
+  std::map<Key, Row> rows_;
+};
+
+/// A table: schema + storage.
+struct Table {
+  TableSchema schema;
+  std::unique_ptr<Storage> storage;
+
+  Table(TableSchema s, bool ordered)
+      : schema(std::move(s)),
+        storage(ordered ? std::unique_ptr<Storage>(std::make_unique<OrderedStorage>())
+                        : std::unique_ptr<Storage>(std::make_unique<HashStorage>())) {}
+};
+
+}  // namespace shadow::db

@@ -1,0 +1,92 @@
+#include "db/value.hpp"
+
+#include <sstream>
+
+namespace shadow::db {
+
+namespace {
+enum Tag : std::uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+}  // namespace
+
+std::size_t Value::wire_size() const {
+  return std::visit(
+      [](const auto& v) -> std::size_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Null>) {
+          return 1;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return 5 + v.size();
+        } else {
+          return 9;
+        }
+      },
+      rep_);
+}
+
+void Value::serialize(BytesWriter& w) const {
+  std::visit(
+      [&w](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Null>) {
+          w.u8(kNull);
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          w.u8(kInt);
+          w.i64(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          w.u8(kDouble);
+          w.f64(v);
+        } else {
+          w.u8(kString);
+          w.str(v);
+        }
+      },
+      rep_);
+}
+
+Value Value::deserialize(BytesReader& r) {
+  switch (r.u8()) {
+    case kNull: return Value();
+    case kInt: return Value(r.i64());
+    case kDouble: return Value(r.f64());
+    case kString: return Value(r.str());
+    default: SHADOW_CHECK_MSG(false, "bad value tag"); return Value();
+  }
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Null>) {
+          os << "NULL";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '\'' << v << '\'';
+        } else {
+          os << v;
+        }
+      },
+      rep_);
+  return os.str();
+}
+
+std::size_t row_wire_size(const Row& row) {
+  std::size_t n = 4;
+  for (const Value& v : row) n += v.wire_size();
+  return n;
+}
+
+void serialize_row(BytesWriter& w, const Row& row) {
+  w.u32(static_cast<std::uint32_t>(row.size()));
+  for (const Value& v : row) v.serialize(w);
+}
+
+Row deserialize_row(BytesReader& r) {
+  const std::uint32_t n = r.u32();
+  Row row;
+  row.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) row.push_back(Value::deserialize(r));
+  return row;
+}
+
+}  // namespace shadow::db

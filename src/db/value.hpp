@@ -1,0 +1,79 @@
+// SQL values and rows for the in-memory database engines.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+
+namespace shadow::db {
+
+/// A SQL value: NULL, BIGINT, DOUBLE or VARCHAR.
+class Value {
+ public:
+  struct Null {
+    auto operator<=>(const Null&) const = default;
+  };
+  using Rep = std::variant<Null, std::int64_t, double, std::string>;
+
+  Value() : rep_(Null{}) {}
+  Value(std::int64_t v) : rep_(v) {}        // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(std::int64_t{v}) {}   // NOLINT(google-explicit-constructor)
+  Value(double v) : rep_(v) {}              // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_null() const { return std::holds_alternative<Null>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  std::int64_t as_int() const {
+    const auto* p = std::get_if<std::int64_t>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a BIGINT");
+    return *p;
+  }
+  double as_double() const {
+    if (const auto* p = std::get_if<double>(&rep_)) return *p;
+    return static_cast<double>(as_int());  // implicit widening, like SQL
+  }
+  const std::string& as_string() const {
+    const auto* p = std::get_if<std::string>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a VARCHAR");
+    return *p;
+  }
+
+  /// Arithmetic add used by `SET col = col + x` updates; NULL-propagating.
+  Value plus(const Value& other) const {
+    if (is_null() || other.is_null()) return Value();
+    if (is_int() && other.is_int()) return Value(as_int() + other.as_int());
+    return Value(as_double() + other.as_double());
+  }
+
+  auto operator<=>(const Value&) const = default;
+
+  const Rep& rep() const { return rep_; }
+
+  /// Serialized size in bytes (for snapshot batches and wire accounting).
+  std::size_t wire_size() const;
+  void serialize(BytesWriter& w) const;
+  static Value deserialize(BytesReader& r);
+
+  std::string to_string() const;
+
+ private:
+  Rep rep_;
+};
+
+using Row = std::vector<Value>;
+using Key = std::vector<Value>;
+
+std::size_t row_wire_size(const Row& row);
+void serialize_row(BytesWriter& w, const Row& row);
+Row deserialize_row(BytesReader& r);
+
+}  // namespace shadow::db

@@ -1,0 +1,110 @@
+#include "eventml/class_expr.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace shadow::eventml {
+
+ClassPtr base(std::string header, std::uint64_t weight) {
+  auto node = std::make_shared<ClassExpr>();
+  node->kind = ClassKind::kBase;
+  node->name = header + "'base";
+  node->header = std::move(header);
+  node->weight = weight;
+  return node;
+}
+
+ClassPtr state_class(std::string name, ValuePtr init, UpdateFn update, ClassPtr sub,
+                     std::uint64_t weight) {
+  SHADOW_REQUIRE(init != nullptr && update != nullptr && sub != nullptr);
+  auto node = std::make_shared<ClassExpr>();
+  node->kind = ClassKind::kState;
+  node->name = std::move(name);
+  node->init = std::move(init);
+  node->update = std::move(update);
+  node->children = {std::move(sub)};
+  node->weight = weight;
+  return node;
+}
+
+ClassPtr compose(std::string name, HandlerFn handler, std::vector<ClassPtr> subs,
+                 std::uint64_t weight) {
+  SHADOW_REQUIRE(handler != nullptr && !subs.empty());
+  auto node = std::make_shared<ClassExpr>();
+  node->kind = ClassKind::kCompose;
+  node->name = std::move(name);
+  node->handler = std::move(handler);
+  node->children = std::move(subs);
+  node->weight = weight;
+  return node;
+}
+
+ClassPtr parallel(std::string name, std::vector<ClassPtr> subs, std::uint64_t weight) {
+  SHADOW_REQUIRE(!subs.empty());
+  auto node = std::make_shared<ClassExpr>();
+  node->kind = ClassKind::kParallel;
+  node->name = std::move(name);
+  node->children = std::move(subs);
+  node->weight = weight;
+  return node;
+}
+
+ClassPtr once(std::string name, ClassPtr sub, std::uint64_t weight) {
+  SHADOW_REQUIRE(sub != nullptr);
+  auto node = std::make_shared<ClassExpr>();
+  node->kind = ClassKind::kOnce;
+  node->name = std::move(name);
+  node->children = {std::move(sub)};
+  node->weight = weight;
+  return node;
+}
+
+namespace {
+
+void count_nodes(const ClassPtr& node, AstStats& stats,
+                 std::unordered_set<const ClassExpr*>& seen) {
+  ++stats.total_nodes;
+  stats.total_weight += node->weight;
+  if (seen.insert(node.get()).second) ++stats.distinct_nodes;
+  for (const ClassPtr& child : node->children) count_nodes(child, stats, seen);
+}
+
+}  // namespace
+
+AstStats ast_stats(const ClassPtr& root) {
+  SHADOW_REQUIRE(root != nullptr);
+  AstStats stats;
+  std::unordered_set<const ClassExpr*> seen;
+  count_nodes(root, stats, seen);
+  return stats;
+}
+
+std::size_t value_wire_size(const ValuePtr& v) {
+  if (!v) return 1;
+  return std::visit(
+      [](const auto& x) -> std::size_t {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, Value::Unit>) {
+          return 1;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return 8;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return 4 + x.size();
+        } else if constexpr (std::is_same_v<T, NodeId>) {
+          return 4;
+        } else if constexpr (std::is_same_v<T, Value::Pair>) {
+          return 1 + value_wire_size(x.first) + value_wire_size(x.second);
+        } else if constexpr (std::is_same_v<T, Value::List>) {
+          std::size_t n = 4;
+          for (const auto& item : x) n += value_wire_size(item);
+          return n;
+        } else {  // Directive
+          return 8 + x.header.size() + value_wire_size(x.body);
+        }
+      },
+      v->rep());
+}
+
+}  // namespace shadow::eventml

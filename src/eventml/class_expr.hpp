@@ -1,0 +1,87 @@
+// Event classes — the combinator AST of the embedded EventML DSL.
+//
+// An event class is a function from events to (bags of) outputs. Base
+// classes recognize messages by header; State classes fold an update
+// function over recognized events; the composition combinator `o` applies a
+// handler to the simultaneous outputs of several classes; Parallel (the
+// paper's X || Y) merges outputs; Once produces only the first output.
+//
+// Each node carries a `weight`: the abstract work (expanded GPM AST nodes)
+// one evaluation of the node represents. The tree-walking interpreter sums
+// weights of visited nodes; this is the quantity the execution-tier cost
+// model converts to virtual CPU time (gpm/tier.hpp) and the quantity
+// reported in the Table I reproduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eventml/value.hpp"
+
+namespace shadow::eventml {
+
+enum class ClassKind : std::uint8_t {
+  kBase,      // msg'base: recognize messages with a given header
+  kState,     // State (init, update, sub): a state machine over sub's outputs
+  kCompose,   // f o (subs...): apply handler when every sub produces
+  kParallel,  // X || Y: union of outputs
+  kOnce,      // produce only the first output of sub
+};
+
+struct ClassExpr;
+using ClassPtr = std::shared_ptr<const ClassExpr>;
+
+/// State update: slf -> input -> state -> new state.
+using UpdateFn = std::function<ValuePtr(NodeId slf, const ValuePtr& input, const ValuePtr& state)>;
+
+/// Composition handler: slf -> inputs -> bag of outputs.
+using HandlerFn =
+    std::function<std::vector<ValuePtr>(NodeId slf, const std::vector<ValuePtr>& inputs)>;
+
+struct ClassExpr {
+  ClassKind kind = ClassKind::kBase;
+  std::string name;     // identity for CSE and diagnostics
+  std::string header;   // kBase only
+  ValuePtr init;        // kState only
+  UpdateFn update;      // kState only
+  HandlerFn handler;    // kCompose only
+  std::vector<ClassPtr> children;
+  std::uint64_t weight = 8;  // abstract work per evaluation of this node
+};
+
+// -- builders (the surface syntax of the embedded DSL) -----------------------
+
+/// `internal msg : T` implicitly declares msg'base; this is that recognizer.
+ClassPtr base(std::string header, std::uint64_t weight = 8);
+
+/// `class C = State (init, update, sub)`.
+ClassPtr state_class(std::string name, ValuePtr init, UpdateFn update, ClassPtr sub,
+                     std::uint64_t weight = 12);
+
+/// `class C = f o (subs...)`.
+ClassPtr compose(std::string name, HandlerFn handler, std::vector<ClassPtr> subs,
+                 std::uint64_t weight = 10);
+
+/// `class C = X || Y || ...`.
+ClassPtr parallel(std::string name, std::vector<ClassPtr> subs, std::uint64_t weight = 4);
+
+/// `class C = Once(sub)`.
+ClassPtr once(std::string name, ClassPtr sub, std::uint64_t weight = 6);
+
+// -- statistics (Table I) -----------------------------------------------------
+
+struct AstStats {
+  std::uint64_t total_nodes = 0;     // nodes counting repeated references
+  std::uint64_t distinct_nodes = 0;  // unique node objects (after sharing)
+  std::uint64_t total_weight = 0;    // sum of weights over total_nodes
+};
+
+AstStats ast_stats(const ClassPtr& root);
+
+/// Estimated wire size of a value (bytes), used for the bandwidth model.
+std::size_t value_wire_size(const ValuePtr& v);
+
+}  // namespace shadow::eventml

@@ -1,0 +1,182 @@
+#include "eventml/instance.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace shadow::eventml {
+
+namespace {
+// The current event, threaded through evaluation.
+struct CurrentEvent {
+  const std::string* header;
+  const ValuePtr* body;
+};
+thread_local const CurrentEvent* g_event = nullptr;
+
+struct EventScope {
+  explicit EventScope(const CurrentEvent& e) { g_event = &e; }
+  ~EventScope() { g_event = nullptr; }
+};
+}  // namespace
+
+Instance::Instance(ClassPtr root, NodeId slf, InterpreterKind kind)
+    : root_(std::move(root)), slf_(slf), kind_(kind) {
+  SHADOW_REQUIRE(root_ != nullptr);
+  layout_ = build_layout(root_);
+  states_ = layout_->initial_states;
+  fired_.assign(layout_->once_slot.size(), false);
+}
+
+std::shared_ptr<const Instance::Layout> Instance::build_layout(const ClassPtr& root) {
+  auto layout = std::make_shared<Layout>();
+  std::vector<const ClassExpr*> stack{root.get()};
+  std::unordered_map<const ClassExpr*, bool> seen;
+  while (!stack.empty()) {
+    const ClassExpr* node = stack.back();
+    stack.pop_back();
+    if (seen[node]) continue;
+    seen[node] = true;
+    if (node->kind == ClassKind::kState) {
+      const std::size_t slot = layout->initial_states.size();
+      layout->state_slot[node] = slot;
+      layout->initial_states.push_back(node->init);
+      // First definition wins for name lookup; duplicates are distinct
+      // machines (they get unified by the optimizer's CSE).
+      layout->state_by_name.try_emplace(node->name, slot);
+    } else if (node->kind == ClassKind::kOnce) {
+      layout->once_slot[node] = layout->once_slot.size();
+    }
+    for (const ClassPtr& child : node->children) stack.push_back(child.get());
+  }
+  return layout;
+}
+
+Instance::EventResult Instance::on_event(const std::string& header, const ValuePtr& body) {
+  Memo memo;
+  std::uint64_t work = 0;
+  CurrentEvent event{&header, &body};
+  EventScope scope(event);
+  Eval eval = kind_ == InterpreterKind::kRecursive
+                  ? eval_recursive(*root_, header, body, memo, work)
+                  : eval_worklist(*root_, header, body, memo, work);
+  return EventResult{eval.recognized, std::move(eval.outputs), work};
+}
+
+const ValuePtr& Instance::state_of(const std::string& state_class_name) const {
+  auto it = layout_->state_by_name.find(state_class_name);
+  SHADOW_REQUIRE_MSG(it != layout_->state_by_name.end(),
+                     "unknown State class: " + state_class_name);
+  return states_[it->second];
+}
+
+Instance::Eval Instance::apply_node(const ClassExpr& node, std::vector<Eval> child_results) {
+  SHADOW_CHECK(g_event != nullptr);
+  switch (node.kind) {
+    case ClassKind::kBase: {
+      if (*g_event->header != node.header) return {};
+      return Eval{true, {*g_event->body}};
+    }
+    case ClassKind::kState: {
+      Eval& sub = child_results[0];
+      if (!sub.recognized || sub.outputs.empty()) return {};
+      const std::size_t slot = layout_->state_slot.at(&node);
+      ValuePtr state = states_[slot];
+      for (const ValuePtr& input : sub.outputs) state = node.update(slf_, input, state);
+      states_[slot] = state;
+      return Eval{true, {std::move(state)}};
+    }
+    case ClassKind::kCompose: {
+      std::vector<ValuePtr> inputs;
+      inputs.reserve(child_results.size());
+      for (Eval& sub : child_results) {
+        if (!sub.recognized || sub.outputs.empty()) return {};
+        inputs.push_back(sub.outputs.front());
+      }
+      return Eval{true, node.handler(slf_, inputs)};
+    }
+    case ClassKind::kParallel: {
+      Eval out;
+      for (Eval& sub : child_results) {
+        if (!sub.recognized) continue;
+        out.recognized = true;
+        out.outputs.insert(out.outputs.end(), sub.outputs.begin(), sub.outputs.end());
+      }
+      return out;
+    }
+    case ClassKind::kOnce: {
+      const std::size_t slot = layout_->once_slot.at(&node);
+      if (fired_[slot]) return {};
+      Eval& sub = child_results[0];
+      if (!sub.recognized || sub.outputs.empty()) return {};
+      fired_[slot] = true;
+      return std::move(sub);
+    }
+  }
+  SHADOW_CHECK_MSG(false, "unreachable class kind");
+  return {};
+}
+
+Instance::Eval Instance::eval_recursive(const ClassExpr& node, const std::string& header,
+                                        const ValuePtr& body, Memo& memo, std::uint64_t& work) {
+  if (auto it = memo.find(&node); it != memo.end()) {
+    work += 1;  // memo hit: a shared subexpression, already computed
+    return it->second;
+  }
+  work += node.weight;
+  std::vector<Eval> child_results;
+  child_results.reserve(node.children.size());
+  for (const ClassPtr& child : node.children) {
+    child_results.push_back(eval_recursive(*child, header, body, memo, work));
+  }
+  Eval result = apply_node(node, std::move(child_results));
+  memo[&node] = result;
+  return result;
+}
+
+Instance::Eval Instance::eval_worklist(const ClassExpr& root, const std::string& /*header*/,
+                                       const ValuePtr& /*body*/, Memo& memo,
+                                       std::uint64_t& work) {
+  // Explicit-stack post-order evaluation: a frame is (node, next child to
+  // evaluate, results so far). Memoized results short-circuit.
+  struct Frame {
+    const ClassExpr* node;
+    std::size_t next_child = 0;
+    std::vector<Eval> results;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root, 0, {}});
+  Eval last;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == 0) {
+      if (auto it = memo.find(frame.node); it != memo.end()) {
+        work += 1;
+        last = it->second;
+        stack.pop_back();
+        if (!stack.empty()) stack.back().results.push_back(last);
+        continue;
+      }
+      work += frame.node->weight;
+    }
+    if (frame.next_child < frame.node->children.size()) {
+      const ClassExpr* child = frame.node->children[frame.next_child].get();
+      ++frame.next_child;
+      if (auto it = memo.find(child); it != memo.end()) {
+        work += 1;
+        frame.results.push_back(it->second);
+        continue;
+      }
+      stack.push_back(Frame{child, 0, {}});
+      continue;
+    }
+    Eval result = apply_node(*frame.node, std::move(frame.results));
+    memo[frame.node] = result;
+    last = std::move(result);
+    stack.pop_back();
+    if (!stack.empty()) stack.back().results.push_back(last);
+  }
+  return last;
+}
+
+}  // namespace shadow::eventml

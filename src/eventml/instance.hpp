@@ -1,0 +1,83 @@
+// Per-location runtime instances of an event-class program, with two
+// independent interpreters.
+//
+// The paper runs Nuprl programs in two interpreters (SML and OCaml) and
+// exploits that diversity for reliability (Sec. III-C). We mirror this with
+// two independently written evaluators over the same combinator AST: a
+// recursive tree-walker and an explicit-stack work-list evaluator. Tests
+// cross-check that they produce identical outputs and states.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eventml/class_expr.hpp"
+
+namespace shadow::eventml {
+
+enum class InterpreterKind : std::uint8_t {
+  kRecursive,  // direct recursive evaluation (the "SML" interpreter)
+  kWorklist,   // explicit-stack post-order evaluation (the "OCaml" interpreter)
+};
+
+/// The runtime state of one event-class program at one location.
+/// Copyable with value semantics: copies snapshot all state-machine states,
+/// which is what lets GPM processes remain immutable values.
+class Instance {
+ public:
+  Instance(ClassPtr root, NodeId slf, InterpreterKind kind = InterpreterKind::kRecursive);
+
+  struct EventResult {
+    bool recognized = false;
+    std::vector<ValuePtr> outputs;  // the bag produced by the main class
+    std::uint64_t work = 0;         // abstract work units consumed
+  };
+
+  /// Feeds one event (an incoming message) to the program.
+  EventResult on_event(const std::string& header, const ValuePtr& body);
+
+  /// Current state of the named State class (throws if unknown). Test hook
+  /// mirroring the single-valued "ClockVal" observation in the paper.
+  const ValuePtr& state_of(const std::string& state_class_name) const;
+
+  NodeId slf() const { return slf_; }
+  const ClassPtr& root() const { return root_; }
+
+ private:
+  // Immutable per-program layout: slot assignment for State/Once nodes.
+  struct Layout {
+    std::unordered_map<const ClassExpr*, std::size_t> state_slot;
+    std::unordered_map<const ClassExpr*, std::size_t> once_slot;
+    std::unordered_map<std::string, std::size_t> state_by_name;
+    std::vector<ValuePtr> initial_states;
+  };
+
+  // The per-event evaluation: `recognized` distinguishes "produced an empty
+  // bag" from "did not recognize the event".
+  struct Eval {
+    bool recognized = false;
+    std::vector<ValuePtr> outputs;
+  };
+  using Memo = std::unordered_map<const ClassExpr*, Eval>;
+
+  Eval eval_recursive(const ClassExpr& node, const std::string& header, const ValuePtr& body,
+                      Memo& memo, std::uint64_t& work);
+  Eval eval_worklist(const ClassExpr& root, const std::string& header, const ValuePtr& body,
+                     Memo& memo, std::uint64_t& work);
+  Eval apply_node(const ClassExpr& node, std::vector<Eval> child_results);
+
+  static std::shared_ptr<const Layout> build_layout(const ClassPtr& root);
+
+  ClassPtr root_;
+  NodeId slf_;
+  InterpreterKind kind_;
+  std::shared_ptr<const Layout> layout_;
+  std::vector<ValuePtr> states_;
+  std::vector<bool> fired_;
+};
+
+}  // namespace shadow::eventml

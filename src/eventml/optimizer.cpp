@@ -1,0 +1,82 @@
+#include "eventml/optimizer.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace shadow::eventml {
+namespace {
+
+/// Hash-consing key: node identity is (kind, name, header, child identities).
+/// Function members (update/handler) cannot be compared, so like EventML —
+/// where a name refers to one definition — equal names imply equal
+/// semantics. Builders give every node a name.
+struct ConsKey {
+  ClassKind kind;
+  std::string name;
+  std::string header;
+  std::vector<const ClassExpr*> children;
+
+  bool operator<(const ConsKey& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (name != o.name) return name < o.name;
+    if (header != o.header) return header < o.header;
+    return children < o.children;
+  }
+};
+
+class HashConser {
+ public:
+  explicit HashConser(double fusion_gain) : fusion_gain_(fusion_gain) {}
+
+  ClassPtr intern(const ClassPtr& node) {
+    if (auto it = done_.find(node.get()); it != done_.end()) return it->second;
+
+    std::vector<ClassPtr> new_children;
+    new_children.reserve(node->children.size());
+    ConsKey key{node->kind, node->name, node->header, {}};
+    for (const ClassPtr& child : node->children) {
+      ClassPtr interned = intern(child);
+      key.children.push_back(interned.get());
+      new_children.push_back(std::move(interned));
+    }
+
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      done_[node.get()] = it->second;
+      return it->second;
+    }
+
+    auto fused = std::make_shared<ClassExpr>(*node);
+    fused->children = std::move(new_children);
+    fused->weight = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(node->weight) * fusion_gain_));
+    ClassPtr result = fused;
+    table_.emplace(std::move(key), result);
+    done_[node.get()] = result;
+    return result;
+  }
+
+ private:
+  double fusion_gain_;
+  std::map<ConsKey, ClassPtr> table_;
+  std::unordered_map<const ClassExpr*, ClassPtr> done_;
+};
+
+}  // namespace
+
+OptimizeResult optimize(const ClassPtr& root, OptimizerConfig config) {
+  SHADOW_REQUIRE(root != nullptr);
+  OptimizeResult result;
+  result.before = ast_stats(root);
+  HashConser conser(config.fusion_gain);
+  result.root = conser.intern(root);
+  result.after = ast_stats(result.root);
+  return result;
+}
+
+}  // namespace shadow::eventml

@@ -1,0 +1,56 @@
+#include "eventml/specs/clk.hpp"
+
+#include <algorithm>
+
+namespace shadow::eventml::specs {
+
+ValuePtr clk_msg_body(ValuePtr value, std::int64_t timestamp) {
+  return Value::pair(std::move(value), Value::integer(timestamp));
+}
+
+Spec make_clk_spec(ClkParams params) {
+  // let upd_clock slf (_, timestamp) clock = (imax timestamp clock) + 1
+  UpdateFn upd_clock = [](NodeId /*slf*/, const ValuePtr& input, const ValuePtr& state) {
+    const std::int64_t timestamp = snd(input)->as_int();
+    const std::int64_t clock = state->as_int();
+    return Value::integer(std::max(timestamp, clock) + 1);
+  };
+
+  // class Clock = State (0, upd_clock, msg'base)
+  //
+  // msg'base appears twice in the specification (inside Clock and as a
+  // direct input of Handler); like EventML's compiler output, the
+  // unoptimized program duplicates it — the optimizer's CSE unifies the two
+  // occurrences so the event is recognized once.
+  ClassPtr clock = state_class("Clock", Value::integer(0), std::move(upd_clock),
+                               base(kClkMsgHeader));
+
+  // let on_msg slf (value, _) clock =
+  //   let (newval, recipient) = handle (slf, value)
+  //   in {msg'send recipient (newval, clock)}
+  HandlerFn on_msg = [handle = std::move(params.handle)](NodeId slf,
+                                                         const std::vector<ValuePtr>& inputs) {
+    const ValuePtr& msg = inputs[0];
+    const ValuePtr& clock = inputs[1];
+    auto [newval, recipient] = handle(slf, fst(msg));
+    return std::vector<ValuePtr>{
+        Value::send(recipient, kClkMsgHeader, clk_msg_body(std::move(newval), clock->as_int()))};
+  };
+
+  // class Handler = on_msg o (msg'base, Clock)
+  ClassPtr handler =
+      compose("Handler", std::move(on_msg), {base(kClkMsgHeader), std::move(clock)});
+
+  Spec spec;
+  spec.name = "CLK";
+  spec.main = std::move(handler);
+  spec.properties = {
+      {PropertyKind::kProgress, "strict_inc",
+       "clock1 in Clock at e1, clock2 in Clock at a later e2 ==> clock1 < clock2"},
+      {PropertyKind::kSafety, "clock_condition",
+       "e1 -> e2 ==> LC(e1) < LC(e2) (Lamport's Clock Condition)"},
+  };
+  return spec;
+}
+
+}  // namespace shadow::eventml::specs

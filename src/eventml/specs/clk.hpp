@@ -1,0 +1,48 @@
+// Lamport's logical clocks — the paper's running example (Fig. 3).
+//
+// EventML original:
+//
+//   specification CLK
+//   parameter locs   : Loc Bag
+//   parameter MsgVal : Type
+//   parameter handle : Loc x MsgVal -> MsgVal x Loc
+//   type Timestamp = Int
+//   internal msg : MsgVal x Timestamp
+//   let upd_clock slf (_,timestamp) clock = (imax timestamp clock) + 1 ;;
+//   class Clock = State (0, upd_clock, msg'base) ;;
+//   let on_msg slf (value,_) clock =
+//     let (newval, recipient) = handle (slf, value)
+//     in {msg'send recipient (newval, clock)} ;;
+//   class Handler = on_msg o (msg'base, Clock) ;;
+//   main Handler @ locs
+//
+// The correctness properties stated about CLK (checked by
+// loe/properties.hpp over recorded executions):
+//   progress strict_inc : the Clock state strictly increases, and
+//   the Clock Condition : e1 → e2  ⇒  LC(e1) < LC(e2).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "eventml/spec.hpp"
+
+namespace shadow::eventml::specs {
+
+struct ClkParams {
+  std::vector<NodeId> locs;
+  /// The `handle` parameter: maps (slf, value) to (new value, recipient).
+  std::function<std::pair<ValuePtr, NodeId>(NodeId slf, const ValuePtr& value)> handle;
+};
+
+/// Header of CLK's internal message type (`internal msg`).
+inline constexpr const char* kClkMsgHeader = "msg";
+
+/// Builds the CLK constructive specification.
+Spec make_clk_spec(ClkParams params);
+
+/// Builds the body of a CLK message: (value, timestamp).
+ValuePtr clk_msg_body(ValuePtr value, std::int64_t timestamp);
+
+}  // namespace shadow::eventml::specs

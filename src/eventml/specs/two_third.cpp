@@ -1,0 +1,197 @@
+#include "eventml/specs/two_third.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "eventml/instance.hpp"
+
+namespace shadow::eventml::specs {
+
+namespace {
+
+// Input tags produced by the recognizer layer.
+constexpr std::int64_t kTagPropose = 0;
+constexpr std::int64_t kTagVote = 1;
+constexpr std::int64_t kTagDecide = 2;
+
+// Pending actions the state machine leaves for the send handler.
+constexpr std::int64_t kActNone = 0;
+constexpr std::int64_t kActVote = 1;       // broadcast our current (round, est)
+constexpr std::int64_t kActAnnounce = 2;   // broadcast the decision
+constexpr std::int64_t kActTellSender = 3; // point the vote's sender at the decision
+
+// state ::= [round, estimate(unit|int), votes, status, action]
+// votes ::= list of (sender, (round, est))
+constexpr std::size_t kRound = 0;
+constexpr std::size_t kEstimate = 1;
+constexpr std::size_t kVotes = 2;
+constexpr std::size_t kStatus = 3;
+constexpr std::size_t kAction = 4;
+
+ValuePtr initial_state() {
+  return Value::list({Value::integer(0), Value::unit(), Value::list({}),
+                      Value::integer(0), Value::integer(kActNone)});
+}
+
+ValuePtr make_state(std::int64_t round, ValuePtr estimate, Value::List votes,
+                    std::int64_t status, std::int64_t action) {
+  return Value::list({Value::integer(round), std::move(estimate),
+                      Value::list(std::move(votes)), Value::integer(status),
+                      Value::integer(action)});
+}
+
+/// The One-Third-Rule state transition (the paper's TwoThird update).
+ValuePtr tt_update(std::size_t n, NodeId /*slf*/, const ValuePtr& input,
+                   const ValuePtr& state) {
+  const auto& fields = state->as_list();
+  std::int64_t round = fields[kRound]->as_int();
+  ValuePtr estimate = fields[kEstimate];
+  Value::List votes = fields[kVotes]->as_list();
+  std::int64_t status = fields[kStatus]->as_int();
+
+  const std::int64_t tag = fst(input)->as_int();
+  const ValuePtr payload = snd(input);
+  const std::size_t threshold = 2 * n / 3 + 1;  // strictly more than 2n/3
+
+  if (tag == kTagDecide) {
+    if (status == 1) return make_state(round, estimate, std::move(votes), 1, kActNone);
+    return make_state(round, payload, std::move(votes), 1, kActNone);
+  }
+
+  if (status == 1) {
+    // Already decided: answer votes so laggards learn; ignore proposals.
+    const std::int64_t action = tag == kTagVote ? kActTellSender : kActNone;
+    return make_state(round, estimate, std::move(votes), 1, action);
+  }
+
+  if (tag == kTagPropose) {
+    if (!estimate->is_unit()) {
+      return make_state(round, estimate, std::move(votes), 0, kActNone);
+    }
+    return make_state(round, payload, std::move(votes), 0, kActVote);
+  }
+
+  SHADOW_CHECK(tag == kTagVote);
+  const ValuePtr sender = fst(payload);
+  const std::int64_t vote_round = fst(snd(payload))->as_int();
+  const ValuePtr vote_est = snd(snd(payload));
+
+  // Participate even without a proposal: adopt the first estimate seen.
+  std::int64_t action = kActNone;
+  if (estimate->is_unit()) {
+    estimate = vote_est;
+    action = kActVote;
+  }
+
+  // Record the vote, one per (sender, round).
+  const bool duplicate = std::any_of(votes.begin(), votes.end(), [&](const ValuePtr& v) {
+    return fst(v)->as_loc() == sender->as_loc() && fst(snd(v))->as_int() == vote_round;
+  });
+  if (!duplicate) {
+    votes.push_back(Value::pair(sender, Value::pair(Value::integer(vote_round), vote_est)));
+  }
+
+  // Advance while the current round has enough votes (buffered future-round
+  // votes can cascade).
+  while (true) {
+    std::map<std::int64_t, std::size_t> freq;
+    std::size_t in_round = 0;
+    for (const ValuePtr& v : votes) {
+      if (fst(snd(v))->as_int() != round) continue;
+      ++in_round;
+      ++freq[snd(snd(v))->as_int()];
+    }
+    if (in_round < threshold) break;
+    // Smallest most frequent value (std::map iterates keys in order).
+    std::int64_t best = 0;
+    std::size_t best_count = 0;
+    for (const auto& [value, count] : freq) {
+      if (count > best_count) {
+        best = value;
+        best_count = count;
+      }
+    }
+    if (best_count >= threshold) {
+      return make_state(round, Value::integer(best), std::move(votes), 1, kActAnnounce);
+    }
+    estimate = Value::integer(best);
+    round += 1;
+    action = kActVote;
+  }
+  return make_state(round, estimate, std::move(votes), 0, action);
+}
+
+}  // namespace
+
+Spec make_two_third_spec(TwoThirdParams params) {
+  const std::size_t n = params.locs.size();
+  SHADOW_REQUIRE_MSG(n >= 4, "One-Third-Rule needs n > 3f; use at least 4 locations");
+
+  // Recognizer layer: tag each message kind so one State folds all three.
+  const auto tagger = [](std::int64_t tag) {
+    return [tag](NodeId, const std::vector<ValuePtr>& inputs) {
+      return std::vector<ValuePtr>{Value::pair(Value::integer(tag), inputs[0])};
+    };
+  };
+  ClassPtr inputs = parallel(
+      "TTInputs",
+      {compose("TagPropose", tagger(kTagPropose), {base(kTTProposeHeader)}),
+       compose("TagVote", tagger(kTagVote), {base(kTTVoteHeader)}),
+       compose("TagDecide", tagger(kTagDecide), {base(kTTDecideHeader)})});
+
+  // class TTState = State (init, tt_update, TTInputs)
+  UpdateFn update = [n](NodeId slf, const ValuePtr& input, const ValuePtr& state) {
+    return tt_update(n, slf, input, state);
+  };
+  ClassPtr tt_state = state_class("TTState", initial_state(), std::move(update), inputs,
+                                  /*weight=*/24);
+
+  // class TTHandler = emit o (TTInputs, TTState)
+  HandlerFn emit = [locs = params.locs](NodeId slf, const std::vector<ValuePtr>& in) {
+    const ValuePtr& tagged = in[0];
+    const auto& fields = in[1]->as_list();
+    const std::int64_t action = fields[kAction]->as_int();
+    std::vector<ValuePtr> out;
+    if (action == kActVote) {
+      const ValuePtr vote = Value::pair(
+          Value::loc(slf), Value::pair(fields[kRound], fields[kEstimate]));
+      for (NodeId peer : locs) out.push_back(Value::send(peer, kTTVoteHeader, vote));
+    } else if (action == kActAnnounce) {
+      for (NodeId peer : locs) {
+        if (peer != slf) out.push_back(Value::send(peer, kTTDecideHeader, fields[kEstimate]));
+      }
+    } else if (action == kActTellSender) {
+      const ValuePtr sender = fst(snd(tagged));
+      out.push_back(Value::send(sender->as_loc(), kTTDecideHeader, fields[kEstimate]));
+    }
+    return out;
+  };
+  ClassPtr handler = compose("TTHandler", std::move(emit), {inputs, tt_state},
+                             /*weight=*/16);
+
+  Spec spec;
+  spec.name = "TwoThird";
+  spec.main = std::move(handler);
+  spec.properties = {
+      {PropertyKind::kSafety, "agreement", "no two locations decide different values"},
+      {PropertyKind::kSafety, "validity", "every decided value was proposed"},
+      {PropertyKind::kSafety, "integrity",
+       "Status only moves 0 -> 1 and the decided estimate never changes"},
+      {PropertyKind::kProgress, "round_progress",
+       "rounds are non-decreasing and advance only with > 2n/3 votes"},
+  };
+  return spec;
+}
+
+std::optional<std::int64_t> two_third_decision(const Instance& instance) {
+  const auto& fields = instance.state_of("TTState")->as_list();
+  if (fields[kStatus]->as_int() != 1) return std::nullopt;
+  return fields[kEstimate]->as_int();
+}
+
+std::int64_t two_third_round(const Instance& instance) {
+  return instance.state_of("TTState")->as_list()[kRound]->as_int();
+}
+
+}  // namespace shadow::eventml::specs

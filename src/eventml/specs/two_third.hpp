@@ -1,0 +1,55 @@
+// TwoThird consensus (single decree) as an EventML-DSL constructive
+// specification — the protocol the paper's formal development started from
+// (Sec. II-D, Table I: "TwoThird Consensus ... 646N EventML spec").
+//
+// The One-Third-Rule algorithm, fully symmetric and leaderless:
+//
+//   state    ::= (round, estimate, votes, status)
+//   on propose v : adopt estimate v (if none) and vote;
+//   on vote (sender, round, est):
+//       record the vote; once votes from more than 2n/3 processes are in for
+//       the current round, let v be the smallest most frequent estimate:
+//       decide v if more than 2n/3 of them equal v, else adopt v and start
+//       the next round;
+//   on decide v : adopt the decision (laggards learn).
+//
+// The specification is a State class folded over the recognizers of the
+// three message kinds, composed with a handler that turns the state
+// machine's pending action (vote / decide announcements) into sends —
+// exactly the State + `o` idiom of the paper's Fig. 3, scaled up from CLK.
+//
+// Correctness properties (machine-checked in tests/eventml/two_third_spec_test):
+//   agreement — no two locations decide different values;
+//   validity  — every decided value was proposed;
+//   integrity — a location's decision, once set, never changes (a progress-
+//               style property of the Status state component);
+//   termination under partial synchrony with f < n/3 crashes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "eventml/instance.hpp"
+#include "eventml/spec.hpp"
+
+namespace shadow::eventml::specs {
+
+inline constexpr const char* kTTProposeHeader = "tt-propose";  // body: int value
+inline constexpr const char* kTTVoteHeader = "tt-vote";    // body: (sender,(round,est))
+inline constexpr const char* kTTDecideHeader = "tt-decide";  // body: int value
+
+struct TwoThirdParams {
+  std::vector<NodeId> locs;  // all participants; |locs| > 3f
+};
+
+/// Builds the constructive specification `main TTHandler @ locs`.
+Spec make_two_third_spec(TwoThirdParams params);
+
+/// Reads the decision of a location's instance, if it decided.
+/// (Observation hook for tests, mirroring ClockVal@e in the paper.)
+std::optional<std::int64_t> two_third_decision(const Instance& instance);
+
+/// Current round of a location's instance (for progress checks).
+std::int64_t two_third_round(const Instance& instance);
+
+}  // namespace shadow::eventml::specs

@@ -1,0 +1,69 @@
+#include "eventml/value.hpp"
+
+#include <sstream>
+
+namespace shadow::eventml {
+
+bool value_eq(const ValuePtr& a, const ValuePtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  const auto& ra = a->rep();
+  const auto& rb = b->rep();
+  if (ra.index() != rb.index()) return false;
+  return std::visit(
+      [&](const auto& va) -> bool {
+        using T = std::decay_t<decltype(va)>;
+        const auto& vb = std::get<T>(rb);
+        if constexpr (std::is_same_v<T, Value::Unit>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, std::int64_t> ||
+                             std::is_same_v<T, std::string> || std::is_same_v<T, NodeId>) {
+          return va == vb;
+        } else if constexpr (std::is_same_v<T, Value::Pair>) {
+          return value_eq(va.first, vb.first) && value_eq(va.second, vb.second);
+        } else if constexpr (std::is_same_v<T, Value::List>) {
+          if (va.size() != vb.size()) return false;
+          for (std::size_t i = 0; i < va.size(); ++i) {
+            if (!value_eq(va[i], vb[i])) return false;
+          }
+          return true;
+        } else {  // Directive
+          return va.to == vb.to && va.header == vb.header && value_eq(va.body, vb.body);
+        }
+      },
+      ra);
+}
+
+std::string value_str(const ValuePtr& v) {
+  if (!v) return "<null>";
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, Value::Unit>) {
+          os << "()";
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          os << x;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '"' << x << '"';
+        } else if constexpr (std::is_same_v<T, NodeId>) {
+          os << to_string(x);
+        } else if constexpr (std::is_same_v<T, Value::Pair>) {
+          os << '(' << value_str(x.first) << ", " << value_str(x.second) << ')';
+        } else if constexpr (std::is_same_v<T, Value::List>) {
+          os << '[';
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << value_str(x[i]);
+          }
+          os << ']';
+        } else {  // Directive
+          os << "send(" << to_string(x.to) << ", '" << x.header << "', " << value_str(x.body)
+             << ')';
+        }
+      },
+      v->rep());
+  return os.str();
+}
+
+}  // namespace shadow::eventml

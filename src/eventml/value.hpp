@@ -1,0 +1,109 @@
+// The dynamic value universe of the embedded EventML DSL.
+//
+// EventML is an ML dialect; its programs manipulate ML values. Our embedded
+// DSL uses a small dynamic value type (unit, int, string, location, pair,
+// list, and send-directives) — rich enough for the specifications in the
+// paper's Table I and faithful to the untyped λ-calculus Nuprl programs the
+// compiler emits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace shadow::eventml {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// A "send message" instruction built by msg'send in the DSL.
+struct Directive {
+  NodeId to{};
+  std::string header;
+  ValuePtr body;  // may be null for signals
+};
+
+class Value {
+ public:
+  struct Unit {};
+  using Pair = std::pair<ValuePtr, ValuePtr>;
+  using List = std::vector<ValuePtr>;
+  using Rep = std::variant<Unit, std::int64_t, std::string, NodeId, Pair, List, Directive>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  // -- constructors ---------------------------------------------------------
+  static ValuePtr unit() { return std::make_shared<const Value>(Rep{Unit{}}); }
+  static ValuePtr integer(std::int64_t v) { return std::make_shared<const Value>(Rep{v}); }
+  static ValuePtr str(std::string v) { return std::make_shared<const Value>(Rep{std::move(v)}); }
+  static ValuePtr loc(NodeId v) { return std::make_shared<const Value>(Rep{v}); }
+  static ValuePtr pair(ValuePtr a, ValuePtr b) {
+    return std::make_shared<const Value>(Rep{Pair{std::move(a), std::move(b)}});
+  }
+  static ValuePtr list(List items) { return std::make_shared<const Value>(Rep{std::move(items)}); }
+  static ValuePtr send(NodeId to, std::string header, ValuePtr body) {
+    return std::make_shared<const Value>(Rep{Directive{to, std::move(header), std::move(body)}});
+  }
+
+  // -- accessors (throw on type mismatch, like ML pattern-match failure) ----
+  bool is_unit() const { return std::holds_alternative<Unit>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_pair() const { return std::holds_alternative<Pair>(rep_); }
+  bool is_list() const { return std::holds_alternative<List>(rep_); }
+  bool is_loc() const { return std::holds_alternative<NodeId>(rep_); }
+  bool is_directive() const { return std::holds_alternative<Directive>(rep_); }
+
+  std::int64_t as_int() const {
+    const auto* p = std::get_if<std::int64_t>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not an int");
+    return *p;
+  }
+  const std::string& as_str() const {
+    const auto* p = std::get_if<std::string>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a string");
+    return *p;
+  }
+  NodeId as_loc() const {
+    const auto* p = std::get_if<NodeId>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a location");
+    return *p;
+  }
+  const Pair& as_pair() const {
+    const auto* p = std::get_if<Pair>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a pair");
+    return *p;
+  }
+  const List& as_list() const {
+    const auto* p = std::get_if<List>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a list");
+    return *p;
+  }
+  const Directive& as_directive() const {
+    const auto* p = std::get_if<Directive>(&rep_);
+    SHADOW_CHECK_MSG(p != nullptr, "value is not a send directive");
+    return *p;
+  }
+
+  const Rep& rep() const { return rep_; }
+
+ private:
+  Rep rep_;
+};
+
+/// Structural equality (used by the bisimulation checker and tests).
+bool value_eq(const ValuePtr& a, const ValuePtr& b);
+
+/// Human-readable rendering for witnesses and debugging.
+std::string value_str(const ValuePtr& v);
+
+// Convenience projections mirroring ML's fst/snd.
+inline ValuePtr fst(const ValuePtr& v) { return v->as_pair().first; }
+inline ValuePtr snd(const ValuePtr& v) { return v->as_pair().second; }
+
+}  // namespace shadow::eventml

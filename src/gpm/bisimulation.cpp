@@ -1,0 +1,51 @@
+#include "gpm/bisimulation.hpp"
+
+#include <sstream>
+
+namespace shadow::gpm {
+namespace {
+
+std::string describe(const SendDirective& d) {
+  std::ostringstream os;
+  os << "send('" << d.msg.header << "' to " << to_string(d.to) << ", delay=" << d.delay << ")";
+  return os.str();
+}
+
+}  // namespace
+
+BisimResult check_bisimilar(std::shared_ptr<const Process> a, std::shared_ptr<const Process> b,
+                            const std::vector<sim::Message>& trace, BodyEq body_eq) {
+  for (std::size_t step = 0; step < trace.size(); ++step) {
+    StepResult ra = a->step(trace[step]);
+    StepResult rb = b->step(trace[step]);
+    a = std::move(ra.next);
+    b = std::move(rb.next);
+
+    if (ra.outputs.size() != rb.outputs.size()) {
+      std::ostringstream os;
+      os << "step " << step << ": output counts differ (" << ra.outputs.size() << " vs "
+         << rb.outputs.size() << ")";
+      return {false, os.str()};
+    }
+    for (std::size_t i = 0; i < ra.outputs.size(); ++i) {
+      const SendDirective& da = ra.outputs[i];
+      const SendDirective& db = rb.outputs[i];
+      const bool same = da.to == db.to && da.msg.header == db.msg.header &&
+                        da.delay == db.delay && (!body_eq || body_eq(da.msg, db.msg));
+      if (!same) {
+        std::ostringstream os;
+        os << "step " << step << ", output " << i << ": " << describe(da) << " vs "
+           << describe(db);
+        return {false, os.str()};
+      }
+    }
+    if (a->halted() != b->halted()) {
+      std::ostringstream os;
+      os << "step " << step << ": halt states diverge";
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace shadow::gpm

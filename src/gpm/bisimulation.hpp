@@ -1,0 +1,33 @@
+// Differential bisimulation checking.
+//
+// The paper's program optimizer proves (in Nuprl) that the optimized GPM
+// program is bisimilar to the original. Our substitution establishes
+// equivalence by lock-step differential execution: both processes are fed
+// the same message trace and must produce identical outputs at every step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpm/process.hpp"
+
+namespace shadow::gpm {
+
+struct BisimResult {
+  bool bisimilar = true;
+  std::string detail;  // witness on failure
+};
+
+/// True iff two send directives are observably identical (same destination,
+/// header, delay, and body bytes as far as the type-erased body allows:
+/// headers + wire size + destination define observable equality here; body
+/// equality is checked by the caller-supplied comparator if given).
+using BodyEq = bool (*)(const sim::Message&, const sim::Message&);
+
+/// Steps `a` and `b` in lock-step over `trace`; returns failure with a
+/// witness at the first observable divergence.
+BisimResult check_bisimilar(std::shared_ptr<const Process> a, std::shared_ptr<const Process> b,
+                            const std::vector<sim::Message>& trace, BodyEq body_eq = nullptr);
+
+}  // namespace shadow::gpm

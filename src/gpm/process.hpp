@@ -1,0 +1,76 @@
+// General Process Model (GPM).
+//
+// In the paper, a GPM process is a tail-recursive function that consumes a
+// message and computes (a) the outputs to send and (b) the process that
+// replaces it. We model a process as an immutable value wrapping such a step
+// function. Each step also reports the abstract *work* it performed (AST
+// nodes evaluated), which the execution-tier cost model converts into
+// virtual CPU time — this is what produces the interpreted/optimized/
+// compiled performance tiers of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace shadow::gpm {
+
+/// An output of a process step: send `msg` to `to` after `delay` (the "d"
+/// component in the paper's Inductive Logical Form, used for timers).
+struct SendDirective {
+  NodeId to{};
+  sim::Message msg;
+  sim::Time delay = 0;
+};
+
+class Process;
+
+/// Result of one process step.
+struct StepResult {
+  std::shared_ptr<const Process> next;  // replacement process (never null)
+  std::vector<SendDirective> outputs;
+  std::uint64_t work = 1;  // abstract work units performed by this step
+};
+
+/// An immutable GPM process. A default-constructed Process is `halt`: it
+/// ignores every input and stays halted (the paper's halted process).
+class Process {
+ public:
+  using Step = std::function<StepResult(const Process& self, const sim::Message&)>;
+
+  Process() = default;
+  explicit Process(Step step) : step_(std::move(step)) {}
+
+  bool halted() const { return !step_; }
+
+  /// Steps the process. For halt, returns itself with no outputs.
+  StepResult step(const sim::Message& msg) const {
+    if (halted()) return StepResult{halt(), {}, 0};
+    return step_(*this, msg);
+  }
+
+  static std::shared_ptr<const Process> halt() {
+    static const auto h = std::make_shared<const Process>();
+    return h;
+  }
+
+  static std::shared_ptr<const Process> make(Step step) {
+    return std::make_shared<const Process>(std::move(step));
+  }
+
+ private:
+  Step step_;
+};
+
+/// A distributed-system generator (the paper's `main X @ locs`): maps each
+/// location to the process that runs there (halt if the location is not
+/// part of the system).
+using SystemGenerator = std::function<std::shared_ptr<const Process>(NodeId)>;
+
+}  // namespace shadow::gpm

@@ -1,0 +1,47 @@
+#include "gpm/runtime.hpp"
+
+namespace shadow::gpm {
+
+ProcessHost::ProcessHost(sim::World& world, NodeId node, std::shared_ptr<const Process> process,
+                         ExecutionTier tier, CostModel costs)
+    : world_(world), node_(node), process_(std::move(process)), tier_(tier), costs_(costs) {
+  SHADOW_REQUIRE(process_ != nullptr);
+  world_.set_handler(node_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+}
+
+void ProcessHost::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (process_->halted()) return;
+  StepResult result = process_->step(msg);
+  SHADOW_CHECK(result.next != nullptr);
+  process_ = std::move(result.next);
+  ++steps_;
+  total_work_ += result.work;
+  ctx.charge(costs_.cost_us(tier_, result.work));
+  for (SendDirective& out : result.outputs) {
+    if (out.delay == 0) {
+      ctx.send(out.to, std::move(out.msg));
+    } else {
+      // Delayed sends model the "d" component of the ILF (timers): deliver
+      // the directive to the node itself after the delay, then forward.
+      NodeId to = out.to;
+      ctx.set_timer(out.delay, [to, m = std::move(out.msg)](sim::Context& c) mutable {
+        c.send(to, std::move(m));
+      });
+    }
+  }
+}
+
+std::vector<std::unique_ptr<ProcessHost>> deploy(sim::World& world, const SystemGenerator& gen,
+                                                 const std::vector<NodeId>& locs,
+                                                 ExecutionTier tier, CostModel costs) {
+  std::vector<std::unique_ptr<ProcessHost>> hosts;
+  hosts.reserve(locs.size());
+  for (NodeId loc : locs) {
+    hosts.push_back(std::make_unique<ProcessHost>(world, loc, gen(loc), tier, costs));
+  }
+  return hosts;
+}
+
+}  // namespace shadow::gpm

@@ -1,0 +1,48 @@
+// Binds GPM processes to simulated nodes.
+//
+// The runtime is the hand-written "environment" the paper trusts (Sec. III-C):
+// it feeds incoming messages to the process, replaces the process with the
+// returned continuation, charges the tier cost model for the reported work,
+// and ships the outputs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpm/process.hpp"
+#include "gpm/tier.hpp"
+#include "sim/world.hpp"
+
+namespace shadow::gpm {
+
+/// Hosts one GPM process on one simulated node.
+class ProcessHost {
+ public:
+  ProcessHost(sim::World& world, NodeId node, std::shared_ptr<const Process> process,
+              ExecutionTier tier = ExecutionTier::kCompiled, CostModel costs = {});
+
+  NodeId node() const { return node_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t total_work() const { return total_work_; }
+  bool halted() const { return process_->halted(); }
+
+ private:
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+
+  sim::World& world_;
+  NodeId node_;
+  std::shared_ptr<const Process> process_;
+  ExecutionTier tier_;
+  CostModel costs_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t total_work_ = 0;
+};
+
+/// Deploys a system generator over a set of locations ("main X @ locs").
+/// Returns one host per location. Hosts must outlive the world run.
+std::vector<std::unique_ptr<ProcessHost>> deploy(sim::World& world, const SystemGenerator& gen,
+                                                 const std::vector<NodeId>& locs,
+                                                 ExecutionTier tier = ExecutionTier::kCompiled,
+                                                 CostModel costs = {});
+
+}  // namespace shadow::gpm

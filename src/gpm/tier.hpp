@@ -1,0 +1,57 @@
+// Execution tiers and the virtual-CPU cost model.
+//
+// The paper runs the same generated program three ways: in the SML
+// interpreter (unoptimized program), in the interpreter after the Nuprl
+// program optimizer ran (optimized program), and translated to Lisp and
+// compiled. We reproduce the three tiers by charging virtual CPU per work
+// unit (abstract AST node evaluated): interpretation pays a large per-node
+// cost, compiled code pays a small fixed dispatch cost plus a tiny per-node
+// cost. Constants are calibrated against §IV.A (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace shadow::gpm {
+
+enum class ExecutionTier : std::uint8_t {
+  kInterpreted,     // unoptimized combinator program, tree-walking interpreter
+  kInterpretedOpt,  // optimizer-fused program, same interpreter
+  kCompiled,        // fused program translated and compiled (the Lisp path)
+};
+
+inline const char* to_string(ExecutionTier t) {
+  switch (t) {
+    case ExecutionTier::kInterpreted: return "interpreted";
+    case ExecutionTier::kInterpretedOpt: return "interpreted-opt";
+    case ExecutionTier::kCompiled: return "compiled";
+  }
+  return "?";
+}
+
+/// Converts abstract work (AST nodes evaluated) into virtual CPU micros.
+struct CostModel {
+  // Tree-walking interpretation: dominated by per-node dispatch.
+  double interp_us_per_work = 9.0;
+  double interp_overhead_us = 250.0;
+  // Compiled: per-message dispatch plus a small per-node residue.
+  double compiled_us_per_work = 0.78;
+  double compiled_overhead_us = 40.0;
+
+  sim::Time cost_us(ExecutionTier tier, std::uint64_t work) const {
+    double us = 0.0;
+    switch (tier) {
+      case ExecutionTier::kInterpreted:
+      case ExecutionTier::kInterpretedOpt:
+        us = interp_overhead_us + interp_us_per_work * static_cast<double>(work);
+        break;
+      case ExecutionTier::kCompiled:
+        us = compiled_overhead_us + compiled_us_per_work * static_cast<double>(work);
+        break;
+    }
+    return static_cast<sim::Time>(us);
+  }
+};
+
+}  // namespace shadow::gpm

@@ -1,0 +1,46 @@
+// Logic of Events (LoE): events as abstract points in space/time.
+//
+// The paper reasons about distributed programs via LoE: events occur at a
+// location, are triggered by messages, and are related by a well-founded
+// causal order. Here we *record* LoE event orderings from simulated
+// executions and machine-check the properties the paper proves in Nuprl
+// (see loe/properties.hpp). This is the runtime-verification substitution
+// documented in DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace shadow::loe {
+
+using EventId = std::uint64_t;
+constexpr EventId kNoEvent = ~0ULL;
+
+enum class EventKind : std::uint8_t {
+  kSend,     // a message was handed to the network
+  kReceive,  // a message was delivered to a process
+  kInternal, // local processing step (e.g. timer)
+  kCrash,    // the location failed
+};
+
+/// One event of an event ordering. Immutable once recorded.
+struct Event {
+  EventId id = kNoEvent;
+  EventKind kind = EventKind::kInternal;
+  NodeId loc{};              // the "space" aspect
+  sim::Time time = 0;        // virtual wall-clock (diagnostic only; causal
+                             // order is the semantic ordering)
+  std::string header;        // header of the triggering/sent message
+  EventId local_pred = kNoEvent;   // previous event at the same location
+  EventId caused_by = kNoEvent;    // for receives: the matching send event
+  std::uint64_t msg_uid = 0;       // network-assigned message identity
+  std::int64_t info = 0;           // protocol-specific payload (e.g. a clock)
+
+  bool first() const { return local_pred == kNoEvent; }
+};
+
+}  // namespace shadow::loe

@@ -1,0 +1,80 @@
+#include "loe/event_order.hpp"
+
+#include <algorithm>
+
+namespace shadow::loe {
+
+EventId EventOrder::append(Event e) {
+  e.id = static_cast<EventId>(events_.size());
+  auto [it, inserted] = last_at_loc_.try_emplace(e.loc.value, e.id);
+  if (!inserted) {
+    e.local_pred = it->second;
+    it->second = e.id;
+  } else {
+    e.local_pred = kNoEvent;
+  }
+  if (e.kind == EventKind::kSend && e.msg_uid != 0) {
+    send_by_uid_[e.msg_uid] = e.id;
+  }
+  events_.push_back(e);
+  return e.id;
+}
+
+EventId EventOrder::last_at(NodeId loc) const {
+  auto it = last_at_loc_.find(loc.value);
+  return it == last_at_loc_.end() ? kNoEvent : it->second;
+}
+
+std::vector<EventId> EventOrder::events_at(NodeId loc) const {
+  std::vector<EventId> out;
+  for (EventId id = last_at(loc); id != kNoEvent; id = events_[id].local_pred) {
+    out.push_back(id);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+EventId EventOrder::send_of(std::uint64_t msg_uid) const {
+  auto it = send_by_uid_.find(msg_uid);
+  return it == send_by_uid_.end() ? kNoEvent : it->second;
+}
+
+bool EventOrder::happens_before(EventId e1, EventId e2) const {
+  SHADOW_REQUIRE(e1 < events_.size() && e2 < events_.size());
+  if (e1 == e2) return false;
+  // Reverse DFS from e2 along local_pred and caused_by edges. Ids strictly
+  // decrease along both edge kinds, so we can prune any frontier id < e1.
+  std::vector<EventId> stack{e2};
+  std::vector<bool> visited(events_.size(), false);
+  while (!stack.empty()) {
+    const EventId cur = stack.back();
+    stack.pop_back();
+    if (cur == kNoEvent || cur < e1 || visited[cur]) continue;
+    visited[cur] = true;
+    const Event& ev = events_[cur];
+    if (ev.local_pred == e1 || ev.caused_by == e1) return true;
+    stack.push_back(ev.local_pred);
+    stack.push_back(ev.caused_by);
+  }
+  return false;
+}
+
+void EventOrder::check_well_formed() const {
+  for (const Event& e : events_) {
+    if (e.local_pred != kNoEvent) {
+      SHADOW_CHECK_MSG(e.local_pred < e.id, "local predecessor must be earlier");
+      const Event& pred = events_[e.local_pred];
+      SHADOW_CHECK_MSG(pred.loc == e.loc, "local predecessor at same location");
+      SHADOW_CHECK_MSG(pred.time <= e.time, "local order respects time");
+    }
+    if (e.caused_by != kNoEvent) {
+      SHADOW_CHECK_MSG(e.caused_by < e.id, "cause must be earlier");
+      const Event& cause = events_[e.caused_by];
+      SHADOW_CHECK_MSG(cause.kind == EventKind::kSend, "cause must be a send");
+      SHADOW_CHECK_MSG(cause.msg_uid == e.msg_uid, "cause matches message identity");
+      SHADOW_CHECK_MSG(cause.time <= e.time, "messages are not delivered into the past");
+    }
+  }
+}
+
+}  // namespace shadow::loe

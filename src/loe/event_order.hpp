@@ -1,0 +1,53 @@
+// An event ordering: the recorded set of events of one execution together
+// with the LoE causal order (local predecessor edges + caused-by edges).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "loe/event.hpp"
+
+namespace shadow::loe {
+
+class EventOrder {
+ public:
+  /// Appends an event; fills in id and local_pred. Returns the event id.
+  EventId append(Event e);
+
+  const Event& at(EventId id) const {
+    SHADOW_REQUIRE(id < events_.size());
+    return events_[id];
+  }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// The last event recorded at `loc`, or kNoEvent.
+  EventId last_at(NodeId loc) const;
+
+  /// All events at one location, in local order.
+  std::vector<EventId> events_at(NodeId loc) const;
+
+  /// The send event matching a message uid, or kNoEvent.
+  EventId send_of(std::uint64_t msg_uid) const;
+
+  /// True iff e1 happens causally before e2 (Lamport's relation: transitive
+  /// closure of local order and send→receive edges). Implemented as a
+  /// reverse reachability search from e2.
+  bool happens_before(EventId e1, EventId e2) const;
+
+  /// Checks structural well-formedness: local orders are total per location,
+  /// caused_by edges point at earlier send events with matching uid, and the
+  /// causal order is acyclic (ids strictly decrease along predecessor edges).
+  /// Throws InvariantViolation on failure.
+  void check_well_formed() const;
+
+ private:
+  std::vector<Event> events_;
+  std::unordered_map<std::uint32_t, EventId> last_at_loc_;
+  std::unordered_map<std::uint64_t, EventId> send_by_uid_;
+};
+
+}  // namespace shadow::loe

@@ -1,0 +1,84 @@
+#include "loe/properties.hpp"
+
+namespace shadow::loe {
+namespace {
+
+std::string describe(const Event& e) {
+  std::ostringstream os;
+  os << "event " << e.id << " ('" << e.header << "' at " << to_string(e.loc) << ", t=" << e.time
+     << ")";
+  return os.str();
+}
+
+}  // namespace
+
+CheckResult check_clock_condition(const EventOrder& order, const ClockFn& clock_of,
+                                  const ClockFn& send_clock, std::size_t samples,
+                                  std::uint64_t seed) {
+  const ClockFn& carried = send_clock ? send_clock : clock_of;
+  // C1: strict local increase.
+  if (CheckResult c1 = check_progress_strict_increase(order, clock_of); !c1.ok) return c1;
+
+  // C2: LC(send) < LC(receive) for matched pairs.
+  for (const Event& e : order.events()) {
+    if (e.kind != EventKind::kReceive || e.caused_by == kNoEvent) continue;
+    const Event& cause = order.at(e.caused_by);
+    const auto lc_send = carried(cause);
+    const auto lc_recv = clock_of(e);
+    if (!lc_send || !lc_recv) continue;
+    if (!(*lc_send < *lc_recv)) {
+      return CheckResult::fail("C2 violated: LC(" + describe(cause) +
+                               ") >= LC(" + describe(e) + ")");
+    }
+  }
+
+  // Spot-check the full condition on random happens-before pairs.
+  if (order.size() >= 2) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < samples; ++i) {
+      EventId a = rng.uniform(0, order.size() - 1);
+      EventId b = rng.uniform(0, order.size() - 1);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);  // ids increase with time; a→b needs a < b
+      if (!order.happens_before(a, b)) continue;
+      const auto lca = clock_of(order.at(a));
+      const auto lcb = clock_of(order.at(b));
+      if (!lca || !lcb) continue;
+      if (!(*lca < *lcb)) {
+        return CheckResult::fail("clock condition violated: " + describe(order.at(a)) + " → " +
+                                 describe(order.at(b)) + " but LC " + std::to_string(*lca) +
+                                 " >= " + std::to_string(*lcb));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_progress_strict_increase(const EventOrder& order, const ClockFn& value_of) {
+  for (const Event& e : order.events()) {
+    const auto cur = value_of(e);
+    if (!cur) continue;
+    // Walk back to the nearest clocked local predecessor.
+    for (EventId p = e.local_pred; p != kNoEvent; p = order.at(p).local_pred) {
+      const auto prev = value_of(order.at(p));
+      if (!prev) continue;
+      if (!(*prev < *cur)) {
+        return CheckResult::fail("progress violated at " + to_string(e.loc) + ": value " +
+                                 std::to_string(*prev) + " then " + std::to_string(*cur));
+      }
+      break;
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_causal_well_formed(const EventOrder& order) {
+  try {
+    order.check_well_formed();
+  } catch (const InvariantViolation& ex) {
+    return CheckResult::fail(ex.what());
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace shadow::loe

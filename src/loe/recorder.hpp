@@ -1,0 +1,63 @@
+// Records an LoE event ordering from a simulated execution by observing the
+// world's send/deliver/crash hooks.
+#pragma once
+
+#include <functional>
+
+#include "loe/event_order.hpp"
+#include "sim/world.hpp"
+
+namespace shadow::loe {
+
+/// Observes a sim::World and builds the execution's EventOrder.
+///
+/// An optional `info_fn` extracts a protocol-specific integer from each
+/// message (e.g. the logical-clock timestamp in the CLK example) so that
+/// property checkers can reason about it.
+class Recorder final : public sim::WorldObserver {
+ public:
+  using InfoFn = std::function<std::int64_t(const sim::Message&)>;
+
+  explicit Recorder(sim::World& world, InfoFn info_fn = {}) : info_fn_(std::move(info_fn)) {
+    world.add_observer(this);
+  }
+
+  void on_send(sim::Time t, NodeId from, NodeId /*to*/, const sim::Message& m) override {
+    Event e;
+    e.kind = EventKind::kSend;
+    e.loc = from;
+    e.time = t;
+    e.header = m.header;
+    e.msg_uid = m.uid;
+    e.info = info_fn_ ? info_fn_(m) : 0;
+    order_.append(e);
+  }
+
+  void on_deliver(sim::Time t, NodeId to, const sim::Message& m) override {
+    Event e;
+    e.kind = EventKind::kReceive;
+    e.loc = to;
+    e.time = t;
+    e.header = m.header;
+    e.msg_uid = m.uid;
+    e.caused_by = order_.send_of(m.uid);
+    e.info = info_fn_ ? info_fn_(m) : 0;
+    order_.append(e);
+  }
+
+  void on_crash(sim::Time t, NodeId node) override {
+    Event e;
+    e.kind = EventKind::kCrash;
+    e.loc = node;
+    e.time = t;
+    order_.append(e);
+  }
+
+  const EventOrder& order() const { return order_; }
+
+ private:
+  EventOrder order_;
+  InfoFn info_fn_;
+};
+
+}  // namespace shadow::loe

@@ -1,0 +1,64 @@
+// Messages exchanged by simulated processes.
+//
+// A message carries an EventML-style string header (base classes in the DSL
+// pattern-match on it), a type-erased immutable body, and a wire size used
+// by the network's bandwidth model.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace shadow::sim {
+
+struct Message {
+  std::string header;
+  std::shared_ptr<const std::any> body;  // shared: messages are fanned out to many nodes
+  std::size_t wire_size = 0;             // bytes on the wire (payload + framing)
+  NodeId from{};
+  std::uint64_t uid = 0;                 // per-transmission identity, assigned by the
+                                         // network; lets LoE match sends to receives
+
+  bool has_body() const { return body != nullptr && body->has_value(); }
+};
+
+/// Builds a message; wire size defaults to a small framing estimate and
+/// should be overridden for bodies with meaningful sizes (snapshots, batches).
+template <typename T>
+Message make_msg(std::string header, T body, std::size_t wire_size = 0) {
+  Message m;
+  m.wire_size = wire_size != 0 ? wire_size : sizeof(T) + header.size() + 24;
+  m.header = std::move(header);
+  m.body = std::make_shared<const std::any>(std::move(body));
+  return m;
+}
+
+inline Message make_signal(std::string header) {
+  Message m;
+  m.wire_size = header.size() + 24;
+  m.header = std::move(header);
+  return m;
+}
+
+/// Returns the body as T; throws if the message has a different body type.
+template <typename T>
+const T& msg_body(const Message& m) {
+  SHADOW_CHECK_MSG(m.has_body(), "message '" + m.header + "' has no body");
+  const T* p = std::any_cast<T>(m.body.get());
+  SHADOW_CHECK_MSG(p != nullptr, "message '" + m.header + "' body type mismatch");
+  return *p;
+}
+
+/// Returns the body as T, or nullptr on type mismatch / missing body.
+template <typename T>
+const T* msg_body_if(const Message& m) {
+  if (!m.has_body()) return nullptr;
+  return std::any_cast<T>(m.body.get());
+}
+
+}  // namespace shadow::sim

@@ -1,0 +1,22 @@
+// Virtual time for the discrete-event simulator.
+//
+// All latency/throughput numbers reported by the benchmark harness are in
+// virtual time, which makes every experiment deterministic and independent
+// of the host machine (see DESIGN.md §2 on substituting the paper's cluster).
+#pragma once
+
+#include <cstdint>
+
+namespace shadow::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1000; }
+constexpr Time operator""_s(unsigned long long v) { return static_cast<Time>(v) * 1000000; }
+
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace shadow::sim

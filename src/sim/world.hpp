@@ -1,0 +1,214 @@
+// The deterministic discrete-event world: virtual clock, machines with a
+// CPU-busy model, nodes (processes), a TCP-like FIFO network with latency +
+// bandwidth, timers, crash and partition injection, and an observer hook the
+// Logic-of-Events recorder subscribes to.
+//
+// Execution model
+// ---------------
+// Each node belongs to a machine. A machine processes one job (incoming
+// message or fired timer) at a time: a job arriving at time t starts at
+// max(t, machine.busy_until), the handler runs and *charges* virtual CPU
+// micros via Context::charge, and all messages it sends are released at the
+// job's completion time. This is what makes throughput saturate and latency
+// grow under load exactly as on the paper's cluster — co-located processes
+// (ShadowDB replicas and Paxos acceptors share machines in §IV) compete for
+// the same CPU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace shadow::sim {
+
+struct MachineId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const MachineId&) const = default;
+};
+
+using TimerId = std::uint64_t;
+
+class World;
+
+/// Handed to message/timer handlers; the only way handlers interact with the
+/// world (send, charge CPU, set timers), so all effects are attributable.
+class Context {
+ public:
+  Context(World& world, NodeId self, Time start) : world_(world), self_(self), start_(start) {}
+
+  NodeId self() const { return self_; }
+  Time now() const { return start_ + charged_; }
+
+  /// Queue a message send; released on the network at job completion.
+  void send(NodeId to, Message msg);
+
+  /// Convenience: send to many destinations.
+  void multicast(const std::vector<NodeId>& tos, const Message& msg);
+
+  /// Consume virtual CPU time. Advances this machine's busy horizon.
+  void charge(Time micros) { charged_ += micros; }
+
+  /// One-shot timer; the callback runs as a job on this node's machine.
+  TimerId set_timer(Time delay, std::function<void(Context&)> fn);
+  void cancel_timer(TimerId id);
+
+  /// Per-node deterministic RNG.
+  Rng& rng();
+
+  World& world() { return world_; }
+  Time charged() const { return charged_; }
+
+ private:
+  friend class World;
+  World& world_;
+  NodeId self_;
+  Time start_;
+  Time charged_ = 0;
+  std::vector<std::pair<NodeId, Message>> outbox_;
+};
+
+using MessageHandler = std::function<void(Context&, const Message&)>;
+
+/// Observer hook for trace recording (Logic of Events) and debugging.
+class WorldObserver {
+ public:
+  virtual ~WorldObserver() = default;
+  virtual void on_send(Time /*t*/, NodeId /*from*/, NodeId /*to*/, const Message& /*m*/) {}
+  virtual void on_deliver(Time /*t*/, NodeId /*to*/, const Message& /*m*/) {}
+  virtual void on_crash(Time /*t*/, NodeId /*node*/) {}
+};
+
+struct NetworkConfig {
+  Time base_latency = 100_us;        // one-way propagation on the LAN
+  Time same_machine_latency = 20_us; // loopback between co-located processes
+  double bandwidth_bytes_per_us = 125.0;  // 1 Gb/s ≈ 125 B/µs
+  double jitter_mean = 15.0;         // exponential jitter, microseconds
+};
+
+/// The simulated world. Deterministic given the seed and the schedule of
+/// external stimuli.
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1, NetworkConfig net = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // -- topology ------------------------------------------------------------
+  MachineId add_machine();
+  /// Creates a node on the given machine (creates a fresh machine if omitted).
+  NodeId add_node(std::string name, std::optional<MachineId> machine = std::nullopt);
+  void set_handler(NodeId node, MessageHandler handler);
+  const std::string& node_name(NodeId node) const;
+  MachineId machine_of(NodeId node) const;
+
+  // -- clock / execution ---------------------------------------------------
+  Time now() const { return now_; }
+  /// Runs events with timestamp <= t. Returns number of events processed.
+  std::size_t run_until(Time t);
+  /// Runs until the event queue drains (or max_events). Returns count.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  bool idle() const;
+
+  // -- external stimuli ----------------------------------------------------
+  /// Inject a message from outside any handler (e.g. benchmark drivers).
+  void post(NodeId from, NodeId to, Message msg);
+  /// Schedule an arbitrary callback at now()+delay (benchmark drivers).
+  TimerId schedule(Time delay, std::function<void()> fn);
+  void cancel(TimerId id);
+
+  // -- failure injection ---------------------------------------------------
+  void crash(NodeId node);
+  void crash_machine(MachineId machine);
+  bool crashed(NodeId node) const;
+  /// Cut (or heal) the link between two nodes, both directions.
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+
+  // -- observation ----------------------------------------------------------
+  void add_observer(WorldObserver* obs) { observers_.push_back(obs); }
+  std::uint64_t messages_delivered() const { return delivered_count_; }
+
+  Rng& node_rng(NodeId node);
+
+  /// Schedules a node-context timer at absolute time `at` (used by Context).
+  TimerId schedule_timer_for_node(NodeId node, Time at, std::function<void(Context&)> fn);
+
+ private:
+  friend class Context;
+
+  struct TimerJob {
+    std::function<void(Context&)> fn;
+  };
+  struct Job {
+    NodeId node;
+    Time arrival;
+    std::variant<Message, TimerJob> payload;
+  };
+
+  struct Node {
+    std::string name;
+    MachineId machine;
+    MessageHandler handler;
+    bool crashed = false;
+    Rng rng;
+  };
+
+  struct Machine {
+    Time busy_until = 0;
+    std::deque<Job> queue;
+    bool pump_scheduled = false;
+    bool crashed = false;
+  };
+
+  struct Scheduled {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    TimerId id;
+    bool operator>(const Scheduled& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void schedule_at(Time at, TimerId id, std::function<void()> fn);
+  void enqueue_job(Job job);
+  void pump_machine(MachineId machine);
+  void run_job(MachineId machine);
+  void release_outbox(Context& ctx, Time completion);
+  void deliver(NodeId from, NodeId to, Message msg, Time send_time);
+  Time link_latency(NodeId from, NodeId to, std::size_t wire_size);
+  static std::uint64_t channel_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+
+  NetworkConfig net_;
+  Rng rng_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  TimerId next_timer_ = 1;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> events_;
+  std::unordered_set<TimerId> cancelled_;
+  std::vector<Node> nodes_;
+  std::vector<Machine> machines_;
+  std::unordered_map<std::uint64_t, Time> channel_last_delivery_;
+  std::unordered_set<std::uint64_t> partitions_;
+  std::vector<WorldObserver*> observers_;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t msg_uid_counter_ = 0;
+};
+
+}  // namespace shadow::sim

@@ -1,0 +1,234 @@
+#include "tob/tob.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace shadow::tob {
+
+namespace {
+
+std::size_t command_wire_size(const Command& cmd) { return 40 + cmd.payload.size(); }
+
+/// Commands relayed from a non-proposing service node to the protocol's
+/// preferred proposer (the Paxos leader), batched, with the original sender
+/// kept so the delivery notification still reaches it.
+struct RelayBody {
+  std::vector<std::pair<Command, NodeId>> items;
+};
+constexpr const char* kRelayHeader = "tob-relay";
+
+}  // namespace
+
+TobNode::TobNode(sim::World& world, NodeId self, TobConfig config,
+                 consensus::SafetyRecorder* safety)
+    : world_(world), self_(self), config_(std::move(config)) {
+  SHADOW_REQUIRE(!config_.nodes.empty());
+
+  if (config_.protocol == Protocol::kPaxos) {
+    consensus::PaxosConfig pc = config_.paxos;
+    if (pc.peers.empty()) pc.peers = config_.nodes;
+    pc.profile.tier = config_.profile.tier;
+    pc.profile.costs = config_.profile.costs;
+    module_ = std::make_unique<consensus::PaxosModule>(self_, std::move(pc), safety);
+  } else {
+    consensus::TwoThirdConfig tc = config_.two_third;
+    if (tc.peers.empty()) tc.peers = config_.nodes;
+    tc.profile.tier = config_.profile.tier;
+    tc.profile.costs = config_.profile.costs;
+    module_ = std::make_unique<consensus::TwoThirdModule>(self_, std::move(tc), safety);
+  }
+
+  module_->set_on_decide([this](sim::Context& ctx, Slot slot, const Batch& batch) {
+    on_decide(ctx, slot, batch);
+  });
+
+  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    on_message(ctx, msg);
+  });
+
+  world_.schedule_timer_for_node(self_, world_.now() + config_.tick_period,
+                                 [this](sim::Context& ctx) { arm_tick(ctx); });
+}
+
+void TobNode::arm_tick(sim::Context& ctx) {
+  module_->on_tick(ctx);
+  // Expire stale relays: the leader we relayed to may have crashed.
+  for (PendingCommand& p : pending_) {
+    if (!p.in_flight && p.relayed_at != 0 &&
+        ctx.now() - p.relayed_at > config_.relay_timeout) {
+      p.relayed_at = 0;
+      p.relay_expired = true;
+    }
+  }
+  maybe_propose(ctx);
+  ctx.set_timer(config_.tick_period, [this](sim::Context& c) { arm_tick(c); });
+}
+
+void TobNode::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.header == kBroadcastHeader) {
+    const auto& body = sim::msg_body<BroadcastBody>(msg);
+    config_.profile.charge(ctx, 1);
+    on_broadcast(ctx, body.command, msg.from);
+    return;
+  }
+  if (msg.header == kRelayHeader) {
+    // Relayed commands were already ingested (full program walk) at the
+    // frontend that received them; the leader only enqueues them.
+    const auto& body = sim::msg_body<RelayBody>(msg);
+    config_.profile.charge_control(ctx);
+    for (const auto& [cmd, origin] : body.items) on_broadcast(ctx, cmd, origin);
+    return;
+  }
+  if (module_->on_message(ctx, msg)) return;
+  // Unknown headers are ignored (the service is composed with other
+  // co-located components that share the machine, not the node).
+}
+
+void TobNode::on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from) {
+  const auto key = std::make_pair(cmd.client.value, cmd.seq);
+  if (delivered_keys_.count(key) > 0) {
+    // Duplicate of an already-delivered command (client retry): re-ack so
+    // the broadcast is at-most-once from the subscriber's point of view.
+    ctx.send(from, sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}, 48));
+    return;
+  }
+  const bool already_pending =
+      std::any_of(pending_.begin(), pending_.end(), [&key](const PendingCommand& p) {
+        return std::make_pair(p.command.client.value, p.command.seq) == key;
+      });
+  if (already_pending) return;
+  if (pending_.empty()) oldest_pending_since_ = ctx.now();
+  pending_.push_back(PendingCommand{cmd, from, false});
+  maybe_propose(ctx);
+}
+
+void TobNode::maybe_propose(sim::Context& ctx) {
+  std::size_t eligible = 0;
+  for (const PendingCommand& p : pending_) {
+    if (!p.in_flight) ++eligible;
+  }
+  if (eligible == 0) return;
+  // If the consensus protocol has a preferred proposer elsewhere (the Paxos
+  // leader), relay pending commands there rather than racing a proposal for
+  // the same slot and losing it. Relayed commands stay pending: if the
+  // leader dies before delivering them, the relay times out (arm_tick) and
+  // we propose them ourselves, which also drives leader failover.
+  if (const auto hint = module_->proposer_hint(); hint && *hint != self_) {
+    RelayBody relay;
+    std::size_t wire = 16;
+    std::size_t self_eligible = 0;
+    for (PendingCommand& p : pending_) {
+      if (p.in_flight) continue;
+      if (p.relay_expired) {
+        ++self_eligible;
+        continue;
+      }
+      if (p.relayed_at != 0) continue;  // already with the leader
+      relay.items.emplace_back(p.command, p.origin);
+      wire += command_wire_size(p.command) + 8;
+      p.relayed_at = ctx.now();
+    }
+    if (!relay.items.empty()) {
+      config_.profile.charge_control(ctx);
+      ctx.send(*hint, sim::make_msg(kRelayHeader, std::move(relay), wire));
+    }
+    if (self_eligible == 0) return;
+  }
+  // Natural batching: at most `max_outstanding` proposals in flight per
+  // node; commands arriving while consensus is busy accumulate into the
+  // next batch. An optional linger (`batch_delay`) can trade latency for
+  // larger batches.
+  if (outstanding_.size() >= config_.max_outstanding) return;
+  const bool window_closed = ctx.now() - oldest_pending_since_ >= config_.batch_delay;
+  if (eligible < config_.batch_max && !window_closed) return;
+
+  // Only locally-proposable commands enter the batch: everything when we
+  // are (or may become) the proposer, otherwise only expired relays.
+  const auto hint = module_->proposer_hint();
+  const bool relaying = hint && *hint != self_;
+  Batch batch;
+  batch.reserve(std::min(eligible, config_.batch_max));
+  for (PendingCommand& p : pending_) {
+    if (p.in_flight) continue;
+    if (relaying && !p.relay_expired) continue;
+    p.in_flight = true;
+    batch.push_back(p.command);
+    if (batch.size() >= config_.batch_max) break;
+  }
+  if (batch.empty()) return;
+  const Slot slot = std::max(next_propose_slot_, next_deliver_slot_);
+  next_propose_slot_ = slot + 1;
+  outstanding_[slot] = batch;
+  // Proposal processing is charged where the consensus module handles the
+  // px-propose message; here we only pay control-path dispatch.
+  config_.profile.charge_control(ctx);
+  module_->propose(ctx, slot, batch);
+  oldest_pending_since_ = ctx.now();
+}
+
+void TobNode::on_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
+  decisions_[slot] = batch;
+  if (auto it = outstanding_.find(slot); it != outstanding_.end()) {
+    // Whatever of ours was not chosen becomes eligible for a later slot.
+    for (const Command& cmd : it->second) {
+      const auto key = std::make_pair(cmd.client.value, cmd.seq);
+      for (PendingCommand& p : pending_) {
+        if (std::make_pair(p.command.client.value, p.command.seq) == key) p.in_flight = false;
+      }
+    }
+    outstanding_.erase(it);
+  }
+  deliver_ready(ctx);
+  maybe_propose(ctx);
+}
+
+void TobNode::deliver_ready(sim::Context& ctx) {
+  while (true) {
+    auto it = decisions_.find(next_deliver_slot_);
+    if (it == decisions_.end()) return;
+    const Batch& batch = it->second;
+    config_.profile.charge(ctx, batch.size());
+
+    for (const Command& cmd : batch) {
+      const auto key = std::make_pair(cmd.client.value, cmd.seq);
+      if (!delivered_keys_.insert(key).second) continue;  // no-duplication
+      const std::uint64_t index = delivery_log_.size();
+      delivery_log_.push_back(cmd);
+
+      if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
+      for (NodeId sub : remote_subscribers_) {
+        ctx.send(sub, sim::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd},
+                                    command_wire_size(cmd)));
+      }
+      // Ack the broadcaster if the command entered the system through us —
+      // unless we relayed it to the leader, whose own pending entry acks
+      // (exactly one ack in the normal case; duplicates can only arise in
+      // failover windows, and clients deduplicate by sequence number).
+      for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+        if (std::make_pair(p->command.client.value, p->command.seq) == key) {
+          const bool relayed_elsewhere = p->relayed_at != 0 && !p->relay_expired;
+          if (!relayed_elsewhere) {
+            ctx.send(p->origin,
+                     sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}, 48));
+          }
+          pending_.erase(p);
+          break;
+        }
+      }
+    }
+    ++next_deliver_slot_;
+  }
+}
+
+TobService make_service(sim::World& world, const TobConfig& config,
+                        consensus::SafetyRecorder* safety) {
+  TobService service;
+  service.nodes.reserve(config.nodes.size());
+  for (NodeId node : config.nodes) {
+    service.nodes.push_back(std::make_unique<TobNode>(world, node, config, safety));
+  }
+  return service;
+}
+
+}  // namespace shadow::tob

@@ -1,0 +1,147 @@
+// The total order broadcast service.
+//
+// The paper's TOB service is the formally generated core of ShadowDB: it
+// guarantees that all participating processes deliver the same messages in
+// the same order (Défago et al.'s total order broadcast), builds on a
+// pluggable consensus module (TwoThird or the Paxos Synod), and batches —
+// "multiple messages can be bundled in one Paxos proposal".
+//
+// Protocol per node:
+//   * clients (or replicas) send `tob-broadcast{Command}` to any service node;
+//   * the receiving node buffers the command and proposes a batch of pending
+//     commands for the next free slot once the batching window closes;
+//   * on a slot decision, commands are delivered in slot order: appended to
+//     the local delivery log, pushed to local/remote subscribers, and the
+//     origin node sends a `tob-ack` to the command's original sender;
+//   * commands whose proposal lost a slot race stay pending and are proposed
+//     again for a later slot (no loss); delivered commands are deduplicated
+//     (no duplication).
+//
+// Total order, no-creation, no-duplication and agreement on the log prefix
+// are machine-checked by tests via delivery_log() + loe::check_prefix_consistency.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/module.hpp"
+#include "consensus/paxos.hpp"
+#include "consensus/two_third.hpp"
+
+namespace shadow::tob {
+
+using consensus::Batch;
+using consensus::Command;
+
+/// Message headers of the service's external interface.
+inline constexpr const char* kBroadcastHeader = "tob-broadcast";
+inline constexpr const char* kAckHeader = "tob-ack";
+inline constexpr const char* kDeliverHeader = "tob-deliver";
+
+/// Body of tob-broadcast messages.
+struct BroadcastBody {
+  Command command;
+};
+
+/// Body of tob-ack (delivery notification to the broadcaster).
+struct AckBody {
+  ClientId client{};
+  RequestSeq seq = 0;
+  Slot slot = 0;
+};
+
+/// Body of tob-deliver (push to remote subscribers).
+struct DeliverBody {
+  Slot slot = 0;
+  std::uint64_t index = 0;  // global delivery index
+  Command command;
+};
+
+enum class Protocol : std::uint8_t { kPaxos, kTwoThird };
+
+struct TobConfig {
+  std::vector<NodeId> nodes;  // the broadcast service replicas
+  Protocol protocol = Protocol::kPaxos;
+  consensus::ExecProfile profile{.program_work = consensus::kBroadcastProgramWork};
+  consensus::PaxosConfig paxos;        // peers filled from `nodes` if empty
+  consensus::TwoThirdConfig two_third; // peers filled from `nodes` if empty
+  std::size_t batch_max = 64;
+  std::size_t max_outstanding = 1;  // proposals in flight per node (natural batching)
+  sim::Time batch_delay = 0;        // optional extra linger for batching, µs
+  sim::Time tick_period = 5000;     // µs driver for consensus timeouts
+  sim::Time relay_timeout = 500000; // relayed commands not delivered by then
+                                    // are proposed locally (leader may be dead)
+};
+
+/// One node of the broadcast service. Construct one per NodeId in
+/// TobConfig::nodes, all sharing the same config and SafetyRecorder.
+class TobNode {
+ public:
+  using LocalDeliverFn = std::function<void(sim::Context&, Slot, std::uint64_t, const Command&)>;
+
+  TobNode(sim::World& world, NodeId self, TobConfig config,
+          consensus::SafetyRecorder* safety = nullptr);
+
+  /// Local subscriber (e.g. a co-located SMR database replica).
+  void subscribe_local(LocalDeliverFn fn) { local_subscriber_ = std::move(fn); }
+
+  /// Remote subscriber: receives tob-deliver messages for every delivery.
+  void add_remote_subscriber(NodeId node) { remote_subscribers_.push_back(node); }
+
+  const std::vector<Command>& delivery_log() const { return delivery_log_; }
+  std::uint64_t delivered_count() const { return delivery_log_.size(); }
+  NodeId node() const { return self_; }
+  consensus::ConsensusModule& module() { return *module_; }
+
+ private:
+  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from);
+  void on_decide(sim::Context& ctx, Slot slot, const Batch& batch);
+  void maybe_propose(sim::Context& ctx);
+  void deliver_ready(sim::Context& ctx);
+  void arm_tick(sim::Context& ctx);
+
+  sim::World& world_;
+  NodeId self_;
+  TobConfig config_;
+  std::unique_ptr<consensus::ConsensusModule> module_;
+
+  struct PendingCommand {
+    Command command;
+    NodeId origin{};       // who sent the broadcast to us (gets the ack)
+    bool in_flight = false;
+    sim::Time relayed_at = 0;   // 0 = not currently relayed to the leader
+    bool relay_expired = false; // relay timed out: propose locally instead
+  };
+  std::deque<PendingCommand> pending_;
+  std::map<Slot, Batch> outstanding_;  // our proposals awaiting decision
+  std::map<Slot, Batch> decisions_;    // decided but possibly not yet delivered
+  Slot next_deliver_slot_ = 0;
+  Slot next_propose_slot_ = 0;
+  sim::Time oldest_pending_since_ = 0;
+
+  std::set<std::pair<std::uint32_t, RequestSeq>> delivered_keys_;  // dedup guard
+  std::vector<Command> delivery_log_;
+  LocalDeliverFn local_subscriber_;
+  std::vector<NodeId> remote_subscribers_;
+  bool tick_armed_ = false;
+};
+
+/// Convenience: builds the service on `machines.size()` nodes, one per
+/// machine (co-location with databases is done by passing shared machines).
+struct TobService {
+  std::vector<std::unique_ptr<TobNode>> nodes;
+
+  TobNode& operator[](std::size_t i) { return *nodes[i]; }
+  std::size_t size() const { return nodes.size(); }
+};
+
+TobService make_service(sim::World& world, const TobConfig& config,
+                        consensus::SafetyRecorder* safety = nullptr);
+
+}  // namespace shadow::tob

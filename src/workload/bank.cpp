@@ -1,0 +1,96 @@
+#include "workload/bank.hpp"
+
+namespace shadow::workload::bank {
+
+db::TableSchema make_schema() {
+  db::TableSchema schema;
+  schema.name = kTable;
+  schema.columns = {
+      {"id", db::ColumnType::kBigInt},
+      {"owner", db::ColumnType::kVarchar},
+      {"balance", db::ColumnType::kBigInt},
+  };
+  schema.primary_key = {0};
+  return schema;
+}
+
+void load(db::Engine& engine, const BankConfig& config) {
+  engine.create_table(make_schema());
+  const db::TxnId txn = engine.begin();
+  for (std::int64_t id = 0; id < config.accounts; ++id) {
+    db::Row row{db::Value(id), db::Value(std::string(config.owner_bytes, 'o')),
+                db::Value(std::int64_t{1000})};
+    const db::ExecResult r = engine.execute(txn, db::make_insert(kTable, std::move(row)));
+    SHADOW_CHECK(r.ok());
+  }
+  SHADOW_CHECK(engine.commit(txn).ok());
+}
+
+void register_procedures(ProcedureRegistry& registry) {
+  registry.add(kDepositProc, [](const StepContext& ctx) -> ProcStep {
+    if (ctx.step == 0) {
+      db::SetClause add{2, db::SetOp::kAdd, ctx.params[1]};
+      return ProcStep::statement(db::make_update(kTable, {ctx.params[0]}, {add}));
+    }
+    return ProcStep::commit();
+  });
+
+  registry.add(kBalanceProc, [](const StepContext& ctx) -> ProcStep {
+    if (ctx.step == 0) {
+      return ProcStep::statement(db::make_select(kTable, {ctx.params[0]}));
+    }
+    return ProcStep::commit();
+  });
+
+  registry.add(kTransferProc, [](const StepContext& ctx) -> ProcStep {
+    switch (ctx.step) {
+      case 0:
+        return ProcStep::statement(db::make_select(kTable, {ctx.params[0]}));
+      case 1: {
+        // Deterministic abort on overdraft (all replicas decide alike).
+        if (ctx.results[0].rows.empty() ||
+            ctx.results[0].rows[0][2].as_int() < ctx.params[2].as_int()) {
+          return ProcStep::rollback();
+        }
+        db::SetClause sub{2, db::SetOp::kAdd, db::Value(-ctx.params[2].as_int())};
+        return ProcStep::statement(db::make_update(kTable, {ctx.params[0]}, {sub}));
+      }
+      case 2: {
+        db::SetClause add{2, db::SetOp::kAdd, ctx.params[2]};
+        return ProcStep::statement(db::make_update(kTable, {ctx.params[1]}, {add}));
+      }
+      default:
+        return ProcStep::commit();
+    }
+  });
+
+  registry.add(kAuditProc, [](const StepContext& ctx) -> ProcStep {
+    if (ctx.step == 0) {
+      db::Statement scan = db::make_scan(kTable, {});
+      scan.agg = db::Agg::kSum;
+      scan.agg_column = 2;
+      return ProcStep::statement(std::move(scan));
+    }
+    return ProcStep::commit();
+  });
+}
+
+Params make_deposit(Rng& rng, const BankConfig& config) {
+  const auto account = static_cast<std::int64_t>(
+      rng.uniform(0, static_cast<std::uint64_t>(config.accounts - 1)));
+  const auto amount = static_cast<std::int64_t>(rng.uniform(1, 100));
+  return Params{db::Value(account), db::Value(amount)};
+}
+
+std::int64_t total_balance(db::Engine& engine) {
+  const db::TxnId txn = engine.begin();
+  db::Statement scan = db::make_scan(kTable, {});
+  scan.agg = db::Agg::kSum;
+  scan.agg_column = 2;
+  const db::ExecResult r = engine.execute(txn, scan);
+  SHADOW_CHECK(r.ok());
+  engine.commit(txn);
+  return r.agg_value.as_int();
+}
+
+}  // namespace shadow::workload::bank

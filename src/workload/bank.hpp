@@ -1,0 +1,45 @@
+// The paper's micro-benchmark: "a database of bank accounts, each having an
+// identifier, an owner, and a balance" — 50,000 rows of 16 bytes (3 columns)
+// in the Fig. 9(a) configuration; update transactions "deposit money on a
+// randomly selected account".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "db/engine.hpp"
+#include "workload/procedures.hpp"
+
+namespace shadow::workload::bank {
+
+inline constexpr const char* kTable = "accounts";
+inline constexpr const char* kDepositProc = "bank.deposit";
+inline constexpr const char* kBalanceProc = "bank.balance";
+inline constexpr const char* kTransferProc = "bank.transfer";
+inline constexpr const char* kAuditProc = "bank.audit";
+
+struct BankConfig {
+  std::int64_t accounts = 50000;
+  std::size_t owner_bytes = 0;  // extra VARCHAR padding (0 → 16-byte rows)
+};
+
+db::TableSchema make_schema();
+
+/// Creates and populates the accounts table.
+void load(db::Engine& engine, const BankConfig& config);
+
+/// Registers deposit / balance / transfer / audit procedures.
+///   deposit  (account, amount)          — the Fig. 9(a) update transaction
+///   balance  (account)                  — point read
+///   transfer (from, to, amount)         — aborts (rolls back) on overdraft
+///   audit    ()                         — SUM over all balances
+void register_procedures(ProcedureRegistry& registry);
+
+/// Deposit parameters for a uniformly random account.
+Params make_deposit(Rng& rng, const BankConfig& config);
+
+/// Sum of all balances (used by the durability/serializability checks).
+std::int64_t total_balance(db::Engine& engine);
+
+}  // namespace shadow::workload::bank

@@ -1,0 +1,48 @@
+#include "workload/messages.hpp"
+
+#include "common/bytes.hpp"
+
+namespace shadow::workload {
+
+std::string encode_request(const TxnRequest& req) {
+  BytesWriter w;
+  w.u32(req.client.value);
+  w.u64(req.seq);
+  w.u32(req.reply_to.value);
+  w.str(req.proc);
+  db::serialize_row(w, req.params);
+  const Bytes bytes = w.peek();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TxnRequest decode_request(const std::string& payload) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(payload.data());
+  BytesReader r(std::span<const std::uint8_t>(data, payload.size()));
+  TxnRequest req;
+  req.client = ClientId{r.u32()};
+  req.seq = r.u64();
+  req.reply_to = NodeId{r.u32()};
+  req.proc = r.str();
+  req.params = db::deserialize_row(r);
+  return req;
+}
+
+std::size_t request_wire_size(const TxnRequest& req) {
+  return 32 + req.proc.size() + db::row_wire_size(req.params);
+}
+
+std::size_t response_wire_size(const TxnResponse& resp) {
+  std::size_t n = 48 + resp.error.size();
+  for (const db::Row& row : resp.rows) n += db::row_wire_size(row);
+  return n;
+}
+
+sim::Message make_request_msg(const TxnRequest& req) {
+  return sim::make_msg(kTxnRequestHeader, req, request_wire_size(req));
+}
+
+sim::Message make_response_msg(const TxnResponse& resp) {
+  return sim::make_msg(kTxnResponseHeader, resp, response_wire_size(resp));
+}
+
+}  // namespace shadow::workload

@@ -1,0 +1,46 @@
+// The client ↔ database-service protocol: transaction requests (type +
+// parameters) and responses (commit/abort + result set). Shared by ShadowDB
+// (both replication modes) and the baseline replicators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "db/value.hpp"
+#include "sim/message.hpp"
+#include "workload/procedures.hpp"
+
+namespace shadow::workload {
+
+inline constexpr const char* kTxnRequestHeader = "txn-request";
+inline constexpr const char* kTxnResponseHeader = "txn-response";
+
+struct TxnRequest {
+  ClientId client{};
+  RequestSeq seq = 0;  // per-client sequence number (at-most-once execution)
+  NodeId reply_to{};   // where the answer should be sent
+  std::string proc;
+  Params params;
+};
+
+struct TxnResponse {
+  ClientId client{};
+  RequestSeq seq = 0;
+  bool committed = false;
+  std::vector<db::Row> rows;  // the transaction's answer set, if any
+  std::string error;
+};
+
+/// Serialized request — the opaque payload carried in TOB commands and in
+/// PBR's primary→backup forwarding.
+std::string encode_request(const TxnRequest& req);
+TxnRequest decode_request(const std::string& payload);
+
+std::size_t request_wire_size(const TxnRequest& req);
+std::size_t response_wire_size(const TxnResponse& resp);
+
+sim::Message make_request_msg(const TxnRequest& req);
+sim::Message make_response_msg(const TxnResponse& resp);
+
+}  // namespace shadow::workload

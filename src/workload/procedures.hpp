@@ -1,0 +1,79 @@
+// Transactions as deterministic stored procedures.
+//
+// ShadowDB ships a transaction's *type and parameters* to the replicas
+// ("Submitting a transaction T involves sending T's type and its
+// parameters"), which execute it deterministically and sequentially. A
+// procedure is a state machine that emits one statement per step (so the
+// JDBC baselines can also interleave statements of concurrent transactions
+// across client round-trips) and ends with commit or a deterministic
+// rollback (the paper's footnote 4: transactions may request an abort, and
+// determinism makes all replicas abort alike).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/engine.hpp"
+#include "db/statement.hpp"
+
+namespace shadow::workload {
+
+using Params = db::Row;
+
+/// What a procedure emits at each step.
+struct ProcStep {
+  enum class Kind : std::uint8_t { kStatement, kCommit, kRollback };
+  Kind kind = Kind::kCommit;
+  db::Statement stmt;
+
+  static ProcStep statement(db::Statement s) {
+    return ProcStep{Kind::kStatement, std::move(s)};
+  }
+  static ProcStep commit() { return ProcStep{Kind::kCommit, {}}; }
+  static ProcStep rollback() { return ProcStep{Kind::kRollback, {}}; }
+};
+
+struct StepContext {
+  const Params& params;
+  std::size_t step = 0;  // 0-based index of the statement being requested
+  const std::vector<db::ExecResult>& results;  // results of prior statements
+};
+
+using ProcedureFn = std::function<ProcStep(const StepContext&)>;
+
+class ProcedureRegistry {
+ public:
+  void add(std::string name, ProcedureFn fn) {
+    SHADOW_REQUIRE_MSG(procs_.emplace(std::move(name), std::move(fn)).second,
+                       "duplicate procedure registration");
+  }
+  const ProcedureFn& get(const std::string& name) const {
+    auto it = procs_.find(name);
+    SHADOW_REQUIRE_MSG(it != procs_.end(), "unknown procedure: " + name);
+    return it->second;
+  }
+  bool has(const std::string& name) const { return procs_.count(name) > 0; }
+
+ private:
+  std::map<std::string, ProcedureFn> procs_;
+};
+
+/// Outcome of running a whole procedure locally (replica-side execution).
+struct TxnOutcome {
+  bool committed = false;
+  std::vector<db::Row> rows;  // result set of the last read statement
+  db::Value agg_value;
+  std::uint64_t cost_us = 0;  // total virtual CPU consumed
+  std::size_t statements = 0;
+  std::string error;
+};
+
+/// Runs a procedure to completion against the engine, sequentially (the
+/// replica execution mode: no other transaction interleaves, so statements
+/// never block). Used by ShadowDB replicas and by tests.
+TxnOutcome run_procedure(db::Engine& engine, const ProcedureFn& proc, const Params& params);
+
+}  // namespace shadow::workload

@@ -1,0 +1,97 @@
+// TPC-C (the paper's second benchmark, configured with 1 warehouse).
+//
+// Full implementation of the nine-table schema, the standard loader, NURand
+// key generation, the standard transaction mix, and all five transaction
+// types as deterministic stored procedures:
+//
+//   new_order    45 %  (1 % deterministic rollbacks via an invalid item)
+//   payment      43 %  (60 % customer selection by last name)
+//   order_status  4 %
+//   delivery      4 %  (all 10 districts)
+//   stock_level   4 %
+//
+// Consistency conditions (TPC-C §3.3.2.x) are exposed as check functions and
+// exercised by tests/workload/tpcc_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/engine.hpp"
+#include "workload/procedures.hpp"
+
+namespace shadow::workload::tpcc {
+
+inline constexpr const char* kNewOrderProc = "tpcc.new_order";
+inline constexpr const char* kPaymentProc = "tpcc.payment";
+inline constexpr const char* kOrderStatusProc = "tpcc.order_status";
+inline constexpr const char* kDeliveryProc = "tpcc.delivery";
+inline constexpr const char* kStockLevelProc = "tpcc.stock_level";
+
+struct TpccConfig {
+  std::int64_t warehouses = 1;
+  std::int64_t districts_per_wh = 10;
+  std::int64_t customers_per_district = 3000;
+  std::int64_t items = 100000;
+  std::int64_t initial_orders_per_district = 3000;  // last 900 are undelivered
+  std::size_t data_pad = 24;  // filler bytes for *_data columns
+
+  /// A scaled-down configuration for unit tests.
+  static TpccConfig small() {
+    TpccConfig c;
+    c.districts_per_wh = 2;
+    c.customers_per_district = 30;
+    c.items = 100;
+    c.initial_orders_per_district = 30;
+    return c;
+  }
+};
+
+std::vector<db::TableSchema> make_schemas();
+
+/// Creates tables and runs the standard initial load.
+void load(db::Engine& engine, const TpccConfig& config, std::uint64_t seed = 1);
+
+void register_procedures(ProcedureRegistry& registry);
+
+/// Deterministic parameter generation for the standard mix. `h_id_source`
+/// must be unique per generated payment (history primary key).
+class TxnGenerator {
+ public:
+  TxnGenerator(TpccConfig config, std::uint64_t seed);
+
+  struct Txn {
+    std::string proc;
+    Params params;
+  };
+
+  /// Samples from the standard mix.
+  Txn next();
+  /// Specific transaction types (for targeted tests/benchmarks).
+  Txn next_new_order();
+  Txn next_payment();
+  Txn next_order_status();
+  Txn next_delivery();
+  Txn next_stock_level();
+
+ private:
+  std::int64_t nurand(std::int64_t a, std::int64_t x, std::int64_t y);
+
+  TpccConfig config_;
+  Rng rng_;
+  std::uint64_t stream_id_ = 0;  // disambiguates history ids across clients
+  std::int64_t c_for_c_id_;
+  std::int64_t c_for_i_id_;
+  std::uint64_t h_id_next_ = 1;
+};
+
+/// TPC-C consistency condition 1: for every district,
+/// d_next_o_id - 1 == max(o_id) == max(no_o_id is <= d_next_o_id - 1).
+bool check_consistency(db::Engine& engine, const TpccConfig& config, std::string* detail);
+
+/// A last name from the TPC-C syllable table (num in [0, 999]).
+std::string last_name(std::int64_t num);
+
+}  // namespace shadow::workload::tpcc

@@ -1,0 +1,148 @@
+// Unit tests for the common substrate: deterministic RNG, byte
+// serialization, statistics helpers, and the assertion macros.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace shadow {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool all_equal = true;
+  bool any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_equal = all_equal && va == b.next();
+    any_differs = any_differs || va != c.next();
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Rng, UniformStaysInBoundsAndCoversRange) {
+  Rng rng(11);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) {
+    const std::uint64_t v = rng.uniform(3, 8);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 8u);
+    ++counts[v];
+  }
+  EXPECT_EQ(counts.size(), 6u);  // every value hit
+  for (const auto& [v, n] : counts) EXPECT_GT(n, 700) << v;
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(25.0);
+  EXPECT_NEAR(sum / 20000.0, 25.0, 1.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Bytes, PrimitivesRoundTrip) {
+  BytesWriter w;
+  w.u8(200);
+  w.u32(0xdeadbeef);
+  w.u64(0x123456789abcdef0ULL);
+  w.i64(-42);
+  w.f64(-3.25);
+  w.str("hello");
+  const Bytes buf = w.take();
+
+  BytesReader r(buf);
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x123456789abcdef0ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncationDetected) {
+  BytesWriter w;
+  w.u32(5);
+  const Bytes buf = w.take();
+  BytesReader r(buf);
+  EXPECT_THROW(r.u64(), InvariantViolation);
+}
+
+TEST(Bytes, EmptyStringAndRemaining) {
+  BytesWriter w;
+  w.str("");
+  w.u8(1);
+  const Bytes buf = w.take();
+  BytesReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Check, MacrosThrowTypedExceptions) {
+  EXPECT_THROW(SHADOW_CHECK(false), InvariantViolation);
+  EXPECT_THROW(SHADOW_REQUIRE(false), PreconditionViolation);
+  EXPECT_NO_THROW(SHADOW_CHECK(true));
+  EXPECT_NO_THROW(SHADOW_REQUIRE(true));
+  try {
+    SHADOW_CHECK_MSG(1 == 2, "one is not two");
+    FAIL();
+  } catch (const InvariantViolation& ex) {
+    EXPECT_NE(std::string(ex.what()).find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(LatencyStats, MeanAndPercentiles) {
+  LatencyStats stats;
+  for (std::uint64_t v = 1; v <= 100; ++v) stats.add(v * 1000);  // 1..100 ms
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(stats.mean_ms(), 50.5);
+  EXPECT_NEAR(stats.percentile_ms(50), 50.5, 0.6);
+  EXPECT_NEAR(stats.percentile_ms(99), 99.0, 1.1);
+  EXPECT_EQ(stats.max_us(), 100000u);
+}
+
+TEST(ThroughputTimeline, BucketsRates) {
+  ThroughputTimeline timeline(1000000);  // 1 s buckets
+  for (int i = 0; i < 250; ++i) timeline.add(500000);    // bucket 0
+  for (int i = 0; i < 100; ++i) timeline.add(1500000);   // bucket 1
+  EXPECT_DOUBLE_EQ(timeline.rate_per_sec(0), 250.0);
+  EXPECT_DOUBLE_EQ(timeline.rate_per_sec(1), 100.0);
+  EXPECT_DOUBLE_EQ(timeline.rate_per_sec(9), 0.0);
+}
+
+}  // namespace
+}  // namespace shadow

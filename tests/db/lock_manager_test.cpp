@@ -1,0 +1,186 @@
+// Unit tests for the multigranularity lock manager: compatibility matrix,
+// upgrades, FIFO queueing, wake-up on release, deadline expiry, and the
+// waits-for deadlock detector.
+#include <gtest/gtest.h>
+
+#include "db/lock_manager.hpp"
+
+namespace shadow::db {
+namespace {
+
+const LockTarget kTableA{"a", std::nullopt};
+const LockTarget kTableB{"b", std::nullopt};
+const LockTarget kRowA1{"a", Key{Value(1)}};
+const LockTarget kRowA2{"a", Key{Value(2)}};
+
+TEST(LockCompatibility, MatrixMatchesTextbook) {
+  using M = LockMode;
+  // IS is compatible with everything but X.
+  EXPECT_TRUE(lock_compatible(M::kIntentionShared, M::kIntentionShared));
+  EXPECT_TRUE(lock_compatible(M::kIntentionShared, M::kIntentionExclusive));
+  EXPECT_TRUE(lock_compatible(M::kIntentionShared, M::kShared));
+  EXPECT_FALSE(lock_compatible(M::kIntentionShared, M::kExclusive));
+  // IX with intentions only.
+  EXPECT_TRUE(lock_compatible(M::kIntentionExclusive, M::kIntentionShared));
+  EXPECT_TRUE(lock_compatible(M::kIntentionExclusive, M::kIntentionExclusive));
+  EXPECT_FALSE(lock_compatible(M::kIntentionExclusive, M::kShared));
+  EXPECT_FALSE(lock_compatible(M::kIntentionExclusive, M::kExclusive));
+  // S with IS and S.
+  EXPECT_TRUE(lock_compatible(M::kShared, M::kIntentionShared));
+  EXPECT_FALSE(lock_compatible(M::kShared, M::kIntentionExclusive));
+  EXPECT_TRUE(lock_compatible(M::kShared, M::kShared));
+  EXPECT_FALSE(lock_compatible(M::kShared, M::kExclusive));
+  // X with nothing.
+  EXPECT_FALSE(lock_compatible(M::kExclusive, M::kIntentionShared));
+  EXPECT_FALSE(lock_compatible(M::kExclusive, M::kExclusive));
+}
+
+TEST(LockManager, SharedHoldersCoexist) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(3, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+}
+
+TEST(LockManager, ExclusiveBlocksEverything) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.acquire(3, kTableA, LockMode::kIntentionShared, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.waiting_count(), 2u);
+}
+
+TEST(LockManager, ReleaseGrantsFifo) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  ASSERT_EQ(lm.acquire(3, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  const std::vector<TxnId> granted = lm.release_all(1);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 2u);  // FIFO: txn 2 first
+  EXPECT_TRUE(lm.holds(2, kTableA, LockMode::kExclusive));
+  EXPECT_FALSE(lm.holds(3, kTableA, LockMode::kExclusive));
+}
+
+TEST(LockManager, ReleaseGrantsMultipleSharedWaiters) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kQueued);
+  ASSERT_EQ(lm.acquire(3, kTableA, LockMode::kShared, 100), AcquireStatus::kQueued);
+  const std::vector<TxnId> granted = lm.release_all(1);
+  EXPECT_EQ(granted.size(), 2u);  // both readers wake together
+}
+
+TEST(LockManager, UpgradeInPlaceWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  EXPECT_TRUE(lm.holds(1, kTableA, LockMode::kExclusive));
+}
+
+TEST(LockManager, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  // When the other reader leaves, the upgrade completes.
+  const std::vector<TxnId> granted = lm.release_all(2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 1u);
+}
+
+TEST(LockManager, RowLocksOnDifferentRowsAreIndependent) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(1, kRowA1, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  EXPECT_EQ(lm.acquire(2, kRowA2, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+}
+
+TEST(LockManager, IntentionLocksGateTableScans) {
+  LockManager lm;
+  // Writer: IX on the table + X on a row.
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kIntentionExclusive, 100),
+            AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(1, kRowA1, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  // Scanner: S on the table conflicts with the IX.
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kQueued);
+  // A later point writer queues behind the waiting scanner (FIFO fairness:
+  // a stream of IX holders must not starve the scan).
+  EXPECT_EQ(lm.acquire(3, kTableA, LockMode::kIntentionExclusive, 100),
+            AcquireStatus::kQueued);
+  // Once the first writer commits, the scanner goes first.
+  const std::vector<TxnId> granted = lm.release_all(1);
+  ASSERT_FALSE(granted.empty());
+  EXPECT_EQ(granted[0], 2u);
+}
+
+TEST(LockManager, ExpiryRemovesWaitersAndGrantsNext) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 1000), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 500), AcquireStatus::kQueued);
+  ASSERT_EQ(lm.acquire(3, kTableA, LockMode::kExclusive, 2000), AcquireStatus::kQueued);
+  const LockManager::ExpireResult result = lm.expire(600);
+  ASSERT_EQ(result.expired.size(), 1u);
+  EXPECT_EQ(result.expired[0], 2u);  // only the 500-deadline waiter
+  EXPECT_TRUE(result.granted.empty());
+  EXPECT_EQ(lm.waiting_count(), 1u);
+}
+
+TEST(LockManager, DirectTwoTxnDeadlockDetected) {
+  LockManager lm;
+  // T1 holds A, T2 holds B; T1 queues on B; T2 requesting A closes a cycle.
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableB, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(1, kTableB, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 100), AcquireStatus::kDeadlock);
+}
+
+TEST(LockManager, ThreeTxnCycleDetected) {
+  LockManager lm;
+  const LockTarget c{"c", std::nullopt};
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableB, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(3, c, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(1, kTableB, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  ASSERT_EQ(lm.acquire(2, c, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.acquire(3, kTableA, LockMode::kExclusive, 100), AcquireStatus::kDeadlock);
+}
+
+TEST(LockManager, NoFalsePositiveOnPlainQueue) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kGranted);
+  // T2 and T3 just wait in line; no cycle.
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.acquire(3, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+}
+
+TEST(LockManager, SharedUpgradeDeadlockDetected) {
+  LockManager lm;
+  // The classic S→X upgrade deadlock between two readers.
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 100), AcquireStatus::kDeadlock);
+}
+
+TEST(LockManager, ReleaseSharedDropsOnlyReadModes) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kIntentionExclusive, 100),
+            AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  lm.release_shared(1, kTableA);
+  // The IX hold survives; an S-requester from another txn still conflicts.
+  EXPECT_TRUE(lm.holds(1, kTableA, LockMode::kIntentionExclusive));
+  EXPECT_EQ(lm.acquire(2, kTableA, LockMode::kShared, 100), AcquireStatus::kQueued);
+}
+
+TEST(LockManager, ReleaseSharedWakesScanners) {
+  LockManager lm;
+  ASSERT_EQ(lm.acquire(1, kTableA, LockMode::kShared, 100), AcquireStatus::kGranted);
+  ASSERT_EQ(lm.acquire(2, kTableA, LockMode::kExclusive, 100), AcquireStatus::kQueued);
+  const std::vector<TxnId> granted = lm.release_shared(1, kTableA);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 2u);
+}
+
+}  // namespace
+}  // namespace shadow::db

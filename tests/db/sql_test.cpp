@@ -1,0 +1,135 @@
+// Tests for the mini-SQL front end: parsing, point-lookup extraction,
+// aggregates, arithmetic SET, and end-to-end execution via the engine.
+#include <gtest/gtest.h>
+
+#include "db/engine.hpp"
+#include "db/sql.hpp"
+
+namespace shadow::db {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() : engine_(make_h2_traits()) {
+    exec_ddl("CREATE TABLE accounts (id BIGINT, owner VARCHAR(16), balance BIGINT, "
+             "PRIMARY KEY (id))");
+  }
+
+  Statement parse(const std::string& sql) {
+    return parse_sql(sql, [this](const std::string& name) -> const TableSchema* {
+      return schemas_.count(name) > 0 ? &schemas_.at(name) : nullptr;
+    });
+  }
+
+  void exec_ddl(const std::string& sql) {
+    Statement stmt = parse(sql);
+    ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+    schemas_[stmt.schema.name] = stmt.schema;
+    engine_.create_table(stmt.schema);
+  }
+
+  ExecResult exec(const std::string& sql) {
+    const TxnId t = engine_.begin();
+    ExecResult r = engine_.execute(t, parse(sql));
+    engine_.commit(t);
+    return r;
+  }
+
+  Engine engine_;
+  std::map<std::string, TableSchema> schemas_;
+};
+
+TEST_F(SqlTest, InsertAndPointSelect) {
+  EXPECT_TRUE(exec("INSERT INTO accounts VALUES (1, 'alice', 100)").ok());
+  const ExecResult r = exec("SELECT * FROM accounts WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].as_string(), "alice");
+  EXPECT_EQ(r.rows[0][2].as_int(), 100);
+}
+
+TEST_F(SqlTest, FullPkEqualityBecomesPointLookup) {
+  const Statement s = parse("SELECT * FROM accounts WHERE id = 7");
+  EXPECT_EQ(s.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(s.key.size(), 1u);
+  EXPECT_EQ(s.key[0].as_int(), 7);
+}
+
+TEST_F(SqlTest, NonKeyPredicateBecomesScan) {
+  const Statement s = parse("SELECT * FROM accounts WHERE balance > 50");
+  EXPECT_EQ(s.kind, Statement::Kind::kScan);
+  ASSERT_EQ(s.where.size(), 1u);
+  EXPECT_EQ(s.where[0].op, CmpOp::kGt);
+}
+
+TEST_F(SqlTest, ProjectionSelectsNamedColumns) {
+  exec("INSERT INTO accounts VALUES (1, 'alice', 100)");
+  const ExecResult r = exec("SELECT balance, owner FROM accounts WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  ASSERT_EQ(r.rows[0].size(), 2u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 100);
+  EXPECT_EQ(r.rows[0][1].as_string(), "alice");
+}
+
+TEST_F(SqlTest, UpdateArithmeticAndAssign) {
+  exec("INSERT INTO accounts VALUES (1, 'alice', 100)");
+  EXPECT_EQ(exec("UPDATE accounts SET balance = balance + 25 WHERE id = 1").affected, 1u);
+  EXPECT_EQ(exec("UPDATE accounts SET owner = 'bob' WHERE id = 1").affected, 1u);
+  EXPECT_EQ(exec("UPDATE accounts SET balance = balance - 5 WHERE id = 1").affected, 1u);
+  const ExecResult r = exec("SELECT * FROM accounts WHERE id = 1");
+  EXPECT_EQ(r.rows[0][1].as_string(), "bob");
+  EXPECT_EQ(r.rows[0][2].as_int(), 120);
+}
+
+TEST_F(SqlTest, AggregatesAndOrderByLimit) {
+  for (int i = 0; i < 10; ++i) {
+    exec("INSERT INTO accounts VALUES (" + std::to_string(i) + ", 'u', " +
+         std::to_string(i * 10) + ")");
+  }
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM accounts").agg_value.as_int(), 10);
+  EXPECT_EQ(exec("SELECT SUM(balance) FROM accounts").agg_value.as_int(), 450);
+  EXPECT_EQ(exec("SELECT MIN(balance) FROM accounts WHERE id >= 4").agg_value.as_int(), 40);
+  EXPECT_EQ(exec("SELECT MAX(id) FROM accounts").agg_value.as_int(), 9);
+
+  const ExecResult top = exec("SELECT * FROM accounts ORDER BY balance DESC LIMIT 2");
+  ASSERT_EQ(top.rows.size(), 2u);
+  EXPECT_EQ(top.rows[0][2].as_int(), 90);
+}
+
+TEST_F(SqlTest, DeleteByKeyAndByPredicate) {
+  for (int i = 0; i < 5; ++i) {
+    exec("INSERT INTO accounts VALUES (" + std::to_string(i) + ", 'u', 0)");
+  }
+  EXPECT_EQ(exec("DELETE FROM accounts WHERE id = 0").affected, 1u);
+  EXPECT_EQ(exec("DELETE FROM accounts WHERE id >= 3").affected, 2u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM accounts").agg_value.as_int(), 2);
+}
+
+TEST_F(SqlTest, CompositePrimaryKeyPointLookup) {
+  exec_ddl("CREATE TABLE t2 (a BIGINT, b BIGINT, v VARCHAR, PRIMARY KEY (a, b))");
+  const Statement s = parse("SELECT * FROM t2 WHERE b = 2 AND a = 1");
+  EXPECT_EQ(s.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(s.key.size(), 2u);
+  EXPECT_EQ(s.key[0].as_int(), 1);  // reordered to PK column order
+  EXPECT_EQ(s.key[1].as_int(), 2);
+}
+
+TEST_F(SqlTest, SyntaxErrorsAreDiagnosed) {
+  EXPECT_THROW(parse("SELEKT * FROM accounts"), PreconditionViolation);
+  EXPECT_THROW(parse("SELECT * FROM nosuch"), PreconditionViolation);
+  EXPECT_THROW(parse("SELECT * FROM accounts WHERE nope = 1"), PreconditionViolation);
+  EXPECT_THROW(parse("INSERT INTO accounts VALUES (1)"), PreconditionViolation);
+  EXPECT_THROW(parse("SELECT * FROM accounts WHERE id = 'unterminated"),
+               PreconditionViolation);
+}
+
+TEST_F(SqlTest, StringAndDoubleLiterals) {
+  exec_ddl("CREATE TABLE m (k BIGINT, x DOUBLE, s VARCHAR, PRIMARY KEY (k))");
+  exec("INSERT INTO m VALUES (2, -3.25, 'plain')");
+  const ExecResult r = exec("SELECT * FROM m WHERE k = 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_double(), -3.25);
+  EXPECT_EQ(r.rows[0][2].as_string(), "plain");
+}
+
+}  // namespace
+}  // namespace shadow::db

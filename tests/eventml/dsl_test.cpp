@@ -1,0 +1,227 @@
+// Unit tests for the embedded EventML DSL: values, each combinator's
+// semantics (Base, State, Compose, Parallel, Once), shared-node memoization,
+// interpreter parity, and the GPM compilation boundary.
+#include <gtest/gtest.h>
+
+#include "eventml/compile.hpp"
+#include "common/rng.hpp"
+#include "eventml/instance.hpp"
+
+namespace shadow::eventml {
+namespace {
+
+// ---- values -------------------------------------------------------------------
+
+TEST(Value, StructuralEquality) {
+  EXPECT_TRUE(value_eq(Value::integer(5), Value::integer(5)));
+  EXPECT_FALSE(value_eq(Value::integer(5), Value::integer(6)));
+  EXPECT_FALSE(value_eq(Value::integer(5), Value::str("5")));
+  EXPECT_TRUE(value_eq(Value::unit(), Value::unit()));
+  EXPECT_TRUE(value_eq(Value::pair(Value::integer(1), Value::str("x")),
+                       Value::pair(Value::integer(1), Value::str("x"))));
+  EXPECT_FALSE(value_eq(Value::pair(Value::integer(1), Value::str("x")),
+                        Value::pair(Value::integer(1), Value::str("y"))));
+  EXPECT_TRUE(value_eq(Value::list({Value::integer(1), Value::integer(2)}),
+                       Value::list({Value::integer(1), Value::integer(2)})));
+  EXPECT_FALSE(value_eq(Value::list({Value::integer(1)}),
+                        Value::list({Value::integer(1), Value::integer(2)})));
+  EXPECT_TRUE(value_eq(Value::send(NodeId{1}, "h", Value::integer(3)),
+                       Value::send(NodeId{1}, "h", Value::integer(3))));
+  EXPECT_FALSE(value_eq(Value::send(NodeId{1}, "h", Value::integer(3)),
+                        Value::send(NodeId{2}, "h", Value::integer(3))));
+}
+
+TEST(Value, AccessorsThrowOnTypeMismatch) {
+  EXPECT_THROW(Value::integer(1)->as_str(), InvariantViolation);
+  EXPECT_THROW(Value::str("x")->as_int(), InvariantViolation);
+  EXPECT_THROW(Value::unit()->as_pair(), InvariantViolation);
+  EXPECT_EQ(fst(Value::pair(Value::integer(1), Value::integer(2)))->as_int(), 1);
+  EXPECT_EQ(snd(Value::pair(Value::integer(1), Value::integer(2)))->as_int(), 2);
+}
+
+TEST(Value, RenderingForWitnesses) {
+  EXPECT_EQ(value_str(Value::integer(-3)), "-3");
+  EXPECT_EQ(value_str(Value::str("hi")), "\"hi\"");
+  EXPECT_EQ(value_str(Value::pair(Value::integer(1), Value::unit())), "(1, ())");
+  EXPECT_EQ(value_str(Value::list({Value::integer(1), Value::integer(2)})), "[1, 2]");
+}
+
+TEST(Value, WireSizeGrowsWithContent) {
+  EXPECT_LT(value_wire_size(Value::integer(1)),
+            value_wire_size(Value::pair(Value::integer(1), Value::str("hello world"))));
+  EXPECT_EQ(value_wire_size(Value::integer(1)), 8u);
+}
+
+// ---- combinators ---------------------------------------------------------------
+
+TEST(Combinators, BaseRecognizesHeaderOnly) {
+  Instance instance(base("ping"), NodeId{0});
+  const auto hit = instance.on_event("ping", Value::integer(7));
+  ASSERT_TRUE(hit.recognized);
+  ASSERT_EQ(hit.outputs.size(), 1u);
+  EXPECT_EQ(hit.outputs[0]->as_int(), 7);
+  const auto miss = instance.on_event("pong", Value::integer(7));
+  EXPECT_FALSE(miss.recognized);
+  EXPECT_TRUE(miss.outputs.empty());
+}
+
+TEST(Combinators, StateFoldsAcrossEvents) {
+  UpdateFn sum = [](NodeId, const ValuePtr& in, const ValuePtr& state) {
+    return Value::integer(state->as_int() + in->as_int());
+  };
+  Instance instance(state_class("Sum", Value::integer(0), sum, base("n")), NodeId{0});
+  EXPECT_EQ(instance.on_event("n", Value::integer(3)).outputs[0]->as_int(), 3);
+  EXPECT_EQ(instance.on_event("n", Value::integer(4)).outputs[0]->as_int(), 7);
+  EXPECT_EQ(instance.state_of("Sum")->as_int(), 7);
+  EXPECT_FALSE(instance.on_event("x", Value::unit()).recognized);
+  EXPECT_EQ(instance.state_of("Sum")->as_int(), 7) << "unrecognized events must not update";
+}
+
+TEST(Combinators, ComposeRequiresAllInputs) {
+  HandlerFn add = [](NodeId, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{
+        Value::integer(inputs[0]->as_int() + inputs[1]->as_int())};
+  };
+  // Compose over two different headers never fires (one input missing).
+  Instance impossible(compose("Add", add, {base("a"), base("b")}), NodeId{0});
+  EXPECT_FALSE(impossible.on_event("a", Value::integer(1)).recognized);
+  EXPECT_FALSE(impossible.on_event("b", Value::integer(1)).recognized);
+
+  // Compose over the same event's recognizer and a state machine fires.
+  UpdateFn count = [](NodeId, const ValuePtr&, const ValuePtr& state) {
+    return Value::integer(state->as_int() + 1);
+  };
+  Instance counting(
+      compose("AddCount", add,
+              {base("a"), state_class("Count", Value::integer(0), count, base("a"))}),
+      NodeId{0});
+  EXPECT_EQ(counting.on_event("a", Value::integer(10)).outputs[0]->as_int(), 11);
+  EXPECT_EQ(counting.on_event("a", Value::integer(10)).outputs[0]->as_int(), 12);
+}
+
+TEST(Combinators, ParallelMergesOutputs) {
+  HandlerFn echo = [](NodeId, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{inputs[0]};
+  };
+  Instance instance(parallel("Both", {compose("EchoA", echo, {base("a")}),
+                                      compose("EchoB", echo, {base("b")})}),
+                    NodeId{0});
+  const auto on_a = instance.on_event("a", Value::integer(1));
+  EXPECT_TRUE(on_a.recognized);
+  EXPECT_EQ(on_a.outputs.size(), 1u);
+  const auto on_c = instance.on_event("c", Value::integer(1));
+  EXPECT_FALSE(on_c.recognized);
+}
+
+TEST(Combinators, OnceFiresExactlyOnce) {
+  Instance instance(once("First", base("x")), NodeId{0});
+  EXPECT_TRUE(instance.on_event("x", Value::integer(1)).recognized);
+  EXPECT_FALSE(instance.on_event("x", Value::integer(2)).recognized);
+  EXPECT_FALSE(instance.on_event("x", Value::integer(3)).recognized);
+}
+
+TEST(Combinators, SharedStateNodeUpdatesOncePerEvent) {
+  // The same State object referenced twice must fold each event once —
+  // the memoization the optimizer's CSE relies on.
+  UpdateFn count = [](NodeId, const ValuePtr&, const ValuePtr& state) {
+    return Value::integer(state->as_int() + 1);
+  };
+  ClassPtr counter = state_class("C", Value::integer(0), count, base("t"));
+  HandlerFn both = [](NodeId, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{
+        Value::pair(inputs[0], inputs[1])};
+  };
+  Instance instance(compose("Pair", both, {counter, counter}), NodeId{0});
+  const auto result = instance.on_event("t", Value::unit());
+  ASSERT_TRUE(result.recognized);
+  EXPECT_EQ(fst(result.outputs[0])->as_int(), 1);
+  EXPECT_EQ(snd(result.outputs[0])->as_int(), 1);
+  EXPECT_EQ(instance.state_of("C")->as_int(), 1) << "one event, one update";
+}
+
+TEST(Combinators, InstanceCopyIsASnapshot) {
+  UpdateFn count = [](NodeId, const ValuePtr&, const ValuePtr& state) {
+    return Value::integer(state->as_int() + 1);
+  };
+  Instance a(state_class("C", Value::integer(0), count, base("t")), NodeId{0});
+  a.on_event("t", Value::unit());
+  Instance b = a;  // value semantics: b snapshots state 1
+  a.on_event("t", Value::unit());
+  EXPECT_EQ(a.state_of("C")->as_int(), 2);
+  EXPECT_EQ(b.state_of("C")->as_int(), 1);
+}
+
+TEST(Combinators, WorklistInterpreterMatchesRecursive) {
+  UpdateFn count = [](NodeId, const ValuePtr&, const ValuePtr& state) {
+    return Value::integer(state->as_int() + 1);
+  };
+  HandlerFn pack = [](NodeId slf, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{Value::send(slf, "out", inputs[1])};
+  };
+  ClassPtr root = parallel(
+      "Main", {compose("P", pack,
+                       {base("t"), state_class("C", Value::integer(0), count, base("t"))}),
+               once("O", base("u"))});
+  Instance recursive(root, NodeId{3}, InterpreterKind::kRecursive);
+  Instance worklist(root, NodeId{3}, InterpreterKind::kWorklist);
+  shadow::Rng rng(5);
+  const char* headers[] = {"t", "u", "v"};
+  for (int i = 0; i < 300; ++i) {
+    const char* header = headers[rng.index(3)];
+    const ValuePtr body = Value::integer(static_cast<std::int64_t>(rng.uniform(0, 9)));
+    const auto ra = recursive.on_event(header, body);
+    const auto rb = worklist.on_event(header, body);
+    ASSERT_EQ(ra.recognized, rb.recognized) << "event " << i;
+    ASSERT_EQ(ra.outputs.size(), rb.outputs.size()) << "event " << i;
+    for (std::size_t k = 0; k < ra.outputs.size(); ++k) {
+      EXPECT_TRUE(value_eq(ra.outputs[k], rb.outputs[k]));
+    }
+  }
+  EXPECT_EQ(recursive.state_of("C")->as_int(), worklist.state_of("C")->as_int());
+}
+
+// ---- GPM boundary ----------------------------------------------------------------
+
+TEST(Compile, DirectivesBecomeSends) {
+  HandlerFn reply = [](NodeId, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{Value::send(NodeId{9}, "reply", inputs[0])};
+  };
+  Spec spec;
+  spec.name = "echo";
+  spec.main = compose("Echo", reply, {base("req")});
+  const gpm::SystemGenerator gen = compile_to_gpm(spec, {NodeId{0}});
+  auto process = gen(NodeId{0});
+  const gpm::StepResult result = process->step(make_dsl_msg("req", Value::integer(5)));
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].to, NodeId{9});
+  EXPECT_EQ(result.outputs[0].msg.header, "reply");
+  EXPECT_GT(result.work, 0u);
+}
+
+TEST(Compile, NonDirectiveOutputsGoToTheTap) {
+  HandlerFn produce = [](NodeId, const std::vector<ValuePtr>& inputs) {
+    return std::vector<ValuePtr>{inputs[0]};  // a plain value, not a send
+  };
+  Spec spec;
+  spec.name = "tapper";
+  spec.main = compose("Tap", produce, {base("in")});
+  std::vector<std::int64_t> tapped;
+  const gpm::SystemGenerator gen =
+      compile_to_gpm(spec, {NodeId{0}}, InterpreterKind::kRecursive,
+                     [&tapped](NodeId, const ValuePtr& v) { tapped.push_back(v->as_int()); });
+  auto process = gen(NodeId{0});
+  auto r1 = process->step(make_dsl_msg("in", Value::integer(5)));
+  r1.next->step(make_dsl_msg("in", Value::integer(6)));
+  EXPECT_EQ(tapped, (std::vector<std::int64_t>{5, 6}));
+}
+
+TEST(Compile, HaltedProcessStaysHalted) {
+  auto halt = gpm::Process::halt();
+  EXPECT_TRUE(halt->halted());
+  const gpm::StepResult result = halt->step(sim::make_signal("x"));
+  EXPECT_TRUE(result.next->halted());
+  EXPECT_TRUE(result.outputs.empty());
+}
+
+}  // namespace
+}  // namespace shadow::eventml

@@ -1,0 +1,263 @@
+// Verification of the EventML-DSL TwoThird consensus specification — the
+// methodology demonstrated on a real consensus protocol, as the paper does
+// after CLK (Sec. II-D): run the constructive specification on simulated
+// locations under seeded schedules (including crashes) and machine-check
+// agreement, validity, integrity and termination; plus deterministic unit
+// drives of the state machine and the optimizer bisimulation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "eventml/compile.hpp"
+#include "eventml/optimizer.hpp"
+#include "eventml/specs/two_third.hpp"
+#include "gpm/bisimulation.hpp"
+#include "gpm/runtime.hpp"
+#include "loe/recorder.hpp"
+
+namespace shadow::eventml::specs {
+namespace {
+
+sim::Message propose_msg(std::int64_t value) {
+  return make_dsl_msg(kTTProposeHeader, Value::integer(value));
+}
+
+sim::Message vote_msg(NodeId sender, std::int64_t round, std::int64_t est) {
+  return make_dsl_msg(kTTVoteHeader,
+                      Value::pair(Value::loc(sender),
+                                  Value::pair(Value::integer(round), Value::integer(est))));
+}
+
+// ---- deterministic unit drives of the state machine ---------------------------
+
+class TwoThirdInstanceTest : public ::testing::Test {
+ protected:
+  TwoThirdInstanceTest() {
+    for (std::uint32_t i = 0; i < 4; ++i) locs_.push_back(NodeId{i});
+    spec_ = make_two_third_spec({locs_});
+    instance_ = std::make_unique<Instance>(spec_.main, locs_[0]);
+  }
+
+  Instance::EventResult feed(const sim::Message& msg) {
+    const ValuePtr* body = sim::msg_body_if<ValuePtr>(msg);
+    return instance_->on_event(msg.header, *body);
+  }
+
+  std::vector<NodeId> locs_;
+  Spec spec_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(TwoThirdInstanceTest, ProposeTriggersVoteBroadcast) {
+  const auto result = feed(propose_msg(42));
+  ASSERT_TRUE(result.recognized);
+  ASSERT_EQ(result.outputs.size(), 4u);  // a vote to every location
+  for (const ValuePtr& out : result.outputs) {
+    ASSERT_TRUE(out->is_directive());
+    EXPECT_EQ(out->as_directive().header, kTTVoteHeader);
+  }
+  EXPECT_FALSE(two_third_decision(*instance_).has_value());
+}
+
+TEST_F(TwoThirdInstanceTest, UnanimousRoundZeroDecides) {
+  feed(propose_msg(42));
+  feed(vote_msg(locs_[0], 0, 42));
+  feed(vote_msg(locs_[1], 0, 42));
+  const auto result = feed(vote_msg(locs_[2], 0, 42));  // 3rd vote = threshold
+  ASSERT_TRUE(two_third_decision(*instance_).has_value());
+  EXPECT_EQ(*two_third_decision(*instance_), 42);
+  // The decision is announced to the other locations.
+  std::size_t decides = 0;
+  for (const ValuePtr& out : result.outputs) {
+    if (out->as_directive().header == kTTDecideHeader) ++decides;
+  }
+  EXPECT_EQ(decides, 3u);
+}
+
+TEST_F(TwoThirdInstanceTest, SplitRoundAdoptsSmallestMostFrequentAndAdvances) {
+  feed(propose_msg(9));
+  feed(vote_msg(locs_[0], 0, 9));
+  feed(vote_msg(locs_[1], 0, 5));
+  const auto result = feed(vote_msg(locs_[2], 0, 5));
+  // 2 of 3 received votes say 5: not > 2n/3 of n, so adopt 5, round 1.
+  EXPECT_FALSE(two_third_decision(*instance_).has_value());
+  EXPECT_EQ(two_third_round(*instance_), 1);
+  // A fresh vote for round 1 with estimate 5 was broadcast.
+  bool vote_for_5 = false;
+  for (const ValuePtr& out : result.outputs) {
+    const Directive& d = out->as_directive();
+    if (d.header == kTTVoteHeader && fst(snd(d.body))->as_int() == 1 &&
+        snd(snd(d.body))->as_int() == 5) {
+      vote_for_5 = true;
+    }
+  }
+  EXPECT_TRUE(vote_for_5);
+}
+
+TEST_F(TwoThirdInstanceTest, AdoptsEstimateFromFirstVoteWithoutProposal) {
+  const auto result = feed(vote_msg(locs_[1], 0, 7));
+  ASSERT_TRUE(result.recognized);
+  // We adopted 7 and voted ourselves.
+  bool voted = false;
+  for (const ValuePtr& out : result.outputs) {
+    if (out->as_directive().header == kTTVoteHeader) voted = true;
+  }
+  EXPECT_TRUE(voted);
+}
+
+TEST_F(TwoThirdInstanceTest, DecidedInstanceAnswersVotesWithDecision) {
+  feed(propose_msg(1));
+  feed(vote_msg(locs_[0], 0, 1));
+  feed(vote_msg(locs_[1], 0, 1));
+  feed(vote_msg(locs_[2], 0, 1));
+  ASSERT_TRUE(two_third_decision(*instance_).has_value());
+  const auto late = feed(vote_msg(locs_[3], 0, 99));
+  ASSERT_EQ(late.outputs.size(), 1u);
+  const Directive& d = late.outputs[0]->as_directive();
+  EXPECT_EQ(d.header, kTTDecideHeader);
+  EXPECT_EQ(d.to, locs_[3]);
+  EXPECT_EQ(d.body->as_int(), 1);
+  // Integrity: the decision did not change.
+  EXPECT_EQ(*two_third_decision(*instance_), 1);
+}
+
+TEST_F(TwoThirdInstanceTest, DuplicateVotesIgnored) {
+  feed(propose_msg(3));
+  feed(vote_msg(locs_[1], 0, 3));
+  feed(vote_msg(locs_[1], 0, 3));  // duplicate: still only 2 distinct voters
+  EXPECT_FALSE(two_third_decision(*instance_).has_value());
+}
+
+// ---- deployed runs with the LoE recorder ----------------------------------------
+
+struct Deployment {
+  sim::World world;
+  std::vector<NodeId> locs;
+  Spec spec;
+  loe::Recorder recorder;
+  std::vector<std::unique_ptr<gpm::ProcessHost>> hosts;
+
+  explicit Deployment(std::size_t n, std::uint64_t seed)
+      : world(seed), recorder(world, [](const sim::Message& m) -> std::int64_t {
+          if (m.header != kTTDecideHeader || !m.has_body()) return -1;
+          const ValuePtr* body = sim::msg_body_if<ValuePtr>(m);
+          return body != nullptr && (*body)->is_int() ? (*body)->as_int() : -1;
+        }) {
+    for (std::size_t i = 0; i < n; ++i) locs.push_back(world.add_node("p" + std::to_string(i)));
+    spec = make_two_third_spec({locs});
+    hosts = gpm::deploy(world, compile_to_gpm(spec, locs), locs);
+  }
+
+  void propose(std::size_t loc, std::int64_t value) {
+    world.post(locs[loc], locs[loc], propose_msg(value));
+  }
+
+  /// Values carried by tt-decide messages, plus how many locations touched one.
+  std::pair<std::set<std::int64_t>, std::set<std::uint32_t>> decisions() const {
+    std::set<std::int64_t> values;
+    std::set<std::uint32_t> involved;
+    for (const loe::Event& e : recorder.order().events()) {
+      if (e.header != kTTDecideHeader || e.info < 0) continue;
+      values.insert(e.info);
+      involved.insert(e.loc.value);
+    }
+    return {values, involved};
+  }
+};
+
+TEST(TwoThirdDeployed, AllLocationsAgreeOnOneValue) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Deployment dep(4, seed);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 4; ++i) {
+      dep.propose(i, static_cast<std::int64_t>(rng.uniform(1, 5)));
+    }
+    dep.world.run_until(10000000);
+    const auto [values, involved] = dep.decisions();
+    ASSERT_EQ(values.size(), 1u) << "agreement violated at seed " << seed;
+    EXPECT_EQ(involved.size(), 4u) << "termination: every location learns";
+  }
+}
+
+TEST(TwoThirdDeployed, DecidedValueWasProposed) {
+  Deployment dep(7, 3);
+  std::set<std::int64_t> proposed;
+  Rng rng(17);
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform(10, 20));
+    proposed.insert(v);
+    dep.propose(i, v);
+  }
+  dep.world.run_until(20000000);
+  const auto [values, involved] = dep.decisions();
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_TRUE(proposed.count(*values.begin()) > 0) << "validity violated";
+}
+
+TEST(TwoThirdDeployed, ToleratesFCrashes) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    Deployment dep(7, seed);  // n=7 tolerates f=2
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 7; ++i) {
+      dep.propose(i, static_cast<std::int64_t>(rng.uniform(1, 3)));
+    }
+    // Crash two locations shortly after the proposals go out.
+    dep.world.schedule(rng.uniform(100, 1500), [&dep] { dep.world.crash(dep.locs[5]); });
+    dep.world.schedule(rng.uniform(100, 1500), [&dep] { dep.world.crash(dep.locs[6]); });
+    dep.world.run_until(30000000);
+    const auto [values, involved] = dep.decisions();
+    ASSERT_LE(values.size(), 1u) << "agreement violated at seed " << seed;
+    ASSERT_EQ(values.size(), 1u) << "termination violated at seed " << seed;
+  }
+}
+
+TEST(TwoThirdDeployed, OptimizedSpecBisimilar) {
+  std::vector<NodeId> locs;
+  for (std::uint32_t i = 0; i < 4; ++i) locs.push_back(NodeId{i});
+  const Spec spec = make_two_third_spec({locs});
+  const OptimizeResult opt = optimize(spec.main);
+  Spec opt_spec = spec;
+  opt_spec.main = opt.root;
+  // TTInputs appears twice (inside the State and as a Compose input): CSE
+  // must share it.
+  EXPECT_LT(opt.after.distinct_nodes, opt.before.total_nodes);
+
+  Rng rng(7);
+  std::vector<sim::Message> trace;
+  for (int i = 0; i < 400; ++i) {
+    switch (rng.uniform(0, 2)) {
+      case 0: trace.push_back(propose_msg(static_cast<std::int64_t>(rng.uniform(1, 4)))); break;
+      case 1:
+        trace.push_back(vote_msg(locs[rng.index(4)],
+                                 static_cast<std::int64_t>(rng.uniform(0, 2)),
+                                 static_cast<std::int64_t>(rng.uniform(1, 4))));
+        break;
+      default:
+        trace.push_back(make_dsl_msg(kTTDecideHeader,
+                                     Value::integer(static_cast<std::int64_t>(rng.uniform(1, 4)))));
+    }
+  }
+  const gpm::BisimResult result = gpm::check_bisimilar(
+      compile_to_gpm(spec, locs)(locs[0]), compile_to_gpm(opt_spec, locs)(locs[0]), trace,
+      [](const sim::Message& a, const sim::Message& b) {
+        const ValuePtr* va = sim::msg_body_if<ValuePtr>(a);
+        const ValuePtr* vb = sim::msg_body_if<ValuePtr>(b);
+        return va != nullptr && vb != nullptr && value_eq(*va, *vb);
+      });
+  EXPECT_TRUE(result.bisimilar) << result.detail;
+}
+
+TEST(TwoThirdSpec, StatsForTableOne) {
+  std::vector<NodeId> locs;
+  for (std::uint32_t i = 0; i < 4; ++i) locs.push_back(NodeId{i});
+  const Spec spec = make_two_third_spec({locs});
+  const AstStats stats = spec.stats();
+  // TwoThird is markedly larger than CLK (the paper: 646N vs 79N).
+  EXPECT_GT(stats.total_nodes, 8u);
+  EXPECT_EQ(spec.properties.size(), 4u);
+}
+
+}  // namespace
+}  // namespace shadow::eventml::specs

@@ -1,0 +1,167 @@
+// Unit tests for the Logic of Events substrate: event orderings, causal
+// order, happens-before, well-formedness, and the generic property checkers.
+#include <gtest/gtest.h>
+
+#include "loe/event_order.hpp"
+#include "loe/properties.hpp"
+#include "loe/recorder.hpp"
+
+namespace shadow::loe {
+namespace {
+
+Event make_event(EventKind kind, NodeId loc, sim::Time time, std::uint64_t uid = 0,
+                 std::int64_t info = 0) {
+  Event e;
+  e.kind = kind;
+  e.loc = loc;
+  e.time = time;
+  e.msg_uid = uid;
+  e.info = info;
+  return e;
+}
+
+TEST(EventOrder, LocalPredecessorChainsPerLocation) {
+  EventOrder order;
+  const EventId a0 = order.append(make_event(EventKind::kInternal, NodeId{0}, 1));
+  const EventId b0 = order.append(make_event(EventKind::kInternal, NodeId{1}, 2));
+  const EventId a1 = order.append(make_event(EventKind::kInternal, NodeId{0}, 3));
+  EXPECT_EQ(order.at(a0).local_pred, kNoEvent);
+  EXPECT_EQ(order.at(a1).local_pred, a0);
+  EXPECT_EQ(order.at(b0).local_pred, kNoEvent);
+  EXPECT_EQ(order.last_at(NodeId{0}), a1);
+  EXPECT_EQ(order.events_at(NodeId{0}), (std::vector<EventId>{a0, a1}));
+}
+
+TEST(EventOrder, SendReceiveMatchedByUid) {
+  EventOrder order;
+  const EventId send = order.append(make_event(EventKind::kSend, NodeId{0}, 1, 42));
+  EventId recv;
+  {
+    Event e = make_event(EventKind::kReceive, NodeId{1}, 2, 42);
+    e.caused_by = order.send_of(42);
+    recv = order.append(e);
+  }
+  EXPECT_EQ(order.at(recv).caused_by, send);
+  order.check_well_formed();
+}
+
+TEST(EventOrder, HappensBeforeFollowsLocalAndMessageEdges) {
+  // p0: e0 --send--> p1: e2 ; p0: e1 after e0 ; p2: e3 concurrent.
+  EventOrder order;
+  const EventId e0 = order.append(make_event(EventKind::kSend, NodeId{0}, 1, 7));
+  const EventId e1 = order.append(make_event(EventKind::kInternal, NodeId{0}, 2));
+  Event r = make_event(EventKind::kReceive, NodeId{1}, 3, 7);
+  r.caused_by = order.send_of(7);
+  const EventId e2 = order.append(r);
+  const EventId e3 = order.append(make_event(EventKind::kInternal, NodeId{2}, 1));
+
+  EXPECT_TRUE(order.happens_before(e0, e1));   // local order
+  EXPECT_TRUE(order.happens_before(e0, e2));   // message edge
+  EXPECT_FALSE(order.happens_before(e1, e2));  // e1 concurrent with e2
+  EXPECT_FALSE(order.happens_before(e2, e0));  // no time travel
+  EXPECT_FALSE(order.happens_before(e3, e2));  // isolated location
+  EXPECT_FALSE(order.happens_before(e0, e0));  // irreflexive
+}
+
+TEST(EventOrder, HappensBeforeTransitiveAcrossChains) {
+  // A chain p0 → p1 → p2 and the transitive pair (start, end).
+  EventOrder order;
+  const EventId s0 = order.append(make_event(EventKind::kSend, NodeId{0}, 1, 1));
+  Event r1 = make_event(EventKind::kReceive, NodeId{1}, 2, 1);
+  r1.caused_by = order.send_of(1);
+  order.append(r1);
+  const EventId s1 = order.append(make_event(EventKind::kSend, NodeId{1}, 3, 2));
+  (void)s1;
+  Event r2 = make_event(EventKind::kReceive, NodeId{2}, 4, 2);
+  r2.caused_by = order.send_of(2);
+  const EventId end = order.append(r2);
+  EXPECT_TRUE(order.happens_before(s0, end));
+}
+
+TEST(EventOrder, WellFormednessCatchesBadCause) {
+  EventOrder order;
+  order.append(make_event(EventKind::kSend, NodeId{0}, 5, 9));
+  Event bad = make_event(EventKind::kReceive, NodeId{1}, 1, 9);  // receive before send
+  bad.caused_by = order.send_of(9);
+  order.append(bad);
+  EXPECT_FALSE(check_causal_well_formed(order).ok);
+}
+
+TEST(Properties, PrefixConsistencyDetectsDivergence) {
+  std::vector<std::vector<int>> consistent{{1, 2, 3}, {1, 2}, {1, 2, 3, 4}};
+  EXPECT_TRUE(check_prefix_consistency(consistent).ok);
+  std::vector<std::vector<int>> diverged{{1, 2, 3}, {1, 9}};
+  EXPECT_FALSE(check_prefix_consistency(diverged).ok);
+}
+
+TEST(Properties, NoDuplicatesChecker) {
+  EXPECT_TRUE(check_no_duplicates(std::vector<int>{1, 2, 3}).ok);
+  EXPECT_FALSE(check_no_duplicates(std::vector<int>{1, 2, 1}).ok);
+}
+
+TEST(Properties, ProgressCheckerFindsNonIncrease) {
+  EventOrder order;
+  order.append(make_event(EventKind::kSend, NodeId{0}, 1, 1, 5));
+  order.append(make_event(EventKind::kSend, NodeId{0}, 2, 2, 7));
+  order.append(make_event(EventKind::kSend, NodeId{0}, 3, 3, 7));  // not strict
+  const ClockFn clock = [](const Event& e) -> std::optional<std::int64_t> {
+    return e.kind == EventKind::kSend ? std::optional<std::int64_t>(e.info) : std::nullopt;
+  };
+  const CheckResult result = check_progress_strict_increase(order, clock);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("progress violated"), std::string::npos);
+}
+
+TEST(Properties, ClockConditionC2ViolationReported) {
+  EventOrder order;
+  order.append(make_event(EventKind::kSend, NodeId{0}, 1, 1, 10));
+  Event recv = make_event(EventKind::kReceive, NodeId{1}, 2, 1, 10);
+  recv.caused_by = order.send_of(1);
+  order.append(recv);
+  // LC(recv) == LC(send): C2 violated.
+  const ClockFn clock = [](const Event& e) -> std::optional<std::int64_t> { return e.info; };
+  const CheckResult result = check_clock_condition(order, clock);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Recorder, CapturesSimulatedTraffic) {
+  sim::World world(3);
+  Recorder recorder(world);
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  int bounces = 0;
+  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+    if (++bounces < 5) ctx.send(a, sim::make_signal("pong"));
+  });
+  world.set_handler(a, [&](sim::Context& ctx, const sim::Message&) {
+    ctx.send(b, sim::make_signal("ping"));
+  });
+  world.post(a, b, sim::make_signal("ping"));
+  world.run_until(10000000);
+
+  const EventOrder& order = recorder.order();
+  EXPECT_GE(order.size(), 10u);  // sends + receives of the bounce chain
+  order.check_well_formed();
+  // Every receive has a matching recorded send.
+  for (const Event& e : order.events()) {
+    if (e.kind == EventKind::kReceive) {
+      ASSERT_NE(e.caused_by, kNoEvent);
+      EXPECT_EQ(order.at(e.caused_by).msg_uid, e.msg_uid);
+    }
+  }
+}
+
+TEST(Recorder, CrashEventsRecorded) {
+  sim::World world(4);
+  Recorder recorder(world);
+  const NodeId a = world.add_node("a");
+  world.crash(a);
+  bool saw_crash = false;
+  for (const Event& e : recorder.order().events()) {
+    if (e.kind == EventKind::kCrash && e.loc == a) saw_crash = true;
+  }
+  EXPECT_TRUE(saw_crash);
+}
+
+}  // namespace
+}  // namespace shadow::loe

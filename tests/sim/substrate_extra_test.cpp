@@ -1,0 +1,150 @@
+// Remaining substrate coverage: the bandwidth model, machine-level crashes,
+// event-queue draining, and the GPM runtime's tier cost ordering.
+#include <gtest/gtest.h>
+
+#include "gpm/runtime.hpp"
+#include "sim/world.hpp"
+
+namespace shadow {
+namespace {
+
+TEST(Bandwidth, LargeMessagesTakeProportionallyLonger) {
+  sim::World world(3, sim::NetworkConfig{100, 20, 125.0, 0.0});  // no jitter
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  std::vector<sim::Time> arrivals;
+  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+    arrivals.push_back(ctx.now());
+  });
+  // 125 B/µs: a 125 kB message needs ~1000 µs of transmission alone.
+  world.post(a, b, sim::make_msg("small", 0, 125));
+  world.run_until(10'000'000);
+  world.post(a, b, sim::make_msg("large", 0, 125'000));
+  world.run_until(20'000'000);
+  ASSERT_EQ(arrivals.size(), 2u);
+  const sim::Time small_latency = arrivals[0];
+  const sim::Time large_latency = arrivals[1] - 10'000'000;
+  EXPECT_NEAR(static_cast<double>(large_latency - small_latency), 999.0, 5.0);
+}
+
+TEST(MachineCrash, TakesDownAllCoLocatedNodes) {
+  sim::World world(5);
+  const sim::MachineId machine = world.add_machine();
+  const NodeId a = world.add_node("a", machine);
+  const NodeId b = world.add_node("b", machine);
+  const NodeId other = world.add_node("other");
+  int received = 0;
+  world.set_handler(a, [&](sim::Context&, const sim::Message&) { ++received; });
+  world.set_handler(b, [&](sim::Context&, const sim::Message&) { ++received; });
+  world.crash_machine(machine);
+  EXPECT_TRUE(world.crashed(a));
+  EXPECT_TRUE(world.crashed(b));
+  EXPECT_FALSE(world.crashed(other));
+  world.post(other, a, sim::make_signal("x"));
+  world.post(other, b, sim::make_signal("x"));
+  world.run_until(1'000'000);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(WorldRun, DrainsEventQueue) {
+  sim::World world(7);
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  int hops = 0;
+  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+    if (++hops < 10) ctx.send(a, sim::make_signal("pong"));
+  });
+  world.set_handler(a, [&](sim::Context& ctx, const sim::Message&) {
+    ctx.send(b, sim::make_signal("ping"));
+  });
+  world.post(a, b, sim::make_signal("ping"));
+  const std::size_t processed = world.run();
+  EXPECT_TRUE(world.idle());
+  EXPECT_GT(processed, 10u);
+  EXPECT_EQ(hops, 10);
+}
+
+TEST(WorldRun, MaxEventsBoundsExecution) {
+  sim::World world(9);
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+    ctx.send(b, sim::make_signal("self"));  // infinite self-loop
+  });
+  world.post(a, b, sim::make_signal("go"));
+  const std::size_t processed = world.run(100);
+  EXPECT_EQ(processed, 100u);
+  EXPECT_FALSE(world.idle());
+}
+
+TEST(GpmRuntime, TierCostsOrderInterpretedAboveCompiled) {
+  const gpm::CostModel costs;
+  const std::uint64_t work = 1000;
+  const sim::Time interpreted = costs.cost_us(gpm::ExecutionTier::kInterpreted, work);
+  const sim::Time compiled = costs.cost_us(gpm::ExecutionTier::kCompiled, work);
+  EXPECT_GT(interpreted, 10 * compiled);
+  // More work never costs less, in any tier.
+  for (auto tier : {gpm::ExecutionTier::kInterpreted, gpm::ExecutionTier::kInterpretedOpt,
+                    gpm::ExecutionTier::kCompiled}) {
+    EXPECT_LE(costs.cost_us(tier, 10), costs.cost_us(tier, 1000));
+  }
+}
+
+TEST(GpmRuntime, HostChargesTierCosts) {
+  // The same echo process deployed at two tiers: the interpreted node's
+  // response is delayed by the larger virtual CPU charge.
+  auto make_echo = [] {
+    return gpm::Process::make([](const gpm::Process& self, const sim::Message& msg) {
+      gpm::StepResult result;
+      result.next = std::make_shared<const gpm::Process>(self);
+      result.outputs.push_back(gpm::SendDirective{msg.from, sim::make_signal("echo")});
+      result.work = 2000;
+      return result;
+    });
+  };
+  auto run_tier = [&](gpm::ExecutionTier tier) {
+    sim::World world(11, sim::NetworkConfig{100, 20, 125.0, 0.0});
+    const NodeId node = world.add_node("p");
+    const NodeId probe = world.add_node("probe");
+    gpm::ProcessHost host(world, node, make_echo(), tier);
+    sim::Time echoed_at = 0;
+    world.set_handler(probe, [&](sim::Context& ctx, const sim::Message&) {
+      echoed_at = ctx.now();
+    });
+    world.post(probe, node, sim::make_signal("ping"));
+    world.run_until(10'000'000);
+    EXPECT_EQ(host.steps(), 1u);
+    EXPECT_EQ(host.total_work(), 2000u);
+    return echoed_at;
+  };
+  const sim::Time interpreted = run_tier(gpm::ExecutionTier::kInterpreted);
+  const sim::Time compiled = run_tier(gpm::ExecutionTier::kCompiled);
+  EXPECT_GT(interpreted, compiled + 10'000);  // ~18 ms vs ~1.6 ms of CPU
+}
+
+TEST(GpmRuntime, DelayedSendDirectivesActAsTimers) {
+  sim::World world(13, sim::NetworkConfig{100, 20, 125.0, 0.0});
+  const NodeId node = world.add_node("p");
+  const NodeId probe = world.add_node("probe");
+  auto process = gpm::Process::make([](const gpm::Process& self, const sim::Message& msg) {
+    gpm::StepResult result;
+    result.next = std::make_shared<const gpm::Process>(self);
+    if (msg.header == "start") {
+      // The ILF's "d" component: send after a 5 ms delay.
+      result.outputs.push_back(gpm::SendDirective{msg.from, sim::make_signal("late"), 5000});
+    }
+    return result;
+  });
+  gpm::ProcessHost host(world, node, process);
+  sim::Time arrived = 0;
+  world.set_handler(probe, [&](sim::Context& ctx, const sim::Message& msg) {
+    if (msg.header == "late") arrived = ctx.now();
+  });
+  world.post(probe, node, sim::make_signal("start"));
+  world.run_until(10'000'000);
+  EXPECT_GE(arrived, 5000u);
+  EXPECT_LT(arrived, 7000u);
+}
+
+}  // namespace
+}  // namespace shadow

@@ -1,0 +1,180 @@
+// Unit tests for the discrete-event world: clock, CPU busy model, FIFO
+// channels, crash and partition injection, timers.
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace shadow::sim {
+namespace {
+
+TEST(World, ClockStartsAtZeroAndAdvances) {
+  World world;
+  EXPECT_EQ(world.now(), 0u);
+  bool fired = false;
+  world.schedule(1000, [&] { fired = true; });
+  world.run_until(999);
+  EXPECT_FALSE(fired);
+  world.run_until(1000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(world.now(), 1000u);
+}
+
+TEST(World, MessageDeliveryInvokesHandler) {
+  World world;
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  int received = 0;
+  world.set_handler(b, [&](Context&, const Message& m) {
+    EXPECT_EQ(m.header, "ping");
+    EXPECT_EQ(m.from, a);
+    ++received;
+  });
+  world.post(a, b, make_signal("ping"));
+  world.run_until(1000000);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(World, FifoPerChannel) {
+  World world;
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  std::vector<int> order;
+  world.set_handler(b, [&](Context&, const Message& m) {
+    order.push_back(static_cast<int>(msg_body<int>(m)));
+  });
+  for (int i = 0; i < 50; ++i) world.post(a, b, make_msg("n", i));
+  world.run_until(10000000);
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(World, CpuChargeSerializesAMachine) {
+  World world;
+  const MachineId m = world.add_machine();
+  const NodeId a = world.add_node("a", m);
+  const NodeId src = world.add_node("src");
+  std::vector<Time> completion_times;
+  world.set_handler(a, [&](Context& ctx, const Message&) {
+    ctx.charge(1000);  // 1 ms of CPU per message
+    completion_times.push_back(ctx.now());
+  });
+  // Two messages arriving (nearly) together must be processed back to back.
+  world.post(src, a, make_signal("x"));
+  world.post(src, a, make_signal("x"));
+  world.run_until(1000000);
+  ASSERT_EQ(completion_times.size(), 2u);
+  EXPECT_GE(completion_times[1], completion_times[0] + 1000);
+}
+
+TEST(World, CoLocatedNodesShareCpu) {
+  World world;
+  const MachineId m = world.add_machine();
+  const NodeId a = world.add_node("a", m);
+  const NodeId b = world.add_node("b", m);
+  const NodeId src = world.add_node("src");
+  Time a_done = 0;
+  Time b_done = 0;
+  world.set_handler(a, [&](Context& ctx, const Message&) {
+    ctx.charge(5000);
+    a_done = ctx.now();
+  });
+  world.set_handler(b, [&](Context& ctx, const Message&) {
+    ctx.charge(5000);
+    b_done = ctx.now();
+  });
+  world.post(src, a, make_signal("x"));
+  world.post(src, b, make_signal("x"));
+  world.run_until(1000000);
+  // One of the two had to wait for the shared CPU.
+  EXPECT_GE(std::max(a_done, b_done), 10000u);
+}
+
+TEST(World, CrashedNodeStopsReceiving) {
+  World world;
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  int received = 0;
+  world.set_handler(b, [&](Context&, const Message&) { ++received; });
+  world.post(a, b, make_signal("one"));
+  world.run_until(100000);
+  EXPECT_EQ(received, 1);
+  world.crash(b);
+  EXPECT_TRUE(world.crashed(b));
+  world.post(a, b, make_signal("two"));
+  world.run_until(200000);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(World, PartitionBlocksAndHeals) {
+  World world;
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  int received = 0;
+  world.set_handler(b, [&](Context&, const Message&) { ++received; });
+  world.set_partitioned(a, b, true);
+  world.post(a, b, make_signal("x"));
+  world.run_until(100000);
+  EXPECT_EQ(received, 0);
+  world.set_partitioned(a, b, false);
+  world.post(a, b, make_signal("x"));
+  world.run_until(200000);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(World, TimersFireAndCancel) {
+  World world;
+  const NodeId a = world.add_node("a");
+  int fired = 0;
+  world.schedule_timer_for_node(a, 1000, [&](Context&) { ++fired; });
+  const TimerId cancelled = world.schedule_timer_for_node(a, 2000, [&](Context&) { ++fired; });
+  world.cancel(cancelled);
+  world.run_until(10000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(World, TimerOnCrashedNodeDoesNotFire) {
+  World world;
+  const NodeId a = world.add_node("a");
+  int fired = 0;
+  world.schedule_timer_for_node(a, 1000, [&](Context&) { ++fired; });
+  world.crash(a);
+  world.run_until(10000);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(World, SendsReleasedAtCompletionTime) {
+  World world;
+  const NodeId a = world.add_node("a");
+  const NodeId b = world.add_node("b");
+  const NodeId src = world.add_node("src");
+  Time sent_at = 0;
+  Time received_at = 0;
+  world.set_handler(a, [&](Context& ctx, const Message&) {
+    ctx.charge(3000);
+    ctx.send(b, make_signal("fwd"));
+    sent_at = ctx.now();
+  });
+  world.set_handler(b, [&](Context& ctx, const Message&) { received_at = ctx.now(); });
+  world.post(src, a, make_signal("go"));
+  world.run_until(1000000);
+  EXPECT_GE(sent_at, 3000u);
+  EXPECT_GT(received_at, sent_at);
+}
+
+TEST(World, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    World world(seed);
+    const NodeId a = world.add_node("a");
+    const NodeId b = world.add_node("b");
+    std::vector<Time> arrivals;
+    world.set_handler(b, [&](Context& ctx, const Message&) { arrivals.push_back(ctx.now()); });
+    for (int i = 0; i < 20; ++i) world.post(a, b, make_signal("x"));
+    world.run_until(1000000);
+    return arrivals;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // jitter differs across seeds
+}
+
+}  // namespace
+}  // namespace shadow::sim

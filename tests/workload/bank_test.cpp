@@ -1,0 +1,129 @@
+// Bank micro-benchmark workload tests: loader, procedures (including the
+// deterministic overdraft rollback), conservation, and request encoding.
+#include <gtest/gtest.h>
+
+#include "workload/bank.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::workload::bank {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : engine_(db::make_h2_traits()) {
+    load(engine_, config_);
+    register_procedures(registry_);
+  }
+
+  TxnOutcome run(const char* proc, Params params) {
+    return run_procedure(engine_, registry_.get(proc), params);
+  }
+
+  std::int64_t balance_of(std::int64_t id) {
+    const TxnOutcome out = run(kBalanceProc, {db::Value(id)});
+    SHADOW_CHECK(out.committed && !out.rows.empty());
+    return out.rows[0][2].as_int();
+  }
+
+  db::Engine engine_;
+  BankConfig config_{100, 0};
+  ProcedureRegistry registry_;
+};
+
+TEST_F(BankTest, LoaderCreatesAccountsWithInitialBalance) {
+  EXPECT_EQ(engine_.total_rows(), 100u);
+  EXPECT_EQ(balance_of(0), 1000);
+  EXPECT_EQ(balance_of(99), 1000);
+  EXPECT_EQ(total_balance(engine_), 100 * 1000);
+}
+
+TEST_F(BankTest, DepositAddsToBalance) {
+  ASSERT_TRUE(run(kDepositProc, {db::Value(5), db::Value(250)}).committed);
+  EXPECT_EQ(balance_of(5), 1250);
+  EXPECT_EQ(total_balance(engine_), 100 * 1000 + 250);
+}
+
+TEST_F(BankTest, TransferMovesMoney) {
+  ASSERT_TRUE(run(kTransferProc, {db::Value(1), db::Value(2), db::Value(400)}).committed);
+  EXPECT_EQ(balance_of(1), 600);
+  EXPECT_EQ(balance_of(2), 1400);
+  EXPECT_EQ(total_balance(engine_), 100 * 1000);  // conservation
+}
+
+TEST_F(BankTest, TransferOverdraftRollsBackDeterministically) {
+  const TxnOutcome out = run(kTransferProc, {db::Value(1), db::Value(2), db::Value(5000)});
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(balance_of(1), 1000);
+  EXPECT_EQ(balance_of(2), 1000);
+}
+
+TEST_F(BankTest, TransferFromMissingAccountRollsBack) {
+  const TxnOutcome out = run(kTransferProc, {db::Value(12345), db::Value(2), db::Value(1)});
+  EXPECT_FALSE(out.committed);
+}
+
+TEST_F(BankTest, AuditSumsAllBalances) {
+  const TxnOutcome out = run(kAuditProc, {});
+  ASSERT_TRUE(out.committed);
+  EXPECT_EQ(out.agg_value.as_int(), 100 * 1000);
+}
+
+TEST_F(BankTest, DepositGeneratorStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Params p = make_deposit(rng, config_);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_GE(p[0].as_int(), 0);
+    EXPECT_LT(p[0].as_int(), config_.accounts);
+    EXPECT_GE(p[1].as_int(), 1);
+    EXPECT_LE(p[1].as_int(), 100);
+  }
+}
+
+TEST_F(BankTest, RowSizeMatchesPaperConfiguration) {
+  // 16-byte rows: id (8) + empty owner + balance (8).
+  const db::TxnId txn = engine_.begin();
+  const db::ExecResult r = engine_.execute(txn, db::make_select(kTable, {db::Value(0)}));
+  engine_.commit(txn);
+  ASSERT_EQ(r.rows.size(), 1u);
+  std::size_t payload = 0;
+  payload += 8;                              // id
+  payload += r.rows[0][1].as_string().size();  // owner
+  payload += 8;                              // balance
+  EXPECT_EQ(payload, 16u);
+}
+
+TEST(BankMessages, RequestRoundTripsThroughPayloadEncoding) {
+  workload::TxnRequest req;
+  req.client = ClientId{42};
+  req.seq = 7;
+  req.reply_to = NodeId{3};
+  req.proc = kDepositProc;
+  req.params = {db::Value(5), db::Value(123)};
+  const std::string payload = workload::encode_request(req);
+  const workload::TxnRequest decoded = workload::decode_request(payload);
+  EXPECT_EQ(decoded.client.value, 42u);
+  EXPECT_EQ(decoded.seq, 7u);
+  EXPECT_EQ(decoded.reply_to.value, 3u);
+  EXPECT_EQ(decoded.proc, kDepositProc);
+  ASSERT_EQ(decoded.params.size(), 2u);
+  EXPECT_EQ(decoded.params[0].as_int(), 5);
+  EXPECT_EQ(decoded.params[1].as_int(), 123);
+}
+
+TEST(BankMessages, EncodingHandlesAllValueTypes) {
+  workload::TxnRequest req;
+  req.client = ClientId{1};
+  req.seq = 1;
+  req.proc = "p";
+  req.params = {db::Value(), db::Value(-5), db::Value(2.5), db::Value("text")};
+  const workload::TxnRequest decoded = workload::decode_request(workload::encode_request(req));
+  ASSERT_EQ(decoded.params.size(), 4u);
+  EXPECT_TRUE(decoded.params[0].is_null());
+  EXPECT_EQ(decoded.params[1].as_int(), -5);
+  EXPECT_DOUBLE_EQ(decoded.params[2].as_double(), 2.5);
+  EXPECT_EQ(decoded.params[3].as_string(), "text");
+}
+
+}  // namespace
+}  // namespace shadow::workload::bank
