@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_recovery.dir/fig10a_recovery.cpp.o"
+  "CMakeFiles/fig10a_recovery.dir/fig10a_recovery.cpp.o.d"
+  "fig10a_recovery"
+  "fig10a_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

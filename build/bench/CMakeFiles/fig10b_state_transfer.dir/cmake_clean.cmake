@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_state_transfer.dir/fig10b_state_transfer.cpp.o"
+  "CMakeFiles/fig10b_state_transfer.dir/fig10b_state_transfer.cpp.o.d"
+  "fig10b_state_transfer"
+  "fig10b_state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_broadcast_service.dir/fig8_broadcast_service.cpp.o"
+  "CMakeFiles/fig8_broadcast_service.dir/fig8_broadcast_service.cpp.o.d"
+  "fig8_broadcast_service"
+  "fig8_broadcast_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_broadcast_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

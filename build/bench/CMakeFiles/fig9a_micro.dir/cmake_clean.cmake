@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_micro.dir/fig9a_micro.cpp.o"
+  "CMakeFiles/fig9a_micro.dir/fig9a_micro.cpp.o.d"
+  "fig9a_micro"
+  "fig9a_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

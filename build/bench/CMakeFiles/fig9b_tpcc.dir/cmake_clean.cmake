@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_tpcc.dir/fig9b_tpcc.cpp.o"
+  "CMakeFiles/fig9b_tpcc.dir/fig9b_tpcc.cpp.o.d"
+  "fig9b_tpcc"
+  "fig9b_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

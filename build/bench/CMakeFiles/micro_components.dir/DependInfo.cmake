@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_components.cpp" "bench/CMakeFiles/micro_components.dir/micro_components.cpp.o" "gcc" "bench/CMakeFiles/micro_components.dir/micro_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loe/CMakeFiles/shadow_loe.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpm/CMakeFiles/shadow_gpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventml/CMakeFiles/shadow_eventml.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/shadow_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/tob/CMakeFiles/shadow_tob.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/shadow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/shadow_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shadow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/shadow_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_failover.dir/bank_failover.cpp.o"
+  "CMakeFiles/bank_failover.dir/bank_failover.cpp.o.d"
+  "bank_failover"
+  "bank_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

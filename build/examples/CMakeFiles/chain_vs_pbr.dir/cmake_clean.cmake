@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_vs_pbr.dir/chain_vs_pbr.cpp.o"
+  "CMakeFiles/chain_vs_pbr.dir/chain_vs_pbr.cpp.o.d"
+  "chain_vs_pbr"
+  "chain_vs_pbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_vs_pbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chain_vs_pbr.
+# This may be replaced when dependencies are built.

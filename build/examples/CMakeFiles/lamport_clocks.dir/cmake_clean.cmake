@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamport_clocks.dir/lamport_clocks.cpp.o"
+  "CMakeFiles/lamport_clocks.dir/lamport_clocks.cpp.o.d"
+  "lamport_clocks"
+  "lamport_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamport_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_baselines.dir/baseline_server.cpp.o"
+  "CMakeFiles/shadow_baselines.dir/baseline_server.cpp.o.d"
+  "libshadow_baselines.a"
+  "libshadow_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_common.dir/rng.cpp.o"
+  "CMakeFiles/shadow_common.dir/rng.cpp.o.d"
+  "libshadow_common.a"
+  "libshadow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/paxos.cpp" "src/consensus/CMakeFiles/shadow_consensus.dir/paxos.cpp.o" "gcc" "src/consensus/CMakeFiles/shadow_consensus.dir/paxos.cpp.o.d"
+  "/root/repo/src/consensus/safety.cpp" "src/consensus/CMakeFiles/shadow_consensus.dir/safety.cpp.o" "gcc" "src/consensus/CMakeFiles/shadow_consensus.dir/safety.cpp.o.d"
+  "/root/repo/src/consensus/two_third.cpp" "src/consensus/CMakeFiles/shadow_consensus.dir/two_third.cpp.o" "gcc" "src/consensus/CMakeFiles/shadow_consensus.dir/two_third.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loe/CMakeFiles/shadow_loe.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpm/CMakeFiles/shadow_gpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

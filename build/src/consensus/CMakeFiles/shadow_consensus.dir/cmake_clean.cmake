@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_consensus.dir/paxos.cpp.o"
+  "CMakeFiles/shadow_consensus.dir/paxos.cpp.o.d"
+  "CMakeFiles/shadow_consensus.dir/safety.cpp.o"
+  "CMakeFiles/shadow_consensus.dir/safety.cpp.o.d"
+  "CMakeFiles/shadow_consensus.dir/two_third.cpp.o"
+  "CMakeFiles/shadow_consensus.dir/two_third.cpp.o.d"
+  "libshadow_consensus.a"
+  "libshadow_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/shadow_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/shadow_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/pbr.cpp" "src/core/CMakeFiles/shadow_core.dir/pbr.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/pbr.cpp.o.d"
+  "/root/repo/src/core/replica_common.cpp" "src/core/CMakeFiles/shadow_core.dir/replica_common.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/replica_common.cpp.o.d"
+  "/root/repo/src/core/shadowdb.cpp" "src/core/CMakeFiles/shadow_core.dir/shadowdb.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/shadowdb.cpp.o.d"
+  "/root/repo/src/core/smr.cpp" "src/core/CMakeFiles/shadow_core.dir/smr.cpp.o" "gcc" "src/core/CMakeFiles/shadow_core.dir/smr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tob/CMakeFiles/shadow_tob.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/shadow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/shadow_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/shadow_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/loe/CMakeFiles/shadow_loe.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpm/CMakeFiles/shadow_gpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

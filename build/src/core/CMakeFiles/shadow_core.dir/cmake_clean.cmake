@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_core.dir/chain.cpp.o"
+  "CMakeFiles/shadow_core.dir/chain.cpp.o.d"
+  "CMakeFiles/shadow_core.dir/client.cpp.o"
+  "CMakeFiles/shadow_core.dir/client.cpp.o.d"
+  "CMakeFiles/shadow_core.dir/pbr.cpp.o"
+  "CMakeFiles/shadow_core.dir/pbr.cpp.o.d"
+  "CMakeFiles/shadow_core.dir/replica_common.cpp.o"
+  "CMakeFiles/shadow_core.dir/replica_common.cpp.o.d"
+  "CMakeFiles/shadow_core.dir/shadowdb.cpp.o"
+  "CMakeFiles/shadow_core.dir/shadowdb.cpp.o.d"
+  "CMakeFiles/shadow_core.dir/smr.cpp.o"
+  "CMakeFiles/shadow_core.dir/smr.cpp.o.d"
+  "libshadow_core.a"
+  "libshadow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/engine.cpp" "src/db/CMakeFiles/shadow_db.dir/engine.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/engine.cpp.o.d"
+  "/root/repo/src/db/lock_manager.cpp" "src/db/CMakeFiles/shadow_db.dir/lock_manager.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/db/sql.cpp" "src/db/CMakeFiles/shadow_db.dir/sql.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/sql.cpp.o.d"
+  "/root/repo/src/db/statement.cpp" "src/db/CMakeFiles/shadow_db.dir/statement.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/statement.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/shadow_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/shadow_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/shadow_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

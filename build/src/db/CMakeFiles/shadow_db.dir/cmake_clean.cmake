@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_db.dir/engine.cpp.o"
+  "CMakeFiles/shadow_db.dir/engine.cpp.o.d"
+  "CMakeFiles/shadow_db.dir/lock_manager.cpp.o"
+  "CMakeFiles/shadow_db.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/shadow_db.dir/sql.cpp.o"
+  "CMakeFiles/shadow_db.dir/sql.cpp.o.d"
+  "CMakeFiles/shadow_db.dir/statement.cpp.o"
+  "CMakeFiles/shadow_db.dir/statement.cpp.o.d"
+  "CMakeFiles/shadow_db.dir/table.cpp.o"
+  "CMakeFiles/shadow_db.dir/table.cpp.o.d"
+  "CMakeFiles/shadow_db.dir/value.cpp.o"
+  "CMakeFiles/shadow_db.dir/value.cpp.o.d"
+  "libshadow_db.a"
+  "libshadow_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eventml/class_expr.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/class_expr.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/class_expr.cpp.o.d"
+  "/root/repo/src/eventml/compile.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/compile.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/compile.cpp.o.d"
+  "/root/repo/src/eventml/instance.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/instance.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/instance.cpp.o.d"
+  "/root/repo/src/eventml/optimizer.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/optimizer.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/eventml/specs/clk.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/specs/clk.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/specs/clk.cpp.o.d"
+  "/root/repo/src/eventml/specs/two_third.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/specs/two_third.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/specs/two_third.cpp.o.d"
+  "/root/repo/src/eventml/value.cpp" "src/eventml/CMakeFiles/shadow_eventml.dir/value.cpp.o" "gcc" "src/eventml/CMakeFiles/shadow_eventml.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpm/CMakeFiles/shadow_gpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_eventml.dir/class_expr.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/class_expr.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/compile.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/compile.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/instance.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/instance.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/optimizer.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/specs/clk.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/specs/clk.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/specs/two_third.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/specs/two_third.cpp.o.d"
+  "CMakeFiles/shadow_eventml.dir/value.cpp.o"
+  "CMakeFiles/shadow_eventml.dir/value.cpp.o.d"
+  "libshadow_eventml.a"
+  "libshadow_eventml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_eventml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshadow_eventml.a"
+)

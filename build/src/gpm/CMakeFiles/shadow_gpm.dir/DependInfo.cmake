@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpm/bisimulation.cpp" "src/gpm/CMakeFiles/shadow_gpm.dir/bisimulation.cpp.o" "gcc" "src/gpm/CMakeFiles/shadow_gpm.dir/bisimulation.cpp.o.d"
+  "/root/repo/src/gpm/runtime.cpp" "src/gpm/CMakeFiles/shadow_gpm.dir/runtime.cpp.o" "gcc" "src/gpm/CMakeFiles/shadow_gpm.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_gpm.dir/bisimulation.cpp.o"
+  "CMakeFiles/shadow_gpm.dir/bisimulation.cpp.o.d"
+  "CMakeFiles/shadow_gpm.dir/runtime.cpp.o"
+  "CMakeFiles/shadow_gpm.dir/runtime.cpp.o.d"
+  "libshadow_gpm.a"
+  "libshadow_gpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_gpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

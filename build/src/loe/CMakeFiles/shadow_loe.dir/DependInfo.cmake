@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loe/event_order.cpp" "src/loe/CMakeFiles/shadow_loe.dir/event_order.cpp.o" "gcc" "src/loe/CMakeFiles/shadow_loe.dir/event_order.cpp.o.d"
+  "/root/repo/src/loe/properties.cpp" "src/loe/CMakeFiles/shadow_loe.dir/properties.cpp.o" "gcc" "src/loe/CMakeFiles/shadow_loe.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

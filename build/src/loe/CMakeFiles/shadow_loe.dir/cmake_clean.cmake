@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_loe.dir/event_order.cpp.o"
+  "CMakeFiles/shadow_loe.dir/event_order.cpp.o.d"
+  "CMakeFiles/shadow_loe.dir/properties.cpp.o"
+  "CMakeFiles/shadow_loe.dir/properties.cpp.o.d"
+  "libshadow_loe.a"
+  "libshadow_loe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_loe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

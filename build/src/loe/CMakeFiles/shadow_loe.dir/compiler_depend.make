@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shadow_loe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_sim.dir/world.cpp.o"
+  "CMakeFiles/shadow_sim.dir/world.cpp.o.d"
+  "libshadow_sim.a"
+  "libshadow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

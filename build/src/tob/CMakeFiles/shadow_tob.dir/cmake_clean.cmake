@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_tob.dir/tob.cpp.o"
+  "CMakeFiles/shadow_tob.dir/tob.cpp.o.d"
+  "libshadow_tob.a"
+  "libshadow_tob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_tob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bank.cpp" "src/workload/CMakeFiles/shadow_workload.dir/bank.cpp.o" "gcc" "src/workload/CMakeFiles/shadow_workload.dir/bank.cpp.o.d"
+  "/root/repo/src/workload/messages.cpp" "src/workload/CMakeFiles/shadow_workload.dir/messages.cpp.o" "gcc" "src/workload/CMakeFiles/shadow_workload.dir/messages.cpp.o.d"
+  "/root/repo/src/workload/procedures.cpp" "src/workload/CMakeFiles/shadow_workload.dir/procedures.cpp.o" "gcc" "src/workload/CMakeFiles/shadow_workload.dir/procedures.cpp.o.d"
+  "/root/repo/src/workload/tpcc.cpp" "src/workload/CMakeFiles/shadow_workload.dir/tpcc.cpp.o" "gcc" "src/workload/CMakeFiles/shadow_workload.dir/tpcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/shadow_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shadow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shadow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

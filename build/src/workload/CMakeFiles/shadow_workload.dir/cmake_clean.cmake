@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_workload.dir/bank.cpp.o"
+  "CMakeFiles/shadow_workload.dir/bank.cpp.o.d"
+  "CMakeFiles/shadow_workload.dir/messages.cpp.o"
+  "CMakeFiles/shadow_workload.dir/messages.cpp.o.d"
+  "CMakeFiles/shadow_workload.dir/procedures.cpp.o"
+  "CMakeFiles/shadow_workload.dir/procedures.cpp.o.d"
+  "CMakeFiles/shadow_workload.dir/tpcc.cpp.o"
+  "CMakeFiles/shadow_workload.dir/tpcc.cpp.o.d"
+  "libshadow_workload.a"
+  "libshadow_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pbr_test.dir/core/pbr_test.cpp.o"
+  "CMakeFiles/core_pbr_test.dir/core/pbr_test.cpp.o.d"
+  "core_pbr_test"
+  "core_pbr_test.pdb"
+  "core_pbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_smr_test.dir/core/smr_test.cpp.o"
+  "CMakeFiles/core_smr_test.dir/core/smr_test.cpp.o.d"
+  "core_smr_test"
+  "core_smr_test.pdb"
+  "core_smr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_smr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

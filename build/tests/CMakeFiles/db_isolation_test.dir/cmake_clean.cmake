@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_isolation_test.dir/db/isolation_test.cpp.o"
+  "CMakeFiles/db_isolation_test.dir/db/isolation_test.cpp.o.d"
+  "db_isolation_test"
+  "db_isolation_test.pdb"
+  "db_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_lock_manager_test.dir/db/lock_manager_test.cpp.o"
+  "CMakeFiles/db_lock_manager_test.dir/db/lock_manager_test.cpp.o.d"
+  "db_lock_manager_test"
+  "db_lock_manager_test.pdb"
+  "db_lock_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventml_clk_test.dir/eventml/clk_test.cpp.o"
+  "CMakeFiles/eventml_clk_test.dir/eventml/clk_test.cpp.o.d"
+  "eventml_clk_test"
+  "eventml_clk_test.pdb"
+  "eventml_clk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventml_clk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

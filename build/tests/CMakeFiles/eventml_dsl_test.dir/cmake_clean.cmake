@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventml_dsl_test.dir/eventml/dsl_test.cpp.o"
+  "CMakeFiles/eventml_dsl_test.dir/eventml/dsl_test.cpp.o.d"
+  "eventml_dsl_test"
+  "eventml_dsl_test.pdb"
+  "eventml_dsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventml_dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

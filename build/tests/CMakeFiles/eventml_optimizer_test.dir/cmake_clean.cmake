@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventml_optimizer_test.dir/eventml/optimizer_test.cpp.o"
+  "CMakeFiles/eventml_optimizer_test.dir/eventml/optimizer_test.cpp.o.d"
+  "eventml_optimizer_test"
+  "eventml_optimizer_test.pdb"
+  "eventml_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventml_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

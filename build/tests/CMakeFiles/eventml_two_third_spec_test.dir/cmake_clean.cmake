@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventml_two_third_spec_test.dir/eventml/two_third_spec_test.cpp.o"
+  "CMakeFiles/eventml_two_third_spec_test.dir/eventml/two_third_spec_test.cpp.o.d"
+  "eventml_two_third_spec_test"
+  "eventml_two_third_spec_test.pdb"
+  "eventml_two_third_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventml_two_third_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loe_test.dir/loe/loe_test.cpp.o"
+  "CMakeFiles/loe_test.dir/loe/loe_test.cpp.o.d"
+  "loe_test"
+  "loe_test.pdb"
+  "loe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

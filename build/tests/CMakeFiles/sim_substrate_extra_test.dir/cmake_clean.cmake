@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_substrate_extra_test.dir/sim/substrate_extra_test.cpp.o"
+  "CMakeFiles/sim_substrate_extra_test.dir/sim/substrate_extra_test.cpp.o.d"
+  "sim_substrate_extra_test"
+  "sim_substrate_extra_test.pdb"
+  "sim_substrate_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_substrate_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tob_relay_test.dir/tob/tob_relay_test.cpp.o"
+  "CMakeFiles/tob_relay_test.dir/tob/tob_relay_test.cpp.o.d"
+  "tob_relay_test"
+  "tob_relay_test.pdb"
+  "tob_relay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tob_relay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

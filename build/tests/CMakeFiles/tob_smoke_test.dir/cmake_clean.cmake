@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tob_smoke_test.dir/tob/tob_smoke_test.cpp.o"
+  "CMakeFiles/tob_smoke_test.dir/tob/tob_smoke_test.cpp.o.d"
+  "tob_smoke_test"
+  "tob_smoke_test.pdb"
+  "tob_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tob_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_bank_test.dir/workload/bank_test.cpp.o"
+  "CMakeFiles/workload_bank_test.dir/workload/bank_test.cpp.o.d"
+  "workload_bank_test"
+  "workload_bank_test.pdb"
+  "workload_bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tpcc_test.dir/workload/tpcc_test.cpp.o"
+  "CMakeFiles/workload_tpcc_test.dir/workload/tpcc_test.cpp.o.d"
+  "workload_tpcc_test"
+  "workload_tpcc_test.pdb"
+  "workload_tpcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tpcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

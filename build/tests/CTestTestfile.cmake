@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_world_test[1]_include.cmake")
+include("/root/repo/build/tests/tob_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/db_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/db_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_tpcc_test[1]_include.cmake")
+include("/root/repo/build/tests/core_smr_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pbr_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/eventml_clk_test[1]_include.cmake")
+include("/root/repo/build/tests/eventml_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_property_test[1]_include.cmake")
+include("/root/repo/build/tests/db_lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/loe_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_bank_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_shadowdb_property_test[1]_include.cmake")
+include("/root/repo/build/tests/eventml_dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/eventml_two_third_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/core_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/tob_relay_test[1]_include.cmake")
+include("/root/repo/build/tests/db_isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/core_recovery_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_substrate_extra_test[1]_include.cmake")
