@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace shadow::bench {
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
@@ -56,6 +59,18 @@ inline double peak_throughput(const std::vector<CurvePoint>& points) {
   double best = 0.0;
   for (const CurvePoint& p : points) best = std::max(best, p.throughput_per_sec);
   return best;
+}
+
+/// Prints the per-component counters and latency histograms a Tracer derived
+/// from one run (see src/obs/README.md for the metric names).
+inline void print_metrics_block(const std::string& name, const obs::MetricsRegistry& metrics) {
+  std::printf("\n-- metrics: %s --\n", name.c_str());
+  const std::string block = metrics.format();
+  std::fputs(block.empty() ? "  (no events recorded)\n" : block.c_str(), stdout);
+}
+
+inline void print_metrics_block(const std::string& name, const obs::Tracer& tracer) {
+  print_metrics_block(name, tracer.metrics());
 }
 
 }  // namespace shadow::bench

@@ -49,7 +49,8 @@ void load_rows(db::Engine& engine, std::int64_t rows, std::size_t row_bytes,
 
 /// Transfers the full state source → destination through the simulated
 /// network (50 KB batches) and returns the virtual elapsed seconds.
-double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits) {
+double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits,
+                        obs::Tracer* tracer = nullptr) {
   sim::World world(3);
   const NodeId src = world.add_node("source");
   const NodeId dst = world.add_node("destination");
@@ -63,9 +64,15 @@ double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits)
     if (msg.header == "snap-batch") {
       const auto& batch = sim::msg_body<db::Engine::SnapshotBatch>(msg);
       ctx.charge(dest->restore_batch(batch));
+      if (tracer != nullptr) {
+        tracer->state_transfer(ctx.now(), dst, obs::StatePhase::kBatch, batch.data.size(), src);
+      }
       if (--batches_left == 0) {
         done = true;
         done_at = ctx.now();
+        if (tracer != nullptr) {
+          tracer->state_transfer(ctx.now(), dst, obs::StatePhase::kDone, 0, src);
+        }
       }
     }
   });
@@ -76,6 +83,9 @@ double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits)
     ctx.charge(300000);
     const db::Engine::Snapshot snap = source.snapshot(50 * 1024);
     ctx.charge(snap.serialize_cost_us);
+    if (tracer != nullptr) {
+      tracer->state_transfer(ctx.now(), src, obs::StatePhase::kBegin, 0, dst);
+    }
     dest->reset_for_restore(snap.schemas);
     batches_left = snap.batches.size();
     for (const auto& batch : snap.batches) {
@@ -118,9 +128,11 @@ int main() {
   {
     shadow::db::Engine source(shadow::db::make_h2_traits());
     shadow::workload::tpcc::load(source, shadow::workload::tpcc::TpccConfig{}, 3);
-    const double secs = transfer_seconds(source, shadow::db::make_hsqldb_traits());
+    shadow::obs::Tracer tracer;
+    const double secs = transfer_seconds(source, shadow::db::make_hsqldb_traits(), &tracer);
     std::printf("\n-- TPC-C, 1 warehouse (%zu rows) --\n   measured %.1f s (paper: 54.5 s)\n",
                 source.total_rows(), secs);
+    print_metrics_block("TPC-C state transfer", tracer);
   }
   return 0;
 }

@@ -65,11 +65,15 @@ class BroadcastClient {
   shadow::LatencyStats latencies_;
 };
 
-CurvePoint run_point(gpm::ExecutionTier tier, std::size_t n_clients) {
+CurvePoint run_point(gpm::ExecutionTier tier, std::size_t n_clients,
+                     obs::Tracer* tracer = nullptr) {
   sim::World world(42 + n_clients);
+  if (tracer != nullptr) tracer->attach(world);
   TobConfig config;
   config.protocol = Protocol::kPaxos;
   config.profile.tier = tier;
+  config.tracer = tracer;
+  config.paxos.tracer = tracer;
   // Failure-detection timeouts must sit well above per-message processing
   // times, which are ~30x larger under interpretation: otherwise passive
   // leaders misread queueing delay as a crash and duel with scouts.
@@ -137,5 +141,12 @@ int main() {
   run_tier("interpreted-opt (optimized program)", ExecutionTier::kInterpretedOpt,
            {1, 2, 4, 8, 16, 28, 43});
   run_tier("compiled (Lisp path)", ExecutionTier::kCompiled, {1, 2, 4, 8, 16, 28, 43});
+
+  // Re-run one representative point with the trace recorder attached and
+  // print the per-component counters/histograms it derives (decide latency,
+  // batch sizes, messages on the wire).
+  shadow::obs::Tracer tracer({.capacity = 1 << 18, .record_messages = true});
+  run_point(ExecutionTier::kCompiled, 16, &tracer);
+  print_metrics_block("compiled tier, 16 clients", tracer);
   return 0;
 }

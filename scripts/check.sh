@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a strict-warnings build of the obs library.
+#
+#   scripts/check.sh            # configure + build + ctest + -Werror obs build
+#   scripts/check.sh --fast     # skip the separate -Werror build
+#
+# The strict pass rebuilds only the shadow_obs target (and its common/sim
+# dependencies) with -Wall -Wextra -Werror in a separate build tree, so new
+# observability code stays warning-clean without requiring the whole legacy
+# tree to be.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure =="
+cmake -B build -S . >/dev/null
+
+echo "== tier-1: build =="
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== strict: -Wall -Wextra -Werror build of shadow_obs =="
+  cmake -B build-strict -S . \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
+  cmake --build build-strict -j --target shadow_obs
+fi
+
+echo "== all checks passed =="

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace shadow::consensus {
 
@@ -141,6 +142,10 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
         leader_.proposals[slot] = pv.batch;
       }
       leader_.active = true;
+      if (config_.tracer) {
+        config_.tracer->ballot(ctx.now(), self_, leader_.ballot.round, leader_.ballot.leader,
+                               obs::BallotPhase::kAdopted);
+      }
       leader_.scout.reset();
       for (const auto& [slot, batch] : leader_.proposals) {
         if (learned_.count(slot) == 0) start_commander(ctx, slot, batch);
@@ -192,6 +197,10 @@ void PaxosModule::start_scout(sim::Context& ctx) {
   scout.waitfor.clear();
   for (NodeId peer : config_.peers) scout.waitfor.insert(peer.value);
   leader_.scout = std::move(scout);
+  if (config_.tracer) {
+    config_.tracer->ballot(ctx.now(), self_, leader_.scout->ballot.round, self_,
+                           obs::BallotPhase::kScout);
+  }
   P1aBody body{leader_.scout->ballot};
   for (NodeId peer : config_.peers) {
     ctx.send(peer, sim::make_msg(kP1a, body, 40));
@@ -213,7 +222,9 @@ void PaxosModule::start_commander(sim::Context& ctx, Slot slot, const Batch& bat
 }
 
 void PaxosModule::preempted(sim::Context& ctx, const Ballot& by) {
-  (void)ctx;
+  if (config_.tracer) {
+    config_.tracer->ballot(ctx.now(), self_, by.round, by.leader, obs::BallotPhase::kPreempted);
+  }
   max_round_seen_ = std::max(max_round_seen_, by.round);
   leader_.active = false;
   leader_.scout.reset();

@@ -23,6 +23,10 @@
 
 #include "consensus/module.hpp"
 
+namespace shadow::obs {
+class Tracer;
+}  // namespace shadow::obs
+
 namespace shadow::consensus {
 
 struct PaxosConfig {
@@ -31,6 +35,7 @@ struct PaxosConfig {
   ExecProfile profile{.program_work = kSynodProgramWork, .cmd_walk_fraction = 0.02};
   sim::Time leader_timeout = 50000;   // 50 ms without progress → suspect leader
   sim::Time scout_retry = 30000;      // backoff before re-running phase 1
+  obs::Tracer* tracer = nullptr;      // optional structured trace recorder
 };
 
 class PaxosModule final : public ConsensusModule {

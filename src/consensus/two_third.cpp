@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace shadow::consensus {
 
@@ -115,6 +116,7 @@ void TwoThirdModule::try_advance(sim::Context& ctx, Slot slot, Instance& inst) {
     }
     inst.estimate = *best;
     ++inst.round;
+    if (config_.tracer) config_.tracer->round(ctx.now(), self_, slot, inst.round);
     send_vote(ctx, slot, inst);
   }
 }

@@ -23,12 +23,17 @@
 
 #include "consensus/module.hpp"
 
+namespace shadow::obs {
+class Tracer;
+}  // namespace shadow::obs
+
 namespace shadow::consensus {
 
 struct TwoThirdConfig {
   std::vector<NodeId> peers;  // all participants; needs |peers| > 3f
   ExecProfile profile{.program_work = kTwoThirdProgramWork};
   sim::Time round_timeout = 20000;  // 20 ms retransmission period
+  obs::Tracer* tracer = nullptr;    // optional structured trace recorder
 };
 
 class TwoThirdModule final : public ConsensusModule {

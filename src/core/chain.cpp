@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace shadow::core {
 
 namespace {
@@ -85,6 +87,7 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       execute_and_cache(ctx, order, req, /*answer_client=*/false);
     }
     state_ = State::kNormal;
+    if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
     ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
     apply_buffered(ctx);
     return;
@@ -108,7 +111,12 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
   if (msg.header == kChainSnapBatchHeader) {
     if (!awaiting_snapshot_) return;
-    ctx.charge(executor_.engine().restore_batch(sim::msg_body<SnapBatchBody>(msg).batch));
+    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    ctx.charge(executor_.engine().restore_batch(body.batch));
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
+                                     body.batch.data.size(), msg.from);
+    }
     return;
   }
   if (msg.header == kChainSnapDoneHeader) {
@@ -118,6 +126,10 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     executed_order_ = pending_snapshot_order_;
     next_order_ = std::max(next_order_, executed_order_);
     state_ = State::kNormal;
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
+      config_.tracer->recover(ctx.now(), self_, executed_order_);
+    }
     ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
     apply_buffered(ctx);
     return;
@@ -151,6 +163,10 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
     }
     const TxnExecutor::Execution exec = executor_.execute(req);
     ctx.charge(exec.cost_us);
+    if (config_.tracer) {
+      config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, obs::kUnordered,
+                                  exec.duplicate, exec.response.committed, req.proc);
+    }
     ctx.send(req.reply_to, workload::make_response_msg(exec.response));
     return;
   }
@@ -169,11 +185,19 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
   if (exec.duplicate) {
+    if (config_.tracer) {
+      config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, obs::kUnordered, true,
+                                  exec.response.committed, req.proc);
+    }
     ctx.send(req.reply_to, workload::make_response_msg(exec.response));
     return;
   }
   const std::uint64_t order = ++next_order_;
   executed_order_ = order;
+  if (config_.tracer) {
+    config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, order, false,
+                                exec.response.committed, req.proc);
+  }
   txn_cache_.emplace_back(order, req);
   if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
   if (chain_.size() == 1) {
@@ -210,6 +234,10 @@ void ChainReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
                                      const workload::TxnRequest& req, bool answer_client) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
+  if (config_.tracer) {
+    config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, order, exec.duplicate,
+                                exec.response.committed, req.proc);
+  }
   executed_order_ = order;
   next_order_ = std::max(next_order_, order);
   txn_cache_.emplace_back(order, req);
@@ -327,6 +355,9 @@ void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t
   }
   const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
   ctx.charge(snap.serialize_cost_us);
+  if (config_.tracer) {
+    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, member);
+  }
   SnapBeginBody begin;
   begin.config = config_seq_;
   begin.schemas = snap.schemas;

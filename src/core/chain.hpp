@@ -50,6 +50,7 @@ struct ChainConfig {
   bool enable_failure_detection = true;
   /// Procedures the tail may answer alone (read-only).
   std::set<std::string> read_only_procs;
+  obs::Tracer* tracer = nullptr;  // optional structured trace recorder
 };
 
 class ChainReplica {

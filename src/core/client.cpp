@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include "core/pbr.hpp"
+#include "obs/trace.hpp"
 
 namespace shadow::core {
 
@@ -37,6 +38,9 @@ void DbClient::submit_next(sim::Context& ctx) {
   req.params = std::move(params);
   in_flight_ = std::move(req);
   sent_at_ = ctx.now();
+  if (options_.tracer) {
+    options_.tracer->txn_begin(ctx.now(), self_, id_, in_flight_->seq, in_flight_->proc);
+  }
   send_current(ctx);
 }
 
@@ -112,6 +116,9 @@ void DbClient::finish_current(sim::Context& ctx, const workload::TxnResponse& re
   ctx.cancel_timer(timeout_timer_);
   ctx.charge(options_.client_cpu_us);
   latencies_.add(ctx.now() - sent_at_);
+  if (options_.tracer) {
+    options_.tracer->txn_ack(ctx.now(), self_, id_, resp.seq, resp.committed);
+  }
   if (resp.committed) {
     ++committed_;
     if (commit_hook_) commit_hook_(ctx.now());

@@ -32,6 +32,7 @@ class DbClient {
     sim::Time busy_backoff = 100000;    // retry delay on a busy redirect
     std::size_t txn_limit = 1000;       // closed-loop transaction count
     std::uint64_t client_cpu_us = 4;    // per send/receive on the client machine
+    obs::Tracer* tracer = nullptr;      // optional structured trace recorder
   };
 
   /// Supplies the next transaction (procedure name + parameters).

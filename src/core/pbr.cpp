@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace shadow::core {
 
 namespace {
@@ -90,6 +92,7 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       execute_and_cache(ctx, order, req, /*send_response=*/false);
     }
     state_ = State::kNormal;
+    if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
     ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
     apply_buffered_forwards(ctx);
     return;
@@ -115,6 +118,10 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     if (!awaiting_snapshot_) return;
     const auto& body = sim::msg_body<SnapBatchBody>(msg);
     ctx.charge(executor_.engine().restore_batch(body.batch));
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
+                                     body.batch.data.size(), msg.from);
+    }
     return;
   }
   if (msg.header == kPbrSnapDoneHeader) {
@@ -124,6 +131,10 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     executed_order_ = pending_snapshot_order_;
     next_order_ = std::max(next_order_, executed_order_);
     state_ = State::kNormal;
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
+      config_.tracer->recover(ctx.now(), self_, executed_order_);
+    }
     ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
     apply_buffered_forwards(ctx);
     return;
@@ -161,11 +172,19 @@ void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
   if (exec.duplicate) {
+    if (config_.tracer) {
+      config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, obs::kUnordered, true,
+                                  exec.response.committed, req.proc);
+    }
     ctx.send(req.reply_to, workload::make_response_msg(exec.response));
     return;
   }
   const std::uint64_t order = ++next_order_;
   executed_order_ = order;
+  if (config_.tracer) {
+    config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, order, false,
+                                exec.response.committed, req.proc);
+  }
   txn_cache_.emplace_back(order, req);
   if (txn_cache_.size() > config_.txn_cache_max) txn_cache_.pop_front();
 
@@ -220,6 +239,10 @@ void PbrReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
                                    const workload::TxnRequest& req, bool send_response) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
+  if (config_.tracer) {
+    config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, order, exec.duplicate,
+                                exec.response.committed, req.proc);
+  }
   executed_order_ = order;
   next_order_ = std::max(next_order_, order);
   txn_cache_.emplace_back(order, req);
@@ -352,6 +375,9 @@ void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t b
   // ~50 KB batches; the backup pays the insertion cost per batch.
   const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
   ctx.charge(snap.serialize_cost_us);
+  if (config_.tracer) {
+    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, backup);
+  }
   SnapBeginBody begin;
   begin.config = config_seq_;
   begin.schemas = snap.schemas;

@@ -64,6 +64,7 @@ struct PbrConfig {
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool overlap_state_transfer = true;
   bool enable_failure_detection = true;
+  obs::Tracer* tracer = nullptr;         // optional structured trace recorder
 };
 
 class PbrReplica {

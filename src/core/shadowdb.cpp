@@ -22,6 +22,9 @@ tob::TobConfig make_tob_config(sim::World& world, const ClusterOptions& options,
   config.profile.tier = options.tob_tier;
   config.batch_max = options.tob_batch_max;
   config.max_outstanding = options.tob_max_outstanding;
+  config.tracer = options.tracer;
+  config.paxos.tracer = options.tracer;
+  config.two_third.tracer = options.tracer;
   // TwoThird needs n > 3f; Paxos needs a majority: both satisfied by the
   // requested machine count (callers pick 3 for Paxos, 4 for TwoThird).
   for (std::size_t i = 0; i < options.machines; ++i) {
@@ -58,10 +61,12 @@ SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options) {
         world.add_node("db" + std::to_string(i), cluster.machines[i]));
     (i < options.db_replicas ? group : spares).push_back(cluster.replica_nodes.back());
   }
+  SmrConfig smr_config = options.smr;
+  if (smr_config.tracer == nullptr) smr_config.tracer = options.tracer;
   for (std::size_t i = 0; i < total; ++i) {
     auto replica = std::make_unique<SmrReplica>(
         world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
-        make_loaded_engine(options, i), options.registry, group, spares, options.smr,
+        make_loaded_engine(options, i), options.registry, group, spares, smr_config,
         options.server_costs);
     if (i >= options.db_replicas) replica->make_spare();
     cluster.replicas.push_back(std::move(replica));
@@ -86,10 +91,12 @@ PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options) {
         world.add_node("db" + std::to_string(i), cluster.machines[i]));
     (i < options.db_replicas ? group : spares).push_back(cluster.replica_nodes.back());
   }
+  PbrConfig pbr_config = options.pbr;
+  if (pbr_config.tracer == nullptr) pbr_config.tracer = options.tracer;
   for (std::size_t i = 0; i < total; ++i) {
     auto replica = std::make_unique<PbrReplica>(
         world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
-        make_loaded_engine(options, i), options.registry, group, spares, options.pbr,
+        make_loaded_engine(options, i), options.registry, group, spares, pbr_config,
         options.server_costs);
     if (i >= options.db_replicas) replica->make_spare();
     cluster.replicas.push_back(std::move(replica));
@@ -115,6 +122,7 @@ ChainCluster make_chain_cluster(sim::World& world, const ClusterOptions& options
         world.add_node("db" + std::to_string(i), cluster.machines[i]));
     (i < options.db_replicas ? chain : spares).push_back(cluster.replica_nodes.back());
   }
+  if (chain_config.tracer == nullptr) chain_config.tracer = options.tracer;
   for (std::size_t i = 0; i < total; ++i) {
     auto replica = std::make_unique<ChainReplica>(
         world, cluster.replica_nodes[i], *cluster.tob.nodes[i],

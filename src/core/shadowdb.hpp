@@ -40,6 +40,12 @@ struct ClusterOptions {
   ServerCosts server_costs{};
   PbrConfig pbr{};
   SmrConfig smr{};
+
+  /// Optional structured trace recorder; propagated into the TOB service,
+  /// its consensus module, and every replica (unless their sub-configs
+  /// already carry one). Attach it to the World separately for network and
+  /// crash events: `tracer.attach(world)`.
+  obs::Tracer* tracer = nullptr;
 };
 
 db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace shadow::core {
 
 namespace {
@@ -76,15 +78,20 @@ void SmrReplica::on_deliver(sim::Context& ctx, Slot /*slot*/, std::uint64_t inde
     return;
   }
   if (!active_) {
-    if (joining_) buffered_.push_back(req);
+    if (joining_) buffered_.emplace_back(index, req);
     return;
   }
-  execute_txn(ctx, req);
+  execute_txn(ctx, index, req);
 }
 
-void SmrReplica::execute_txn(sim::Context& ctx, const workload::TxnRequest& req) {
+void SmrReplica::execute_txn(sim::Context& ctx, std::uint64_t index,
+                             const workload::TxnRequest& req) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
+  if (config_.tracer) {
+    config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, index, exec.duplicate,
+                                exec.response.committed, req.proc);
+  }
   ctx.send(req.reply_to, workload::make_response_msg(exec.response));
 }
 
@@ -131,6 +138,9 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     const db::Engine::Snapshot snap =
         executor_.engine().snapshot(config_.snapshot_batch_bytes);
     ctx.charge(snap.serialize_cost_us);
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, msg.from);
+    }
     SnapBeginBody begin;
     begin.schemas = snap.schemas;
     for (const auto& [client, entry] : executor_.dedup_table()) {
@@ -158,12 +168,21 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     const auto& body = sim::msg_body<SnapBatchBody>(msg);
     // "Row insertion speed constitutes the bottleneck of state transfer."
     ctx.charge(executor_.engine().restore_batch(body.batch));
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
+                                     body.batch.data.size(), msg.from);
+    }
     return;
   }
   if (msg.header == kSnapDoneHeader) {
     active_ = true;
     joining_ = false;
-    for (const workload::TxnRequest& req : buffered_) execute_txn(ctx, req);
+    if (config_.tracer) {
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone,
+                                     sim::msg_body<SnapDoneBody>(msg).rows, msg.from);
+      config_.tracer->recover(ctx.now(), self_, delivered_index_);
+    }
+    for (const auto& [index, req] : buffered_) execute_txn(ctx, index, req);
     buffered_.clear();
     return;
   }

@@ -38,6 +38,7 @@ struct SmrConfig {
   sim::Time suspect_timeout = 10000000; // 10 s detection (paper's Fig. 10 setting)
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool enable_failure_detection = true;
+  obs::Tracer* tracer = nullptr;        // optional structured trace recorder
 };
 
 /// One SMR database replica. `tob` must be the co-located broadcast-service
@@ -69,7 +70,7 @@ class SmrReplica {
   void on_message(sim::Context& ctx, const sim::Message& msg);
   void on_heartbeat_tick(sim::Context& ctx);
   void handle_reconfig(sim::Context& ctx, const workload::TxnRequest& req, std::uint64_t index);
-  void execute_txn(sim::Context& ctx, const workload::TxnRequest& req);
+  void execute_txn(sim::Context& ctx, std::uint64_t index, const workload::TxnRequest& req);
 
   sim::World& world_;
   NodeId self_;
@@ -90,7 +91,7 @@ class SmrReplica {
   // Joining state (replacement replica).
   bool joining_ = false;
   std::uint64_t join_from_index_ = 0;
-  std::deque<workload::TxnRequest> buffered_;
+  std::deque<std::pair<std::uint64_t, workload::TxnRequest>> buffered_;  // (index, request)
   std::uint64_t buffered_from_ = 0;
 };
 

@@ -1,0 +1,218 @@
+#include "obs/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace shadow::obs {
+
+namespace {
+
+using TxnKey = std::pair<std::uint32_t, RequestSeq>;  // (client, seq)
+
+std::string txn_name(const TxnKey& k) {
+  std::string s = "c";
+  s += std::to_string(k.first);
+  s += '#';
+  s += std::to_string(k.second);
+  return s;
+}
+
+struct TxnTimes {
+  sim::Time begin = 0;        // first submission by the client
+  sim::Time ack = 0;          // first committed acknowledgment
+  bool begun = false;
+  bool acked = false;
+};
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  std::string s = ok() ? "trace check PASSED" : "trace check FAILED";
+  s += " (" + std::to_string(replicas_checked) + " replicas, " +
+       std::to_string(executions_checked) + " executions, " +
+       std::to_string(committed_txns_checked) + " committed txns)";
+  for (const Violation& v : violations) {
+    s += "\n  [" + v.invariant + "] " + v.detail;
+  }
+  return s;
+}
+
+CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
+  CheckResult result;
+  const auto report = [&](const char* invariant, std::string detail) {
+    if (result.violations.size() < options.max_violations) {
+      result.violations.push_back(Violation{invariant, std::move(detail)});
+    }
+  };
+
+  // ---- pass 1: gather per-node execution logs, delivery logs, crashes, and
+  // client-side transaction intervals. Events are time-ordered per node by
+  // construction (the simulator is sequential and virtual time is monotone).
+  std::unordered_set<std::uint32_t> crashed;
+  // node -> order -> txn (non-duplicate user executions)
+  std::map<std::uint32_t, std::map<std::uint64_t, TxnKey>> exec_by_node;
+  // node -> set of executed txns, to detect double execution
+  std::map<std::uint32_t, std::set<TxnKey>> executed_keys;
+  // node -> delivery index -> command (TOB delivery logs)
+  std::map<std::uint32_t, std::map<std::uint64_t, TxnKey>> deliver_by_node;
+  std::map<TxnKey, TxnTimes> txns;
+
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case EventKind::kCrash:
+        crashed.insert(e.node.value);
+        break;
+      case EventKind::kTxnExecute: {
+        if (e.b != 0) break;  // duplicate: suppressed by the dedup table
+        const std::string& proc = trace.label_of(e);
+        if (proc.rfind("::", 0) == 0) break;  // internal (reconfiguration)
+        const TxnKey key{e.client.value, e.seq};
+        ++result.executions_checked;
+        if (!executed_keys[e.node.value].insert(key).second) {
+          report("at-most-once", "replica n" + std::to_string(e.node.value) +
+                                     " executed " + txn_name(key) + " twice");
+        }
+        if (e.a == kUnordered) break;  // e.g. chain-tail reads: no position
+        const auto [it, inserted] = exec_by_node[e.node.value].try_emplace(e.a, key);
+        if (!inserted && it->second != key) {
+          report("at-most-once", "replica n" + std::to_string(e.node.value) +
+                                     " executed order " + std::to_string(e.a) +
+                                     " twice (" + txn_name(it->second) + " then " +
+                                     txn_name(key) + ")");
+        }
+        break;
+      }
+      case EventKind::kTobDeliver: {
+        const TxnKey key{e.client.value, e.seq};
+        const auto [it, inserted] = deliver_by_node[e.node.value].try_emplace(e.b, key);
+        if (!inserted && it->second != key) {
+          report("total-order", "TOB node n" + std::to_string(e.node.value) +
+                                    " delivered two commands at index " + std::to_string(e.b));
+        }
+        break;
+      }
+      case EventKind::kTxnBegin: {
+        TxnTimes& t = txns[{e.client.value, e.seq}];
+        if (!t.begun) {
+          t.begun = true;
+          t.begin = e.time;
+        }
+        break;
+      }
+      case EventKind::kTxnAck: {
+        if (e.a == 0) break;  // aborted answers carry no ordering obligation
+        TxnTimes& t = txns[{e.client.value, e.seq}];
+        if (!t.acked) {
+          t.acked = true;
+          t.ack = e.time;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // ---- total order: TOB nodes must agree on every common delivery index.
+  // Crashed TOB nodes stay included: consensus safety guarantees a crashed
+  // learner's delivery log is a consistent prefix.
+  if (!deliver_by_node.empty()) {
+    const auto& [ref_node, ref_log] = *deliver_by_node.begin();
+    for (const auto& [node, log] : deliver_by_node) {
+      if (node == ref_node) continue;
+      for (const auto& [index, key] : log) {
+        const auto it = ref_log.find(index);
+        if (it != ref_log.end() && it->second != key) {
+          report("total-order", "TOB delivery index " + std::to_string(index) + " is " +
+                                    txn_name(it->second) + " on n" + std::to_string(ref_node) +
+                                    " but " + txn_name(key) + " on n" + std::to_string(node));
+        }
+      }
+    }
+  }
+
+  // ---- total order: surviving replicas must agree on every common
+  // execution-order index (pairwise against the union keeps it O(n log n)).
+  std::map<std::uint64_t, std::pair<TxnKey, std::uint32_t>> agreed_order;
+  for (const auto& [node, log] : exec_by_node) {
+    const bool node_crashed = crashed.count(node) > 0;
+    if (node_crashed && !options.include_crashed_in_order_check) continue;
+    ++result.replicas_checked;
+    for (const auto& [order, key] : log) {
+      const auto [it, inserted] = agreed_order.try_emplace(order, key, node);
+      if (!inserted && it->second.first != key) {
+        report("total-order", "execution order " + std::to_string(order) + " is " +
+                                  txn_name(it->second.first) + " on n" +
+                                  std::to_string(it->second.second) + " but " + txn_name(key) +
+                                  " on n" + std::to_string(node));
+      }
+    }
+  }
+
+  // ---- durability + strict serializability over committed transactions.
+  // Position = the agreed execution-order index. Strict serializability on
+  // sequentially-executed identical state machines reduces to: the single
+  // agreed total order exists (checked above) and respects real time — if
+  // ack(T1) happened before begin(T2), then pos(T1) < pos(T2).
+  std::map<TxnKey, std::uint64_t> position;
+  for (const auto& [order, entry] : agreed_order) position.emplace(entry.first, order);
+
+  // Durable = executed (in any position, or unordered) on a never-crashed
+  // replica. Unordered executions (chain-tail reads) satisfy durability but
+  // carry no serialization position.
+  std::set<TxnKey> durable;
+  for (const auto& [node, keys] : executed_keys) {
+    if (crashed.count(node) > 0) continue;
+    durable.insert(keys.begin(), keys.end());
+  }
+
+  struct Committed {
+    TxnKey key;
+    std::uint64_t pos;
+    sim::Time begin;
+    sim::Time ack;
+  };
+  std::vector<Committed> committed;
+  for (const auto& [key, t] : txns) {
+    if (!t.acked) continue;
+    ++result.committed_txns_checked;
+    if (durable.count(key) == 0) {
+      report("durability", "committed " + txn_name(key) +
+                               " was never executed on a surviving replica");
+      continue;
+    }
+    const auto it = position.find(key);
+    if (it == position.end()) continue;  // unordered (e.g. a read): no position
+    committed.push_back(Committed{key, it->second, t.begun ? t.begin : 0, t.ack});
+  }
+
+  std::sort(committed.begin(), committed.end(),
+            [](const Committed& x, const Committed& y) { return x.pos < y.pos; });
+  // Violation iff some T1, T2 have ack(T1) < begin(T2) yet pos(T2) < pos(T1):
+  // T2 started after T1's answer was on the wire, but serialized before T1.
+  // Scanning in position order with the running maximum of begin times, T1 is
+  // the current element and T2 any earlier-positioned one, so the test is
+  // ack(current) < max(begin of predecessors).
+  sim::Time max_begin_so_far = 0;
+  TxnKey max_begin_key{};
+  for (const Committed& t : committed) {
+    if (max_begin_so_far != 0 && t.ack < max_begin_so_far) {
+      report("strict-serializability",
+             txn_name(t.key) + " (order " + std::to_string(t.pos) + ", acked at " +
+                 std::to_string(t.ack) + "us) is serialized after " + txn_name(max_begin_key) +
+                 " which was submitted at " + std::to_string(max_begin_so_far) +
+                 "us, after that acknowledgment");
+    }
+    if (t.begin > max_begin_so_far) {
+      max_begin_so_far = t.begin;
+      max_begin_key = t.key;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace shadow::obs

@@ -1,0 +1,64 @@
+// Offline trace checker: replays a recorded execution (in-memory or parsed
+// back from its JSON-lines export) and verifies the correctness properties
+// the paper claims for ShadowDB, from observable events alone:
+//
+//   total-order      — replicas agree on which transaction occupies every
+//                      execution-order index, and TOB nodes agree on which
+//                      command occupies every delivery index;
+//   at-most-once     — no replica executes the same (client, seq) twice, and
+//                      no order index is executed twice on one replica;
+//   strict-serializability
+//                    — committed transactions are equivalent to a serial
+//                      execution in the agreed order that respects real time:
+//                      if T1 was acknowledged before T2 was submitted, T1
+//                      precedes T2 in the execution order;
+//   durability       — every acknowledged-committed transaction was executed
+//                      on at least one surviving (never-crashed) replica.
+//
+// Replicas that crash during the run are excluded from the order-agreement
+// comparison by default: a crashed primary may have executed a suffix of
+// unacknowledged transactions that the next configuration legitimately
+// discards and re-orders (the paper's Durability property only covers
+// answered transactions). Internal procedures (names starting with "::",
+// e.g. reconfigurations) never count as client transactions.
+//
+// See src/obs/README.md for the invariant statements and their relation to
+// the paper's proofs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace shadow::obs {
+
+struct Violation {
+  std::string invariant;  // "total-order", "at-most-once", "strict-serializability", "durability"
+  std::string detail;
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  // Coverage counters so a "pass" on an empty trace is visibly vacuous.
+  std::size_t replicas_checked = 0;
+  std::size_t executions_checked = 0;
+  std::size_t committed_txns_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+struct CheckOptions {
+  /// Include replicas that crashed during the run in the execution-order
+  /// agreement check (their unacknowledged suffix may legitimately diverge;
+  /// enable only for traces without reconfiguration).
+  bool include_crashed_in_order_check = false;
+  /// Cap on reported violations (a systematically broken trace would
+  /// otherwise produce one violation per event).
+  std::size_t max_violations = 32;
+};
+
+CheckResult check_trace(const Trace& trace, const CheckOptions& options = {});
+
+}  // namespace shadow::obs

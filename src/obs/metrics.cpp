@@ -1,0 +1,43 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace shadow::obs {
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  const auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper bound of bucket b is 2^(b+1) - 1; never report above the max.
+      const std::uint64_t upper = b + 1 >= 64 ? UINT64_MAX : (std::uint64_t{1} << (b + 1)) - 1;
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+std::string MetricsRegistry::format() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "  %-36s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "  %-36s count %-8llu mean %-10.1f p50 %-8llu p99 %-8llu max %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()), h.mean(),
+                  static_cast<unsigned long long>(h.percentile(50.0)),
+                  static_cast<unsigned long long>(h.percentile(99.0)),
+                  static_cast<unsigned long long>(h.max()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace shadow::obs

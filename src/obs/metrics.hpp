@@ -1,0 +1,93 @@
+// Per-component metrics: named monotonic counters and fixed-bucket latency
+// histograms. Components update them through the Tracer's typed record
+// hooks (src/obs/trace.hpp); benchmarks print them as a uniform metrics
+// block next to the paper-reproduction output (bench/common/bench_util.hpp).
+//
+// Names are dotted paths, component first: "tob.decide_latency_us",
+// "paxos.preemptions", "state_transfer.bytes". The registry is ordered by
+// name so the printed block is stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shadow::obs {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A latency/size histogram with fixed power-of-two buckets: bucket i counts
+/// observations in [2^i, 2^(i+1)). Power-of-two bounds keep `observe` a few
+/// instructions — the recorder sits on hot paths (one call per decide, per
+/// transaction, per state-transfer batch).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // covers u64 values up to ~1.1e12
+
+  void observe(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    ++buckets_[bucket_of(v)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Percentile estimate from the buckets (upper bound of the bucket holding
+  /// the p-th observation, clamped to the observed max).
+  std::uint64_t percentile(double p) const;
+
+  const std::uint64_t* buckets() const { return buckets_; }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v > 1 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// Name → counter/histogram registry. Lookup lazily creates the metric, so
+/// instrumentation sites never need registration boilerplate.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  /// Multi-line human-readable block (used by the bench harness).
+  std::string format() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace shadow::obs

@@ -1,0 +1,422 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace shadow::obs {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kMsgSend, "msg_send"},
+    {EventKind::kMsgDeliver, "msg_deliver"},
+    {EventKind::kTobBroadcast, "tob_broadcast"},
+    {EventKind::kTobPropose, "tob_propose"},
+    {EventKind::kTobDecide, "tob_decide"},
+    {EventKind::kTobDeliver, "tob_deliver"},
+    {EventKind::kBallot, "ballot"},
+    {EventKind::kRound, "round"},
+    {EventKind::kTxnBegin, "txn_begin"},
+    {EventKind::kTxnExecute, "txn_execute"},
+    {EventKind::kTxnAck, "txn_ack"},
+    {EventKind::kCrash, "crash"},
+    {EventKind::kRecover, "recover"},
+    {EventKind::kStateTransfer, "state_transfer"},
+};
+
+bool kind_from_string(const std::string& s, EventKind& out) {
+  for (const KindName& kn : kKindNames) {
+    if (s == kn.name) {
+      out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// JSON string escaping for labels (headers and procedure names are plain
+/// identifiers in practice, but the exporter must stay well-formed anyway).
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Minimal field accessors for the exporter's own fixed JSON shape.
+bool find_u64(const std::string& line, const char* key, std::uint64_t& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  out = std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+bool find_string(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  std::size_t i = start + needle.size();
+  std::string raw;
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      ++i;
+    }
+    raw += line[i];
+    ++i;
+  }
+  out = unescape(raw);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  for (const KindName& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------------- Tracer --
+
+Tracer::Tracer(TracerOptions options) : options_(options) {
+  SHADOW_REQUIRE(options_.capacity > 0);
+  ring_.reserve(std::min<std::size_t>(options_.capacity, 4096));
+}
+
+void Tracer::append(TraceEvent e) {
+  ++recorded_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(e);
+    return;
+  }
+  // Full: overwrite the oldest event (head_ is the oldest slot).
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+std::uint32_t Tracer::intern(const std::string& s) {
+  const auto [it, inserted] = string_ids_.try_emplace(s, static_cast<std::uint32_t>(strings_.size()));
+  if (inserted) strings_.push_back(s);
+  return it->second;
+}
+
+Trace Tracer::snapshot() const {
+  Trace trace;
+  trace.strings = strings_;
+  trace.dropped = dropped();
+  trace.events.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    trace.events.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return trace;
+}
+
+void Tracer::on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) {
+  metrics_.counter("net.messages").add();
+  metrics_.counter("net.bytes").add(m.wire_size);
+  if (!options_.record_messages) return;
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kMsgSend;
+  e.node = from;
+  e.a = to.value;
+  e.b = m.wire_size;
+  e.label = intern(m.header);
+  append(e);
+}
+
+void Tracer::on_deliver(sim::Time t, NodeId to, const sim::Message& m) {
+  if (!options_.record_messages) return;
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kMsgDeliver;
+  e.node = to;
+  e.a = m.from.value;
+  e.label = intern(m.header);
+  append(e);
+}
+
+void Tracer::on_crash(sim::Time t, NodeId node) {
+  metrics_.counter("replica.crashes").add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kCrash;
+  e.node = node;
+  append(e);
+}
+
+void Tracer::tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq seq) {
+  metrics_.counter("tob.broadcasts").add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTobBroadcast;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  append(e);
+}
+
+void Tracer::tob_propose(sim::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+  metrics_.counter("tob.proposals").add();
+  slot_proposed_at_.try_emplace(slot, t);
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTobPropose;
+  e.node = node;
+  e.a = slot;
+  e.b = batch_size;
+  append(e);
+}
+
+void Tracer::tob_decide(sim::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+  // Decide latency and batch size are per-slot metrics: count the first
+  // node's decide only (every node learns every slot).
+  if (slot_decided_at_.try_emplace(slot, t).second) {
+    metrics_.counter("tob.decisions").add();
+    metrics_.histogram("tob.batch_size").observe(batch_size);
+    if (const auto it = slot_proposed_at_.find(slot); it != slot_proposed_at_.end()) {
+      metrics_.histogram("tob.decide_latency_us").observe(t - it->second);
+    }
+  }
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTobDecide;
+  e.node = node;
+  e.a = slot;
+  e.b = batch_size;
+  append(e);
+}
+
+void Tracer::tob_deliver(sim::Time t, NodeId node, Slot slot, std::uint64_t index,
+                         ClientId client, RequestSeq seq) {
+  metrics_.counter("tob.deliveries").add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTobDeliver;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.a = slot;
+  e.b = index;
+  append(e);
+}
+
+void Tracer::ballot(sim::Time t, NodeId node, std::uint64_t round, NodeId leader,
+                    BallotPhase phase) {
+  switch (phase) {
+    case BallotPhase::kScout: metrics_.counter("paxos.scouts").add(); break;
+    case BallotPhase::kAdopted: metrics_.counter("paxos.adoptions").add(); break;
+    case BallotPhase::kPreempted: metrics_.counter("paxos.preemptions").add(); break;
+  }
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kBallot;
+  e.node = node;
+  e.a = round;
+  e.b = leader.value;
+  e.c = static_cast<std::uint64_t>(phase);
+  append(e);
+}
+
+void Tracer::round(sim::Time t, NodeId node, Slot slot, std::uint64_t round) {
+  metrics_.counter("two_third.round_advances").add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kRound;
+  e.node = node;
+  e.a = slot;
+  e.b = round;
+  append(e);
+}
+
+void Tracer::txn_begin(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+                       const std::string& proc) {
+  metrics_.counter("txn.begun").add();
+  txn_begun_at_.try_emplace({client.value, seq}, t);
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTxnBegin;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.label = intern(proc);
+  append(e);
+}
+
+void Tracer::txn_execute(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+                         std::uint64_t order, bool duplicate, bool committed,
+                         const std::string& proc) {
+  if (duplicate) {
+    metrics_.counter("txn.duplicates_suppressed").add();
+  } else {
+    metrics_.counter("txn.executed").add();
+    if (!committed) metrics_.counter("txn.aborted").add();
+  }
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTxnExecute;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.a = order;
+  e.b = duplicate ? 1 : 0;
+  e.c = committed ? 1 : 0;
+  e.label = intern(proc);
+  append(e);
+}
+
+void Tracer::txn_ack(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+                     bool committed) {
+  metrics_.counter(committed ? "txn.committed" : "txn.aborts_answered").add();
+  if (const auto it = txn_begun_at_.find({client.value, seq}); it != txn_begun_at_.end()) {
+    metrics_.histogram("txn.latency_us").observe(t - it->second);
+  }
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kTxnAck;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.a = committed ? 1 : 0;
+  append(e);
+}
+
+void Tracer::recover(sim::Time t, NodeId node, std::uint64_t up_to_order) {
+  metrics_.counter("replica.recoveries").add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kRecover;
+  e.node = node;
+  e.a = up_to_order;
+  append(e);
+}
+
+void Tracer::state_transfer(sim::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
+                            NodeId peer) {
+  if (phase == StatePhase::kBatch) {
+    metrics_.counter("state_transfer.batches").add();
+    metrics_.counter("state_transfer.bytes").add(bytes);
+  } else if (phase == StatePhase::kBegin) {
+    metrics_.counter("state_transfer.sessions").add();
+  }
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kStateTransfer;
+  e.node = node;
+  e.a = static_cast<std::uint64_t>(phase);
+  e.b = bytes;
+  e.c = peer.value;
+  append(e);
+}
+
+// ----------------------------------------------------------- JSONL export --
+
+void export_jsonl(const Trace& trace, std::ostream& out) {
+  std::string line;
+  char buf[256];
+  for (const TraceEvent& e : trace.events) {
+    line.clear();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t\":%llu,\"kind\":\"%s\",\"node\":%u,\"client\":%u,\"seq\":%llu,"
+                  "\"a\":%llu,\"b\":%llu,\"c\":%llu",
+                  static_cast<unsigned long long>(e.time), to_string(e.kind), e.node.value,
+                  e.client.value, static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.a), static_cast<unsigned long long>(e.b),
+                  static_cast<unsigned long long>(e.c));
+    line += buf;
+    if (e.label != 0) {
+      line += ",\"label\":\"";
+      append_escaped(line, trace.strings[e.label]);
+      line += '"';
+    }
+    line += "}\n";
+    out << line;
+  }
+}
+
+void export_jsonl_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  SHADOW_CHECK_MSG(out.good(), "cannot open trace file for writing: " + path);
+  export_jsonl(trace, out);
+}
+
+Trace parse_jsonl(std::istream& in) {
+  Trace trace;
+  std::unordered_map<std::string, std::uint32_t> ids{{"", 0}};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    TraceEvent e;
+    std::string kind_str;
+    std::uint64_t v = 0;
+    if (!find_string(line, "kind", kind_str) || !kind_from_string(kind_str, e.kind)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": missing or unknown kind");
+    }
+    if (!find_u64(line, "t", e.time)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) + ": missing time");
+    }
+    if (find_u64(line, "node", v)) e.node = NodeId{static_cast<std::uint32_t>(v)};
+    if (find_u64(line, "client", v)) e.client = ClientId{static_cast<std::uint32_t>(v)};
+    find_u64(line, "seq", e.seq);
+    find_u64(line, "a", e.a);
+    find_u64(line, "b", e.b);
+    find_u64(line, "c", e.c);
+    if (std::string label; find_string(line, "label", label)) {
+      const auto [it, inserted] =
+          ids.try_emplace(label, static_cast<std::uint32_t>(trace.strings.size()));
+      if (inserted) trace.strings.push_back(label);
+      e.label = it->second;
+    }
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+Trace parse_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  SHADOW_CHECK_MSG(in.good(), "cannot open trace file for reading: " + path);
+  return parse_jsonl(in);
+}
+
+}  // namespace shadow::obs

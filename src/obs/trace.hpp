@@ -1,0 +1,164 @@
+// Structured execution tracing for ShadowDB runs.
+//
+// A Tracer records a single deterministic execution as a bounded ring buffer
+// of typed events — message send/deliver, TOB broadcast/propose/decide/
+// deliver, consensus ballot/round transitions, transaction begin/execute/ack,
+// replica crash/recover, and state-transfer traffic — and derives per-
+// component metrics (counters + latency histograms) from the same stream.
+// The trace exports to JSON lines; src/obs/checker.* replays an exported (or
+// in-memory) trace and verifies total order, at-most-once, and strict
+// serializability offline. The event schema and the field meaning per kind
+// are documented in src/obs/README.md.
+//
+// Layering: obs depends only on common + sim. Protocol components receive an
+// optional `Tracer*` through their config structs and record through the
+// typed hooks below; a null tracer costs one branch per hook site.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/world.hpp"
+
+namespace shadow::obs {
+
+enum class EventKind : std::uint8_t {
+  kMsgSend,        // node=from, a=to, b=wire bytes, label=header
+  kMsgDeliver,     // node=to, a=from, label=header
+  kTobBroadcast,   // node=frontend, client/seq of the command
+  kTobPropose,     // node, a=slot, b=batch size
+  kTobDecide,      // node, a=slot, b=batch size
+  kTobDeliver,     // node, client/seq, a=slot, b=global delivery index
+  kBallot,         // node, a=round, b=leader node, c=phase (BallotPhase)
+  kRound,          // node, a=slot, b=round reached
+  kTxnBegin,       // node=client node, client/seq, label=procedure
+  kTxnExecute,     // node=replica, client/seq, a=order, b=duplicate, c=committed, label=proc
+  kTxnAck,         // node=client node, client/seq, a=committed, b=latency µs
+  kCrash,          // node
+  kRecover,        // node, a=order/index recovered up to
+  kStateTransfer,  // node, a=phase (StatePhase), b=bytes, c=peer node
+};
+
+enum class BallotPhase : std::uint8_t { kScout = 0, kAdopted = 1, kPreempted = 2 };
+enum class StatePhase : std::uint8_t { kBegin = 0, kBatch = 1, kDone = 2 };
+
+/// Order value for kTxnExecute events that carry no position in the replica's
+/// execution order (chain-replication tail reads, answers served straight
+/// from the dedup table). The checker counts them for at-most-once and
+/// durability but not for order agreement or serializability positions.
+inline constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  sim::Time time = 0;
+  EventKind kind = EventKind::kMsgSend;
+  NodeId node{};
+  ClientId client{};
+  RequestSeq seq = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t label = 0;  // index into Trace::strings (0 = empty)
+};
+
+/// A self-contained recorded execution: the event stream plus the interned
+/// string table the events' `label` fields index into.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> strings{""};  // strings[0] is the empty label
+  std::uint64_t dropped = 0;             // events lost to the ring buffer cap
+
+  const std::string& label_of(const TraceEvent& e) const { return strings[e.label]; }
+};
+
+/// Serializes one event per line as JSON ({"t":..,"kind":"..",...}).
+void export_jsonl(const Trace& trace, std::ostream& out);
+void export_jsonl_file(const Trace& trace, const std::string& path);
+
+/// Parses a trace produced by export_jsonl. Unknown keys are ignored;
+/// malformed lines throw std::runtime_error with the line number.
+Trace parse_jsonl(std::istream& in);
+Trace parse_jsonl_file(const std::string& path);
+
+struct TracerOptions {
+  std::size_t capacity = 1 << 20;  // ring buffer size, events
+  /// Record raw network send/deliver events. They dominate trace volume;
+  /// protocol- and transaction-level events alone suffice for the checker.
+  bool record_messages = true;
+};
+
+/// Records events and derives metrics. Attach to a sim::World to capture
+/// network-level send/deliver/crash automatically; protocol components call
+/// the typed hooks through the `Tracer*` in their configs.
+class Tracer final : public sim::WorldObserver {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  /// Subscribes to the world's send/deliver/crash observer hooks.
+  void attach(sim::World& world) { world.add_observer(this); }
+
+  // -- WorldObserver --------------------------------------------------------
+  void on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) override;
+  void on_deliver(sim::Time t, NodeId to, const sim::Message& m) override;
+  void on_crash(sim::Time t, NodeId node) override;
+
+  // -- broadcast service ----------------------------------------------------
+  void tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq seq);
+  void tob_propose(sim::Time t, NodeId node, Slot slot, std::size_t batch_size);
+  void tob_decide(sim::Time t, NodeId node, Slot slot, std::size_t batch_size);
+  void tob_deliver(sim::Time t, NodeId node, Slot slot, std::uint64_t index, ClientId client,
+                   RequestSeq seq);
+
+  // -- consensus ------------------------------------------------------------
+  void ballot(sim::Time t, NodeId node, std::uint64_t round, NodeId leader, BallotPhase phase);
+  void round(sim::Time t, NodeId node, Slot slot, std::uint64_t round);
+
+  // -- transactions ---------------------------------------------------------
+  void txn_begin(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+                 const std::string& proc);
+  void txn_execute(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+                   std::uint64_t order, bool duplicate, bool committed,
+                   const std::string& proc);
+  void txn_ack(sim::Time t, NodeId node, ClientId client, RequestSeq seq, bool committed);
+
+  // -- replica lifecycle / state transfer -----------------------------------
+  void recover(sim::Time t, NodeId node, std::uint64_t up_to_order);
+  void state_transfer(sim::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
+                      NodeId peer);
+
+  /// Events recorded so far, oldest first (materializes the ring buffer).
+  Trace snapshot() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0; }
+
+ private:
+  void append(TraceEvent e);
+  std::uint32_t intern(const std::string& s);
+
+  TracerOptions options_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;          // next write position once the ring is full
+  std::uint64_t recorded_ = 0;    // total appended (>= ring_.size() on overflow)
+  std::vector<std::string> strings_{""};
+  std::unordered_map<std::string, std::uint32_t> string_ids_{{"", 0}};
+
+  MetricsRegistry metrics_;
+  // Derived-metric state: first propose / first decide per slot, and the
+  // first submission time per (client, seq) for end-to-end ack latency.
+  std::unordered_map<std::uint64_t, sim::Time> slot_proposed_at_;
+  std::unordered_map<std::uint64_t, sim::Time> slot_decided_at_;
+  std::map<std::pair<std::uint32_t, RequestSeq>, sim::Time> txn_begun_at_;
+};
+
+}  // namespace shadow::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace shadow::tob {
 
@@ -100,6 +101,7 @@ void TobNode::on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from) {
   if (already_pending) return;
   if (pending_.empty()) oldest_pending_since_ = ctx.now();
   pending_.push_back(PendingCommand{cmd, from, false});
+  if (config_.tracer) config_.tracer->tob_broadcast(ctx.now(), self_, cmd.client, cmd.seq);
   maybe_propose(ctx);
 }
 
@@ -163,11 +165,13 @@ void TobNode::maybe_propose(sim::Context& ctx) {
   // Proposal processing is charged where the consensus module handles the
   // px-propose message; here we only pay control-path dispatch.
   config_.profile.charge_control(ctx);
+  if (config_.tracer) config_.tracer->tob_propose(ctx.now(), self_, slot, batch.size());
   module_->propose(ctx, slot, batch);
   oldest_pending_since_ = ctx.now();
 }
 
 void TobNode::on_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
+  if (config_.tracer) config_.tracer->tob_decide(ctx.now(), self_, slot, batch.size());
   decisions_[slot] = batch;
   if (auto it = outstanding_.find(slot); it != outstanding_.end()) {
     // Whatever of ours was not chosen becomes eligible for a later slot.
@@ -195,6 +199,9 @@ void TobNode::deliver_ready(sim::Context& ctx) {
       if (!delivered_keys_.insert(key).second) continue;  // no-duplication
       const std::uint64_t index = delivery_log_.size();
       delivery_log_.push_back(cmd);
+      if (config_.tracer) {
+        config_.tracer->tob_deliver(ctx.now(), self_, it->first, index, cmd.client, cmd.seq);
+      }
 
       if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
       for (NodeId sub : remote_subscribers_) {

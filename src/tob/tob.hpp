@@ -33,6 +33,10 @@
 #include "consensus/paxos.hpp"
 #include "consensus/two_third.hpp"
 
+namespace shadow::obs {
+class Tracer;
+}  // namespace shadow::obs
+
 namespace shadow::tob {
 
 using consensus::Batch;
@@ -76,6 +80,7 @@ struct TobConfig {
   sim::Time tick_period = 5000;     // µs driver for consensus timeouts
   sim::Time relay_timeout = 500000; // relayed commands not delivered by then
                                     // are proposed locally (leader may be dead)
+  obs::Tracer* tracer = nullptr;    // optional structured trace recorder
 };
 
 /// One node of the broadcast service. Construct one per NodeId in

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/shadowdb.hpp"
+#include "obs/checker.hpp"
 #include "workload/bank.hpp"
 
 namespace shadow::core {
@@ -11,14 +12,19 @@ namespace {
 
 struct SmrFixture {
   sim::World world;
+  // Every test records a full trace; tests assert the offline checker's
+  // verdict (total order, at-most-once, strict serializability) post-run.
+  obs::Tracer tracer{{.capacity = 1 << 20, .record_messages = false}};
   SmrCluster cluster;
   std::vector<std::unique_ptr<DbClient>> clients;
   workload::bank::BankConfig bank{1000, 0};
 
   explicit SmrFixture(std::uint64_t seed = 1, ClusterOptions opts = {}) : world(seed) {
+    tracer.attach(world);
     auto registry = std::make_shared<workload::ProcedureRegistry>();
     workload::bank::register_procedures(*registry);
     opts.registry = registry;
+    opts.tracer = &tracer;
     if (!opts.loader) {
       opts.loader = [this](db::Engine& e) { workload::bank::load(e, bank); };
     }
@@ -32,6 +38,7 @@ struct SmrFixture {
     options.mode = DbClient::Mode::kTob;
     options.targets = cluster.broadcast_targets();
     options.txn_limit = txns;
+    options.tracer = &tracer;
     auto rng = std::make_shared<Rng>(seed);
     auto cfg = bank;
     clients.push_back(std::make_unique<DbClient>(
@@ -46,6 +53,9 @@ struct SmrFixture {
     for (auto& c : clients) c->start();
     world.run_until(limit);
   }
+
+  /// Replays the recorded trace through the offline checker.
+  obs::CheckResult check() const { return obs::check_trace(tracer.snapshot()); }
 };
 
 TEST(ShadowDbSmr, ExecutesTransactionsOnAllReplicas) {
@@ -59,6 +69,21 @@ TEST(ShadowDbSmr, ExecutesTransactionsOnAllReplicas) {
   EXPECT_EQ(fx.cluster.replicas[1]->executed(), 50u);
   // Deterministic sequential execution leaves identical states.
   EXPECT_EQ(fx.cluster.replicas[0]->state_digest(), fx.cluster.replicas[1]->state_digest());
+
+  // The offline checker agrees, with non-vacuous coverage — and its verdict
+  // survives a JSONL export / re-parse round trip of the trace.
+  const obs::CheckResult direct = fx.check();
+  EXPECT_TRUE(direct.ok()) << direct.summary();
+  EXPECT_GE(direct.replicas_checked, 2u);
+  EXPECT_GE(direct.committed_txns_checked, 50u);
+
+  const std::string path = ::testing::TempDir() + "smr_e2e_trace.jsonl";
+  obs::export_jsonl_file(fx.tracer.snapshot(), path);
+  const obs::Trace reparsed = obs::parse_jsonl_file(path);
+  const obs::CheckResult parsed_check = obs::check_trace(reparsed);
+  EXPECT_TRUE(parsed_check.ok()) << parsed_check.summary();
+  EXPECT_EQ(parsed_check.executions_checked, direct.executions_checked);
+  EXPECT_EQ(parsed_check.committed_txns_checked, direct.committed_txns_checked);
 }
 
 TEST(ShadowDbSmr, DiverseEnginesConverge) {
@@ -84,6 +109,9 @@ TEST(ShadowDbSmr, ReplicaCrashIsTransparent) {
   EXPECT_TRUE(client.done());
   EXPECT_EQ(client.committed(), 200u);
   EXPECT_EQ(client.retries(), 0u) << "a replica crash must not even cause retries";
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(check.committed_txns_checked, 200u);
 }
 
 TEST(ShadowDbSmr, AtMostOnceUnderClientRetries) {
@@ -111,6 +139,9 @@ TEST(ShadowDbSmr, AtMostOnceUnderClientRetries) {
   // Despite retries, each deposit applied exactly once.
   auto* replica = fx.cluster.replicas[0].get();
   EXPECT_EQ(replica->executed(), 40u);
+  // The trace-level at-most-once invariant holds despite the resends.
+  const obs::CheckResult check = obs::check_trace(fx.tracer.snapshot());
+  EXPECT_TRUE(check.ok()) << check.summary();
 }
 
 TEST(ShadowDbSmr, ReconfigurationBringsInSpareViaSnapshot) {
@@ -127,6 +158,11 @@ TEST(ShadowDbSmr, ReconfigurationBringsInSpareViaSnapshot) {
   // The spare (replica 2) was activated and caught up to the survivor.
   EXPECT_TRUE(fx.cluster.replicas[2]->active());
   EXPECT_EQ(fx.cluster.replicas[1]->state_digest(), fx.cluster.replicas[2]->state_digest());
+  // The checker excludes the crashed replica from order agreement but still
+  // demands durability of every answered transaction on the survivors.
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(check.committed_txns_checked, 400u);
 }
 
 TEST(ShadowDbSmr, BankBalancePreservedAcrossCrash) {
