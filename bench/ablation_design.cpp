@@ -67,8 +67,7 @@ TobRun run_tob(tob::Protocol protocol, std::size_t batch_max, std::size_t n_clie
       c.sent = ctx.now();
       ctx.send(target, sim::make_msg(tob::kBroadcastHeader,
                                      tob::BroadcastBody{tob::Command{c.id, c.seq,
-                                                                     std::string(140, 'x')}},
-                                     164));
+                                                                     std::string(140, 'x')}}));
     };
     world.set_handler(c.node, [&c, warmup, send_next](sim::Context& ctx,
                                                       const sim::Message& msg) {

@@ -15,6 +15,7 @@
 
 #include "common/bench_util.hpp"
 #include "db/engine.hpp"
+#include "db/wire.hpp"
 #include "sim/world.hpp"
 #include "workload/tpcc.hpp"
 
@@ -89,7 +90,7 @@ double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits,
     dest->reset_for_restore(snap.schemas);
     batches_left = snap.batches.size();
     for (const auto& batch : snap.batches) {
-      ctx.send(dst, sim::make_msg("snap-batch", batch, batch.data.size() + 64));
+      ctx.send(dst, sim::make_msg("snap-batch", batch));
     }
   });
   world.run_until(600000000000ULL);

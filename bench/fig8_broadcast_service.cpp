@@ -51,7 +51,7 @@ class BroadcastClient {
     tob::BroadcastBody body{
         tob::Command{id_, seq_, std::string(140, 'x')}};  // 140-byte payload
     sent_at_ = ctx.now();
-    ctx.send(target_, sim::make_msg(tob::kBroadcastHeader, body, 164));
+    ctx.send(target_, sim::make_msg(tob::kBroadcastHeader, std::move(body)));
   }
 
   sim::World& world_;

@@ -175,7 +175,7 @@ void BM_SimulatedPaxosBroadcast(benchmark::State& state) {
     world.set_handler(client, [](sim::Context&, const sim::Message&) {});
     world.post(client, config.nodes[0],
                sim::make_msg(tob::kBroadcastHeader,
-                             tob::BroadcastBody{tob::Command{ClientId{1}, 1, "x"}}, 64));
+                             tob::BroadcastBody{tob::Command{ClientId{1}, 1, "x"}}));
     world.run_until(1000000);
     benchmark::DoNotOptimize(service.nodes[0]->delivered_count());
   }

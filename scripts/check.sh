@@ -22,10 +22,23 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "${1:-}" != "--fast" ]]; then
-  echo "== strict: -Wall -Wextra -Werror build of shadow_obs =="
+  echo "== strict: -Wall -Wextra -Werror build of shadow_obs + shadow_wire =="
   cmake -B build-strict -S . \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
-  cmake --build build-strict -j --target shadow_obs
+  cmake --build build-strict -j --target shadow_obs shadow_wire
+
+  echo "== wire: round-trip suite under extra corruption seeds =="
+  for seed in 7 131 9973; do
+    echo "-- SHADOW_WIRE_SEED=${seed}"
+    SHADOW_WIRE_SEED="${seed}" \
+      ./build/tests/wire_codec_roundtrip_test \
+      --gtest_filter='WireCodec.DecodeRejectsSeededCorruption' >/dev/null
+  done
+
+  echo "== wire: PBR + SMR end-to-end in wire-fidelity mode =="
+  ./build/tests/wire_fidelity_test \
+    --gtest_filter='WireFidelity.PbrEndToEndWithRealBytesOnEveryLink:WireFidelity.SmrEndToEndWithRealBytesOnEveryLink' \
+    >/dev/null
 fi
 
 echo "== all checks passed =="

@@ -24,7 +24,7 @@ void ReplicaApplier::on_message(sim::Context& ctx, const sim::Message& msg) {
     SHADOW_CHECK_MSG(r.ok(), "replicated statement failed on the secondary");
   }
   ctx.charge(engine_->commit(txn).cost_us);
-  ctx.send(msg.from, sim::make_msg(kReplicateAckHeader, ReplicateAckBody{body.session}, 32));
+  ctx.send(msg.from, sim::make_msg(kReplicateAckHeader, ReplicateAckBody{body.session}));
 }
 
 // ------------------------------------------------------------ BaselineServer
@@ -215,8 +215,7 @@ void BaselineServer::reach_commit(sim::Context& ctx, Session& session) {
 void BaselineServer::ship_to_replica(sim::Context& ctx, Session& session) {
   session.awaiting_replica = true;
   ReplicateBody body{session.id, session.statement_log};
-  std::size_t wire = 64 + body.statements.size() * 48;
-  ctx.send(*replica_, sim::make_msg(kReplicateHeader, body, wire));
+  ctx.send(*replica_, sim::make_msg(kReplicateHeader, std::move(body)));
 }
 
 void BaselineServer::finish(sim::Context& ctx, Session& session, bool committed,

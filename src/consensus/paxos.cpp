@@ -9,43 +9,12 @@ namespace shadow::consensus {
 
 namespace {
 
-constexpr const char* kP1a = "px-p1a";
-constexpr const char* kP1b = "px-p1b";
-constexpr const char* kP2a = "px-p2a";
-constexpr const char* kP2b = "px-p2b";
-constexpr const char* kDecision = "px-decision";
-constexpr const char* kPropose = "px-propose";
-
-struct P1aBody {
-  Ballot ballot;
-};
-struct P1bBody {
-  Ballot scout_ballot;           // the ballot this p1b answers
-  Ballot promised;               // acceptor's current promise
-  std::vector<PValue> accepted;  // acceptor's accepted pvalues
-};
-struct P2aBody {
-  PValue pvalue;
-};
-struct P2bBody {
-  Ballot commander_ballot;  // the ballot this p2b answers
-  Ballot promised;
-  Slot slot = 0;
-};
-struct DecisionBody {
-  Slot slot = 0;
-  Batch batch;
-};
-struct ProposeBody {
-  Slot slot = 0;
-  Batch batch;
-};
-
-std::size_t pvalues_wire_size(const std::vector<PValue>& pvs) {
-  std::size_t n = 16;
-  for (const PValue& pv : pvs) n += 24 + batch_wire_size(pv.batch);
-  return n;
-}
+constexpr const char* kP1a = kP1aHeader;
+constexpr const char* kP1b = kP1bHeader;
+constexpr const char* kP2a = kP2aHeader;
+constexpr const char* kP2b = kP2bHeader;
+constexpr const char* kDecision = kDecisionHeader;
+constexpr const char* kPropose = kProposeHeader;
 
 }  // namespace
 
@@ -59,10 +28,9 @@ PaxosModule::PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety
 
 void PaxosModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
   if (safety_ != nullptr) safety_->on_propose(slot, batch);
-  ProposeBody body{slot, batch};
-  const std::size_t wire = 24 + batch_wire_size(batch);
+  const sim::Message msg = sim::make_msg(kPropose, ProposeBody{slot, batch});
   for (NodeId peer : config_.peers) {
-    ctx.send(peer, sim::make_msg(kPropose, body, wire));
+    ctx.send(peer, msg);
   }
 }
 
@@ -73,8 +41,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     config_.profile.charge(ctx, body.batch.size());
     if (auto learned_it = learned_.find(body.slot); learned_it != learned_.end()) {
       // Already decided: help the proposer catch up.
-      DecisionBody dec{body.slot, learned_it->second};
-      ctx.send(msg.from, sim::make_msg(kDecision, dec, 24 + batch_wire_size(dec.batch)));
+      ctx.send(msg.from, sim::make_msg(kDecision, DecisionBody{body.slot, learned_it->second}));
       return true;
     }
     const bool had_pending = std::any_of(
@@ -97,7 +64,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     P1bBody reply{body.ballot, acceptor_.promised, {}};
     reply.accepted.reserve(acceptor_.accepted.size());
     for (const auto& [slot, pv] : acceptor_.accepted) reply.accepted.push_back(pv);
-    ctx.send(msg.from, sim::make_msg(kP1b, reply, pvalues_wire_size(reply.accepted)));
+    ctx.send(msg.from, sim::make_msg(kP1b, std::move(reply)));
     return true;
   }
   if (msg.header == kP2a) {
@@ -114,8 +81,8 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
         safety_->on_accept(self_, body.pvalue.ballot, body.pvalue.slot, body.pvalue.batch);
       }
     }
-    P2bBody reply{body.pvalue.ballot, acceptor_.promised, body.pvalue.slot};
-    ctx.send(msg.from, sim::make_msg(kP2b, reply, 48));
+    ctx.send(msg.from,
+             sim::make_msg(kP2b, P2bBody{body.pvalue.ballot, acceptor_.promised, body.pvalue.slot}));
     return true;
   }
 
@@ -169,10 +136,9 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     Commander& cmd = it->second;
     if (cmd.waitfor.erase(msg.from.value) == 0) return true;
     if (config_.peers.size() - cmd.waitfor.size() >= quorum()) {
-      DecisionBody dec{cmd.slot, cmd.batch};
-      const std::size_t wire = 24 + batch_wire_size(dec.batch);
+      const sim::Message dec = sim::make_msg(kDecision, DecisionBody{cmd.slot, cmd.batch});
       for (NodeId peer : config_.peers) {
-        ctx.send(peer, sim::make_msg(kDecision, dec, wire));
+        ctx.send(peer, dec);
       }
       leader_.commanders.erase(it);
     }
@@ -201,9 +167,9 @@ void PaxosModule::start_scout(sim::Context& ctx) {
     config_.tracer->ballot(ctx.now(), self_, leader_.scout->ballot.round, self_,
                            obs::BallotPhase::kScout);
   }
-  P1aBody body{leader_.scout->ballot};
+  const sim::Message p1a = sim::make_msg(kP1a, P1aBody{leader_.scout->ballot});
   for (NodeId peer : config_.peers) {
-    ctx.send(peer, sim::make_msg(kP1a, body, 40));
+    ctx.send(peer, p1a);
   }
 }
 
@@ -214,10 +180,9 @@ void PaxosModule::start_commander(sim::Context& ctx, Slot slot, const Batch& bat
   cmd.batch = batch;
   for (NodeId peer : config_.peers) cmd.waitfor.insert(peer.value);
   leader_.commanders[slot] = std::move(cmd);
-  P2aBody body{PValue{leader_.ballot, slot, batch}};
-  const std::size_t wire = 40 + batch_wire_size(batch);
+  const sim::Message p2a = sim::make_msg(kP2a, P2aBody{PValue{leader_.ballot, slot, batch}});
   for (NodeId peer : config_.peers) {
-    ctx.send(peer, sim::make_msg(kP2a, body, wire));
+    ctx.send(peer, p2a);
   }
 }
 

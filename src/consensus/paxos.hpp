@@ -29,6 +29,40 @@ class Tracer;
 
 namespace shadow::consensus {
 
+/// Synod message headers.
+inline constexpr const char* kP1aHeader = "px-p1a";
+inline constexpr const char* kP1bHeader = "px-p1b";
+inline constexpr const char* kP2aHeader = "px-p2a";
+inline constexpr const char* kP2bHeader = "px-p2b";
+inline constexpr const char* kDecisionHeader = "px-decision";
+inline constexpr const char* kProposeHeader = "px-propose";
+
+/// Synod message bodies (public so the wire round-trip suite can cover them).
+struct P1aBody {
+  Ballot ballot;
+};
+struct P1bBody {
+  Ballot scout_ballot;           // the ballot this p1b answers
+  Ballot promised;               // acceptor's current promise
+  std::vector<PValue> accepted;  // acceptor's accepted pvalues
+};
+struct P2aBody {
+  PValue pvalue;
+};
+struct P2bBody {
+  Ballot commander_ballot;  // the ballot this p2b answers
+  Ballot promised;
+  Slot slot = 0;
+};
+struct DecisionBody {
+  Slot slot = 0;
+  Batch batch;
+};
+struct ProposeBody {
+  Slot slot = 0;
+  Batch batch;
+};
+
 struct PaxosConfig {
   std::vector<NodeId> peers;  // the synod participants (majority quorums)
   // Batched commands only add a small scan per item to a synod message walk.
@@ -104,3 +138,87 @@ class PaxosModule final : public ConsensusModule {
 };
 
 }  // namespace shadow::consensus
+
+namespace shadow::wire {
+
+template <>
+struct Codec<consensus::P1aBody> {
+  static void encode(BytesWriter& w, const consensus::P1aBody& v) {
+    Codec<consensus::Ballot>::encode(w, v.ballot);
+  }
+  static consensus::P1aBody decode(BytesReader& r) {
+    return {Codec<consensus::Ballot>::decode(r)};
+  }
+};
+
+template <>
+struct Codec<consensus::P1bBody> {
+  static void encode(BytesWriter& w, const consensus::P1bBody& v) {
+    Codec<consensus::Ballot>::encode(w, v.scout_ballot);
+    Codec<consensus::Ballot>::encode(w, v.promised);
+    Codec<std::vector<consensus::PValue>>::encode(w, v.accepted);
+  }
+  static consensus::P1bBody decode(BytesReader& r) {
+    consensus::P1bBody v;
+    v.scout_ballot = Codec<consensus::Ballot>::decode(r);
+    v.promised = Codec<consensus::Ballot>::decode(r);
+    v.accepted = Codec<std::vector<consensus::PValue>>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::P2aBody> {
+  static void encode(BytesWriter& w, const consensus::P2aBody& v) {
+    Codec<consensus::PValue>::encode(w, v.pvalue);
+  }
+  static consensus::P2aBody decode(BytesReader& r) {
+    return {Codec<consensus::PValue>::decode(r)};
+  }
+};
+
+template <>
+struct Codec<consensus::P2bBody> {
+  static void encode(BytesWriter& w, const consensus::P2bBody& v) {
+    Codec<consensus::Ballot>::encode(w, v.commander_ballot);
+    Codec<consensus::Ballot>::encode(w, v.promised);
+    w.u64(v.slot);
+  }
+  static consensus::P2bBody decode(BytesReader& r) {
+    consensus::P2bBody v;
+    v.commander_ballot = Codec<consensus::Ballot>::decode(r);
+    v.promised = Codec<consensus::Ballot>::decode(r);
+    v.slot = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::DecisionBody> {
+  static void encode(BytesWriter& w, const consensus::DecisionBody& v) {
+    w.u64(v.slot);
+    Codec<consensus::Batch>::encode(w, v.batch);
+  }
+  static consensus::DecisionBody decode(BytesReader& r) {
+    consensus::DecisionBody v;
+    v.slot = r.u64();
+    v.batch = Codec<consensus::Batch>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::ProposeBody> {
+  static void encode(BytesWriter& w, const consensus::ProposeBody& v) {
+    w.u64(v.slot);
+    Codec<consensus::Batch>::encode(w, v.batch);
+  }
+  static consensus::ProposeBody decode(BytesReader& r) {
+    consensus::ProposeBody v;
+    v.slot = r.u64();
+    v.batch = Codec<consensus::Batch>::decode(r);
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

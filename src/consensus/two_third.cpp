@@ -9,19 +9,7 @@ namespace shadow::consensus {
 
 namespace {
 
-constexpr const char* kVoteHeader = "2/3-vote";
-constexpr const char* kDecideHeader = "2/3-decide";
-
-struct VoteBody {
-  Slot slot = 0;
-  std::uint64_t round = 0;
-  Batch batch;
-};
-
-struct DecideBody {
-  Slot slot = 0;
-  Batch batch;
-};
+constexpr const char* kDecideHeader = kTwoThirdDecideHeader;
 
 }  // namespace
 
@@ -47,10 +35,9 @@ void TwoThirdModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
 
 void TwoThirdModule::send_vote(sim::Context& ctx, Slot slot, Instance& inst) {
   SHADOW_CHECK(inst.estimate.has_value());
-  VoteBody body{slot, inst.round, *inst.estimate};
-  const std::size_t wire = 24 + batch_wire_size(body.batch);
+  const sim::Message vote = sim::make_msg(kVoteHeader, VoteBody{slot, inst.round, *inst.estimate});
   for (NodeId peer : config_.peers) {
-    ctx.send(peer, sim::make_msg(kVoteHeader, body, wire));
+    ctx.send(peer, vote);
   }
   inst.last_sent = ctx.now();
 }
@@ -63,9 +50,7 @@ bool TwoThirdModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     if (inst.decision) {
       // A decided process answers votes with the decision so laggards learn.
       if (msg.from != self_) {
-        DecideBody body{vote.slot, *inst.decision};
-        ctx.send(msg.from,
-                 sim::make_msg(kDecideHeader, body, 24 + batch_wire_size(body.batch)));
+        ctx.send(msg.from, sim::make_msg(kDecideHeader, DecideBody{vote.slot, *inst.decision}));
       }
       return true;
     }
@@ -124,10 +109,9 @@ void TwoThirdModule::try_advance(sim::Context& ctx, Slot slot, Instance& inst) {
 void TwoThirdModule::decide(sim::Context& ctx, Slot slot, Instance& inst, const Batch& value) {
   inst.decision = value;
   if (safety_ != nullptr) safety_->on_decide(self_, slot, value);
-  DecideBody body{slot, value};
-  const std::size_t wire = 24 + batch_wire_size(value);
+  const sim::Message dec = sim::make_msg(kDecideHeader, DecideBody{slot, value});
   for (NodeId peer : config_.peers) {
-    if (peer != self_) ctx.send(peer, sim::make_msg(kDecideHeader, body, wire));
+    if (peer != self_) ctx.send(peer, dec);
   }
   notify_decide(ctx, slot, value);
 }

@@ -29,6 +29,21 @@ class Tracer;
 
 namespace shadow::consensus {
 
+/// TwoThird message headers.
+inline constexpr const char* kVoteHeader = "2/3-vote";
+inline constexpr const char* kTwoThirdDecideHeader = "2/3-decide";
+
+/// TwoThird message bodies.
+struct VoteBody {
+  Slot slot = 0;
+  std::uint64_t round = 0;
+  Batch batch;
+};
+struct DecideBody {
+  Slot slot = 0;
+  Batch batch;
+};
+
 struct TwoThirdConfig {
   std::vector<NodeId> peers;  // all participants; needs |peers| > 3f
   ExecProfile profile{.program_work = kTwoThirdProgramWork};
@@ -71,3 +86,37 @@ class TwoThirdModule final : public ConsensusModule {
 };
 
 }  // namespace shadow::consensus
+
+namespace shadow::wire {
+
+template <>
+struct Codec<consensus::VoteBody> {
+  static void encode(BytesWriter& w, const consensus::VoteBody& v) {
+    w.u64(v.slot);
+    w.u64(v.round);
+    Codec<consensus::Batch>::encode(w, v.batch);
+  }
+  static consensus::VoteBody decode(BytesReader& r) {
+    consensus::VoteBody v;
+    v.slot = r.u64();
+    v.round = r.u64();
+    v.batch = Codec<consensus::Batch>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::DecideBody> {
+  static void encode(BytesWriter& w, const consensus::DecideBody& v) {
+    w.u64(v.slot);
+    Codec<consensus::Batch>::encode(w, v.batch);
+  }
+  static consensus::DecideBody decode(BytesReader& r) {
+    consensus::DecideBody v;
+    v.slot = r.u64();
+    v.batch = Codec<consensus::Batch>::decode(r);
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

@@ -5,11 +5,11 @@
 
 #include <compare>
 #include <cstdint>
-#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "wire/codec.hpp"
 
 namespace shadow::consensus {
 
@@ -59,10 +59,55 @@ inline std::string to_string(const Batch& b) {
   return s + "]";
 }
 
-/// Estimated wire size of a batch, for the network bandwidth model.
-inline std::size_t batch_wire_size(const Batch& b) {
-  return std::accumulate(b.begin(), b.end(), std::size_t{16},
-                         [](std::size_t n, const Command& c) { return n + 16 + c.payload.size(); });
-}
-
 }  // namespace shadow::consensus
+
+// Wire codecs: exact encoded sizes replace the old batch_wire_size estimate.
+namespace shadow::wire {
+
+template <>
+struct Codec<consensus::Command> {
+  static void encode(BytesWriter& w, const consensus::Command& v) {
+    w.u32(v.client.value);
+    w.u64(v.seq);
+    w.str(v.payload);
+  }
+  static consensus::Command decode(BytesReader& r) {
+    consensus::Command v;
+    v.client = ClientId{r.u32()};
+    v.seq = r.u64();
+    v.payload = r.str();
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::Ballot> {
+  static void encode(BytesWriter& w, const consensus::Ballot& v) {
+    w.u64(v.round);
+    w.u32(v.leader.value);
+  }
+  static consensus::Ballot decode(BytesReader& r) {
+    consensus::Ballot v;
+    v.round = r.u64();
+    v.leader = NodeId{r.u32()};
+    return v;
+  }
+};
+
+template <>
+struct Codec<consensus::PValue> {
+  static void encode(BytesWriter& w, const consensus::PValue& v) {
+    Codec<consensus::Ballot>::encode(w, v.ballot);
+    w.u64(v.slot);
+    Codec<consensus::Batch>::encode(w, v.batch);
+  }
+  static consensus::PValue decode(BytesReader& r) {
+    consensus::PValue v;
+    v.ballot = Codec<consensus::Ballot>::decode(r);
+    v.slot = r.u64();
+    v.batch = Codec<consensus::Batch>::decode(r);
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

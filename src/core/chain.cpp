@@ -38,7 +38,7 @@ ChainReplica::ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
   if (!contains(chain_, self_)) state_ = State::kSpare;
 
   tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kChainDeliverHeader, cmd, 48 + cmd.payload.size()));
+    ctx.send(self_, sim::make_msg(kChainDeliverHeader, cmd));
   });
   world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
     on_message(ctx, msg);
@@ -88,7 +88,7 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     }
     state_ = State::kNormal;
     if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
-    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered(ctx);
     return;
   }
@@ -130,7 +130,7 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
       config_.tracer->recover(ctx.now(), self_, executed_order_);
     }
-    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered(ctx);
     return;
   }
@@ -150,7 +150,7 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
   if (state_ != State::kNormal || chain_.empty()) {
     ctx.send(req.reply_to,
              sim::make_msg(kPbrRedirectHeader,
-                           RedirectBody{NodeId{UINT32_MAX}, config_seq_, true}, 40));
+                           RedirectBody{NodeId{UINT32_MAX}, config_seq_, true}));
     return;
   }
 
@@ -158,7 +158,7 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
     // Queries are the tail's job: it only knows fully-replicated updates.
     if (chain_.back() != self_) {
       ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
-                                           RedirectBody{chain_.back(), config_seq_, false}, 40));
+                                           RedirectBody{chain_.back(), config_seq_, false}));
       return;
     }
     const TxnExecutor::Execution exec = executor_.execute(req);
@@ -174,12 +174,12 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
   // Updates enter at the head.
   if (chain_.front() != self_) {
     ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
-                                         RedirectBody{chain_.front(), config_seq_, false}, 40));
+                                         RedirectBody{chain_.front(), config_seq_, false}));
     return;
   }
   if (!accepting_) {
     ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
-                                         RedirectBody{self_, config_seq_, true}, 40));
+                                         RedirectBody{self_, config_seq_, true}));
     return;
   }
   const TxnExecutor::Execution exec = executor_.execute(req);
@@ -213,8 +213,7 @@ void ChainReplica::forward_down(sim::Context& ctx, std::uint64_t order,
   const auto next = successor();
   if (!next) return;
   ctx.charge(kForwardCost);
-  ctx.send(*next, sim::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req},
-                                48 + workload::request_wire_size(req)));
+  ctx.send(*next, sim::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req}));
 }
 
 void ChainReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
@@ -281,9 +280,10 @@ void ChainReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
   state_ = State::kElecting;
   const sim::Time now = ctx.now();
   for (NodeId member : chain_) last_heard_[member.value] = now;
-  const ElectBody elect{config_seq_, executed_order_};
+  const sim::Message elect =
+      sim::make_msg(kChainElectHeader, ElectBody{config_seq_, executed_order_});
   for (NodeId member : chain_) {
-    if (member != self_) ctx.send(member, sim::make_msg(kChainElectHeader, elect, 40));
+    if (member != self_) ctx.send(member, elect);
   }
   pending_elects_[config_seq_][self_.value] = executed_order_;
   maybe_finish_election(ctx);
@@ -314,7 +314,7 @@ void ChainReplica::maybe_finish_election(sim::Context& ctx) {
   if (source != self_) {
     state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
     if (state_ == State::kNormal) {
-      ctx.send(source, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+      ctx.send(source, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     }
     return;
   }
@@ -343,14 +343,10 @@ void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t
   if (cache_covers || member_seq == executed_order_) {
     CatchupBody body;
     body.config = config_seq_;
-    std::size_t wire = 32;
     for (const auto& [order, req] : txn_cache_) {
-      if (order > member_seq) {
-        body.txns.emplace_back(order, req);
-        wire += workload::request_wire_size(req);
-      }
+      if (order > member_seq) body.txns.emplace_back(order, req);
     }
-    ctx.send(member, sim::make_msg(kChainCatchupHeader, body, wire));
+    ctx.send(member, sim::make_msg(kChainCatchupHeader, std::move(body)));
     return;
   }
   const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
@@ -365,12 +361,11 @@ void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t
   for (const auto& [client, entry] : executor_.dedup_table()) {
     begin.dedup_seqs.emplace_back(client, entry.first);
   }
-  ctx.send(member, sim::make_msg(kChainSnapBeginHeader, begin, 256));
+  ctx.send(member, sim::make_msg(kChainSnapBeginHeader, std::move(begin)));
   for (const auto& batch : snap.batches) {
-    ctx.send(member, sim::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch},
-                                   batch.data.size() + 64));
+    ctx.send(member, sim::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch}));
   }
-  ctx.send(member, sim::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}, 32));
+  ctx.send(member, sim::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}));
 }
 
 // ----------------------------------------------------------- failure detection --
@@ -422,7 +417,7 @@ void ChainReplica::suspect_and_propose(sim::Context& ctx, const std::vector<Node
     req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
   }
   tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 160));
+  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
 }
 
 }  // namespace shadow::core

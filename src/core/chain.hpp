@@ -77,31 +77,14 @@ class ChainReplica {
  private:
   enum class State : std::uint8_t { kNormal, kElecting, kRecovering, kSpare, kDeposed };
 
-  struct ForwardBody {
-    ConfigSeq config = 0;
-    std::uint64_t order = 0;
-    workload::TxnRequest request;
-  };
-  struct ElectBody {
-    ConfigSeq config = 0;
-    std::uint64_t executed = 0;
-  };
-  struct CatchupBody {
-    ConfigSeq config = 0;
-    std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
-  };
-  struct SnapBeginBody {
-    ConfigSeq config = 0;
-    std::vector<db::TableSchema> schemas;
-    std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
-    std::uint64_t order = 0;
-  };
-  struct SnapBatchBody {
-    db::Engine::SnapshotBatch batch;
-  };
-  struct SnapDoneBody {
-    ConfigSeq config = 0;
-  };
+  // Message bodies are the shared replication shapes (one codec each);
+  // chain uses them under its own "chain-*" headers.
+  using ForwardBody = ReplForwardBody;
+  using ElectBody = ReplElectBody;
+  using CatchupBody = ReplCatchupBody;
+  using SnapBeginBody = ReplSnapBeginBody;
+  using SnapBatchBody = ReplSnapBatchBody;
+  using SnapDoneBody = ReplSnapDoneBody;
 
   void on_message(sim::Context& ctx, const sim::Message& msg);
   void on_deliver(sim::Context& ctx, const tob::Command& cmd);

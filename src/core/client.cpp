@@ -53,8 +53,7 @@ void DbClient::send_current(sim::Context& ctx) {
   } else {
     tob::BroadcastBody body{
         tob::Command{id_, in_flight_->seq, workload::encode_request(*in_flight_)}};
-    ctx.send(target, sim::make_msg(tob::kBroadcastHeader, body,
-                                   32 + workload::request_wire_size(*in_flight_)));
+    ctx.send(target, sim::make_msg(tob::kBroadcastHeader, std::move(body)));
   }
   timeout_timer_ = ctx.set_timer(options_.retry_timeout,
                                  [this](sim::Context& c) { on_timeout(c); });

@@ -44,7 +44,7 @@ PbrReplica::PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
   // Hand TOB deliveries to the replica process through a loopback message so
   // the replica acts under its own identity (and stops acting when crashed).
   tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kPbrDeliverHeader, cmd, 48 + cmd.payload.size()));
+    ctx.send(self_, sim::make_msg(kPbrDeliverHeader, cmd));
   });
   world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
     on_message(ctx, msg);
@@ -93,7 +93,7 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     }
     state_ = State::kNormal;
     if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
-    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered_forwards(ctx);
     return;
   }
@@ -135,7 +135,7 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
       config_.tracer->recover(ctx.now(), self_, executed_order_);
     }
-    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered_forwards(ctx);
     return;
   }
@@ -154,8 +154,7 @@ void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest
   // point the client at the new membership rather than asking it to wait.
   if (!contains(members_, self_) && !members_.empty()) {
     ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
-                                         RedirectBody{members_.front(), config_seq_, false},
-                                         40));
+                                         RedirectBody{members_.front(), config_seq_, false}));
     return;
   }
   if (state_ != State::kNormal || primary_ != self_ || stopped_) {
@@ -194,12 +193,11 @@ void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest
   out.request = req;
   out.response = exec.response;
   out.waiting = recovered_backups_;
-  const ForwardBody fwd{config_seq_, order, req};
-  const std::size_t wire = 48 + workload::request_wire_size(req);
+  const sim::Message fwd = sim::make_msg(kPbrForwardHeader, ForwardBody{config_seq_, order, req});
   for (NodeId member : members_) {
     if (member == self_) continue;
     ctx.charge(kForwardCost);
-    ctx.send(member, sim::make_msg(kPbrForwardHeader, fwd, wire));
+    ctx.send(member, fwd);
   }
   if (out.waiting.empty()) {
     ctx.send(req.reply_to, workload::make_response_msg(out.response));
@@ -218,7 +216,7 @@ void PbrReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
   if (state_ != State::kNormal || primary_ == self_) return;
   if (fwd.order != executed_order_ + 1) return;  // duplicate (FIFO channels)
   execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
-  ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}, 40));
+  ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
 }
 
 void PbrReplica::on_ack(sim::Context& ctx, NodeId from, const AckBody& ack) {
@@ -257,14 +255,14 @@ void PbrReplica::apply_buffered_forwards(sim::Context& ctx) {
     if (fwd.config != config_seq_) continue;
     if (fwd.order != executed_order_ + 1) continue;
     execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
-    ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}, 40));
+    ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
   }
 }
 
 void PbrReplica::redirect(sim::Context& ctx, NodeId to, bool busy) {
   // An unknown primary (mid-election) is a "try again later", not a target.
   if (primary_.value == UINT32_MAX) busy = true;
-  ctx.send(to, sim::make_msg(kPbrRedirectHeader, RedirectBody{primary_, config_seq_, busy}, 40));
+  ctx.send(to, sim::make_msg(kPbrRedirectHeader, RedirectBody{primary_, config_seq_, busy}));
 }
 
 // ---------------------------------------------------------------- recovery --
@@ -298,9 +296,9 @@ void PbrReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
   for (NodeId member : members_) last_heard_[member.value] = now;
 
   // Step 3: send (g+1, seq_r) to all members of the new configuration.
-  const ElectBody elect{config_seq_, executed_order_};
+  const sim::Message elect = sim::make_msg(kPbrElectHeader, ElectBody{config_seq_, executed_order_});
   for (NodeId member : members_) {
-    if (member != self_) ctx.send(member, sim::make_msg(kPbrElectHeader, elect, 40));
+    if (member != self_) ctx.send(member, elect);
   }
   pending_elects_[config_seq_][self_.value] = executed_order_;
   maybe_finish_election(ctx);
@@ -334,7 +332,7 @@ void PbrReplica::maybe_finish_election(sim::Context& ctx) {
     // primary sends an empty catch-up in that case).
     state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
     if (state_ == State::kNormal) {
-      ctx.send(primary_, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}, 32));
+      ctx.send(primary_, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     }
     return;
   }
@@ -360,14 +358,10 @@ void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t b
   if (cache_covers || backup_seq == executed_order_) {
     CatchupBody body;
     body.config = config_seq_;
-    std::size_t wire = 32;
     for (const auto& [order, req] : txn_cache_) {
-      if (order > backup_seq) {
-        body.txns.emplace_back(order, req);
-        wire += workload::request_wire_size(req);
-      }
+      if (order > backup_seq) body.txns.emplace_back(order, req);
     }
-    ctx.send(backup, sim::make_msg(kPbrCatchupHeader, body, wire));
+    ctx.send(backup, sim::make_msg(kPbrCatchupHeader, std::move(body)));
     return;
   }
 
@@ -385,12 +379,11 @@ void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t b
   for (const auto& [client, entry] : executor_.dedup_table()) {
     begin.dedup_seqs.emplace_back(client, entry.first);
   }
-  ctx.send(backup, sim::make_msg(kPbrSnapBeginHeader, begin, 256));
+  ctx.send(backup, sim::make_msg(kPbrSnapBeginHeader, std::move(begin)));
   for (const auto& batch : snap.batches) {
-    ctx.send(backup,
-             sim::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}, batch.data.size() + 64));
+    ctx.send(backup, sim::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}));
   }
-  ctx.send(backup, sim::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}, 32));
+  ctx.send(backup, sim::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}));
 }
 
 void PbrReplica::backup_recovered(sim::Context& ctx, NodeId backup) {
@@ -450,7 +443,7 @@ void PbrReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId
     req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
   }
   tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 160));
+  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
 }
 
 }  // namespace shadow::core

@@ -96,35 +96,14 @@ class PbrReplica {
     kDeposed,     // removed from the configuration
   };
 
-  struct ForwardBody {
-    ConfigSeq config = 0;
-    std::uint64_t order = 0;
-    workload::TxnRequest request;
-  };
-  struct AckBody {
-    ConfigSeq config = 0;
-    std::uint64_t order = 0;
-  };
-  struct ElectBody {
-    ConfigSeq config = 0;
-    std::uint64_t executed = 0;
-  };
-  struct CatchupBody {
-    ConfigSeq config = 0;
-    std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
-  };
-  struct SnapBeginBody {
-    ConfigSeq config = 0;
-    std::vector<db::TableSchema> schemas;
-    std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
-    std::uint64_t order = 0;  // executed-order the snapshot represents
-  };
-  struct SnapBatchBody {
-    db::Engine::SnapshotBatch batch;
-  };
-  struct SnapDoneBody {
-    ConfigSeq config = 0;
-  };
+  // Message bodies are the shared replication shapes (one codec each).
+  using ForwardBody = ReplForwardBody;
+  using AckBody = ReplAckBody;
+  using ElectBody = ReplElectBody;
+  using CatchupBody = ReplCatchupBody;
+  using SnapBeginBody = ReplSnapBeginBody;
+  using SnapBatchBody = ReplSnapBatchBody;
+  using SnapDoneBody = ReplSnapDoneBody;
 
   void on_message(sim::Context& ctx, const sim::Message& msg);
   void on_deliver(sim::Context& ctx, const tob::Command& cmd);
@@ -202,3 +181,23 @@ class PbrReplica {
 };
 
 }  // namespace shadow::core
+
+namespace shadow::wire {
+
+template <>
+struct Codec<core::RedirectBody> {
+  static void encode(BytesWriter& w, const core::RedirectBody& v) {
+    w.u32(v.primary.value);
+    w.u64(v.config);
+    w.u8(v.busy ? 1 : 0);
+  }
+  static core::RedirectBody decode(BytesReader& r) {
+    core::RedirectBody v;
+    v.primary = NodeId{r.u32()};
+    v.config = r.u64();
+    v.busy = r.u8() != 0;
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

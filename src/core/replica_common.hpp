@@ -1,18 +1,82 @@
 // Machinery shared by both ShadowDB replication protocols: transaction
-// execution against the local engine, at-most-once bookkeeping, and the
-// server-side cost model.
+// execution against the local engine, at-most-once bookkeeping, the
+// server-side cost model, and the replication message bodies that PBR,
+// chain replication and SMR state transfer all exchange (same shapes under
+// protocol-specific headers).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "consensus/types.hpp"
 #include "db/engine.hpp"
+#include "db/wire.hpp"
 #include "workload/messages.hpp"
 #include "workload/procedures.hpp"
 
 namespace shadow::core {
+
+// -- replication message bodies ----------------------------------------------
+//
+// PBR and chain replication exchange structurally identical messages under
+// distinct headers ("pbr-fwd" vs "chain-fwd"); SMR's snapshot state transfer
+// shares the snapshot bodies (with config = 0, order/rows as applicable).
+// One definition each, one wire codec each.
+
+/// Primary → backup (or chain successor): execute this transaction.
+struct ReplForwardBody {
+  ConfigSeq config = 0;
+  std::uint64_t order = 0;
+  workload::TxnRequest request;
+};
+
+/// Backup → primary: transaction at `order` executed.
+struct ReplAckBody {
+  ConfigSeq config = 0;
+  std::uint64_t order = 0;
+};
+
+/// Election round: (configuration, highest executed order).
+struct ReplElectBody {
+  ConfigSeq config = 0;
+  std::uint64_t executed = 0;
+};
+
+/// Catch-up from the bounded executed-transaction cache.
+struct ReplCatchupBody {
+  ConfigSeq config = 0;
+  std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
+};
+
+/// Snapshot stream prologue: schemas + dedup table + represented order.
+struct ReplSnapBeginBody {
+  ConfigSeq config = 0;
+  std::vector<db::TableSchema> schemas;
+  std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
+  std::uint64_t order = 0;  // executed-order the snapshot represents
+};
+
+/// One ~50 KB chunk of serialized rows.
+struct ReplSnapBatchBody {
+  db::Engine::SnapshotBatch batch;
+};
+
+/// Snapshot stream epilogue / recovery acknowledgement.
+struct ReplSnapDoneBody {
+  ConfigSeq config = 0;
+  std::uint64_t rows = 0;  // total rows restored (SMR reports it back)
+};
+
+/// Loopback handoff of a TOB delivery into the replica's own identity.
+struct DeliverHandoff {
+  Slot slot = 0;
+  std::uint64_t index = 0;
+  consensus::Command command;
+};
 
 /// Server-side virtual CPU costs beyond the engine's own (request decode,
 /// dispatch, reply marshalling). Replicas execute transactions in-process
@@ -70,3 +134,123 @@ class TxnExecutor {
 };
 
 }  // namespace shadow::core
+
+namespace shadow::wire {
+
+template <>
+struct Codec<core::ReplForwardBody> {
+  static void encode(BytesWriter& w, const core::ReplForwardBody& v) {
+    w.u64(v.config);
+    w.u64(v.order);
+    Codec<workload::TxnRequest>::encode(w, v.request);
+  }
+  static core::ReplForwardBody decode(BytesReader& r) {
+    core::ReplForwardBody v;
+    v.config = r.u64();
+    v.order = r.u64();
+    v.request = Codec<workload::TxnRequest>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplAckBody> {
+  static void encode(BytesWriter& w, const core::ReplAckBody& v) {
+    w.u64(v.config);
+    w.u64(v.order);
+  }
+  static core::ReplAckBody decode(BytesReader& r) {
+    core::ReplAckBody v;
+    v.config = r.u64();
+    v.order = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplElectBody> {
+  static void encode(BytesWriter& w, const core::ReplElectBody& v) {
+    w.u64(v.config);
+    w.u64(v.executed);
+  }
+  static core::ReplElectBody decode(BytesReader& r) {
+    core::ReplElectBody v;
+    v.config = r.u64();
+    v.executed = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplCatchupBody> {
+  static void encode(BytesWriter& w, const core::ReplCatchupBody& v) {
+    w.u64(v.config);
+    Codec<std::vector<std::pair<std::uint64_t, workload::TxnRequest>>>::encode(w, v.txns);
+  }
+  static core::ReplCatchupBody decode(BytesReader& r) {
+    core::ReplCatchupBody v;
+    v.config = r.u64();
+    v.txns = Codec<std::vector<std::pair<std::uint64_t, workload::TxnRequest>>>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplSnapBeginBody> {
+  static void encode(BytesWriter& w, const core::ReplSnapBeginBody& v) {
+    w.u64(v.config);
+    Codec<std::vector<db::TableSchema>>::encode(w, v.schemas);
+    Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::encode(w, v.dedup_seqs);
+    w.u64(v.order);
+  }
+  static core::ReplSnapBeginBody decode(BytesReader& r) {
+    core::ReplSnapBeginBody v;
+    v.config = r.u64();
+    v.schemas = Codec<std::vector<db::TableSchema>>::decode(r);
+    v.dedup_seqs = Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::decode(r);
+    v.order = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::ReplSnapBatchBody> {
+  static void encode(BytesWriter& w, const core::ReplSnapBatchBody& v) {
+    Codec<db::Engine::SnapshotBatch>::encode(w, v.batch);
+  }
+  static core::ReplSnapBatchBody decode(BytesReader& r) {
+    return {Codec<db::Engine::SnapshotBatch>::decode(r)};
+  }
+};
+
+template <>
+struct Codec<core::ReplSnapDoneBody> {
+  static void encode(BytesWriter& w, const core::ReplSnapDoneBody& v) {
+    w.u64(v.config);
+    w.u64(v.rows);
+  }
+  static core::ReplSnapDoneBody decode(BytesReader& r) {
+    core::ReplSnapDoneBody v;
+    v.config = r.u64();
+    v.rows = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::DeliverHandoff> {
+  static void encode(BytesWriter& w, const core::DeliverHandoff& v) {
+    w.u64(v.slot);
+    w.u64(v.index);
+    Codec<consensus::Command>::encode(w, v.command);
+  }
+  static core::DeliverHandoff decode(BytesReader& r) {
+    core::DeliverHandoff v;
+    v.slot = r.u64();
+    v.index = r.u64();
+    v.command = Codec<consensus::Command>::decode(r);
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

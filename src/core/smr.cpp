@@ -8,23 +8,11 @@ namespace shadow::core {
 
 namespace {
 
-struct SnapBeginBody {
-  std::vector<db::TableSchema> schemas;
-  std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
-};
-struct SnapBatchBody {
-  db::Engine::SnapshotBatch batch;
-};
-struct SnapDoneBody {
-  std::uint64_t rows = 0;
-};
-
-/// In-process hand-off of one TOB delivery from the service to the replica.
-struct DeliverHandoff {
-  Slot slot = 0;
-  std::uint64_t index = 0;
-  tob::Command command;
-};
+// SMR's state transfer reuses the shared replication snapshot bodies with
+// config = 0 (the TOB index, not a configuration number, orders its epochs).
+using SnapBeginBody = ReplSnapBeginBody;
+using SnapBatchBody = ReplSnapBatchBody;
+using SnapDoneBody = ReplSnapDoneBody;
 
 constexpr const char* kHbHeader = "smr-hb";
 constexpr const char* kSmrDeliverHeader = "smr-deliver";
@@ -57,8 +45,7 @@ SmrReplica::SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
   // process genuinely stops executing even if the service node survives.
   tob_.subscribe_local([this](sim::Context& ctx, Slot slot, std::uint64_t index,
                               const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd},
-                                  48 + cmd.payload.size()));
+    ctx.send(self_, sim::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd}));
   });
   world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
     on_message(ctx, msg);
@@ -146,12 +133,11 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     for (const auto& [client, entry] : executor_.dedup_table()) {
       begin.dedup_seqs.emplace_back(client, entry.first);
     }
-    ctx.send(msg.from, sim::make_msg(kSnapBeginHeader, begin, 256));
+    ctx.send(msg.from, sim::make_msg(kSnapBeginHeader, std::move(begin)));
     for (const auto& batch : snap.batches) {
-      ctx.send(msg.from, sim::make_msg(kSnapBatchHeader, SnapBatchBody{batch},
-                                       batch.data.size() + 64));
+      ctx.send(msg.from, sim::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
     }
-    ctx.send(msg.from, sim::make_msg(kSnapDoneHeader, SnapDoneBody{snap.total_rows}, 32));
+    ctx.send(msg.from, sim::make_msg(kSnapDoneHeader, SnapDoneBody{0, snap.total_rows}));
     return;
   }
   if (msg.header == kSnapBeginHeader) {
@@ -222,7 +208,7 @@ void SmrReplica::on_heartbeat_tick(sim::Context& ctx) {
                       db::Value(static_cast<std::int64_t>(replacement.value)),
                       db::Value(static_cast<std::int64_t>(self_.value))};
         tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-        ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, body, 128));
+        ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
       }
     }
   }

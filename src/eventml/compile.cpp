@@ -4,11 +4,12 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "wire/framing.hpp"
 
 namespace shadow::eventml {
 
 sim::Message make_dsl_msg(const std::string& header, ValuePtr body) {
-  const std::size_t wire = 24 + header.size() + value_wire_size(body);
+  const std::size_t wire = wire::kFrameOverhead + header.size() + value_wire_size(body);
   return sim::make_msg(header, std::move(body), wire);
 }
 

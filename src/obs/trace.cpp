@@ -22,6 +22,7 @@ struct KindName {
 constexpr KindName kKindNames[] = {
     {EventKind::kMsgSend, "msg_send"},
     {EventKind::kMsgDeliver, "msg_deliver"},
+    {EventKind::kMsgDrop, "msg_drop"},
     {EventKind::kTobBroadcast, "tob_broadcast"},
     {EventKind::kTobPropose, "tob_propose"},
     {EventKind::kTobDecide, "tob_decide"},
@@ -152,6 +153,7 @@ Trace Tracer::snapshot() const {
 void Tracer::on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) {
   metrics_.counter("net.messages").add();
   metrics_.counter("net.bytes").add(m.wire_size);
+  metrics_.counter("net.bytes." + m.header).add(m.wire_size);
   if (!options_.record_messages) return;
   TraceEvent e;
   e.time = t;
@@ -171,6 +173,21 @@ void Tracer::on_deliver(sim::Time t, NodeId to, const sim::Message& m) {
   e.node = to;
   e.a = m.from.value;
   e.label = intern(m.header);
+  append(e);
+}
+
+void Tracer::on_wire_drop(sim::Time t, NodeId from, NodeId to, const std::string& header,
+                          std::size_t wire_size, wire::FrameStatus reason) {
+  metrics_.counter("net.wire_drops").add();
+  metrics_.counter("net.wire_drop_bytes").add(wire_size);
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kMsgDrop;
+  e.node = from;
+  e.a = to.value;
+  e.b = wire_size;
+  e.c = static_cast<std::uint64_t>(reason);
+  e.label = intern(header);
   append(e);
 }
 

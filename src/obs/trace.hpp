@@ -31,6 +31,7 @@ namespace shadow::obs {
 enum class EventKind : std::uint8_t {
   kMsgSend,        // node=from, a=to, b=wire bytes, label=header
   kMsgDeliver,     // node=to, a=from, label=header
+  kMsgDrop,        // node=from, a=to, b=wire bytes, c=wire::FrameStatus, label=header
   kTobBroadcast,   // node=frontend, client/seq of the command
   kTobPropose,     // node, a=slot, b=batch size
   kTobDecide,      // node, a=slot, b=batch size
@@ -108,6 +109,8 @@ class Tracer final : public sim::WorldObserver {
   void on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) override;
   void on_deliver(sim::Time t, NodeId to, const sim::Message& m) override;
   void on_crash(sim::Time t, NodeId node) override;
+  void on_wire_drop(sim::Time t, NodeId from, NodeId to, const std::string& header,
+                    std::size_t wire_size, wire::FrameStatus reason) override;
 
   // -- broadcast service ----------------------------------------------------
   void tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq seq);

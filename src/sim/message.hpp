@@ -2,7 +2,11 @@
 //
 // A message carries an EventML-style string header (base classes in the DSL
 // pattern-match on it), a type-erased immutable body, and a wire size used
-// by the network's bandwidth model.
+// by the network's bandwidth model. For bodies with a wire::Codec, the wire
+// size is the *exact* encoded frame length and the pre-encoded body bytes
+// ride along so the network can transmit, corrupt, and round-trip real bytes
+// (wire-fidelity mode). Bodies without codecs (DSL values, test doubles)
+// must state their wire size explicitly.
 #pragma once
 
 #include <any>
@@ -13,6 +17,8 @@
 
 #include "common/check.hpp"
 #include "common/ids.hpp"
+#include "wire/framing.hpp"
+#include "wire/registry.hpp"
 
 namespace shadow::sim {
 
@@ -23,16 +29,36 @@ struct Message {
   NodeId from{};
   std::uint64_t uid = 0;                 // per-transmission identity, assigned by the
                                          // network; lets LoE match sends to receives
+  std::shared_ptr<const Bytes> encoded_body;  // exact body bytes (codec-built messages)
 
   bool has_body() const { return body != nullptr && body->has_value(); }
 };
 
-/// Builds a message; wire size defaults to a small framing estimate and
-/// should be overridden for bodies with meaningful sizes (snapshots, batches).
+/// Builds a message from a codec-equipped body: registers the header's codec,
+/// encodes once, and sets wire_size to the exact frame length.
 template <typename T>
-Message make_msg(std::string header, T body, std::size_t wire_size = 0) {
+  requires wire::Encodable<std::decay_t<T>>
+Message make_msg(std::string header, T&& body) {
+  using Body = std::decay_t<T>;
+  wire::registry().ensure<Body>(header);
   Message m;
-  m.wire_size = wire_size != 0 ? wire_size : sizeof(T) + header.size() + 24;
+  Body value = std::forward<T>(body);
+  m.encoded_body = std::make_shared<const Bytes>(wire::encode_body(value));
+  m.wire_size = wire::frame_size(header.size(), m.encoded_body->size());
+  m.header = std::move(header);
+  m.body = std::make_shared<const std::any>(std::move(value));
+  return m;
+}
+
+/// Builds a message with an explicitly stated wire size, for bodies without
+/// a codec (eventml DSL values, latency-model test doubles). The old default
+/// estimate (`sizeof(T) + header + 24`) is gone: it badly undercounted
+/// heap-owning bodies, so callers must either provide a codec or be honest.
+template <typename T>
+Message make_msg(std::string header, T body, std::size_t wire_size) {
+  SHADOW_REQUIRE_MSG(wire_size > 0, "explicit wire size must be positive");
+  Message m;
+  m.wire_size = wire_size;
   m.header = std::move(header);
   m.body = std::make_shared<const std::any>(std::move(body));
   return m;
@@ -40,7 +66,7 @@ Message make_msg(std::string header, T body, std::size_t wire_size = 0) {
 
 inline Message make_signal(std::string header) {
   Message m;
-  m.wire_size = header.size() + 24;
+  m.wire_size = wire::frame_size(header.size(), 0);
   m.header = std::move(header);
   return m;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "wire/registry.hpp"
 
 namespace shadow::sim {
 
@@ -144,6 +145,14 @@ bool World::crashed(NodeId node) const {
   return nodes_[node.value].crashed || machines_[nodes_[node.value].machine.value].crashed;
 }
 
+void World::set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+  link_faults_[channel_key(from, to)] = fault;
+}
+
+void World::clear_link_fault(NodeId from, NodeId to) {
+  link_faults_.erase(channel_key(from, to));
+}
+
 void World::set_partitioned(NodeId a, NodeId b, bool blocked) {
   if (blocked) {
     partitions_.insert(channel_key(a, b));
@@ -227,10 +236,63 @@ void World::deliver(NodeId from, NodeId to, Message msg, Time send_time) {
   arrival = std::max(arrival, last);
   last = arrival;
 
-  schedule_at(arrival, 0, [this, to, m = std::move(msg)]() mutable {
+  schedule_at(arrival, 0, [this, from, to, m = std::move(msg)]() mutable {
     if (crashed(to)) return;
+    const bool byte_path = wire_fidelity_ || link_faults_.count(channel_key(from, to)) > 0;
+    if (byte_path && !transmit_bytes(from, to, m)) return;  // corruption-as-loss
     enqueue_job(Job{to, now_, std::move(m)});
   });
+}
+
+bool World::transmit_bytes(NodeId from, NodeId to, Message& msg) {
+  SHADOW_CHECK_MSG(!msg.has_body() || msg.encoded_body != nullptr,
+                   "wire fidelity: message '" + msg.header +
+                       "' was built without a codec (explicit-size make_msg)");
+  static const Bytes kNoBody;
+  const Bytes& body_bytes = msg.encoded_body ? *msg.encoded_body : kNoBody;
+  Bytes frame = wire::encode_frame(msg.header, body_bytes);
+  SHADOW_CHECK_MSG(frame.size() == msg.wire_size,
+                   "message '" + msg.header + "' wire_size drifted from its encoded frame");
+
+  if (const auto it = link_faults_.find(channel_key(from, to)); it != link_faults_.end()) {
+    bool faulted = false;
+    if (it->second.corrupt_prob > 0 && rng_.chance(it->second.corrupt_prob)) {
+      // Flip one byte anywhere in the frame (prologue, header, or body).
+      const std::size_t pos = rng_.index(frame.size());
+      frame[pos] ^= static_cast<std::uint8_t>(1 + rng_.index(255));
+      faulted = true;
+    }
+    if (it->second.truncate_prob > 0 && rng_.chance(it->second.truncate_prob)) {
+      frame.resize(rng_.index(frame.size()));
+      faulted = true;
+    }
+    if (faulted) ++frames_faulted_;
+  }
+
+  wire::FrameView view;
+  const wire::FrameStatus status = wire::decode_frame(frame, view);
+  if (status != wire::FrameStatus::kOk) {
+    // The checksum (or length prologue) caught the damage: the receiver
+    // discards the frame, and the protocol above sees a lost message.
+    ++wire_drops_;
+    for (WorldObserver* obs : observers_) {
+      obs->on_wire_drop(now_, from, to, msg.header, msg.wire_size, status);
+    }
+    return false;
+  }
+  SHADOW_CHECK(view.header == msg.header);
+  if (msg.has_body()) {
+    // The handler receives the freshly decoded body, not the sender's
+    // object: any state shared through the shared_ptr body is severed.
+    std::shared_ptr<const std::any> decoded = wire::registry().decode(msg.header, view.body);
+    if (wire_fidelity_) {
+      const Bytes reencoded = wire::registry().encode(msg.header, *decoded);
+      SHADOW_CHECK_MSG(reencoded == body_bytes,
+                       "message '" + msg.header + "' does not round-trip byte-identically");
+    }
+    msg.body = std::move(decoded);
+  }
+  return true;
 }
 
 Time World::link_latency(NodeId from, NodeId to, std::size_t wire_size) {

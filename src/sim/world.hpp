@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "sim/message.hpp"
 #include "sim/time.hpp"
+#include "wire/framing.hpp"
 
 namespace shadow::sim {
 
@@ -89,6 +90,19 @@ class WorldObserver {
   virtual void on_send(Time /*t*/, NodeId /*from*/, NodeId /*to*/, const Message& /*m*/) {}
   virtual void on_deliver(Time /*t*/, NodeId /*to*/, const Message& /*m*/) {}
   virtual void on_crash(Time /*t*/, NodeId /*node*/) {}
+  /// A frame failed checksum/length validation at delivery and was dropped
+  /// (byte-level fault injection surfaces corruption as loss).
+  virtual void on_wire_drop(Time /*t*/, NodeId /*from*/, NodeId /*to*/,
+                            const std::string& /*header*/, std::size_t /*wire_size*/,
+                            wire::FrameStatus /*reason*/) {}
+};
+
+/// Byte-level fault model for one directed link: each frame crossing it is
+/// independently corrupted (one byte flipped) or truncated (tail cut) with
+/// the given probabilities, drawn from the world's seeded RNG.
+struct LinkFault {
+  double corrupt_prob = 0.0;
+  double truncate_prob = 0.0;
 };
 
 struct NetworkConfig {
@@ -137,6 +151,23 @@ class World {
   bool crashed(NodeId node) const;
   /// Cut (or heal) the link between two nodes, both directions.
   void set_partitioned(NodeId a, NodeId b, bool blocked);
+
+  // -- wire fidelity / byte-level fault injection ---------------------------
+  /// When on, every codec-built message is encoded to a real frame at send
+  /// and decoded at delivery; the handler sees the freshly decoded body (so
+  /// shared mutable state cannot be smuggled through shared_ptr bodies), and
+  /// the decode is re-encoded and checked byte-identical (round-trip proof).
+  void set_wire_fidelity(bool on) { wire_fidelity_ = on; }
+  bool wire_fidelity() const { return wire_fidelity_; }
+
+  /// Installs (or updates) a byte-level fault model on the directed link
+  /// from→to. Corrupted/truncated frames fail frame validation at delivery
+  /// and are dropped, surfaced via WorldObserver::on_wire_drop.
+  void set_link_fault(NodeId from, NodeId to, LinkFault fault);
+  void clear_link_fault(NodeId from, NodeId to);
+
+  std::uint64_t frames_faulted() const { return frames_faulted_; }
+  std::uint64_t wire_drops() const { return wire_drops_; }
 
   // -- observation ----------------------------------------------------------
   void add_observer(WorldObserver* obs) { observers_.push_back(obs); }
@@ -190,6 +221,10 @@ class World {
   void run_job(MachineId machine);
   void release_outbox(Context& ctx, Time completion);
   void deliver(NodeId from, NodeId to, Message msg, Time send_time);
+  /// Runs the byte path for one message: encode, inject faults, validate,
+  /// decode. Returns false if the frame was dropped (corruption-as-loss);
+  /// on success `msg` carries the freshly decoded body.
+  bool transmit_bytes(NodeId from, NodeId to, Message& msg);
   Time link_latency(NodeId from, NodeId to, std::size_t wire_size);
   static std::uint64_t channel_key(NodeId from, NodeId to) {
     return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
@@ -209,6 +244,10 @@ class World {
   std::vector<WorldObserver*> observers_;
   std::uint64_t delivered_count_ = 0;
   std::uint64_t msg_uid_counter_ = 0;
+  bool wire_fidelity_ = false;
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  std::uint64_t frames_faulted_ = 0;  // frames mutated by fault injection
+  std::uint64_t wire_drops_ = 0;      // frames dropped at delivery validation
 };
 
 }  // namespace shadow::sim

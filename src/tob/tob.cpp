@@ -7,20 +7,6 @@
 
 namespace shadow::tob {
 
-namespace {
-
-std::size_t command_wire_size(const Command& cmd) { return 40 + cmd.payload.size(); }
-
-/// Commands relayed from a non-proposing service node to the protocol's
-/// preferred proposer (the Paxos leader), batched, with the original sender
-/// kept so the delivery notification still reaches it.
-struct RelayBody {
-  std::vector<std::pair<Command, NodeId>> items;
-};
-constexpr const char* kRelayHeader = "tob-relay";
-
-}  // namespace
-
 TobNode::TobNode(sim::World& world, NodeId self, TobConfig config,
                  consensus::SafetyRecorder* safety)
     : world_(world), self_(self), config_(std::move(config)) {
@@ -91,7 +77,7 @@ void TobNode::on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from) {
   if (delivered_keys_.count(key) > 0) {
     // Duplicate of an already-delivered command (client retry): re-ack so
     // the broadcast is at-most-once from the subscriber's point of view.
-    ctx.send(from, sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}, 48));
+    ctx.send(from, sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}));
     return;
   }
   const bool already_pending =
@@ -118,7 +104,6 @@ void TobNode::maybe_propose(sim::Context& ctx) {
   // we propose them ourselves, which also drives leader failover.
   if (const auto hint = module_->proposer_hint(); hint && *hint != self_) {
     RelayBody relay;
-    std::size_t wire = 16;
     std::size_t self_eligible = 0;
     for (PendingCommand& p : pending_) {
       if (p.in_flight) continue;
@@ -128,12 +113,11 @@ void TobNode::maybe_propose(sim::Context& ctx) {
       }
       if (p.relayed_at != 0) continue;  // already with the leader
       relay.items.emplace_back(p.command, p.origin);
-      wire += command_wire_size(p.command) + 8;
       p.relayed_at = ctx.now();
     }
     if (!relay.items.empty()) {
       config_.profile.charge_control(ctx);
-      ctx.send(*hint, sim::make_msg(kRelayHeader, std::move(relay), wire));
+      ctx.send(*hint, sim::make_msg(kRelayHeader, std::move(relay)));
     }
     if (self_eligible == 0) return;
   }
@@ -205,8 +189,7 @@ void TobNode::deliver_ready(sim::Context& ctx) {
 
       if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
       for (NodeId sub : remote_subscribers_) {
-        ctx.send(sub, sim::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd},
-                                    command_wire_size(cmd)));
+        ctx.send(sub, sim::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd}));
       }
       // Ack the broadcaster if the command entered the system through us —
       // unless we relayed it to the leader, whose own pending entry acks
@@ -217,7 +200,7 @@ void TobNode::deliver_ready(sim::Context& ctx) {
           const bool relayed_elsewhere = p->relayed_at != 0 && !p->relay_expired;
           if (!relayed_elsewhere) {
             ctx.send(p->origin,
-                     sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}, 48));
+                     sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}));
           }
           pending_.erase(p);
           break;

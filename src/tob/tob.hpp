@@ -46,6 +46,8 @@ using consensus::Command;
 inline constexpr const char* kBroadcastHeader = "tob-broadcast";
 inline constexpr const char* kAckHeader = "tob-ack";
 inline constexpr const char* kDeliverHeader = "tob-deliver";
+/// Internal: commands forwarded from a frontend to the preferred proposer.
+inline constexpr const char* kRelayHeader = "tob-relay";
 
 /// Body of tob-broadcast messages.
 struct BroadcastBody {
@@ -64,6 +66,13 @@ struct DeliverBody {
   Slot slot = 0;
   std::uint64_t index = 0;  // global delivery index
   Command command;
+};
+
+/// Body of tob-relay: commands relayed from a non-proposing service node to
+/// the protocol's preferred proposer (the Paxos leader), batched, with the
+/// original sender kept so the delivery notification still reaches it.
+struct RelayBody {
+  std::vector<std::pair<Command, NodeId>> items;
 };
 
 enum class Protocol : std::uint8_t { kPaxos, kTwoThird };
@@ -150,3 +159,59 @@ TobService make_service(sim::World& world, const TobConfig& config,
                         consensus::SafetyRecorder* safety = nullptr);
 
 }  // namespace shadow::tob
+
+namespace shadow::wire {
+
+template <>
+struct Codec<tob::BroadcastBody> {
+  static void encode(BytesWriter& w, const tob::BroadcastBody& v) {
+    Codec<tob::Command>::encode(w, v.command);
+  }
+  static tob::BroadcastBody decode(BytesReader& r) {
+    return {Codec<tob::Command>::decode(r)};
+  }
+};
+
+template <>
+struct Codec<tob::AckBody> {
+  static void encode(BytesWriter& w, const tob::AckBody& v) {
+    w.u32(v.client.value);
+    w.u64(v.seq);
+    w.u64(v.slot);
+  }
+  static tob::AckBody decode(BytesReader& r) {
+    tob::AckBody v;
+    v.client = ClientId{r.u32()};
+    v.seq = r.u64();
+    v.slot = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<tob::DeliverBody> {
+  static void encode(BytesWriter& w, const tob::DeliverBody& v) {
+    w.u64(v.slot);
+    w.u64(v.index);
+    Codec<tob::Command>::encode(w, v.command);
+  }
+  static tob::DeliverBody decode(BytesReader& r) {
+    tob::DeliverBody v;
+    v.slot = r.u64();
+    v.index = r.u64();
+    v.command = Codec<tob::Command>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<tob::RelayBody> {
+  static void encode(BytesWriter& w, const tob::RelayBody& v) {
+    Codec<std::vector<std::pair<tob::Command, NodeId>>>::encode(w, v.items);
+  }
+  static tob::RelayBody decode(BytesReader& r) {
+    return {Codec<std::vector<std::pair<tob::Command, NodeId>>>::decode(r)};
+  }
+};
+
+}  // namespace shadow::wire

@@ -1,0 +1,56 @@
+// Wire framing: [magic u32][version u32][header_len u32][body_len u32]
+//               [checksum u64][header bytes][body bytes]
+//
+// The fixed 24-byte prologue is `kFrameOverhead` — the single source of the
+// `+ 24` framing constant that used to be duplicated across `make_msg` and
+// `make_signal`. The checksum is FNV-1a over header + body, so single-byte
+// corruption and truncation injected by the simulator's fault model are
+// detected at delivery and surfaced as message drops (corruption-as-loss).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace shadow::wire {
+
+/// Fixed per-message framing bytes (magic + version + two lengths + checksum).
+inline constexpr std::size_t kFrameOverhead = 24;
+
+inline constexpr std::uint32_t kFrameMagic = 0x57424453;  // "SDBW", little-endian
+inline constexpr std::uint32_t kFrameVersion = 1;
+
+/// Total frame length for a header/body of the given sizes.
+constexpr std::size_t frame_size(std::size_t header_len, std::size_t body_len) {
+  return kFrameOverhead + header_len + body_len;
+}
+
+/// FNV-1a 64-bit over header bytes then body bytes.
+std::uint64_t frame_checksum(std::string_view header, std::span<const std::uint8_t> body);
+
+/// Serializes a complete frame.
+Bytes encode_frame(std::string_view header, std::span<const std::uint8_t> body);
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kBadMagic = 1,          // prologue corrupted beyond recognition
+  kTruncated = 2,         // frame shorter than its declared lengths
+  kChecksumMismatch = 3,  // payload bytes corrupted
+};
+
+const char* to_string(FrameStatus status);
+
+/// Parsed view into a valid frame (spans point into the caller's buffer).
+struct FrameView {
+  std::string_view header;
+  std::span<const std::uint8_t> body;
+};
+
+/// Validates and splits a frame. On any status other than kOk the view is
+/// unspecified and must not be used.
+FrameStatus decode_frame(std::span<const std::uint8_t> frame, FrameView& out);
+
+}  // namespace shadow::wire

@@ -27,22 +27,12 @@ TxnRequest decode_request(const std::string& payload) {
   return req;
 }
 
-std::size_t request_wire_size(const TxnRequest& req) {
-  return 32 + req.proc.size() + db::row_wire_size(req.params);
-}
-
-std::size_t response_wire_size(const TxnResponse& resp) {
-  std::size_t n = 48 + resp.error.size();
-  for (const db::Row& row : resp.rows) n += db::row_wire_size(row);
-  return n;
-}
-
 sim::Message make_request_msg(const TxnRequest& req) {
-  return sim::make_msg(kTxnRequestHeader, req, request_wire_size(req));
+  return sim::make_msg(kTxnRequestHeader, req);
 }
 
 sim::Message make_response_msg(const TxnResponse& resp) {
-  return sim::make_msg(kTxnResponseHeader, resp, response_wire_size(resp));
+  return sim::make_msg(kTxnResponseHeader, resp);
 }
 
 }  // namespace shadow::workload

@@ -8,6 +8,7 @@
 
 #include "common/ids.hpp"
 #include "db/value.hpp"
+#include "db/wire.hpp"
 #include "sim/message.hpp"
 #include "workload/procedures.hpp"
 
@@ -37,10 +38,51 @@ struct TxnResponse {
 std::string encode_request(const TxnRequest& req);
 TxnRequest decode_request(const std::string& payload);
 
-std::size_t request_wire_size(const TxnRequest& req);
-std::size_t response_wire_size(const TxnResponse& resp);
-
 sim::Message make_request_msg(const TxnRequest& req);
 sim::Message make_response_msg(const TxnResponse& resp);
 
 }  // namespace shadow::workload
+
+namespace shadow::wire {
+
+template <>
+struct Codec<workload::TxnRequest> {
+  static void encode(BytesWriter& w, const workload::TxnRequest& v) {
+    w.u32(v.client.value);
+    w.u64(v.seq);
+    w.u32(v.reply_to.value);
+    w.str(v.proc);
+    Codec<db::Row>::encode(w, v.params);
+  }
+  static workload::TxnRequest decode(BytesReader& r) {
+    workload::TxnRequest v;
+    v.client = ClientId{r.u32()};
+    v.seq = r.u64();
+    v.reply_to = NodeId{r.u32()};
+    v.proc = r.str();
+    v.params = Codec<db::Row>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<workload::TxnResponse> {
+  static void encode(BytesWriter& w, const workload::TxnResponse& v) {
+    w.u32(v.client.value);
+    w.u64(v.seq);
+    w.u8(v.committed ? 1 : 0);
+    Codec<std::vector<db::Row>>::encode(w, v.rows);
+    w.str(v.error);
+  }
+  static workload::TxnResponse decode(BytesReader& r) {
+    workload::TxnResponse v;
+    v.client = ClientId{r.u32()};
+    v.seq = r.u64();
+    v.committed = r.u8() != 0;
+    v.rows = Codec<std::vector<db::Row>>::decode(r);
+    v.error = r.str();
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

@@ -55,7 +55,8 @@ TEST_P(ConsensusScheduleTest, SafetyHoldsUnderRandomSchedules) {
     const std::size_t target = rng.index(schedule.nodes);
     world.schedule(at - world.now() + 1, [&world, &config, client, target, s]() {
       tob::BroadcastBody body{Command{ClientId{1}, s, "payload"}};
-      world.post(client, config.nodes[target], sim::make_msg(tob::kBroadcastHeader, body, 64));
+      world.post(client, config.nodes[target],
+                 sim::make_msg(tob::kBroadcastHeader, std::move(body)));
     });
   }
 

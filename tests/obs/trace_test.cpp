@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "wire/codec.hpp"
+#include "wire/framing.hpp"
 #include "sim/world.hpp"
 
 namespace shadow::obs {
@@ -143,12 +145,17 @@ TEST(Tracer, AttachedToWorldRecordsNetworkAndCrashes) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   world.set_handler(b, [](sim::Context&, const sim::Message&) {});
-  world.post(a, b, sim::make_msg("ping", std::string("x"), 32));
+  const sim::Message ping = sim::make_msg("ping", std::string("x"));
+  const std::size_t ping_bytes = ping.wire_size;
+  EXPECT_EQ(ping_bytes,
+            wire::frame_size(4, wire::body_size(std::string("x"))));  // exact, not estimated
+  world.post(a, b, ping);
   world.run_until(1000000);
   world.crash(b);
 
   EXPECT_EQ(tracer.metrics().counter("net.messages").value(), 1u);
-  EXPECT_EQ(tracer.metrics().counter("net.bytes").value(), 32u);
+  EXPECT_EQ(tracer.metrics().counter("net.bytes").value(), ping_bytes);
+  EXPECT_EQ(tracer.metrics().counter("net.bytes.ping").value(), ping_bytes);
   EXPECT_EQ(tracer.metrics().counter("replica.crashes").value(), 1u);
 
   const Trace trace = tracer.snapshot();
@@ -161,7 +168,7 @@ TEST(Tracer, AttachedToWorldRecordsNetworkAndCrashes) {
       EXPECT_EQ(trace.label_of(e), "ping");
       EXPECT_EQ(e.node, a);
       EXPECT_EQ(e.a, b.value);
-      EXPECT_EQ(e.b, 32u);
+      EXPECT_EQ(e.b, ping_bytes);
     }
     if (e.kind == EventKind::kMsgDeliver) {
       saw_deliver = true;
@@ -185,7 +192,7 @@ TEST(Tracer, RecordMessagesOffStillCountsNetworkMetrics) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   world.set_handler(b, [](sim::Context&, const sim::Message&) {});
-  world.post(a, b, sim::make_msg("ping", std::string("x"), 32));
+  world.post(a, b, sim::make_msg("ping", std::string("x")));
   world.run_until(1000000);
 
   EXPECT_EQ(tracer.metrics().counter("net.messages").value(), 1u);

@@ -31,7 +31,7 @@ struct RelayFixture {
   void broadcast(std::size_t target, RequestSeq seq) {
     world.post(client, config.nodes[target],
                sim::make_msg(kBroadcastHeader,
-                             BroadcastBody{Command{ClientId{1}, seq, "x"}}, 64));
+                             BroadcastBody{Command{ClientId{1}, seq, "x"}}));
   }
 };
 

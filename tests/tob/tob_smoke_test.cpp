@@ -33,8 +33,8 @@ struct Fixture {
   void broadcast(std::size_t target, ClientId client, RequestSeq seq,
                  std::string payload = "p") {
     Command cmd{client, seq, std::move(payload)};
-    world.post(client_node, service_nodes[target], sim::make_msg(kBroadcastHeader,
-                                                                 BroadcastBody{cmd}, 64));
+    world.post(client_node, service_nodes[target],
+               sim::make_msg(kBroadcastHeader, BroadcastBody{std::move(cmd)}));
   }
 
   std::vector<std::vector<Command>> logs() const {
