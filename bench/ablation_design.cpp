@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "baselines/baseline_server.hpp"
 #include "common/bench_util.hpp"
 #include "common/stats.hpp"
@@ -49,27 +50,27 @@ TobRun run_tob(tob::Protocol protocol, std::size_t batch_max, std::size_t n_clie
     NodeId node;
     ClientId id;
     RequestSeq seq = 0;
-    sim::Time sent = 0;
+    net::Time sent = 0;
     std::uint64_t done = 0;
     LatencyStats lat;
   };
   std::vector<Client> clients(n_clients);
-  const sim::Time warmup = tier == gpm::ExecutionTier::kCompiled ? 1000000 : 15000000;
-  const sim::Time horizon = tier == gpm::ExecutionTier::kCompiled ? 9000000 : 90000000;
+  const net::Time warmup = tier == gpm::ExecutionTier::kCompiled ? 1000000 : 15000000;
+  const net::Time horizon = tier == gpm::ExecutionTier::kCompiled ? 9000000 : 90000000;
   for (std::size_t i = 0; i < n_clients; ++i) {
     Client& c = clients[i];
     c.node = world.add_node("c" + std::to_string(i));
     c.id = ClientId{static_cast<std::uint32_t>(i + 1)};
     const NodeId target = config.nodes[0];
-    auto send_next = std::make_shared<std::function<void(sim::Context&)>>();
-    *send_next = [&c, target](sim::Context& ctx) {
+    auto send_next = std::make_shared<std::function<void(net::NodeContext&)>>();
+    *send_next = [&c, target](net::NodeContext& ctx) {
       ++c.seq;
       c.sent = ctx.now();
       ctx.send(target, sim::make_msg(tob::kBroadcastHeader,
                                      tob::BroadcastBody{tob::Command{c.id, c.seq,
                                                                      std::string(140, 'x')}}));
     };
-    world.set_handler(c.node, [&c, warmup, send_next](sim::Context& ctx,
+    world.set_handler(c.node, [&c, warmup, send_next](net::NodeContext& ctx,
                                                       const sim::Message& msg) {
       if (msg.header != tob::kAckHeader) return;
       const auto& ack = sim::msg_body<tob::AckBody>(msg);
@@ -80,7 +81,7 @@ TobRun run_tob(tob::Protocol protocol, std::size_t batch_max, std::size_t n_clie
       }
       (*send_next)(ctx);
     });
-    world.schedule_timer_for_node(c.node, 1, [send_next](sim::Context& ctx) {
+    world.schedule_timer_for_node(c.node, 1, [send_next](net::NodeContext& ctx) {
       (*send_next)(ctx);
     });
   }
@@ -123,8 +124,8 @@ double pbr_downtime_seconds(bool overlap) {
   opts.pbr.txn_cache_max = 64;
   core::PbrCluster cluster = core::make_pbr_cluster(world, opts);
 
-  sim::Time last_commit_before = 0;
-  sim::Time first_commit_after = 0;
+  net::Time last_commit_before = 0;
+  net::Time first_commit_after = 0;
   const NodeId node = world.add_node("client");
   core::DbClient::Options copts;
   copts.mode = core::DbClient::Mode::kDirect;
@@ -136,8 +137,8 @@ double pbr_downtime_seconds(bool overlap) {
     return std::make_pair(std::string(workload::bank::kDepositProc),
                           workload::bank::make_deposit(*rng, bank));
   });
-  const sim::Time crash_at = 1000000;
-  client.set_commit_hook([&](sim::Time t) {
+  const net::Time crash_at = 1000000;
+  client.set_commit_hook([&](net::Time t) {
     if (t <= crash_at) {
       last_commit_before = t;
     } else if (first_commit_after == 0) {
@@ -242,7 +243,7 @@ int main() {
             }));
         clients.back()->start();
       }
-      sim::Time horizon = 0;
+      net::Time horizon = 0;
       while (true) {
         horizon += 20000;
         world.run_until(horizon);
@@ -314,7 +315,7 @@ int main() {
             }));
         clients.back()->start();
       }
-      sim::Time horizon = 0;
+      net::Time horizon = 0;
       while (true) {
         horizon += 20000;
         world.run_until(horizon);

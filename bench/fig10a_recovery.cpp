@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "common/bench_util.hpp"
 #include "core/shadowdb.hpp"
 #include "loe/recorder.hpp"
@@ -22,9 +23,9 @@
 namespace shadow::bench {
 namespace {
 
-constexpr sim::Time kCrashAt = 15000000;       // 15 s
-constexpr sim::Time kDetection = 10000000;     // 10 s ("detection time is configurable")
-constexpr sim::Time kRunFor = 60000000;        // 60 s timeline, as in the figure
+constexpr net::Time kCrashAt = 15000000;       // 15 s
+constexpr net::Time kDetection = 10000000;     // 10 s ("detection time is configurable")
+constexpr net::Time kRunFor = 60000000;        // 60 s timeline, as in the figure
 
 }  // namespace
 }  // namespace shadow::bench
@@ -67,24 +68,24 @@ int main() {
           return std::make_pair(std::string(workload::bank::kDepositProc),
                                 workload::bank::make_deposit(*rng, bank));
         }));
-    clients.back()->set_commit_hook([&timeline](sim::Time t) { timeline.add(t); });
+    clients.back()->set_commit_hook([&timeline](net::Time t) { timeline.add(t); });
     clients.back()->start();
   }
 
   // Observe the reconfiguration delivery (the tob-ack for the proposal).
   struct ReconfigObserver final : sim::WorldObserver {
-    sim::Time proposal_broadcast = 0;
-    sim::Time proposal_delivered = 0;
-    sim::Time first_snapshot_batch = 0;
-    sim::Time snapshot_done = 0;
-    void on_send(sim::Time t, NodeId, NodeId, const sim::Message& m) override {
+    net::Time proposal_broadcast = 0;
+    net::Time proposal_delivered = 0;
+    net::Time first_snapshot_batch = 0;
+    net::Time snapshot_done = 0;
+    void on_send(net::Time t, NodeId, NodeId, const sim::Message& m) override {
       if (m.header == tob::kBroadcastHeader && proposal_broadcast == 0) proposal_broadcast = t;
       if (m.header == core::kPbrSnapBatchHeader && first_snapshot_batch == 0) {
         first_snapshot_batch = t;
       }
       if (m.header == core::kPbrRecoveredHeader) snapshot_done = t;
     }
-    void on_deliver(sim::Time t, NodeId, const sim::Message& m) override {
+    void on_deliver(net::Time t, NodeId, const sim::Message& m) override {
       if (m.header == core::kPbrDeliverHeader && proposal_delivered == 0) {
         proposal_delivered = t;
       }

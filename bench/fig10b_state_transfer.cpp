@@ -58,10 +58,10 @@ double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits,
 
   auto dest = std::make_shared<db::Engine>(dest_traits);
   bool done = false;
-  sim::Time done_at = 0;
+  net::Time done_at = 0;
   std::size_t batches_left = 0;
 
-  world.set_handler(dst, [&](sim::Context& ctx, const sim::Message& msg) {
+  world.set_handler(dst, [&](net::NodeContext& ctx, const sim::Message& msg) {
     if (msg.header == "snap-batch") {
       const auto& batch = sim::msg_body<db::Engine::SnapshotBatch>(msg);
       ctx.charge(dest->restore_batch(batch));
@@ -78,7 +78,7 @@ double transfer_seconds(db::Engine& source, const db::EngineTraits& dest_traits,
     }
   });
 
-  world.schedule_timer_for_node(src, 1, [&](sim::Context& ctx) {
+  world.schedule_timer_for_node(src, 1, [&](net::NodeContext& ctx) {
     // Connection setup + snapshot initiation (the paper's curves carry a
     // fixed offset of a few hundred milliseconds at the smallest sizes).
     ctx.charge(300000);

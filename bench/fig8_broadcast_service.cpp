@@ -11,6 +11,7 @@
 // CPU-bound at their peak.
 #include <memory>
 
+#include "sim/world.hpp"
 #include "common/bench_util.hpp"
 #include "common/stats.hpp"
 #include "tob/tob.hpp"
@@ -26,9 +27,9 @@ using tob::TobConfig;
 class BroadcastClient {
  public:
   BroadcastClient(sim::World& world, NodeId self, ClientId id, NodeId target,
-                  sim::Time measure_from)
+                  net::Time measure_from)
       : world_(world), self_(self), id_(id), target_(target), measure_from_(measure_from) {
-    world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+    world_.set_handler(self_, [this](net::NodeContext& ctx, const sim::Message& msg) {
       if (msg.header != tob::kAckHeader) return;
       const auto& ack = sim::msg_body<tob::AckBody>(msg);
       if (ack.client != id_ || ack.seq != seq_) return;
@@ -39,14 +40,14 @@ class BroadcastClient {
       send_next(ctx);
     });
     world_.schedule_timer_for_node(self_, world_.now() + 1,
-                                   [this](sim::Context& ctx) { send_next(ctx); });
+                                   [this](net::NodeContext& ctx) { send_next(ctx); });
   }
 
   std::uint64_t delivered() const { return delivered_; }
   shadow::LatencyStats& latencies() { return latencies_; }
 
  private:
-  void send_next(sim::Context& ctx) {
+  void send_next(net::NodeContext& ctx) {
     ++seq_;
     tob::BroadcastBody body{
         tob::Command{id_, seq_, std::string(140, 'x')}};  // 140-byte payload
@@ -58,9 +59,9 @@ class BroadcastClient {
   NodeId self_;
   ClientId id_;
   NodeId target_;
-  sim::Time measure_from_;
+  net::Time measure_from_;
   RequestSeq seq_ = 0;
-  sim::Time sent_at_ = 0;
+  net::Time sent_at_ = 0;
   std::uint64_t delivered_ = 0;
   shadow::LatencyStats latencies_;
 };
@@ -89,8 +90,8 @@ CurvePoint run_point(gpm::ExecutionTier tier, std::size_t n_clients,
 
   // Interpreted tiers are ~30x slower: scale the horizon so every point
   // gets enough completed broadcasts to be meaningful.
-  const sim::Time warmup = tier == gpm::ExecutionTier::kCompiled ? 2000000 : 20000000;
-  const sim::Time horizon = tier == gpm::ExecutionTier::kCompiled ? 12000000 : 140000000;
+  const net::Time warmup = tier == gpm::ExecutionTier::kCompiled ? 2000000 : 20000000;
+  const net::Time horizon = tier == gpm::ExecutionTier::kCompiled ? 12000000 : 140000000;
 
   const NodeId client_machine_node = world.add_node("clients");  // placement anchor
   const sim::MachineId client_machine = world.machine_of(client_machine_node);

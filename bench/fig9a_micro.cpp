@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "baselines/baseline_server.hpp"
 #include "common/bench_util.hpp"
 #include "core/shadowdb.hpp"
@@ -45,8 +46,8 @@ struct ClientFleet {
   CurvePoint finish(sim::World& world, std::size_t n_clients) {
     for (auto& c : clients) c->start();
     // Run to completion (closed loop, fixed transaction count per client).
-    sim::Time horizon = 0;
-    sim::Time first_done = 0;
+    net::Time horizon = 0;
+    net::Time first_done = 0;
     while (true) {
       horizon += 20000;  // 20 ms resolution on the completion time
       world.run_until(horizon);

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "baselines/baseline_server.hpp"
 #include "common/bench_util.hpp"
 #include "core/shadowdb.hpp"
@@ -49,7 +50,7 @@ struct Fleet {
 
   CurvePoint finish(sim::World& world, std::size_t n_clients) {
     for (auto& c : clients) c->start();
-    sim::Time horizon = 0;
+    net::Time horizon = 0;
     while (true) {
       horizon += 50000;
       world.run_until(horizon);

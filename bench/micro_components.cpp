@@ -5,6 +5,7 @@
 // serialization, and one full simulated consensus round.
 #include <benchmark/benchmark.h>
 
+#include "sim/world.hpp"
 #include "consensus/safety.hpp"
 #include "db/engine.hpp"
 #include "db/sql.hpp"
@@ -172,7 +173,7 @@ void BM_SimulatedPaxosBroadcast(benchmark::State& state) {
     }
     tob::TobService service = tob::make_service(world, config);
     const NodeId client = world.add_node("client");
-    world.set_handler(client, [](sim::Context&, const sim::Message&) {});
+    world.set_handler(client, [](net::NodeContext&, const sim::Message&) {});
     world.post(client, config.nodes[0],
                sim::make_msg(tob::kBroadcastHeader,
                              tob::BroadcastBody{tob::Command{ClientId{1}, 1, "x"}}));

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "workload/bank.hpp"
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "workload/bank.hpp"
 
@@ -38,7 +39,7 @@ RunResult drive(sim::World& world, const std::vector<NodeId>& targets, std::size
         }));
     clients.back()->start();
   }
-  sim::Time horizon = 0;
+  net::Time horizon = 0;
   while (true) {
     horizon += 50000;
     world.run_until(horizon);

@@ -1,0 +1,202 @@
+// One OS process of a real localhost ShadowDB cluster.
+//
+// Every process — three server hosts plus one client host — runs this same
+// binary with the same `--base-port`, differing only in `--host`. Each
+// executes the identical cluster assembly against its own net::TcpTransport,
+// so node identities agree cluster-wide and the transports route frames by
+// NodeId alone; each process then executes only its local nodes, exchanging
+// checksummed wire frames over real TCP sockets. The clock epoch is the
+// machine's monotonic-clock origin, shared by all processes, which makes the
+// per-process trace timestamps comparable.
+//
+//   cluster_node --mode pbr --host 0 --base-port 35200 --trace t0.jsonl &
+//   cluster_node --mode pbr --host 1 --base-port 35200 --trace t1.jsonl &
+//   cluster_node --mode pbr --host 2 --base-port 35200 --trace t2.jsonl &
+//   cluster_node --mode pbr --host 3 --base-port 35200 --trace t3.jsonl --txns 50
+//   cluster_node check t0.jsonl t1.jsonl t2.jsonl t3.jsonl
+//
+// The client process (the highest host index) exits 0 iff every transaction
+// committed; `check` merges the per-process traces and replays them through
+// the offline checker (total order, at-most-once, durability, strict
+// serializability), exiting 0 iff the execution was correct. The launcher
+// `run_cluster.sh` scripts exactly this.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shadowdb.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/checker.hpp"
+#include "workload/bank.hpp"
+
+namespace {
+
+using namespace shadow;
+
+constexpr std::size_t kServerHosts = 3;
+constexpr std::size_t kHostCount = kServerHosts + 1;  // + client host
+constexpr std::size_t kClientHost = kServerHosts;
+
+struct Args {
+  bool pbr = true;
+  std::uint32_t host = 0;
+  std::uint16_t base_port = 35200;
+  std::size_t txns = 50;
+  std::uint64_t run_for_ms = 20000;  // server lifetime / client deadline
+  std::string trace_path;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
+               " [--txns N] [--run-for-ms M] [--trace FILE]\n"
+               "       cluster_node check TRACE...\n",
+               kHostCount - 1);
+  std::exit(2);
+}
+
+int run_check(int argc, char** argv) {
+  std::vector<obs::Trace> traces;
+  for (int i = 0; i < argc; ++i) {
+    traces.push_back(obs::parse_jsonl_file(argv[i]));
+  }
+  const obs::Trace merged = obs::merge_traces(traces);
+  const obs::CheckResult result = obs::check_trace(merged);
+  std::printf("%s\n", result.summary().c_str());
+  return result.ok() ? 0 : 1;
+}
+
+int run_node(const Args& args) {
+  net::TcpOptions options;
+  options.local_host = args.host;
+  for (std::size_t h = 0; h < kHostCount; ++h) {
+    options.hosts.push_back(net::TcpHostAddr{
+        "127.0.0.1", static_cast<std::uint16_t>(args.base_port + h)});
+  }
+  options.seed = 42;
+  // CLOCK_MONOTONIC's origin, identical for every process on this machine:
+  // now() values (and so trace timestamps) are cluster-comparable.
+  options.epoch = std::chrono::steady_clock::time_point{};
+
+  net::TcpTransport transport(options);
+  if (!transport.start()) {
+    std::fprintf(stderr, "host %u: cannot bind 127.0.0.1:%u (sockets unavailable?)\n",
+                 args.host, args.base_port + args.host);
+    return 3;
+  }
+
+  obs::Tracer tracer({.capacity = 1 << 18, .record_messages = false});
+  tracer.attach(transport);
+
+  auto registry = std::make_shared<workload::ProcedureRegistry>();
+  workload::bank::register_procedures(*registry);
+  const workload::bank::BankConfig bank{1000, 0};
+
+  core::ClusterOptions opts;
+  opts.db_replicas = 3;  // all three server hosts run active replicas
+  opts.db_spares = 0;
+  opts.registry = registry;
+  opts.tracer = &tracer;
+  opts.loader = [&bank](db::Engine& e) { workload::bank::load(e, bank); };
+
+  // Identical assembly in every process; only local nodes execute here.
+  core::PbrCluster pbr;
+  core::SmrCluster smr;
+  if (args.pbr) {
+    pbr = core::make_pbr_cluster(transport, opts);
+  } else {
+    smr = core::make_smr_cluster(transport, opts);
+  }
+  const NodeId client_node = transport.add_node("client1");
+
+  core::DbClient::Options client_options;
+  client_options.mode = args.pbr ? core::DbClient::Mode::kDirect : core::DbClient::Mode::kTob;
+  client_options.targets = args.pbr ? pbr.request_targets() : smr.broadcast_targets();
+  client_options.txn_limit = args.txns;
+  client_options.tracer = &tracer;
+  auto rng = std::make_shared<Rng>(7);
+  core::DbClient client(transport, client_node, ClientId{1}, client_options,
+                        [rng, bank]() {
+                          return std::make_pair(std::string(workload::bank::kDepositProc),
+                                                workload::bank::make_deposit(*rng, bank));
+                        });
+
+  int exit_code = 0;
+  if (args.host == kClientHost) {
+    client.start();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(args.run_for_ms);
+    while (!client.done() && std::chrono::steady_clock::now() < deadline) {
+      transport.poll_once(2000);
+    }
+    transport.run_for(200000);  // let final acks/replication drain
+    std::printf("client: committed %llu/%zu, retries %llu, delivered %llu frames\n",
+                static_cast<unsigned long long>(client.committed()), args.txns,
+                static_cast<unsigned long long>(client.retries()),
+                static_cast<unsigned long long>(transport.messages_delivered()));
+    exit_code = (client.done() && client.committed() == args.txns) ? 0 : 1;
+  } else {
+    transport.run_for(args.run_for_ms * 1000);
+    const std::uint64_t executed = args.pbr ? pbr.replicas[args.host]->executed()
+                                            : smr.replicas[args.host]->executed();
+    std::printf("host %u: executed %llu txns, delivered %llu frames, digest %016llx\n",
+                args.host, static_cast<unsigned long long>(executed),
+                static_cast<unsigned long long>(transport.messages_delivered()),
+                static_cast<unsigned long long>(
+                    args.pbr ? pbr.replicas[args.host]->state_digest()
+                             : smr.replicas[args.host]->state_digest()));
+  }
+
+  if (!args.trace_path.empty()) {
+    obs::export_jsonl_file(tracer.snapshot(), args.trace_path);
+  }
+  transport.shutdown();
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "check") == 0) {
+    if (argc < 3) usage();
+    return run_check(argc - 2, argv + 2);
+  }
+
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--mode") {
+      const std::string mode = value();
+      if (mode == "pbr") {
+        args.pbr = true;
+      } else if (mode == "smr") {
+        args.pbr = false;
+      } else {
+        usage();
+      }
+    } else if (flag == "--host") {
+      args.host = static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (flag == "--base-port") {
+      args.base_port = static_cast<std::uint16_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (flag == "--txns") {
+      args.txns = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--run-for-ms") {
+      args.run_for_ms = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--trace") {
+      args.trace_path = value();
+    } else {
+      usage();
+    }
+  }
+  if (args.host >= kHostCount) usage();
+  return run_node(args);
+}

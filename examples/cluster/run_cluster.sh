@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Launches a real localhost ShadowDB cluster — three server processes plus a
+# closed-loop bank-workload client — over TCP sockets, then merges the
+# per-process traces and replays them through the offline checker.
+#
+#   run_cluster.sh [pbr|smr] [txns] [base_port] [run_ms]
+#
+# Exits 0 iff every transaction committed AND the merged trace passes total
+# order, at-most-once, durability, and strict serializability.
+set -u
+
+MODE="${1:-pbr}"
+TXNS="${2:-50}"
+BASE_PORT="${3:-$((35200 + RANDOM % 1000))}"
+RUN_MS="${4:-20000}"
+BIN="$(dirname "$0")/cluster_node"
+[ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
+
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+echo "== ShadowDB-${MODE^^} on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)), ${TXNS} txns =="
+for h in 0 1 2; do
+  "$BIN" --mode "$MODE" --host "$h" --base-port "$BASE_PORT" \
+         --trace "$WORK/t$h.jsonl" --run-for-ms "$RUN_MS" &
+done
+sleep 0.2
+
+"$BIN" --mode "$MODE" --host 3 --base-port "$BASE_PORT" \
+       --trace "$WORK/t3.jsonl" --txns "$TXNS" --run-for-ms "$RUN_MS"
+CLIENT_RC=$?
+
+wait $(jobs -p) 2>/dev/null
+
+"$BIN" check "$WORK"/t*.jsonl
+CHECK_RC=$?
+
+if [ "$CLIENT_RC" -eq 0 ] && [ "$CHECK_RC" -eq 0 ]; then
+  echo "PASS: workload committed and the trace checker found no violations"
+  exit 0
+fi
+echo "FAIL: client rc=$CLIENT_RC checker rc=$CHECK_RC"
+exit 1

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/world.hpp"
 #include "eventml/compile.hpp"
 #include "eventml/optimizer.hpp"
 #include "eventml/specs/clk.hpp"

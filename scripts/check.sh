@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a strict-warnings build of the obs library.
+# Tier-1 verification plus strict-warnings builds and network-layer gates.
 #
-#   scripts/check.sh            # configure + build + ctest + -Werror obs build
-#   scripts/check.sh --fast     # skip the separate -Werror build
+#   scripts/check.sh            # everything below
+#   scripts/check.sh --fast     # tier-1 only (configure + build + ctest)
 #
-# The strict pass rebuilds only the shadow_obs target (and its common/sim
-# dependencies) with -Wall -Wextra -Werror in a separate build tree, so new
-# observability code stays warning-clean without requiring the whole legacy
-# tree to be.
+# Beyond tier-1 this runs:
+#   * a -Wall -Wextra -Werror build of shadow_net, shadow_obs, and
+#     shadow_wire in a separate build tree, so the transport and
+#     observability layers stay warning-clean;
+#   * layering grep gates: protocol code (consensus, tob, core, baselines)
+#     must program against net::Transport/net::NodeContext only — no
+#     sim::Context and no sim/world.hpp includes;
+#   * the wire round-trip suite under extra corruption seeds;
+#   * PBR + SMR end-to-end in the simulator's wire-fidelity mode;
+#   * a timeboxed localhost TCP cluster: real processes, real sockets, the
+#     bank workload, and the offline trace checker (skipped gracefully when
+#     the environment forbids sockets).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,10 +30,20 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "${1:-}" != "--fast" ]]; then
-  echo "== strict: -Wall -Wextra -Werror build of shadow_obs + shadow_wire =="
+  echo "== layering: protocol code must not reach into the simulator =="
+  if grep -rl "sim::Context" src/consensus src/tob src/core src/baselines; then
+    echo "FAIL: protocol code names sim::Context (use net::NodeContext)" >&2
+    exit 1
+  fi
+  if grep -rl 'sim/world\.hpp' src/consensus src/tob src/core src/baselines; then
+    echo "FAIL: protocol code includes sim/world.hpp (use net/transport.hpp)" >&2
+    exit 1
+  fi
+
+  echo "== strict: -Wall -Wextra -Werror build of shadow_net + shadow_obs + shadow_wire =="
   cmake -B build-strict -S . \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
-  cmake --build build-strict -j --target shadow_obs shadow_wire
+  cmake --build build-strict -j --target shadow_net shadow_obs shadow_wire
 
   echo "== wire: round-trip suite under extra corruption seeds =="
   for seed in 7 131 9973; do
@@ -39,6 +57,18 @@ if [[ "${1:-}" != "--fast" ]]; then
   ./build/tests/wire_fidelity_test \
     --gtest_filter='WireFidelity.PbrEndToEndWithRealBytesOnEveryLink:WireFidelity.SmrEndToEndWithRealBytesOnEveryLink' \
     >/dev/null
+
+  echo "== net: localhost TCP cluster (multi-process, bank workload, trace checker) =="
+  if ./build/examples/cluster_node --mode pbr --host 0 --base-port 34999 \
+       --run-for-ms 1 >/dev/null 2>&1; then
+    for mode in pbr smr; do
+      echo "-- ${mode}: 3 server processes + client over 127.0.0.1"
+      timeout 120 ./build/examples/run_cluster.sh "$mode" 30 \
+        "$((34000 + RANDOM % 1000))" 15000
+    done
+  else
+    echo "-- skipped: sockets unavailable in this environment"
+  fi
 fi
 
 echo "== all checks passed =="

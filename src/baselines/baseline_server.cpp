@@ -4,17 +4,17 @@ namespace shadow::baselines {
 
 // ------------------------------------------------------------ ReplicaApplier
 
-ReplicaApplier::ReplicaApplier(sim::World& world, NodeId self,
+ReplicaApplier::ReplicaApplier(net::Transport& world, NodeId self,
                                std::shared_ptr<db::Engine> engine)
     : world_(world), self_(self), engine_(std::move(engine)) {
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
 }
 
-void ReplicaApplier::on_message(sim::Context& ctx, const sim::Message& msg) {
+void ReplicaApplier::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header != kReplicateHeader) return;
-  const auto& body = sim::msg_body<ReplicateBody>(msg);
+  const auto& body = net::msg_body<ReplicateBody>(msg);
   // The applier is the engine's only user: statements never block.
   const db::TxnId txn = engine_->begin();
   ctx.charge(engine_->traits().costs.begin_us);
@@ -24,12 +24,12 @@ void ReplicaApplier::on_message(sim::Context& ctx, const sim::Message& msg) {
     SHADOW_CHECK_MSG(r.ok(), "replicated statement failed on the secondary");
   }
   ctx.charge(engine_->commit(txn).cost_us);
-  ctx.send(msg.from, sim::make_msg(kReplicateAckHeader, ReplicateAckBody{body.session}));
+  ctx.send(msg.from, net::make_msg(kReplicateAckHeader, ReplicateAckBody{body.session}));
 }
 
 // ------------------------------------------------------------ BaselineServer
 
-BaselineServer::BaselineServer(sim::World& world, NodeId self,
+BaselineServer::BaselineServer(net::Transport& world, NodeId self,
                                std::shared_ptr<db::Engine> engine,
                                std::shared_ptr<const workload::ProcedureRegistry> registry,
                                BaselineConfig config, std::optional<NodeId> replica)
@@ -44,35 +44,35 @@ BaselineServer::BaselineServer(sim::World& world, NodeId self,
   engine_->set_wake([this](db::TxnId txn, const db::ExecResult& result) {
     on_engine_wake(txn, result);
   });
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     current_ctx_ = &ctx;
     on_message(ctx, msg);
     current_ctx_ = nullptr;
   });
   world_.schedule_timer_for_node(self_, world_.now() + config_.engine_tick_period,
-                                 [this](sim::Context& ctx) {
+                                 [this](net::NodeContext& ctx) {
                                    current_ctx_ = &ctx;
                                    tick(ctx);
                                    current_ctx_ = nullptr;
                                  });
 }
 
-void BaselineServer::tick(sim::Context& ctx) {
+void BaselineServer::tick(net::NodeContext& ctx) {
   engine_->tick(ctx.now());
-  ctx.set_timer(config_.engine_tick_period, [this](sim::Context& c) {
+  ctx.set_timer(config_.engine_tick_period, [this](net::NodeContext& c) {
     current_ctx_ = &c;
     tick(c);
     current_ctx_ = nullptr;
   });
 }
 
-void BaselineServer::on_message(sim::Context& ctx, const sim::Message& msg) {
+void BaselineServer::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == workload::kTxnRequestHeader) {
-    on_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    on_request(ctx, net::msg_body<workload::TxnRequest>(msg));
     return;
   }
   if (msg.header == kReplicateAckHeader) {
-    const auto& ack = sim::msg_body<ReplicateAckBody>(msg);
+    const auto& ack = net::msg_body<ReplicateAckBody>(msg);
     auto it = sessions_.find(ack.session);
     if (it == sessions_.end() || !it->second.awaiting_replica) return;
     Session& session = it->second;
@@ -86,7 +86,7 @@ void BaselineServer::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
 }
 
-void BaselineServer::on_request(sim::Context& ctx, const workload::TxnRequest& req) {
+void BaselineServer::on_request(net::NodeContext& ctx, const workload::TxnRequest& req) {
   ctx.charge(config_.per_txn_server_us);
   if (auto it = last_by_client_.find(req.client.value);
       it != last_by_client_.end() && req.seq <= it->second.first) {
@@ -106,7 +106,7 @@ void BaselineServer::on_request(sim::Context& ctx, const workload::TxnRequest& r
   advance(ctx, it->second);
 }
 
-void BaselineServer::advance(sim::Context& ctx, Session& session) {
+void BaselineServer::advance(net::NodeContext& ctx, Session& session) {
   const workload::ProcedureFn& proc = registry_->get(session.request.proc);
   while (true) {
     const workload::ProcStep next =
@@ -127,7 +127,7 @@ void BaselineServer::advance(sim::Context& ctx, Session& session) {
       const std::uint64_t id = session.id;
       db::Statement stmt = next.stmt;
       ctx.set_timer(config_.per_statement_delay,
-                    [this, id, stmt = std::move(stmt)](sim::Context& c) {
+                    [this, id, stmt = std::move(stmt)](net::NodeContext& c) {
                       current_ctx_ = &c;
                       auto it = sessions_.find(id);
                       if (it != sessions_.end()) {
@@ -169,7 +169,7 @@ void BaselineServer::advance(sim::Context& ctx, Session& session) {
   }
 }
 
-void BaselineServer::handle_result(sim::Context& ctx, Session& session,
+void BaselineServer::handle_result(net::NodeContext& ctx, Session& session,
                                    const db::ExecResult& result) {
   if (result.status == db::ExecResult::Status::kAborted) {
     if (engine_->is_active(session.txn)) engine_->abort(session.txn);
@@ -182,7 +182,7 @@ void BaselineServer::handle_result(sim::Context& ctx, Session& session,
   advance(ctx, session);
 }
 
-void BaselineServer::reach_commit(sim::Context& ctx, Session& session) {
+void BaselineServer::reach_commit(net::NodeContext& ctx, Session& session) {
   if (config_.replication == Replication::kNone || session.statement_log.empty()) {
     ctx.charge(engine_->commit(session.txn).cost_us);
     finish(ctx, session, true, "");
@@ -194,7 +194,7 @@ void BaselineServer::reach_commit(sim::Context& ctx, Session& session) {
     // the contention that bends MySQL-memory's curve downward.
     if (config_.commit_delay_us > 0) {
       const std::uint64_t id = session.id;
-      ctx.set_timer(config_.commit_delay_us, [this, id](sim::Context& c) {
+      ctx.set_timer(config_.commit_delay_us, [this, id](net::NodeContext& c) {
         current_ctx_ = &c;
         auto it = sessions_.find(id);
         if (it != sessions_.end()) {
@@ -212,13 +212,13 @@ void BaselineServer::reach_commit(sim::Context& ctx, Session& session) {
   ship_to_replica(ctx, session);
 }
 
-void BaselineServer::ship_to_replica(sim::Context& ctx, Session& session) {
+void BaselineServer::ship_to_replica(net::NodeContext& ctx, Session& session) {
   session.awaiting_replica = true;
   ReplicateBody body{session.id, session.statement_log};
-  ctx.send(*replica_, sim::make_msg(kReplicateHeader, std::move(body)));
+  ctx.send(*replica_, net::make_msg(kReplicateHeader, std::move(body)));
 }
 
-void BaselineServer::finish(sim::Context& ctx, Session& session, bool committed,
+void BaselineServer::finish(net::NodeContext& ctx, Session& session, bool committed,
                             const std::string& error) {
   // Contention collapse: waking the herd of lock waiters burns CPU in
   // proportion to their number (MySQL-memory's declining curve).
@@ -251,7 +251,7 @@ void BaselineServer::on_engine_wake(db::TxnId txn, const db::ExecResult& result)
   // running it inline (inside another session's commit) would let its own
   // commit overtake the committing session's replication log on the wire,
   // reordering conflicting transactions at the secondary.
-  current_ctx_->set_timer(0, [this, session_id, result](sim::Context& c) {
+  current_ctx_->set_timer(0, [this, session_id, result](net::NodeContext& c) {
     auto it = sessions_.find(session_id);
     if (it == sessions_.end() || !it->second.awaiting_wake) return;
     current_ctx_ = &c;
@@ -273,7 +273,7 @@ void BaselineServer::on_engine_wake(db::TxnId txn, const db::ExecResult& result)
 
 // ------------------------------------------------------------------ bundles
 
-StandaloneDb make_standalone(sim::World& world, std::shared_ptr<db::Engine> engine,
+StandaloneDb make_standalone(net::Transport& world, std::shared_ptr<db::Engine> engine,
                              std::shared_ptr<const workload::ProcedureRegistry> registry,
                              BaselineConfig config) {
   config.replication = Replication::kNone;
@@ -284,7 +284,7 @@ StandaloneDb make_standalone(sim::World& world, std::shared_ptr<db::Engine> engi
   return bundle;
 }
 
-ReplicatedDb make_h2_repl(sim::World& world,
+ReplicatedDb make_h2_repl(net::Transport& world,
                           std::shared_ptr<const workload::ProcedureRegistry> registry,
                           const std::function<void(db::Engine&)>& loader,
                           BaselineConfig config) {
@@ -292,7 +292,7 @@ ReplicatedDb make_h2_repl(sim::World& world,
   // H2's replication ships statements synchronously while the transaction
   // runs: every statement costs the client round trip PLUS the replica
   // round trip, all under the transaction's table locks.
-  config.per_statement_delay = std::max<sim::Time>(config.per_statement_delay, 260);
+  config.per_statement_delay = std::max<net::Time>(config.per_statement_delay, 260);
   auto primary_engine = std::make_shared<db::Engine>(db::make_h2_traits());
   auto secondary_engine = std::make_shared<db::Engine>(db::make_h2_traits());
   if (loader) {
@@ -310,7 +310,7 @@ ReplicatedDb make_h2_repl(sim::World& world,
   return bundle;
 }
 
-ReplicatedDb make_mysql_repl(sim::World& world,
+ReplicatedDb make_mysql_repl(net::Transport& world,
                              std::shared_ptr<const workload::ProcedureRegistry> registry,
                              const std::function<void(db::Engine&)>& loader,
                              db::EngineTraits traits, BaselineConfig config) {

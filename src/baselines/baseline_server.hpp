@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "db/engine.hpp"
-#include "sim/world.hpp"
+#include "net/transport.hpp"
 #include "workload/messages.hpp"
 #include "workload/procedures.hpp"
 
@@ -38,8 +38,8 @@ enum class Replication : std::uint8_t { kNone, kEager, kSemiSync };
 
 struct BaselineConfig {
   Replication replication = Replication::kNone;
-  sim::Time per_statement_delay = 10;   // µs: client JDBC round trip (LAN, pipelined)
-  sim::Time engine_tick_period = 5000;  // drives lock-wait timeouts
+  net::Time per_statement_delay = 10;   // µs: client JDBC round trip (LAN, pipelined)
+  net::Time engine_tick_period = 5000;  // drives lock-wait timeouts
   std::uint64_t per_txn_server_us = 80; // request/reply handling
   std::uint64_t per_stmt_server_us = 8; // SQL dispatch per statement
   // Thundering-herd overhead: CPU burned per waiting transaction when a
@@ -48,20 +48,20 @@ struct BaselineConfig {
   // Binlog/group-commit window: semi-sync primaries hold statement locks
   // until the log write completes; concurrent writers queue on the table
   // lock during the window (MySQL-memory's peak-then-decline shape).
-  sim::Time commit_delay_us = 0;
+  net::Time commit_delay_us = 0;
 };
 
 /// Applies replicated transactions on the secondary (no client protocol).
 class ReplicaApplier {
  public:
-  ReplicaApplier(sim::World& world, NodeId self, std::shared_ptr<db::Engine> engine);
+  ReplicaApplier(net::Transport& world, NodeId self, std::shared_ptr<db::Engine> engine);
   NodeId node() const { return self_; }
   db::Engine& engine() { return *engine_; }
 
  private:
-  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   std::shared_ptr<db::Engine> engine_;
 };
@@ -80,7 +80,7 @@ inline constexpr const char* kReplicateAckHeader = "bl-replicate-ack";
 
 class BaselineServer {
  public:
-  BaselineServer(sim::World& world, NodeId self, std::shared_ptr<db::Engine> engine,
+  BaselineServer(net::Transport& world, NodeId self, std::shared_ptr<db::Engine> engine,
                  std::shared_ptr<const workload::ProcedureRegistry> registry,
                  BaselineConfig config = {}, std::optional<NodeId> replica = std::nullopt);
 
@@ -105,17 +105,17 @@ class BaselineServer {
     std::optional<db::Statement> pending_stmt;
   };
 
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_request(sim::Context& ctx, const workload::TxnRequest& req);
-  void advance(sim::Context& ctx, Session& session);
-  void handle_result(sim::Context& ctx, Session& session, const db::ExecResult& result);
-  void reach_commit(sim::Context& ctx, Session& session);
-  void ship_to_replica(sim::Context& ctx, Session& session);
-  void finish(sim::Context& ctx, Session& session, bool committed, const std::string& error);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_request(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void advance(net::NodeContext& ctx, Session& session);
+  void handle_result(net::NodeContext& ctx, Session& session, const db::ExecResult& result);
+  void reach_commit(net::NodeContext& ctx, Session& session);
+  void ship_to_replica(net::NodeContext& ctx, Session& session);
+  void finish(net::NodeContext& ctx, Session& session, bool committed, const std::string& error);
   void on_engine_wake(db::TxnId txn, const db::ExecResult& result);
-  void tick(sim::Context& ctx);
+  void tick(net::NodeContext& ctx);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   std::shared_ptr<db::Engine> engine_;
   std::shared_ptr<const workload::ProcedureRegistry> registry_;
@@ -129,7 +129,7 @@ class BaselineServer {
   std::uint64_t aborted_ = 0;
   // Dedup (at-most-once) for client retries, as in ShadowDB.
   std::map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> last_by_client_;
-  sim::Context* current_ctx_ = nullptr;  // valid during handler execution
+  net::NodeContext* current_ctx_ = nullptr;  // valid during handler execution
 };
 
 /// Convenience bundles for the three deployments.
@@ -137,7 +137,7 @@ struct StandaloneDb {
   std::unique_ptr<BaselineServer> server;
   NodeId node() const { return server->node(); }
 };
-StandaloneDb make_standalone(sim::World& world, std::shared_ptr<db::Engine> engine,
+StandaloneDb make_standalone(net::Transport& world, std::shared_ptr<db::Engine> engine,
                              std::shared_ptr<const workload::ProcedureRegistry> registry,
                              BaselineConfig config = {});
 
@@ -147,12 +147,12 @@ struct ReplicatedDb {
   NodeId node() const { return primary->node(); }
 };
 /// H2-style eager replication (table locks held across the sync round trip).
-ReplicatedDb make_h2_repl(sim::World& world,
+ReplicatedDb make_h2_repl(net::Transport& world,
                           std::shared_ptr<const workload::ProcedureRegistry> registry,
                           const std::function<void(db::Engine&)>& loader,
                           BaselineConfig config = {});
 /// MySQL-style semi-sync replication. `traits` picks memory vs InnoDB.
-ReplicatedDb make_mysql_repl(sim::World& world,
+ReplicatedDb make_mysql_repl(net::Transport& world,
                              std::shared_ptr<const workload::ProcedureRegistry> registry,
                              const std::function<void(db::Engine&)>& loader,
                              db::EngineTraits traits, BaselineConfig config = {});

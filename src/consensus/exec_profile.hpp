@@ -13,7 +13,7 @@
 #include <cstdint>
 
 #include "gpm/tier.hpp"
-#include "sim/world.hpp"
+#include "net/transport.hpp"
 
 namespace shadow::consensus {
 
@@ -51,7 +51,7 @@ struct ExecProfile {
   }
 
   /// Charges the virtual CPU for one handler execution.
-  void charge(sim::Context& ctx, std::size_t items = 0) const {
+  void charge(net::NodeContext& ctx, std::size_t items = 0) const {
     ctx.charge(costs.cost_us(tier, work(items)));
   }
 
@@ -60,7 +60,7 @@ struct ExecProfile {
   /// bodies are not.
   static constexpr double kControlFraction = 0.35;
 
-  void charge_control(sim::Context& ctx) const {
+  void charge_control(net::NodeContext& ctx) const {
     ctx.charge(costs.cost_us(
         tier, static_cast<std::uint64_t>(static_cast<double>(effective_program()) *
                                          kControlFraction)));

@@ -12,24 +12,24 @@
 #include "consensus/exec_profile.hpp"
 #include "consensus/safety.hpp"
 #include "consensus/types.hpp"
-#include "sim/world.hpp"
+#include "net/transport.hpp"
 
 namespace shadow::consensus {
 
 class ConsensusModule {
  public:
-  using DecideFn = std::function<void(sim::Context&, Slot, const Batch&)>;
+  using DecideFn = std::function<void(net::NodeContext&, Slot, const Batch&)>;
 
   virtual ~ConsensusModule() = default;
 
   /// Propose `batch` for `slot` on behalf of this node.
-  virtual void propose(sim::Context& ctx, Slot slot, const Batch& batch) = 0;
+  virtual void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) = 0;
 
   /// Offers an incoming message; returns true if consumed.
-  virtual bool on_message(sim::Context& ctx, const sim::Message& msg) = 0;
+  virtual bool on_message(net::NodeContext& ctx, const net::Message& msg) = 0;
 
   /// Periodic driver for round/ballot timeouts and retransmissions.
-  virtual void on_tick(sim::Context& ctx) = 0;
+  virtual void on_tick(net::NodeContext& ctx) = 0;
 
   /// Best proposer for new values, if the protocol has one (Paxos: the
   /// current leader; leaderless protocols return nullopt). The broadcast
@@ -41,7 +41,7 @@ class ConsensusModule {
   void set_on_decide(DecideFn fn) { on_decide_ = std::move(fn); }
 
  protected:
-  void notify_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
+  void notify_decide(net::NodeContext& ctx, Slot slot, const Batch& batch) {
     if (on_decide_) on_decide_(ctx, slot, batch);
   }
 

@@ -26,22 +26,22 @@ PaxosModule::PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety
   leader_.ballot = Ballot{0, self_};
 }
 
-void PaxosModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
+void PaxosModule::propose(net::NodeContext& ctx, Slot slot, const Batch& batch) {
   if (safety_ != nullptr) safety_->on_propose(slot, batch);
-  const sim::Message msg = sim::make_msg(kPropose, ProposeBody{slot, batch});
+  const net::Message msg = net::make_msg(kPropose, ProposeBody{slot, batch});
   for (NodeId peer : config_.peers) {
     ctx.send(peer, msg);
   }
 }
 
-bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
+bool PaxosModule::on_message(net::NodeContext& ctx, const net::Message& msg) {
   // ---- leader role: a replica hands us a proposal -------------------------
   if (msg.header == kPropose) {
-    const auto& body = sim::msg_body<ProposeBody>(msg);
+    const auto& body = net::msg_body<ProposeBody>(msg);
     config_.profile.charge(ctx, body.batch.size());
     if (auto learned_it = learned_.find(body.slot); learned_it != learned_.end()) {
       // Already decided: help the proposer catch up.
-      ctx.send(msg.from, sim::make_msg(kDecision, DecisionBody{body.slot, learned_it->second}));
+      ctx.send(msg.from, net::make_msg(kDecision, DecisionBody{body.slot, learned_it->second}));
       return true;
     }
     const bool had_pending = std::any_of(
@@ -55,7 +55,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
 
   // ---- acceptor role -------------------------------------------------------
   if (msg.header == kP1a) {
-    const auto& body = sim::msg_body<P1aBody>(msg);
+    const auto& body = net::msg_body<P1aBody>(msg);
     config_.profile.charge_control(ctx);
     if (acceptor_.promised < body.ballot) {
       acceptor_.promised = body.ballot;
@@ -64,11 +64,11 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     P1bBody reply{body.ballot, acceptor_.promised, {}};
     reply.accepted.reserve(acceptor_.accepted.size());
     for (const auto& [slot, pv] : acceptor_.accepted) reply.accepted.push_back(pv);
-    ctx.send(msg.from, sim::make_msg(kP1b, std::move(reply)));
+    ctx.send(msg.from, net::make_msg(kP1b, std::move(reply)));
     return true;
   }
   if (msg.header == kP2a) {
-    const auto& body = sim::msg_body<P2aBody>(msg);
+    const auto& body = net::msg_body<P2aBody>(msg);
     config_.profile.charge(ctx, body.pvalue.batch.size());
     if (!(body.pvalue.ballot < acceptor_.promised)) {
       if (acceptor_.promised < body.pvalue.ballot) {
@@ -82,13 +82,13 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
       }
     }
     ctx.send(msg.from,
-             sim::make_msg(kP2b, P2bBody{body.pvalue.ballot, acceptor_.promised, body.pvalue.slot}));
+             net::make_msg(kP2b, P2bBody{body.pvalue.ballot, acceptor_.promised, body.pvalue.slot}));
     return true;
   }
 
   // ---- scout (phase 1 collector) -------------------------------------------
   if (msg.header == kP1b) {
-    const auto& body = sim::msg_body<P1bBody>(msg);
+    const auto& body = net::msg_body<P1bBody>(msg);
     config_.profile.charge(ctx, body.accepted.size());
     if (!leader_.scout || !(body.scout_ballot == leader_.scout->ballot)) return true;
     if (leader_.scout->ballot < body.promised) {
@@ -123,7 +123,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
 
   // ---- commander (phase 2 collector) ----------------------------------------
   if (msg.header == kP2b) {
-    const auto& body = sim::msg_body<P2bBody>(msg);
+    const auto& body = net::msg_body<P2bBody>(msg);
     config_.profile.charge_control(ctx);
     auto it = leader_.commanders.find(body.slot);
     if (it == leader_.commanders.end() || !(it->second.ballot == body.commander_ballot)) {
@@ -136,7 +136,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     Commander& cmd = it->second;
     if (cmd.waitfor.erase(msg.from.value) == 0) return true;
     if (config_.peers.size() - cmd.waitfor.size() >= quorum()) {
-      const sim::Message dec = sim::make_msg(kDecision, DecisionBody{cmd.slot, cmd.batch});
+      const net::Message dec = net::make_msg(kDecision, DecisionBody{cmd.slot, cmd.batch});
       for (NodeId peer : config_.peers) {
         ctx.send(peer, dec);
       }
@@ -147,7 +147,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
 
   // ---- learner role ---------------------------------------------------------
   if (msg.header == kDecision) {
-    const auto& body = sim::msg_body<DecisionBody>(msg);
+    const auto& body = net::msg_body<DecisionBody>(msg);
     config_.profile.charge(ctx, body.batch.size());
     learn(ctx, body.slot, body.batch);
     return true;
@@ -155,7 +155,7 @@ bool PaxosModule::on_message(sim::Context& ctx, const sim::Message& msg) {
   return false;
 }
 
-void PaxosModule::start_scout(sim::Context& ctx) {
+void PaxosModule::start_scout(net::NodeContext& ctx) {
   last_scout_attempt_ = ctx.now();
   max_round_seen_ += 1;
   Scout scout;
@@ -167,26 +167,26 @@ void PaxosModule::start_scout(sim::Context& ctx) {
     config_.tracer->ballot(ctx.now(), self_, leader_.scout->ballot.round, self_,
                            obs::BallotPhase::kScout);
   }
-  const sim::Message p1a = sim::make_msg(kP1a, P1aBody{leader_.scout->ballot});
+  const net::Message p1a = net::make_msg(kP1a, P1aBody{leader_.scout->ballot});
   for (NodeId peer : config_.peers) {
     ctx.send(peer, p1a);
   }
 }
 
-void PaxosModule::start_commander(sim::Context& ctx, Slot slot, const Batch& batch) {
+void PaxosModule::start_commander(net::NodeContext& ctx, Slot slot, const Batch& batch) {
   Commander cmd;
   cmd.ballot = leader_.ballot;
   cmd.slot = slot;
   cmd.batch = batch;
   for (NodeId peer : config_.peers) cmd.waitfor.insert(peer.value);
   leader_.commanders[slot] = std::move(cmd);
-  const sim::Message p2a = sim::make_msg(kP2a, P2aBody{PValue{leader_.ballot, slot, batch}});
+  const net::Message p2a = net::make_msg(kP2a, P2aBody{PValue{leader_.ballot, slot, batch}});
   for (NodeId peer : config_.peers) {
     ctx.send(peer, p2a);
   }
 }
 
-void PaxosModule::preempted(sim::Context& ctx, const Ballot& by) {
+void PaxosModule::preempted(net::NodeContext& ctx, const Ballot& by) {
   if (config_.tracer) {
     config_.tracer->ballot(ctx.now(), self_, by.round, by.leader, obs::BallotPhase::kPreempted);
   }
@@ -196,7 +196,7 @@ void PaxosModule::preempted(sim::Context& ctx, const Ballot& by) {
   leader_.commanders.clear();
 }
 
-void PaxosModule::learn(sim::Context& ctx, Slot slot, const Batch& batch) {
+void PaxosModule::learn(net::NodeContext& ctx, Slot slot, const Batch& batch) {
   auto [it, inserted] = learned_.try_emplace(slot, batch);
   if (!inserted) return;
   last_progress_ = ctx.now();
@@ -206,7 +206,7 @@ void PaxosModule::learn(sim::Context& ctx, Slot slot, const Batch& batch) {
   notify_decide(ctx, slot, batch);
 }
 
-void PaxosModule::on_tick(sim::Context& ctx) {
+void PaxosModule::on_tick(net::NodeContext& ctx) {
   const bool pending = std::any_of(
       leader_.proposals.begin(), leader_.proposals.end(),
       [this](const auto& kv) { return learned_.count(kv.first) == 0; });
@@ -226,8 +226,8 @@ void PaxosModule::on_tick(sim::Context& ctx) {
   // "No progress" is measured from whichever is later: the last decision or
   // the moment the currently-pending work appeared (an idle system is not a
   // dead leader).
-  const sim::Time reference = std::max(last_progress_, pending_since_);
-  const sim::Time patience = config_.leader_timeout * (1 + rank);
+  const net::Time reference = std::max(last_progress_, pending_since_);
+  const net::Time patience = config_.leader_timeout * (1 + rank);
   if (bootstrap ||
       (ctx.now() - reference > patience &&
        ctx.now() - last_scout_attempt_ > config_.scout_retry)) {

@@ -67,8 +67,8 @@ struct PaxosConfig {
   std::vector<NodeId> peers;  // the synod participants (majority quorums)
   // Batched commands only add a small scan per item to a synod message walk.
   ExecProfile profile{.program_work = kSynodProgramWork, .cmd_walk_fraction = 0.02};
-  sim::Time leader_timeout = 50000;   // 50 ms without progress → suspect leader
-  sim::Time scout_retry = 30000;      // backoff before re-running phase 1
+  net::Time leader_timeout = 50000;   // 50 ms without progress → suspect leader
+  net::Time scout_retry = 30000;      // backoff before re-running phase 1
   obs::Tracer* tracer = nullptr;      // optional structured trace recorder
 };
 
@@ -76,9 +76,9 @@ class PaxosModule final : public ConsensusModule {
  public:
   PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety = nullptr);
 
-  void propose(sim::Context& ctx, Slot slot, const Batch& batch) override;
-  bool on_message(sim::Context& ctx, const sim::Message& msg) override;
-  void on_tick(sim::Context& ctx) override;
+  void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) override;
+  bool on_message(net::NodeContext& ctx, const net::Message& msg) override;
+  void on_tick(net::NodeContext& ctx) override;
 
   /// The owner of the highest ballot this node has promised — the best
   /// guess at who can get values chosen without a ballot fight.
@@ -119,10 +119,10 @@ class PaxosModule final : public ConsensusModule {
     std::map<Slot, Commander> commanders;  // one in-flight commander per slot
   };
 
-  void start_scout(sim::Context& ctx);
-  void start_commander(sim::Context& ctx, Slot slot, const Batch& batch);
-  void preempted(sim::Context& ctx, const Ballot& by);
-  void learn(sim::Context& ctx, Slot slot, const Batch& batch);
+  void start_scout(net::NodeContext& ctx);
+  void start_commander(net::NodeContext& ctx, Slot slot, const Batch& batch);
+  void preempted(net::NodeContext& ctx, const Ballot& by);
+  void learn(net::NodeContext& ctx, Slot slot, const Batch& batch);
   std::size_t quorum() const { return config_.peers.size() / 2 + 1; }
 
   NodeId self_;
@@ -132,9 +132,9 @@ class PaxosModule final : public ConsensusModule {
   Leader leader_;
   std::map<Slot, Batch> learned_;
   std::uint64_t max_round_seen_ = 0;
-  sim::Time last_progress_ = 0;
-  sim::Time pending_since_ = 0;  // when the oldest currently-pending work arrived
-  sim::Time last_scout_attempt_ = 0;
+  net::Time last_progress_ = 0;
+  net::Time pending_since_ = 0;  // when the oldest currently-pending work arrived
+  net::Time last_scout_attempt_ = 0;
 };
 
 }  // namespace shadow::consensus

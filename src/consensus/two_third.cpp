@@ -21,7 +21,7 @@ TwoThirdModule::TwoThirdModule(NodeId self, TwoThirdConfig config, SafetyRecorde
                  config_.peers.end());
 }
 
-void TwoThirdModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
+void TwoThirdModule::propose(net::NodeContext& ctx, Slot slot, const Batch& batch) {
   Instance& inst = instances_[slot];
   if (inst.decision) return;
   if (safety_ != nullptr) safety_->on_propose(slot, batch);
@@ -33,24 +33,24 @@ void TwoThirdModule::propose(sim::Context& ctx, Slot slot, const Batch& batch) {
   }
 }
 
-void TwoThirdModule::send_vote(sim::Context& ctx, Slot slot, Instance& inst) {
+void TwoThirdModule::send_vote(net::NodeContext& ctx, Slot slot, Instance& inst) {
   SHADOW_CHECK(inst.estimate.has_value());
-  const sim::Message vote = sim::make_msg(kVoteHeader, VoteBody{slot, inst.round, *inst.estimate});
+  const net::Message vote = net::make_msg(kVoteHeader, VoteBody{slot, inst.round, *inst.estimate});
   for (NodeId peer : config_.peers) {
     ctx.send(peer, vote);
   }
   inst.last_sent = ctx.now();
 }
 
-bool TwoThirdModule::on_message(sim::Context& ctx, const sim::Message& msg) {
+bool TwoThirdModule::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kVoteHeader) {
-    const auto& vote = sim::msg_body<VoteBody>(msg);
+    const auto& vote = net::msg_body<VoteBody>(msg);
     config_.profile.charge(ctx, vote.batch.size());
     Instance& inst = instances_[vote.slot];
     if (inst.decision) {
       // A decided process answers votes with the decision so laggards learn.
       if (msg.from != self_) {
-        ctx.send(msg.from, sim::make_msg(kDecideHeader, DecideBody{vote.slot, *inst.decision}));
+        ctx.send(msg.from, net::make_msg(kDecideHeader, DecideBody{vote.slot, *inst.decision}));
       }
       return true;
     }
@@ -65,7 +65,7 @@ bool TwoThirdModule::on_message(sim::Context& ctx, const sim::Message& msg) {
     return true;
   }
   if (msg.header == kDecideHeader) {
-    const auto& dec = sim::msg_body<DecideBody>(msg);
+    const auto& dec = net::msg_body<DecideBody>(msg);
     config_.profile.charge(ctx, dec.batch.size());
     Instance& inst = instances_[dec.slot];
     if (!inst.decision) decide(ctx, dec.slot, inst, dec.batch);
@@ -74,7 +74,7 @@ bool TwoThirdModule::on_message(sim::Context& ctx, const sim::Message& msg) {
   return false;
 }
 
-void TwoThirdModule::try_advance(sim::Context& ctx, Slot slot, Instance& inst) {
+void TwoThirdModule::try_advance(net::NodeContext& ctx, Slot slot, Instance& inst) {
   if (inst.decision || !inst.estimate) return;
   // Loop: a buffered future-round vote set may let us advance repeatedly.
   while (true) {
@@ -106,17 +106,17 @@ void TwoThirdModule::try_advance(sim::Context& ctx, Slot slot, Instance& inst) {
   }
 }
 
-void TwoThirdModule::decide(sim::Context& ctx, Slot slot, Instance& inst, const Batch& value) {
+void TwoThirdModule::decide(net::NodeContext& ctx, Slot slot, Instance& inst, const Batch& value) {
   inst.decision = value;
   if (safety_ != nullptr) safety_->on_decide(self_, slot, value);
-  const sim::Message dec = sim::make_msg(kDecideHeader, DecideBody{slot, value});
+  const net::Message dec = net::make_msg(kDecideHeader, DecideBody{slot, value});
   for (NodeId peer : config_.peers) {
     if (peer != self_) ctx.send(peer, dec);
   }
   notify_decide(ctx, slot, value);
 }
 
-void TwoThirdModule::on_tick(sim::Context& ctx) {
+void TwoThirdModule::on_tick(net::NodeContext& ctx) {
   // Retransmit the current vote for stalled undecided instances. Crashed
   // peers never answer; retransmission covers proposals that raced with a
   // peer joining an instance.

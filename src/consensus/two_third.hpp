@@ -47,7 +47,7 @@ struct DecideBody {
 struct TwoThirdConfig {
   std::vector<NodeId> peers;  // all participants; needs |peers| > 3f
   ExecProfile profile{.program_work = kTwoThirdProgramWork};
-  sim::Time round_timeout = 20000;  // 20 ms retransmission period
+  net::Time round_timeout = 20000;  // 20 ms retransmission period
   obs::Tracer* tracer = nullptr;    // optional structured trace recorder
 };
 
@@ -55,9 +55,9 @@ class TwoThirdModule final : public ConsensusModule {
  public:
   TwoThirdModule(NodeId self, TwoThirdConfig config, SafetyRecorder* safety = nullptr);
 
-  void propose(sim::Context& ctx, Slot slot, const Batch& batch) override;
-  bool on_message(sim::Context& ctx, const sim::Message& msg) override;
-  void on_tick(sim::Context& ctx) override;
+  void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) override;
+  bool on_message(net::NodeContext& ctx, const net::Message& msg) override;
+  void on_tick(net::NodeContext& ctx) override;
 
   /// The number of crash failures the configuration tolerates.
   std::size_t tolerated_failures() const { return (config_.peers.size() - 1) / 3; }
@@ -69,12 +69,12 @@ class TwoThirdModule final : public ConsensusModule {
     // votes[round][peer index] = batch
     std::map<std::uint64_t, std::map<std::uint32_t, Batch>> votes;
     std::optional<Batch> decision;
-    sim::Time last_sent = 0;
+    net::Time last_sent = 0;
   };
 
-  void send_vote(sim::Context& ctx, Slot slot, Instance& inst);
-  void try_advance(sim::Context& ctx, Slot slot, Instance& inst);
-  void decide(sim::Context& ctx, Slot slot, Instance& inst, const Batch& value);
+  void send_vote(net::NodeContext& ctx, Slot slot, Instance& inst);
+  void try_advance(net::NodeContext& ctx, Slot slot, Instance& inst);
+  void decide(net::NodeContext& ctx, Slot slot, Instance& inst, const Batch& value);
   std::size_t threshold() const {  // strictly more than 2n/3
     return 2 * config_.peers.size() / 3 + 1;
   }

@@ -18,7 +18,7 @@ constexpr std::uint64_t kForwardCost = 20;  // µs to relay one update down-chai
 
 }  // namespace
 
-ChainReplica::ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+ChainReplica::ChainReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                            std::shared_ptr<db::Engine> engine,
                            std::shared_ptr<const workload::ProcedureRegistry> registry,
                            std::vector<NodeId> chain, std::vector<NodeId> spares,
@@ -31,21 +31,21 @@ ChainReplica::ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
       chain_(std::move(chain)),
       spares_(std::move(spares)) {
   SHADOW_REQUIRE(!chain_.empty());
-  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+  SHADOW_REQUIRE_MSG(world_.host_of(self_) == world_.host_of(tob_.node()),
                      "chain replicas are co-located with their broadcast service node");
   chain_size_target_ = chain_.size();
   reconfig_client_id_ = ClientId{0x60000000u + self_.value};
   if (!contains(chain_, self_)) state_ = State::kSpare;
 
-  tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kChainDeliverHeader, cmd));
+  tob_.subscribe_local([this](net::NodeContext& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
+    ctx.send(self_, net::make_msg(kChainDeliverHeader, cmd));
   });
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
   if (config_.enable_failure_detection) {
     world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
-                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+                                   [this](net::NodeContext& ctx) { on_heartbeat_tick(ctx); });
   }
 }
 
@@ -57,30 +57,30 @@ std::optional<NodeId> ChainReplica::successor() const {
 
 // ---------------------------------------------------------------- messages --
 
-void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+void ChainReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   last_heard_[msg.from.value] = ctx.now();
 
   if (msg.header == kChainDeliverHeader) {
-    on_deliver(ctx, sim::msg_body<tob::Command>(msg));
+    on_deliver(ctx, net::msg_body<tob::Command>(msg));
     return;
   }
   if (msg.header == workload::kTxnRequestHeader) {
-    on_client_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    on_client_request(ctx, net::msg_body<workload::TxnRequest>(msg));
     return;
   }
   if (msg.header == kChainFwdHeader) {
-    on_forward(ctx, sim::msg_body<ForwardBody>(msg));
+    on_forward(ctx, net::msg_body<ForwardBody>(msg));
     return;
   }
   if (msg.header == kChainElectHeader) {
-    on_elect(ctx, msg.from, sim::msg_body<ElectBody>(msg));
+    on_elect(ctx, msg.from, net::msg_body<ElectBody>(msg));
     return;
   }
   if (msg.header == kChainHbHeader) {
     return;  // liveness recorded above
   }
   if (msg.header == kChainCatchupHeader) {
-    const auto& body = sim::msg_body<CatchupBody>(msg);
+    const auto& body = net::msg_body<CatchupBody>(msg);
     if (body.config != config_seq_) return;
     for (const auto& [order, req] : body.txns) {
       if (order != executed_order_ + 1) continue;
@@ -88,12 +88,12 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     }
     state_ = State::kNormal;
     if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
-    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
+    ctx.send(msg.from, net::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered(ctx);
     return;
   }
   if (msg.header == kChainSnapBeginHeader) {
-    const auto& body = sim::msg_body<SnapBeginBody>(msg);
+    const auto& body = net::msg_body<SnapBeginBody>(msg);
     if (body.config != config_seq_) return;
     executor_.engine().reset_for_restore(body.schemas);
     std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
@@ -111,7 +111,7 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
   if (msg.header == kChainSnapBatchHeader) {
     if (!awaiting_snapshot_) return;
-    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    const auto& body = net::msg_body<SnapBatchBody>(msg);
     ctx.charge(executor_.engine().restore_batch(body.batch));
     if (config_.tracer) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
@@ -120,7 +120,7 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     return;
   }
   if (msg.header == kChainSnapDoneHeader) {
-    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    const auto& body = net::msg_body<SnapDoneBody>(msg);
     if (body.config != config_seq_ || !awaiting_snapshot_) return;
     awaiting_snapshot_ = false;
     executed_order_ = pending_snapshot_order_;
@@ -130,12 +130,12 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
       config_.tracer->recover(ctx.now(), self_, executed_order_);
     }
-    ctx.send(msg.from, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
+    ctx.send(msg.from, net::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered(ctx);
     return;
   }
   if (msg.header == kChainRecoveredHeader) {
-    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    const auto& body = net::msg_body<SnapDoneBody>(msg);
     if (body.config != config_seq_) return;
     recovered_.insert(msg.from.value);
     if (recovered_.size() >= chain_.size() - 1) accepting_ = true;
@@ -145,11 +145,11 @@ void ChainReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
 
 // -------------------------------------------------------------- normal case --
 
-void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest& req) {
+void ChainReplica::on_client_request(net::NodeContext& ctx, const workload::TxnRequest& req) {
   const bool read_only = config_.read_only_procs.count(req.proc) > 0;
   if (state_ != State::kNormal || chain_.empty()) {
     ctx.send(req.reply_to,
-             sim::make_msg(kPbrRedirectHeader,
+             net::make_msg(kPbrRedirectHeader,
                            RedirectBody{NodeId{UINT32_MAX}, config_seq_, true}));
     return;
   }
@@ -157,7 +157,7 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
   if (read_only) {
     // Queries are the tail's job: it only knows fully-replicated updates.
     if (chain_.back() != self_) {
-      ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+      ctx.send(req.reply_to, net::make_msg(kPbrRedirectHeader,
                                            RedirectBody{chain_.back(), config_seq_, false}));
       return;
     }
@@ -173,12 +173,12 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
 
   // Updates enter at the head.
   if (chain_.front() != self_) {
-    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+    ctx.send(req.reply_to, net::make_msg(kPbrRedirectHeader,
                                          RedirectBody{chain_.front(), config_seq_, false}));
     return;
   }
   if (!accepting_) {
-    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+    ctx.send(req.reply_to, net::make_msg(kPbrRedirectHeader,
                                          RedirectBody{self_, config_seq_, true}));
     return;
   }
@@ -208,15 +208,15 @@ void ChainReplica::on_client_request(sim::Context& ctx, const workload::TxnReque
   forward_down(ctx, order, req);
 }
 
-void ChainReplica::forward_down(sim::Context& ctx, std::uint64_t order,
+void ChainReplica::forward_down(net::NodeContext& ctx, std::uint64_t order,
                                 const workload::TxnRequest& req) {
   const auto next = successor();
   if (!next) return;
   ctx.charge(kForwardCost);
-  ctx.send(*next, sim::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req}));
+  ctx.send(*next, net::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req}));
 }
 
-void ChainReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
+void ChainReplica::on_forward(net::NodeContext& ctx, const ForwardBody& fwd) {
   if (fwd.config != config_seq_) return;
   if (state_ == State::kRecovering) {
     buffered_forwards_.push_back(fwd);
@@ -229,7 +229,7 @@ void ChainReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
   forward_down(ctx, fwd.order, fwd.request);
 }
 
-void ChainReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
+void ChainReplica::execute_and_cache(net::NodeContext& ctx, std::uint64_t order,
                                      const workload::TxnRequest& req, bool answer_client) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
@@ -244,7 +244,7 @@ void ChainReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
   if (answer_client) ctx.send(req.reply_to, workload::make_response_msg(exec.response));
 }
 
-void ChainReplica::apply_buffered(sim::Context& ctx) {
+void ChainReplica::apply_buffered(net::NodeContext& ctx) {
   while (!buffered_forwards_.empty()) {
     const ForwardBody fwd = buffered_forwards_.front();
     buffered_forwards_.pop_front();
@@ -256,7 +256,7 @@ void ChainReplica::apply_buffered(sim::Context& ctx) {
 
 // ------------------------------------------------------------------ recovery --
 
-void ChainReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
+void ChainReplica::on_deliver(net::NodeContext& ctx, const tob::Command& cmd) {
   const workload::TxnRequest req = workload::decode_request(cmd.payload);
   if (req.proc != kChainReconfigProc) return;
   const auto g = static_cast<ConfigSeq>(req.params[0].as_int());
@@ -278,10 +278,10 @@ void ChainReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
     return;
   }
   state_ = State::kElecting;
-  const sim::Time now = ctx.now();
+  const net::Time now = ctx.now();
   for (NodeId member : chain_) last_heard_[member.value] = now;
-  const sim::Message elect =
-      sim::make_msg(kChainElectHeader, ElectBody{config_seq_, executed_order_});
+  const net::Message elect =
+      net::make_msg(kChainElectHeader, ElectBody{config_seq_, executed_order_});
   for (NodeId member : chain_) {
     if (member != self_) ctx.send(member, elect);
   }
@@ -289,12 +289,12 @@ void ChainReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
   maybe_finish_election(ctx);
 }
 
-void ChainReplica::on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect) {
+void ChainReplica::on_elect(net::NodeContext& ctx, NodeId from, const ElectBody& elect) {
   pending_elects_[elect.config][from.value] = elect.executed;
   if (elect.config == config_seq_ && state_ == State::kElecting) maybe_finish_election(ctx);
 }
 
-void ChainReplica::maybe_finish_election(sim::Context& ctx) {
+void ChainReplica::maybe_finish_election(net::NodeContext& ctx) {
   const auto& elects = pending_elects_[config_seq_];
   for (NodeId member : chain_) {
     if (elects.count(member.value) == 0) return;
@@ -314,7 +314,7 @@ void ChainReplica::maybe_finish_election(sim::Context& ctx) {
   if (source != self_) {
     state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
     if (state_ == State::kNormal) {
-      ctx.send(source, sim::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
+      ctx.send(source, net::make_msg(kChainRecoveredHeader, SnapDoneBody{config_seq_}));
     }
     return;
   }
@@ -337,7 +337,7 @@ void ChainReplica::maybe_finish_election(sim::Context& ctx) {
   (void)up_to_date;
 }
 
-void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t member_seq) {
+void ChainReplica::send_state_to(net::NodeContext& ctx, NodeId member, std::uint64_t member_seq) {
   const bool cache_covers =
       !txn_cache_.empty() && txn_cache_.front().first <= member_seq + 1;
   if (cache_covers || member_seq == executed_order_) {
@@ -346,7 +346,7 @@ void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t
     for (const auto& [order, req] : txn_cache_) {
       if (order > member_seq) body.txns.emplace_back(order, req);
     }
-    ctx.send(member, sim::make_msg(kChainCatchupHeader, std::move(body)));
+    ctx.send(member, net::make_msg(kChainCatchupHeader, std::move(body)));
     return;
   }
   const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
@@ -361,22 +361,22 @@ void ChainReplica::send_state_to(sim::Context& ctx, NodeId member, std::uint64_t
   for (const auto& [client, entry] : executor_.dedup_table()) {
     begin.dedup_seqs.emplace_back(client, entry.first);
   }
-  ctx.send(member, sim::make_msg(kChainSnapBeginHeader, std::move(begin)));
+  ctx.send(member, net::make_msg(kChainSnapBeginHeader, std::move(begin)));
   for (const auto& batch : snap.batches) {
-    ctx.send(member, sim::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch}));
+    ctx.send(member, net::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch}));
   }
-  ctx.send(member, sim::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}));
+  ctx.send(member, net::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}));
 }
 
 // ----------------------------------------------------------- failure detection --
 
-void ChainReplica::on_heartbeat_tick(sim::Context& ctx) {
+void ChainReplica::on_heartbeat_tick(net::NodeContext& ctx) {
   if (state_ == State::kNormal || state_ == State::kElecting ||
       state_ == State::kRecovering) {
     for (NodeId member : chain_) {
-      if (member != self_) ctx.send(member, sim::make_signal(kChainHbHeader));
+      if (member != self_) ctx.send(member, net::make_signal(kChainHbHeader));
     }
-    const sim::Time now = ctx.now();
+    const net::Time now = ctx.now();
     std::vector<NodeId> suspects;
     for (NodeId member : chain_) {
       if (member == self_) continue;
@@ -389,10 +389,10 @@ void ChainReplica::on_heartbeat_tick(sim::Context& ctx) {
     }
     if (!suspects.empty()) suspect_and_propose(ctx, suspects);
   }
-  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+  ctx.set_timer(config_.hb_period, [this](net::NodeContext& c) { on_heartbeat_tick(c); });
 }
 
-void ChainReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects) {
+void ChainReplica::suspect_and_propose(net::NodeContext& ctx, const std::vector<NodeId>& suspects) {
   accepting_ = false;
   // Splice the suspects out of the chain and append spares at the tail (the
   // canonical chain-replication repair).
@@ -417,7 +417,7 @@ void ChainReplica::suspect_and_propose(sim::Context& ctx, const std::vector<Node
     req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
   }
   tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
+  ctx.send(tob_.node(), net::make_msg(tob::kBroadcastHeader, std::move(body)));
 }
 
 }  // namespace shadow::core

@@ -43,8 +43,8 @@ inline constexpr const char* kChainDeliverHeader = "chain-deliver";
 // `primary` carries the head for writes or the tail for reads.
 
 struct ChainConfig {
-  sim::Time hb_period = 1000000;
-  sim::Time suspect_timeout = 10000000;
+  net::Time hb_period = 1000000;
+  net::Time suspect_timeout = 10000000;
   std::size_t txn_cache_max = 20000;
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool enable_failure_detection = true;
@@ -55,7 +55,7 @@ struct ChainConfig {
 
 class ChainReplica {
  public:
-  ChainReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+  ChainReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                std::shared_ptr<db::Engine> engine,
                std::shared_ptr<const workload::ProcedureRegistry> registry,
                std::vector<NodeId> chain,  // head first, tail last
@@ -86,22 +86,22 @@ class ChainReplica {
   using SnapBatchBody = ReplSnapBatchBody;
   using SnapDoneBody = ReplSnapDoneBody;
 
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_deliver(sim::Context& ctx, const tob::Command& cmd);
-  void on_client_request(sim::Context& ctx, const workload::TxnRequest& req);
-  void on_forward(sim::Context& ctx, const ForwardBody& fwd);
-  void on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect);
-  void maybe_finish_election(sim::Context& ctx);
-  void send_state_to(sim::Context& ctx, NodeId member, std::uint64_t member_seq);
-  void on_heartbeat_tick(sim::Context& ctx);
-  void suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects);
-  void execute_and_cache(sim::Context& ctx, std::uint64_t order,
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_deliver(net::NodeContext& ctx, const tob::Command& cmd);
+  void on_client_request(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void on_forward(net::NodeContext& ctx, const ForwardBody& fwd);
+  void on_elect(net::NodeContext& ctx, NodeId from, const ElectBody& elect);
+  void maybe_finish_election(net::NodeContext& ctx);
+  void send_state_to(net::NodeContext& ctx, NodeId member, std::uint64_t member_seq);
+  void on_heartbeat_tick(net::NodeContext& ctx);
+  void suspect_and_propose(net::NodeContext& ctx, const std::vector<NodeId>& suspects);
+  void execute_and_cache(net::NodeContext& ctx, std::uint64_t order,
                          const workload::TxnRequest& req, bool answer_client);
-  void forward_down(sim::Context& ctx, std::uint64_t order, const workload::TxnRequest& req);
-  void apply_buffered(sim::Context& ctx);
+  void forward_down(net::NodeContext& ctx, std::uint64_t order, const workload::TxnRequest& req);
+  void apply_buffered(net::NodeContext& ctx);
   std::optional<NodeId> successor() const;
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   tob::TobNode& tob_;
   TxnExecutor executor_;
@@ -123,7 +123,7 @@ class ChainReplica {
   std::set<std::uint32_t> recovered_;
   bool accepting_ = true;
 
-  std::map<std::uint32_t, sim::Time> last_heard_;
+  std::map<std::uint32_t, net::Time> last_heard_;
   std::set<std::uint64_t> proposed_;
   ClientId reconfig_client_id_;
   RequestSeq reconfig_seq_ = 0;

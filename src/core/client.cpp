@@ -5,7 +5,7 @@
 
 namespace shadow::core {
 
-DbClient::DbClient(sim::World& world, NodeId self, ClientId id, Options options,
+DbClient::DbClient(net::Transport& world, NodeId self, ClientId id, Options options,
                    NextTxnFn next_txn)
     : world_(world),
       self_(self),
@@ -13,17 +13,17 @@ DbClient::DbClient(sim::World& world, NodeId self, ClientId id, Options options,
       options_(std::move(options)),
       next_txn_(std::move(next_txn)) {
   SHADOW_REQUIRE(!options_.targets.empty());
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
 }
 
-void DbClient::start(sim::Time initial_delay) {
+void DbClient::start(net::Time initial_delay) {
   world_.schedule_timer_for_node(self_, world_.now() + initial_delay,
-                                 [this](sim::Context& ctx) { submit_next(ctx); });
+                                 [this](net::NodeContext& ctx) { submit_next(ctx); });
 }
 
-void DbClient::submit_next(sim::Context& ctx) {
+void DbClient::submit_next(net::NodeContext& ctx) {
   if (submitted_ >= options_.txn_limit) {
     done_ = true;
     return;
@@ -44,7 +44,7 @@ void DbClient::submit_next(sim::Context& ctx) {
   send_current(ctx);
 }
 
-void DbClient::send_current(sim::Context& ctx) {
+void DbClient::send_current(net::NodeContext& ctx) {
   SHADOW_CHECK(in_flight_.has_value());
   ctx.charge(options_.client_cpu_us);
   const NodeId target = options_.targets[target_idx_ % options_.targets.size()];
@@ -53,29 +53,29 @@ void DbClient::send_current(sim::Context& ctx) {
   } else {
     tob::BroadcastBody body{
         tob::Command{id_, in_flight_->seq, workload::encode_request(*in_flight_)}};
-    ctx.send(target, sim::make_msg(tob::kBroadcastHeader, std::move(body)));
+    ctx.send(target, net::make_msg(tob::kBroadcastHeader, std::move(body)));
   }
   timeout_timer_ = ctx.set_timer(options_.retry_timeout,
-                                 [this](sim::Context& c) { on_timeout(c); });
+                                 [this](net::NodeContext& c) { on_timeout(c); });
 }
 
-void DbClient::on_timeout(sim::Context& ctx) {
+void DbClient::on_timeout(net::NodeContext& ctx) {
   if (!in_flight_ || done_) return;
   ++retries_;
   ++target_idx_;  // rotate: the old target may have crashed
   send_current(ctx);
 }
 
-void DbClient::on_message(sim::Context& ctx, const sim::Message& msg) {
+void DbClient::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == workload::kTxnResponseHeader) {
-    const auto& resp = sim::msg_body<workload::TxnResponse>(msg);
+    const auto& resp = net::msg_body<workload::TxnResponse>(msg);
     if (!in_flight_ || resp.seq != in_flight_->seq) return;  // late duplicate
     finish_current(ctx, resp);
     return;
   }
   if (msg.header == kPbrRedirectHeader) {
     if (!in_flight_) return;
-    const auto& body = sim::msg_body<RedirectBody>(msg);
+    const auto& body = net::msg_body<RedirectBody>(msg);
     ctx.cancel_timer(timeout_timer_);
     const bool unknown_primary = body.primary.value == UINT32_MAX;
     if (!body.busy && !unknown_primary) {
@@ -98,7 +98,7 @@ void DbClient::on_message(sim::Context& ctx, const sim::Message& msg) {
         consecutive_busy_ = 0;
         ++target_idx_;
       }
-      ctx.set_timer(options_.busy_backoff, [this](sim::Context& c) {
+      ctx.set_timer(options_.busy_backoff, [this](net::NodeContext& c) {
         if (in_flight_ && !done_) {
           ++retries_;
           send_current(c);
@@ -110,7 +110,7 @@ void DbClient::on_message(sim::Context& ctx, const sim::Message& msg) {
   // tob-ack and other service chatter is not the transaction answer.
 }
 
-void DbClient::finish_current(sim::Context& ctx, const workload::TxnResponse& resp) {
+void DbClient::finish_current(net::NodeContext& ctx, const workload::TxnResponse& resp) {
   consecutive_busy_ = 0;
   ctx.cancel_timer(timeout_timer_);
   ctx.charge(options_.client_cpu_us);

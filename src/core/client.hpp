@@ -28,8 +28,8 @@ class DbClient {
   struct Options {
     Mode mode = Mode::kDirect;
     std::vector<NodeId> targets;        // servers (direct) or TOB nodes (tob)
-    sim::Time retry_timeout = 2000000;  // 2 s resend timeout
-    sim::Time busy_backoff = 100000;    // retry delay on a busy redirect
+    net::Time retry_timeout = 2000000;  // 2 s resend timeout
+    net::Time busy_backoff = 100000;    // retry delay on a busy redirect
     std::size_t txn_limit = 1000;       // closed-loop transaction count
     std::uint64_t client_cpu_us = 4;    // per send/receive on the client machine
     obs::Tracer* tracer = nullptr;      // optional structured trace recorder
@@ -38,14 +38,14 @@ class DbClient {
   /// Supplies the next transaction (procedure name + parameters).
   using NextTxnFn = std::function<std::pair<std::string, workload::Params>()>;
   /// Optional per-commit hook (virtual completion time) for timelines.
-  using CommitHook = std::function<void(sim::Time)>;
+  using CommitHook = std::function<void(net::Time)>;
 
-  DbClient(sim::World& world, NodeId self, ClientId id, Options options, NextTxnFn next_txn);
+  DbClient(net::Transport& world, NodeId self, ClientId id, Options options, NextTxnFn next_txn);
 
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Begins the closed loop (schedules the first submission).
-  void start(sim::Time initial_delay = 0);
+  void start(net::Time initial_delay = 0);
 
   bool done() const { return done_; }
   const LatencyStats& latencies() const { return latencies_; }
@@ -55,13 +55,13 @@ class DbClient {
   ClientId id() const { return id_; }
 
  private:
-  void submit_next(sim::Context& ctx);
-  void send_current(sim::Context& ctx);
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_timeout(sim::Context& ctx);
-  void finish_current(sim::Context& ctx, const workload::TxnResponse& resp);
+  void submit_next(net::NodeContext& ctx);
+  void send_current(net::NodeContext& ctx);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_timeout(net::NodeContext& ctx);
+  void finish_current(net::NodeContext& ctx, const workload::TxnResponse& resp);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   ClientId id_;
   Options options_;
@@ -70,9 +70,9 @@ class DbClient {
 
   RequestSeq seq_ = 0;
   std::optional<workload::TxnRequest> in_flight_;
-  sim::Time sent_at_ = 0;
+  net::Time sent_at_ = 0;
   std::size_t target_idx_ = 0;
-  sim::TimerId timeout_timer_ = 0;
+  net::TimerId timeout_timer_ = 0;
   std::size_t consecutive_busy_ = 0;
   bool done_ = false;
 

@@ -17,7 +17,7 @@ constexpr std::uint64_t kForwardCost = 34;  // µs to marshal one forward
 
 }  // namespace
 
-PbrReplica::PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+PbrReplica::PbrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                        std::shared_ptr<db::Engine> engine,
                        std::shared_ptr<const workload::ProcedureRegistry> registry,
                        std::vector<NodeId> initial_group, std::vector<NodeId> spares,
@@ -31,7 +31,7 @@ PbrReplica::PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
       members_(std::move(initial_group)),
       spares_(std::move(spares)) {
   SHADOW_REQUIRE(!members_.empty());
-  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+  SHADOW_REQUIRE_MSG(world_.host_of(self_) == world_.host_of(tob_.node()),
                      "PBR replicas are co-located with their broadcast service node");
   primary_ = members_[0];
   group_size_target_ = members_.size();
@@ -43,49 +43,49 @@ PbrReplica::PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
 
   // Hand TOB deliveries to the replica process through a loopback message so
   // the replica acts under its own identity (and stops acting when crashed).
-  tob_.subscribe_local([this](sim::Context& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kPbrDeliverHeader, cmd));
+  tob_.subscribe_local([this](net::NodeContext& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
+    ctx.send(self_, net::make_msg(kPbrDeliverHeader, cmd));
   });
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
   if (config_.enable_failure_detection) {
     world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
-                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+                                   [this](net::NodeContext& ctx) { on_heartbeat_tick(ctx); });
   }
 }
 
 // --------------------------------------------------------------- messages --
 
-void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+void PbrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   // Any traffic from a configuration member counts as a liveness signal.
   last_heard_[msg.from.value] = ctx.now();
 
   if (msg.header == kPbrDeliverHeader) {
-    on_deliver(ctx, sim::msg_body<tob::Command>(msg));
+    on_deliver(ctx, net::msg_body<tob::Command>(msg));
     return;
   }
   if (msg.header == workload::kTxnRequestHeader) {
-    on_client_request(ctx, sim::msg_body<workload::TxnRequest>(msg));
+    on_client_request(ctx, net::msg_body<workload::TxnRequest>(msg));
     return;
   }
   if (msg.header == kPbrForwardHeader) {
-    on_forward(ctx, sim::msg_body<ForwardBody>(msg));
+    on_forward(ctx, net::msg_body<ForwardBody>(msg));
     return;
   }
   if (msg.header == kPbrAckHeader) {
-    on_ack(ctx, msg.from, sim::msg_body<AckBody>(msg));
+    on_ack(ctx, msg.from, net::msg_body<AckBody>(msg));
     return;
   }
   if (msg.header == kPbrElectHeader) {
-    on_elect(ctx, msg.from, sim::msg_body<ElectBody>(msg));
+    on_elect(ctx, msg.from, net::msg_body<ElectBody>(msg));
     return;
   }
   if (msg.header == kPbrHbHeader) {
     return;  // the blanket last_heard_ update above is all a heartbeat does
   }
   if (msg.header == kPbrCatchupHeader) {
-    const auto& body = sim::msg_body<CatchupBody>(msg);
+    const auto& body = net::msg_body<CatchupBody>(msg);
     if (body.config != config_seq_) return;
     for (const auto& [order, req] : body.txns) {
       if (order != executed_order_ + 1) continue;  // already have it
@@ -93,12 +93,12 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     }
     state_ = State::kNormal;
     if (config_.tracer) config_.tracer->recover(ctx.now(), self_, executed_order_);
-    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
+    ctx.send(msg.from, net::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered_forwards(ctx);
     return;
   }
   if (msg.header == kPbrSnapBeginHeader) {
-    const auto& body = sim::msg_body<SnapBeginBody>(msg);
+    const auto& body = net::msg_body<SnapBeginBody>(msg);
     if (body.config != config_seq_) return;
     executor_.engine().reset_for_restore(body.schemas);
     std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
@@ -116,7 +116,7 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
   if (msg.header == kPbrSnapBatchHeader) {
     if (!awaiting_snapshot_) return;
-    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    const auto& body = net::msg_body<SnapBatchBody>(msg);
     ctx.charge(executor_.engine().restore_batch(body.batch));
     if (config_.tracer) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
@@ -125,7 +125,7 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     return;
   }
   if (msg.header == kPbrSnapDoneHeader) {
-    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    const auto& body = net::msg_body<SnapDoneBody>(msg);
     if (body.config != config_seq_ || !awaiting_snapshot_) return;
     awaiting_snapshot_ = false;
     executed_order_ = pending_snapshot_order_;
@@ -135,12 +135,12 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, 0, msg.from);
       config_.tracer->recover(ctx.now(), self_, executed_order_);
     }
-    ctx.send(msg.from, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
+    ctx.send(msg.from, net::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     apply_buffered_forwards(ctx);
     return;
   }
   if (msg.header == kPbrRecoveredHeader) {
-    const auto& body = sim::msg_body<SnapDoneBody>(msg);
+    const auto& body = net::msg_body<SnapDoneBody>(msg);
     if (body.config != config_seq_) return;
     backup_recovered(ctx, msg.from);
     return;
@@ -149,11 +149,11 @@ void PbrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
 
 // ------------------------------------------------------------- normal case --
 
-void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest& req) {
+void PbrReplica::on_client_request(net::NodeContext& ctx, const workload::TxnRequest& req) {
   // A deposed replica (or a spare) is not part of the configuration at all:
   // point the client at the new membership rather than asking it to wait.
   if (!contains(members_, self_) && !members_.empty()) {
-    ctx.send(req.reply_to, sim::make_msg(kPbrRedirectHeader,
+    ctx.send(req.reply_to, net::make_msg(kPbrRedirectHeader,
                                          RedirectBody{members_.front(), config_seq_, false}));
     return;
   }
@@ -193,7 +193,7 @@ void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest
   out.request = req;
   out.response = exec.response;
   out.waiting = recovered_backups_;
-  const sim::Message fwd = sim::make_msg(kPbrForwardHeader, ForwardBody{config_seq_, order, req});
+  const net::Message fwd = net::make_msg(kPbrForwardHeader, ForwardBody{config_seq_, order, req});
   for (NodeId member : members_) {
     if (member == self_) continue;
     ctx.charge(kForwardCost);
@@ -207,7 +207,7 @@ void PbrReplica::on_client_request(sim::Context& ctx, const workload::TxnRequest
   outstanding_.emplace(order, std::move(out));
 }
 
-void PbrReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
+void PbrReplica::on_forward(net::NodeContext& ctx, const ForwardBody& fwd) {
   if (fwd.config != config_seq_ || stopped_) return;  // stale configuration
   if (state_ == State::kRecovering) {
     buffered_forwards_.push_back(fwd);
@@ -216,10 +216,10 @@ void PbrReplica::on_forward(sim::Context& ctx, const ForwardBody& fwd) {
   if (state_ != State::kNormal || primary_ == self_) return;
   if (fwd.order != executed_order_ + 1) return;  // duplicate (FIFO channels)
   execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
-  ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
+  ctx.send(primary_, net::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
 }
 
-void PbrReplica::on_ack(sim::Context& ctx, NodeId from, const AckBody& ack) {
+void PbrReplica::on_ack(net::NodeContext& ctx, NodeId from, const AckBody& ack) {
   if (ack.config != config_seq_) return;
   ctx.charge(kAckCost);
   auto it = outstanding_.find(ack.order);
@@ -233,7 +233,7 @@ void PbrReplica::on_ack(sim::Context& ctx, NodeId from, const AckBody& ack) {
   }
 }
 
-void PbrReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
+void PbrReplica::execute_and_cache(net::NodeContext& ctx, std::uint64_t order,
                                    const workload::TxnRequest& req, bool send_response) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
@@ -248,26 +248,26 @@ void PbrReplica::execute_and_cache(sim::Context& ctx, std::uint64_t order,
   if (send_response) ctx.send(req.reply_to, workload::make_response_msg(exec.response));
 }
 
-void PbrReplica::apply_buffered_forwards(sim::Context& ctx) {
+void PbrReplica::apply_buffered_forwards(net::NodeContext& ctx) {
   while (!buffered_forwards_.empty()) {
     const ForwardBody fwd = buffered_forwards_.front();
     buffered_forwards_.pop_front();
     if (fwd.config != config_seq_) continue;
     if (fwd.order != executed_order_ + 1) continue;
     execute_and_cache(ctx, fwd.order, fwd.request, /*send_response=*/false);
-    ctx.send(primary_, sim::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
+    ctx.send(primary_, net::make_msg(kPbrAckHeader, AckBody{config_seq_, fwd.order}));
   }
 }
 
-void PbrReplica::redirect(sim::Context& ctx, NodeId to, bool busy) {
+void PbrReplica::redirect(net::NodeContext& ctx, NodeId to, bool busy) {
   // An unknown primary (mid-election) is a "try again later", not a target.
   if (primary_.value == UINT32_MAX) busy = true;
-  ctx.send(to, sim::make_msg(kPbrRedirectHeader, RedirectBody{primary_, config_seq_, busy}));
+  ctx.send(to, net::make_msg(kPbrRedirectHeader, RedirectBody{primary_, config_seq_, busy}));
 }
 
 // ---------------------------------------------------------------- recovery --
 
-void PbrReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
+void PbrReplica::on_deliver(net::NodeContext& ctx, const tob::Command& cmd) {
   const workload::TxnRequest req = workload::decode_request(cmd.payload);
   if (req.proc != kPbrReconfigProc) return;
   SHADOW_CHECK(req.params.size() >= 3);
@@ -292,11 +292,11 @@ void PbrReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
     return;
   }
   state_ = State::kElecting;
-  const sim::Time now = ctx.now();
+  const net::Time now = ctx.now();
   for (NodeId member : members_) last_heard_[member.value] = now;
 
   // Step 3: send (g+1, seq_r) to all members of the new configuration.
-  const sim::Message elect = sim::make_msg(kPbrElectHeader, ElectBody{config_seq_, executed_order_});
+  const net::Message elect = net::make_msg(kPbrElectHeader, ElectBody{config_seq_, executed_order_});
   for (NodeId member : members_) {
     if (member != self_) ctx.send(member, elect);
   }
@@ -304,12 +304,12 @@ void PbrReplica::on_deliver(sim::Context& ctx, const tob::Command& cmd) {
   maybe_finish_election(ctx);
 }
 
-void PbrReplica::on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect) {
+void PbrReplica::on_elect(net::NodeContext& ctx, NodeId from, const ElectBody& elect) {
   pending_elects_[elect.config][from.value] = elect.executed;
   if (elect.config == config_seq_ && state_ == State::kElecting) maybe_finish_election(ctx);
 }
 
-void PbrReplica::maybe_finish_election(sim::Context& ctx) {
+void PbrReplica::maybe_finish_election(net::NodeContext& ctx) {
   const auto& elects = pending_elects_[config_seq_];
   for (NodeId member : members_) {
     if (elects.count(member.value) == 0) return;  // step 4: wait for all
@@ -332,7 +332,7 @@ void PbrReplica::maybe_finish_election(sim::Context& ctx) {
     // primary sends an empty catch-up in that case).
     state_ = executed_order_ == best ? State::kNormal : State::kRecovering;
     if (state_ == State::kNormal) {
-      ctx.send(primary_, sim::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
+      ctx.send(primary_, net::make_msg(kPbrRecoveredHeader, SnapDoneBody{config_seq_}));
     }
     return;
   }
@@ -351,7 +351,7 @@ void PbrReplica::maybe_finish_election(sim::Context& ctx) {
   }
 }
 
-void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t backup_seq) {
+void PbrReplica::send_state_to(net::NodeContext& ctx, NodeId backup, std::uint64_t backup_seq) {
   // Step 5: catch-up from the bounded cache where possible, else snapshot.
   const bool cache_covers =
       !txn_cache_.empty() && txn_cache_.front().first <= backup_seq + 1;
@@ -361,7 +361,7 @@ void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t b
     for (const auto& [order, req] : txn_cache_) {
       if (order > backup_seq) body.txns.emplace_back(order, req);
     }
-    ctx.send(backup, sim::make_msg(kPbrCatchupHeader, std::move(body)));
+    ctx.send(backup, net::make_msg(kPbrCatchupHeader, std::move(body)));
     return;
   }
 
@@ -379,14 +379,14 @@ void PbrReplica::send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t b
   for (const auto& [client, entry] : executor_.dedup_table()) {
     begin.dedup_seqs.emplace_back(client, entry.first);
   }
-  ctx.send(backup, sim::make_msg(kPbrSnapBeginHeader, std::move(begin)));
+  ctx.send(backup, net::make_msg(kPbrSnapBeginHeader, std::move(begin)));
   for (const auto& batch : snap.batches) {
-    ctx.send(backup, sim::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}));
+    ctx.send(backup, net::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}));
   }
-  ctx.send(backup, sim::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}));
+  ctx.send(backup, net::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}));
 }
 
-void PbrReplica::backup_recovered(sim::Context& ctx, NodeId backup) {
+void PbrReplica::backup_recovered(net::NodeContext& ctx, NodeId backup) {
   (void)ctx;
   if (!contains(members_, backup) || primary_ != self_) return;
   recovered_backups_.insert(backup.value);
@@ -394,13 +394,13 @@ void PbrReplica::backup_recovered(sim::Context& ctx, NodeId backup) {
 
 // --------------------------------------------------------- failure detection --
 
-void PbrReplica::on_heartbeat_tick(sim::Context& ctx) {
+void PbrReplica::on_heartbeat_tick(net::NodeContext& ctx) {
   if (state_ == State::kNormal || state_ == State::kElecting ||
       state_ == State::kRecovering) {
     for (NodeId member : members_) {
-      if (member != self_) ctx.send(member, sim::make_signal(kPbrHbHeader));
+      if (member != self_) ctx.send(member, net::make_signal(kPbrHbHeader));
     }
-    const sim::Time now = ctx.now();
+    const net::Time now = ctx.now();
     std::vector<NodeId> suspects;
     for (NodeId member : members_) {
       if (member == self_) continue;
@@ -413,10 +413,10 @@ void PbrReplica::on_heartbeat_tick(sim::Context& ctx) {
     }
     if (!suspects.empty()) suspect_and_propose(ctx, suspects);
   }
-  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+  ctx.set_timer(config_.hb_period, [this](net::NodeContext& c) { on_heartbeat_tick(c); });
 }
 
-void PbrReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects) {
+void PbrReplica::suspect_and_propose(net::NodeContext& ctx, const std::vector<NodeId>& suspects) {
   // Step 1: stop executing in the current configuration.
   stopped_ = true;
   outstanding_.clear();
@@ -443,7 +443,7 @@ void PbrReplica::suspect_and_propose(sim::Context& ctx, const std::vector<NodeId
     req.params.push_back(db::Value(static_cast<std::int64_t>(member.value)));
   }
   tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-  ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
+  ctx.send(tob_.node(), net::make_msg(tob::kBroadcastHeader, std::move(body)));
 }
 
 }  // namespace shadow::core

@@ -58,8 +58,8 @@ struct RedirectBody {
 };
 
 struct PbrConfig {
-  sim::Time hb_period = 1000000;         // 1 s
-  sim::Time suspect_timeout = 10000000;  // 10 s detection (Fig. 10(a) setting)
+  net::Time hb_period = 1000000;         // 1 s
+  net::Time suspect_timeout = 10000000;  // 10 s detection (Fig. 10(a) setting)
   std::size_t txn_cache_max = 20000;     // bounded executed-transaction cache
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool overlap_state_transfer = true;
@@ -69,7 +69,7 @@ struct PbrConfig {
 
 class PbrReplica {
  public:
-  PbrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+  PbrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
              std::shared_ptr<db::Engine> engine,
              std::shared_ptr<const workload::ProcedureRegistry> registry,
              std::vector<NodeId> initial_group,  // [0] is the initial primary
@@ -105,24 +105,24 @@ class PbrReplica {
   using SnapBatchBody = ReplSnapBatchBody;
   using SnapDoneBody = ReplSnapDoneBody;
 
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_deliver(sim::Context& ctx, const tob::Command& cmd);
-  void on_client_request(sim::Context& ctx, const workload::TxnRequest& req);
-  void on_forward(sim::Context& ctx, const ForwardBody& fwd);
-  void on_ack(sim::Context& ctx, NodeId from, const AckBody& ack);
-  void on_elect(sim::Context& ctx, NodeId from, const ElectBody& elect);
-  void on_heartbeat_tick(sim::Context& ctx);
-  void suspect_and_propose(sim::Context& ctx, const std::vector<NodeId>& suspects);
-  void maybe_finish_election(sim::Context& ctx);
-  void start_backup_recovery(sim::Context& ctx);
-  void send_state_to(sim::Context& ctx, NodeId backup, std::uint64_t backup_seq);
-  void backup_recovered(sim::Context& ctx, NodeId backup);
-  void execute_and_cache(sim::Context& ctx, std::uint64_t order,
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_deliver(net::NodeContext& ctx, const tob::Command& cmd);
+  void on_client_request(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void on_forward(net::NodeContext& ctx, const ForwardBody& fwd);
+  void on_ack(net::NodeContext& ctx, NodeId from, const AckBody& ack);
+  void on_elect(net::NodeContext& ctx, NodeId from, const ElectBody& elect);
+  void on_heartbeat_tick(net::NodeContext& ctx);
+  void suspect_and_propose(net::NodeContext& ctx, const std::vector<NodeId>& suspects);
+  void maybe_finish_election(net::NodeContext& ctx);
+  void start_backup_recovery(net::NodeContext& ctx);
+  void send_state_to(net::NodeContext& ctx, NodeId backup, std::uint64_t backup_seq);
+  void backup_recovered(net::NodeContext& ctx, NodeId backup);
+  void execute_and_cache(net::NodeContext& ctx, std::uint64_t order,
                          const workload::TxnRequest& req, bool send_response);
-  void apply_buffered_forwards(sim::Context& ctx);
-  void redirect(sim::Context& ctx, NodeId to, bool busy);
+  void apply_buffered_forwards(net::NodeContext& ctx);
+  void redirect(net::NodeContext& ctx, NodeId to, bool busy);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   tob::TobNode& tob_;
   TxnExecutor executor_;
@@ -158,7 +158,7 @@ class PbrReplica {
   std::uint64_t pending_snapshot_order_ = 0;
 
   // Failure detection.
-  std::map<std::uint32_t, sim::Time> last_heard_;
+  std::map<std::uint32_t, net::Time> last_heard_;
   ClientId reconfig_client_id_;
   RequestSeq reconfig_seq_ = 0;
   std::set<std::uint64_t> proposed_;  // (config, suspect) pairs already proposed

@@ -1,5 +1,7 @@
 #include "core/shadowdb.hpp"
 
+#include "core/codecs.hpp"
+
 namespace shadow::core {
 
 db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index) {
@@ -14,8 +16,8 @@ db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t i
 
 namespace {
 
-tob::TobConfig make_tob_config(sim::World& world, const ClusterOptions& options,
-                               std::vector<sim::MachineId>& machines,
+tob::TobConfig make_tob_config(net::Transport& world, const ClusterOptions& options,
+                               std::vector<net::HostId>& machines,
                                std::vector<NodeId>& tob_nodes) {
   tob::TobConfig config;
   config.protocol = options.protocol;
@@ -28,7 +30,7 @@ tob::TobConfig make_tob_config(sim::World& world, const ClusterOptions& options,
   // TwoThird needs n > 3f; Paxos needs a majority: both satisfied by the
   // requested machine count (callers pick 3 for Paxos, 4 for TwoThird).
   for (std::size_t i = 0; i < options.machines; ++i) {
-    machines.push_back(world.add_machine());
+    machines.push_back(world.add_host());
     tob_nodes.push_back(world.add_node("tob" + std::to_string(i), machines.back()));
   }
   config.nodes = tob_nodes;
@@ -44,8 +46,10 @@ std::shared_ptr<db::Engine> make_loaded_engine(const ClusterOptions& options,
 
 }  // namespace
 
-SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options) {
+SmrCluster make_smr_cluster(net::Transport& world, const ClusterOptions& options) {
   SHADOW_REQUIRE(options.registry != nullptr);
+  // A TCP cluster process must decode message types it never builds.
+  register_wire_codecs();
   SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
   SmrCluster cluster;
   cluster.safety = std::make_shared<consensus::SafetyRecorder>();
@@ -74,8 +78,10 @@ SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options) {
   return cluster;
 }
 
-PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options) {
+PbrCluster make_pbr_cluster(net::Transport& world, const ClusterOptions& options) {
   SHADOW_REQUIRE(options.registry != nullptr);
+  // A TCP cluster process must decode message types it never builds.
+  register_wire_codecs();
   SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
   PbrCluster cluster;
   cluster.safety = std::make_shared<consensus::SafetyRecorder>();
@@ -104,9 +110,10 @@ PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options) {
   return cluster;
 }
 
-ChainCluster make_chain_cluster(sim::World& world, const ClusterOptions& options,
+ChainCluster make_chain_cluster(net::Transport& world, const ClusterOptions& options,
                                 ChainConfig chain_config) {
   SHADOW_REQUIRE(options.registry != nullptr);
+  register_wire_codecs();
   SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
   ChainCluster cluster;
   cluster.safety = std::make_shared<consensus::SafetyRecorder>();

@@ -52,7 +52,7 @@ db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t i
 
 /// A deployed ShadowDB-SMR cluster.
 struct SmrCluster {
-  std::vector<sim::MachineId> machines;
+  std::vector<net::HostId> machines;
   tob::TobService tob;
   std::vector<std::unique_ptr<SmrReplica>> replicas;  // actives then spares
   std::vector<NodeId> tob_nodes;
@@ -63,11 +63,11 @@ struct SmrCluster {
   const std::vector<NodeId>& broadcast_targets() const { return tob_nodes; }
 };
 
-SmrCluster make_smr_cluster(sim::World& world, const ClusterOptions& options);
+SmrCluster make_smr_cluster(net::Transport& world, const ClusterOptions& options);
 
 /// A deployed ShadowDB-PBR cluster.
 struct PbrCluster {
-  std::vector<sim::MachineId> machines;
+  std::vector<net::HostId> machines;
   tob::TobService tob;
   std::vector<std::unique_ptr<PbrReplica>> replicas;  // group order, then spares
   std::vector<NodeId> tob_nodes;
@@ -80,11 +80,11 @@ struct PbrCluster {
   const std::vector<NodeId>& request_targets() const { return replica_nodes; }
 };
 
-PbrCluster make_pbr_cluster(sim::World& world, const ClusterOptions& options);
+PbrCluster make_pbr_cluster(net::Transport& world, const ClusterOptions& options);
 
 /// A deployed chain-replication cluster (extension; see core/chain.hpp).
 struct ChainCluster {
-  std::vector<sim::MachineId> machines;
+  std::vector<net::HostId> machines;
   tob::TobService tob;
   std::vector<std::unique_ptr<ChainReplica>> replicas;  // chain order, then spares
   std::vector<NodeId> tob_nodes;
@@ -95,7 +95,7 @@ struct ChainCluster {
   const std::vector<NodeId>& request_targets() const { return replica_nodes; }
 };
 
-ChainCluster make_chain_cluster(sim::World& world, const ClusterOptions& options,
+ChainCluster make_chain_cluster(net::Transport& world, const ClusterOptions& options,
                                 ChainConfig chain_config = {});
 
 }  // namespace shadow::core

@@ -23,7 +23,7 @@ bool contains(const std::vector<NodeId>& v, NodeId n) {
 
 }  // namespace
 
-SmrReplica::SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                        std::shared_ptr<db::Engine> engine,
                        std::shared_ptr<const workload::ProcedureRegistry> registry,
                        std::vector<NodeId> replica_group, std::vector<NodeId> spares,
@@ -35,7 +35,7 @@ SmrReplica::SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
       config_(config),
       group_(std::move(replica_group)),
       spares_(std::move(spares)) {
-  SHADOW_REQUIRE_MSG(world_.machine_of(self_) == world_.machine_of(tob_.node()),
+  SHADOW_REQUIRE_MSG(world_.host_of(self_) == world_.host_of(tob_.node()),
                      "SMR replicas must be co-located with their broadcast service node");
   reconfig_client_id_ = ClientId{0x40000000u + self_.value};
 
@@ -43,20 +43,20 @@ SmrReplica::SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
   // an in-process queue: model it as a loopback message so that (a) the
   // replica processes them under its own identity and (b) a crashed replica
   // process genuinely stops executing even if the service node survives.
-  tob_.subscribe_local([this](sim::Context& ctx, Slot slot, std::uint64_t index,
+  tob_.subscribe_local([this](net::NodeContext& ctx, Slot slot, std::uint64_t index,
                               const tob::Command& cmd) {
-    ctx.send(self_, sim::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd}));
+    ctx.send(self_, net::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd}));
   });
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
   if (config_.enable_failure_detection) {
     world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
-                                   [this](sim::Context& ctx) { on_heartbeat_tick(ctx); });
+                                   [this](net::NodeContext& ctx) { on_heartbeat_tick(ctx); });
   }
 }
 
-void SmrReplica::on_deliver(sim::Context& ctx, Slot /*slot*/, std::uint64_t index,
+void SmrReplica::on_deliver(net::NodeContext& ctx, Slot /*slot*/, std::uint64_t index,
                             const tob::Command& cmd) {
   delivered_index_ = index;
   const workload::TxnRequest req = workload::decode_request(cmd.payload);
@@ -71,7 +71,7 @@ void SmrReplica::on_deliver(sim::Context& ctx, Slot /*slot*/, std::uint64_t inde
   execute_txn(ctx, index, req);
 }
 
-void SmrReplica::execute_txn(sim::Context& ctx, std::uint64_t index,
+void SmrReplica::execute_txn(net::NodeContext& ctx, std::uint64_t index,
                              const workload::TxnRequest& req) {
   const TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
@@ -82,7 +82,7 @@ void SmrReplica::execute_txn(sim::Context& ctx, std::uint64_t index,
   ctx.send(req.reply_to, workload::make_response_msg(exec.response));
 }
 
-void SmrReplica::handle_reconfig(sim::Context& ctx, const workload::TxnRequest& req,
+void SmrReplica::handle_reconfig(net::NodeContext& ctx, const workload::TxnRequest& req,
                                  std::uint64_t index) {
   SHADOW_CHECK(req.params.size() >= 3);
   const NodeId removed{static_cast<std::uint32_t>(req.params[0].as_int())};
@@ -104,13 +104,13 @@ void SmrReplica::handle_reconfig(sim::Context& ctx, const workload::TxnRequest& 
     joining_ = true;
     join_from_index_ = index + 1;
     buffered_.clear();
-    ctx.send(proposer, sim::make_signal(kSnapRequestHeader));
+    ctx.send(proposer, net::make_signal(kSnapRequestHeader));
   }
 }
 
-void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
+void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kSmrDeliverHeader) {
-    const auto& handoff = sim::msg_body<DeliverHandoff>(msg);
+    const auto& handoff = net::msg_body<DeliverHandoff>(msg);
     on_deliver(ctx, handoff.slot, handoff.index, handoff.command);
     return;
   }
@@ -133,15 +133,15 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     for (const auto& [client, entry] : executor_.dedup_table()) {
       begin.dedup_seqs.emplace_back(client, entry.first);
     }
-    ctx.send(msg.from, sim::make_msg(kSnapBeginHeader, std::move(begin)));
+    ctx.send(msg.from, net::make_msg(kSnapBeginHeader, std::move(begin)));
     for (const auto& batch : snap.batches) {
-      ctx.send(msg.from, sim::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
+      ctx.send(msg.from, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
     }
-    ctx.send(msg.from, sim::make_msg(kSnapDoneHeader, SnapDoneBody{0, snap.total_rows}));
+    ctx.send(msg.from, net::make_msg(kSnapDoneHeader, SnapDoneBody{0, snap.total_rows}));
     return;
   }
   if (msg.header == kSnapBeginHeader) {
-    const auto& begin = sim::msg_body<SnapBeginBody>(msg);
+    const auto& begin = net::msg_body<SnapBeginBody>(msg);
     executor_.engine().reset_for_restore(begin.schemas);
     std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
     for (const auto& [client, seq] : begin.dedup_seqs) {
@@ -151,7 +151,7 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     return;
   }
   if (msg.header == kSnapBatchHeader) {
-    const auto& body = sim::msg_body<SnapBatchBody>(msg);
+    const auto& body = net::msg_body<SnapBatchBody>(msg);
     // "Row insertion speed constitutes the bottleneck of state transfer."
     ctx.charge(executor_.engine().restore_batch(body.batch));
     if (config_.tracer) {
@@ -165,7 +165,7 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
     joining_ = false;
     if (config_.tracer) {
       config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone,
-                                     sim::msg_body<SnapDoneBody>(msg).rows, msg.from);
+                                     net::msg_body<SnapDoneBody>(msg).rows, msg.from);
       config_.tracer->recover(ctx.now(), self_, delivered_index_);
     }
     for (const auto& [index, req] : buffered_) execute_txn(ctx, index, req);
@@ -174,18 +174,18 @@ void SmrReplica::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
 }
 
-void SmrReplica::on_heartbeat_tick(sim::Context& ctx) {
+void SmrReplica::on_heartbeat_tick(net::NodeContext& ctx) {
   if (active_) {
     for (NodeId peer : group_) {
-      if (peer != self_) ctx.send(peer, sim::make_signal(kHbHeader));
+      if (peer != self_) ctx.send(peer, net::make_signal(kHbHeader));
     }
-    const sim::Time now = ctx.now();
+    const net::Time now = ctx.now();
     for (NodeId peer : group_) {
       if (peer == self_) continue;
       // First sighting starts the suspicion clock at "now".
       auto [it, first_sight] = last_heard_.try_emplace(peer.value, now);
       (void)first_sight;
-      const sim::Time heard = it->second;
+      const net::Time heard = it->second;
       if (now - heard >= config_.suspect_timeout &&
           proposed_removals_.insert(peer.value).second) {
         // Propose to replace the suspect with the first spare outside the group.
@@ -208,11 +208,11 @@ void SmrReplica::on_heartbeat_tick(sim::Context& ctx) {
                       db::Value(static_cast<std::int64_t>(replacement.value)),
                       db::Value(static_cast<std::int64_t>(self_.value))};
         tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
-        ctx.send(tob_.node(), sim::make_msg(tob::kBroadcastHeader, std::move(body)));
+        ctx.send(tob_.node(), net::make_msg(tob::kBroadcastHeader, std::move(body)));
       }
     }
   }
-  ctx.set_timer(config_.hb_period, [this](sim::Context& c) { on_heartbeat_tick(c); });
+  ctx.set_timer(config_.hb_period, [this](net::NodeContext& c) { on_heartbeat_tick(c); });
 }
 
 }  // namespace shadow::core

@@ -34,8 +34,8 @@ inline constexpr const char* kSnapBatchHeader = "smr-snap-batch";
 inline constexpr const char* kSnapDoneHeader = "smr-snap-done";
 
 struct SmrConfig {
-  sim::Time hb_period = 1000000;        // 1 s heartbeats between replicas
-  sim::Time suspect_timeout = 10000000; // 10 s detection (paper's Fig. 10 setting)
+  net::Time hb_period = 1000000;        // 1 s heartbeats between replicas
+  net::Time suspect_timeout = 10000000; // 10 s detection (paper's Fig. 10 setting)
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool enable_failure_detection = true;
   obs::Tracer* tracer = nullptr;        // optional structured trace recorder
@@ -45,7 +45,7 @@ struct SmrConfig {
 /// node (same machine); the replica subscribes to its local deliveries.
 class SmrReplica {
  public:
-  SmrReplica(sim::World& world, NodeId self, tob::TobNode& tob,
+  SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
              std::shared_ptr<db::Engine> engine,
              std::shared_ptr<const workload::ProcedureRegistry> registry,
              std::vector<NodeId> replica_group, std::vector<NodeId> spares,
@@ -65,14 +65,14 @@ class SmrReplica {
   void make_spare() { active_ = false; }
 
  private:
-  void on_deliver(sim::Context& ctx, Slot slot, std::uint64_t index,
+  void on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t index,
                   const tob::Command& cmd);
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_heartbeat_tick(sim::Context& ctx);
-  void handle_reconfig(sim::Context& ctx, const workload::TxnRequest& req, std::uint64_t index);
-  void execute_txn(sim::Context& ctx, std::uint64_t index, const workload::TxnRequest& req);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_heartbeat_tick(net::NodeContext& ctx);
+  void handle_reconfig(net::NodeContext& ctx, const workload::TxnRequest& req, std::uint64_t index);
+  void execute_txn(net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   tob::TobNode& tob_;
   TxnExecutor executor_;
@@ -83,7 +83,7 @@ class SmrReplica {
   std::uint64_t delivered_index_ = 0;  // last applied global delivery index
 
   // Failure detection.
-  std::map<std::uint32_t, sim::Time> last_heard_;
+  std::map<std::uint32_t, net::Time> last_heard_;
   std::set<std::uint32_t> proposed_removals_;
   ClientId reconfig_client_id_;
   RequestSeq reconfig_seq_ = 0;

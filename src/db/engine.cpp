@@ -540,7 +540,7 @@ void Engine::wake_granted(const std::vector<TxnId>& granted) {
   }
 }
 
-void Engine::tick(sim::Time now_time) {
+void Engine::tick(net::Time now_time) {
   const LockManager::ExpireResult expired = locks_.expire(now_time);
   for (TxnId id : expired.expired) {
     auto it = txns_.find(id);

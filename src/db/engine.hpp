@@ -25,7 +25,7 @@
 #include "db/lock_manager.hpp"
 #include "db/statement.hpp"
 #include "db/table.hpp"
-#include "sim/time.hpp"
+#include "net/time.hpp"
 
 namespace shadow::db {
 
@@ -56,7 +56,7 @@ struct EngineTraits {
   // commit. false: strict 2PL (Derby/InnoDB serializable-style behaviour).
   bool read_committed = false;
   EngineCosts costs;
-  sim::Time lock_timeout = 500000;  // 500 ms, H2's default order of magnitude
+  net::Time lock_timeout = 500000;  // 500 ms, H2's default order of magnitude
 };
 
 // The engine flavours deployed in the paper's evaluation.
@@ -90,9 +90,9 @@ class Engine {
   void set_wake(WakeFn fn) { wake_ = std::move(fn); }
 
   /// Drives lock-wait timeouts; call with the current virtual time.
-  void tick(sim::Time now);
+  void tick(net::Time now);
   /// Current virtual time source for lock deadlines (set by the server).
-  void set_clock(std::function<sim::Time()> clock) { clock_ = std::move(clock); }
+  void set_clock(std::function<net::Time()> clock) { clock_ = std::move(clock); }
 
   // -- statistics ---------------------------------------------------------------
   std::uint64_t committed_count() const { return committed_; }
@@ -152,7 +152,7 @@ class Engine {
   void rollback(Txn& txn);
   void wake_granted(const std::vector<TxnId>& granted);
   ExecResult abort_result(TxnId id, Txn& txn, std::string why);
-  sim::Time now() const { return clock_ ? clock_() : 0; }
+  net::Time now() const { return clock_ ? clock_() : 0; }
 
   EngineTraits traits_;
   std::map<std::string, Table> tables_;
@@ -160,7 +160,7 @@ class Engine {
   std::unordered_map<TxnId, Txn> txns_;
   TxnId next_txn_ = 1;
   WakeFn wake_;
-  std::function<sim::Time()> clock_;
+  std::function<net::Time()> clock_;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
 };

@@ -23,7 +23,7 @@ bool LockManager::LockState::grantable(TxnId txn, LockMode mode) const {
 }
 
 AcquireStatus LockManager::acquire(TxnId txn, const LockTarget& target, LockMode mode,
-                                   sim::Time deadline) {
+                                   net::Time deadline) {
   LockState& state = locks_[target];
   const bool already_holder = state.holders.count(txn) > 0;
   // Do not jump a non-empty wait queue unless re-entering/upgrading (holders
@@ -126,7 +126,7 @@ std::vector<TxnId> LockManager::release_all(TxnId txn) {
   return granted;
 }
 
-LockManager::ExpireResult LockManager::expire(sim::Time now) {
+LockManager::ExpireResult LockManager::expire(net::Time now) {
   ExpireResult result;
   for (auto& [target, state] : locks_) {
     std::erase_if(state.queue, [now, &result](const LockState::Waiter& w) {

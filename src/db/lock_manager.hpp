@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "db/value.hpp"
-#include "sim/time.hpp"
+#include "net/time.hpp"
 
 namespace shadow::db {
 
@@ -71,7 +71,7 @@ class LockManager {
   /// absolute deadline. Re-entrant: a transaction may hold several modes on
   /// a target; re-requesting a mode it effectively holds is granted, and a
   /// holder upgrades in place when compatible with the *other* holders.
-  AcquireStatus acquire(TxnId txn, const LockTarget& target, LockMode mode, sim::Time deadline);
+  AcquireStatus acquire(TxnId txn, const LockTarget& target, LockMode mode, net::Time deadline);
 
   /// Releases all locks of `txn` (commit/abort) and removes its queued
   /// requests. Returns transactions whose queued request is now granted.
@@ -84,7 +84,7 @@ class LockManager {
     std::vector<TxnId> expired;
     std::vector<TxnId> granted;
   };
-  ExpireResult expire(sim::Time now);
+  ExpireResult expire(net::Time now);
 
   /// Releases just the shared hold on one target (READ_COMMITTED read locks
   /// are statement-scoped on H2-style engines). Returns newly granted
@@ -102,7 +102,7 @@ class LockManager {
     struct Waiter {
       TxnId txn;
       LockMode mode;
-      sim::Time deadline;
+      net::Time deadline;
     };
     std::deque<Waiter> queue;
 

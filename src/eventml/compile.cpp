@@ -8,13 +8,13 @@
 
 namespace shadow::eventml {
 
-sim::Message make_dsl_msg(const std::string& header, ValuePtr body) {
+net::Message make_dsl_msg(const std::string& header, ValuePtr body) {
   const std::size_t wire = wire::kFrameOverhead + header.size() + value_wire_size(body);
-  return sim::make_msg(header, std::move(body), wire);
+  return net::make_msg(header, std::move(body), wire);
 }
 
-const ValuePtr& dsl_body(const sim::Message& msg) {
-  const ValuePtr* body = sim::msg_body_if<ValuePtr>(msg);
+const ValuePtr& dsl_body(const net::Message& msg) {
+  const ValuePtr* body = net::msg_body_if<ValuePtr>(msg);
   SHADOW_CHECK_MSG(body != nullptr, "message '" + msg.header + "' is not a DSL message");
   return *body;
 }
@@ -23,10 +23,10 @@ namespace {
 
 using TapPtr = std::shared_ptr<const OutputTap>;
 
-gpm::StepResult step_instance(Instance instance, const TapPtr& tap, const sim::Message& msg) {
+gpm::StepResult step_instance(Instance instance, const TapPtr& tap, const net::Message& msg) {
   ValuePtr body = Value::unit();
   if (msg.has_body()) {
-    if (const ValuePtr* v = sim::msg_body_if<ValuePtr>(msg)) body = *v;
+    if (const ValuePtr* v = net::msg_body_if<ValuePtr>(msg)) body = *v;
   }
   Instance::EventResult result = instance.on_event(msg.header, body);
 
@@ -43,7 +43,7 @@ gpm::StepResult step_instance(Instance instance, const TapPtr& tap, const sim::M
   // The replacement process closes over the instance's post-event state —
   // the `R(s')` of the paper's optimized program in Fig. 7.
   out.next = gpm::Process::make(
-      [instance = std::move(instance), tap](const gpm::Process&, const sim::Message& m) {
+      [instance = std::move(instance), tap](const gpm::Process&, const net::Message& m) {
         return step_instance(instance, tap, m);
       });
   return out;
@@ -61,7 +61,7 @@ gpm::SystemGenerator compile_to_gpm(const Spec& spec, std::vector<NodeId> locs,
     if (std::find(locs.begin(), locs.end(), slf) == locs.end()) return gpm::Process::halt();
     Instance instance(main, slf, interp);
     return gpm::Process::make([instance = std::move(instance), shared_tap](
-                                  const gpm::Process&, const sim::Message& m) {
+                                  const gpm::Process&, const net::Message& m) {
       return step_instance(instance, shared_tap, m);
     });
   };

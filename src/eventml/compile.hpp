@@ -26,9 +26,9 @@ gpm::SystemGenerator compile_to_gpm(const Spec& spec, std::vector<NodeId> locs,
                                     OutputTap tap = {});
 
 /// Builds a DSL message (body is a ValuePtr; wire size derived from it).
-sim::Message make_dsl_msg(const std::string& header, ValuePtr body);
+net::Message make_dsl_msg(const std::string& header, ValuePtr body);
 
 /// Extracts the DSL body of a message (throws on non-DSL messages).
-const ValuePtr& dsl_body(const sim::Message& msg);
+const ValuePtr& dsl_body(const net::Message& msg);
 
 }  // namespace shadow::eventml

@@ -14,7 +14,7 @@ std::string describe(const SendDirective& d) {
 }  // namespace
 
 BisimResult check_bisimilar(std::shared_ptr<const Process> a, std::shared_ptr<const Process> b,
-                            const std::vector<sim::Message>& trace, BodyEq body_eq) {
+                            const std::vector<net::Message>& trace, BodyEq body_eq) {
   for (std::size_t step = 0; step < trace.size(); ++step) {
     StepResult ra = a->step(trace[step]);
     StepResult rb = b->step(trace[step]);

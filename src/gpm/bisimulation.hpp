@@ -23,11 +23,11 @@ struct BisimResult {
 /// header, delay, and body bytes as far as the type-erased body allows:
 /// headers + wire size + destination define observable equality here; body
 /// equality is checked by the caller-supplied comparator if given).
-using BodyEq = bool (*)(const sim::Message&, const sim::Message&);
+using BodyEq = bool (*)(const net::Message&, const net::Message&);
 
 /// Steps `a` and `b` in lock-step over `trace`; returns failure with a
 /// witness at the first observable divergence.
 BisimResult check_bisimilar(std::shared_ptr<const Process> a, std::shared_ptr<const Process> b,
-                            const std::vector<sim::Message>& trace, BodyEq body_eq = nullptr);
+                            const std::vector<net::Message>& trace, BodyEq body_eq = nullptr);
 
 }  // namespace shadow::gpm

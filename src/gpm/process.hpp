@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "common/ids.hpp"
-#include "sim/message.hpp"
-#include "sim/time.hpp"
+#include "net/message.hpp"
+#include "net/time.hpp"
 
 namespace shadow::gpm {
 
@@ -25,8 +25,8 @@ namespace shadow::gpm {
 /// component in the paper's Inductive Logical Form, used for timers).
 struct SendDirective {
   NodeId to{};
-  sim::Message msg;
-  sim::Time delay = 0;
+  net::Message msg;
+  net::Time delay = 0;
 };
 
 class Process;
@@ -42,7 +42,7 @@ struct StepResult {
 /// ignores every input and stays halted (the paper's halted process).
 class Process {
  public:
-  using Step = std::function<StepResult(const Process& self, const sim::Message&)>;
+  using Step = std::function<StepResult(const Process& self, const net::Message&)>;
 
   Process() = default;
   explicit Process(Step step) : step_(std::move(step)) {}
@@ -50,7 +50,7 @@ class Process {
   bool halted() const { return !step_; }
 
   /// Steps the process. For halt, returns itself with no outputs.
-  StepResult step(const sim::Message& msg) const {
+  StepResult step(const net::Message& msg) const {
     if (halted()) return StepResult{halt(), {}, 0};
     return step_(*this, msg);
   }

@@ -2,16 +2,16 @@
 
 namespace shadow::gpm {
 
-ProcessHost::ProcessHost(sim::World& world, NodeId node, std::shared_ptr<const Process> process,
+ProcessHost::ProcessHost(net::Transport& world, NodeId node, std::shared_ptr<const Process> process,
                          ExecutionTier tier, CostModel costs)
     : world_(world), node_(node), process_(std::move(process)), tier_(tier), costs_(costs) {
   SHADOW_REQUIRE(process_ != nullptr);
-  world_.set_handler(node_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(node_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
 }
 
-void ProcessHost::on_message(sim::Context& ctx, const sim::Message& msg) {
+void ProcessHost::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (process_->halted()) return;
   StepResult result = process_->step(msg);
   SHADOW_CHECK(result.next != nullptr);
@@ -26,14 +26,14 @@ void ProcessHost::on_message(sim::Context& ctx, const sim::Message& msg) {
       // Delayed sends model the "d" component of the ILF (timers): deliver
       // the directive to the node itself after the delay, then forward.
       NodeId to = out.to;
-      ctx.set_timer(out.delay, [to, m = std::move(out.msg)](sim::Context& c) mutable {
+      ctx.set_timer(out.delay, [to, m = std::move(out.msg)](net::NodeContext& c) mutable {
         c.send(to, std::move(m));
       });
     }
   }
 }
 
-std::vector<std::unique_ptr<ProcessHost>> deploy(sim::World& world, const SystemGenerator& gen,
+std::vector<std::unique_ptr<ProcessHost>> deploy(net::Transport& world, const SystemGenerator& gen,
                                                  const std::vector<NodeId>& locs,
                                                  ExecutionTier tier, CostModel costs) {
   std::vector<std::unique_ptr<ProcessHost>> hosts;

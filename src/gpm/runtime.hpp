@@ -11,14 +11,14 @@
 
 #include "gpm/process.hpp"
 #include "gpm/tier.hpp"
-#include "sim/world.hpp"
+#include "net/transport.hpp"
 
 namespace shadow::gpm {
 
 /// Hosts one GPM process on one simulated node.
 class ProcessHost {
  public:
-  ProcessHost(sim::World& world, NodeId node, std::shared_ptr<const Process> process,
+  ProcessHost(net::Transport& world, NodeId node, std::shared_ptr<const Process> process,
               ExecutionTier tier = ExecutionTier::kCompiled, CostModel costs = {});
 
   NodeId node() const { return node_; }
@@ -27,9 +27,9 @@ class ProcessHost {
   bool halted() const { return process_->halted(); }
 
  private:
-  void on_message(sim::Context& ctx, const sim::Message& msg);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId node_;
   std::shared_ptr<const Process> process_;
   ExecutionTier tier_;
@@ -40,7 +40,7 @@ class ProcessHost {
 
 /// Deploys a system generator over a set of locations ("main X @ locs").
 /// Returns one host per location. Hosts must outlive the world run.
-std::vector<std::unique_ptr<ProcessHost>> deploy(sim::World& world, const SystemGenerator& gen,
+std::vector<std::unique_ptr<ProcessHost>> deploy(net::Transport& world, const SystemGenerator& gen,
                                                  const std::vector<NodeId>& locs,
                                                  ExecutionTier tier = ExecutionTier::kCompiled,
                                                  CostModel costs = {});

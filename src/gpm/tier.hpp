@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "sim/time.hpp"
+#include "net/time.hpp"
 
 namespace shadow::gpm {
 
@@ -39,7 +39,7 @@ struct CostModel {
   double compiled_us_per_work = 0.78;
   double compiled_overhead_us = 40.0;
 
-  sim::Time cost_us(ExecutionTier tier, std::uint64_t work) const {
+  net::Time cost_us(ExecutionTier tier, std::uint64_t work) const {
     double us = 0.0;
     switch (tier) {
       case ExecutionTier::kInterpreted:
@@ -50,7 +50,7 @@ struct CostModel {
         us = compiled_overhead_us + compiled_us_per_work * static_cast<double>(work);
         break;
     }
-    return static_cast<sim::Time>(us);
+    return static_cast<net::Time>(us);
   }
 };
 

@@ -1,0 +1,212 @@
+// Real-socket backend of the transport abstraction.
+//
+// One TcpTransport instance drives one OS process ("host") of a ShadowDB
+// cluster: it binds a listening TCP socket, lazily opens one nonblocking
+// connection per peer host, and runs a poll(2) event loop that
+//
+//   * length-prefix-reads the existing checksummed wire frames off the
+//     sockets, validates them (`wire::decode_frame`), decodes bodies through
+//     the process-wide `wire::Registry`, and drives the same
+//     `net::MessageHandler`s the simulator drives;
+//   * fires one-shot timers off a monotonic-clock min-heap;
+//   * writes outgoing frames nonblocking, sharing one encoded buffer across
+//     all destinations of a multicast (zero-copy fan-out).
+//
+// Topology is static and replicated: every process runs the identical
+// assembly code (add_host / add_node in the same order) against the same
+// host address table, so NodeIds and HostIds agree across the cluster and a
+// 12-byte routing prefix `[record_len u32][from u32][to u32]` in front of
+// each frame is all the directory needed. Frames addressed to a node on the
+// local host short-circuit through an in-process loopback queue but still
+// take the full decode path, so loopback and remote deliveries are
+// indistinguishable to the protocol stack.
+//
+// Sim-only facilities (partitions, link faults, the CPU-busy model) have no
+// TCP counterpart: `charge()` is a no-op because the real CPU was actually
+// consumed, and packet damage is produced by real networks rather than
+// injected.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace shadow::net {
+
+/// Where one host (OS process) of the cluster listens.
+struct TcpHostAddr {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = bind an ephemeral port (in-process tests)
+};
+
+struct TcpOptions {
+  /// Index into `hosts` identifying *this* process.
+  std::uint32_t local_host = 0;
+  /// The full cluster address table, identical in every process.
+  std::vector<TcpHostAddr> hosts;
+  /// Seed for the per-node deterministic RNGs (forked in add_node order).
+  std::uint64_t seed = 1;
+  /// Clock origin for now(). Instances that must share a timeline (the
+  /// in-process loopback tests run several transports side by side) pass
+  /// the same epoch; by default each instance starts its clock at 0.
+  std::optional<std::chrono::steady_clock::time_point> epoch;
+  /// How long to wait before re-trying a refused/broken peer connection.
+  Time connect_retry = 50000;  // 50 ms
+};
+
+/// Poll-loop TCP implementation of net::Transport. Single-threaded: all
+/// handlers and timers run on the thread that calls poll_once()/run_for().
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpOptions options);
+  ~TcpTransport() override;
+
+  /// Binds and listens on the local host's address. Returns false (leaving
+  /// the transport unusable but destructible) if sockets are unavailable —
+  /// callers in sandboxed environments skip gracefully.
+  bool start();
+  bool started() const { return listen_fd_ >= 0; }
+  /// The actual listening port (after an ephemeral bind of port 0).
+  std::uint16_t listen_port() const { return listen_port_; }
+  /// Patch a peer's port discovered after its ephemeral bind (in-process
+  /// tests bind all transports first, then exchange real ports).
+  void set_host_port(HostId host, std::uint16_t port);
+
+  /// One event-loop iteration: waits at most `max_wait` µs for socket or
+  /// timer activity, then drains reads, due timers, loopback deliveries,
+  /// and pending writes. Returns the number of handler invocations.
+  std::size_t poll_once(Time max_wait);
+  /// Runs poll_once until `duration` µs of wall-clock have elapsed.
+  std::size_t run_for(Time duration);
+
+  /// Closes every socket; the transport stays queryable but inert.
+  void shutdown();
+
+  // -- net::Transport --------------------------------------------------------
+  HostId add_host() override;
+  NodeId add_node(std::string name, std::optional<HostId> host = std::nullopt) override;
+  void set_handler(NodeId node, MessageHandler handler) override;
+  const std::string& node_name(NodeId node) const override;
+  HostId host_of(NodeId node) const override;
+  bool is_local(NodeId node) const override;
+  Rng& node_rng(NodeId node) override;
+
+  Time now() const override;
+  TimerId schedule_timer_for_node(NodeId node, Time at, TimerFn fn) override;
+  void cancel(TimerId id) override;
+
+  void post(NodeId from, NodeId to, Message msg) override;
+
+  void stop(NodeId node) override;
+  bool stopped(NodeId node) const override;
+
+  // -- stats -----------------------------------------------------------------
+  std::uint64_t messages_delivered() const { return delivered_count_; }
+  std::uint64_t wire_drops() const { return wire_drops_; }
+
+ private:
+  class TcpContext;
+  friend class TcpContext;
+
+  struct Node {
+    std::string name;
+    HostId host;
+    MessageHandler handler;
+    bool stopped = false;
+    Rng rng;
+  };
+
+  /// One queued outgoing record: the 12-byte routing prologue (owned) plus
+  /// the frame, whose buffer is shared with every other destination of the
+  /// same multicast. `offset` counts bytes already written across both, so a
+  /// connection failure mid-record can rewind and resend the whole record on
+  /// the replacement connection (the receiver discarded the partial stream).
+  struct OutRecord {
+    Bytes prefix;
+    std::shared_ptr<const Bytes> frame;
+    std::size_t offset = 0;
+    std::size_t size() const { return prefix.size() + frame->size(); }
+  };
+
+  struct Peer {
+    int fd = -1;
+    bool connecting = false;
+    Time retry_at = 0;        // when to attempt (re)connecting, 0 = now
+    std::deque<OutRecord> outq;
+  };
+
+  struct Inbound {
+    int fd = -1;
+    Bytes buf;
+    std::size_t consumed = 0;
+  };
+
+  struct PendingTimer {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    TimerId id = 0;
+    NodeId node{};
+    bool operator>(const PendingTimer& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  struct LoopbackRecord {
+    NodeId from{};
+    NodeId to{};
+    std::shared_ptr<const Bytes> frame;
+  };
+
+  /// Serializes (sharing the cached frame) and routes one message: loopback
+  /// queue for local destinations, the peer connection otherwise.
+  void route(NodeId from, NodeId to, Message& msg);
+  void enqueue_record(HostId host, NodeId from, NodeId to,
+                      std::shared_ptr<const Bytes> frame);
+  void ensure_peer_connection(HostId host);
+  void flush_peer(HostId host);
+  void fail_peer(HostId host);
+  std::size_t drain_inbound(Inbound& in);
+  bool parse_records(Inbound& in, std::size_t& handled);
+  /// Validates + decodes one frame and runs the destination's handler.
+  /// Invalid frames and unknown headers become traced drops, never crashes.
+  bool dispatch_frame(NodeId from, NodeId to, std::span<const std::uint8_t> frame);
+  std::size_t fire_due_timers();
+  std::size_t drain_loopback();
+  void close_fd(int& fd);
+
+  TcpOptions options_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+
+  std::uint32_t next_host_ = 0;  // add_host() cursor into options_.hosts
+  std::vector<Node> nodes_;
+  std::vector<Peer> peers_;      // indexed by HostId
+  std::vector<Inbound> inbound_;
+
+  std::uint64_t timer_seq_ = 0;
+  TimerId next_timer_ = 1;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, std::greater<>> timers_;
+  std::unordered_map<TimerId, TimerFn> timer_fns_;  // cancel() erases the fn
+
+  std::deque<LoopbackRecord> loopback_;
+
+  std::uint64_t msg_uid_counter_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t wire_drops_ = 0;
+};
+
+}  // namespace shadow::net

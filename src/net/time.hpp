@@ -1,0 +1,28 @@
+// Transport time: microseconds on a monotonic clock.
+//
+// The discrete-event simulator interprets `Time` as virtual microseconds
+// since simulation start; the TCP transport interprets it as real
+// microseconds on a monotonic clock since transport start. Protocol code is
+// written against the unit (µs) and never against which clock is ticking,
+// which is what lets the identical PBR/SMR/TOB binaries run simulated or on
+// real sockets.
+#pragma once
+
+#include <cstdint>
+
+namespace shadow::net {
+
+/// Microseconds since transport start (virtual or monotonic, per backend).
+using Time = std::uint64_t;
+
+/// Identifies a pending timer for cancellation.
+using TimerId = std::uint64_t;
+
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1000; }
+constexpr Time operator""_s(unsigned long long v) { return static_cast<Time>(v) * 1000000; }
+
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace shadow::net

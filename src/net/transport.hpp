@@ -1,0 +1,167 @@
+// The transport abstraction the protocol stack is written against.
+//
+// Every protocol layer (consensus, TOB, PBR/SMR core, baselines, GPM
+// runtime) interacts with the outside world exclusively through two
+// interfaces:
+//
+//   NodeContext — handed to message/timer handlers; the only way a handler
+//                 can act (send, multicast, charge CPU, set timers, RNG).
+//   Transport   — topology (hosts, nodes, handlers), the clock, timers,
+//                 external stimuli, stop/crash, and observer hooks.
+//
+// Two implementations exist:
+//
+//   sim::World          — the deterministic discrete-event simulator
+//                         (virtual clock, CPU-busy model, latency/bandwidth
+//                         links, partitions, byte-level fault injection).
+//   net::TcpTransport   — a poll(2) event loop per OS process that writes
+//                         the same checksummed wire frames to nonblocking
+//                         TCP sockets and drives the same handlers.
+//
+// Because protocol code sees only these interfaces, the identical
+// PBR/SMR/TOB binaries run simulated or on real sockets with zero protocol
+// changes (the paper deployed on a physical cluster; the sim reproduces its
+// figures).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "net/time.hpp"
+#include "wire/framing.hpp"
+
+namespace shadow::net {
+
+/// A host groups co-located nodes (processes): one machine in the simulator,
+/// one OS process for the TCP transport. Co-located nodes share CPU (sim)
+/// and an event loop (tcp), and talk over loopback.
+struct HostId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const HostId&) const = default;
+};
+
+class NodeContext;
+
+using TimerFn = std::function<void(NodeContext&)>;
+using MessageHandler = std::function<void(NodeContext&, const Message&)>;
+
+/// Handed to message/timer handlers; the only way handlers interact with the
+/// transport (send, charge CPU, set timers), so all effects are attributable.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  virtual NodeId self() const = 0;
+  virtual Time now() const = 0;
+
+  /// Queue a message send. Delivery semantics are per-transport (the sim
+  /// releases at job completion; TCP writes at handler return).
+  virtual void send(NodeId to, Message msg) = 0;
+
+  /// Send to many destinations, encoding the frame at most once.
+  virtual void multicast(const std::vector<NodeId>& tos, const Message& msg) = 0;
+
+  /// Consume CPU time: advances the busy horizon in the simulator's CPU
+  /// model; a no-op on real hardware (the real CPU was actually consumed).
+  virtual void charge(Time micros) = 0;
+
+  /// One-shot timer; the callback runs as a handler job on this node.
+  virtual TimerId set_timer(Time delay, TimerFn fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Per-node deterministic RNG.
+  virtual Rng& rng() = 0;
+};
+
+/// Observer hook for trace recording (obs::Tracer, Logic of Events) and
+/// debugging. Implemented by both transports.
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+  virtual void on_send(Time /*t*/, NodeId /*from*/, NodeId /*to*/, const Message& /*m*/) {}
+  virtual void on_deliver(Time /*t*/, NodeId /*to*/, const Message& /*m*/) {}
+  virtual void on_crash(Time /*t*/, NodeId /*node*/) {}
+  /// A frame failed validation at delivery (bad checksum, truncation, or an
+  /// unknown header) and was dropped — corruption surfaces as loss.
+  virtual void on_wire_drop(Time /*t*/, NodeId /*from*/, NodeId /*to*/,
+                            const std::string& /*header*/, std::size_t /*wire_size*/,
+                            wire::FrameStatus /*reason*/) {}
+  /// A message's frame was serialized. Fires once per fan-out when the
+  /// transports share the encoded buffer across multicast destinations
+  /// (obs turns this into the `net.encode_count` metric).
+  virtual void on_frame_encoded(Time /*t*/, const std::string& /*header*/,
+                                std::size_t /*frame_size*/) {}
+};
+
+/// Abstract transport: topology, clock, timers, lifecycle, observation.
+/// Driving execution (run loops) is backend-specific and lives on the
+/// concrete classes — tests and benches own a concrete transport anyway.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // -- topology ------------------------------------------------------------
+  virtual HostId add_host() = 0;
+  /// Creates a node on the given host (creates a fresh host if omitted).
+  /// NodeIds are assigned densely in call order, so running the identical
+  /// assembly code in every OS process yields the identical node table —
+  /// that is how the TCP transport routes by NodeId without a directory.
+  virtual NodeId add_node(std::string name, std::optional<HostId> host = std::nullopt) = 0;
+  virtual void set_handler(NodeId node, MessageHandler handler) = 0;
+  virtual const std::string& node_name(NodeId node) const = 0;
+  virtual HostId host_of(NodeId node) const = 0;
+  /// Whether this transport instance executes the node's handler (always
+  /// true in the sim; true for nodes on the local host under TCP). Assembly
+  /// code uses this to construct replica state only where it runs.
+  virtual bool is_local(NodeId node) const = 0;
+  virtual Rng& node_rng(NodeId node) = 0;
+
+  // -- clock / timers --------------------------------------------------------
+  virtual Time now() const = 0;
+  /// Schedules a node-context timer at absolute time `at` (NodeContext
+  /// timers and component start-up hooks funnel through this).
+  virtual TimerId schedule_timer_for_node(NodeId node, Time at, TimerFn fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+
+  // -- external stimuli ------------------------------------------------------
+  /// Inject a message from outside any handler (benchmark drivers, tests).
+  virtual void post(NodeId from, NodeId to, Message msg) = 0;
+
+  // -- lifecycle -------------------------------------------------------------
+  /// Stop a node: its handler never runs again and pending timers are
+  /// suppressed. The simulator models a crash; TCP uses it for shutdown.
+  virtual void stop(NodeId node) = 0;
+  virtual bool stopped(NodeId node) const = 0;
+
+  // -- observation -----------------------------------------------------------
+  void add_observer(TransportObserver* obs) { observers_.push_back(obs); }
+
+  /// Frames serialized by this transport. A multicast that shares its
+  /// encoded buffer across destinations counts once (see `net.encode_count`).
+  std::uint64_t encode_count() const { return encode_count_; }
+
+  /// Encodes the message's frame and caches it on the message so every
+  /// destination (and retransmission) of a fan-out reuses the same bytes.
+  /// Counts one encode and notifies observers; a no-op when already cached.
+  /// Requires a codec-built or bodyless message.
+  const std::shared_ptr<const Bytes>& ensure_encoded_frame(Message& msg);
+
+ protected:
+  const std::vector<TransportObserver*>& observers() const { return observers_; }
+
+  std::vector<TransportObserver*> observers_;
+  std::uint64_t encode_count_ = 0;
+};
+
+}  // namespace shadow::net

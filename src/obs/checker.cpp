@@ -21,8 +21,8 @@ std::string txn_name(const TxnKey& k) {
 }
 
 struct TxnTimes {
-  sim::Time begin = 0;        // first submission by the client
-  sim::Time ack = 0;          // first committed acknowledgment
+  net::Time begin = 0;        // first submission by the client
+  net::Time ack = 0;          // first committed acknowledgment
   bool begun = false;
   bool acked = false;
 };
@@ -172,8 +172,8 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   struct Committed {
     TxnKey key;
     std::uint64_t pos;
-    sim::Time begin;
-    sim::Time ack;
+    net::Time begin;
+    net::Time ack;
   };
   std::vector<Committed> committed;
   for (const auto& [key, t] : txns) {
@@ -196,7 +196,7 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   // Scanning in position order with the running maximum of begin times, T1 is
   // the current element and T2 any earlier-positioned one, so the test is
   // ack(current) < max(begin of predecessors).
-  sim::Time max_begin_so_far = 0;
+  net::Time max_begin_so_far = 0;
   TxnKey max_begin_key{};
   for (const Committed& t : committed) {
     if (max_begin_so_far != 0 && t.ack < max_begin_so_far) {
@@ -213,6 +213,25 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   }
 
   return result;
+}
+
+Trace merge_traces(const std::vector<Trace>& traces) {
+  Trace out;
+  std::unordered_map<std::string, std::uint32_t> ids{{"", 0}};
+  for (const Trace& trace : traces) {
+    out.dropped += trace.dropped;
+    for (const TraceEvent& event : trace.events) {
+      TraceEvent copy = event;
+      const std::string& label = trace.strings[event.label];
+      auto [it, inserted] = ids.emplace(label, static_cast<std::uint32_t>(out.strings.size()));
+      if (inserted) out.strings.push_back(label);
+      copy.label = it->second;
+      out.events.push_back(copy);
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) { return x.time < y.time; });
+  return out;
 }
 
 }  // namespace shadow::obs

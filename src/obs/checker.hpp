@@ -61,4 +61,10 @@ struct CheckOptions {
 
 CheckResult check_trace(const Trace& trace, const CheckOptions& options = {});
 
+/// Merges per-process traces (one Tracer per OS process of a TCP cluster)
+/// into a single checkable trace: labels are re-interned into one string
+/// table and events are ordered by timestamp, which is meaningful across
+/// processes because the cluster's transports share a clock epoch.
+Trace merge_traces(const std::vector<Trace>& traces);
+
 }  // namespace shadow::obs

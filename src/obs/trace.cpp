@@ -150,7 +150,7 @@ Trace Tracer::snapshot() const {
   return trace;
 }
 
-void Tracer::on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) {
+void Tracer::on_send(net::Time t, NodeId from, NodeId to, const net::Message& m) {
   metrics_.counter("net.messages").add();
   metrics_.counter("net.bytes").add(m.wire_size);
   metrics_.counter("net.bytes." + m.header).add(m.wire_size);
@@ -165,7 +165,7 @@ void Tracer::on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m)
   append(e);
 }
 
-void Tracer::on_deliver(sim::Time t, NodeId to, const sim::Message& m) {
+void Tracer::on_deliver(net::Time t, NodeId to, const net::Message& m) {
   if (!options_.record_messages) return;
   TraceEvent e;
   e.time = t;
@@ -176,7 +176,7 @@ void Tracer::on_deliver(sim::Time t, NodeId to, const sim::Message& m) {
   append(e);
 }
 
-void Tracer::on_wire_drop(sim::Time t, NodeId from, NodeId to, const std::string& header,
+void Tracer::on_wire_drop(net::Time t, NodeId from, NodeId to, const std::string& header,
                           std::size_t wire_size, wire::FrameStatus reason) {
   metrics_.counter("net.wire_drops").add();
   metrics_.counter("net.wire_drop_bytes").add(wire_size);
@@ -191,7 +191,13 @@ void Tracer::on_wire_drop(sim::Time t, NodeId from, NodeId to, const std::string
   append(e);
 }
 
-void Tracer::on_crash(sim::Time t, NodeId node) {
+void Tracer::on_frame_encoded(net::Time /*t*/, const std::string& /*header*/,
+                              std::size_t frame_size) {
+  metrics_.counter("net.encode_count").add();
+  metrics_.counter("net.encode_bytes").add(frame_size);
+}
+
+void Tracer::on_crash(net::Time t, NodeId node) {
   metrics_.counter("replica.crashes").add();
   TraceEvent e;
   e.time = t;
@@ -200,7 +206,7 @@ void Tracer::on_crash(sim::Time t, NodeId node) {
   append(e);
 }
 
-void Tracer::tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq seq) {
+void Tracer::tob_broadcast(net::Time t, NodeId node, ClientId client, RequestSeq seq) {
   metrics_.counter("tob.broadcasts").add();
   TraceEvent e;
   e.time = t;
@@ -211,7 +217,7 @@ void Tracer::tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq
   append(e);
 }
 
-void Tracer::tob_propose(sim::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+void Tracer::tob_propose(net::Time t, NodeId node, Slot slot, std::size_t batch_size) {
   metrics_.counter("tob.proposals").add();
   slot_proposed_at_.try_emplace(slot, t);
   TraceEvent e;
@@ -223,7 +229,7 @@ void Tracer::tob_propose(sim::Time t, NodeId node, Slot slot, std::size_t batch_
   append(e);
 }
 
-void Tracer::tob_decide(sim::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+void Tracer::tob_decide(net::Time t, NodeId node, Slot slot, std::size_t batch_size) {
   // Decide latency and batch size are per-slot metrics: count the first
   // node's decide only (every node learns every slot).
   if (slot_decided_at_.try_emplace(slot, t).second) {
@@ -242,7 +248,7 @@ void Tracer::tob_decide(sim::Time t, NodeId node, Slot slot, std::size_t batch_s
   append(e);
 }
 
-void Tracer::tob_deliver(sim::Time t, NodeId node, Slot slot, std::uint64_t index,
+void Tracer::tob_deliver(net::Time t, NodeId node, Slot slot, std::uint64_t index,
                          ClientId client, RequestSeq seq) {
   metrics_.counter("tob.deliveries").add();
   TraceEvent e;
@@ -256,7 +262,7 @@ void Tracer::tob_deliver(sim::Time t, NodeId node, Slot slot, std::uint64_t inde
   append(e);
 }
 
-void Tracer::ballot(sim::Time t, NodeId node, std::uint64_t round, NodeId leader,
+void Tracer::ballot(net::Time t, NodeId node, std::uint64_t round, NodeId leader,
                     BallotPhase phase) {
   switch (phase) {
     case BallotPhase::kScout: metrics_.counter("paxos.scouts").add(); break;
@@ -273,7 +279,7 @@ void Tracer::ballot(sim::Time t, NodeId node, std::uint64_t round, NodeId leader
   append(e);
 }
 
-void Tracer::round(sim::Time t, NodeId node, Slot slot, std::uint64_t round) {
+void Tracer::round(net::Time t, NodeId node, Slot slot, std::uint64_t round) {
   metrics_.counter("two_third.round_advances").add();
   TraceEvent e;
   e.time = t;
@@ -284,7 +290,7 @@ void Tracer::round(sim::Time t, NodeId node, Slot slot, std::uint64_t round) {
   append(e);
 }
 
-void Tracer::txn_begin(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+void Tracer::txn_begin(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                        const std::string& proc) {
   metrics_.counter("txn.begun").add();
   txn_begun_at_.try_emplace({client.value, seq}, t);
@@ -298,7 +304,7 @@ void Tracer::txn_begin(sim::Time t, NodeId node, ClientId client, RequestSeq seq
   append(e);
 }
 
-void Tracer::txn_execute(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+void Tracer::txn_execute(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                          std::uint64_t order, bool duplicate, bool committed,
                          const std::string& proc) {
   if (duplicate) {
@@ -320,7 +326,7 @@ void Tracer::txn_execute(sim::Time t, NodeId node, ClientId client, RequestSeq s
   append(e);
 }
 
-void Tracer::txn_ack(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+void Tracer::txn_ack(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                      bool committed) {
   metrics_.counter(committed ? "txn.committed" : "txn.aborts_answered").add();
   if (const auto it = txn_begun_at_.find({client.value, seq}); it != txn_begun_at_.end()) {
@@ -336,7 +342,7 @@ void Tracer::txn_ack(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
   append(e);
 }
 
-void Tracer::recover(sim::Time t, NodeId node, std::uint64_t up_to_order) {
+void Tracer::recover(net::Time t, NodeId node, std::uint64_t up_to_order) {
   metrics_.counter("replica.recoveries").add();
   TraceEvent e;
   e.time = t;
@@ -346,7 +352,7 @@ void Tracer::recover(sim::Time t, NodeId node, std::uint64_t up_to_order) {
   append(e);
 }
 
-void Tracer::state_transfer(sim::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
+void Tracer::state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                             NodeId peer) {
   if (phase == StatePhase::kBatch) {
     metrics_.counter("state_transfer.batches").add();

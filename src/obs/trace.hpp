@@ -10,7 +10,8 @@
 // serializability offline. The event schema and the field meaning per kind
 // are documented in src/obs/README.md.
 //
-// Layering: obs depends only on common + sim. Protocol components receive an
+// Layering: obs depends only on common + net (it observes any
+// net::Transport — the simulator or the TCP backend). Protocol components receive an
 // optional `Tracer*` through their config structs and record through the
 // typed hooks below; a null tracer costs one branch per hook site.
 #pragma once
@@ -24,7 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
-#include "sim/world.hpp"
+#include "net/transport.hpp"
 
 namespace shadow::obs {
 
@@ -58,7 +59,7 @@ inline constexpr std::uint64_t kUnordered = ~std::uint64_t{0};
 const char* to_string(EventKind kind);
 
 struct TraceEvent {
-  sim::Time time = 0;
+  net::Time time = 0;
   EventKind kind = EventKind::kMsgSend;
   NodeId node{};
   ClientId client{};
@@ -95,45 +96,49 @@ struct TracerOptions {
   bool record_messages = true;
 };
 
-/// Records events and derives metrics. Attach to a sim::World to capture
+/// Records events and derives metrics. Attach to a net::Transport to capture
 /// network-level send/deliver/crash automatically; protocol components call
 /// the typed hooks through the `Tracer*` in their configs.
-class Tracer final : public sim::WorldObserver {
+class Tracer final : public net::TransportObserver {
  public:
   explicit Tracer(TracerOptions options = {});
 
-  /// Subscribes to the world's send/deliver/crash observer hooks.
-  void attach(sim::World& world) { world.add_observer(this); }
+  /// Subscribes to the transport's send/deliver/crash observer hooks.
+  void attach(net::Transport& transport) { transport.add_observer(this); }
 
-  // -- WorldObserver --------------------------------------------------------
-  void on_send(sim::Time t, NodeId from, NodeId to, const sim::Message& m) override;
-  void on_deliver(sim::Time t, NodeId to, const sim::Message& m) override;
-  void on_crash(sim::Time t, NodeId node) override;
-  void on_wire_drop(sim::Time t, NodeId from, NodeId to, const std::string& header,
+  // -- TransportObserver ----------------------------------------------------
+  void on_send(net::Time t, NodeId from, NodeId to, const net::Message& m) override;
+  void on_deliver(net::Time t, NodeId to, const net::Message& m) override;
+  void on_crash(net::Time t, NodeId node) override;
+  void on_wire_drop(net::Time t, NodeId from, NodeId to, const std::string& header,
                     std::size_t wire_size, wire::FrameStatus reason) override;
+  /// Counts frame serializations as `net.encode_count`: one per fan-out
+  /// when the transport shares the encoded buffer across a multicast.
+  void on_frame_encoded(net::Time t, const std::string& header,
+                        std::size_t frame_size) override;
 
   // -- broadcast service ----------------------------------------------------
-  void tob_broadcast(sim::Time t, NodeId node, ClientId client, RequestSeq seq);
-  void tob_propose(sim::Time t, NodeId node, Slot slot, std::size_t batch_size);
-  void tob_decide(sim::Time t, NodeId node, Slot slot, std::size_t batch_size);
-  void tob_deliver(sim::Time t, NodeId node, Slot slot, std::uint64_t index, ClientId client,
+  void tob_broadcast(net::Time t, NodeId node, ClientId client, RequestSeq seq);
+  void tob_propose(net::Time t, NodeId node, Slot slot, std::size_t batch_size);
+  void tob_decide(net::Time t, NodeId node, Slot slot, std::size_t batch_size);
+  void tob_deliver(net::Time t, NodeId node, Slot slot, std::uint64_t index, ClientId client,
                    RequestSeq seq);
 
   // -- consensus ------------------------------------------------------------
-  void ballot(sim::Time t, NodeId node, std::uint64_t round, NodeId leader, BallotPhase phase);
-  void round(sim::Time t, NodeId node, Slot slot, std::uint64_t round);
+  void ballot(net::Time t, NodeId node, std::uint64_t round, NodeId leader, BallotPhase phase);
+  void round(net::Time t, NodeId node, Slot slot, std::uint64_t round);
 
   // -- transactions ---------------------------------------------------------
-  void txn_begin(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+  void txn_begin(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                  const std::string& proc);
-  void txn_execute(sim::Time t, NodeId node, ClientId client, RequestSeq seq,
+  void txn_execute(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                    std::uint64_t order, bool duplicate, bool committed,
                    const std::string& proc);
-  void txn_ack(sim::Time t, NodeId node, ClientId client, RequestSeq seq, bool committed);
+  void txn_ack(net::Time t, NodeId node, ClientId client, RequestSeq seq, bool committed);
 
   // -- replica lifecycle / state transfer -----------------------------------
-  void recover(sim::Time t, NodeId node, std::uint64_t up_to_order);
-  void state_transfer(sim::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
+  void recover(net::Time t, NodeId node, std::uint64_t up_to_order);
+  void state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                       NodeId peer);
 
   /// Events recorded so far, oldest first (materializes the ring buffer).
@@ -159,9 +164,9 @@ class Tracer final : public sim::WorldObserver {
   MetricsRegistry metrics_;
   // Derived-metric state: first propose / first decide per slot, and the
   // first submission time per (client, seq) for end-to-end ack latency.
-  std::unordered_map<std::uint64_t, sim::Time> slot_proposed_at_;
-  std::unordered_map<std::uint64_t, sim::Time> slot_decided_at_;
-  std::map<std::pair<std::uint32_t, RequestSeq>, sim::Time> txn_begun_at_;
+  std::unordered_map<std::uint64_t, net::Time> slot_proposed_at_;
+  std::unordered_map<std::uint64_t, net::Time> slot_decided_at_;
+  std::map<std::pair<std::uint32_t, RequestSeq>, net::Time> txn_begun_at_;
 };
 
 }  // namespace shadow::obs

@@ -1,90 +1,17 @@
-// Messages exchanged by simulated processes.
-//
-// A message carries an EventML-style string header (base classes in the DSL
-// pattern-match on it), a type-erased immutable body, and a wire size used
-// by the network's bandwidth model. For bodies with a wire::Codec, the wire
-// size is the *exact* encoded frame length and the pre-encoded body bytes
-// ride along so the network can transmit, corrupt, and round-trip real bytes
-// (wire-fidelity mode). Bodies without codecs (DSL values, test doubles)
-// must state their wire size explicitly.
+// Compatibility aliases: messages moved to net/message.hpp when the
+// transport abstraction was extracted (the same Message travels through the
+// simulator and the TCP transport). Simulation-facing code and tests keep
+// spelling `sim::Message` / `sim::make_msg`.
 #pragma once
 
-#include <any>
-#include <cstddef>
-#include <memory>
-#include <string>
-#include <utility>
-
-#include "common/check.hpp"
-#include "common/ids.hpp"
-#include "wire/framing.hpp"
-#include "wire/registry.hpp"
+#include "net/message.hpp"
 
 namespace shadow::sim {
 
-struct Message {
-  std::string header;
-  std::shared_ptr<const std::any> body;  // shared: messages are fanned out to many nodes
-  std::size_t wire_size = 0;             // bytes on the wire (payload + framing)
-  NodeId from{};
-  std::uint64_t uid = 0;                 // per-transmission identity, assigned by the
-                                         // network; lets LoE match sends to receives
-  std::shared_ptr<const Bytes> encoded_body;  // exact body bytes (codec-built messages)
-
-  bool has_body() const { return body != nullptr && body->has_value(); }
-};
-
-/// Builds a message from a codec-equipped body: registers the header's codec,
-/// encodes once, and sets wire_size to the exact frame length.
-template <typename T>
-  requires wire::Encodable<std::decay_t<T>>
-Message make_msg(std::string header, T&& body) {
-  using Body = std::decay_t<T>;
-  wire::registry().ensure<Body>(header);
-  Message m;
-  Body value = std::forward<T>(body);
-  m.encoded_body = std::make_shared<const Bytes>(wire::encode_body(value));
-  m.wire_size = wire::frame_size(header.size(), m.encoded_body->size());
-  m.header = std::move(header);
-  m.body = std::make_shared<const std::any>(std::move(value));
-  return m;
-}
-
-/// Builds a message with an explicitly stated wire size, for bodies without
-/// a codec (eventml DSL values, latency-model test doubles). The old default
-/// estimate (`sizeof(T) + header + 24`) is gone: it badly undercounted
-/// heap-owning bodies, so callers must either provide a codec or be honest.
-template <typename T>
-Message make_msg(std::string header, T body, std::size_t wire_size) {
-  SHADOW_REQUIRE_MSG(wire_size > 0, "explicit wire size must be positive");
-  Message m;
-  m.wire_size = wire_size;
-  m.header = std::move(header);
-  m.body = std::make_shared<const std::any>(std::move(body));
-  return m;
-}
-
-inline Message make_signal(std::string header) {
-  Message m;
-  m.wire_size = wire::frame_size(header.size(), 0);
-  m.header = std::move(header);
-  return m;
-}
-
-/// Returns the body as T; throws if the message has a different body type.
-template <typename T>
-const T& msg_body(const Message& m) {
-  SHADOW_CHECK_MSG(m.has_body(), "message '" + m.header + "' has no body");
-  const T* p = std::any_cast<T>(m.body.get());
-  SHADOW_CHECK_MSG(p != nullptr, "message '" + m.header + "' body type mismatch");
-  return *p;
-}
-
-/// Returns the body as T, or nullptr on type mismatch / missing body.
-template <typename T>
-const T* msg_body_if(const Message& m) {
-  if (!m.has_body()) return nullptr;
-  return std::any_cast<T>(m.body.get());
-}
+using Message = net::Message;
+using net::make_msg;
+using net::make_signal;
+using net::msg_body;
+using net::msg_body_if;
 
 }  // namespace shadow::sim

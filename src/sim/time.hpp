@@ -1,22 +1,21 @@
 // Virtual time for the discrete-event simulator.
 //
-// All latency/throughput numbers reported by the benchmark harness are in
-// virtual time, which makes every experiment deterministic and independent
-// of the host machine (see DESIGN.md §2 on substituting the paper's cluster).
+// `sim::Time` is `net::Time` (microseconds); the simulator interprets it as
+// virtual time since simulation start, which makes every experiment
+// deterministic and independent of the host machine (see DESIGN.md §2 on
+// substituting the paper's cluster). The literals live in net/time.hpp so
+// protocol code can use them without depending on the simulator.
 #pragma once
 
-#include <cstdint>
+#include "net/time.hpp"
 
 namespace shadow::sim {
 
-/// Virtual time in microseconds since simulation start.
-using Time = std::uint64_t;
-
-constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v); }
-constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1000; }
-constexpr Time operator""_s(unsigned long long v) { return static_cast<Time>(v) * 1000000; }
-
-constexpr double to_ms(Time t) { return static_cast<double>(t) / 1000.0; }
-constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e6; }
+using Time = net::Time;
+using net::operator""_us;
+using net::operator""_ms;
+using net::operator""_s;
+using net::to_ms;
+using net::to_sec;
 
 }  // namespace shadow::sim

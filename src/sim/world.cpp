@@ -15,10 +15,18 @@ void Context::send(NodeId to, Message msg) {
 }
 
 void Context::multicast(const std::vector<NodeId>& tos, const Message& msg) {
-  for (NodeId to : tos) send(to, msg);
+  if (tos.empty()) return;
+  Message shared = msg;
+  // Zero-copy fan-out: when deliveries will take the byte path, serialize
+  // the frame once here and let every destination reuse the same buffer.
+  if (world_.byte_path_possible() &&
+      (shared.encoded_body != nullptr || !shared.has_body())) {
+    world_.ensure_encoded_frame(shared);
+  }
+  for (NodeId to : tos) send(to, shared);
 }
 
-TimerId Context::set_timer(Time delay, std::function<void(Context&)> fn) {
+TimerId Context::set_timer(Time delay, net::TimerFn fn) {
   return world_.schedule_timer_for_node(self_, now() + delay, std::move(fn));
 }
 
@@ -38,7 +46,9 @@ MachineId World::add_machine() {
 }
 
 NodeId World::add_node(std::string name, std::optional<MachineId> machine) {
-  const MachineId m = machine.value_or(add_machine());
+  // Not value_or: its argument is evaluated eagerly, which used to create a
+  // phantom empty machine for every explicitly-placed node.
+  const MachineId m = machine.has_value() ? *machine : add_machine();
   SHADOW_REQUIRE(m.value < machines_.size());
   Node node;
   node.name = std::move(name);
@@ -61,6 +71,11 @@ const std::string& World::node_name(NodeId node) const {
 MachineId World::machine_of(NodeId node) const {
   SHADOW_REQUIRE(node.value < nodes_.size());
   return nodes_[node.value].machine;
+}
+
+bool World::is_local(NodeId node) const {
+  SHADOW_REQUIRE(node.value < nodes_.size());
+  return true;
 }
 
 Rng& World::node_rng(NodeId node) {
@@ -112,7 +127,7 @@ TimerId World::schedule(Time delay, std::function<void()> fn) {
 
 void World::cancel(TimerId id) { cancelled_.insert(id); }
 
-TimerId World::schedule_timer_for_node(NodeId node, Time at, std::function<void(Context&)> fn) {
+TimerId World::schedule_timer_for_node(NodeId node, Time at, net::TimerFn fn) {
   const TimerId id = next_timer_++;
   schedule_at(at, id, [this, node, fn = std::move(fn)]() mutable {
     if (crashed(node)) return;
@@ -245,49 +260,61 @@ void World::deliver(NodeId from, NodeId to, Message msg, Time send_time) {
 }
 
 bool World::transmit_bytes(NodeId from, NodeId to, Message& msg) {
-  SHADOW_CHECK_MSG(!msg.has_body() || msg.encoded_body != nullptr,
-                   "wire fidelity: message '" + msg.header +
-                       "' was built without a codec (explicit-size make_msg)");
-  static const Bytes kNoBody;
-  const Bytes& body_bytes = msg.encoded_body ? *msg.encoded_body : kNoBody;
-  Bytes frame = wire::encode_frame(msg.header, body_bytes);
-  SHADOW_CHECK_MSG(frame.size() == msg.wire_size,
-                   "message '" + msg.header + "' wire_size drifted from its encoded frame");
+  // Multicasts arrive with the frame already encoded (shared across the
+  // fan-out); unicast sends encode here, once per transmission.
+  const Bytes& encoded = *ensure_encoded_frame(msg);
 
+  // Fault injection mutates a private copy so one corrupted destination
+  // cannot damage the buffer the rest of the fan-out shares.
+  Bytes mutated;
+  std::span<const std::uint8_t> frame(encoded);
   if (const auto it = link_faults_.find(channel_key(from, to)); it != link_faults_.end()) {
     bool faulted = false;
     if (it->second.corrupt_prob > 0 && rng_.chance(it->second.corrupt_prob)) {
       // Flip one byte anywhere in the frame (prologue, header, or body).
-      const std::size_t pos = rng_.index(frame.size());
-      frame[pos] ^= static_cast<std::uint8_t>(1 + rng_.index(255));
+      if (mutated.empty()) mutated = encoded;
+      const std::size_t pos = rng_.index(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng_.index(255));
       faulted = true;
     }
     if (it->second.truncate_prob > 0 && rng_.chance(it->second.truncate_prob)) {
-      frame.resize(rng_.index(frame.size()));
+      if (mutated.empty()) mutated = encoded;
+      mutated.resize(rng_.index(mutated.size()));
       faulted = true;
     }
-    if (faulted) ++frames_faulted_;
+    if (faulted) {
+      ++frames_faulted_;
+      frame = std::span<const std::uint8_t>(mutated);
+    }
   }
 
-  wire::FrameView view;
-  const wire::FrameStatus status = wire::decode_frame(frame, view);
-  if (status != wire::FrameStatus::kOk) {
-    // The checksum (or length prologue) caught the damage: the receiver
-    // discards the frame, and the protocol above sees a lost message.
+  const auto drop = [&](wire::FrameStatus status) {
+    // The checksum (or length prologue, or registry lookup) caught the
+    // damage: the receiver discards the frame, and the protocol above sees
+    // a lost message.
     ++wire_drops_;
     for (WorldObserver* obs : observers_) {
       obs->on_wire_drop(now_, from, to, msg.header, msg.wire_size, status);
     }
     return false;
-  }
+  };
+
+  wire::FrameView view;
+  const wire::FrameStatus status = wire::decode_frame(frame, view);
+  if (status != wire::FrameStatus::kOk) return drop(status);
   SHADOW_CHECK(view.header == msg.header);
   if (msg.has_body()) {
+    // A structurally valid frame whose header no codec was registered for
+    // cannot be interpreted; receivers drop it rather than crash.
+    if (!wire::registry().contains(msg.header)) {
+      return drop(wire::FrameStatus::kUnknownHeader);
+    }
     // The handler receives the freshly decoded body, not the sender's
     // object: any state shared through the shared_ptr body is severed.
     std::shared_ptr<const std::any> decoded = wire::registry().decode(msg.header, view.body);
     if (wire_fidelity_) {
       const Bytes reencoded = wire::registry().encode(msg.header, *decoded);
-      SHADOW_CHECK_MSG(reencoded == body_bytes,
+      SHADOW_CHECK_MSG(msg.encoded_body != nullptr && reencoded == *msg.encoded_body,
                        "message '" + msg.header + "' does not round-trip byte-identically");
     }
     msg.body = std::move(decoded);

@@ -3,6 +3,12 @@
 // bandwidth, timers, crash and partition injection, and an observer hook the
 // Logic-of-Events recorder subscribes to.
 //
+// World is the simulation backend of the net::Transport abstraction
+// (net/transport.hpp): protocol code sees only net::NodeContext /
+// net::Transport and runs identically on the TCP backend. Sim-only features
+// — partitions, link faults, wire fidelity, the CPU-busy model — remain
+// concrete World API.
+//
 // Execution model
 // ---------------
 // Each node belongs to a machine. A machine processes one job (incoming
@@ -29,45 +35,49 @@
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "sim/message.hpp"
 #include "sim/time.hpp"
 #include "wire/framing.hpp"
 
 namespace shadow::sim {
 
-struct MachineId {
-  std::uint32_t value = 0;
-  constexpr auto operator<=>(const MachineId&) const = default;
-};
+/// Simulated machines are the sim's realization of transport hosts.
+using MachineId = net::HostId;
 
-using TimerId = std::uint64_t;
+using TimerId = net::TimerId;
+using MessageHandler = net::MessageHandler;
+
+/// Trace observers moved to the transport layer; the sim keeps its old name.
+using WorldObserver = net::TransportObserver;
 
 class World;
 
 /// Handed to message/timer handlers; the only way handlers interact with the
 /// world (send, charge CPU, set timers), so all effects are attributable.
-class Context {
+class Context final : public net::NodeContext {
  public:
   Context(World& world, NodeId self, Time start) : world_(world), self_(self), start_(start) {}
 
-  NodeId self() const { return self_; }
-  Time now() const { return start_ + charged_; }
+  NodeId self() const override { return self_; }
+  Time now() const override { return start_ + charged_; }
 
   /// Queue a message send; released on the network at job completion.
-  void send(NodeId to, Message msg);
+  void send(NodeId to, Message msg) override;
 
-  /// Convenience: send to many destinations.
-  void multicast(const std::vector<NodeId>& tos, const Message& msg);
+  /// Send to many destinations. When the byte path is active (wire fidelity
+  /// or link faults) the frame is encoded once and shared across the fan-out.
+  void multicast(const std::vector<NodeId>& tos, const Message& msg) override;
 
   /// Consume virtual CPU time. Advances this machine's busy horizon.
-  void charge(Time micros) { charged_ += micros; }
+  void charge(Time micros) override { charged_ += micros; }
 
   /// One-shot timer; the callback runs as a job on this node's machine.
-  TimerId set_timer(Time delay, std::function<void(Context&)> fn);
-  void cancel_timer(TimerId id);
+  TimerId set_timer(Time delay, net::TimerFn fn) override;
+  void cancel_timer(TimerId id) override;
 
   /// Per-node deterministic RNG.
-  Rng& rng();
+  Rng& rng() override;
 
   World& world() { return world_; }
   Time charged() const { return charged_; }
@@ -79,22 +89,6 @@ class Context {
   Time start_;
   Time charged_ = 0;
   std::vector<std::pair<NodeId, Message>> outbox_;
-};
-
-using MessageHandler = std::function<void(Context&, const Message&)>;
-
-/// Observer hook for trace recording (Logic of Events) and debugging.
-class WorldObserver {
- public:
-  virtual ~WorldObserver() = default;
-  virtual void on_send(Time /*t*/, NodeId /*from*/, NodeId /*to*/, const Message& /*m*/) {}
-  virtual void on_deliver(Time /*t*/, NodeId /*to*/, const Message& /*m*/) {}
-  virtual void on_crash(Time /*t*/, NodeId /*node*/) {}
-  /// A frame failed checksum/length validation at delivery and was dropped
-  /// (byte-level fault injection surfaces corruption as loss).
-  virtual void on_wire_drop(Time /*t*/, NodeId /*from*/, NodeId /*to*/,
-                            const std::string& /*header*/, std::size_t /*wire_size*/,
-                            wire::FrameStatus /*reason*/) {}
 };
 
 /// Byte-level fault model for one directed link: each frame crossing it is
@@ -114,24 +108,25 @@ struct NetworkConfig {
 
 /// The simulated world. Deterministic given the seed and the schedule of
 /// external stimuli.
-class World {
+class World final : public net::Transport {
  public:
   explicit World(std::uint64_t seed = 1, NetworkConfig net = {});
-  ~World();
+  ~World() override;
 
-  World(const World&) = delete;
-  World& operator=(const World&) = delete;
-
-  // -- topology ------------------------------------------------------------
+  // -- topology (net::Transport) -------------------------------------------
   MachineId add_machine();
+  net::HostId add_host() override { return add_machine(); }
   /// Creates a node on the given machine (creates a fresh machine if omitted).
-  NodeId add_node(std::string name, std::optional<MachineId> machine = std::nullopt);
-  void set_handler(NodeId node, MessageHandler handler);
-  const std::string& node_name(NodeId node) const;
+  NodeId add_node(std::string name, std::optional<MachineId> machine = std::nullopt) override;
+  void set_handler(NodeId node, MessageHandler handler) override;
+  const std::string& node_name(NodeId node) const override;
   MachineId machine_of(NodeId node) const;
+  net::HostId host_of(NodeId node) const override { return machine_of(node); }
+  /// The sim executes every node's handler in-process.
+  bool is_local(NodeId node) const override;
 
   // -- clock / execution ---------------------------------------------------
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
   /// Runs events with timestamp <= t. Returns number of events processed.
   std::size_t run_until(Time t);
   /// Runs until the event queue drains (or max_events). Returns count.
@@ -140,15 +135,19 @@ class World {
 
   // -- external stimuli ----------------------------------------------------
   /// Inject a message from outside any handler (e.g. benchmark drivers).
-  void post(NodeId from, NodeId to, Message msg);
+  void post(NodeId from, NodeId to, Message msg) override;
   /// Schedule an arbitrary callback at now()+delay (benchmark drivers).
   TimerId schedule(Time delay, std::function<void()> fn);
-  void cancel(TimerId id);
+  void cancel(TimerId id) override;
 
   // -- failure injection ---------------------------------------------------
   void crash(NodeId node);
   void crash_machine(MachineId machine);
   bool crashed(NodeId node) const;
+  /// net::Transport lifecycle maps onto crash injection: a stopped node's
+  /// handler never runs again and its pending timers are suppressed.
+  void stop(NodeId node) override { crash(node); }
+  bool stopped(NodeId node) const override { return crashed(node); }
   /// Cut (or heal) the link between two nodes, both directions.
   void set_partitioned(NodeId a, NodeId b, bool blocked);
 
@@ -170,19 +169,18 @@ class World {
   std::uint64_t wire_drops() const { return wire_drops_; }
 
   // -- observation ----------------------------------------------------------
-  void add_observer(WorldObserver* obs) { observers_.push_back(obs); }
   std::uint64_t messages_delivered() const { return delivered_count_; }
 
-  Rng& node_rng(NodeId node);
+  Rng& node_rng(NodeId node) override;
 
   /// Schedules a node-context timer at absolute time `at` (used by Context).
-  TimerId schedule_timer_for_node(NodeId node, Time at, std::function<void(Context&)> fn);
+  TimerId schedule_timer_for_node(NodeId node, Time at, net::TimerFn fn) override;
 
  private:
   friend class Context;
 
   struct TimerJob {
-    std::function<void(Context&)> fn;
+    net::TimerFn fn;
   };
   struct Job {
     NodeId node;
@@ -215,15 +213,20 @@ class World {
     }
   };
 
+  /// Whether any delivery may take the byte path (encode + decode real
+  /// frames); multicast pre-encodes the shared frame only in that case.
+  bool byte_path_possible() const { return wire_fidelity_ || !link_faults_.empty(); }
+
   void schedule_at(Time at, TimerId id, std::function<void()> fn);
   void enqueue_job(Job job);
   void pump_machine(MachineId machine);
   void run_job(MachineId machine);
   void release_outbox(Context& ctx, Time completion);
   void deliver(NodeId from, NodeId to, Message msg, Time send_time);
-  /// Runs the byte path for one message: encode, inject faults, validate,
-  /// decode. Returns false if the frame was dropped (corruption-as-loss);
-  /// on success `msg` carries the freshly decoded body.
+  /// Runs the byte path for one message: encode (or reuse the multicast's
+  /// shared frame), inject faults, validate, decode. Returns false if the
+  /// frame was dropped (corruption-as-loss); on success `msg` carries the
+  /// freshly decoded body.
   bool transmit_bytes(NodeId from, NodeId to, Message& msg);
   Time link_latency(NodeId from, NodeId to, std::size_t wire_size);
   static std::uint64_t channel_key(NodeId from, NodeId to) {
@@ -241,7 +244,6 @@ class World {
   std::vector<Machine> machines_;
   std::unordered_map<std::uint64_t, Time> channel_last_delivery_;
   std::unordered_set<std::uint64_t> partitions_;
-  std::vector<WorldObserver*> observers_;
   std::uint64_t delivered_count_ = 0;
   std::uint64_t msg_uid_counter_ = 0;
   bool wire_fidelity_ = false;

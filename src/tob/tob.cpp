@@ -7,7 +7,7 @@
 
 namespace shadow::tob {
 
-TobNode::TobNode(sim::World& world, NodeId self, TobConfig config,
+TobNode::TobNode(net::Transport& world, NodeId self, TobConfig config,
                  consensus::SafetyRecorder* safety)
     : world_(world), self_(self), config_(std::move(config)) {
   SHADOW_REQUIRE(!config_.nodes.empty());
@@ -26,19 +26,19 @@ TobNode::TobNode(sim::World& world, NodeId self, TobConfig config,
     module_ = std::make_unique<consensus::TwoThirdModule>(self_, std::move(tc), safety);
   }
 
-  module_->set_on_decide([this](sim::Context& ctx, Slot slot, const Batch& batch) {
+  module_->set_on_decide([this](net::NodeContext& ctx, Slot slot, const Batch& batch) {
     on_decide(ctx, slot, batch);
   });
 
-  world_.set_handler(self_, [this](sim::Context& ctx, const sim::Message& msg) {
+  world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
 
   world_.schedule_timer_for_node(self_, world_.now() + config_.tick_period,
-                                 [this](sim::Context& ctx) { arm_tick(ctx); });
+                                 [this](net::NodeContext& ctx) { arm_tick(ctx); });
 }
 
-void TobNode::arm_tick(sim::Context& ctx) {
+void TobNode::arm_tick(net::NodeContext& ctx) {
   module_->on_tick(ctx);
   // Expire stale relays: the leader we relayed to may have crashed.
   for (PendingCommand& p : pending_) {
@@ -49,12 +49,12 @@ void TobNode::arm_tick(sim::Context& ctx) {
     }
   }
   maybe_propose(ctx);
-  ctx.set_timer(config_.tick_period, [this](sim::Context& c) { arm_tick(c); });
+  ctx.set_timer(config_.tick_period, [this](net::NodeContext& c) { arm_tick(c); });
 }
 
-void TobNode::on_message(sim::Context& ctx, const sim::Message& msg) {
+void TobNode::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kBroadcastHeader) {
-    const auto& body = sim::msg_body<BroadcastBody>(msg);
+    const auto& body = net::msg_body<BroadcastBody>(msg);
     config_.profile.charge(ctx, 1);
     on_broadcast(ctx, body.command, msg.from);
     return;
@@ -62,7 +62,7 @@ void TobNode::on_message(sim::Context& ctx, const sim::Message& msg) {
   if (msg.header == kRelayHeader) {
     // Relayed commands were already ingested (full program walk) at the
     // frontend that received them; the leader only enqueues them.
-    const auto& body = sim::msg_body<RelayBody>(msg);
+    const auto& body = net::msg_body<RelayBody>(msg);
     config_.profile.charge_control(ctx);
     for (const auto& [cmd, origin] : body.items) on_broadcast(ctx, cmd, origin);
     return;
@@ -72,12 +72,12 @@ void TobNode::on_message(sim::Context& ctx, const sim::Message& msg) {
   // co-located components that share the machine, not the node).
 }
 
-void TobNode::on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from) {
+void TobNode::on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId from) {
   const auto key = std::make_pair(cmd.client.value, cmd.seq);
   if (delivered_keys_.count(key) > 0) {
     // Duplicate of an already-delivered command (client retry): re-ack so
     // the broadcast is at-most-once from the subscriber's point of view.
-    ctx.send(from, sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}));
+    ctx.send(from, net::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}));
     return;
   }
   const bool already_pending =
@@ -91,7 +91,7 @@ void TobNode::on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from) {
   maybe_propose(ctx);
 }
 
-void TobNode::maybe_propose(sim::Context& ctx) {
+void TobNode::maybe_propose(net::NodeContext& ctx) {
   std::size_t eligible = 0;
   for (const PendingCommand& p : pending_) {
     if (!p.in_flight) ++eligible;
@@ -117,7 +117,7 @@ void TobNode::maybe_propose(sim::Context& ctx) {
     }
     if (!relay.items.empty()) {
       config_.profile.charge_control(ctx);
-      ctx.send(*hint, sim::make_msg(kRelayHeader, std::move(relay)));
+      ctx.send(*hint, net::make_msg(kRelayHeader, std::move(relay)));
     }
     if (self_eligible == 0) return;
   }
@@ -154,7 +154,7 @@ void TobNode::maybe_propose(sim::Context& ctx) {
   oldest_pending_since_ = ctx.now();
 }
 
-void TobNode::on_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
+void TobNode::on_decide(net::NodeContext& ctx, Slot slot, const Batch& batch) {
   if (config_.tracer) config_.tracer->tob_decide(ctx.now(), self_, slot, batch.size());
   decisions_[slot] = batch;
   if (auto it = outstanding_.find(slot); it != outstanding_.end()) {
@@ -171,7 +171,7 @@ void TobNode::on_decide(sim::Context& ctx, Slot slot, const Batch& batch) {
   maybe_propose(ctx);
 }
 
-void TobNode::deliver_ready(sim::Context& ctx) {
+void TobNode::deliver_ready(net::NodeContext& ctx) {
   while (true) {
     auto it = decisions_.find(next_deliver_slot_);
     if (it == decisions_.end()) return;
@@ -189,7 +189,7 @@ void TobNode::deliver_ready(sim::Context& ctx) {
 
       if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
       for (NodeId sub : remote_subscribers_) {
-        ctx.send(sub, sim::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd}));
+        ctx.send(sub, net::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd}));
       }
       // Ack the broadcaster if the command entered the system through us —
       // unless we relayed it to the leader, whose own pending entry acks
@@ -200,7 +200,7 @@ void TobNode::deliver_ready(sim::Context& ctx) {
           const bool relayed_elsewhere = p->relayed_at != 0 && !p->relay_expired;
           if (!relayed_elsewhere) {
             ctx.send(p->origin,
-                     sim::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}));
+                     net::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}));
           }
           pending_.erase(p);
           break;
@@ -211,7 +211,7 @@ void TobNode::deliver_ready(sim::Context& ctx) {
   }
 }
 
-TobService make_service(sim::World& world, const TobConfig& config,
+TobService make_service(net::Transport& world, const TobConfig& config,
                         consensus::SafetyRecorder* safety) {
   TobService service;
   service.nodes.reserve(config.nodes.size());

@@ -85,9 +85,9 @@ struct TobConfig {
   consensus::TwoThirdConfig two_third; // peers filled from `nodes` if empty
   std::size_t batch_max = 64;
   std::size_t max_outstanding = 1;  // proposals in flight per node (natural batching)
-  sim::Time batch_delay = 0;        // optional extra linger for batching, µs
-  sim::Time tick_period = 5000;     // µs driver for consensus timeouts
-  sim::Time relay_timeout = 500000; // relayed commands not delivered by then
+  net::Time batch_delay = 0;        // optional extra linger for batching, µs
+  net::Time tick_period = 5000;     // µs driver for consensus timeouts
+  net::Time relay_timeout = 500000; // relayed commands not delivered by then
                                     // are proposed locally (leader may be dead)
   obs::Tracer* tracer = nullptr;    // optional structured trace recorder
 };
@@ -96,9 +96,9 @@ struct TobConfig {
 /// TobConfig::nodes, all sharing the same config and SafetyRecorder.
 class TobNode {
  public:
-  using LocalDeliverFn = std::function<void(sim::Context&, Slot, std::uint64_t, const Command&)>;
+  using LocalDeliverFn = std::function<void(net::NodeContext&, Slot, std::uint64_t, const Command&)>;
 
-  TobNode(sim::World& world, NodeId self, TobConfig config,
+  TobNode(net::Transport& world, NodeId self, TobConfig config,
           consensus::SafetyRecorder* safety = nullptr);
 
   /// Local subscriber (e.g. a co-located SMR database replica).
@@ -113,14 +113,14 @@ class TobNode {
   consensus::ConsensusModule& module() { return *module_; }
 
  private:
-  void on_message(sim::Context& ctx, const sim::Message& msg);
-  void on_broadcast(sim::Context& ctx, const Command& cmd, NodeId from);
-  void on_decide(sim::Context& ctx, Slot slot, const Batch& batch);
-  void maybe_propose(sim::Context& ctx);
-  void deliver_ready(sim::Context& ctx);
-  void arm_tick(sim::Context& ctx);
+  void on_message(net::NodeContext& ctx, const net::Message& msg);
+  void on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId from);
+  void on_decide(net::NodeContext& ctx, Slot slot, const Batch& batch);
+  void maybe_propose(net::NodeContext& ctx);
+  void deliver_ready(net::NodeContext& ctx);
+  void arm_tick(net::NodeContext& ctx);
 
-  sim::World& world_;
+  net::Transport& world_;
   NodeId self_;
   TobConfig config_;
   std::unique_ptr<consensus::ConsensusModule> module_;
@@ -129,7 +129,7 @@ class TobNode {
     Command command;
     NodeId origin{};       // who sent the broadcast to us (gets the ack)
     bool in_flight = false;
-    sim::Time relayed_at = 0;   // 0 = not currently relayed to the leader
+    net::Time relayed_at = 0;   // 0 = not currently relayed to the leader
     bool relay_expired = false; // relay timed out: propose locally instead
   };
   std::deque<PendingCommand> pending_;
@@ -137,7 +137,7 @@ class TobNode {
   std::map<Slot, Batch> decisions_;    // decided but possibly not yet delivered
   Slot next_deliver_slot_ = 0;
   Slot next_propose_slot_ = 0;
-  sim::Time oldest_pending_since_ = 0;
+  net::Time oldest_pending_since_ = 0;
 
   std::set<std::pair<std::uint32_t, RequestSeq>> delivered_keys_;  // dedup guard
   std::vector<Command> delivery_log_;
@@ -155,7 +155,7 @@ struct TobService {
   std::size_t size() const { return nodes.size(); }
 };
 
-TobService make_service(sim::World& world, const TobConfig& config,
+TobService make_service(net::Transport& world, const TobConfig& config,
                         consensus::SafetyRecorder* safety = nullptr);
 
 }  // namespace shadow::tob

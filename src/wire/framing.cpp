@@ -42,6 +42,7 @@ const char* to_string(FrameStatus status) {
     case FrameStatus::kBadMagic: return "bad_magic";
     case FrameStatus::kTruncated: return "truncated";
     case FrameStatus::kChecksumMismatch: return "checksum_mismatch";
+    case FrameStatus::kUnknownHeader: return "unknown_header";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class FrameStatus : std::uint8_t {
   kBadMagic = 1,          // prologue corrupted beyond recognition
   kTruncated = 2,         // frame shorter than its declared lengths
   kChecksumMismatch = 3,  // payload bytes corrupted
+  kUnknownHeader = 4,     // valid frame, but no codec registered for its header
 };
 
 const char* to_string(FrameStatus status);

@@ -27,12 +27,12 @@ TxnRequest decode_request(const std::string& payload) {
   return req;
 }
 
-sim::Message make_request_msg(const TxnRequest& req) {
-  return sim::make_msg(kTxnRequestHeader, req);
+net::Message make_request_msg(const TxnRequest& req) {
+  return net::make_msg(kTxnRequestHeader, req);
 }
 
-sim::Message make_response_msg(const TxnResponse& resp) {
-  return sim::make_msg(kTxnResponseHeader, resp);
+net::Message make_response_msg(const TxnResponse& resp) {
+  return net::make_msg(kTxnResponseHeader, resp);
 }
 
 }  // namespace shadow::workload

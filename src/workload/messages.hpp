@@ -9,7 +9,7 @@
 #include "common/ids.hpp"
 #include "db/value.hpp"
 #include "db/wire.hpp"
-#include "sim/message.hpp"
+#include "net/message.hpp"
 #include "workload/procedures.hpp"
 
 namespace shadow::workload {
@@ -38,8 +38,8 @@ struct TxnResponse {
 std::string encode_request(const TxnRequest& req);
 TxnRequest decode_request(const std::string& payload);
 
-sim::Message make_request_msg(const TxnRequest& req);
-sim::Message make_response_msg(const TxnResponse& resp);
+net::Message make_request_msg(const TxnRequest& req);
+net::Message make_response_msg(const TxnResponse& resp);
 
 }  // namespace shadow::workload
 

@@ -3,6 +3,7 @@
 // concurrent clients, and at-most-once semantics.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "baselines/baseline_server.hpp"
 #include "core/client.hpp"
 #include "workload/bank.hpp"

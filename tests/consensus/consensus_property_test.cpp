@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "sim/world.hpp"
 #include "consensus/paxos.hpp"
 #include "consensus/two_third.hpp"
 #include "loe/properties.hpp"
@@ -43,7 +44,7 @@ TEST_P(ConsensusScheduleTest, SafetyHoldsUnderRandomSchedules) {
 
   const NodeId client = world.add_node("client");
   std::size_t acks = 0;
-  world.set_handler(client, [&acks](sim::Context&, const sim::Message& msg) {
+  world.set_handler(client, [&acks](net::NodeContext&, const sim::Message& msg) {
     if (msg.header == tob::kAckHeader) ++acks;
   });
 
@@ -51,7 +52,7 @@ TEST_P(ConsensusScheduleTest, SafetyHoldsUnderRandomSchedules) {
   // interleaved with the failure schedule.
   constexpr RequestSeq kCommands = 60;
   for (RequestSeq s = 1; s <= kCommands; ++s) {
-    const sim::Time at = s * 50000 + rng.uniform(0, 20000);
+    const net::Time at = s * 50000 + rng.uniform(0, 20000);
     const std::size_t target = rng.index(schedule.nodes);
     world.schedule(at - world.now() + 1, [&world, &config, client, target, s]() {
       tob::BroadcastBody body{Command{ClientId{1}, s, "payload"}};
@@ -67,7 +68,7 @@ TEST_P(ConsensusScheduleTest, SafetyHoldsUnderRandomSchedules) {
   for (std::size_t c = 0; c < schedule.crashes; ++c) {
     const std::size_t victim = 1 + rng.index(schedule.nodes - 1);
     if (!crashed.insert(victim).second) continue;
-    const sim::Time at = rng.uniform(100000, 2500000);
+    const net::Time at = rng.uniform(100000, 2500000);
     world.schedule(at, [&world, &config, victim]() { world.crash(config.nodes[victim]); });
   }
   if (schedule.use_partition) {

@@ -3,6 +3,7 @@
 // position via the TOB-agreed reconfiguration.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "workload/bank.hpp"
 
@@ -16,7 +17,7 @@ struct ChainFixture {
   std::int64_t generated_total = 0;
 
   explicit ChainFixture(std::uint64_t seed = 1, std::size_t chain_len = 3,
-                        sim::Time suspect_timeout = 2000000)
+                        net::Time suspect_timeout = 2000000)
       : world(seed) {
     auto registry = std::make_shared<workload::ProcedureRegistry>();
     workload::bank::register_procedures(*registry);
@@ -146,7 +147,7 @@ TEST(ChainReplication, NoAckTrafficInNormalCase) {
   ChainFixture fx;
   struct Counter final : sim::WorldObserver {
     std::map<std::string, int> sends;
-    void on_send(sim::Time, NodeId, NodeId, const sim::Message& m) override {
+    void on_send(net::Time, NodeId, NodeId, const sim::Message& m) override {
       ++sends[m.header];
     }
   } counter;

@@ -3,6 +3,7 @@
 // state transfer, and the paper's Durability and State-agreement properties.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "obs/checker.hpp"
 #include "workload/bank.hpp"
@@ -35,7 +36,7 @@ struct PbrFixture {
   }
 
   DbClient& add_client(std::size_t txns, std::uint64_t seed,
-                       sim::Time retry_timeout = 2000000) {
+                       net::Time retry_timeout = 2000000) {
     const ClientId id{static_cast<std::uint32_t>(clients.size() + 1)};
     const NodeId node = world.add_node("client" + std::to_string(id.value));
     DbClient::Options options;

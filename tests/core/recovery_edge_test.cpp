@@ -3,6 +3,7 @@
 // vs snapshot selection, and recovery under continuous client load.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "workload/bank.hpp"
 
@@ -109,7 +110,7 @@ TEST(RecoveryEdge, CatchupUsedWhenCacheCovers) {
   struct Counter final : sim::WorldObserver {
     int catchups = 0;
     int snapshots = 0;
-    void on_send(sim::Time, NodeId, NodeId, const sim::Message& m) override {
+    void on_send(net::Time, NodeId, NodeId, const sim::Message& m) override {
       if (m.header == kPbrCatchupHeader) ++catchups;
       if (m.header == kPbrSnapBeginHeader) ++snapshots;
     }
@@ -140,7 +141,7 @@ TEST(RecoveryEdge, SnapshotUsedWhenCacheTooSmall) {
 
   struct Counter final : sim::WorldObserver {
     int snapshots = 0;
-    void on_send(sim::Time, NodeId, NodeId, const sim::Message& m) override {
+    void on_send(net::Time, NodeId, NodeId, const sim::Message& m) override {
       if (m.header == kPbrSnapBeginHeader) ++snapshots;
     }
   } counter;

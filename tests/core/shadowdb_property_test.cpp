@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "workload/bank.hpp"
 
@@ -20,7 +21,7 @@ struct Scenario {
   std::uint64_t seed;
   bool smr;            // SMR or PBR
   std::size_t victim;  // which replica to crash (0 = primary for PBR)
-  sim::Time crash_at;
+  net::Time crash_at;
 };
 
 class ShadowDbScheduleTest : public ::testing::TestWithParam<Scenario> {};
@@ -134,7 +135,7 @@ TEST_P(ShadowDbScheduleTest, PropertiesHoldAcrossCrashSchedules) {
 std::vector<Scenario> make_scenarios() {
   std::vector<Scenario> scenarios;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    const sim::Time crash_at = 50000 + seed * 37000;
+    const net::Time crash_at = 50000 + seed * 37000;
     scenarios.push_back({seed, false, 0, crash_at});       // PBR: crash primary
     scenarios.push_back({seed + 50, false, 1, crash_at});  // PBR: crash backup
     scenarios.push_back({seed + 100, true, 0, crash_at});  // SMR: crash replica 0

@@ -3,6 +3,7 @@
 // reconfiguration with snapshot state transfer.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "obs/checker.hpp"
 #include "workload/bank.hpp"
@@ -49,7 +50,7 @@ struct SmrFixture {
     return *clients.back();
   }
 
-  void run_all(sim::Time limit) {
+  void run_all(net::Time limit) {
     for (auto& c : clients) c->start();
     world.run_until(limit);
   }

@@ -238,7 +238,7 @@ TEST(EngineLocking, LockWaitTimeoutAbortsWaiter) {
   traits.lock_timeout = 1000;  // 1 ms
   Engine engine(traits);
   engine.create_table(kv_schema());
-  sim::Time now = 0;
+  net::Time now = 0;
   engine.set_clock([&now] { return now; });
 
   std::vector<std::pair<TxnId, ExecResult>> woken;

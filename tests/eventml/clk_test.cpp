@@ -5,6 +5,7 @@
 // proofs of Figs. 5 and 6.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "eventml/compile.hpp"
 #include "eventml/optimizer.hpp"
 #include "eventml/specs/clk.hpp"
@@ -19,9 +20,9 @@ using specs::ClkParams;
 using specs::kClkMsgHeader;
 
 /// Extracts the logical-clock timestamp of a CLK message (for LoE).
-std::int64_t clk_timestamp(const sim::Message& msg) {
+std::int64_t clk_timestamp(const net::Message& msg) {
   if (msg.header != kClkMsgHeader || !msg.has_body()) return -1;
-  const ValuePtr* body = sim::msg_body_if<ValuePtr>(msg);
+  const ValuePtr* body = net::msg_body_if<ValuePtr>(msg);
   if (body == nullptr) return -1;
   return snd(*body)->as_int();
 }

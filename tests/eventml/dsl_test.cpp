@@ -218,7 +218,7 @@ TEST(Compile, NonDirectiveOutputsGoToTheTap) {
 TEST(Compile, HaltedProcessStaysHalted) {
   auto halt = gpm::Process::halt();
   EXPECT_TRUE(halt->halted());
-  const gpm::StepResult result = halt->step(sim::make_signal("x"));
+  const gpm::StepResult result = halt->step(net::make_signal("x"));
   EXPECT_TRUE(result.next->halted());
   EXPECT_TRUE(result.outputs.empty());
 }

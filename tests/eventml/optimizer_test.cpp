@@ -50,10 +50,10 @@ Spec layered_spec() {
   return spec;
 }
 
-std::vector<sim::Message> random_trace(std::size_t n, std::uint64_t seed) {
+std::vector<net::Message> random_trace(std::size_t n, std::uint64_t seed) {
   shadow::Rng rng(seed);
   const char* headers[] = {"ping", "pong", "msg", "noise"};
-  std::vector<sim::Message> trace;
+  std::vector<net::Message> trace;
   for (std::size_t i = 0; i < n; ++i) {
     const char* header = headers[rng.index(4)];
     ValuePtr body =
@@ -66,9 +66,9 @@ std::vector<sim::Message> random_trace(std::size_t n, std::uint64_t seed) {
   return trace;
 }
 
-bool dsl_body_eq(const sim::Message& a, const sim::Message& b) {
-  const ValuePtr* va = sim::msg_body_if<ValuePtr>(a);
-  const ValuePtr* vb = sim::msg_body_if<ValuePtr>(b);
+bool dsl_body_eq(const net::Message& a, const net::Message& b) {
+  const ValuePtr* va = net::msg_body_if<ValuePtr>(a);
+  const ValuePtr* vb = net::msg_body_if<ValuePtr>(b);
   if ((va == nullptr) != (vb == nullptr)) return false;
   return va == nullptr || value_eq(*va, *vb);
 }

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "sim/world.hpp"
 #include "common/rng.hpp"
 #include "eventml/compile.hpp"
 #include "eventml/optimizer.hpp"
@@ -20,11 +21,11 @@
 namespace shadow::eventml::specs {
 namespace {
 
-sim::Message propose_msg(std::int64_t value) {
+net::Message propose_msg(std::int64_t value) {
   return make_dsl_msg(kTTProposeHeader, Value::integer(value));
 }
 
-sim::Message vote_msg(NodeId sender, std::int64_t round, std::int64_t est) {
+net::Message vote_msg(NodeId sender, std::int64_t round, std::int64_t est) {
   return make_dsl_msg(kTTVoteHeader,
                       Value::pair(Value::loc(sender),
                                   Value::pair(Value::integer(round), Value::integer(est))));
@@ -40,8 +41,8 @@ class TwoThirdInstanceTest : public ::testing::Test {
     instance_ = std::make_unique<Instance>(spec_.main, locs_[0]);
   }
 
-  Instance::EventResult feed(const sim::Message& msg) {
-    const ValuePtr* body = sim::msg_body_if<ValuePtr>(msg);
+  Instance::EventResult feed(const net::Message& msg) {
+    const ValuePtr* body = net::msg_body_if<ValuePtr>(msg);
     return instance_->on_event(msg.header, *body);
   }
 
@@ -140,9 +141,9 @@ struct Deployment {
   std::vector<std::unique_ptr<gpm::ProcessHost>> hosts;
 
   explicit Deployment(std::size_t n, std::uint64_t seed)
-      : world(seed), recorder(world, [](const sim::Message& m) -> std::int64_t {
+      : world(seed), recorder(world, [](const net::Message& m) -> std::int64_t {
           if (m.header != kTTDecideHeader || !m.has_body()) return -1;
-          const ValuePtr* body = sim::msg_body_if<ValuePtr>(m);
+          const ValuePtr* body = net::msg_body_if<ValuePtr>(m);
           return body != nullptr && (*body)->is_int() ? (*body)->as_int() : -1;
         }) {
     for (std::size_t i = 0; i < n; ++i) locs.push_back(world.add_node("p" + std::to_string(i)));
@@ -225,7 +226,7 @@ TEST(TwoThirdDeployed, OptimizedSpecBisimilar) {
   EXPECT_LT(opt.after.distinct_nodes, opt.before.total_nodes);
 
   Rng rng(7);
-  std::vector<sim::Message> trace;
+  std::vector<net::Message> trace;
   for (int i = 0; i < 400; ++i) {
     switch (rng.uniform(0, 2)) {
       case 0: trace.push_back(propose_msg(static_cast<std::int64_t>(rng.uniform(1, 4)))); break;
@@ -241,9 +242,9 @@ TEST(TwoThirdDeployed, OptimizedSpecBisimilar) {
   }
   const gpm::BisimResult result = gpm::check_bisimilar(
       compile_to_gpm(spec, locs)(locs[0]), compile_to_gpm(opt_spec, locs)(locs[0]), trace,
-      [](const sim::Message& a, const sim::Message& b) {
-        const ValuePtr* va = sim::msg_body_if<ValuePtr>(a);
-        const ValuePtr* vb = sim::msg_body_if<ValuePtr>(b);
+      [](const net::Message& a, const net::Message& b) {
+        const ValuePtr* va = net::msg_body_if<ValuePtr>(a);
+        const ValuePtr* vb = net::msg_body_if<ValuePtr>(b);
         return va != nullptr && vb != nullptr && value_eq(*va, *vb);
       });
   EXPECT_TRUE(result.bisimilar) << result.detail;

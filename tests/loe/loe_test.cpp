@@ -2,6 +2,7 @@
 // order, happens-before, well-formedness, and the generic property checkers.
 #include <gtest/gtest.h>
 
+#include "sim/world.hpp"
 #include "loe/event_order.hpp"
 #include "loe/properties.hpp"
 #include "loe/recorder.hpp"
@@ -9,7 +10,7 @@
 namespace shadow::loe {
 namespace {
 
-Event make_event(EventKind kind, NodeId loc, sim::Time time, std::uint64_t uid = 0,
+Event make_event(EventKind kind, NodeId loc, net::Time time, std::uint64_t uid = 0,
                  std::int64_t info = 0) {
   Event e;
   e.kind = kind;
@@ -130,10 +131,10 @@ TEST(Recorder, CapturesSimulatedTraffic) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   int bounces = 0;
-  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+  world.set_handler(b, [&](net::NodeContext& ctx, const sim::Message&) {
     if (++bounces < 5) ctx.send(a, sim::make_signal("pong"));
   });
-  world.set_handler(a, [&](sim::Context& ctx, const sim::Message&) {
+  world.set_handler(a, [&](net::NodeContext& ctx, const sim::Message&) {
     ctx.send(b, sim::make_signal("ping"));
   });
   world.post(a, b, sim::make_signal("ping"));

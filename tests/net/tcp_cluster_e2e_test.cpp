@@ -1,0 +1,192 @@
+// End-to-end ShadowDB over real TCP sockets, in-process.
+//
+// Four TcpTransport instances — three server hosts and one client host —
+// run side by side in one test process, each executing the identical cluster
+// assembly (so NodeIds agree across "processes") but only its own local
+// nodes. Every protocol message crosses a real localhost socket as a
+// checksummed wire frame; only the routing table is shared. The bank
+// workload runs to completion under both ShadowDB modes (PBR and SMR), and
+// the per-host traces — comparable because the transports share a clock
+// epoch — are merged and replayed through the offline checker, which
+// verifies total order, at-most-once, durability, and strict
+// serializability across the whole cluster.
+//
+// Skips (rather than fails) when the environment forbids sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shadowdb.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/checker.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::core {
+namespace {
+
+constexpr std::size_t kServerHosts = 3;
+constexpr std::size_t kHostCount = kServerHosts + 1;  // + client host
+constexpr std::size_t kClientHost = kServerHosts;
+constexpr std::size_t kTxns = 25;
+
+/// One "process" of the cluster: a TCP transport plus the objects its local
+/// nodes are served by. All processes build the full assembly; remote nodes'
+/// objects stay inert (their timers are suppressed by the transport).
+struct Process {
+  std::unique_ptr<net::TcpTransport> transport;
+  std::unique_ptr<obs::Tracer> tracer;
+  PbrCluster pbr;
+  SmrCluster smr;
+  std::shared_ptr<workload::ProcedureRegistry> registry;
+  NodeId client_node{};
+  std::unique_ptr<DbClient> client;
+};
+
+enum class Mode { kPbr, kSmr };
+
+class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  /// Binds all transports (ephemeral ports), exchanges the discovered ports,
+  /// and runs the identical assembly in each. Returns false if sockets are
+  /// unavailable.
+  bool bring_up() {
+    const auto epoch = std::chrono::steady_clock::now();
+    std::vector<net::TcpHostAddr> hosts(kHostCount);
+    for (std::size_t h = 0; h < kHostCount; ++h) {
+      net::TcpOptions options;
+      options.local_host = static_cast<std::uint32_t>(h);
+      options.hosts = hosts;
+      options.seed = 42;
+      options.epoch = epoch;
+      auto transport = std::make_unique<net::TcpTransport>(options);
+      if (!transport->start()) return false;
+      processes_.push_back(Process{});
+      processes_.back().transport = std::move(transport);
+    }
+    for (auto& p : processes_) {
+      for (std::size_t h = 0; h < kHostCount; ++h) {
+        p.transport->set_host_port(net::HostId{static_cast<std::uint32_t>(h)},
+                                   processes_[h].transport->listen_port());
+      }
+    }
+    for (auto& p : processes_) assemble(p);
+    return true;
+  }
+
+  void assemble(Process& p) {
+    net::TcpTransport& t = *p.transport;
+    p.tracer = std::make_unique<obs::Tracer>(
+        obs::TracerOptions{.capacity = 1 << 18, .record_messages = false});
+    p.tracer->attach(t);
+
+    p.registry = std::make_shared<workload::ProcedureRegistry>();
+    workload::bank::register_procedures(*p.registry);
+
+    ClusterOptions opts;
+    opts.db_replicas = 3;  // >= 3 replicas, all active
+    opts.db_spares = 0;
+    opts.registry = p.registry;
+    opts.tracer = p.tracer.get();
+    opts.loader = [this](db::Engine& e) { workload::bank::load(e, bank_); };
+
+    if (GetParam() == Mode::kPbr) {
+      p.pbr = make_pbr_cluster(t, opts);
+    } else {
+      p.smr = make_smr_cluster(t, opts);
+    }
+
+    // The client node exists in every process's node table; the closed loop
+    // only runs where it is local (host kClientHost).
+    p.client_node = t.add_node("client1");
+    DbClient::Options options;
+    options.mode = GetParam() == Mode::kPbr ? DbClient::Mode::kDirect : DbClient::Mode::kTob;
+    options.targets = GetParam() == Mode::kPbr ? p.pbr.request_targets()
+                                               : p.smr.broadcast_targets();
+    options.txn_limit = kTxns;
+    options.retry_timeout = 2000000;
+    options.tracer = p.tracer.get();
+    auto rng = std::make_shared<Rng>(7);
+    auto cfg = bank_;
+    p.client = std::make_unique<DbClient>(
+        t, p.client_node, ClientId{1}, options, [rng, cfg]() {
+          return std::make_pair(std::string(workload::bank::kDepositProc),
+                                workload::bank::make_deposit(*rng, cfg));
+        });
+  }
+
+  /// Round-robin event-loop pump across all "processes".
+  void pump_for(std::chrono::milliseconds duration) {
+    const auto until = std::chrono::steady_clock::now() + duration;
+    while (std::chrono::steady_clock::now() < until) {
+      for (auto& p : processes_) p.transport->poll_once(300);
+    }
+  }
+
+  DbClient& client() { return *processes_[kClientHost].client; }
+
+  /// Stats of the replica local to server host `h`, read from that host's
+  /// own process (the only one where the object actually executed).
+  std::uint64_t replica_executed(std::size_t h) {
+    Process& p = processes_[h];
+    return GetParam() == Mode::kPbr ? p.pbr.replicas[h]->executed()
+                                    : p.smr.replicas[h]->executed();
+  }
+  std::uint64_t replica_digest(std::size_t h) {
+    Process& p = processes_[h];
+    return GetParam() == Mode::kPbr ? p.pbr.replicas[h]->state_digest()
+                                    : p.smr.replicas[h]->state_digest();
+  }
+
+  workload::bank::BankConfig bank_{1000, 0};
+  std::vector<Process> processes_;
+};
+
+TEST_P(TcpClusterE2eTest, BankWorkloadCommitsAndPassesTheChecker) {
+  if (!bring_up()) GTEST_SKIP() << "sockets unavailable in this environment";
+
+  client().start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(90);
+  while (!client().done() && std::chrono::steady_clock::now() < deadline) {
+    for (auto& p : processes_) p.transport->poll_once(300);
+  }
+  ASSERT_TRUE(client().done()) << "cluster did not complete the workload in time";
+  EXPECT_EQ(client().committed(), kTxns);
+
+  // Let in-flight replication drain, then every active replica must have
+  // executed every transaction and converged on the same state.
+  pump_for(std::chrono::milliseconds(500));
+  for (std::size_t h = 0; h < kServerHosts; ++h) {
+    EXPECT_EQ(replica_executed(h), kTxns) << "replica on host " << h;
+  }
+  EXPECT_EQ(replica_digest(0), replica_digest(1));
+  EXPECT_EQ(replica_digest(1), replica_digest(2));
+
+  // Real bytes moved: the server hosts exchanged frames over the sockets.
+  for (std::size_t h = 0; h < kHostCount; ++h) {
+    EXPECT_GT(processes_[h].transport->messages_delivered(), 0u) << "host " << h;
+    EXPECT_EQ(processes_[h].transport->wire_drops(), 0u) << "host " << h;
+  }
+
+  // Merge the per-process traces and replay them through the offline
+  // checker: total order, at-most-once, durability, strict serializability.
+  std::vector<obs::Trace> traces;
+  for (auto& p : processes_) traces.push_back(p.tracer->snapshot());
+  const obs::Trace merged = obs::merge_traces(traces);
+  const obs::CheckResult check = obs::check_trace(merged);
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(check.committed_txns_checked, kTxns);
+  EXPECT_EQ(check.replicas_checked, kServerHosts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TcpClusterE2eTest,
+                         ::testing::Values(Mode::kPbr, Mode::kSmr),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return info.param == Mode::kPbr ? std::string("Pbr")
+                                                           : std::string("Smr");
+                         });
+
+}  // namespace
+}  // namespace shadow::core

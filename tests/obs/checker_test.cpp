@@ -26,7 +26,7 @@ struct TraceBuilder {
     return static_cast<std::uint32_t>(trace.strings.size() - 1);
   }
 
-  TraceEvent& add(sim::Time t, EventKind kind, NodeId node) {
+  TraceEvent& add(net::Time t, EventKind kind, NodeId node) {
     TraceEvent e;
     e.time = t;
     e.kind = kind;
@@ -35,14 +35,14 @@ struct TraceBuilder {
     return trace.events.back();
   }
 
-  void begin(sim::Time t, ClientId c, RequestSeq s) {
+  void begin(net::Time t, ClientId c, RequestSeq s) {
     TraceEvent& e = add(t, EventKind::kTxnBegin, NodeId{100 + c.value});
     e.client = c;
     e.seq = s;
     e.label = label("deposit");
   }
 
-  void execute(sim::Time t, NodeId node, ClientId c, RequestSeq s, std::uint64_t order,
+  void execute(net::Time t, NodeId node, ClientId c, RequestSeq s, std::uint64_t order,
                bool duplicate = false, const std::string& proc = "deposit") {
     TraceEvent& e = add(t, EventKind::kTxnExecute, node);
     e.client = c;
@@ -53,14 +53,14 @@ struct TraceBuilder {
     e.label = label(proc);
   }
 
-  void ack(sim::Time t, ClientId c, RequestSeq s, bool committed = true) {
+  void ack(net::Time t, ClientId c, RequestSeq s, bool committed = true) {
     TraceEvent& e = add(t, EventKind::kTxnAck, NodeId{100 + c.value});
     e.client = c;
     e.seq = s;
     e.a = committed ? 1 : 0;
   }
 
-  void deliver(sim::Time t, NodeId node, std::uint64_t index, ClientId c, RequestSeq s) {
+  void deliver(net::Time t, NodeId node, std::uint64_t index, ClientId c, RequestSeq s) {
     TraceEvent& e = add(t, EventKind::kTobDeliver, node);
     e.client = c;
     e.seq = s;
@@ -68,7 +68,7 @@ struct TraceBuilder {
     e.b = index;
   }
 
-  void crash(sim::Time t, NodeId node) { add(t, EventKind::kCrash, node); }
+  void crash(net::Time t, NodeId node) { add(t, EventKind::kCrash, node); }
 };
 
 bool has_violation(const CheckResult& result, const std::string& invariant) {

@@ -144,7 +144,7 @@ TEST(Tracer, AttachedToWorldRecordsNetworkAndCrashes) {
 
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
-  world.set_handler(b, [](sim::Context&, const sim::Message&) {});
+  world.set_handler(b, [](net::NodeContext&, const sim::Message&) {});
   const sim::Message ping = sim::make_msg("ping", std::string("x"));
   const std::size_t ping_bytes = ping.wire_size;
   EXPECT_EQ(ping_bytes,
@@ -191,7 +191,7 @@ TEST(Tracer, RecordMessagesOffStillCountsNetworkMetrics) {
 
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
-  world.set_handler(b, [](sim::Context&, const sim::Message&) {});
+  world.set_handler(b, [](net::NodeContext&, const sim::Message&) {});
   world.post(a, b, sim::make_msg("ping", std::string("x")));
   world.run_until(1000000);
 

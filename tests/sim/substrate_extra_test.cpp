@@ -12,8 +12,8 @@ TEST(Bandwidth, LargeMessagesTakeProportionallyLonger) {
   sim::World world(3, sim::NetworkConfig{100, 20, 125.0, 0.0});  // no jitter
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
-  std::vector<sim::Time> arrivals;
-  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+  std::vector<net::Time> arrivals;
+  world.set_handler(b, [&](net::NodeContext& ctx, const sim::Message&) {
     arrivals.push_back(ctx.now());
   });
   // 125 B/µs: a 125 kB message needs ~1000 µs of transmission alone.
@@ -22,8 +22,8 @@ TEST(Bandwidth, LargeMessagesTakeProportionallyLonger) {
   world.post(a, b, sim::make_msg("large", 0, 125'000));
   world.run_until(20'000'000);
   ASSERT_EQ(arrivals.size(), 2u);
-  const sim::Time small_latency = arrivals[0];
-  const sim::Time large_latency = arrivals[1] - 10'000'000;
+  const net::Time small_latency = arrivals[0];
+  const net::Time large_latency = arrivals[1] - 10'000'000;
   EXPECT_NEAR(static_cast<double>(large_latency - small_latency), 999.0, 5.0);
 }
 
@@ -34,8 +34,8 @@ TEST(MachineCrash, TakesDownAllCoLocatedNodes) {
   const NodeId b = world.add_node("b", machine);
   const NodeId other = world.add_node("other");
   int received = 0;
-  world.set_handler(a, [&](sim::Context&, const sim::Message&) { ++received; });
-  world.set_handler(b, [&](sim::Context&, const sim::Message&) { ++received; });
+  world.set_handler(a, [&](net::NodeContext&, const sim::Message&) { ++received; });
+  world.set_handler(b, [&](net::NodeContext&, const sim::Message&) { ++received; });
   world.crash_machine(machine);
   EXPECT_TRUE(world.crashed(a));
   EXPECT_TRUE(world.crashed(b));
@@ -51,10 +51,10 @@ TEST(WorldRun, DrainsEventQueue) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   int hops = 0;
-  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+  world.set_handler(b, [&](net::NodeContext& ctx, const sim::Message&) {
     if (++hops < 10) ctx.send(a, sim::make_signal("pong"));
   });
-  world.set_handler(a, [&](sim::Context& ctx, const sim::Message&) {
+  world.set_handler(a, [&](net::NodeContext& ctx, const sim::Message&) {
     ctx.send(b, sim::make_signal("ping"));
   });
   world.post(a, b, sim::make_signal("ping"));
@@ -68,7 +68,7 @@ TEST(WorldRun, MaxEventsBoundsExecution) {
   sim::World world(9);
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
-  world.set_handler(b, [&](sim::Context& ctx, const sim::Message&) {
+  world.set_handler(b, [&](net::NodeContext& ctx, const sim::Message&) {
     ctx.send(b, sim::make_signal("self"));  // infinite self-loop
   });
   world.post(a, b, sim::make_signal("go"));
@@ -80,8 +80,8 @@ TEST(WorldRun, MaxEventsBoundsExecution) {
 TEST(GpmRuntime, TierCostsOrderInterpretedAboveCompiled) {
   const gpm::CostModel costs;
   const std::uint64_t work = 1000;
-  const sim::Time interpreted = costs.cost_us(gpm::ExecutionTier::kInterpreted, work);
-  const sim::Time compiled = costs.cost_us(gpm::ExecutionTier::kCompiled, work);
+  const net::Time interpreted = costs.cost_us(gpm::ExecutionTier::kInterpreted, work);
+  const net::Time compiled = costs.cost_us(gpm::ExecutionTier::kCompiled, work);
   EXPECT_GT(interpreted, 10 * compiled);
   // More work never costs less, in any tier.
   for (auto tier : {gpm::ExecutionTier::kInterpreted, gpm::ExecutionTier::kInterpretedOpt,
@@ -107,8 +107,8 @@ TEST(GpmRuntime, HostChargesTierCosts) {
     const NodeId node = world.add_node("p");
     const NodeId probe = world.add_node("probe");
     gpm::ProcessHost host(world, node, make_echo(), tier);
-    sim::Time echoed_at = 0;
-    world.set_handler(probe, [&](sim::Context& ctx, const sim::Message&) {
+    net::Time echoed_at = 0;
+    world.set_handler(probe, [&](net::NodeContext& ctx, const sim::Message&) {
       echoed_at = ctx.now();
     });
     world.post(probe, node, sim::make_signal("ping"));
@@ -117,8 +117,8 @@ TEST(GpmRuntime, HostChargesTierCosts) {
     EXPECT_EQ(host.total_work(), 2000u);
     return echoed_at;
   };
-  const sim::Time interpreted = run_tier(gpm::ExecutionTier::kInterpreted);
-  const sim::Time compiled = run_tier(gpm::ExecutionTier::kCompiled);
+  const net::Time interpreted = run_tier(gpm::ExecutionTier::kInterpreted);
+  const net::Time compiled = run_tier(gpm::ExecutionTier::kCompiled);
   EXPECT_GT(interpreted, compiled + 10'000);  // ~18 ms vs ~1.6 ms of CPU
 }
 
@@ -136,8 +136,8 @@ TEST(GpmRuntime, DelayedSendDirectivesActAsTimers) {
     return result;
   });
   gpm::ProcessHost host(world, node, process);
-  sim::Time arrived = 0;
-  world.set_handler(probe, [&](sim::Context& ctx, const sim::Message& msg) {
+  net::Time arrived = 0;
+  world.set_handler(probe, [&](net::NodeContext& ctx, const sim::Message& msg) {
     if (msg.header == "late") arrived = ctx.now();
   });
   world.post(probe, node, sim::make_signal("start"));

@@ -24,7 +24,7 @@ TEST(World, MessageDeliveryInvokesHandler) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   int received = 0;
-  world.set_handler(b, [&](Context&, const Message& m) {
+  world.set_handler(b, [&](net::NodeContext&, const Message& m) {
     EXPECT_EQ(m.header, "ping");
     EXPECT_EQ(m.from, a);
     ++received;
@@ -39,7 +39,7 @@ TEST(World, FifoPerChannel) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   std::vector<int> order;
-  world.set_handler(b, [&](Context&, const Message& m) {
+  world.set_handler(b, [&](net::NodeContext&, const Message& m) {
     order.push_back(static_cast<int>(msg_body<int>(m)));
   });
   for (int i = 0; i < 50; ++i) world.post(a, b, make_msg("n", i));
@@ -54,7 +54,7 @@ TEST(World, CpuChargeSerializesAMachine) {
   const NodeId a = world.add_node("a", m);
   const NodeId src = world.add_node("src");
   std::vector<Time> completion_times;
-  world.set_handler(a, [&](Context& ctx, const Message&) {
+  world.set_handler(a, [&](net::NodeContext& ctx, const Message&) {
     ctx.charge(1000);  // 1 ms of CPU per message
     completion_times.push_back(ctx.now());
   });
@@ -74,11 +74,11 @@ TEST(World, CoLocatedNodesShareCpu) {
   const NodeId src = world.add_node("src");
   Time a_done = 0;
   Time b_done = 0;
-  world.set_handler(a, [&](Context& ctx, const Message&) {
+  world.set_handler(a, [&](net::NodeContext& ctx, const Message&) {
     ctx.charge(5000);
     a_done = ctx.now();
   });
-  world.set_handler(b, [&](Context& ctx, const Message&) {
+  world.set_handler(b, [&](net::NodeContext& ctx, const Message&) {
     ctx.charge(5000);
     b_done = ctx.now();
   });
@@ -94,7 +94,7 @@ TEST(World, CrashedNodeStopsReceiving) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   int received = 0;
-  world.set_handler(b, [&](Context&, const Message&) { ++received; });
+  world.set_handler(b, [&](net::NodeContext&, const Message&) { ++received; });
   world.post(a, b, make_signal("one"));
   world.run_until(100000);
   EXPECT_EQ(received, 1);
@@ -110,7 +110,7 @@ TEST(World, PartitionBlocksAndHeals) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   int received = 0;
-  world.set_handler(b, [&](Context&, const Message&) { ++received; });
+  world.set_handler(b, [&](net::NodeContext&, const Message&) { ++received; });
   world.set_partitioned(a, b, true);
   world.post(a, b, make_signal("x"));
   world.run_until(100000);
@@ -125,8 +125,8 @@ TEST(World, TimersFireAndCancel) {
   World world;
   const NodeId a = world.add_node("a");
   int fired = 0;
-  world.schedule_timer_for_node(a, 1000, [&](Context&) { ++fired; });
-  const TimerId cancelled = world.schedule_timer_for_node(a, 2000, [&](Context&) { ++fired; });
+  world.schedule_timer_for_node(a, 1000, [&](net::NodeContext&) { ++fired; });
+  const TimerId cancelled = world.schedule_timer_for_node(a, 2000, [&](net::NodeContext&) { ++fired; });
   world.cancel(cancelled);
   world.run_until(10000);
   EXPECT_EQ(fired, 1);
@@ -136,7 +136,7 @@ TEST(World, TimerOnCrashedNodeDoesNotFire) {
   World world;
   const NodeId a = world.add_node("a");
   int fired = 0;
-  world.schedule_timer_for_node(a, 1000, [&](Context&) { ++fired; });
+  world.schedule_timer_for_node(a, 1000, [&](net::NodeContext&) { ++fired; });
   world.crash(a);
   world.run_until(10000);
   EXPECT_EQ(fired, 0);
@@ -149,12 +149,12 @@ TEST(World, SendsReleasedAtCompletionTime) {
   const NodeId src = world.add_node("src");
   Time sent_at = 0;
   Time received_at = 0;
-  world.set_handler(a, [&](Context& ctx, const Message&) {
+  world.set_handler(a, [&](net::NodeContext& ctx, const Message&) {
     ctx.charge(3000);
     ctx.send(b, make_signal("fwd"));
     sent_at = ctx.now();
   });
-  world.set_handler(b, [&](Context& ctx, const Message&) { received_at = ctx.now(); });
+  world.set_handler(b, [&](net::NodeContext& ctx, const Message&) { received_at = ctx.now(); });
   world.post(src, a, make_signal("go"));
   world.run_until(1000000);
   EXPECT_GE(sent_at, 3000u);
@@ -167,7 +167,7 @@ TEST(World, DeterministicGivenSeed) {
     const NodeId a = world.add_node("a");
     const NodeId b = world.add_node("b");
     std::vector<Time> arrivals;
-    world.set_handler(b, [&](Context& ctx, const Message&) { arrivals.push_back(ctx.now()); });
+    world.set_handler(b, [&](net::NodeContext& ctx, const Message&) { arrivals.push_back(ctx.now()); });
     for (int i = 0; i < 20; ++i) world.post(a, b, make_signal("x"));
     world.run_until(1000000);
     return arrivals;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "loe/properties.hpp"
+#include "sim/world.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::tob {
@@ -23,7 +24,7 @@ struct RelayFixture {
     config.relay_timeout = 300000;  // quick fallback for the crash test
     service = make_service(world, config, &safety);
     client = world.add_node("client");
-    world.set_handler(client, [this](sim::Context&, const sim::Message& msg) {
+    world.set_handler(client, [this](net::NodeContext&, const sim::Message& msg) {
       if (msg.header == kAckHeader) acks.push_back(sim::msg_body<AckBody>(msg));
     });
   }
@@ -44,7 +45,7 @@ TEST(TobRelay, NonLeaderFrontendsRelayToTheLeader) {
   struct Counter final : sim::WorldObserver {
     int relays = 0;
     int proposes = 0;
-    void on_send(sim::Time, NodeId, NodeId, const sim::Message& m) override {
+    void on_send(net::Time, NodeId, NodeId, const sim::Message& m) override {
       if (m.header == "tob-relay") ++relays;
       if (m.header == "px-propose") ++proposes;
     }

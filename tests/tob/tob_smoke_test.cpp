@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "loe/properties.hpp"
+#include "sim/world.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::tob {
@@ -24,7 +25,7 @@ struct Fixture {
     }
     service_nodes = config.nodes;
     client_node = world.add_node("client");
-    world.set_handler(client_node, [this](sim::Context&, const sim::Message& msg) {
+    world.set_handler(client_node, [this](net::NodeContext&, const sim::Message& msg) {
       if (msg.header == kAckHeader) acks.push_back(sim::msg_body<AckBody>(msg));
     });
     service = make_service(world, config, &safety);

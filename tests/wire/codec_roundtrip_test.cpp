@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/world.hpp"
 #include "baselines/baseline_server.hpp"
 #include "common/rng.hpp"
 #include "consensus/paxos.hpp"

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/world.hpp"
 #include "core/shadowdb.hpp"
 #include "obs/checker.hpp"
 #include "wire/framing.hpp"
@@ -36,7 +37,7 @@ struct PbrFixture {
 
   /// Adds a client on a node the test knows (so it can fault its links).
   std::pair<DbClient*, NodeId> add_client(std::size_t txns, std::uint64_t seed,
-                                          sim::Time retry_timeout = 2000000) {
+                                          net::Time retry_timeout = 2000000) {
     const ClientId id{static_cast<std::uint32_t>(clients.size() + 1)};
     const NodeId node = world.add_node("client" + std::to_string(id.value));
     DbClient::Options options;
@@ -76,7 +77,7 @@ struct SmrFixture {
   }
 
   std::pair<DbClient*, NodeId> add_client(std::size_t txns, std::uint64_t seed,
-                                          sim::Time retry_timeout = 2000000) {
+                                          net::Time retry_timeout = 2000000) {
     const ClientId id{static_cast<std::uint32_t>(clients.size() + 1)};
     const NodeId node = world.add_node("client" + std::to_string(id.value));
     DbClient::Options options;
@@ -143,7 +144,7 @@ TEST(WireFidelity, DeliveredBodiesAreFreshDecodes) {
   const sim::Message sent = sim::make_msg("fresh-check", std::string("payload"));
   const std::any* received = nullptr;
   std::string received_value;
-  world.set_handler(b, [&](sim::Context&, const sim::Message& m) {
+  world.set_handler(b, [&](net::NodeContext&, const sim::Message& m) {
     received = m.body.get();
     received_value = sim::msg_body<std::string>(m);
   });
@@ -216,7 +217,7 @@ TEST(WireFault, ClearLinkFaultStopsTheDamage) {
   const NodeId a = world.add_node("a");
   const NodeId b = world.add_node("b");
   std::uint64_t delivered = 0;
-  world.set_handler(b, [&](sim::Context&, const sim::Message&) { ++delivered; });
+  world.set_handler(b, [&](net::NodeContext&, const sim::Message&) { ++delivered; });
   world.set_link_fault(a, b, {.corrupt_prob = 1.0, .truncate_prob = 0.0});
   for (int i = 0; i < 20; ++i) world.post(a, b, sim::make_msg("blast", i));
   world.run_until(10000000);
