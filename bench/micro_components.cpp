@@ -161,6 +161,54 @@ void BM_SnapshotSerialize50k(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotSerialize50k)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------- zero-copy --
+
+consensus::Batch batch64() {
+  consensus::Batch batch;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    batch.push_back(consensus::Command{ClientId{1}, i + 1, std::string(140, 'x')});
+  }
+  return batch;
+}
+
+void BM_BatchEncode64(benchmark::State& state) {
+  // The one serialization a batch pays in its lifetime: 64 commands of 140
+  // bytes, structured form -> encoded sub-frame.
+  const consensus::Batch batch = batch64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consensus::EncodedBatch{batch});
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(consensus::EncodedBatch{batch64()}.payload_size()));
+}
+BENCHMARK(BM_BatchEncode64);
+
+void BM_BatchSplice64(benchmark::State& state) {
+  // What every further hop pays instead: re-framing the already-encoded
+  // batch by splicing its payload views (relay, re-propose, deliver).
+  const consensus::EncodedBatch encoded{batch64()};
+  for (auto _ : state) {
+    BytesWriter w;
+    wire::Codec<consensus::EncodedBatch>::encode(w, encoded);
+    benchmark::DoNotOptimize(w.take_segments());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.payload_size()));
+}
+BENCHMARK(BM_BatchSplice64);
+
+void BM_BatchFlatten64(benchmark::State& state) {
+  // The copy the splice path avoids: gathering the same sub-frame into one
+  // contiguous staging buffer.
+  const consensus::EncodedBatch encoded{batch64()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoded.payload().flatten());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.payload_size()));
+}
+BENCHMARK(BM_BatchFlatten64);
+
 // ------------------------------------------------------------- distributed --
 
 void BM_SimulatedPaxosBroadcast(benchmark::State& state) {

@@ -11,6 +11,8 @@
 #   * layering grep gates: protocol code (consensus, tob, core, baselines)
 #     must program against net::Transport/net::NodeContext only — no
 #     sim::Context and no sim/world.hpp includes;
+#   * an ASan+UBSan build of the whole tree with the test suites run under
+#     it (the zero-copy payload path lives or dies by buffer ownership);
 #   * the wire round-trip suite under extra corruption seeds;
 #   * PBR + SMR end-to-end in the simulator's wire-fidelity mode;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
@@ -44,6 +46,17 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake -B build-strict -S . \
     -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
   cmake --build build-strict -j --target shadow_net shadow_obs shadow_wire
+
+  echo "== sanitizers: ASan+UBSan build + unit suites =="
+  # The zero-copy payload path is all shared buffers and borrowed views:
+  # address/UB sanitizers are the cheapest way to prove no view outlives its
+  # owner and no splice aliases freed memory.
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
   echo "== wire: round-trip suite under extra corruption seeds =="
   for seed in 7 131 9973; do

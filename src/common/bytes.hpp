@@ -1,16 +1,30 @@
-// Byte-oriented serialization.
+// Byte-oriented serialization and the zero-copy payload primitives.
 //
 // ShadowDB's state transfer protocol ships database snapshots as batches of
 // serialized rows (~50 KB per batch in the paper). BytesWriter/BytesReader
 // implement a compact little-endian wire format used by snapshots and by
 // message-size accounting in the simulator.
+//
+// Zero-copy path: a payload that was encoded once can travel as a ByteView —
+// an offset/length view into a shared immutable buffer (OwnedBytes). A
+// BytesWriter can *splice* such a view into its output without copying it,
+// producing a SegmentedBytes (an ordered list of views) instead of one
+// contiguous buffer; a BytesReader can read across the segments and hand
+// sub-ranges back out as views that share the source buffer. Consensus
+// batches use this to be encoded exactly once per lifetime (see
+// consensus::EncodedBatch); splice_stats() counts the encodes, splices, and
+// any copies the path could not avoid.
 #pragma once
 
+#include <algorithm>
+#include <compare>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -19,7 +33,182 @@ namespace shadow {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Appends primitive values to a growing byte buffer.
+/// Shared immutable byte buffer: the ownership unit of the zero-copy path.
+/// Everyone holding a view keeps the buffer alive; nobody can mutate it.
+using OwnedBytes = std::shared_ptr<const Bytes>;
+
+/// Process-wide counters for the zero-copy payload path (exposed to metrics
+/// as net.batch_encode_count / net.batch_splices / net.batch_bytes_copied).
+struct SpliceStats {
+  /// Command-region serializations: how often batch commands were encoded
+  /// from their structured form. The zero-copy invariant is one per batch
+  /// lifetime, no matter how many hops/re-proposals/relays the batch takes.
+  std::uint64_t batch_encodes = 0;
+  /// Pre-encoded views spliced into writers instead of being re-encoded.
+  std::uint64_t batch_splices = 0;
+  /// Bytes of already-encoded content copied into a contiguous staging
+  /// buffer (SegmentedBytes::flatten, BytesWriter::take with spliced
+  /// segments, BytesReader::take_segments over borrowed memory). Zero on the
+  /// clean send/relay/re-propose paths; nonzero only under fault injection
+  /// or legacy contiguous consumers.
+  std::uint64_t batch_bytes_copied = 0;
+
+  void reset() { *this = SpliceStats{}; }
+};
+
+inline SpliceStats& splice_stats() {
+  static SpliceStats stats;
+  return stats;
+}
+
+/// An immutable view of a byte range. Owned views share an OwnedBytes buffer
+/// and may outlive their creator; borrowed views (made from a raw span) are
+/// only valid while the underlying storage is.
+class ByteView {
+ public:
+  ByteView() = default;
+
+  ByteView(OwnedBytes buffer, std::size_t offset, std::size_t len) : owner_(std::move(buffer)) {
+    SHADOW_REQUIRE(owner_ != nullptr && offset + len <= owner_->size());
+    data_ = owner_->data() + offset;
+    len_ = len;
+  }
+
+  static ByteView borrowed(std::span<const std::uint8_t> data) {
+    ByteView v;
+    v.data_ = data.data();
+    v.len_ = data.size();
+    return v;
+  }
+
+  static ByteView owning(Bytes&& bytes) {
+    auto owner = std::make_shared<const Bytes>(std::move(bytes));
+    const std::size_t n = owner->size();
+    ByteView v;
+    v.data_ = owner->data();
+    v.len_ = n;
+    v.owner_ = std::move(owner);
+    return v;
+  }
+
+  std::span<const std::uint8_t> span() const { return {data_, len_}; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  /// Whether this view keeps its buffer alive (false: borrowed).
+  bool owned() const { return owner_ != nullptr; }
+  const OwnedBytes& owner() const { return owner_; }
+
+  /// A sub-view sharing the same buffer (no copy).
+  ByteView subview(std::size_t offset, std::size_t len) const {
+    SHADOW_REQUIRE(offset + len <= len_);
+    ByteView v;
+    v.owner_ = owner_;
+    v.data_ = data_ + offset;
+    v.len_ = len;
+    return v;
+  }
+
+ private:
+  OwnedBytes owner_;  // null for borrowed views
+  const std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+};
+
+/// An ordered sequence of byte views behaving as one logical byte string.
+/// This is what a spliced encoding produces: owned segments for the freshly
+/// written parts, shared views for the spliced pre-encoded parts. Comparison
+/// is by content (segment boundaries are invisible).
+class SegmentedBytes {
+ public:
+  SegmentedBytes() = default;
+  explicit SegmentedBytes(ByteView view) { append(std::move(view)); }
+
+  void append(ByteView view) {
+    if (view.empty()) return;
+    size_ += view.size();
+    segs_.push_back(std::move(view));
+  }
+  void append_owned(Bytes&& bytes) {
+    if (bytes.empty()) return;
+    append(ByteView::owning(std::move(bytes)));
+  }
+  void append(const SegmentedBytes& other) {
+    for (const ByteView& s : other.segs_) append(s);
+  }
+
+  const std::vector<ByteView>& segments() const { return segs_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Copies every segment into one contiguous buffer. This is exactly the
+  /// copy the zero-copy path exists to avoid, so it is counted in
+  /// splice_stats().batch_bytes_copied; only fault injection and legacy
+  /// contiguous consumers should reach it.
+  Bytes flatten() const {
+    splice_stats().batch_bytes_copied += size_;
+    Bytes out;
+    out.reserve(size_);
+    for (const ByteView& s : segs_) out.insert(out.end(), s.data(), s.data() + s.size());
+    return out;
+  }
+
+  /// The sub-sequence [offset, offset+len), sharing the source buffers.
+  SegmentedBytes subrange(std::size_t offset, std::size_t len) const {
+    SHADOW_REQUIRE(offset + len <= size_);
+    SegmentedBytes out;
+    for (const ByteView& s : segs_) {
+      if (len == 0) break;
+      if (offset >= s.size()) {
+        offset -= s.size();
+        continue;
+      }
+      const std::size_t m = std::min(len, s.size() - offset);
+      out.append(s.subview(offset, m));
+      offset = 0;
+      len -= m;
+    }
+    return out;
+  }
+
+  /// Lexicographic content comparison, streamed across segment boundaries
+  /// (two equal byte strings compare equal however they are segmented).
+  std::strong_ordering operator<=>(const SegmentedBytes& other) const {
+    std::size_t ai = 0, ap = 0, bi = 0, bp = 0;
+    while (true) {
+      while (ai < segs_.size() && ap == segs_[ai].size()) {
+        ++ai;
+        ap = 0;
+      }
+      while (bi < other.segs_.size() && bp == other.segs_[bi].size()) {
+        ++bi;
+        bp = 0;
+      }
+      const bool a_done = ai == segs_.size();
+      const bool b_done = bi == other.segs_.size();
+      if (a_done || b_done) {
+        if (a_done && b_done) return std::strong_ordering::equal;
+        return a_done ? std::strong_ordering::less : std::strong_ordering::greater;
+      }
+      const std::size_t m =
+          std::min(segs_[ai].size() - ap, other.segs_[bi].size() - bp);
+      const int c = std::memcmp(segs_[ai].data() + ap, other.segs_[bi].data() + bp, m);
+      if (c != 0) return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+      ap += m;
+      bp += m;
+    }
+  }
+  bool operator==(const SegmentedBytes& other) const {
+    return size_ == other.size_ && (*this <=> other) == std::strong_ordering::equal;
+  }
+
+ private:
+  std::vector<ByteView> segs_;
+  std::size_t size_ = 0;
+};
+
+/// Appends primitive values to a growing byte buffer; pre-encoded views can
+/// be spliced in without copying, turning the output into a SegmentedBytes.
 class BytesWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -49,36 +238,97 @@ class BytesWriter {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
-  std::size_t size() const { return buf_.size(); }
+  /// Splices a pre-encoded view into the output without copying it: the
+  /// bytes written so far become an owned segment, the view rides along by
+  /// reference. Decoders must consume the spliced range as a unit (the
+  /// sub-frame protocol's length prefix guarantees this).
+  void splice(ByteView view) {
+    if (view.empty()) return;
+    ++splice_stats().batch_splices;
+    flush();
+    out_.append(std::move(view));
+  }
+  void splice(const SegmentedBytes& views) {
+    if (views.empty()) return;
+    ++splice_stats().batch_splices;
+    flush();
+    out_.append(views);
+  }
 
-  Bytes take() { return std::move(buf_); }
-  const Bytes& peek() const { return buf_; }
+  std::size_t size() const { return out_.size() + buf_.size(); }
+
+  /// Contiguous result. When views were spliced this has to copy them into
+  /// one buffer (counted in splice_stats); zero-copy consumers use
+  /// take_segments() instead.
+  Bytes take() {
+    if (out_.empty()) return std::move(buf_);
+    flush();
+    return out_.flatten();
+  }
+
+  /// The segmented result: spliced views stay by-reference.
+  SegmentedBytes take_segments() {
+    flush();
+    return std::move(out_);
+  }
+
+  const Bytes& peek() const {
+    SHADOW_CHECK_MSG(out_.empty(), "peek on a writer with spliced segments");
+    return buf_;
+  }
 
  private:
+  void flush() {
+    if (buf_.empty()) return;
+    out_.append_owned(std::move(buf_));
+    buf_.clear();
+  }
+
   Bytes buf_;
+  SegmentedBytes out_;
 };
 
 /// Reads primitive values back; throws InvariantViolation on truncation.
+/// Reads over segmented input never straddle a splice boundary: encoders
+/// flush exactly at splice points and decoders mirror the encoder's field
+/// order, so a straddling read means corrupt input (or a codec bug) and
+/// trips the same truncation check.
 class BytesReader {
  public:
-  explicit BytesReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit BytesReader(std::span<const std::uint8_t> data) {
+    if (!data.empty()) segs_.push_back(ByteView::borrowed(data));
+    for (const ByteView& s : segs_) remaining_ += s.size();
+  }
+  explicit BytesReader(ByteView view) {
+    if (!view.empty()) segs_.push_back(std::move(view));
+    for (const ByteView& s : segs_) remaining_ += s.size();
+  }
+  explicit BytesReader(const SegmentedBytes& data) : segs_(data.segments()) {
+    remaining_ = data.size();
+  }
 
   std::uint8_t u8() {
     need(1);
-    return data_[pos_++];
+    const std::uint8_t v = *cursor();
+    advance(1);
+    return v;
   }
 
   std::uint32_t u32() {
     need(4);
     std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    const std::uint8_t* p = cursor();
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    advance(4);
     return v;
   }
 
   std::uint64_t u64() {
     need(8);
     std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    const std::uint8_t* p = cursor();
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    advance(8);
     return v;
   }
 
@@ -93,22 +343,66 @@ class BytesReader {
 
   std::string str() {
     const std::uint32_t n = u32();
+    if (n == 0) return {};
     need(n);
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
-    pos_ += n;
+    std::string s(reinterpret_cast<const char*>(cursor()), n);
+    advance(n);
     return s;
   }
 
-  bool done() const { return pos_ == data_.size(); }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  void need(std::size_t n) const {
-    SHADOW_CHECK_MSG(pos_ + n <= data_.size(), "truncated byte buffer");
+  /// Takes the next `n` bytes as views sharing the source buffers — the
+  /// zero-copy read for spliced sub-frames. Borrowed input (raw spans) is
+  /// materialized into an owned copy so the result can outlive the caller's
+  /// buffer; that copy is counted in splice_stats().
+  SegmentedBytes take_segments(std::size_t n) {
+    SegmentedBytes out;
+    while (n > 0) {
+      hop();
+      SHADOW_CHECK_MSG(cur_ < segs_.size(), "truncated byte buffer");
+      const ByteView& seg = segs_[cur_];
+      const std::size_t m = std::min(n, seg.size() - pos_);
+      if (seg.owned()) {
+        out.append(seg.subview(pos_, m));
+      } else {
+        splice_stats().batch_bytes_copied += m;
+        out.append(ByteView::owning(Bytes(seg.data() + pos_, seg.data() + pos_ + m)));
+      }
+      pos_ += m;
+      remaining_ -= m;
+      n -= m;
+    }
+    return out;
   }
 
-  std::span<const std::uint8_t> data_;
+  bool done() const { return remaining_ == 0; }
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  void hop() {
+    while (cur_ < segs_.size() && pos_ == segs_[cur_].size()) {
+      ++cur_;
+      pos_ = 0;
+    }
+  }
+
+  void need(std::size_t n) {
+    if (n == 0) return;  // a zero-length read is valid even at end-of-buffer
+    hop();
+    SHADOW_CHECK_MSG(cur_ < segs_.size() && pos_ + n <= segs_[cur_].size(),
+                     "truncated byte buffer");
+  }
+
+  const std::uint8_t* cursor() const { return segs_[cur_].data() + pos_; }
+
+  void advance(std::size_t n) {
+    pos_ += n;
+    remaining_ -= n;
+  }
+
+  std::vector<ByteView> segs_;
+  std::size_t cur_ = 0;
   std::size_t pos_ = 0;
+  std::size_t remaining_ = 0;
 };
 
 }  // namespace shadow

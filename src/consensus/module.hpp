@@ -18,12 +18,17 @@ namespace shadow::consensus {
 
 class ConsensusModule {
  public:
-  using DecideFn = std::function<void(net::NodeContext&, Slot, const Batch&)>;
+  /// Decisions carry the batch in its encoded sub-frame form: the bytes are
+  /// the ones that travelled (zero-copy), and `.commands()` decodes on
+  /// demand (memoized).
+  using DecideFn = std::function<void(net::NodeContext&, Slot, const EncodedBatch&)>;
 
   virtual ~ConsensusModule() = default;
 
-  /// Propose `batch` for `slot` on behalf of this node.
-  virtual void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) = 0;
+  /// Propose `batch` for `slot` on behalf of this node. The batch is already
+  /// encoded; the module splices its bytes into every message that carries
+  /// it (propose forward, 2a, vote, re-proposal, decision).
+  virtual void propose(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) = 0;
 
   /// Offers an incoming message; returns true if consumed.
   virtual bool on_message(net::NodeContext& ctx, const net::Message& msg) = 0;
@@ -41,7 +46,7 @@ class ConsensusModule {
   void set_on_decide(DecideFn fn) { on_decide_ = std::move(fn); }
 
  protected:
-  void notify_decide(net::NodeContext& ctx, Slot slot, const Batch& batch) {
+  void notify_decide(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
     if (on_decide_) on_decide_(ctx, slot, batch);
   }
 

@@ -26,8 +26,8 @@ PaxosModule::PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety
   leader_.ballot = Ballot{0, self_};
 }
 
-void PaxosModule::propose(net::NodeContext& ctx, Slot slot, const Batch& batch) {
-  if (safety_ != nullptr) safety_->on_propose(slot, batch);
+void PaxosModule::propose(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
+  if (safety_ != nullptr) safety_->on_propose(slot, batch.commands());
   const net::Message msg = net::make_msg(kPropose, ProposeBody{slot, batch});
   for (NodeId peer : config_.peers) {
     ctx.send(peer, msg);
@@ -78,7 +78,8 @@ bool PaxosModule::on_message(net::NodeContext& ctx, const net::Message& msg) {
       auto [it, inserted] = acceptor_.accepted.try_emplace(body.pvalue.slot, body.pvalue);
       if (!inserted && it->second.ballot < body.pvalue.ballot) it->second = body.pvalue;
       if (safety_ != nullptr) {
-        safety_->on_accept(self_, body.pvalue.ballot, body.pvalue.slot, body.pvalue.batch);
+        safety_->on_accept(self_, body.pvalue.ballot, body.pvalue.slot,
+                           body.pvalue.batch.commands());
       }
     }
     ctx.send(msg.from,
@@ -173,7 +174,7 @@ void PaxosModule::start_scout(net::NodeContext& ctx) {
   }
 }
 
-void PaxosModule::start_commander(net::NodeContext& ctx, Slot slot, const Batch& batch) {
+void PaxosModule::start_commander(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
   Commander cmd;
   cmd.ballot = leader_.ballot;
   cmd.slot = slot;
@@ -196,11 +197,11 @@ void PaxosModule::preempted(net::NodeContext& ctx, const Ballot& by) {
   leader_.commanders.clear();
 }
 
-void PaxosModule::learn(net::NodeContext& ctx, Slot slot, const Batch& batch) {
+void PaxosModule::learn(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
   auto [it, inserted] = learned_.try_emplace(slot, batch);
   if (!inserted) return;
   last_progress_ = ctx.now();
-  if (safety_ != nullptr) safety_->on_decide(self_, slot, batch);
+  if (safety_ != nullptr) safety_->on_decide(self_, slot, batch.commands());
   leader_.proposals.erase(slot);
   leader_.commanders.erase(slot);
   notify_decide(ctx, slot, batch);

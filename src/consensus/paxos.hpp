@@ -56,11 +56,11 @@ struct P2bBody {
 };
 struct DecisionBody {
   Slot slot = 0;
-  Batch batch;
+  EncodedBatch batch;
 };
 struct ProposeBody {
   Slot slot = 0;
-  Batch batch;
+  EncodedBatch batch;
 };
 
 struct PaxosConfig {
@@ -76,7 +76,7 @@ class PaxosModule final : public ConsensusModule {
  public:
   PaxosModule(NodeId self, PaxosConfig config, SafetyRecorder* safety = nullptr);
 
-  void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) override;
+  void propose(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) override;
   bool on_message(net::NodeContext& ctx, const net::Message& msg) override;
   void on_tick(net::NodeContext& ctx) override;
 
@@ -108,21 +108,23 @@ class PaxosModule final : public ConsensusModule {
   struct Commander {
     Ballot ballot;
     Slot slot = 0;
-    Batch batch;
+    EncodedBatch batch;  // the original encoded bytes, spliced into every 2a
     std::set<std::uint32_t> waitfor;
   };
   struct Leader {
     Ballot ballot;
     bool active = false;
-    std::map<Slot, Batch> proposals;
+    // Proposals keep the received sub-frame: a re-proposal after adoption
+    // (leader change) splices the same bytes the old leader sent.
+    std::map<Slot, EncodedBatch> proposals;
     std::optional<Scout> scout;
     std::map<Slot, Commander> commanders;  // one in-flight commander per slot
   };
 
   void start_scout(net::NodeContext& ctx);
-  void start_commander(net::NodeContext& ctx, Slot slot, const Batch& batch);
+  void start_commander(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch);
   void preempted(net::NodeContext& ctx, const Ballot& by);
-  void learn(net::NodeContext& ctx, Slot slot, const Batch& batch);
+  void learn(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch);
   std::size_t quorum() const { return config_.peers.size() / 2 + 1; }
 
   NodeId self_;
@@ -130,7 +132,7 @@ class PaxosModule final : public ConsensusModule {
   SafetyRecorder* safety_;
   Acceptor acceptor_;
   Leader leader_;
-  std::map<Slot, Batch> learned_;
+  std::map<Slot, EncodedBatch> learned_;
   std::uint64_t max_round_seen_ = 0;
   net::Time last_progress_ = 0;
   net::Time pending_since_ = 0;  // when the oldest currently-pending work arrived
@@ -197,12 +199,12 @@ template <>
 struct Codec<consensus::DecisionBody> {
   static void encode(BytesWriter& w, const consensus::DecisionBody& v) {
     w.u64(v.slot);
-    Codec<consensus::Batch>::encode(w, v.batch);
+    Codec<consensus::EncodedBatch>::encode(w, v.batch);
   }
   static consensus::DecisionBody decode(BytesReader& r) {
     consensus::DecisionBody v;
     v.slot = r.u64();
-    v.batch = Codec<consensus::Batch>::decode(r);
+    v.batch = Codec<consensus::EncodedBatch>::decode(r);
     return v;
   }
 };
@@ -211,12 +213,12 @@ template <>
 struct Codec<consensus::ProposeBody> {
   static void encode(BytesWriter& w, const consensus::ProposeBody& v) {
     w.u64(v.slot);
-    Codec<consensus::Batch>::encode(w, v.batch);
+    Codec<consensus::EncodedBatch>::encode(w, v.batch);
   }
   static consensus::ProposeBody decode(BytesReader& r) {
     consensus::ProposeBody v;
     v.slot = r.u64();
-    v.batch = Codec<consensus::Batch>::decode(r);
+    v.batch = Codec<consensus::EncodedBatch>::decode(r);
     return v;
   }
 };

@@ -21,10 +21,10 @@ TwoThirdModule::TwoThirdModule(NodeId self, TwoThirdConfig config, SafetyRecorde
                  config_.peers.end());
 }
 
-void TwoThirdModule::propose(net::NodeContext& ctx, Slot slot, const Batch& batch) {
+void TwoThirdModule::propose(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
   Instance& inst = instances_[slot];
   if (inst.decision) return;
-  if (safety_ != nullptr) safety_->on_propose(slot, batch);
+  if (safety_ != nullptr) safety_->on_propose(slot, batch.commands());
   if (!inst.estimate) {
     inst.estimate = batch;
     send_vote(ctx, slot, inst);
@@ -80,12 +80,14 @@ void TwoThirdModule::try_advance(net::NodeContext& ctx, Slot slot, Instance& ins
   while (true) {
     const auto it = inst.votes.find(inst.round);
     if (it == inst.votes.end() || it->second.size() < threshold()) return;
-    const std::map<std::uint32_t, Batch>& received = it->second;
+    const std::map<std::uint32_t, EncodedBatch>& received = it->second;
 
     // Count value frequencies; track the smallest most-frequent value.
-    std::map<Batch, std::size_t> freq;
+    // EncodedBatch orders by payload bytes: the codec is deterministic, so
+    // every process breaks frequency ties the same way without decoding.
+    std::map<EncodedBatch, std::size_t> freq;
     for (const auto& [peer, batch] : received) ++freq[batch];
-    const Batch* best = nullptr;
+    const EncodedBatch* best = nullptr;
     std::size_t best_count = 0;
     for (const auto& [batch, count] : freq) {
       if (count > best_count) {  // map iterates in value order: first max is smallest
@@ -106,9 +108,10 @@ void TwoThirdModule::try_advance(net::NodeContext& ctx, Slot slot, Instance& ins
   }
 }
 
-void TwoThirdModule::decide(net::NodeContext& ctx, Slot slot, Instance& inst, const Batch& value) {
+void TwoThirdModule::decide(net::NodeContext& ctx, Slot slot, Instance& inst,
+                            const EncodedBatch& value) {
   inst.decision = value;
-  if (safety_ != nullptr) safety_->on_decide(self_, slot, value);
+  if (safety_ != nullptr) safety_->on_decide(self_, slot, value.commands());
   const net::Message dec = net::make_msg(kDecideHeader, DecideBody{slot, value});
   for (NodeId peer : config_.peers) {
     if (peer != self_) ctx.send(peer, dec);

@@ -37,11 +37,11 @@ inline constexpr const char* kTwoThirdDecideHeader = "2/3-decide";
 struct VoteBody {
   Slot slot = 0;
   std::uint64_t round = 0;
-  Batch batch;
+  EncodedBatch batch;
 };
 struct DecideBody {
   Slot slot = 0;
-  Batch batch;
+  EncodedBatch batch;
 };
 
 struct TwoThirdConfig {
@@ -55,7 +55,7 @@ class TwoThirdModule final : public ConsensusModule {
  public:
   TwoThirdModule(NodeId self, TwoThirdConfig config, SafetyRecorder* safety = nullptr);
 
-  void propose(net::NodeContext& ctx, Slot slot, const Batch& batch) override;
+  void propose(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) override;
   bool on_message(net::NodeContext& ctx, const net::Message& msg) override;
   void on_tick(net::NodeContext& ctx) override;
 
@@ -65,16 +65,17 @@ class TwoThirdModule final : public ConsensusModule {
  private:
   struct Instance {
     std::uint64_t round = 0;
-    std::optional<Batch> estimate;
-    // votes[round][peer index] = batch
-    std::map<std::uint64_t, std::map<std::uint32_t, Batch>> votes;
-    std::optional<Batch> decision;
+    std::optional<EncodedBatch> estimate;
+    // votes[round][peer index] = batch (in encoded sub-frame form: adopting
+    // or re-voting a received estimate splices the original bytes)
+    std::map<std::uint64_t, std::map<std::uint32_t, EncodedBatch>> votes;
+    std::optional<EncodedBatch> decision;
     net::Time last_sent = 0;
   };
 
   void send_vote(net::NodeContext& ctx, Slot slot, Instance& inst);
   void try_advance(net::NodeContext& ctx, Slot slot, Instance& inst);
-  void decide(net::NodeContext& ctx, Slot slot, Instance& inst, const Batch& value);
+  void decide(net::NodeContext& ctx, Slot slot, Instance& inst, const EncodedBatch& value);
   std::size_t threshold() const {  // strictly more than 2n/3
     return 2 * config_.peers.size() / 3 + 1;
   }
@@ -94,13 +95,13 @@ struct Codec<consensus::VoteBody> {
   static void encode(BytesWriter& w, const consensus::VoteBody& v) {
     w.u64(v.slot);
     w.u64(v.round);
-    Codec<consensus::Batch>::encode(w, v.batch);
+    Codec<consensus::EncodedBatch>::encode(w, v.batch);
   }
   static consensus::VoteBody decode(BytesReader& r) {
     consensus::VoteBody v;
     v.slot = r.u64();
     v.round = r.u64();
-    v.batch = Codec<consensus::Batch>::decode(r);
+    v.batch = Codec<consensus::EncodedBatch>::decode(r);
     return v;
   }
 };
@@ -109,12 +110,12 @@ template <>
 struct Codec<consensus::DecideBody> {
   static void encode(BytesWriter& w, const consensus::DecideBody& v) {
     w.u64(v.slot);
-    Codec<consensus::Batch>::encode(w, v.batch);
+    Codec<consensus::EncodedBatch>::encode(w, v.batch);
   }
   static consensus::DecideBody decode(BytesReader& r) {
     consensus::DecideBody v;
     v.slot = r.u64();
-    v.batch = Codec<consensus::Batch>::decode(r);
+    v.batch = Codec<consensus::EncodedBatch>::decode(r);
     return v;
   }
 };

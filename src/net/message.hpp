@@ -18,6 +18,7 @@
 
 #include "common/check.hpp"
 #include "common/ids.hpp"
+#include "wire/encoded_view.hpp"
 #include "wire/framing.hpp"
 #include "wire/registry.hpp"
 
@@ -30,9 +31,13 @@ struct Message {
   NodeId from{};
   std::uint64_t uid = 0;                 // per-transmission identity, assigned by the
                                          // network; lets LoE match sends to receives
-  std::shared_ptr<const Bytes> encoded_body;  // exact body bytes (codec-built messages)
-  std::shared_ptr<const Bytes> encoded_frame; // full frame, shared across a multicast
-                                              // fan-out (zero-copy: encode once per send)
+  // Exact body bytes (codec-built messages). Segmented: pre-encoded batch
+  // payloads spliced into the body stay by-reference views of their source
+  // buffer instead of being copied.
+  std::shared_ptr<const wire::SegmentedBytes> encoded_body;
+  // Full frame, shared across a multicast fan-out (zero-copy: encode once
+  // per send). The body segments inside are shared with encoded_body.
+  std::shared_ptr<const wire::SegmentedBytes> encoded_frame;
 
   bool has_body() const { return body != nullptr && body->has_value(); }
 };
@@ -46,7 +51,8 @@ Message make_msg(std::string header, T&& body) {
   wire::registry().ensure<Body>(header);
   Message m;
   Body value = std::forward<T>(body);
-  m.encoded_body = std::make_shared<const Bytes>(wire::encode_body(value));
+  m.encoded_body =
+      std::make_shared<const wire::SegmentedBytes>(wire::encode_body_segments(value));
   m.wire_size = wire::frame_size(header.size(), m.encoded_body->size());
   m.header = std::move(header);
   m.body = std::make_shared<const std::any>(std::move(value));

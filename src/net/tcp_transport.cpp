@@ -5,9 +5,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -240,7 +242,7 @@ void TcpTransport::post(NodeId from, NodeId to, Message msg) {
 
 void TcpTransport::route(NodeId from, NodeId to, Message& msg) {
   SHADOW_REQUIRE(to.value < nodes_.size());
-  std::shared_ptr<const Bytes> frame = ensure_encoded_frame(msg);
+  const std::shared_ptr<const wire::SegmentedBytes>& frame = ensure_encoded_frame(msg);
   msg.uid = ++msg_uid_counter_;
   for (TransportObserver* obs : observers_) obs->on_send(now(), from, to, msg);
   const HostId host = nodes_[to.value].host;
@@ -248,14 +250,14 @@ void TcpTransport::route(NodeId from, NodeId to, Message& msg) {
     // Local destination: skip the sockets but keep the byte path — the
     // receiver decodes the same frame a remote peer would, so loopback and
     // remote deliveries are indistinguishable to the protocol stack.
-    loopback_.push_back(LoopbackRecord{from, to, std::move(frame)});
+    loopback_.push_back(LoopbackRecord{from, to, frame});
     return;
   }
-  enqueue_record(host, from, to, std::move(frame));
+  enqueue_record(host, from, to, frame);
 }
 
 void TcpTransport::enqueue_record(HostId host, NodeId from, NodeId to,
-                                  std::shared_ptr<const Bytes> frame) {
+                                  std::shared_ptr<const wire::SegmentedBytes> frame) {
   SHADOW_REQUIRE(host.value < peers_.size());
   ensure_peer_connection(host);
   BytesWriter w;
@@ -317,17 +319,31 @@ void TcpTransport::flush_peer(HostId host) {
   while (!peer.outq.empty()) {
     OutRecord& rec = peer.outq.front();
     while (rec.offset < rec.size()) {
-      const std::uint8_t* data = nullptr;
-      std::size_t len = 0;
-      if (rec.offset < rec.prefix.size()) {
-        data = rec.prefix.data() + rec.offset;
-        len = rec.prefix.size() - rec.offset;
-      } else {
-        const std::size_t frame_off = rec.offset - rec.prefix.size();
-        data = rec.frame->data() + frame_off;
-        len = rec.frame->size() - frame_off;
-      }
-      const ssize_t written = ::send(peer.fd, data, len, MSG_NOSIGNAL);
+      // Gather the unsent remainder of the record — the routing prologue
+      // plus every frame segment — into one vectored write. Spliced batch
+      // payloads inside the frame go from their original buffer straight to
+      // the socket; there is no contiguous staging copy. A record with more
+      // segments than the iovec array fits sends the tail on the next pass.
+      std::array<iovec, 16> iov{};
+      std::size_t iov_n = 0;
+      std::size_t skip = rec.offset;
+      const auto gather = [&](const std::uint8_t* data, std::size_t len) {
+        if (len == 0 || iov_n == iov.size()) return;
+        if (skip >= len) {
+          skip -= len;
+          return;
+        }
+        iov[iov_n].iov_base = const_cast<std::uint8_t*>(data + skip);
+        iov[iov_n].iov_len = len - skip;
+        ++iov_n;
+        skip = 0;
+      };
+      gather(rec.prefix.data(), rec.prefix.size());
+      for (const ByteView& seg : rec.frame->segments()) gather(seg.data(), seg.size());
+      msghdr mh{};
+      mh.msg_iov = iov.data();
+      mh.msg_iovlen = iov_n;
+      const ssize_t written = ::sendmsg(peer.fd, &mh, MSG_NOSIGNAL);
       if (written > 0) {
         rec.offset += static_cast<std::size_t>(written);
       } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -392,31 +408,75 @@ bool TcpTransport::parse_records(Inbound& in, std::size_t& handled) {
 
 bool TcpTransport::dispatch_frame(NodeId from, NodeId to,
                                   std::span<const std::uint8_t> frame) {
-  const auto drop = [&](wire::FrameStatus status, const std::string& header) {
-    ++wire_drops_;
-    for (TransportObserver* obs : observers_) {
-      obs->on_wire_drop(now(), from, to, header, frame.size(), status);
-    }
-    return false;
-  };
-
   wire::FrameView view;
   const wire::FrameStatus status = wire::decode_frame(frame, view);
-  if (status != wire::FrameStatus::kOk) return drop(status, "");
+  if (status != wire::FrameStatus::kOk) {
+    ++wire_drops_;
+    for (TransportObserver* obs : observers_) {
+      obs->on_wire_drop(now(), from, to, "", frame.size(), status);
+    }
+    return false;
+  }
 
   Message msg;
   msg.header = std::string(view.header);
   msg.from = from;
   msg.wire_size = frame.size();
-  msg.uid = ++msg_uid_counter_;
+  std::shared_ptr<const wire::SegmentedBytes> body;
   if (!view.body.empty()) {
+    // Materialize the body once, off the transient socket read buffer, into
+    // an owned segment. Every view the decoder produces — batch payload
+    // sub-frames included — shares this one buffer, so this is the only
+    // copy on the whole receive path (and it is inherent to sockets, not a
+    // re-encode: it is not charged to batch_bytes_copied).
+    wire::SegmentedBytes owned;
+    owned.append(ByteView::owning(Bytes(view.body.begin(), view.body.end())));
+    body = std::make_shared<const wire::SegmentedBytes>(std::move(owned));
+  }
+  return deliver_frame(from, to, std::move(msg), std::move(body));
+}
+
+bool TcpTransport::dispatch_frame_segments(NodeId from, NodeId to,
+                                           const wire::SegmentedBytes& frame) {
+  wire::SegmentedFrameView view;
+  const wire::FrameStatus status = wire::decode_frame_segments(frame, view);
+  if (status != wire::FrameStatus::kOk) {
+    ++wire_drops_;
+    for (TransportObserver* obs : observers_) {
+      obs->on_wire_drop(now(), from, to, "", frame.size(), status);
+    }
+    return false;
+  }
+
+  Message msg;
+  msg.header = std::string(view.header);
+  msg.from = from;
+  msg.wire_size = frame.size();
+  std::shared_ptr<const wire::SegmentedBytes> body;
+  if (!view.body.empty()) {
+    // Loopback is fully zero-copy: the body's segments share the sender's
+    // original buffers.
+    body = std::make_shared<const wire::SegmentedBytes>(std::move(view.body));
+  }
+  return deliver_frame(from, to, std::move(msg), std::move(body));
+}
+
+bool TcpTransport::deliver_frame(NodeId from, NodeId to, Message&& msg,
+                                 std::shared_ptr<const wire::SegmentedBytes> body) {
+  msg.uid = ++msg_uid_counter_;
+  if (body != nullptr && !body->empty()) {
     // A structurally valid frame whose header no codec was registered for
     // cannot be interpreted; drop it (traced), never crash the receiver.
     if (!wire::registry().contains(msg.header)) {
-      return drop(wire::FrameStatus::kUnknownHeader, msg.header);
+      ++wire_drops_;
+      for (TransportObserver* obs : observers_) {
+        obs->on_wire_drop(now(), from, to, msg.header, msg.wire_size,
+                          wire::FrameStatus::kUnknownHeader);
+      }
+      return false;
     }
-    msg.encoded_body = std::make_shared<const Bytes>(view.body.begin(), view.body.end());
-    msg.body = wire::registry().decode(msg.header, view.body);
+    msg.body = wire::registry().decode(msg.header, *body);
+    msg.encoded_body = std::move(body);
   }
 
   Node& node = nodes_[to.value];
@@ -434,7 +494,7 @@ std::size_t TcpTransport::drain_loopback() {
   while (!loopback_.empty()) {
     const LoopbackRecord rec = std::move(loopback_.front());
     loopback_.pop_front();
-    if (dispatch_frame(rec.from, rec.to, *rec.frame)) ++handled;
+    if (dispatch_frame_segments(rec.from, rec.to, *rec.frame)) ++handled;
   }
   return handled;
 }

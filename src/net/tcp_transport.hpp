@@ -128,13 +128,16 @@ class TcpTransport final : public Transport {
   };
 
   /// One queued outgoing record: the 12-byte routing prologue (owned) plus
-  /// the frame, whose buffer is shared with every other destination of the
-  /// same multicast. `offset` counts bytes already written across both, so a
-  /// connection failure mid-record can rewind and resend the whole record on
-  /// the replacement connection (the receiver discarded the partial stream).
+  /// the scatter-gather frame, whose buffers are shared with every other
+  /// destination of the same multicast — spliced batch payloads inside the
+  /// frame are written straight from their original buffer (sendmsg/iovec),
+  /// never copied into a contiguous staging area. `offset` counts bytes
+  /// already written across the whole record, so a connection failure
+  /// mid-record can rewind and resend the record on the replacement
+  /// connection (the receiver discarded the partial stream).
   struct OutRecord {
     Bytes prefix;
-    std::shared_ptr<const Bytes> frame;
+    std::shared_ptr<const wire::SegmentedBytes> frame;
     std::size_t offset = 0;
     std::size_t size() const { return prefix.size() + frame->size(); }
   };
@@ -165,22 +168,30 @@ class TcpTransport final : public Transport {
   struct LoopbackRecord {
     NodeId from{};
     NodeId to{};
-    std::shared_ptr<const Bytes> frame;
+    std::shared_ptr<const wire::SegmentedBytes> frame;
   };
 
   /// Serializes (sharing the cached frame) and routes one message: loopback
   /// queue for local destinations, the peer connection otherwise.
   void route(NodeId from, NodeId to, Message& msg);
   void enqueue_record(HostId host, NodeId from, NodeId to,
-                      std::shared_ptr<const Bytes> frame);
+                      std::shared_ptr<const wire::SegmentedBytes> frame);
   void ensure_peer_connection(HostId host);
   void flush_peer(HostId host);
   void fail_peer(HostId host);
   std::size_t drain_inbound(Inbound& in);
   bool parse_records(Inbound& in, std::size_t& handled);
-  /// Validates + decodes one frame and runs the destination's handler.
-  /// Invalid frames and unknown headers become traced drops, never crashes.
+  /// Validates + decodes one frame read off a socket (contiguous inbound
+  /// bytes: the body is materialized into one owned buffer that every view
+  /// decoded from it shares) and runs the destination's handler. Invalid
+  /// frames and unknown headers become traced drops, never crashes.
   bool dispatch_frame(NodeId from, NodeId to, std::span<const std::uint8_t> frame);
+  /// Same for a loopback frame, fully zero-copy: the decoded body's views
+  /// share the sender's original buffers.
+  bool dispatch_frame_segments(NodeId from, NodeId to, const wire::SegmentedBytes& frame);
+  /// Common delivery tail: registry decode, observers, handler.
+  bool deliver_frame(NodeId from, NodeId to, Message&& msg,
+                     std::shared_ptr<const wire::SegmentedBytes> body);
   std::size_t fire_due_timers();
   std::size_t drain_loopback();
   void close_fd(int& fd);

@@ -4,18 +4,18 @@
 
 namespace shadow::net {
 
-const std::shared_ptr<const Bytes>& Transport::ensure_encoded_frame(Message& msg) {
+const std::shared_ptr<const wire::SegmentedBytes>& Transport::ensure_encoded_frame(Message& msg) {
   if (msg.encoded_frame == nullptr) {
     SHADOW_CHECK_MSG(!msg.has_body() || msg.encoded_body != nullptr,
                      "message '" + msg.header +
                          "' was built without a codec (explicit-size make_msg) and cannot "
                          "be serialized to a frame");
-    static const Bytes kNoBody;
-    const Bytes& body_bytes = msg.encoded_body ? *msg.encoded_body : kNoBody;
-    Bytes frame = wire::encode_frame(msg.header, body_bytes);
+    static const wire::SegmentedBytes kNoBody;
+    const wire::SegmentedBytes& body_bytes = msg.encoded_body ? *msg.encoded_body : kNoBody;
+    wire::SegmentedBytes frame = wire::encode_frame_segments(msg.header, body_bytes);
     SHADOW_CHECK_MSG(frame.size() == msg.wire_size,
                      "message '" + msg.header + "' wire_size drifted from its encoded frame");
-    msg.encoded_frame = std::make_shared<const Bytes>(std::move(frame));
+    msg.encoded_frame = std::make_shared<const wire::SegmentedBytes>(std::move(frame));
     ++encode_count_;
     for (TransportObserver* obs : observers_) {
       obs->on_frame_encoded(now(), msg.header, msg.encoded_frame->size());

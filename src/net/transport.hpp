@@ -154,8 +154,9 @@ class Transport {
   /// Encodes the message's frame and caches it on the message so every
   /// destination (and retransmission) of a fan-out reuses the same bytes.
   /// Counts one encode and notifies observers; a no-op when already cached.
-  /// Requires a codec-built or bodyless message.
-  const std::shared_ptr<const Bytes>& ensure_encoded_frame(Message& msg);
+  /// Requires a codec-built or bodyless message. The frame is scatter-gather:
+  /// spliced batch payloads in the body remain shared views, never copied.
+  const std::shared_ptr<const wire::SegmentedBytes>& ensure_encoded_frame(Message& msg);
 
  protected:
   const std::vector<TransportObserver*>& observers() const { return observers_; }

@@ -117,9 +117,21 @@ const char* to_string(EventKind kind) {
 
 // ----------------------------------------------------------------- Tracer --
 
-Tracer::Tracer(TracerOptions options) : options_(options) {
+Tracer::Tracer(TracerOptions options)
+    : options_(options), batch_stats_baseline_(splice_stats()) {
   SHADOW_REQUIRE(options_.capacity > 0);
   ring_.reserve(std::min<std::size_t>(options_.capacity, 4096));
+}
+
+void Tracer::sync_batch_stats() {
+  const SpliceStats& now = splice_stats();
+  metrics_.counter("net.batch_encode_count")
+      .add(now.batch_encodes - batch_stats_baseline_.batch_encodes);
+  metrics_.counter("net.batch_splices")
+      .add(now.batch_splices - batch_stats_baseline_.batch_splices);
+  metrics_.counter("net.batch_bytes_copied")
+      .add(now.batch_bytes_copied - batch_stats_baseline_.batch_bytes_copied);
+  batch_stats_baseline_ = now;
 }
 
 void Tracer::append(TraceEvent e) {

@@ -141,6 +141,13 @@ class Tracer final : public net::TransportObserver {
   void state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                       NodeId peer);
 
+  /// Folds the process-wide zero-copy batch counters (wire::batch_stats())
+  /// into this tracer's metrics as net.batch_encode_count /
+  /// net.batch_splices / net.batch_bytes_copied, counting only the deltas
+  /// accrued since this tracer was constructed (or last synced). Call before
+  /// reading/printing metrics; idempotent between accruals.
+  void sync_batch_stats();
+
   /// Events recorded so far, oldest first (materializes the ring buffer).
   Trace snapshot() const;
 
@@ -162,6 +169,9 @@ class Tracer final : public net::TransportObserver {
   std::unordered_map<std::string, std::uint32_t> string_ids_{{"", 0}};
 
   MetricsRegistry metrics_;
+  // Snapshot of the process-wide zero-copy counters at construction / last
+  // sync, so concurrent tracers each report only their own window.
+  SpliceStats batch_stats_baseline_;
   // Derived-metric state: first propose / first decide per slot, and the
   // first submission time per (client, seq) for end-to-end ack latency.
   std::unordered_map<std::uint64_t, net::Time> slot_proposed_at_;

@@ -262,29 +262,35 @@ void World::deliver(NodeId from, NodeId to, Message msg, Time send_time) {
 bool World::transmit_bytes(NodeId from, NodeId to, Message& msg) {
   // Multicasts arrive with the frame already encoded (shared across the
   // fan-out); unicast sends encode here, once per transmission.
-  const Bytes& encoded = *ensure_encoded_frame(msg);
+  const wire::SegmentedBytes& encoded = *ensure_encoded_frame(msg);
 
-  // Fault injection mutates a private copy so one corrupted destination
-  // cannot damage the buffer the rest of the fan-out shares.
-  Bytes mutated;
-  std::span<const std::uint8_t> frame(encoded);
+  // Fault injection flattens the scatter-gather frame into a private
+  // contiguous copy and mutates that, so one corrupted destination cannot
+  // damage the buffers the rest of the fan-out shares. This is the one
+  // staging copy left in the system, and it runs only on faulted links;
+  // clean links keep the segmented frame untouched.
+  wire::SegmentedBytes faulted_frame;
+  const wire::SegmentedBytes* frame = &encoded;
   if (const auto it = link_faults_.find(channel_key(from, to)); it != link_faults_.end()) {
     bool faulted = false;
+    Bytes mutated;
     if (it->second.corrupt_prob > 0 && rng_.chance(it->second.corrupt_prob)) {
-      // Flip one byte anywhere in the frame (prologue, header, or body).
-      if (mutated.empty()) mutated = encoded;
+      // Flip one byte anywhere in the frame (prologue, header, or body —
+      // including inside a spliced batch sub-frame).
+      if (mutated.empty()) mutated = encoded.flatten();
       const std::size_t pos = rng_.index(mutated.size());
       mutated[pos] ^= static_cast<std::uint8_t>(1 + rng_.index(255));
       faulted = true;
     }
     if (it->second.truncate_prob > 0 && rng_.chance(it->second.truncate_prob)) {
-      if (mutated.empty()) mutated = encoded;
+      if (mutated.empty()) mutated = encoded.flatten();
       mutated.resize(rng_.index(mutated.size()));
       faulted = true;
     }
     if (faulted) {
       ++frames_faulted_;
-      frame = std::span<const std::uint8_t>(mutated);
+      faulted_frame = wire::SegmentedBytes(ByteView::owning(std::move(mutated)));
+      frame = &faulted_frame;
     }
   }
 
@@ -299,8 +305,8 @@ bool World::transmit_bytes(NodeId from, NodeId to, Message& msg) {
     return false;
   };
 
-  wire::FrameView view;
-  const wire::FrameStatus status = wire::decode_frame(frame, view);
+  wire::SegmentedFrameView view;
+  const wire::FrameStatus status = wire::decode_frame_segments(*frame, view);
   if (status != wire::FrameStatus::kOk) return drop(status);
   SHADOW_CHECK(view.header == msg.header);
   if (msg.has_body()) {
@@ -311,9 +317,15 @@ bool World::transmit_bytes(NodeId from, NodeId to, Message& msg) {
     }
     // The handler receives the freshly decoded body, not the sender's
     // object: any state shared through the shared_ptr body is severed.
+    // (Encoded sub-frame *views* inside the body do share the frame's
+    // buffers — they are immutable, so sharing is safe and free.)
     std::shared_ptr<const std::any> decoded = wire::registry().decode(msg.header, view.body);
     if (wire_fidelity_) {
-      const Bytes reencoded = wire::registry().encode(msg.header, *decoded);
+      // Byte-identical re-encode is now structural: re-encoding splices the
+      // very views decode produced, and the comparison streams over shared
+      // buffers — no fresh serialization, no staging copy.
+      const wire::SegmentedBytes reencoded =
+          wire::registry().encode_segments(msg.header, *decoded);
       SHADOW_CHECK_MSG(msg.encoded_body != nullptr && reencoded == *msg.encoded_body,
                        "message '" + msg.header + "' does not round-trip byte-identically");
     }

@@ -26,7 +26,7 @@ TobNode::TobNode(net::Transport& world, NodeId self, TobConfig config,
     module_ = std::make_unique<consensus::TwoThirdModule>(self_, std::move(tc), safety);
   }
 
-  module_->set_on_decide([this](net::NodeContext& ctx, Slot slot, const Batch& batch) {
+  module_->set_on_decide([this](net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
     on_decide(ctx, slot, batch);
   });
 
@@ -64,7 +64,7 @@ void TobNode::on_message(net::NodeContext& ctx, const net::Message& msg) {
     // frontend that received them; the leader only enqueues them.
     const auto& body = net::msg_body<RelayBody>(msg);
     config_.profile.charge_control(ctx);
-    for (const auto& [cmd, origin] : body.items) on_broadcast(ctx, cmd, origin);
+    on_relay(ctx, body);
     return;
   }
   if (module_->on_message(ctx, msg)) return;
@@ -91,20 +91,88 @@ void TobNode::on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId fro
   maybe_propose(ctx);
 }
 
+void TobNode::on_relay(net::NodeContext& ctx, const RelayBody& body) {
+  const Batch& cmds = body.batch.commands();  // memoized decode, not an encode
+  SHADOW_CHECK_MSG(cmds.size() == body.origins.size(),
+                   "tob-relay batch and origins length mismatch");
+  // The common case: every relayed command is new here. Keep the received
+  // sub-frame whole so the proposal splices the original bytes, and mirror
+  // the commands into pending_ (in_flight: the unit owns their proposal) for
+  // dedup, ack, and loser-reset bookkeeping.
+  bool all_fresh = !cmds.empty();
+  for (const Command& cmd : cmds) {
+    const auto key = std::make_pair(cmd.client.value, cmd.seq);
+    const bool dup = delivered_keys_.count(key) > 0 ||
+                     std::any_of(pending_.begin(), pending_.end(), [&key](const PendingCommand& p) {
+                       return std::make_pair(p.command.client.value, p.command.seq) == key;
+                     });
+    if (dup) {
+      all_fresh = false;
+      break;
+    }
+  }
+  if (!all_fresh) {
+    // Duplicates inside the unit (client retries racing a relay): fall back
+    // to per-command ingestion; this unit loses its zero-copy ride.
+    for (std::size_t i = 0; i < cmds.size(); ++i) on_broadcast(ctx, cmds[i], body.origins[i]);
+    return;
+  }
+  if (pending_.empty()) oldest_pending_since_ = ctx.now();
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    pending_.push_back(PendingCommand{cmds[i], body.origins[i], /*in_flight=*/true});
+    if (config_.tracer) {
+      config_.tracer->tob_broadcast(ctx.now(), self_, cmds[i].client, cmds[i].seq);
+    }
+  }
+  relayed_units_.push_back(RelayedUnit{body.batch, body.origins});
+  maybe_propose(ctx);
+}
+
 void TobNode::maybe_propose(net::NodeContext& ctx) {
   std::size_t eligible = 0;
   for (const PendingCommand& p : pending_) {
     if (!p.in_flight) ++eligible;
   }
-  if (eligible == 0) return;
+  if (eligible == 0 && relayed_units_.empty()) return;
   // If the consensus protocol has a preferred proposer elsewhere (the Paxos
   // leader), relay pending commands there rather than racing a proposal for
   // the same slot and losing it. Relayed commands stay pending: if the
   // leader dies before delivering them, the relay times out (arm_tick) and
   // we propose them ourselves, which also drives leader failover.
-  if (const auto hint = module_->proposer_hint(); hint && *hint != self_) {
-    RelayBody relay;
+  const auto hint = module_->proposer_hint();
+  const bool relaying = hint && *hint != self_;
+  if (relaying) {
+    // Units relayed to us while we led: forward the original bytes to the
+    // new preferred proposer and let their commands fall back to normal
+    // relayed-pending tracking (expiry still protects against its death).
+    for (RelayedUnit& unit : relayed_units_) {
+      config_.profile.charge_control(ctx);
+      ctx.send(*hint, net::make_msg(kRelayHeader, RelayBody{unit.batch, unit.origins}));
+      for (const Command& cmd : unit.batch.commands()) {
+        const auto key = std::make_pair(cmd.client.value, cmd.seq);
+        for (PendingCommand& p : pending_) {
+          if (std::make_pair(p.command.client.value, p.command.seq) == key) {
+            p.in_flight = false;
+            p.relayed_at = ctx.now();
+            p.relay_expired = false;
+          }
+        }
+      }
+    }
+    relayed_units_.clear();
+    // Local pending commands are relayed as encoded units too — this is THE
+    // encode of their batch lifetime; every later hop splices these bytes.
+    Batch chunk;
+    std::vector<NodeId> origins;
     std::size_t self_eligible = 0;
+    auto flush_chunk = [&] {
+      if (chunk.empty()) return;
+      config_.profile.charge_control(ctx);
+      RelayBody relay{EncodedBatch{std::move(chunk)}, std::move(origins)};
+      ctx.send(*hint, net::make_msg(kRelayHeader, std::move(relay)));
+      chunk = Batch{};
+      origins.clear();
+    };
     for (PendingCommand& p : pending_) {
       if (p.in_flight) continue;
       if (p.relay_expired) {
@@ -112,13 +180,12 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
         continue;
       }
       if (p.relayed_at != 0) continue;  // already with the leader
-      relay.items.emplace_back(p.command, p.origin);
+      chunk.push_back(p.command);
+      origins.push_back(p.origin);
       p.relayed_at = ctx.now();
+      if (chunk.size() >= config_.batch_max) flush_chunk();
     }
-    if (!relay.items.empty()) {
-      config_.profile.charge_control(ctx);
-      ctx.send(*hint, net::make_msg(kRelayHeader, std::move(relay)));
-    }
+    flush_chunk();
     if (self_eligible == 0) return;
   }
   // Natural batching: at most `max_outstanding` proposals in flight per
@@ -127,22 +194,31 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   // larger batches.
   if (outstanding_.size() >= config_.max_outstanding) return;
   const bool window_closed = ctx.now() - oldest_pending_since_ >= config_.batch_delay;
-  if (eligible < config_.batch_max && !window_closed) return;
+
+  // A proposal merges (a) queued relayed units, spliced by reference — no
+  // re-encode of bytes that already travelled — and (b) locally-pending
+  // commands, serialized once. Units bypass the batching window: they
+  // already lingered at their frontend.
+  BatchBuilder builder;
+  while (!relayed_units_.empty()) {
+    const RelayedUnit& unit = relayed_units_.front();
+    if (!builder.empty() && builder.size() + unit.batch.size() > config_.batch_max) break;
+    builder.add(unit.batch);
+    relayed_units_.pop_front();
+  }
+  if (builder.empty() && eligible < config_.batch_max && !window_closed) return;
 
   // Only locally-proposable commands enter the batch: everything when we
   // are (or may become) the proposer, otherwise only expired relays.
-  const auto hint = module_->proposer_hint();
-  const bool relaying = hint && *hint != self_;
-  Batch batch;
-  batch.reserve(std::min(eligible, config_.batch_max));
   for (PendingCommand& p : pending_) {
+    if (builder.size() >= config_.batch_max) break;
     if (p.in_flight) continue;
     if (relaying && !p.relay_expired) continue;
     p.in_flight = true;
-    batch.push_back(p.command);
-    if (batch.size() >= config_.batch_max) break;
+    builder.add(p.command);
   }
-  if (batch.empty()) return;
+  if (builder.empty()) return;
+  EncodedBatch batch = builder.build();
   const Slot slot = std::max(next_propose_slot_, next_deliver_slot_);
   next_propose_slot_ = slot + 1;
   outstanding_[slot] = batch;
@@ -154,12 +230,12 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   oldest_pending_since_ = ctx.now();
 }
 
-void TobNode::on_decide(net::NodeContext& ctx, Slot slot, const Batch& batch) {
+void TobNode::on_decide(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch) {
   if (config_.tracer) config_.tracer->tob_decide(ctx.now(), self_, slot, batch.size());
-  decisions_[slot] = batch;
+  decisions_[slot] = batch;  // shares the decided bytes, no copy
   if (auto it = outstanding_.find(slot); it != outstanding_.end()) {
     // Whatever of ours was not chosen becomes eligible for a later slot.
-    for (const Command& cmd : it->second) {
+    for (const Command& cmd : it->second.commands()) {
       const auto key = std::make_pair(cmd.client.value, cmd.seq);
       for (PendingCommand& p : pending_) {
         if (std::make_pair(p.command.client.value, p.command.seq) == key) p.in_flight = false;
@@ -175,22 +251,23 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
   while (true) {
     auto it = decisions_.find(next_deliver_slot_);
     if (it == decisions_.end()) return;
-    const Batch& batch = it->second;
+    const EncodedBatch& encoded = it->second;
+    const Batch& batch = encoded.commands();
     config_.profile.charge(ctx, batch.size());
+    const std::uint64_t base_index = delivery_log_.size();
+    Batch fresh;  // the commands actually delivered from this slot
 
     for (const Command& cmd : batch) {
       const auto key = std::make_pair(cmd.client.value, cmd.seq);
       if (!delivered_keys_.insert(key).second) continue;  // no-duplication
       const std::uint64_t index = delivery_log_.size();
       delivery_log_.push_back(cmd);
+      fresh.push_back(cmd);
       if (config_.tracer) {
         config_.tracer->tob_deliver(ctx.now(), self_, it->first, index, cmd.client, cmd.seq);
       }
 
       if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
-      for (NodeId sub : remote_subscribers_) {
-        ctx.send(sub, net::make_msg(kDeliverHeader, DeliverBody{it->first, index, cmd}));
-      }
       // Ack the broadcaster if the command entered the system through us —
       // unless we relayed it to the leader, whose own pending entry acks
       // (exactly one ack in the normal case; duplicates can only arise in
@@ -205,6 +282,17 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
           pending_.erase(p);
           break;
         }
+      }
+    }
+    // Remote subscribers get one deliver per slot carrying the decided
+    // sub-frame as-is; only a slot containing duplicates (client retries)
+    // needs a fresh sub-frame for the delivered subset.
+    if (!fresh.empty() && !remote_subscribers_.empty()) {
+      const DeliverBody body{it->first, base_index,
+                             fresh.size() == batch.size() ? encoded
+                                                          : EncodedBatch{std::move(fresh)}};
+      for (NodeId sub : remote_subscribers_) {
+        ctx.send(sub, net::make_msg(kDeliverHeader, body));
       }
     }
     ++next_deliver_slot_;

@@ -40,7 +40,9 @@ class Tracer;
 namespace shadow::tob {
 
 using consensus::Batch;
+using consensus::BatchBuilder;
 using consensus::Command;
+using consensus::EncodedBatch;
 
 /// Message headers of the service's external interface.
 inline constexpr const char* kBroadcastHeader = "tob-broadcast";
@@ -61,18 +63,24 @@ struct AckBody {
   Slot slot = 0;
 };
 
-/// Body of tob-deliver (push to remote subscribers).
+/// Body of tob-deliver (push to remote subscribers): one message per decided
+/// slot, carrying the delivered commands as the original encoded sub-frame
+/// (the i-th command in `batch` has global delivery index `base_index + i`).
 struct DeliverBody {
   Slot slot = 0;
-  std::uint64_t index = 0;  // global delivery index
-  Command command;
+  std::uint64_t base_index = 0;  // global delivery index of batch[0]
+  EncodedBatch batch;
 };
 
 /// Body of tob-relay: commands relayed from a non-proposing service node to
-/// the protocol's preferred proposer (the Paxos leader), batched, with the
-/// original sender kept so the delivery notification still reaches it.
+/// the protocol's preferred proposer (the Paxos leader). The commands travel
+/// as one encoded sub-frame — this is THE encode of their batch lifetime;
+/// the leader splices the same bytes into its proposal — with the original
+/// senders alongside (origins[i] broadcast batch commands()[i] to us) so the
+/// delivery notification still reaches them.
 struct RelayBody {
-  std::vector<std::pair<Command, NodeId>> items;
+  EncodedBatch batch;
+  std::vector<NodeId> origins;
 };
 
 enum class Protocol : std::uint8_t { kPaxos, kTwoThird };
@@ -115,7 +123,8 @@ class TobNode {
  private:
   void on_message(net::NodeContext& ctx, const net::Message& msg);
   void on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId from);
-  void on_decide(net::NodeContext& ctx, Slot slot, const Batch& batch);
+  void on_relay(net::NodeContext& ctx, const RelayBody& body);
+  void on_decide(net::NodeContext& ctx, Slot slot, const EncodedBatch& batch);
   void maybe_propose(net::NodeContext& ctx);
   void deliver_ready(net::NodeContext& ctx);
   void arm_tick(net::NodeContext& ctx);
@@ -133,8 +142,19 @@ class TobNode {
     bool relay_expired = false; // relay timed out: propose locally instead
   };
   std::deque<PendingCommand> pending_;
-  std::map<Slot, Batch> outstanding_;  // our proposals awaiting decision
-  std::map<Slot, Batch> decisions_;    // decided but possibly not yet delivered
+
+  /// A relayed sub-frame waiting to be spliced into a proposal. The unit's
+  /// commands also sit in pending_ (marked in_flight) for dedup/ack
+  /// bookkeeping; the unit itself preserves the received bytes so the
+  /// proposal re-uses them instead of re-encoding.
+  struct RelayedUnit {
+    EncodedBatch batch;
+    std::vector<NodeId> origins;
+  };
+  std::deque<RelayedUnit> relayed_units_;
+
+  std::map<Slot, EncodedBatch> outstanding_;  // our proposals awaiting decision
+  std::map<Slot, EncodedBatch> decisions_;    // decided, possibly not yet delivered
   Slot next_deliver_slot_ = 0;
   Slot next_propose_slot_ = 0;
   net::Time oldest_pending_since_ = 0;
@@ -192,14 +212,14 @@ template <>
 struct Codec<tob::DeliverBody> {
   static void encode(BytesWriter& w, const tob::DeliverBody& v) {
     w.u64(v.slot);
-    w.u64(v.index);
-    Codec<tob::Command>::encode(w, v.command);
+    w.u64(v.base_index);
+    Codec<tob::EncodedBatch>::encode(w, v.batch);
   }
   static tob::DeliverBody decode(BytesReader& r) {
     tob::DeliverBody v;
     v.slot = r.u64();
-    v.index = r.u64();
-    v.command = Codec<tob::Command>::decode(r);
+    v.base_index = r.u64();
+    v.batch = Codec<tob::EncodedBatch>::decode(r);
     return v;
   }
 };
@@ -207,10 +227,14 @@ struct Codec<tob::DeliverBody> {
 template <>
 struct Codec<tob::RelayBody> {
   static void encode(BytesWriter& w, const tob::RelayBody& v) {
-    Codec<std::vector<std::pair<tob::Command, NodeId>>>::encode(w, v.items);
+    Codec<tob::EncodedBatch>::encode(w, v.batch);
+    Codec<std::vector<NodeId>>::encode(w, v.origins);
   }
   static tob::RelayBody decode(BytesReader& r) {
-    return {Codec<std::vector<std::pair<tob::Command, NodeId>>>::decode(r)};
+    tob::RelayBody v;
+    v.batch = Codec<tob::EncodedBatch>::decode(r);
+    v.origins = Codec<std::vector<NodeId>>::decode(r);
+    return v;
   }
 };
 

@@ -1,0 +1,35 @@
+// Zero-copy encoded-payload views at the wire layer.
+//
+// The underlying machinery (shared immutable buffers, offset/length views,
+// segmented byte strings, the splice counters) lives in common/bytes.hpp so
+// that BytesWriter/BytesReader can splice and share without the common layer
+// depending on wire. This header gives those types their wire-layer names:
+// a payload that was encoded once travels as a `wire::EncodedView` (or a
+// `wire::SegmentedBytes` of several views) spliced into later frames instead
+// of being re-encoded.
+//
+// Ownership model: an `OwnedBytes` buffer is created once — by the encoder
+// that first serialized the payload, or by the transport that received the
+// frame — and every view holds a reference. Views are immutable; decoding is
+// lazy (consensus::EncodedBatch decodes commands on demand and remembers the
+// source bytes). `batch_stats()` proves the invariant: one encode per batch
+// lifetime, zero bytes copied on the relay/re-propose path.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace shadow::wire {
+
+using shadow::OwnedBytes;
+using shadow::SegmentedBytes;
+
+/// An immutable offset/length view into a shared encoded buffer.
+using EncodedView = shadow::ByteView;
+
+/// Counters for the zero-copy payload path; surfaced by obs as
+/// net.batch_encode_count / net.batch_splices / net.batch_bytes_copied.
+using BatchStats = shadow::SpliceStats;
+
+inline BatchStats& batch_stats() { return shadow::splice_stats(); }
+
+}  // namespace shadow::wire

@@ -145,6 +145,7 @@ class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
 };
 
 TEST_P(TcpClusterE2eTest, BankWorkloadCommitsAndPassesTheChecker) {
+  const SpliceStats splice_base = splice_stats();
   if (!bring_up()) GTEST_SKIP() << "sockets unavailable in this environment";
 
   client().start();
@@ -179,6 +180,22 @@ TEST_P(TcpClusterE2eTest, BankWorkloadCommitsAndPassesTheChecker) {
   EXPECT_TRUE(check.ok()) << check.summary();
   EXPECT_EQ(check.committed_txns_checked, kTxns);
   EXPECT_EQ(check.replicas_checked, kServerHosts);
+
+  // Zero-copy acceptance over real sockets: the scatter-gather send path and
+  // the owned-buffer receive path moved every batch without copying its
+  // encoded bytes, and each batch was encoded at most once. In SMR mode
+  // every transaction rides a consensus batch (client retries during TCP
+  // warm-up can add a re-wrap, hence the slack); in PBR mode TOB only
+  // carries reconfigurations, so a clean run encodes nothing (slack for
+  // heartbeat-suspicion reconfigs on a stalled CI machine).
+  const SpliceStats& splices = splice_stats();
+  EXPECT_EQ(splices.batch_bytes_copied, splice_base.batch_bytes_copied);
+  if (GetParam() == Mode::kSmr) {
+    EXPECT_GE(splices.batch_encodes - splice_base.batch_encodes, 1u);
+    EXPECT_LE(splices.batch_encodes - splice_base.batch_encodes, kTxns * 2);
+  } else {
+    EXPECT_LE(splices.batch_encodes - splice_base.batch_encodes, 5u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, TcpClusterE2eTest,

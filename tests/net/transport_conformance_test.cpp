@@ -189,7 +189,9 @@ Message foreign_message() {
   Message msg;
   msg.header = header;
   msg.body = std::make_shared<const std::any>(std::uint32_t{0});
-  msg.encoded_body = std::make_shared<const Bytes>(std::move(body));
+  wire::SegmentedBytes encoded;
+  encoded.append(ByteView::owning(std::move(body)));
+  msg.encoded_body = std::make_shared<const wire::SegmentedBytes>(std::move(encoded));
   msg.wire_size = wire::frame_size(msg.header.size(), msg.encoded_body->size());
   return msg;
 }

@@ -3,6 +3,7 @@
 // proposals; relays fall back to local proposal when the leader dies.
 #include <gtest/gtest.h>
 
+#include "consensus/paxos.hpp"
 #include "loe/properties.hpp"
 #include "sim/world.hpp"
 #include "tob/tob.hpp"
@@ -82,6 +83,115 @@ TEST(TobRelay, RelayToDeadLeaderFallsBackToLocalProposal) {
   EXPECT_EQ(fx.service.nodes[2]->delivered_count(), 6u);
   EXPECT_TRUE(fx.safety.check_agreement().ok);
   EXPECT_TRUE(fx.safety.check_validity().ok);
+}
+
+TEST(TobRelay, RelayForwardsTheOriginalEncodedBytes) {
+  // Zero-copy claim on the relay path, with real bytes on every link: a
+  // command entering at a non-leader frontend is encoded exactly once (the
+  // relay wrap); the leader's proposal and every Paxos hop splice those
+  // bytes. The 2a the leader sends must carry a batch byte-identical to the
+  // relayed one.
+  RelayFixture fx;
+  fx.world.set_wire_fidelity(true);
+  fx.broadcast(0, 1);
+  fx.world.run_until(1000000);  // node 0 is now the established leader
+  ASSERT_EQ(fx.acks.size(), 1u);
+
+  struct Capture final : sim::WorldObserver {
+    std::vector<consensus::EncodedBatch> relayed;
+    std::vector<consensus::EncodedBatch> proposed_2a;
+    void on_send(net::Time, NodeId, NodeId, const sim::Message& m) override {
+      if (m.header == kRelayHeader) {
+        relayed.push_back(net::msg_body<RelayBody>(m).batch);
+      }
+      if (m.header == consensus::kP2aHeader) {
+        proposed_2a.push_back(net::msg_body<consensus::P2aBody>(m).pvalue.batch);
+      }
+    }
+  } capture;
+  fx.world.add_observer(&capture);
+
+  const SpliceStats base = splice_stats();
+  fx.broadcast(1, 2);
+  fx.world.run_until(5000000);
+  EXPECT_EQ(fx.acks.size(), 2u);
+  for (const auto& node : fx.service.nodes) EXPECT_EQ(node->delivered_count(), 2u);
+
+  ASSERT_FALSE(capture.relayed.empty());
+  bool reproposed_verbatim = false;
+  for (const consensus::EncodedBatch& batch : capture.proposed_2a) {
+    if (batch == capture.relayed.front()) reproposed_verbatim = true;
+  }
+  EXPECT_TRUE(reproposed_verbatim) << "no 2a carried the relayed bytes";
+
+  const SpliceStats& now = splice_stats();
+  EXPECT_EQ(now.batch_encodes - base.batch_encodes, 1u)
+      << "the relay wrap must be the batch's only encode";
+  EXPECT_EQ(now.batch_bytes_copied, base.batch_bytes_copied)
+      << "relay/propose path must not copy encoded bytes";
+  EXPECT_GT(now.batch_splices, base.batch_splices);
+}
+
+TEST(TobRelay, ReproposalAfterLeaderChangeSplicesTheOriginalBytes) {
+  // Failover re-proposal: slot 0 is accepted at the survivors but never
+  // learned (the proposer died before any decision), so the next leader must
+  // adopt the pvalue from the 1b responses and re-propose it — reusing the
+  // encoded bytes the acceptors already hold, never serializing them again.
+  RelayFixture fx(7);
+  fx.world.set_wire_fidelity(true);
+
+  const Command cmd1{ClientId{1}, 1, "x"};
+  const consensus::EncodedBatch slot0_batch{Batch{cmd1}};  // THE one encode of cmd1
+  const NodeId dead_leader = fx.config.nodes[0];
+
+  struct Capture final : sim::WorldObserver {
+    consensus::EncodedBatch expected;
+    NodeId dead;
+    int slot0_reproposals = 0;
+    void on_send(net::Time, NodeId from, NodeId, const sim::Message& m) override {
+      if (from == dead || m.header != consensus::kP2aHeader) return;
+      const auto& pv = net::msg_body<consensus::P2aBody>(m).pvalue;
+      if (pv.slot == 0 && pv.batch == expected) ++slot0_reproposals;
+    }
+  } capture;
+  capture.expected = slot0_batch;
+  capture.dead = dead_leader;
+  fx.world.add_observer(&capture);
+
+  const SpliceStats base = splice_stats();
+  // The dying proposer's 2a reaches both survivors; its decision never will:
+  // the 2a is put on the wire first, then the proposer crashes before
+  // running anything (in-flight frames still arrive — only the destination
+  // is checked at delivery).
+  for (const std::size_t acceptor : {std::size_t{1}, std::size_t{2}}) {
+    fx.world.post(dead_leader, fx.config.nodes[acceptor],
+                  sim::make_msg(consensus::kP2aHeader,
+                                consensus::P2aBody{consensus::PValue{
+                                    consensus::Ballot{1, dead_leader}, 0, slot0_batch}}));
+  }
+  fx.world.crash(dead_leader);
+  fx.world.run_until(200000);
+
+  fx.broadcast(1, 2);
+  fx.world.run_until(60000000);
+
+  EXPECT_EQ(fx.acks.size(), 1u);  // only cmd 2 entered through a frontend
+  ASSERT_EQ(fx.service.nodes[1]->delivery_log().size(), 2u);
+  EXPECT_EQ(fx.service.nodes[1]->delivery_log()[0], cmd1)
+      << "the re-proposed slot must deliver first";
+  EXPECT_EQ(fx.service.nodes[2]->delivery_log(), fx.service.nodes[1]->delivery_log());
+  EXPECT_TRUE(fx.safety.check_agreement().ok);
+  EXPECT_GT(capture.slot0_reproposals, 0)
+      << "no survivor re-proposed slot 0 with the original bytes";
+
+  // cmd1's batch was never encoded again: the only encodes charged to the
+  // failover window belong to cmd2 (its relay wrap toward the dead leader,
+  // the fallback local proposal, and at most one rebuild after losing a
+  // slot race), and no already-encoded byte was copied anywhere.
+  const SpliceStats& now = splice_stats();
+  EXPECT_GE(now.batch_encodes - base.batch_encodes, 1u);
+  EXPECT_LE(now.batch_encodes - base.batch_encodes, 3u);
+  EXPECT_EQ(now.batch_bytes_copied, base.batch_bytes_copied);
 }
 
 TEST(TobRelay, ClientRetryDuringFailoverIsDeduplicated) {

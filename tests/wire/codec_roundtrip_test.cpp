@@ -80,27 +80,36 @@ std::vector<sim::Message> sample_messages() {
   samples.push_back(sim::make_msg(consensus::kP1aHeader, consensus::P1aBody{ballot}));
   samples.push_back(sim::make_msg(
       consensus::kP1bHeader,
-      consensus::P1bBody{ballot, ballot, {PValue{ballot, 4, sample_batch(2)}}}));
-  samples.push_back(sim::make_msg(consensus::kP2aHeader,
-                                  consensus::P2aBody{PValue{ballot, 5, sample_batch(1)}}));
+      consensus::P1bBody{ballot, ballot,
+                         {PValue{ballot, 4, consensus::EncodedBatch{sample_batch(2)}}}}));
+  samples.push_back(sim::make_msg(
+      consensus::kP2aHeader,
+      consensus::P2aBody{PValue{ballot, 5, consensus::EncodedBatch{sample_batch(1)}}}));
   samples.push_back(sim::make_msg(consensus::kP2bHeader, consensus::P2bBody{ballot, ballot, 5}));
-  samples.push_back(sim::make_msg(consensus::kDecisionHeader,
-                                  consensus::DecisionBody{6, sample_batch(3)}));
-  samples.push_back(sim::make_msg(consensus::kProposeHeader,
-                                  consensus::ProposeBody{7, sample_batch(2)}));
+  samples.push_back(sim::make_msg(
+      consensus::kDecisionHeader,
+      consensus::DecisionBody{6, consensus::EncodedBatch{sample_batch(3)}}));
+  samples.push_back(sim::make_msg(
+      consensus::kProposeHeader,
+      consensus::ProposeBody{7, consensus::EncodedBatch{sample_batch(2)}}));
   // consensus / two-third
-  samples.push_back(sim::make_msg(consensus::kVoteHeader,
-                                  consensus::VoteBody{8, 1, sample_batch(1)}));
-  samples.push_back(sim::make_msg(consensus::kTwoThirdDecideHeader,
-                                  consensus::DecideBody{8, sample_batch(1)}));
+  samples.push_back(sim::make_msg(
+      consensus::kVoteHeader,
+      consensus::VoteBody{8, 1, consensus::EncodedBatch{sample_batch(1)}}));
+  samples.push_back(sim::make_msg(
+      consensus::kTwoThirdDecideHeader,
+      consensus::DecideBody{8, consensus::EncodedBatch{sample_batch(1)}}));
   // tob
   samples.push_back(sim::make_msg(tob::kBroadcastHeader,
                                   tob::BroadcastBody{sample_command(11)}));
   samples.push_back(sim::make_msg(tob::kAckHeader, tob::AckBody{ClientId{9}, 11, 2}));
-  samples.push_back(sim::make_msg(tob::kDeliverHeader,
-                                  tob::DeliverBody{9, 3, sample_command(11)}));
   samples.push_back(sim::make_msg(
-      tob::kRelayHeader, tob::RelayBody{{{sample_command(12), NodeId{4}}}}));
+      tob::kDeliverHeader,
+      tob::DeliverBody{9, 3, consensus::EncodedBatch{consensus::Batch{sample_command(11)}}}));
+  samples.push_back(sim::make_msg(
+      tob::kRelayHeader,
+      tob::RelayBody{consensus::EncodedBatch{consensus::Batch{sample_command(12)}},
+                     {NodeId{4}}}));
   // workload
   samples.push_back(workload::make_request_msg(req));
   samples.push_back(workload::make_response_msg(
@@ -170,19 +179,19 @@ TEST(WireCodec, EveryRegisteredTypeRoundTripsByteIdentically) {
     ASSERT_NE(m.encoded_body, nullptr);
     // decode the body bytes through the header's registered codec...
     const auto decoded = registry().decode(m.header, *m.encoded_body);
-    // ...and re-encode: byte-identical, every time.
-    const Bytes reencoded = registry().encode(m.header, *decoded);
-    EXPECT_EQ(reencoded, *m.encoded_body);
+    // ...and re-encode: byte-identical, every time (segment boundaries are
+    // invisible to the content comparison).
+    const SegmentedBytes reencoded = registry().encode_segments(m.header, *decoded);
+    EXPECT_TRUE(reencoded == *m.encoded_body) << "re-encode must be byte-identical";
     // The advertised wire size is the exact frame length.
-    const Bytes frame = encode_frame(m.header, *m.encoded_body);
+    const SegmentedBytes frame = encode_frame_segments(m.header, *m.encoded_body);
     EXPECT_EQ(frame.size(), m.wire_size);
     EXPECT_EQ(frame.size(), frame_size(m.header.size(), m.encoded_body->size()));
     // And the frame itself validates and splits back into header + body.
-    FrameView view;
-    ASSERT_EQ(decode_frame(frame, view), FrameStatus::kOk);
+    SegmentedFrameView view;
+    ASSERT_EQ(decode_frame_segments(frame, view), FrameStatus::kOk);
     EXPECT_EQ(view.header, m.header);
-    EXPECT_TRUE(std::equal(view.body.begin(), view.body.end(), m.encoded_body->begin(),
-                           m.encoded_body->end()));
+    EXPECT_TRUE(view.body == *m.encoded_body);
   }
   // The samples above must cover every header this binary registered: a new
   // message type added to the stack without a sample here fails the suite.
@@ -195,7 +204,7 @@ TEST(WireCodec, EveryRegisteredTypeRoundTripsByteIdentically) {
 TEST(WireCodec, DecodeRejectsEveryTruncation) {
   for (const sim::Message& m : sample_messages()) {
     SCOPED_TRACE(m.header);
-    const Bytes frame = encode_frame(m.header, *m.encoded_body);
+    const Bytes frame = encode_frame_segments(m.header, *m.encoded_body).flatten();
     for (std::size_t len = 0; len < frame.size(); ++len) {
       const std::span<const std::uint8_t> prefix(frame.data(), len);
       FrameView view;
@@ -211,7 +220,7 @@ TEST(WireCodec, DecodeRejectsSeededCorruption) {
   std::uint64_t checksum_catches = 0;
   for (const sim::Message& m : sample_messages()) {
     SCOPED_TRACE(m.header);
-    const Bytes frame = encode_frame(m.header, *m.encoded_body);
+    const Bytes frame = encode_frame_segments(m.header, *m.encoded_body).flatten();
     for (int trial = 0; trial < 64; ++trial) {
       Bytes damaged = frame;
       const std::size_t pos = rng.index(damaged.size());
@@ -249,7 +258,7 @@ TEST(WireCodec, ExplicitWireSizeMustBePositive) {
 // wire, but sizeof(ProposeBody) is two pointers and a count — the estimate
 // missed the heap-owned payload entirely and undercounted by ~99%.
 TEST(WireCodec, ExactSizeReplacesSizeofEstimateForLargeBatches) {
-  const consensus::ProposeBody body{1, sample_batch(100)};
+  const consensus::ProposeBody body{1, consensus::EncodedBatch{sample_batch(100)}};
   const std::string header = consensus::kProposeHeader;
   const std::size_t old_estimate = sizeof(consensus::ProposeBody) + header.size() + 24;
   const sim::Message m = sim::make_msg(header, body);

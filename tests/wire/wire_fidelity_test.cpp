@@ -102,6 +102,7 @@ struct SmrFixture {
 // ---------------------------------------------------------- wire fidelity --
 
 TEST(WireFidelity, PbrEndToEndWithRealBytesOnEveryLink) {
+  const SpliceStats splice_base = splice_stats();
   PbrFixture fx;
   fx.world.set_wire_fidelity(true);
   auto [client, node] = fx.add_client(60, 99);
@@ -116,9 +117,21 @@ TEST(WireFidelity, PbrEndToEndWithRealBytesOnEveryLink) {
   const obs::CheckResult check = fx.check();
   EXPECT_TRUE(check.ok()) << check.summary();
   EXPECT_EQ(check.committed_txns_checked, 60u);
+
+  // Zero-copy acceptance: no already-encoded batch byte was copied anywhere.
+  // PBR orders client transactions primary→backup directly; TOB (and thus
+  // consensus batches) only carries reconfigurations, of which a fault-free
+  // run has none — so the encode count is exactly zero here.
+  const SpliceStats& splices = splice_stats();
+  EXPECT_EQ(splices.batch_bytes_copied, splice_base.batch_bytes_copied);
+  EXPECT_EQ(splices.batch_encodes, splice_base.batch_encodes);
+  fx.tracer.sync_batch_stats();
+  EXPECT_EQ(fx.tracer.metrics().counter("net.batch_bytes_copied").value(), 0u);
+  EXPECT_EQ(fx.tracer.metrics().counter("net.batch_encode_count").value(), 0u);
 }
 
 TEST(WireFidelity, SmrEndToEndWithRealBytesOnEveryLink) {
+  const SpliceStats splice_base = splice_stats();
   SmrFixture fx;
   fx.world.set_wire_fidelity(true);
   auto [client, node] = fx.add_client(50, 7);
@@ -131,6 +144,16 @@ TEST(WireFidelity, SmrEndToEndWithRealBytesOnEveryLink) {
   const obs::CheckResult check = fx.check();
   EXPECT_TRUE(check.ok()) << check.summary();
   EXPECT_GE(check.committed_txns_checked, 50u);
+
+  // Zero-copy acceptance, as in the PBR run above.
+  const SpliceStats& splices = splice_stats();
+  EXPECT_EQ(splices.batch_bytes_copied, splice_base.batch_bytes_copied);
+  EXPECT_GE(splices.batch_encodes - splice_base.batch_encodes, 1u);
+  EXPECT_LE(splices.batch_encodes - splice_base.batch_encodes, 50u);
+  fx.tracer.sync_batch_stats();
+  EXPECT_EQ(fx.tracer.metrics().counter("net.batch_bytes_copied").value(), 0u);
+  EXPECT_EQ(fx.tracer.metrics().counter("net.batch_encode_count").value(),
+            splices.batch_encodes - splice_base.batch_encodes);
 }
 
 TEST(WireFidelity, DeliveredBodiesAreFreshDecodes) {
