@@ -92,6 +92,27 @@ inline void print_metrics_block(const std::string& name, obs::Tracer& tracer) {
                 static_cast<unsigned long long>(counter("net.batch_splices")),
                 static_cast<unsigned long long>(counter("net.batch_bytes_copied")));
   }
+  const auto& histograms = tracer.metrics().histograms();
+  const auto adaptive = histograms.find("net.batch_size_adaptive");
+  const auto depth = histograms.find("pipeline.queue_depth");
+  if (adaptive != histograms.end() || depth != histograms.end()) {
+    // The pipelined-mode figure of merit: how far the adaptive batch limit
+    // moved under load, and whether the executor thread kept its ring near
+    // empty (p99 depth near the ring capacity means execution, not
+    // ordering, was the bottleneck).
+    std::printf("  pipeline:");
+    if (adaptive != histograms.end()) {
+      std::printf(" batch limit mean %.1f max %llu", adaptive->second.mean(),
+                  static_cast<unsigned long long>(adaptive->second.max()));
+    }
+    if (depth != histograms.end()) {
+      std::printf("%s queue depth p50 %llu p99 %llu",
+                  adaptive != histograms.end() ? "," : "",
+                  static_cast<unsigned long long>(depth->second.percentile(0.50)),
+                  static_cast<unsigned long long>(depth->second.percentile(0.99)));
+    }
+    std::printf("\n");
+  }
 }
 
 }  // namespace shadow::bench

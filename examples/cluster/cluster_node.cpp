@@ -44,9 +44,12 @@ constexpr std::size_t kClientHost = kServerHosts;
 
 struct Args {
   bool pbr = true;
+  bool pipelined = false;   // SMR only: 3-stage pipeline + adaptive batching
   std::uint32_t host = 0;
   std::uint16_t base_port = 35200;
-  std::size_t txns = 50;
+  std::size_t txns = 50;    // total, split across --clients
+  std::size_t clients = 1;  // closed-loop clients (part of the topology:
+                            // every process must pass the same value)
   std::uint64_t run_for_ms = 20000;  // server lifetime / client deadline
   std::string trace_path;
 };
@@ -54,8 +57,10 @@ struct Args {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
-               " [--txns N] [--run-for-ms M] [--trace FILE]\n"
-               "       cluster_node check TRACE...\n",
+               " [--txns N] [--clients C] [--pipelined] [--run-for-ms M] [--trace FILE]\n"
+               "       cluster_node check TRACE...\n"
+               "  --pipelined (smr only) runs each process as a 3-stage pipeline\n"
+               "  (I/O / consensus / DB executor threads) with adaptive batching\n",
                kHostCount - 1);
   std::exit(2);
 }
@@ -103,6 +108,8 @@ int run_node(const Args& args) {
   opts.registry = registry;
   opts.tracer = &tracer;
   opts.loader = [&bank](db::Engine& e) { workload::bank::load(e, bank); };
+  opts.smr.pipelined_execution = args.pipelined;
+  opts.tob_adaptive_batching = args.pipelined;
 
   // Identical assembly in every process; only local nodes execute here.
   core::PbrCluster pbr;
@@ -112,36 +119,72 @@ int run_node(const Args& args) {
   } else {
     smr = core::make_smr_cluster(transport, opts);
   }
-  const NodeId client_node = transport.add_node("client1");
+  const net::HostId client_host = transport.add_host();  // the 4th table entry
+  std::vector<NodeId> client_nodes;
+  for (std::size_t c = 0; c < args.clients; ++c) {
+    client_nodes.push_back(transport.add_node("client" + std::to_string(c + 1), client_host));
+  }
 
   core::DbClient::Options client_options;
   client_options.mode = args.pbr ? core::DbClient::Mode::kDirect : core::DbClient::Mode::kTob;
   client_options.targets = args.pbr ? pbr.request_targets() : smr.broadcast_targets();
-  client_options.txn_limit = args.txns;
   client_options.tracer = &tracer;
-  auto rng = std::make_shared<Rng>(7);
-  core::DbClient client(transport, client_node, ClientId{1}, client_options,
-                        [rng, bank]() {
-                          return std::make_pair(std::string(workload::bank::kDepositProc),
-                                                workload::bank::make_deposit(*rng, bank));
-                        });
+  std::vector<std::unique_ptr<core::DbClient>> clients;
+  if (args.host == kClientHost) {
+    for (std::size_t c = 0; c < args.clients; ++c) {
+      // Split the transaction budget; the first clients take the remainder.
+      client_options.txn_limit =
+          args.txns / args.clients + (c < args.txns % args.clients ? 1 : 0);
+      auto rng = std::make_shared<Rng>(7 + c);
+      clients.push_back(std::make_unique<core::DbClient>(
+          transport, client_nodes[c], ClientId{static_cast<std::uint32_t>(c + 1)},
+          client_options, [rng, bank]() {
+            return std::make_pair(std::string(workload::bank::kDepositProc),
+                                  workload::bank::make_deposit(*rng, bank));
+          }));
+    }
+  }
+
+  // The topology is frozen: hand the sockets to the transport I/O thread.
+  if (args.pipelined && !transport.start_pipeline()) {
+    std::fprintf(stderr, "host %u: start_pipeline failed, running single-threaded\n",
+                 args.host);
+  }
 
   int exit_code = 0;
   if (args.host == kClientHost) {
-    client.start();
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(args.run_for_ms);
-    while (!client.done() && std::chrono::steady_clock::now() < deadline) {
+    for (auto& client : clients) client->start();
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + std::chrono::milliseconds(args.run_for_ms);
+    auto all_done = [&clients] {
+      for (auto& client : clients) {
+        if (!client->done()) return false;
+      }
+      return true;
+    };
+    while (!all_done() && std::chrono::steady_clock::now() < deadline) {
       transport.poll_once(2000);
     }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     transport.run_for(200000);  // let final acks/replication drain
-    std::printf("client: committed %llu/%zu, retries %llu, delivered %llu frames\n",
-                static_cast<unsigned long long>(client.committed()), args.txns,
-                static_cast<unsigned long long>(client.retries()),
-                static_cast<unsigned long long>(transport.messages_delivered()));
-    exit_code = (client.done() && client.committed() == args.txns) ? 0 : 1;
+    std::uint64_t committed = 0;
+    std::uint64_t retries = 0;
+    for (auto& client : clients) {
+      committed += client->committed();
+      retries += client->retries();
+    }
+    std::printf(
+        "client: committed %llu/%zu over %zu clients in %.2f s — %.0f txn/s wall-clock, "
+        "retries %llu, delivered %llu frames\n",
+        static_cast<unsigned long long>(committed), args.txns, args.clients, secs,
+        secs > 0 ? static_cast<double>(committed) / secs : 0.0,
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(transport.messages_delivered()));
+    exit_code = (all_done() && committed == args.txns) ? 0 : 1;
   } else {
     transport.run_for(args.run_for_ms * 1000);
+    if (!args.pbr) smr.replicas[args.host]->quiesce();
     const std::uint64_t executed = args.pbr ? pbr.replicas[args.host]->executed()
                                             : smr.replicas[args.host]->executed();
     std::printf("host %u: executed %llu txns, delivered %llu frames, digest %016llx\n",
@@ -150,6 +193,17 @@ int run_node(const Args& args) {
                 static_cast<unsigned long long>(
                     args.pbr ? pbr.replicas[args.host]->state_digest()
                              : smr.replicas[args.host]->state_digest()));
+    if (args.pipelined) {
+      // The zero-copy and coalescing proof obligations of pipelined mode.
+      std::printf("host %u: batch bytes copied %llu, writev %llu calls / %llu records, "
+                  "tob batch limit %zu\n",
+                  args.host,
+                  static_cast<unsigned long long>(
+                      splice_stats().batch_bytes_copied.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(transport.writev_calls()),
+                  static_cast<unsigned long long>(transport.writev_records()),
+                  smr.tob.nodes[args.host]->batch_limit());
+    }
   }
 
   if (!args.trace_path.empty()) {
@@ -189,6 +243,10 @@ int main(int argc, char** argv) {
       args.base_port = static_cast<std::uint16_t>(std::strtoul(value().c_str(), nullptr, 10));
     } else if (flag == "--txns") {
       args.txns = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--clients") {
+      args.clients = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--pipelined") {
+      args.pipelined = true;
     } else if (flag == "--run-for-ms") {
       args.run_for_ms = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--trace") {
@@ -198,5 +256,7 @@ int main(int argc, char** argv) {
     }
   }
   if (args.host >= kHostCount) usage();
+  if (args.clients == 0) usage();
+  if (args.pipelined && args.pbr) usage();  // the pipeline is the SMR path
   return run_node(args);
 }

@@ -3,7 +3,11 @@
 # closed-loop bank-workload client — over TCP sockets, then merges the
 # per-process traces and replays them through the offline checker.
 #
-#   run_cluster.sh [pbr|smr] [txns] [base_port] [run_ms]
+#   run_cluster.sh [pbr|smr] [txns] [base_port] [run_ms] [clients] [pipelined]
+#
+# `clients` (default 1) fans the transaction budget across that many
+# closed-loop clients; `pipelined` (any non-empty value, smr only) runs every
+# process as the 3-stage pipeline with adaptive batching.
 #
 # Exits 0 iff every transaction committed AND the merged trace passes total
 # order, at-most-once, durability, and strict serializability.
@@ -13,21 +17,27 @@ MODE="${1:-pbr}"
 TXNS="${2:-50}"
 BASE_PORT="${3:-$((35200 + RANDOM % 1000))}"
 RUN_MS="${4:-20000}"
+CLIENTS="${5:-1}"
+PIPELINED="${6:-}"
 BIN="$(dirname "$0")/cluster_node"
 [ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
+
+EXTRA=(--clients "$CLIENTS")
+[ -n "$PIPELINED" ] && EXTRA+=(--pipelined)
 
 WORK="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 
-echo "== ShadowDB-${MODE^^} on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)), ${TXNS} txns =="
+echo "== ShadowDB-${MODE^^} on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)), ${TXNS} txns," \
+     "${CLIENTS} clients${PIPELINED:+, pipelined} =="
 for h in 0 1 2; do
   "$BIN" --mode "$MODE" --host "$h" --base-port "$BASE_PORT" \
-         --trace "$WORK/t$h.jsonl" --run-for-ms "$RUN_MS" &
+         --trace "$WORK/t$h.jsonl" --run-for-ms "$RUN_MS" "${EXTRA[@]}" &
 done
 sleep 0.2
 
 "$BIN" --mode "$MODE" --host 3 --base-port "$BASE_PORT" \
-       --trace "$WORK/t3.jsonl" --txns "$TXNS" --run-for-ms "$RUN_MS"
+       --trace "$WORK/t3.jsonl" --txns "$TXNS" --run-for-ms "$RUN_MS" "${EXTRA[@]}"
 CLIENT_RC=$?
 
 wait $(jobs -p) 2>/dev/null

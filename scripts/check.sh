@@ -13,11 +13,14 @@
 #     sim::Context and no sim/world.hpp includes;
 #   * an ASan+UBSan build of the whole tree with the test suites run under
 #     it (the zero-copy payload path lives or dies by buffer ownership);
+#   * a TSan build of the threaded suites — the SPSC ring unit tests and the
+#     pipelined TCP cluster end-to-end test — so the three-stage pipeline's
+#     cross-thread hand-offs stay provably race-free;
 #   * the wire round-trip suite under extra corruption seeds;
 #   * PBR + SMR end-to-end in the simulator's wire-fidelity mode;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
 #     bank workload, and the offline trace checker (skipped gracefully when
-#     the environment forbids sockets).
+#     the environment forbids sockets), single-threaded and pipelined.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,7 +59,18 @@ if [[ "${1:-}" != "--fast" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
   cmake --build build-asan -j
-  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+  # Per-test timeout: a deadlocked sanitizer run must fail loudly, not hang CI.
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)" --timeout 300
+
+  echo "== sanitizers: TSan build + threaded suites (SPSC ring, pipelined cluster) =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j --target common_spsc_ring_test net_tcp_cluster_e2e_test
+  ./build-tsan/tests/common_spsc_ring_test >/dev/null
+  ./build-tsan/tests/net_tcp_cluster_e2e_test \
+    --gtest_filter='*SmrPipelined*' >/dev/null
 
   echo "== wire: round-trip suite under extra corruption seeds =="
   for seed in 7 131 9973; do
@@ -79,6 +93,9 @@ if [[ "${1:-}" != "--fast" ]]; then
       timeout 120 ./build/examples/run_cluster.sh "$mode" 30 \
         "$((34000 + RANDOM % 1000))" 15000
     done
+    echo "-- smr pipelined: 3-stage pipeline, 4 clients, adaptive batching"
+    timeout 120 ./build/examples/run_cluster.sh smr 200 \
+      "$((34000 + RANDOM % 1000))" 10000 4 pipelined
   else
     echo "-- skipped: sockets unavailable in this environment"
   fi

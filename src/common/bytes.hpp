@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <cstring>
@@ -39,19 +40,37 @@ using OwnedBytes = std::shared_ptr<const Bytes>;
 
 /// Process-wide counters for the zero-copy payload path (exposed to metrics
 /// as net.batch_encode_count / net.batch_splices / net.batch_bytes_copied).
+/// The counters are atomic because a pipelined node encodes on the consensus
+/// thread while decode-side accounting can run on the I/O or executor
+/// thread; copies (for baselining/diffing) take relaxed snapshots.
 struct SpliceStats {
   /// Command-region serializations: how often batch commands were encoded
   /// from their structured form. The zero-copy invariant is one per batch
   /// lifetime, no matter how many hops/re-proposals/relays the batch takes.
-  std::uint64_t batch_encodes = 0;
+  std::atomic<std::uint64_t> batch_encodes{0};
   /// Pre-encoded views spliced into writers instead of being re-encoded.
-  std::uint64_t batch_splices = 0;
+  std::atomic<std::uint64_t> batch_splices{0};
   /// Bytes of already-encoded content copied into a contiguous staging
   /// buffer (SegmentedBytes::flatten, BytesWriter::take with spliced
   /// segments, BytesReader::take_segments over borrowed memory). Zero on the
   /// clean send/relay/re-propose paths; nonzero only under fault injection
   /// or legacy contiguous consumers.
-  std::uint64_t batch_bytes_copied = 0;
+  std::atomic<std::uint64_t> batch_bytes_copied{0};
+
+  SpliceStats() = default;
+  SpliceStats(const SpliceStats& other)
+      : batch_encodes(other.batch_encodes.load(std::memory_order_relaxed)),
+        batch_splices(other.batch_splices.load(std::memory_order_relaxed)),
+        batch_bytes_copied(other.batch_bytes_copied.load(std::memory_order_relaxed)) {}
+  SpliceStats& operator=(const SpliceStats& other) {
+    batch_encodes.store(other.batch_encodes.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    batch_splices.store(other.batch_splices.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    batch_bytes_copied.store(other.batch_bytes_copied.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    return *this;
+  }
 
   void reset() { *this = SpliceStats{}; }
 };

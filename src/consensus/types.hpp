@@ -156,8 +156,12 @@ class EncodedBatch {
   std::size_t payload_size() const { return rep_ ? rep_->payload.size() : 0; }
 
   /// The decoded commands, memoized on first use. (Mutation of the memo
-  /// through a shared rep is safe: transports and handlers run on
-  /// single-threaded event loops, and the decode is idempotent.)
+  /// through a shared rep is safe: handlers run on single-threaded event
+  /// loops, and the decode is idempotent. When a batch is about to cross a
+  /// pipeline thread boundary, the sending thread must call commands() once
+  /// BEFORE publishing — decode-before-publish — so the receiving thread
+  /// only ever reads the memo; the core::ExecutorPipeline does exactly
+  /// that, and the SPSC ring's mutex hand-off publishes the write.)
   const Batch& commands() const {
     static const Batch kEmpty;
     if (!rep_) return kEmpty;

@@ -1,0 +1,69 @@
+#include "core/codecs.hpp"
+
+#include "consensus/paxos.hpp"
+#include "consensus/two_third.hpp"
+#include "core/chain.hpp"
+#include "core/pbr.hpp"
+#include "core/replica_common.hpp"
+#include "core/smr.hpp"
+#include "tob/tob.hpp"
+#include "wire/registry.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::core {
+
+void register_wire_codecs() {
+  wire::Registry& reg = wire::registry();
+
+  // Consensus: Paxos Synod and TwoThird.
+  reg.ensure<consensus::P1aBody>(consensus::kP1aHeader);
+  reg.ensure<consensus::P1bBody>(consensus::kP1bHeader);
+  reg.ensure<consensus::P2aBody>(consensus::kP2aHeader);
+  reg.ensure<consensus::P2bBody>(consensus::kP2bHeader);
+  reg.ensure<consensus::DecisionBody>(consensus::kDecisionHeader);
+  reg.ensure<consensus::ProposeBody>(consensus::kProposeHeader);
+  reg.ensure<consensus::VoteBody>(consensus::kVoteHeader);
+  reg.ensure<consensus::DecideBody>(consensus::kTwoThirdDecideHeader);
+
+  // Total order broadcast service.
+  reg.ensure<tob::BroadcastBody>(tob::kBroadcastHeader);
+  reg.ensure<tob::AckBody>(tob::kAckHeader);
+  reg.ensure<tob::DeliverBody>(tob::kDeliverHeader);
+  reg.ensure<tob::RelayBody>(tob::kRelayHeader);
+
+  // Client/server transaction traffic.
+  reg.ensure<workload::TxnRequest>(workload::kTxnRequestHeader);
+  reg.ensure<workload::TxnResponse>(workload::kTxnResponseHeader);
+
+  // SMR replica: TOB→replica loopback handoffs and state transfer.
+  // (smr-hb and smr-snap-req are bodyless signals: nothing to decode.)
+  reg.ensure<DeliverHandoff>(kSmrDeliverHeader);
+  reg.ensure<DeliverBatchHandoff>(kSmrDeliverBatchHeader);
+  reg.ensure<ReplSnapBeginBody>(kSnapBeginHeader);
+  reg.ensure<ReplSnapBatchBody>(kSnapBatchHeader);
+  reg.ensure<ReplSnapDoneBody>(kSnapDoneHeader);
+
+  // Primary/backup replication.
+  reg.ensure<ReplForwardBody>(kPbrForwardHeader);
+  reg.ensure<ReplAckBody>(kPbrAckHeader);
+  reg.ensure<ReplElectBody>(kPbrElectHeader);
+  reg.ensure<ReplCatchupBody>(kPbrCatchupHeader);
+  reg.ensure<ReplSnapBeginBody>(kPbrSnapBeginHeader);
+  reg.ensure<ReplSnapBatchBody>(kPbrSnapBatchHeader);
+  reg.ensure<ReplSnapDoneBody>(kPbrSnapDoneHeader);
+  reg.ensure<ReplSnapDoneBody>(kPbrRecoveredHeader);
+  reg.ensure<RedirectBody>(kPbrRedirectHeader);
+  reg.ensure<consensus::Command>(kPbrDeliverHeader);
+
+  // Chain replication (shares the Repl* body shapes and the redirect body).
+  reg.ensure<ReplForwardBody>(kChainFwdHeader);
+  reg.ensure<ReplElectBody>(kChainElectHeader);
+  reg.ensure<ReplCatchupBody>(kChainCatchupHeader);
+  reg.ensure<ReplSnapBeginBody>(kChainSnapBeginHeader);
+  reg.ensure<ReplSnapBatchBody>(kChainSnapBatchHeader);
+  reg.ensure<ReplSnapDoneBody>(kChainSnapDoneHeader);
+  reg.ensure<ReplSnapDoneBody>(kChainRecoveredHeader);
+  reg.ensure<consensus::Command>(kChainDeliverHeader);
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,21 @@
+// Pre-registration of every wire codec a ShadowDB cluster process can
+// receive.
+//
+// `net::make_msg` registers a header→codec binding lazily at SEND time,
+// which is enough inside one process (the simulator, or a single-host
+// loopback): by the time a frame is decoded, the sender in the same process
+// has already registered it. Across real processes that breaks down — a TCP
+// receiver must decode headers it has never sent (a follower receives
+// px-p2a before it ever proposes; a fresh replica receives snapshots before
+// it sends anything). `register_wire_codecs()` installs the full protocol
+// vocabulary up front; the cluster assembly helpers call it so every
+// "process" of a multi-process cluster can decode every frame from frame
+// one. Idempotent (wire::Registry::ensure is), cheap, and safe to call from
+// multiple assemblies in one test binary.
+#pragma once
+
+namespace shadow::core {
+
+void register_wire_codecs();
+
+}  // namespace shadow::core

@@ -1,0 +1,96 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+#include "obs/trace.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::core {
+
+namespace {
+// Backoff while the consensus thread waits on the executor with nothing to
+// drain: long enough not to burn a core, short next to any real txn.
+constexpr std::chrono::microseconds kWaitSlice{50};
+}  // namespace
+
+ExecutorPipeline::ExecutorPipeline(net::Transport& world, NodeId self,
+                                   TxnExecutor& executor, std::size_t ring_capacity,
+                                   obs::Tracer* tracer)
+    : world_(world),
+      self_(self),
+      executor_(executor),
+      tracer_(tracer),
+      batches_(ring_capacity),
+      // Completions outnumber batches by the batch size; give them headroom
+      // so the executor rarely blocks between drain cycles.
+      completions_(ring_capacity * 4),
+      executor_thread_([this] { executor_loop(); }) {}
+
+ExecutorPipeline::~ExecutorPipeline() { shutdown(); }
+
+void ExecutorPipeline::push(DeliverBatchHandoff handoff) {
+  // Decode-before-publish: materialize the memoized command decode inside
+  // the shared EncodedBatch rep while this thread still owns it exclusively;
+  // the executor thread then only reads the memo (the ring's mutex hand-off
+  // publishes it).
+  handoff.batch.commands();
+  ++pushed_;
+  if (tracer_) tracer_->observe("pipeline.queue_depth", queue_depth());
+  while (!batches_.try_push(handoff)) {
+    // Ring full: the executor is behind. Keep draining completions while
+    // waiting — never sleep on a non-empty completions ring, or a full one
+    // would block the executor and deadlock the pair.
+    if (drain_completions() == 0) std::this_thread::sleep_for(kWaitSlice);
+  }
+}
+
+std::size_t ExecutorPipeline::drain_completions() {
+  std::size_t posted = 0;
+  while (std::optional<Completion> c = completions_.try_pop()) {
+    world_.post(self_, c->reply_to, std::move(c->msg));
+    ++posted;
+  }
+  return posted;
+}
+
+void ExecutorPipeline::flush() {
+  while (executed_batches_.load(std::memory_order_acquire) < pushed_) {
+    if (drain_completions() == 0) std::this_thread::sleep_for(kWaitSlice);
+  }
+  // The executor bumps executed_batches_ after pushing the batch's last
+  // completion, so one final drain leaves nothing in flight.
+  drain_completions();
+}
+
+void ExecutorPipeline::shutdown() {
+  if (!executor_thread_.joinable()) return;
+  flush();
+  batches_.close();
+  completions_.close();
+  executor_thread_.join();
+}
+
+void ExecutorPipeline::executor_loop() {
+  while (std::optional<DeliverBatchHandoff> item = batches_.pop()) {
+    const consensus::Batch& cmds = item->batch.commands();  // pre-decoded memo
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      const workload::TxnRequest req = workload::decode_request(cmds[i].payload);
+      const TxnExecutor::Execution exec = executor_.execute(req);
+      // charge() is a no-op on the TCP transport (the only pipelined one):
+      // the real CPU was actually consumed, on this thread.
+      if (tracer_) {
+        tracer_->txn_execute(world_.now(), self_, req.client, req.seq,
+                             item->base_index + i, exec.duplicate,
+                             exec.response.committed, req.proc);
+      }
+      executed_txns_.fetch_add(1, std::memory_order_relaxed);
+      Completion done{req.reply_to, workload::make_response_msg(exec.response)};
+      (void)completions_.push(std::move(done));  // false only at shutdown
+    }
+    executed_batches_.fetch_add(1, std::memory_order_release);
+    // Kick the consensus thread's idle hook to post the responses.
+    world_.wake();
+  }
+}
+
+}  // namespace shadow::core

@@ -78,6 +78,16 @@ struct DeliverHandoff {
   consensus::Command command;
 };
 
+/// Loopback handoff of one whole decided slot. The batch travels as the
+/// decided `EncodedBatch` — spliced, never re-encoded — so a pipelined
+/// replica can move it onto its executor thread with zero payload copies
+/// (the i-th command has global delivery index `base_index + i`).
+struct DeliverBatchHandoff {
+  Slot slot = 0;
+  std::uint64_t base_index = 0;
+  consensus::EncodedBatch batch;
+};
+
 /// Server-side virtual CPU costs beyond the engine's own (request decode,
 /// dispatch, reply marshalling). Replicas execute transactions in-process
 /// ("in the same JVM as the database"), so per-statement dispatch is cheap.
@@ -249,6 +259,22 @@ struct Codec<core::DeliverHandoff> {
     v.slot = r.u64();
     v.index = r.u64();
     v.command = Codec<consensus::Command>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::DeliverBatchHandoff> {
+  static void encode(BytesWriter& w, const core::DeliverBatchHandoff& v) {
+    w.u64(v.slot);
+    w.u64(v.base_index);
+    Codec<consensus::EncodedBatch>::encode(w, v.batch);
+  }
+  static core::DeliverBatchHandoff decode(BytesReader& r) {
+    core::DeliverBatchHandoff v;
+    v.slot = r.u64();
+    v.base_index = r.u64();
+    v.batch = Codec<consensus::EncodedBatch>::decode(r);
     return v;
   }
 };

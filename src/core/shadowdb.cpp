@@ -24,6 +24,8 @@ tob::TobConfig make_tob_config(net::Transport& world, const ClusterOptions& opti
   config.profile.tier = options.tob_tier;
   config.batch_max = options.tob_batch_max;
   config.max_outstanding = options.tob_max_outstanding;
+  config.adaptive_batching = options.tob_adaptive_batching;
+  config.batch_min = options.tob_batch_min;
   config.tracer = options.tracer;
   config.paxos.tracer = options.tracer;
   config.two_third.tracer = options.tracer;
@@ -74,6 +76,17 @@ SmrCluster make_smr_cluster(net::Transport& world, const ClusterOptions& options
         options.server_costs);
     if (i >= options.db_replicas) replica->make_spare();
     cluster.replicas.push_back(std::move(replica));
+  }
+  if (smr_config.pipelined_execution) {
+    // Adaptive batching senses downstream congestion through the co-located
+    // replica's executor pipeline: a deep queue means the DB stage is the
+    // bottleneck and bigger batches amortize consensus better.
+    for (std::size_t i = 0; i < total; ++i) {
+      if (!world.is_local(cluster.replica_nodes[i])) continue;
+      SmrReplica* replica = cluster.replicas[i].get();
+      cluster.tob.nodes[i]->set_backlog_probe(
+          [replica] { return replica->pipeline_depth(); });
+    }
   }
   return cluster;
 }

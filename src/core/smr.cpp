@@ -15,7 +15,6 @@ using SnapBatchBody = ReplSnapBatchBody;
 using SnapDoneBody = ReplSnapDoneBody;
 
 constexpr const char* kHbHeader = "smr-hb";
-constexpr const char* kSmrDeliverHeader = "smr-deliver";
 
 bool contains(const std::vector<NodeId>& v, NodeId n) {
   return std::find(v.begin(), v.end(), n) != v.end();
@@ -37,16 +36,34 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
       spares_(std::move(spares)) {
   SHADOW_REQUIRE_MSG(world_.host_of(self_) == world_.host_of(tob_.node()),
                      "SMR replicas must be co-located with their broadcast service node");
-  reconfig_client_id_ = ClientId{0x40000000u + self_.value};
+  reconfig_client_id_ = ClientId{kControlClientBit + self_.value};
 
   // The broadcast service hands deliveries to the co-located replica through
   // an in-process queue: model it as a loopback message so that (a) the
   // replica processes them under its own identity and (b) a crashed replica
   // process genuinely stops executing even if the service node survives.
-  tob_.subscribe_local([this](net::NodeContext& ctx, Slot slot, std::uint64_t index,
-                              const tob::Command& cmd) {
-    ctx.send(self_, net::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd}));
-  });
+  if (config_.pipelined_execution && world_.is_local(self_)) {
+    // Pipelined: one loopback message per decided slot, carrying the decided
+    // EncodedBatch as a splice; on_deliver_batch hands it to the executor
+    // thread. The idle hook posts the executor's responses back into the
+    // transport whenever the consensus loop completes an iteration.
+    // Identical-assembly processes construct every replica in the cluster
+    // but spawn an executor thread only for the one that runs here.
+    tob_.subscribe_local_batch([this](net::NodeContext& ctx, Slot slot,
+                                      std::uint64_t base_index,
+                                      const tob::EncodedBatch& batch) {
+      ctx.send(self_, net::make_msg(kSmrDeliverBatchHeader,
+                                    DeliverBatchHandoff{slot, base_index, batch}));
+    });
+    pipeline_ = std::make_unique<ExecutorPipeline>(
+        world_, self_, executor_, config_.pipeline_ring_capacity, config_.tracer);
+    world_.add_idle_hook([this] { return pipeline_->drain_completions(); });
+  } else {
+    tob_.subscribe_local([this](net::NodeContext& ctx, Slot slot, std::uint64_t index,
+                                const tob::Command& cmd) {
+      ctx.send(self_, net::make_msg(kSmrDeliverHeader, DeliverHandoff{slot, index, cmd}));
+    });
+  }
   world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
@@ -69,6 +86,31 @@ void SmrReplica::on_deliver(net::NodeContext& ctx, Slot /*slot*/, std::uint64_t 
     return;
   }
   execute_txn(ctx, index, req);
+}
+
+void SmrReplica::on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_t base_index,
+                                  const consensus::EncodedBatch& batch) {
+  const tob::Batch& cmds = batch.commands();
+  if (cmds.empty()) return;
+  bool control = false;
+  for (const tob::Command& cmd : cmds) {
+    if (cmd.client.value >= kControlClientBit) {
+      control = true;
+      break;
+    }
+  }
+  if (control || !active_) {
+    // Control commands mutate group/replica state on the consensus thread,
+    // and inactive replicas buffer or discard: drain the executor first so
+    // delivery order is preserved, then take the single-threaded path.
+    pipeline_->flush();
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      on_deliver(ctx, slot, base_index + i, cmds[i]);
+    }
+    return;
+  }
+  delivered_index_ = base_index + cmds.size() - 1;
+  pipeline_->push(DeliverBatchHandoff{slot, base_index, batch});
 }
 
 void SmrReplica::execute_txn(net::NodeContext& ctx, std::uint64_t index,
@@ -114,6 +156,11 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     on_deliver(ctx, handoff.slot, handoff.index, handoff.command);
     return;
   }
+  if (msg.header == kSmrDeliverBatchHeader) {
+    const auto& handoff = net::msg_body<DeliverBatchHandoff>(msg);
+    on_deliver_batch(ctx, handoff.slot, handoff.base_index, handoff.batch);
+    return;
+  }
   if (msg.header == kHbHeader) {
     last_heard_[msg.from.value] = ctx.now();
     return;
@@ -121,7 +168,10 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kSnapRequestHeader) {
     // Proposer side of the state transfer: serialize at the deterministic
     // point we are at now (all actives have applied the same prefix), then
-    // stream ~50 KB batches. Row serialization cost is charged here.
+    // stream ~50 KB batches. Row serialization cost is charged here. A
+    // pipelined replica drains its executor first — the engine belongs to
+    // the executor thread until the pipeline is quiescent.
+    if (pipeline_) pipeline_->flush();
     const db::Engine::Snapshot snap =
         executor_.engine().snapshot(config_.snapshot_batch_bytes);
     ctx.charge(snap.serialize_cost_us);

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "core/replica_common.hpp"
 #include "tob/tob.hpp"
 
@@ -32,12 +33,26 @@ inline constexpr const char* kSnapRequestHeader = "smr-snap-req";
 inline constexpr const char* kSnapBeginHeader = "smr-snap-begin";
 inline constexpr const char* kSnapBatchHeader = "smr-snap-batch";
 inline constexpr const char* kSnapDoneHeader = "smr-snap-done";
+inline constexpr const char* kSmrDeliverHeader = "smr-deliver";
+inline constexpr const char* kSmrDeliverBatchHeader = "smr-deliver-batch";
+
+/// Control commands (reconfigurations) are broadcast under synthetic client
+/// ids with this bit set, so the pipelined delivery path can spot them in a
+/// decided batch without decoding any transaction payloads.
+inline constexpr std::uint32_t kControlClientBit = 0x40000000u;
 
 struct SmrConfig {
   net::Time hb_period = 1000000;        // 1 s heartbeats between replicas
   net::Time suspect_timeout = 10000000; // 10 s detection (paper's Fig. 10 setting)
   std::size_t snapshot_batch_bytes = 50 * 1024;
   bool enable_failure_detection = true;
+  /// Execute transactions on a dedicated DB executor thread, fed decided
+  /// batches through a bounded SPSC ring (see core/pipeline.hpp). Only
+  /// meaningful on a transport whose event loop may run concurrently with
+  /// other threads (TcpTransport in pipelined mode); the simulator stays
+  /// single-threaded and must leave this off.
+  bool pipelined_execution = false;
+  std::size_t pipeline_ring_capacity = 256;  // decided batches in flight
   obs::Tracer* tracer = nullptr;        // optional structured trace recorder
 };
 
@@ -64,9 +79,22 @@ class SmrReplica {
   /// until activated).
   void make_spare() { active_ = false; }
 
+  /// Pipelined mode only: decided batches handed to the executor thread but
+  /// not yet executed (what adaptive batching probes as backlog).
+  std::size_t pipeline_depth() const { return pipeline_ ? pipeline_->queue_depth() : 0; }
+
+  /// Pipelined mode only: block until the executor thread has applied every
+  /// delivered batch and all responses are posted. Benchmarks and tests call
+  /// this before reading executed()/state_digest() while the loop is paused.
+  void quiesce() {
+    if (pipeline_) pipeline_->flush();
+  }
+
  private:
   void on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t index,
                   const tob::Command& cmd);
+  void on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_t base_index,
+                        const consensus::EncodedBatch& batch);
   void on_message(net::NodeContext& ctx, const net::Message& msg);
   void on_heartbeat_tick(net::NodeContext& ctx);
   void handle_reconfig(net::NodeContext& ctx, const workload::TxnRequest& req, std::uint64_t index);
@@ -93,6 +121,11 @@ class SmrReplica {
   std::uint64_t join_from_index_ = 0;
   std::deque<std::pair<std::uint64_t, workload::TxnRequest>> buffered_;  // (index, request)
   std::uint64_t buffered_from_ = 0;
+
+  // Pipelined mode: the DB executor stage. Declared last so its destructor
+  // (which flushes and joins the executor thread) runs while every member
+  // it references is still alive.
+  std::unique_ptr<ExecutorPipeline> pipeline_;
 };
 
 }  // namespace shadow::core

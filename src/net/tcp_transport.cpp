@@ -1,6 +1,7 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -117,11 +118,25 @@ bool TcpTransport::start() {
 }
 
 void TcpTransport::set_host_port(HostId host, std::uint16_t port) {
+  SHADOW_REQUIRE_MSG(!pipelined_, "the host table is frozen once the I/O thread runs");
   SHADOW_REQUIRE(host.value < options_.hosts.size());
   options_.hosts[host.value].port = port;
 }
 
 void TcpTransport::shutdown() {
+  if (pipelined_) {
+    io_stop_.store(true, std::memory_order_release);
+    inbound_ring_->close();   // un-blocks an I/O thread stuck pushing inbound
+    outbound_ring_->close();
+    wake_io();
+    if (io_thread_.joinable()) io_thread_.join();
+    pipelined_ = false;
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+    inbound_ring_.reset();
+    outbound_ring_.reset();
+    outbound_overflow_.clear();
+  }
   close_fd(listen_fd_);
   for (Peer& peer : peers_) {
     close_fd(peer.fd);
@@ -142,6 +157,7 @@ HostId TcpTransport::add_host() {
 }
 
 NodeId TcpTransport::add_node(std::string name, std::optional<HostId> host) {
+  SHADOW_REQUIRE_MSG(!pipelined_, "topology is frozen once the I/O thread runs");
   // Not value_or: its argument is evaluated eagerly and would burn a
   // host-table slot even when the caller placed the node explicitly.
   const HostId h = host.has_value() ? *host : add_host();
@@ -155,6 +171,7 @@ NodeId TcpTransport::add_node(std::string name, std::optional<HostId> host) {
 }
 
 void TcpTransport::set_handler(NodeId node, MessageHandler handler) {
+  SHADOW_REQUIRE_MSG(!pipelined_, "topology is frozen once the I/O thread runs");
   SHADOW_REQUIRE(node.value < nodes_.size());
   nodes_[node.value].handler = std::move(handler);
 }
@@ -253,6 +270,11 @@ void TcpTransport::route(NodeId from, NodeId to, Message& msg) {
     loopback_.push_back(LoopbackRecord{from, to, frame});
     return;
   }
+  if (pipelined_) {
+    // Consensus thread → I/O thread, never blocking (see push_outbound).
+    push_outbound(OutboundRecord{host, from, to, frame});
+    return;
+  }
   enqueue_record(host, from, to, frame);
 }
 
@@ -317,43 +339,57 @@ void TcpTransport::flush_peer(HostId host) {
   Peer& peer = peers_[host.value];
   if (peer.fd < 0 || peer.connecting) return;
   while (!peer.outq.empty()) {
-    OutRecord& rec = peer.outq.front();
-    while (rec.offset < rec.size()) {
-      // Gather the unsent remainder of the record — the routing prologue
-      // plus every frame segment — into one vectored write. Spliced batch
-      // payloads inside the frame go from their original buffer straight to
-      // the socket; there is no contiguous staging copy. A record with more
-      // segments than the iovec array fits sends the tail on the next pass.
-      std::array<iovec, 16> iov{};
-      std::size_t iov_n = 0;
-      std::size_t skip = rec.offset;
-      const auto gather = [&](const std::uint8_t* data, std::size_t len) {
-        if (len == 0 || iov_n == iov.size()) return;
-        if (skip >= len) {
-          skip -= len;
-          return;
-        }
-        iov[iov_n].iov_base = const_cast<std::uint8_t*>(data + skip);
-        iov[iov_n].iov_len = len - skip;
-        ++iov_n;
-        skip = 0;
-      };
-      gather(rec.prefix.data(), rec.prefix.size());
-      for (const ByteView& seg : rec.frame->segments()) gather(seg.data(), seg.size());
-      msghdr mh{};
-      mh.msg_iov = iov.data();
-      mh.msg_iovlen = iov_n;
-      const ssize_t written = ::sendmsg(peer.fd, &mh, MSG_NOSIGNAL);
-      if (written > 0) {
-        rec.offset += static_cast<std::size_t>(written);
-      } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return;  // socket buffer full; poll for POLLOUT
-      } else {
-        fail_peer(host);
+    // Gather the unsent remainders of as many queued records as fit into
+    // one vectored write — back-to-back consensus decisions coalesce into a
+    // single sendmsg instead of one syscall per record. Each record
+    // contributes its routing prologue plus every frame segment; spliced
+    // batch payloads go from their original buffer straight to the socket,
+    // never through a contiguous staging copy. Whatever does not fit in the
+    // iovec array goes out on the next pass.
+    std::array<iovec, 64> iov{};
+    std::size_t iov_n = 0;
+    std::size_t records_gathered = 0;
+    std::size_t skip = peer.outq.front().offset;  // only the front is partial
+    const auto gather = [&](const std::uint8_t* data, std::size_t len) {
+      if (len == 0 || iov_n == iov.size()) return;
+      if (skip >= len) {
+        skip -= len;
         return;
       }
+      iov[iov_n].iov_base = const_cast<std::uint8_t*>(data + skip);
+      iov[iov_n].iov_len = len - skip;
+      ++iov_n;
+      skip = 0;
+    };
+    for (const OutRecord& rec : peer.outq) {
+      if (iov_n == iov.size()) break;
+      gather(rec.prefix.data(), rec.prefix.size());
+      for (const ByteView& seg : rec.frame->segments()) gather(seg.data(), seg.size());
+      ++records_gathered;
     }
-    peer.outq.pop_front();
+    msghdr mh{};
+    mh.msg_iov = iov.data();
+    mh.msg_iovlen = iov_n;
+    const ssize_t written = ::sendmsg(peer.fd, &mh, MSG_NOSIGNAL);
+    if (written > 0) {
+      writev_calls_.fetch_add(1, std::memory_order_relaxed);
+      writev_records_.fetch_add(records_gathered, std::memory_order_relaxed);
+      // Credit the written bytes across the queue front-to-back, retiring
+      // completed records; a partially written record keeps its offset.
+      std::size_t credit = static_cast<std::size_t>(written);
+      while (credit > 0) {
+        OutRecord& front = peer.outq.front();
+        const std::size_t step = std::min(credit, front.size() - front.offset);
+        front.offset += step;
+        credit -= step;
+        if (front.offset == front.size()) peer.outq.pop_front();
+      }
+    } else if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // socket buffer full; poll for POLLOUT
+    } else {
+      fail_peer(host);
+      return;
+    }
   }
 }
 
@@ -411,7 +447,7 @@ bool TcpTransport::dispatch_frame(NodeId from, NodeId to,
   wire::FrameView view;
   const wire::FrameStatus status = wire::decode_frame(frame, view);
   if (status != wire::FrameStatus::kOk) {
-    ++wire_drops_;
+    wire_drops_.fetch_add(1, std::memory_order_relaxed);
     for (TransportObserver* obs : observers_) {
       obs->on_wire_drop(now(), from, to, "", frame.size(), status);
     }
@@ -433,7 +469,18 @@ bool TcpTransport::dispatch_frame(NodeId from, NodeId to,
     owned.append(ByteView::owning(Bytes(view.body.begin(), view.body.end())));
     body = std::make_shared<const wire::SegmentedBytes>(std::move(owned));
   }
-  return deliver_frame(from, to, std::move(msg), std::move(body));
+  if (!decode_message(from, to, msg, std::move(body))) return false;
+  if (pipelined_) {
+    // I/O thread: hand the decoded message to the consensus thread. The
+    // body's buffers cross by shared_ptr; a full ring blocks this thread,
+    // which stops the socket reads and becomes TCP backpressure.
+    if (!inbound_ring_->push(InboundDelivery{from, to, std::move(msg)})) {
+      return false;  // ring closed: shutting down
+    }
+    notify_driver();
+    return true;
+  }
+  return finish_delivery(to, std::move(msg));
 }
 
 bool TcpTransport::dispatch_frame_segments(NodeId from, NodeId to,
@@ -441,7 +488,7 @@ bool TcpTransport::dispatch_frame_segments(NodeId from, NodeId to,
   wire::SegmentedFrameView view;
   const wire::FrameStatus status = wire::decode_frame_segments(frame, view);
   if (status != wire::FrameStatus::kOk) {
-    ++wire_drops_;
+    wire_drops_.fetch_add(1, std::memory_order_relaxed);
     for (TransportObserver* obs : observers_) {
       obs->on_wire_drop(now(), from, to, "", frame.size(), status);
     }
@@ -458,30 +505,35 @@ bool TcpTransport::dispatch_frame_segments(NodeId from, NodeId to,
     // original buffers.
     body = std::make_shared<const wire::SegmentedBytes>(std::move(view.body));
   }
-  return deliver_frame(from, to, std::move(msg), std::move(body));
+  // Loopback dispatch always runs on the consensus thread: decode and
+  // deliver inline, no ring crossing.
+  if (!decode_message(from, to, msg, std::move(body))) return false;
+  return finish_delivery(to, std::move(msg));
 }
 
-bool TcpTransport::deliver_frame(NodeId from, NodeId to, Message&& msg,
-                                 std::shared_ptr<const wire::SegmentedBytes> body) {
-  msg.uid = ++msg_uid_counter_;
-  if (body != nullptr && !body->empty()) {
-    // A structurally valid frame whose header no codec was registered for
-    // cannot be interpreted; drop it (traced), never crash the receiver.
-    if (!wire::registry().contains(msg.header)) {
-      ++wire_drops_;
-      for (TransportObserver* obs : observers_) {
-        obs->on_wire_drop(now(), from, to, msg.header, msg.wire_size,
-                          wire::FrameStatus::kUnknownHeader);
-      }
-      return false;
+bool TcpTransport::decode_message(NodeId from, NodeId to, Message& msg,
+                                  std::shared_ptr<const wire::SegmentedBytes> body) {
+  if (body == nullptr || body->empty()) return true;
+  // A structurally valid frame whose header no codec was registered for
+  // cannot be interpreted; drop it (traced), never crash the receiver.
+  if (!wire::registry().contains(msg.header)) {
+    wire_drops_.fetch_add(1, std::memory_order_relaxed);
+    for (TransportObserver* obs : observers_) {
+      obs->on_wire_drop(now(), from, to, msg.header, msg.wire_size,
+                        wire::FrameStatus::kUnknownHeader);
     }
-    msg.body = wire::registry().decode(msg.header, *body);
-    msg.encoded_body = std::move(body);
+    return false;
   }
+  msg.body = wire::registry().decode(msg.header, *body);
+  msg.encoded_body = std::move(body);
+  return true;
+}
 
+bool TcpTransport::finish_delivery(NodeId to, Message&& msg) {
+  msg.uid = ++msg_uid_counter_;
   Node& node = nodes_[to.value];
   if (node.stopped || !node.handler) return false;
-  ++delivered_count_;
+  delivered_count_.fetch_add(1, std::memory_order_relaxed);
   for (TransportObserver* obs : observers_) obs->on_deliver(now(), to, msg);
   TcpContext ctx(*this, to);
   node.handler(ctx, msg);
@@ -501,8 +553,13 @@ std::size_t TcpTransport::drain_loopback() {
 
 // -- event loop --------------------------------------------------------------
 
-std::size_t TcpTransport::poll_once(Time max_wait) {
-  SHADOW_REQUIRE_MSG(started(), "TcpTransport::start() must succeed before polling");
+/// The socket side of one event-loop iteration: kicks expired connect
+/// backoffs, polls listen/peer/inbound fds (plus `wake_fd` if nonnegative —
+/// the pipelined I/O thread's wake pipe), accepts, drains readable streams,
+/// and flushes pending writes. Shared verbatim between the single-threaded
+/// loop and the pipelined I/O thread; the caller decides what else (timers,
+/// loopback, rings) belongs to its stage.
+std::size_t TcpTransport::poll_sockets(Time max_wait, int wake_fd) {
   std::size_t handled = 0;
 
   // Kick pending (re)connections whose backoff expired.
@@ -510,7 +567,7 @@ std::size_t TcpTransport::poll_once(Time max_wait) {
     if (peers_[h].fd < 0 && !peers_[h].outq.empty()) ensure_peer_connection(HostId{h});
   }
 
-  enum class Kind : std::uint8_t { kListen, kPeer, kInbound };
+  enum class Kind : std::uint8_t { kListen, kPeer, kInbound, kWake };
   struct Slot {
     Kind kind;
     std::uint32_t index;
@@ -519,6 +576,10 @@ std::size_t TcpTransport::poll_once(Time max_wait) {
   std::vector<Slot> slots;
   fds.push_back(pollfd{listen_fd_, POLLIN, 0});
   slots.push_back(Slot{Kind::kListen, 0});
+  if (wake_fd >= 0) {
+    fds.push_back(pollfd{wake_fd, POLLIN, 0});
+    slots.push_back(Slot{Kind::kWake, 0});
+  }
   for (std::uint32_t h = 0; h < peers_.size(); ++h) {
     const Peer& peer = peers_[h];
     if (peer.fd < 0) continue;
@@ -533,19 +594,19 @@ std::size_t TcpTransport::poll_once(Time max_wait) {
     slots.push_back(Slot{Kind::kInbound, i});
   }
 
-  Time wait = max_wait;
-  if (!timers_.empty()) {
-    const Time t = now();
-    wait = std::min(wait, timers_.top().at > t ? timers_.top().at - t : 0);
-  }
-  if (!loopback_.empty()) wait = 0;
-  const int timeout_ms = static_cast<int>(std::min<Time>((wait + 999) / 1000, 1000));
+  const int timeout_ms = static_cast<int>(std::min<Time>((max_wait + 999) / 1000, 1000));
   ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
 
   for (std::size_t i = 0; i < fds.size(); ++i) {
     const short revents = fds[i].revents;
     if (revents == 0) continue;
     switch (slots[i].kind) {
+      case Kind::kWake: {
+        std::uint8_t sink[256];
+        while (::read(wake_fd, sink, sizeof(sink)) > 0) {
+        }
+        break;
+      }
       case Kind::kListen: {
         for (;;) {
           const int conn = ::accept4(listen_fd_, nullptr, nullptr,
@@ -598,13 +659,35 @@ std::size_t TcpTransport::poll_once(Time max_wait) {
     }
   }
 
-  handled += fire_due_timers();
-  handled += drain_loopback();
-
-  // Flush everything handlers enqueued (plus newly connected peers).
+  // Flush everything enqueued since the last pass (plus newly connected
+  // peers; in single-threaded mode the caller flushes again after handlers).
   for (std::uint32_t h = 0; h < peers_.size(); ++h) flush_peer(HostId{h});
 
   std::erase_if(inbound_, [](const Inbound& in) { return in.fd < 0; });
+  return handled;
+}
+
+std::size_t TcpTransport::poll_once(Time max_wait) {
+  SHADOW_REQUIRE_MSG(started(), "TcpTransport::start() must succeed before polling");
+  if (pipelined_) return drive_once(max_wait);
+
+  Time wait = max_wait;
+  if (!timers_.empty()) {
+    const Time t = now();
+    wait = std::min(wait, timers_.top().at > t ? timers_.top().at - t : 0);
+  }
+  if (!loopback_.empty()) wait = 0;
+
+  std::size_t handled = poll_sockets(wait, /*wake_fd=*/-1);
+  handled += fire_due_timers();
+  handled += drain_loopback();
+  if (has_idle_hooks()) {
+    handled += run_idle_hooks();
+    handled += drain_loopback();
+  }
+
+  // Flush everything handlers/timers/hooks enqueued this iteration.
+  for (std::uint32_t h = 0; h < peers_.size(); ++h) flush_peer(HostId{h});
   return handled;
 }
 
@@ -615,6 +698,115 @@ std::size_t TcpTransport::run_for(Time duration) {
     handled += poll_once(std::min<Time>(deadline - now(), 10000));
   }
   return handled;
+}
+
+// -- pipelined mode ----------------------------------------------------------
+
+bool TcpTransport::start_pipeline() {
+  SHADOW_REQUIRE_MSG(started(), "start() must succeed before start_pipeline()");
+  if (pipelined_) return true;
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return false;
+  }
+  inbound_ring_ = std::make_unique<SpscRing<InboundDelivery>>(kRingCapacity);
+  outbound_ring_ = std::make_unique<SpscRing<OutboundRecord>>(kRingCapacity);
+  io_stop_.store(false, std::memory_order_release);
+  pipelined_ = true;  // set before the thread starts: io_loop reads it
+  io_thread_ = std::thread([this] { io_loop(); });
+  return true;
+}
+
+void TcpTransport::io_loop() {
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    // Move consensus-produced records onto the per-peer write queues; the
+    // trailing flush inside poll_sockets writes them out.
+    while (auto rec = outbound_ring_->try_pop()) {
+      enqueue_record(rec->host, rec->from, rec->to, std::move(rec->frame));
+    }
+    // The wake pipe cuts the wait short whenever the consensus thread
+    // pushes outbound work, so the cap only bounds idle latency.
+    poll_sockets(100000, /*wake_fd=*/wake_pipe_[0]);
+  }
+}
+
+std::size_t TcpTransport::drive_once(Time max_wait) {
+  std::size_t handled = 0;
+  flush_outbound_overflow();
+
+  Time wait = max_wait;
+  if (!timers_.empty()) {
+    const Time t = now();
+    wait = std::min(wait, timers_.top().at > t ? timers_.top().at - t : 0);
+  }
+  if (!loopback_.empty() || !outbound_overflow_.empty()) wait = 0;
+  if (wait > 0) {
+    std::unique_lock<std::mutex> lock(driver_mu_);
+    driver_cv_.wait_for(lock, std::chrono::microseconds(std::min<Time>(wait, 1000000)),
+                        [&] { return driver_work_; });
+    driver_work_ = false;
+  } else {
+    std::lock_guard<std::mutex> lock(driver_mu_);
+    driver_work_ = false;
+  }
+
+  // Drain what the I/O thread decoded; every pop frees a ring slot, which is
+  // what un-blocks a backpressured I/O thread.
+  while (auto d = inbound_ring_->try_pop()) {
+    if (finish_delivery(d->to, std::move(d->msg))) ++handled;
+  }
+  handled += fire_due_timers();
+  handled += drain_loopback();
+  if (has_idle_hooks()) {
+    // Executor completions post through here; they may loop back (client
+    // responses to a local node), so drain loopback once more.
+    handled += run_idle_hooks();
+    handled += drain_loopback();
+  }
+  flush_outbound_overflow();
+  return handled;
+}
+
+void TcpTransport::push_outbound(OutboundRecord rec) {
+  // Spill-first keeps per-peer FIFO: once anything waits in the overflow
+  // deque, later records must queue behind it. The consensus thread never
+  // blocks here — the I/O thread might itself be blocked pushing inbound,
+  // and the inbound ring only drains when this thread keeps running.
+  if (outbound_overflow_.empty() && outbound_ring_->try_push(rec)) {
+    wake_io();
+    return;
+  }
+  outbound_overflow_.push_back(std::move(rec));
+}
+
+std::size_t TcpTransport::flush_outbound_overflow() {
+  std::size_t moved = 0;
+  while (!outbound_overflow_.empty() &&
+         outbound_ring_->try_push(outbound_overflow_.front())) {
+    outbound_overflow_.pop_front();
+    ++moved;
+  }
+  if (moved > 0) wake_io();
+  return moved;
+}
+
+void TcpTransport::wake_io() {
+  if (wake_pipe_[1] < 0) return;
+  const std::uint8_t byte = 1;
+  // EAGAIN means a wake byte is already pending — exactly what we need.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void TcpTransport::notify_driver() {
+  {
+    std::lock_guard<std::mutex> lock(driver_mu_);
+    driver_work_ = true;
+  }
+  driver_cv_.notify_one();
+}
+
+void TcpTransport::wake() {
+  if (pipelined_) notify_driver();
 }
 
 void TcpTransport::close_fd(int& fd) {

@@ -27,19 +27,24 @@
 // injected.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/spsc_ring.hpp"
 #include "net/transport.hpp"
 
 namespace shadow::net {
@@ -65,8 +70,28 @@ struct TcpOptions {
   Time connect_retry = 50000;  // 50 ms
 };
 
-/// Poll-loop TCP implementation of net::Transport. Single-threaded: all
-/// handlers and timers run on the thread that calls poll_once()/run_for().
+/// Poll-loop TCP implementation of net::Transport.
+///
+/// Two execution modes:
+///
+///   Single-threaded (default) — all socket I/O, handlers and timers run on
+///   the thread that calls poll_once()/run_for(), exactly like the
+///   simulator's event loop.
+///
+///   Pipelined (after start_pipeline()) — a dedicated transport I/O thread
+///   owns every socket: it polls, parses and validates frames, decodes
+///   bodies through the wire registry, and writes outgoing records. The
+///   thread that calls poll_once()/run_for() becomes the consensus thread:
+///   it runs all handlers, timers and loopback deliveries. The two are
+///   connected by bounded SPSC rings whose values carry frame buffers by
+///   shared_ptr — zero payload bytes cross the boundary by copy. The
+///   consensus thread never blocks on the rings (outbound overflow spills to
+///   an unbounded consensus-side deque); the I/O thread blocks pushing
+///   inbound frames when consensus falls behind, which stalls its reads and
+///   turns into genuine TCP backpressure toward the sender.
+///
+/// Topology (add_host/add_node/set_handler) must be complete before
+/// start_pipeline(): the node table is immutable while the I/O thread runs.
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(TcpOptions options);
@@ -86,11 +111,24 @@ class TcpTransport final : public Transport {
   /// One event-loop iteration: waits at most `max_wait` µs for socket or
   /// timer activity, then drains reads, due timers, loopback deliveries,
   /// and pending writes. Returns the number of handler invocations.
+  /// In pipelined mode this drives the consensus stage only (the I/O thread
+  /// polls the sockets); the calling thread must be the same for every call.
   std::size_t poll_once(Time max_wait);
   /// Runs poll_once until `duration` µs of wall-clock have elapsed.
   std::size_t run_for(Time duration);
 
-  /// Closes every socket; the transport stays queryable but inert.
+  /// Switches to pipelined mode: spawns the transport I/O thread and hands
+  /// it the sockets. Call once, after start(), set_host_port() and the full
+  /// assembly (the topology freezes here). Returns false if the wake pipe
+  /// cannot be created.
+  bool start_pipeline();
+  bool pipelined() const { return pipelined_; }
+
+  /// Wakes the consensus thread out of its poll_once wait (thread-safe).
+  void wake() override;
+
+  /// Closes every socket; the transport stays queryable but inert. In
+  /// pipelined mode, stops and joins the I/O thread first.
   void shutdown();
 
   // -- net::Transport --------------------------------------------------------
@@ -112,8 +150,16 @@ class TcpTransport final : public Transport {
   bool stopped(NodeId node) const override;
 
   // -- stats -----------------------------------------------------------------
-  std::uint64_t messages_delivered() const { return delivered_count_; }
-  std::uint64_t wire_drops() const { return wire_drops_; }
+  std::uint64_t messages_delivered() const {
+    return delivered_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wire_drops() const { return wire_drops_.load(std::memory_order_relaxed); }
+  /// Scatter-gather write syscalls and the records they carried: the ratio
+  /// is the decision-coalescing factor (records per writev).
+  std::uint64_t writev_calls() const { return writev_calls_.load(std::memory_order_relaxed); }
+  std::uint64_t writev_records() const {
+    return writev_records_.load(std::memory_order_relaxed);
+  }
 
  private:
   class TcpContext;
@@ -171,6 +217,24 @@ class TcpTransport final : public Transport {
     std::shared_ptr<const wire::SegmentedBytes> frame;
   };
 
+  /// A decoded message crossing I/O thread → consensus thread. The body and
+  /// its backing buffers travel by shared_ptr inside `msg`.
+  struct InboundDelivery {
+    NodeId from{};
+    NodeId to{};
+    Message msg;
+  };
+
+  /// A serialized frame crossing consensus thread → I/O thread. The frame
+  /// buffer is the same shared_ptr every other destination of the multicast
+  /// holds.
+  struct OutboundRecord {
+    HostId host{};
+    NodeId from{};
+    NodeId to{};
+    std::shared_ptr<const wire::SegmentedBytes> frame;
+  };
+
   /// Serializes (sharing the cached frame) and routes one message: loopback
   /// queue for local destinations, the peer connection otherwise.
   void route(NodeId from, NodeId to, Message& msg);
@@ -189,12 +253,28 @@ class TcpTransport final : public Transport {
   /// Same for a loopback frame, fully zero-copy: the decoded body's views
   /// share the sender's original buffers.
   bool dispatch_frame_segments(NodeId from, NodeId to, const wire::SegmentedBytes& frame);
-  /// Common delivery tail: registry decode, observers, handler.
-  bool deliver_frame(NodeId from, NodeId to, Message&& msg,
-                     std::shared_ptr<const wire::SegmentedBytes> body);
+  /// Registry decode into msg.body (runs on the I/O thread when pipelined);
+  /// false = unknown header, accounted as a traced wire drop.
+  bool decode_message(NodeId from, NodeId to, Message& msg,
+                      std::shared_ptr<const wire::SegmentedBytes> body);
+  /// Delivery tail on the consensus thread: stopped check, observers,
+  /// handler invocation.
+  bool finish_delivery(NodeId to, Message&& msg);
   std::size_t fire_due_timers();
   std::size_t drain_loopback();
+  /// The socket half of one loop iteration (connects, poll, accept, reads,
+  /// flushes). `wake_fd` ≥ 0 adds the pipelined I/O thread's wake pipe to
+  /// the poll set. Returns frames dispatched.
+  std::size_t poll_sockets(Time max_wait, int wake_fd);
   void close_fd(int& fd);
+
+  // -- pipelined mode ----------------------------------------------------------
+  void io_loop();
+  std::size_t drive_once(Time max_wait);        // consensus-side poll_once
+  void push_outbound(OutboundRecord rec);        // consensus thread; never blocks
+  std::size_t flush_outbound_overflow();         // consensus thread
+  void wake_io();                                // any thread → I/O poll
+  void notify_driver();                          // any thread → consensus wait
 
   TcpOptions options_;
   Rng rng_;
@@ -215,9 +295,30 @@ class TcpTransport final : public Transport {
 
   std::deque<LoopbackRecord> loopback_;
 
+  // Debug uids are assigned on the consensus thread only (route + delivery
+  // tail), so a plain counter suffices in both modes.
   std::uint64_t msg_uid_counter_ = 0;
-  std::uint64_t delivered_count_ = 0;
-  std::uint64_t wire_drops_ = 0;
+  std::atomic<std::uint64_t> delivered_count_{0};
+  std::atomic<std::uint64_t> wire_drops_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> writev_records_{0};
+
+  // -- pipelined mode state ----------------------------------------------------
+  static constexpr std::size_t kRingCapacity = 4096;
+  bool pipelined_ = false;
+  std::atomic<bool> io_stop_{false};
+  std::thread io_thread_;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end in the I/O poll set
+  std::unique_ptr<SpscRing<InboundDelivery>> inbound_ring_;
+  std::unique_ptr<SpscRing<OutboundRecord>> outbound_ring_;
+  /// Consensus-side spill when the outbound ring is full: the consensus
+  /// thread must never block (the I/O thread could be blocked pushing
+  /// inbound at the same moment), so excess records wait here and re-enter
+  /// the ring at the top of every drive iteration.
+  std::deque<OutboundRecord> outbound_overflow_;
+  std::mutex driver_mu_;
+  std::condition_variable driver_cv_;
+  bool driver_work_ = false;  // guarded by driver_mu_
 };
 
 }  // namespace shadow::net

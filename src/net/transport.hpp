@@ -144,6 +144,24 @@ class Transport {
   virtual void stop(NodeId node) = 0;
   virtual bool stopped(NodeId node) const = 0;
 
+  // -- pipelining hooks -------------------------------------------------------
+  /// Wake the transport's event loop from another thread. Pipeline stages
+  /// call this after handing the consensus thread work through a queue (an
+  /// executor pushing a completion, an I/O thread pushing an inbound frame)
+  /// so a loop blocked in poll/wait re-evaluates immediately. Single-threaded
+  /// transports (the simulator) have nothing to wake: default no-op.
+  virtual void wake() {}
+
+  /// Register work the event loop runs whenever it completes an iteration —
+  /// after handlers, timers and loopback have drained. The hook returns how
+  /// many items it processed so the loop can treat "nonzero" as progress
+  /// (e.g. keep draining before sleeping). Used by the executor pipeline to
+  /// post transaction completions back onto the consensus thread. Hooks must
+  /// be registered before the loop starts running and are never removed.
+  void add_idle_hook(std::function<std::size_t()> hook) {
+    idle_hooks_.push_back(std::move(hook));
+  }
+
   // -- observation -----------------------------------------------------------
   void add_observer(TransportObserver* obs) { observers_.push_back(obs); }
 
@@ -161,7 +179,16 @@ class Transport {
  protected:
   const std::vector<TransportObserver*>& observers() const { return observers_; }
 
+  /// Runs every registered idle hook once; returns the total items processed.
+  std::size_t run_idle_hooks() {
+    std::size_t processed = 0;
+    for (auto& hook : idle_hooks_) processed += hook();
+    return processed;
+  }
+  bool has_idle_hooks() const { return !idle_hooks_.empty(); }
+
   std::vector<TransportObserver*> observers_;
+  std::vector<std::function<std::size_t()>> idle_hooks_;
   std::uint64_t encode_count_ = 0;
 };
 

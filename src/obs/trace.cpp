@@ -124,6 +124,7 @@ Tracer::Tracer(TracerOptions options)
 }
 
 void Tracer::sync_batch_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
   const SpliceStats& now = splice_stats();
   metrics_.counter("net.batch_encode_count")
       .add(now.batch_encodes - batch_stats_baseline_.batch_encodes);
@@ -152,9 +153,10 @@ std::uint32_t Tracer::intern(const std::string& s) {
 }
 
 Trace Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Trace trace;
   trace.strings = strings_;
-  trace.dropped = dropped();
+  trace.dropped = unlocked_dropped();
   trace.events.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     trace.events.push_back(ring_[(head_ + i) % ring_.size()]);
@@ -163,6 +165,7 @@ Trace Tracer::snapshot() const {
 }
 
 void Tracer::on_send(net::Time t, NodeId from, NodeId to, const net::Message& m) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("net.messages").add();
   metrics_.counter("net.bytes").add(m.wire_size);
   metrics_.counter("net.bytes." + m.header).add(m.wire_size);
@@ -178,6 +181,7 @@ void Tracer::on_send(net::Time t, NodeId from, NodeId to, const net::Message& m)
 }
 
 void Tracer::on_deliver(net::Time t, NodeId to, const net::Message& m) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!options_.record_messages) return;
   TraceEvent e;
   e.time = t;
@@ -190,6 +194,7 @@ void Tracer::on_deliver(net::Time t, NodeId to, const net::Message& m) {
 
 void Tracer::on_wire_drop(net::Time t, NodeId from, NodeId to, const std::string& header,
                           std::size_t wire_size, wire::FrameStatus reason) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("net.wire_drops").add();
   metrics_.counter("net.wire_drop_bytes").add(wire_size);
   TraceEvent e;
@@ -205,11 +210,13 @@ void Tracer::on_wire_drop(net::Time t, NodeId from, NodeId to, const std::string
 
 void Tracer::on_frame_encoded(net::Time /*t*/, const std::string& /*header*/,
                               std::size_t frame_size) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("net.encode_count").add();
   metrics_.counter("net.encode_bytes").add(frame_size);
 }
 
 void Tracer::on_crash(net::Time t, NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("replica.crashes").add();
   TraceEvent e;
   e.time = t;
@@ -219,6 +226,7 @@ void Tracer::on_crash(net::Time t, NodeId node) {
 }
 
 void Tracer::tob_broadcast(net::Time t, NodeId node, ClientId client, RequestSeq seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("tob.broadcasts").add();
   TraceEvent e;
   e.time = t;
@@ -230,6 +238,7 @@ void Tracer::tob_broadcast(net::Time t, NodeId node, ClientId client, RequestSeq
 }
 
 void Tracer::tob_propose(net::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("tob.proposals").add();
   slot_proposed_at_.try_emplace(slot, t);
   TraceEvent e;
@@ -242,6 +251,7 @@ void Tracer::tob_propose(net::Time t, NodeId node, Slot slot, std::size_t batch_
 }
 
 void Tracer::tob_decide(net::Time t, NodeId node, Slot slot, std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Decide latency and batch size are per-slot metrics: count the first
   // node's decide only (every node learns every slot).
   if (slot_decided_at_.try_emplace(slot, t).second) {
@@ -262,6 +272,7 @@ void Tracer::tob_decide(net::Time t, NodeId node, Slot slot, std::size_t batch_s
 
 void Tracer::tob_deliver(net::Time t, NodeId node, Slot slot, std::uint64_t index,
                          ClientId client, RequestSeq seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("tob.deliveries").add();
   TraceEvent e;
   e.time = t;
@@ -276,6 +287,7 @@ void Tracer::tob_deliver(net::Time t, NodeId node, Slot slot, std::uint64_t inde
 
 void Tracer::ballot(net::Time t, NodeId node, std::uint64_t round, NodeId leader,
                     BallotPhase phase) {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (phase) {
     case BallotPhase::kScout: metrics_.counter("paxos.scouts").add(); break;
     case BallotPhase::kAdopted: metrics_.counter("paxos.adoptions").add(); break;
@@ -292,6 +304,7 @@ void Tracer::ballot(net::Time t, NodeId node, std::uint64_t round, NodeId leader
 }
 
 void Tracer::round(net::Time t, NodeId node, Slot slot, std::uint64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("two_third.round_advances").add();
   TraceEvent e;
   e.time = t;
@@ -304,6 +317,7 @@ void Tracer::round(net::Time t, NodeId node, Slot slot, std::uint64_t round) {
 
 void Tracer::txn_begin(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                        const std::string& proc) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("txn.begun").add();
   txn_begun_at_.try_emplace({client.value, seq}, t);
   TraceEvent e;
@@ -319,6 +333,7 @@ void Tracer::txn_begin(net::Time t, NodeId node, ClientId client, RequestSeq seq
 void Tracer::txn_execute(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                          std::uint64_t order, bool duplicate, bool committed,
                          const std::string& proc) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (duplicate) {
     metrics_.counter("txn.duplicates_suppressed").add();
   } else {
@@ -340,6 +355,7 @@ void Tracer::txn_execute(net::Time t, NodeId node, ClientId client, RequestSeq s
 
 void Tracer::txn_ack(net::Time t, NodeId node, ClientId client, RequestSeq seq,
                      bool committed) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter(committed ? "txn.committed" : "txn.aborts_answered").add();
   if (const auto it = txn_begun_at_.find({client.value, seq}); it != txn_begun_at_.end()) {
     metrics_.histogram("txn.latency_us").observe(t - it->second);
@@ -355,6 +371,7 @@ void Tracer::txn_ack(net::Time t, NodeId node, ClientId client, RequestSeq seq,
 }
 
 void Tracer::recover(net::Time t, NodeId node, std::uint64_t up_to_order) {
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("replica.recoveries").add();
   TraceEvent e;
   e.time = t;
@@ -366,6 +383,7 @@ void Tracer::recover(net::Time t, NodeId node, std::uint64_t up_to_order) {
 
 void Tracer::state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                             NodeId peer) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (phase == StatePhase::kBatch) {
     metrics_.counter("state_transfer.batches").add();
     metrics_.counter("state_transfer.bytes").add(bytes);
@@ -380,6 +398,16 @@ void Tracer::state_transfer(net::Time t, NodeId node, StatePhase phase, std::uin
   e.b = bytes;
   e.c = peer.value;
   append(e);
+}
+
+void Tracer::observe(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.histogram(name).observe(value);
+}
+
+void Tracer::count(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.counter(name).add(delta);
 }
 
 // ----------------------------------------------------------- JSONL export --

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -99,6 +100,15 @@ struct TracerOptions {
 /// Records events and derives metrics. Attach to a net::Transport to capture
 /// network-level send/deliver/crash automatically; protocol components call
 /// the typed hooks through the `Tracer*` in their configs.
+///
+/// Thread safety: every recording hook (the TransportObserver overrides, the
+/// typed tob_*/txn_*/ballot/... methods, observe()/count()), snapshot() and
+/// sync_batch_stats() lock an internal mutex, so one Tracer may be fed from
+/// a pipelined node's I/O, consensus, and executor threads concurrently.
+/// The unsynchronized escape hatch is metrics(): it hands out references
+/// into the registry, so call it only after the run has quiesced (threads
+/// joined or known idle), or use the locked observe()/count() helpers while
+/// stages are live.
 class Tracer final : public net::TransportObserver {
  public:
   explicit Tracer(TracerOptions options = {});
@@ -141,6 +151,13 @@ class Tracer final : public net::TransportObserver {
   void state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                       NodeId peer);
 
+  // -- thread-safe metric helpers --------------------------------------------
+  /// Locked histogram observation / counter bump for callers on pipeline
+  /// stage threads (metrics() itself is reference-returning and therefore
+  /// only safe on a quiesced tracer).
+  void observe(const std::string& name, std::uint64_t value);
+  void count(const std::string& name, std::uint64_t delta = 1);
+
   /// Folds the process-wide zero-copy batch counters (wire::batch_stats())
   /// into this tracer's metrics as net.batch_encode_count /
   /// net.batch_splices / net.batch_bytes_copied, counting only the deltas
@@ -154,13 +171,26 @@ class Tracer final : public net::TransportObserver {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t dropped() const { return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0; }
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+  }
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return unlocked_dropped();
+  }
 
  private:
-  void append(TraceEvent e);
-  std::uint32_t intern(const std::string& s);
+  void append(TraceEvent e);  // caller holds mu_
+  std::uint32_t intern(const std::string& s);  // caller holds mu_
+  std::uint64_t unlocked_dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
 
+  /// One lock for everything: the ring, the string table, the metrics
+  /// registry, and the derived-metric maps. Recording is a few map lookups
+  /// and a vector write — contention is negligible next to a socket hop.
+  mutable std::mutex mu_;
   TracerOptions options_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;          // next write position once the ring is full

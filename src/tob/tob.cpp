@@ -11,6 +11,8 @@ TobNode::TobNode(net::Transport& world, NodeId self, TobConfig config,
                  consensus::SafetyRecorder* safety)
     : world_(world), self_(self), config_(std::move(config)) {
   SHADOW_REQUIRE(!config_.nodes.empty());
+  SHADOW_REQUIRE(config_.batch_min >= 1 && config_.batch_min <= config_.batch_max);
+  batch_limit_ = config_.adaptive_batching ? config_.batch_min : config_.batch_max;
 
   if (config_.protocol == Protocol::kPaxos) {
     consensus::PaxosConfig pc = config_.paxos;
@@ -195,6 +197,23 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   if (outstanding_.size() >= config_.max_outstanding) return;
   const bool window_closed = ctx.now() - oldest_pending_since_ >= config_.batch_delay;
 
+  // Load-adaptive proposal sizing: the cap doubles while the backlog (queued
+  // commands plus the downstream probe, e.g. the executor pipeline's queue
+  // depth) exceeds it, and halves once the backlog drains below a quarter of
+  // it — big batches exactly while the pipeline is saturated, single-command
+  // proposals (minimum latency) when idle.
+  if (config_.adaptive_batching) {
+    std::size_t backlog = eligible;
+    for (const RelayedUnit& unit : relayed_units_) backlog += unit.batch.size();
+    if (backlog_probe_) backlog += backlog_probe_();
+    if (backlog > batch_limit_) {
+      batch_limit_ = std::min(batch_limit_ * 2, config_.batch_max);
+    } else if (backlog <= batch_limit_ / 4) {
+      batch_limit_ = std::max(batch_limit_ / 2, config_.batch_min);
+    }
+  }
+  const std::size_t batch_cap = batch_limit_;
+
   // A proposal merges (a) queued relayed units, spliced by reference — no
   // re-encode of bytes that already travelled — and (b) locally-pending
   // commands, serialized once. Units bypass the batching window: they
@@ -202,16 +221,16 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   BatchBuilder builder;
   while (!relayed_units_.empty()) {
     const RelayedUnit& unit = relayed_units_.front();
-    if (!builder.empty() && builder.size() + unit.batch.size() > config_.batch_max) break;
+    if (!builder.empty() && builder.size() + unit.batch.size() > batch_cap) break;
     builder.add(unit.batch);
     relayed_units_.pop_front();
   }
-  if (builder.empty() && eligible < config_.batch_max && !window_closed) return;
+  if (builder.empty() && eligible < batch_cap && !window_closed) return;
 
   // Only locally-proposable commands enter the batch: everything when we
   // are (or may become) the proposer, otherwise only expired relays.
   for (PendingCommand& p : pending_) {
-    if (builder.size() >= config_.batch_max) break;
+    if (builder.size() >= batch_cap) break;
     if (p.in_flight) continue;
     if (relaying && !p.relay_expired) continue;
     p.in_flight = true;
@@ -225,7 +244,12 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   // Proposal processing is charged where the consensus module handles the
   // px-propose message; here we only pay control-path dispatch.
   config_.profile.charge_control(ctx);
-  if (config_.tracer) config_.tracer->tob_propose(ctx.now(), self_, slot, batch.size());
+  if (config_.tracer) {
+    config_.tracer->tob_propose(ctx.now(), self_, slot, batch.size());
+    if (config_.adaptive_batching) {
+      config_.tracer->observe("net.batch_size_adaptive", batch_limit_);
+    }
+  }
   module_->propose(ctx, slot, batch);
   oldest_pending_since_ = ctx.now();
 }
@@ -268,6 +292,7 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
       }
 
       if (local_subscriber_) local_subscriber_(ctx, it->first, index, cmd);
+      // (A whole-slot batch_subscriber_ is notified once, below.)
       // Ack the broadcaster if the command entered the system through us —
       // unless we relayed it to the leader, whose own pending entry acks
       // (exactly one ack in the normal case; duplicates can only arise in
@@ -284,15 +309,19 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
         }
       }
     }
-    // Remote subscribers get one deliver per slot carrying the decided
-    // sub-frame as-is; only a slot containing duplicates (client retries)
-    // needs a fresh sub-frame for the delivered subset.
-    if (!fresh.empty() && !remote_subscribers_.empty()) {
-      const DeliverBody body{it->first, base_index,
-                             fresh.size() == batch.size() ? encoded
-                                                          : EncodedBatch{std::move(fresh)}};
-      for (NodeId sub : remote_subscribers_) {
-        ctx.send(sub, net::make_msg(kDeliverHeader, body));
+    // Whole-slot subscribers (local batch subscriber and remote tob-deliver)
+    // get the decided sub-frame as-is — the same bytes consensus agreed on,
+    // spliced, never re-encoded; only a slot containing duplicates (client
+    // retries) needs a fresh sub-frame for the delivered subset.
+    if (!fresh.empty() && (batch_subscriber_ || !remote_subscribers_.empty())) {
+      const EncodedBatch out = fresh.size() == batch.size() ? encoded
+                                                            : EncodedBatch{std::move(fresh)};
+      if (batch_subscriber_) batch_subscriber_(ctx, it->first, base_index, out);
+      if (!remote_subscribers_.empty()) {
+        const DeliverBody body{it->first, base_index, out};
+        for (NodeId sub : remote_subscribers_) {
+          ctx.send(sub, net::make_msg(kDeliverHeader, body));
+        }
       }
     }
     ++next_deliver_slot_;

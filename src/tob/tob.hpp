@@ -94,6 +94,15 @@ struct TobConfig {
   std::size_t batch_max = 64;
   std::size_t max_outstanding = 1;  // proposals in flight per node (natural batching)
   net::Time batch_delay = 0;        // optional extra linger for batching, µs
+  /// Load-adaptive batch sizing: the proposal cap starts at `batch_min` and
+  /// doubles (up to `batch_max`) while the backlog — pending commands,
+  /// queued relayed units, and whatever set_backlog_probe() reports (the
+  /// executor pipeline's queue depth) — exceeds it, then halves back toward
+  /// `batch_min` when the backlog drains below a quarter of the cap. Grows
+  /// batches under load, shrinks toward single-command latency when idle.
+  /// The live cap is exported as the `net.batch_size_adaptive` histogram.
+  bool adaptive_batching = false;
+  std::size_t batch_min = 1;
   net::Time tick_period = 5000;     // µs driver for consensus timeouts
   net::Time relay_timeout = 500000; // relayed commands not delivered by then
                                     // are proposed locally (leader may be dead)
@@ -105,12 +114,32 @@ struct TobConfig {
 class TobNode {
  public:
   using LocalDeliverFn = std::function<void(net::NodeContext&, Slot, std::uint64_t, const Command&)>;
+  /// Whole-slot local delivery: (ctx, slot, base_index, batch) where the
+  /// i-th command of `batch` has global delivery index `base_index + i`.
+  using LocalDeliverBatchFn =
+      std::function<void(net::NodeContext&, Slot, std::uint64_t, const EncodedBatch&)>;
 
   TobNode(net::Transport& world, NodeId self, TobConfig config,
           consensus::SafetyRecorder* safety = nullptr);
 
   /// Local subscriber (e.g. a co-located SMR database replica).
   void subscribe_local(LocalDeliverFn fn) { local_subscriber_ = std::move(fn); }
+
+  /// Whole-slot local subscriber: one call per decided slot, carrying the
+  /// decided `EncodedBatch` by reference (no re-encode) so a pipelined
+  /// replica can hand it across its executor thread boundary as a splice.
+  /// Per-command dedup/ack/log bookkeeping still happens here first.
+  void subscribe_local_batch(LocalDeliverBatchFn fn) { batch_subscriber_ = std::move(fn); }
+
+  /// Adaptive batching's view of downstream congestion: called (on the
+  /// consensus thread) each time a proposal is sized; typically wired to the
+  /// local replica's executor-pipeline queue depth.
+  void set_backlog_probe(std::function<std::size_t()> probe) {
+    backlog_probe_ = std::move(probe);
+  }
+
+  /// The live adaptive proposal cap (== batch_max when adaptation is off).
+  std::size_t batch_limit() const { return batch_limit_; }
 
   /// Remote subscriber: receives tob-deliver messages for every delivery.
   void add_remote_subscriber(NodeId node) { remote_subscribers_.push_back(node); }
@@ -162,6 +191,9 @@ class TobNode {
   std::set<std::pair<std::uint32_t, RequestSeq>> delivered_keys_;  // dedup guard
   std::vector<Command> delivery_log_;
   LocalDeliverFn local_subscriber_;
+  LocalDeliverBatchFn batch_subscriber_;
+  std::function<std::size_t()> backlog_probe_;
+  std::size_t batch_limit_ = 0;  // live adaptive cap, set in the constructor
   std::vector<NodeId> remote_subscribers_;
   bool tick_armed_ = false;
 };

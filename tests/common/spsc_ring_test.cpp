@@ -1,0 +1,161 @@
+// SpscRing: the pipeline's thread-boundary queue. Wraparound, FIFO order
+// under concurrency, backpressure blocking, shutdown drain, and the
+// move-only value contract — all also run under the TSan gate in check.sh.
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace shadow {
+namespace {
+
+TEST(SpscRing, FifoThroughWraparound) {
+  SpscRing<int> ring(4);
+  int next_in = 0;
+  int next_out = 0;
+  // Push/pop in a pattern that forces head_ to lap the storage repeatedly.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      int v = next_in++;
+      ASSERT_TRUE(ring.try_push(v));
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_out++);
+    }
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRing, TryPushFailsOnFullWithoutConsumingTheValue) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  auto c = std::make_unique<int>(3);
+  ASSERT_TRUE(ring.try_push(a));
+  ASSERT_TRUE(ring.try_push(b));
+  EXPECT_EQ(a, nullptr);  // moved from on success
+  ASSERT_FALSE(ring.try_push(c));
+  ASSERT_NE(c, nullptr);  // left intact on failure
+  EXPECT_EQ(*c, 3);
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SpscRing, PushBlocksUntilConsumerMakesRoom) {
+  SpscRing<int> ring(1);
+  int one = 1;
+  ASSERT_TRUE(ring.try_push(one));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int two = 2;
+    EXPECT_TRUE(ring.push(std::move(two)));  // must block: ring is full
+    pushed.store(true);
+  });
+
+  // Give the producer a real chance to (incorrectly) complete early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+
+  auto v = ring.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  auto w = ring.pop();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 2);
+}
+
+TEST(SpscRing, PopBlocksUntilProducerDelivers) {
+  SpscRing<int> ring(4);
+  std::thread consumer([&] {
+    auto v = ring.pop();  // blocks: ring starts empty
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int v = 42;
+  ASSERT_TRUE(ring.try_push(v));
+  consumer.join();
+}
+
+TEST(SpscRing, CloseWakesBlockedProducerAndFailsThePush) {
+  SpscRing<int> ring(1);
+  int one = 1;
+  ASSERT_TRUE(ring.try_push(one));
+  std::thread producer([&] {
+    int two = 2;
+    EXPECT_FALSE(ring.push(std::move(two)));  // blocked full, then closed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  producer.join();
+}
+
+TEST(SpscRing, ShutdownDrainDeliversQueuedValuesThenReportsExhaustion) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  ring.close();
+  int rejected = 99;
+  EXPECT_FALSE(ring.try_push(rejected));
+  // Values pushed before close() still come out, in order.
+  for (int i = 0; i < 3; ++i) {
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  // Only then does the closed ring report exhaustion (and never blocks).
+  EXPECT_FALSE(ring.pop().has_value());
+  EXPECT_FALSE(ring.try_pop().has_value());
+  EXPECT_FALSE(ring.pop_for(std::chrono::microseconds(1000)).has_value());
+}
+
+TEST(SpscRing, PopForTimesOutOnAnEmptyOpenRing) {
+  SpscRing<int> ring(2);
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ring.pop_for(std::chrono::microseconds(10000)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::microseconds(5000));
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesOrderAndCount) {
+  constexpr int kValues = 20000;
+  SpscRing<int> ring(8);  // small: exercises both full and empty waits
+  std::thread producer([&] {
+    for (int i = 0; i < kValues; ++i) {
+      ASSERT_TRUE(ring.push(std::move(i)));
+    }
+    ring.close();
+  });
+  int expected = 0;
+  while (auto v = ring.pop()) {
+    ASSERT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kValues);
+}
+
+TEST(SpscRing, SharedPtrCrossesWithoutCopyingThePointee) {
+  SpscRing<std::shared_ptr<std::vector<int>>> ring(2);
+  auto payload = std::make_shared<std::vector<int>>(1000, 7);
+  const std::vector<int>* raw = payload.get();
+  ASSERT_TRUE(ring.try_push(payload));
+  auto out = ring.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->get(), raw);  // same object: moved by reference, not copied
+  EXPECT_EQ((*out)->size(), 1000u);
+}
+
+}  // namespace
+}  // namespace shadow

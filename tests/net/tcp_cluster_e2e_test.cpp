@@ -45,10 +45,13 @@ struct Process {
   std::unique_ptr<DbClient> client;
 };
 
-enum class Mode { kPbr, kSmr };
+enum class Mode { kPbr, kSmr, kSmrPipelined };
 
 class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
  protected:
+  static bool pbr() { return GetParam() == Mode::kPbr; }
+  static bool pipelined() { return GetParam() == Mode::kSmrPipelined; }
+
   /// Binds all transports (ephemeral ports), exchanges the discovered ports,
   /// and runs the identical assembly in each. Returns false if sockets are
   /// unavailable.
@@ -91,8 +94,12 @@ class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
     opts.registry = p.registry;
     opts.tracer = p.tracer.get();
     opts.loader = [this](db::Engine& e) { workload::bank::load(e, bank_); };
+    // Pipelined mode: per-process I/O + consensus + DB-executor threads,
+    // decided batches spliced across SPSC rings, adaptive proposal sizing.
+    opts.smr.pipelined_execution = pipelined();
+    opts.tob_adaptive_batching = pipelined();
 
-    if (GetParam() == Mode::kPbr) {
+    if (pbr()) {
       p.pbr = make_pbr_cluster(t, opts);
     } else {
       p.smr = make_smr_cluster(t, opts);
@@ -102,9 +109,8 @@ class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
     // only runs where it is local (host kClientHost).
     p.client_node = t.add_node("client1");
     DbClient::Options options;
-    options.mode = GetParam() == Mode::kPbr ? DbClient::Mode::kDirect : DbClient::Mode::kTob;
-    options.targets = GetParam() == Mode::kPbr ? p.pbr.request_targets()
-                                               : p.smr.broadcast_targets();
+    options.mode = pbr() ? DbClient::Mode::kDirect : DbClient::Mode::kTob;
+    options.targets = pbr() ? p.pbr.request_targets() : p.smr.broadcast_targets();
     options.txn_limit = kTxns;
     options.retry_timeout = 2000000;
     options.tracer = p.tracer.get();
@@ -115,6 +121,10 @@ class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
           return std::make_pair(std::string(workload::bank::kDepositProc),
                                 workload::bank::make_deposit(*rng, cfg));
         });
+
+    // Topology frozen: hand the sockets to this "process"'s I/O thread. The
+    // test thread remains the consensus thread of all four transports.
+    if (pipelined()) ASSERT_TRUE(t.start_pipeline());
   }
 
   /// Round-robin event-loop pump across all "processes".
@@ -128,16 +138,20 @@ class TcpClusterE2eTest : public ::testing::TestWithParam<Mode> {
   DbClient& client() { return *processes_[kClientHost].client; }
 
   /// Stats of the replica local to server host `h`, read from that host's
-  /// own process (the only one where the object actually executed).
+  /// own process (the only one where the object actually executed). A
+  /// pipelined replica is quiesced first — its executor thread owns the
+  /// engine until the pipeline drains.
   std::uint64_t replica_executed(std::size_t h) {
     Process& p = processes_[h];
-    return GetParam() == Mode::kPbr ? p.pbr.replicas[h]->executed()
-                                    : p.smr.replicas[h]->executed();
+    if (pbr()) return p.pbr.replicas[h]->executed();
+    p.smr.replicas[h]->quiesce();
+    return p.smr.replicas[h]->executed();
   }
   std::uint64_t replica_digest(std::size_t h) {
     Process& p = processes_[h];
-    return GetParam() == Mode::kPbr ? p.pbr.replicas[h]->state_digest()
-                                    : p.smr.replicas[h]->state_digest();
+    if (pbr()) return p.pbr.replicas[h]->state_digest();
+    p.smr.replicas[h]->quiesce();
+    return p.smr.replicas[h]->state_digest();
   }
 
   workload::bank::BankConfig bank_{1000, 0};
@@ -190,19 +204,35 @@ TEST_P(TcpClusterE2eTest, BankWorkloadCommitsAndPassesTheChecker) {
   // heartbeat-suspicion reconfigs on a stalled CI machine).
   const SpliceStats& splices = splice_stats();
   EXPECT_EQ(splices.batch_bytes_copied, splice_base.batch_bytes_copied);
-  if (GetParam() == Mode::kSmr) {
+  if (!pbr()) {
     EXPECT_GE(splices.batch_encodes - splice_base.batch_encodes, 1u);
     EXPECT_LE(splices.batch_encodes - splice_base.batch_encodes, kTxns * 2);
   } else {
     EXPECT_LE(splices.batch_encodes - splice_base.batch_encodes, 5u);
   }
+
+  // Pipelined mode: the decided batches crossed two thread boundaries
+  // (I/O → consensus as frames, consensus → executor as handoffs) and still
+  // copied zero payload bytes; the send path coalesced queued records into
+  // scatter-gather writes (records per writev >= 1 by construction).
+  if (pipelined()) {
+    for (std::size_t h = 0; h < kHostCount; ++h) {
+      EXPECT_TRUE(processes_[h].transport->pipelined()) << "host " << h;
+      EXPECT_GE(processes_[h].transport->writev_records(),
+                processes_[h].transport->writev_calls())
+          << "host " << h;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, TcpClusterE2eTest,
-                         ::testing::Values(Mode::kPbr, Mode::kSmr),
+                         ::testing::Values(Mode::kPbr, Mode::kSmr, Mode::kSmrPipelined),
                          [](const ::testing::TestParamInfo<Mode>& info) {
-                           return info.param == Mode::kPbr ? std::string("Pbr")
-                                                           : std::string("Smr");
+                           switch (info.param) {
+                             case Mode::kPbr: return std::string("Pbr");
+                             case Mode::kSmr: return std::string("Smr");
+                             default: return std::string("SmrPipelined");
+                           }
                          });
 
 }  // namespace
