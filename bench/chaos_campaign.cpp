@@ -1,0 +1,119 @@
+// Chaos campaign driver: robustness as a measured quantity.
+//
+// Runs N seeded multi-fault plans (crashes, leader failover, partitions,
+// byte-level link faults, reconfiguration mid-state-transfer) against the
+// simulated ShadowDB-SMR cluster under bank load, asserts every offline
+// checker after each run, and reports survived faults and throughput under
+// faults. A failing plan prints its replay seed and the minimized schedule.
+//
+//   chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]
+//                  [--replay PLAN_SEED] [--no-minimize] [--verbose]
+//
+// Exit status is non-zero iff any plan fails a checker (or fails to
+// complete before the virtual-time horizon), so check.sh can gate on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "chaos/campaign.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* s) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "bad number: %s\n", s);
+    std::exit(2);
+  }
+  return v;
+}
+
+void print_outcome(const shadow::chaos::PlanOutcome& outcome, bool verbose) {
+  std::printf("plan seed=%llu  events=%zu  injected=%zu  %s  committed=%llu  "
+              "virtual=%.2fs  %.0f txn/s\n",
+              static_cast<unsigned long long>(outcome.plan.seed), outcome.plan.events.size(),
+              outcome.faults_injected, outcome.ok() ? "OK  " : "FAIL",
+              static_cast<unsigned long long>(outcome.committed),
+              static_cast<double>(outcome.virtual_duration) / 1e6, outcome.txn_per_sec());
+  if (verbose || !outcome.ok()) {
+    std::printf("  %s\n", outcome.plan.describe().c_str());
+  }
+  if (!outcome.ok()) {
+    if (!outcome.completed) std::printf("  clients did not finish before the horizon\n");
+    std::printf("  %s\n", outcome.check.summary().c_str());
+    std::printf("  replay: chaos_campaign --replay %llu\n",
+                static_cast<unsigned long long>(outcome.plan.seed));
+    if (outcome.minimized) {
+      std::printf("  minimized to %zu event(s):\n  %s\n", outcome.minimized->events.size(),
+                  outcome.minimized->describe().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shadow::chaos::CampaignConfig config;
+  std::optional<std::uint64_t> replay_seed;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--plans") {
+      config.plans = parse_u64(next());
+    } else if (arg == "--seed") {
+      config.seed = parse_u64(next());
+    } else if (arg == "--txns") {
+      config.txns_per_client = parse_u64(next());
+    } else if (arg == "--clients") {
+      config.clients = parse_u64(next());
+    } else if (arg == "--replay") {
+      replay_seed = parse_u64(next());
+    } else if (arg == "--no-minimize") {
+      config.minimize = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]\n"
+                   "                      [--replay PLAN_SEED] [--no-minimize] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  if (replay_seed) {
+    shadow::chaos::PlanOutcome outcome = shadow::chaos::replay(*replay_seed, config);
+    if (!outcome.ok() && config.minimize) {
+      outcome.minimized = shadow::chaos::minimize_plan(outcome.plan, config);
+    }
+    print_outcome(outcome, /*verbose=*/true);
+    return outcome.ok() ? 0 : 1;
+  }
+
+  std::printf("chaos campaign: %zu plans, campaign seed %llu, %zu clients x %zu txns\n",
+              config.plans, static_cast<unsigned long long>(config.seed), config.clients,
+              config.txns_per_client);
+  const shadow::chaos::CampaignResult result = shadow::chaos::run_campaign(config);
+  for (const auto& outcome : result.outcomes) print_outcome(outcome, verbose);
+
+  double virtual_secs = 0.0;
+  for (const auto& outcome : result.outcomes) {
+    virtual_secs += static_cast<double>(outcome.virtual_duration) / 1e6;
+  }
+  std::printf("summary: %zu/%zu plans passed, %zu faults survived, %llu txns committed, "
+              "%.0f txn/s under faults\n",
+              result.outcomes.size() - result.failures, result.outcomes.size(),
+              result.total_faults, static_cast<unsigned long long>(result.total_committed),
+              virtual_secs == 0.0 ? 0.0 : static_cast<double>(result.total_committed) / virtual_secs);
+  return result.ok() ? 0 : 1;
+}

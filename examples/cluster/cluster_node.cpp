@@ -52,16 +52,21 @@ struct Args {
                             // every process must pass the same value)
   std::uint64_t run_for_ms = 20000;  // server lifetime / client deadline
   std::string trace_path;
+  bool rejoin = false;           // SMR only: restarted process, rejoin via snapshot
+  std::uint64_t suspect_ms = 10000;  // SMR failure-detection suspicion timeout
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
                " [--txns N] [--clients C] [--pipelined] [--run-for-ms M] [--trace FILE]\n"
+               "       [--rejoin] [--suspect-ms M]\n"
                "       cluster_node check TRACE...\n"
                "  --pipelined (smr only) runs each process as a 3-stage pipeline\n"
-               "  (I/O / consensus / DB executor threads) with adaptive batching\n",
-               kHostCount - 1);
+               "  (I/O / consensus / DB executor threads) with adaptive batching\n"
+               "  --rejoin (smr, hosts 1..%zu) marks this process as a crash-restart:\n"
+               "  it fetches a snapshot from host 0's replica and resumes mid-stream\n",
+               kHostCount - 1, kServerHosts - 1);
   std::exit(2);
 }
 
@@ -95,7 +100,7 @@ int run_node(const Args& args) {
     return 3;
   }
 
-  obs::Tracer tracer({.capacity = 1 << 18, .record_messages = false});
+  obs::Tracer tracer({.capacity = 1 << 19, .record_messages = false});
   tracer.attach(transport);
 
   auto registry = std::make_shared<workload::ProcedureRegistry>();
@@ -109,6 +114,7 @@ int run_node(const Args& args) {
   opts.tracer = &tracer;
   opts.loader = [&bank](db::Engine& e) { workload::bank::load(e, bank); };
   opts.smr.pipelined_execution = args.pipelined;
+  opts.smr.suspect_timeout = args.suspect_ms * 1000;
   opts.tob_adaptive_batching = args.pipelined;
 
   // Identical assembly in every process; only local nodes execute here.
@@ -143,6 +149,18 @@ int run_node(const Args& args) {
                                   workload::bank::make_deposit(*rng, bank));
           }));
     }
+  }
+
+  if (args.rejoin) {
+    // Crash-restart: this process replaces a SIGKILLed incarnation of the
+    // same host. Pause our TOB node, ask host 0's replica for a snapshot,
+    // and resume mid-stream. The rejoin sequence number is the shared
+    // monotonic clock in µs — unique across this host's incarnations.
+    const auto seq = static_cast<RequestSeq>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    smr.replicas[args.host]->start_rejoin(smr.tob_nodes[0], smr.replica_nodes[0], seq);
   }
 
   // The topology is frozen: hand the sockets to the transport I/O thread.
@@ -251,6 +269,10 @@ int main(int argc, char** argv) {
       args.run_for_ms = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--trace") {
       args.trace_path = value();
+    } else if (flag == "--rejoin") {
+      args.rejoin = true;
+    } else if (flag == "--suspect-ms") {
+      args.suspect_ms = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       usage();
     }
@@ -258,5 +280,8 @@ int main(int argc, char** argv) {
   if (args.host >= kHostCount) usage();
   if (args.clients == 0) usage();
   if (args.pipelined && args.pbr) usage();  // the pipeline is the SMR path
+  // Rejoin is the SMR snapshot path; host 0 serves the snapshots (and holds
+  // the Paxos leader), so it is never the one restarting.
+  if (args.rejoin && (args.pbr || args.host == 0 || args.host >= kClientHost)) usage();
   return run_node(args);
 }

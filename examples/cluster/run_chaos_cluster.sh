@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Chaos mode for the real localhost ShadowDB-SMR cluster: SIGKILL server
+# processes mid-load and restart them with --rejoin, which fetches a snapshot
+# from host 0's replica and resumes the restarted TOB node mid-stream.
+#
+#   run_chaos_cluster.sh [txns] [base_port] [run_ms] [cycles] [clients]
+#
+# Hosts 1 and 2 are killed alternately (`cycles` times total); host 0 — the
+# Paxos leader and snapshot server — always survives, since the acceptors
+# keep their promises in memory only. A SIGKILLed process loses its trace
+# (exactly like its in-memory state); every surviving incarnation exports one
+# trace generation, and the merged generations must still pass the offline
+# checker.
+#
+# Exits 0 iff every transaction committed, every restart rejoined, AND the
+# merged traces pass total order, at-most-once, durability, and strict
+# serializability.
+set -u
+
+TXNS="${1:-40000}"
+BASE_PORT="${2:-$((36200 + RANDOM % 1000))}"
+RUN_MS="${3:-60000}"
+CYCLES="${4:-5}"
+CLIENTS="${5:-2}"
+SUSPECT_MS=120000  # keep false suspicions out of the restart windows
+BIN="$(dirname "$0")/cluster_node"
+[ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
+
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+START_MS="$(date +%s%3N)"
+remaining_ms() {
+  local left=$((RUN_MS - ($(date +%s%3N) - START_MS)))
+  echo $((left > 5000 ? left : 5000))
+}
+
+launch() {  # launch HOST GENERATION [--rejoin]
+  local h="$1" gen="$2"; shift 2
+  "$BIN" --mode smr --host "$h" --base-port "$BASE_PORT" \
+         --trace "$WORK/t${h}.g${gen}.jsonl" --run-for-ms "$(remaining_ms)" \
+         --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" "$@" &
+  SERVER_PID[$h]=$!
+}
+
+echo "== ShadowDB-SMR chaos on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)):" \
+     "${TXNS} txns, ${CLIENTS} clients, ${CYCLES} kill/restart cycles =="
+declare -a SERVER_PID
+for h in 0 1 2; do launch "$h" 0; done
+sleep 0.2
+
+"$BIN" --mode smr --host 3 --base-port "$BASE_PORT" \
+       --trace "$WORK/t3.jsonl" --txns "$TXNS" --run-for-ms "$RUN_MS" \
+       --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" &
+CLIENT_PID=$!
+
+GEN1=0; GEN2=0
+for ((c = 1; c <= CYCLES; ++c)); do
+  sleep 1.0
+  if ((c % 2)); then victim=1; gen=$((++GEN1)); else victim=2; gen=$((++GEN2)); fi
+  echo "-- cycle $c: SIGKILL host $victim (pid ${SERVER_PID[$victim]}), restart with --rejoin"
+  kill -9 "${SERVER_PID[$victim]}" 2>/dev/null
+  wait "${SERVER_PID[$victim]}" 2>/dev/null
+  sleep 0.5
+  launch "$victim" "$gen" --rejoin
+done
+
+wait "$CLIENT_PID"
+CLIENT_RC=$?
+wait "${SERVER_PID[0]}" "${SERVER_PID[1]}" "${SERVER_PID[2]}" 2>/dev/null
+
+"$BIN" check "$WORK"/t*.jsonl
+CHECK_RC=$?
+
+if [ "$CLIENT_RC" -eq 0 ] && [ "$CHECK_RC" -eq 0 ]; then
+  echo "PASS: survived ${CYCLES} kill/restart cycles under load; checker found no violations"
+  exit 0
+fi
+echo "FAIL: client rc=$CLIENT_RC checker rc=$CHECK_RC"
+exit 1

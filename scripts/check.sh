@@ -18,9 +18,15 @@
 #     cross-thread hand-offs stay provably race-free;
 #   * the wire round-trip suite under extra corruption seeds;
 #   * PBR + SMR end-to-end in the simulator's wire-fidelity mode;
+#   * a fixed-seed chaos campaign: 20 seeded multi-fault schedules (crashes,
+#     leader failover, partitions, link faults) against the simulated SMR
+#     cluster, which must commit everything with zero checker violations —
+#     plus a smaller campaign and the TCP chaos suite under TSan;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
 #     bank workload, and the offline trace checker (skipped gracefully when
-#     the environment forbids sockets), single-threaded and pipelined.
+#     the environment forbids sockets), single-threaded and pipelined — and
+#     the chaos launcher, which SIGKILLs and rejoins server processes
+#     mid-load (run_chaos_cluster.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -85,6 +91,19 @@ if [[ "${1:-}" != "--fast" ]]; then
     --gtest_filter='WireFidelity.PbrEndToEndWithRealBytesOnEveryLink:WireFidelity.SmrEndToEndWithRealBytesOnEveryLink' \
     >/dev/null
 
+  echo "== chaos: fixed-seed campaign against the simulated SMR cluster =="
+  # Deterministic CI gate: these exact 20 fault schedules once exposed a
+  # Paxos retransmission wedge; a regression prints the failing plan's
+  # replay seed and its minimized schedule.
+  timeout 600 ./build/bench/chaos_campaign --plans 20 --seed 20140623 >/dev/null
+
+  echo "== chaos: TSan campaign + TCP chaos suite =="
+  # Fault schedules exercise crash/restart interleavings the clean-run TSan
+  # gates never reach (rejoin snapshots racing the executor pipeline).
+  cmake --build build-tsan -j --target chaos_campaign net_tcp_chaos_test
+  timeout 600 ./build-tsan/bench/chaos_campaign --plans 4 --seed 20140623 >/dev/null
+  ./build-tsan/tests/net_tcp_chaos_test >/dev/null
+
   echo "== net: localhost TCP cluster (multi-process, bank workload, trace checker) =="
   if ./build/examples/cluster_node --mode pbr --host 0 --base-port 34999 \
        --run-for-ms 1 >/dev/null 2>&1; then
@@ -96,6 +115,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "-- smr pipelined: 3-stage pipeline, 4 clients, adaptive batching"
     timeout 120 ./build/examples/run_cluster.sh smr 200 \
       "$((34000 + RANDOM % 1000))" 10000 4 pipelined
+    echo "-- smr chaos: SIGKILL/restart cycles with snapshot rejoin under load"
+    timeout 240 ./build/examples/run_chaos_cluster.sh 40000 \
+      "$((35000 + RANDOM % 1000))" 60000 5 2
   else
     echo "-- skipped: sockets unavailable in this environment"
   fi

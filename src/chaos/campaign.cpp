@@ -1,0 +1,181 @@
+#include "chaos/campaign.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/shadowdb.hpp"
+#include "sim/world.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::chaos {
+
+namespace {
+
+/// Crash injection is idempotent at this layer: two events of a plan may
+/// name the same victim (budgets bound counts, not distinctness across
+/// events), and the second must not re-fire crash observers.
+bool crash_once(sim::World& world, NodeId node) {
+  if (world.crashed(node)) return false;
+  world.crash(node);
+  return true;
+}
+
+}  // namespace
+
+PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
+  PlanOutcome outcome;
+  outcome.plan = plan;
+
+  // Decorrelate the world's network/jitter randomness from the plan-shape
+  // randomness (both derive from the same seed).
+  sim::World world(plan.seed ^ 0x9e3779b97f4a7c15ULL);
+  world.set_wire_fidelity(config.wire_fidelity);
+
+  obs::Tracer tracer({.capacity = 1 << 20, .record_messages = false});
+  tracer.attach(world);
+
+  auto registry = std::make_shared<workload::ProcedureRegistry>();
+  workload::bank::register_procedures(*registry);
+  const workload::bank::BankConfig bank{config.bank_accounts, 0};
+
+  core::ClusterOptions opts;
+  opts.machines = config.plan.machines;
+  opts.db_replicas = config.plan.db_replicas;
+  opts.db_spares = config.plan.db_spares;
+  opts.registry = registry;
+  opts.loader = [&bank](db::Engine& engine) { workload::bank::load(engine, bank); };
+  opts.smr.hb_period = config.hb_period;
+  opts.smr.suspect_timeout = config.suspect_timeout;
+  opts.tracer = &tracer;
+  core::SmrCluster cluster = core::make_smr_cluster(world, opts);
+
+  // Closed-loop clients on their own machine, so client CPU never competes
+  // with the servers under test.
+  const net::HostId client_machine = world.add_machine();
+  std::vector<std::unique_ptr<core::DbClient>> clients;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    const NodeId node = world.add_node("chaos-client-" + std::to_string(c), client_machine);
+    core::DbClient::Options copts;
+    copts.mode = core::DbClient::Mode::kTob;
+    copts.targets = cluster.broadcast_targets();
+    copts.txn_limit = config.txns_per_client;
+    copts.tracer = &tracer;
+    auto rng = std::make_shared<Rng>(plan.seed + 0x9e37 * (c + 1));
+    clients.push_back(std::make_unique<core::DbClient>(
+        world, node, ClientId{static_cast<std::uint32_t>(c + 1)}, copts,
+        [rng, bank]() -> std::pair<std::string, workload::Params> {
+          return {workload::bank::kDepositProc, workload::bank::make_deposit(*rng, bank)};
+        }));
+    clients.back()->start(/*initial_delay=*/c * 500);
+  }
+
+  // Inject the plan. Heals and second-stage crashes are scheduled from
+  // inside the event callback, so their delays compose with `ev.at`.
+  for (const FaultEvent& ev : plan.events) {
+    world.schedule(ev.at, [&world, &cluster, &config, &outcome, ev] {
+      switch (ev.kind) {
+        case FaultKind::kCrashReplica:
+          if (crash_once(world, cluster.replica_nodes[ev.target])) ++outcome.faults_injected;
+          break;
+        case FaultKind::kCrashTobNode:
+          if (crash_once(world, cluster.tob_nodes[ev.target])) ++outcome.faults_injected;
+          break;
+        case FaultKind::kPartition: {
+          const NodeId a = cluster.tob_nodes[ev.target];
+          const NodeId b = cluster.tob_nodes[ev.target2];
+          world.set_partitioned(a, b, true);
+          ++outcome.faults_injected;
+          world.schedule(ev.duration, [&world, a, b] { world.set_partitioned(a, b, false); });
+          break;
+        }
+        case FaultKind::kLinkFault: {
+          const NodeId a = cluster.tob_nodes[ev.target];
+          const NodeId b = cluster.tob_nodes[ev.target2];
+          world.set_link_fault(a, b, sim::LinkFault{ev.corrupt_prob, ev.truncate_prob});
+          ++outcome.faults_injected;
+          world.schedule(ev.duration, [&world, a, b] { world.clear_link_fault(a, b); });
+          break;
+        }
+        case FaultKind::kCrashPair: {
+          if (crash_once(world, cluster.replica_nodes[ev.target])) ++outcome.faults_injected;
+          const NodeId second = cluster.replica_nodes[ev.target2];
+          world.schedule(config.suspect_timeout + ev.duration, [&world, second, &outcome] {
+            if (crash_once(world, second)) ++outcome.faults_injected;
+          });
+          break;
+        }
+      }
+    });
+  }
+
+  // Step the world in coarse increments so the client-completion test runs
+  // between slices; heartbeats and TOB ticks re-arm forever, so virtual
+  // time always advances — but guard against a fully idle world anyway.
+  const auto all_done = [&clients] {
+    for (const auto& client : clients) {
+      if (!client->done()) return false;
+    }
+    return true;
+  };
+  constexpr net::Time kStep = 100000;
+  while (!all_done() && world.now() < config.horizon) {
+    if (world.run_until(world.now() + kStep) == 0 && world.idle()) break;
+  }
+  outcome.completed = all_done();
+  world.run_until(world.now() + 2000000);  // drain in-flight acks and ticks
+  outcome.virtual_duration = world.now();
+
+  for (const auto& client : clients) outcome.committed += client->committed();
+
+  obs::Trace trace = tracer.snapshot();
+  if (config.saboteur) config.saboteur(plan, trace);
+  outcome.check = obs::check_trace(trace, config.check);
+  return outcome;
+}
+
+Plan minimize_plan(const Plan& failing, const CampaignConfig& config) {
+  Plan current = failing;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      Plan candidate = current;
+      candidate.events.erase(candidate.events.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!run_plan(candidate, config).ok()) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // restart the scan against the smaller plan
+      }
+    }
+  }
+  return current;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  Rng rng(config.seed);
+  PlanConfig plan_config = config.plan;
+  plan_config.suspect_timeout = config.suspect_timeout;
+
+  CampaignResult result;
+  for (std::size_t i = 0; i < config.plans; ++i) {
+    const std::uint64_t plan_seed = rng.next();
+    PlanOutcome outcome = run_plan(make_plan(plan_seed, plan_config), config);
+    if (!outcome.ok()) {
+      ++result.failures;
+      if (config.minimize) outcome.minimized = minimize_plan(outcome.plan, config);
+    }
+    result.total_committed += outcome.committed;
+    result.total_faults += outcome.faults_injected;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+PlanOutcome replay(std::uint64_t plan_seed, const CampaignConfig& config) {
+  PlanConfig plan_config = config.plan;
+  plan_config.suspect_timeout = config.suspect_timeout;
+  return run_plan(make_plan(plan_seed, plan_config), config);
+}
+
+}  // namespace shadow::chaos

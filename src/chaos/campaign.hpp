@@ -1,0 +1,95 @@
+// Chaos campaigns: run many seeded fault Plans (plan.hpp) against a full
+// simulated ShadowDB-SMR cluster under client load, and assert every offline
+// checker invariant (total order, at-most-once, strict serializability,
+// durability) on the recorded trace after each run.
+//
+// A campaign is the "scenario explorer" from the roadmap: the paper's
+// methodology says no schedule of tolerated faults can produce a checker
+// violation, so every plan that fails is a bug. Failures are replayable from
+// the plan seed alone, and a greedy minimizer shrinks the schedule to the
+// smallest event subset that still fails — small enough to commit as a
+// regression test (tests/chaos/).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "obs/checker.hpp"
+#include "obs/trace.hpp"
+
+namespace shadow::chaos {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;    // campaign seed; per-plan seeds derive from it
+  std::size_t plans = 10;    // schedules per campaign
+
+  PlanConfig plan;           // cluster shape + fault budgets (plan.hpp)
+
+  std::size_t clients = 2;   // closed-loop bank clients
+  std::size_t txns_per_client = 120;
+  std::int64_t bank_accounts = 200;
+
+  net::Time hb_period = 50000;          // replica heartbeats, µs
+  net::Time suspect_timeout = 400000;   // failure detection, µs (mirrored
+                                        // into PlanConfig for kCrashPair)
+  net::Time horizon = 120000000;        // virtual-time cap per run, µs
+  bool wire_fidelity = true;            // real bytes on every sim link
+  bool minimize = true;                 // shrink failing plans
+
+  obs::CheckOptions check;
+
+  /// Test hook: mutate the recorded trace before checking. Models safety
+  /// bugs the real system does not have (e.g. ack-before-persist: forge a
+  /// committed ack for a transaction no surviving replica executed) so the
+  /// campaign's catch-and-minimize path itself is testable.
+  std::function<void(const Plan&, obs::Trace&)> saboteur;
+};
+
+/// What one plan's run produced.
+struct PlanOutcome {
+  Plan plan;
+  bool completed = false;          // every client finished within the horizon
+  obs::CheckResult check;
+  std::uint64_t committed = 0;     // transactions acknowledged committed
+  std::size_t faults_injected = 0; // fault events actually applied
+  net::Time virtual_duration = 0;  // virtual µs from start to quiesce
+  std::optional<Plan> minimized;   // set when !ok() and minimization ran
+
+  bool ok() const { return completed && check.ok(); }
+  double txn_per_sec() const {
+    return virtual_duration == 0
+               ? 0.0
+               : static_cast<double>(committed) * 1e6 / static_cast<double>(virtual_duration);
+  }
+};
+
+struct CampaignResult {
+  std::vector<PlanOutcome> outcomes;
+  std::size_t failures = 0;
+  std::uint64_t total_committed = 0;
+  std::size_t total_faults = 0;
+
+  bool ok() const { return failures == 0; }
+};
+
+/// Runs one plan: fresh world seeded from the plan, wire fidelity on, a
+/// 4-machine SMR cluster (Paxos, spares, failure detection), closed-loop
+/// bank clients, every event of the plan injected on schedule, then the
+/// offline checker over the recorded trace.
+PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config);
+
+/// Derives `config.plans` plan seeds from the campaign seed and runs each.
+/// Failing plans are minimized when `config.minimize` is set.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Replays the plan a campaign derived from this seed (for `--replay`).
+PlanOutcome replay(std::uint64_t plan_seed, const CampaignConfig& config);
+
+/// Greedy shrink: repeatedly drop any event whose removal keeps the plan
+/// failing, to a fixed point. Deterministic; the result still fails (or is
+/// the original plan if nothing could be removed).
+Plan minimize_plan(const Plan& failing, const CampaignConfig& config);
+
+}  // namespace shadow::chaos

@@ -1,0 +1,165 @@
+#include "chaos/plan.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace shadow::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashReplica: return "crash-replica";
+    case FaultKind::kCrashTobNode: return "crash-tob";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLinkFault: return "link-fault";
+    case FaultKind::kCrashPair: return "crash-pair";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string format_seconds(net::Time t) {
+  // "1.234s" — enough resolution to line events up with a trace.
+  const std::uint64_t ms = t / 1000;
+  std::string s = std::to_string(ms / 1000);
+  s += '.';
+  const std::uint64_t frac = ms % 1000;
+  if (frac < 100) s += '0';
+  if (frac < 10) s += '0';
+  s += std::to_string(frac);
+  s += 's';
+  return s;
+}
+
+}  // namespace
+
+std::string Plan::describe() const {
+  std::string s = "plan seed=" + std::to_string(seed) + " (" +
+                  std::to_string(events.size()) + " events)";
+  for (const FaultEvent& ev : events) {
+    s += "\n  t=" + format_seconds(ev.at) + ' ' + to_string(ev.kind);
+    switch (ev.kind) {
+      case FaultKind::kCrashReplica:
+        s += " r" + std::to_string(ev.target);
+        break;
+      case FaultKind::kCrashTobNode:
+        s += " tob" + std::to_string(ev.target);
+        if (ev.target == 0) s += " (leader)";
+        break;
+      case FaultKind::kPartition:
+        s += " tob" + std::to_string(ev.target) + "<->tob" + std::to_string(ev.target2) +
+             " for " + format_seconds(ev.duration);
+        break;
+      case FaultKind::kLinkFault:
+        s += " tob" + std::to_string(ev.target) + "->tob" + std::to_string(ev.target2) +
+             " corrupt=" + std::to_string(ev.corrupt_prob).substr(0, 4) +
+             " truncate=" + std::to_string(ev.truncate_prob).substr(0, 4) + " for " +
+             format_seconds(ev.duration);
+        break;
+      case FaultKind::kCrashPair:
+        s += " r" + std::to_string(ev.target) + " then r" + std::to_string(ev.target2) +
+             " after suspect+" + format_seconds(ev.duration);
+        break;
+    }
+  }
+  return s;
+}
+
+Plan make_plan(std::uint64_t seed, const PlanConfig& config) {
+  SHADOW_REQUIRE(config.machines >= 4);  // Paxos quorum must survive one TOB crash
+  SHADOW_REQUIRE(config.db_replicas >= 3);
+  SHADOW_REQUIRE(config.earliest <= config.latest);
+
+  Rng rng(seed);
+  Plan plan;
+  plan.seed = seed;
+
+  const std::size_t count = rng.uniform(config.min_events, config.max_events);
+
+  // Budgets keeping the schedule inside the protocols' fault model:
+  //  * at most 2 replica crashes (out of >=3 actives), kCrashPair spends both;
+  //  * at most 1 TOB-node crash (majority of >=4 acceptors survives);
+  //  * at most 2 distinct machines impaired by crashes, so at least one of
+  //    machines 0..2 keeps both its replica and its TOB node — that replica
+  //    executes every command and is the durability witness.
+  std::size_t replica_crashes = 0;
+  std::size_t tob_crashes = 0;
+  std::set<std::uint32_t> impaired;
+  const auto machines_ok = [&](std::initializer_list<std::uint32_t> add) {
+    std::set<std::uint32_t> next = impaired;
+    for (std::uint32_t m : add) next.insert(m);
+    return next.size() <= 2;
+  };
+
+  // Bounded rejection sampling: kinds whose budget is spent are skipped, so a
+  // plan can come out shorter than `count` (never longer).
+  for (std::size_t attempts = 0; plan.events.size() < count && attempts < count * 8; ++attempts) {
+    FaultEvent ev;
+    ev.at = rng.uniform(config.earliest, config.latest);
+    switch (rng.uniform(0, 4)) {
+      case 0: {  // crash one active replica
+        ev.kind = FaultKind::kCrashReplica;
+        ev.target = static_cast<std::uint32_t>(rng.index(config.db_replicas));
+        if (replica_crashes + 1 > 2 || !machines_ok({ev.target})) continue;
+        ++replica_crashes;
+        impaired.insert(ev.target);
+        break;
+      }
+      case 1: {  // crash one TOB node; 50% the leader (slot-0 proposer)
+        ev.kind = FaultKind::kCrashTobNode;
+        ev.target = rng.chance(0.5)
+                        ? 0
+                        : static_cast<std::uint32_t>(rng.uniform(1, config.machines - 1));
+        if (tob_crashes + 1 > 1 || !machines_ok({ev.target})) continue;
+        ++tob_crashes;
+        impaired.insert(ev.target);
+        break;
+      }
+      case 2: {  // heal-guaranteed symmetric partition between two TOB nodes
+        ev.kind = FaultKind::kPartition;
+        ev.target = static_cast<std::uint32_t>(rng.index(config.machines));
+        do {
+          ev.target2 = static_cast<std::uint32_t>(rng.index(config.machines));
+        } while (ev.target2 == ev.target);
+        ev.duration = rng.uniform(100000, 2000000);
+        break;
+      }
+      case 3: {  // byte-level corruption/truncation on one directed TOB link
+        ev.kind = FaultKind::kLinkFault;
+        ev.target = static_cast<std::uint32_t>(rng.index(config.machines));
+        do {
+          ev.target2 = static_cast<std::uint32_t>(rng.index(config.machines));
+        } while (ev.target2 == ev.target);
+        ev.corrupt_prob = 0.05 + 0.25 * rng.uniform01();
+        ev.truncate_prob = 0.05 + 0.25 * rng.uniform01();
+        ev.duration = rng.uniform(100000, 2000000);
+        break;
+      }
+      default: {  // reconfiguration mid-state-transfer: two staggered crashes
+        ev.kind = FaultKind::kCrashPair;
+        ev.target = static_cast<std::uint32_t>(rng.index(config.db_replicas));
+        do {
+          ev.target2 = static_cast<std::uint32_t>(rng.index(config.db_replicas));
+        } while (ev.target2 == ev.target);
+        if (replica_crashes + 2 > 2 || !machines_ok({ev.target, ev.target2})) continue;
+        replica_crashes += 2;
+        impaired.insert(ev.target);
+        impaired.insert(ev.target2);
+        // Second crash lands just after the first suspicion fires, while the
+        // replacement spare may still be mid-snapshot.
+        ev.duration = rng.uniform(0, 200000);
+        break;
+      }
+    }
+    plan.events.push_back(ev);
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+  return plan;
+}
+
+}  // namespace shadow::chaos

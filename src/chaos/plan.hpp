@@ -1,0 +1,85 @@
+// Seeded fault plans: deterministic, seed-derived schedules of timed fault
+// events against a simulated ShadowDB cluster.
+//
+// A Plan is pure data — no behavior — so it can be printed, replayed from
+// its seed alone, shrunk by the minimizer (campaign.hpp), and committed as a
+// regression test once a checker violation is found. make_plan() composes
+// the simulator's existing fault primitives (crash, partition, byte-level
+// link faults) plus the reconfiguration-mid-state-transfer composite into a
+// randomized schedule whose budgets keep the cluster within the fault model
+// the protocols are designed for (a Paxos quorum survives, at least one
+// active replica survives, at least one machine is never impaired).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace shadow::chaos {
+
+enum class FaultKind : std::uint8_t {
+  /// SIGKILL-style crash of one database replica process (`target` indexes
+  /// the replica group). The co-located TOB node survives — the sim models
+  /// per-process crashes, like the TCP cluster's per-process SIGKILL.
+  kCrashReplica,
+  /// Crash of one broadcast-service node (`target` indexes the TOB group);
+  /// index 0 is the Paxos leader, so this doubles as leader failover under
+  /// load.
+  kCrashTobNode,
+  /// Symmetric partition between two TOB nodes (`target`/`target2`), healed
+  /// after `duration`.
+  kPartition,
+  /// Byte-level corruption/truncation on the directed TOB link
+  /// target→target2, cleared after `duration`.
+  kLinkFault,
+  /// Reconfiguration mid-state-transfer: crash replica `target`, then crash
+  /// its replacement's snapshot source `target2` once the first
+  /// reconfiguration (suspect_timeout) is in flight — `duration` past the
+  /// detection window, so the second suspicion lands while the first
+  /// replacement may still be joining.
+  kCrashPair,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  net::Time at = 0;  // virtual time of injection
+  FaultKind kind = FaultKind::kCrashReplica;
+  std::uint32_t target = 0;   // index into the fault kind's group (see above)
+  std::uint32_t target2 = 0;  // second endpoint / second victim
+  net::Time duration = 0;     // partition/link-fault lifetime; kCrashPair gap
+  double corrupt_prob = 0.0;  // kLinkFault only
+  double truncate_prob = 0.0;
+};
+
+/// A deterministic fault schedule. Everything about the run derives from
+/// `seed`: the event list below, the simulator's RNG, and the workload.
+struct Plan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  std::string describe() const;
+};
+
+/// Shape of the cluster a plan is generated for (and budget inputs).
+struct PlanConfig {
+  std::size_t machines = 4;      // TOB nodes (Paxos quorum 3 of 4)
+  std::size_t db_replicas = 3;   // active replicas
+  std::size_t db_spares = 1;     // replacement pool
+  std::size_t min_events = 1;
+  std::size_t max_events = 4;
+  net::Time earliest = 20000;    // first fault no sooner than this, µs
+  net::Time latest = 1200000;    // last fault no later than this, µs
+  net::Time suspect_timeout = 400000;  // mirrors CampaignConfig (kCrashPair gap)
+};
+
+/// Deterministically derives a fault schedule from the seed. Budgets:
+/// at most 2 replica crashes total (kCrashPair counts two), at most 1 TOB
+/// crash, and at most 2 distinct impaired machines, so machine 0..2 always
+/// contains one fully intact machine (the durability witness). Partitions
+/// and link faults only touch TOB↔TOB links and always heal.
+Plan make_plan(std::uint64_t seed, const PlanConfig& config = {});
+
+}  // namespace shadow::chaos

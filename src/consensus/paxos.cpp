@@ -163,6 +163,7 @@ void PaxosModule::start_scout(net::NodeContext& ctx) {
   scout.ballot = Ballot{max_round_seen_, self_};
   scout.waitfor.clear();
   for (NodeId peer : config_.peers) scout.waitfor.insert(peer.value);
+  scout.last_sent = ctx.now();
   leader_.scout = std::move(scout);
   if (config_.tracer) {
     config_.tracer->ballot(ctx.now(), self_, leader_.scout->ballot.round, self_,
@@ -180,6 +181,7 @@ void PaxosModule::start_commander(net::NodeContext& ctx, Slot slot, const Encode
   cmd.slot = slot;
   cmd.batch = batch;
   for (NodeId peer : config_.peers) cmd.waitfor.insert(peer.value);
+  cmd.last_sent = ctx.now();
   leader_.commanders[slot] = std::move(cmd);
   const net::Message p2a = net::make_msg(kP2a, P2aBody{PValue{leader_.ballot, slot, batch}});
   for (NodeId peer : config_.peers) {
@@ -212,12 +214,35 @@ void PaxosModule::on_tick(net::NodeContext& ctx) {
       leader_.proposals.begin(), leader_.proposals.end(),
       [this](const auto& kv) { return learned_.count(kv.first) == 0; });
   if (!pending) return;
-  // While active, every pending proposal either has a commander in flight
-  // or its decision is already on the way (commanders are erased exactly at
-  // quorum); preemption deactivates us, and re-adoption restarts commanders
-  // for everything pending — so no tick-driven re-drive is needed.
-  if (leader_.active) return;
-  if (leader_.scout) return;  // phase 1 in flight
+  // Lost-message recovery: the network may drop frames (link faults, a peer
+  // dying mid-send), so an in-flight scout or commander that has gone silent
+  // re-sends its 1a/2a to the acceptors not yet heard from. Acceptors always
+  // re-answer (promise/accept state is monotone), duplicate 1b/2b replies
+  // are ignored by the waitfor-erase test, and duplicate decisions dedup in
+  // learn() — so retransmission is safe; without it a single dropped reply
+  // wedges the ballot forever (found by the seeded chaos campaigns).
+  if (leader_.scout) {  // phase 1 in flight
+    Scout& scout = *leader_.scout;
+    if (ctx.now() - scout.last_sent >= config_.retransmit_timeout) {
+      scout.last_sent = ctx.now();
+      const net::Message p1a = net::make_msg(kP1a, P1aBody{scout.ballot});
+      for (NodeId peer : config_.peers) {
+        if (scout.waitfor.count(peer.value) > 0) ctx.send(peer, p1a);
+      }
+    }
+    return;
+  }
+  if (leader_.active) {
+    for (auto& [slot, cmd] : leader_.commanders) {
+      if (ctx.now() - cmd.last_sent < config_.retransmit_timeout) continue;
+      cmd.last_sent = ctx.now();
+      const net::Message p2a = net::make_msg(kP2a, P2aBody{PValue{cmd.ballot, slot, cmd.batch}});
+      for (NodeId peer : config_.peers) {
+        if (cmd.waitfor.count(peer.value) > 0) ctx.send(peer, p2a);
+      }
+    }
+    return;
+  }
 
   // Failure detection is unreliable and timeout-based; stagger timeouts by
   // peer rank so a single node usually takes over first.

@@ -69,6 +69,11 @@ struct PaxosConfig {
   ExecProfile profile{.program_work = kSynodProgramWork, .cmd_walk_fraction = 0.02};
   net::Time leader_timeout = 50000;   // 50 ms without progress → suspect leader
   net::Time scout_retry = 30000;      // backoff before re-running phase 1
+  /// Silence period after which an in-flight scout's 1a / commander's 2a is
+  /// re-sent to the acceptors not yet heard from. Acceptors are pure
+  /// responders, so retransmission is idempotent; without it one dropped
+  /// message (lossy link, crashed-then-silent peer) wedges the ballot.
+  net::Time retransmit_timeout = 100000;
   obs::Tracer* tracer = nullptr;      // optional structured trace recorder
 };
 
@@ -104,12 +109,14 @@ class PaxosModule final : public ConsensusModule {
     Ballot ballot;
     std::set<std::uint32_t> waitfor;          // acceptors not yet heard from
     std::map<Slot, PValue> pvalues;           // pmax accumulator
+    net::Time last_sent = 0;                  // for 1a retransmission
   };
   struct Commander {
     Ballot ballot;
     Slot slot = 0;
     EncodedBatch batch;  // the original encoded bytes, spliced into every 2a
     std::set<std::uint32_t> waitfor;
+    net::Time last_sent = 0;                  // for 2a retransmission
   };
   struct Leader {
     Ballot ballot;

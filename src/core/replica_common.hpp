@@ -65,10 +65,22 @@ struct ReplSnapBatchBody {
   db::Engine::SnapshotBatch batch;
 };
 
-/// Snapshot stream epilogue / recovery acknowledgement.
+/// Snapshot stream epilogue / recovery acknowledgement. For SMR
+/// crash-restart rejoin it additionally carries the TOB resume point: the
+/// first slot the joiner must deliver itself, the global delivery index of
+/// that slot, and the exact keys of control commands (reconfig/rejoin) the
+/// snapshot covers — control clients use fresh ids per incarnation, so the
+/// per-client dedup floor cannot cover them. Zeroed fields (PBR, chain,
+/// plain spare promotion) mean "no TOB resume".
 struct ReplSnapDoneBody {
+  ReplSnapDoneBody() = default;
+  explicit ReplSnapDoneBody(ConfigSeq c, std::uint64_t r = 0) : config(c), rows(r) {}
+
   ConfigSeq config = 0;
   std::uint64_t rows = 0;  // total rows restored (SMR reports it back)
+  std::uint64_t resume_slot = 0;
+  std::uint64_t resume_index = 0;  // delivery index of resume_slot's first command
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> control_keys;
 };
 
 /// Loopback handoff of a TOB delivery into the replica's own identity.
@@ -238,11 +250,17 @@ struct Codec<core::ReplSnapDoneBody> {
   static void encode(BytesWriter& w, const core::ReplSnapDoneBody& v) {
     w.u64(v.config);
     w.u64(v.rows);
+    w.u64(v.resume_slot);
+    w.u64(v.resume_index);
+    Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::encode(w, v.control_keys);
   }
   static core::ReplSnapDoneBody decode(BytesReader& r) {
     core::ReplSnapDoneBody v;
     v.config = r.u64();
     v.rows = r.u64();
+    v.resume_slot = r.u64();
+    v.resume_index = r.u64();
+    v.control_keys = Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::decode(r);
     return v;
   }
 };

@@ -73,12 +73,21 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
   }
 }
 
-void SmrReplica::on_deliver(net::NodeContext& ctx, Slot /*slot*/, std::uint64_t index,
+void SmrReplica::on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t index,
                             const tob::Command& cmd) {
   delivered_index_ = index;
+  if (cmd.client.value >= kControlClientBit) {
+    // Remember every delivered control command by exact key: they ride along
+    // with rejoin snapshots so the joiner's TOB node deduplicates retries.
+    seen_control_keys_.emplace_back(cmd.client.value, cmd.seq);
+  }
   const workload::TxnRequest req = workload::decode_request(cmd.payload);
   if (req.proc == kSmrReconfigProc) {
     handle_reconfig(ctx, req, index);
+    return;
+  }
+  if (req.proc == kSmrRejoinProc) {
+    handle_rejoin(ctx, req, slot, index);
     return;
   }
   if (!active_) {
@@ -150,6 +159,72 @@ void SmrReplica::handle_reconfig(net::NodeContext& ctx, const workload::TxnReque
   }
 }
 
+void SmrReplica::handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest& req,
+                               Slot slot, std::uint64_t index) {
+  SHADOW_CHECK(req.params.size() >= 2);
+  const NodeId joiner{static_cast<std::uint32_t>(req.params[0].as_int())};
+  const NodeId proposer{static_cast<std::uint32_t>(req.params[1].as_int())};
+  if (proposer != self_ || joiner == self_ || !active_) return;
+  // Serve the snapshot at this deterministic point: every active replica has
+  // applied the same prefix. The joiner resumes its TOB node at this very
+  // slot — commands delivered before this one (including earlier in this
+  // slot) are covered by the dedup floor and the control keys; commands
+  // after it the joiner delivers itself, at indexes continuing from
+  // resume_index.
+  if (pipeline_) pipeline_->flush();
+  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
+  ctx.charge(snap.serialize_cost_us);
+  if (config_.tracer) {
+    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, joiner);
+  }
+  SnapBeginBody begin;
+  begin.schemas = snap.schemas;
+  for (const auto& [client, entry] : executor_.dedup_table()) {
+    begin.dedup_seqs.emplace_back(client, entry.first);
+  }
+  ctx.send(joiner, net::make_msg(kSnapBeginHeader, std::move(begin)));
+  for (const auto& batch : snap.batches) {
+    ctx.send(joiner, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
+  }
+  SnapDoneBody done;
+  done.rows = snap.total_rows;
+  done.resume_slot = slot;
+  done.resume_index = index + 1;
+  done.control_keys = seen_control_keys_;
+  ctx.send(joiner, net::make_msg(kSnapDoneHeader, std::move(done)));
+}
+
+void SmrReplica::start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq) {
+  active_ = false;
+  joining_ = true;
+  rejoining_ = true;
+  buffered_.clear();
+  rejoin_via_ = via_tob;
+  rejoin_proposer_ = proposer;
+  rejoin_client_id_ = ClientId{kRejoinClientBit + self_.value};
+  rejoin_seq_ = seq;
+  // Hold TOB delivery/proposing until the snapshot tells us where to resume.
+  tob_.pause_for_rejoin();
+  // First request after a short grace period (the transport may still be
+  // connecting to peers); retried until the snapshot stream answers.
+  rejoin_timer_ = world_.schedule_timer_for_node(
+      self_, world_.now() + 100000, [this](net::NodeContext& ctx) { send_rejoin_request(ctx); });
+}
+
+void SmrReplica::send_rejoin_request(net::NodeContext& ctx) {
+  if (!rejoining_) return;
+  workload::TxnRequest req;
+  req.client = rejoin_client_id_;
+  req.seq = rejoin_seq_;
+  req.reply_to = self_;
+  req.proc = kSmrRejoinProc;
+  req.params = {db::Value(static_cast<std::int64_t>(self_.value)),
+                db::Value(static_cast<std::int64_t>(rejoin_proposer_.value))};
+  tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
+  ctx.send(rejoin_via_, net::make_msg(tob::kBroadcastHeader, std::move(body)));
+  rejoin_timer_ = ctx.set_timer(500000, [this](net::NodeContext& c) { send_rejoin_request(c); });
+}
+
 void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kSmrDeliverHeader) {
     const auto& handoff = net::msg_body<DeliverHandoff>(msg);
@@ -191,7 +266,10 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     return;
   }
   if (msg.header == kSnapBeginHeader) {
+    if (!joining_) return;  // stray/duplicate stream: we are not expecting one
     const auto& begin = net::msg_body<SnapBeginBody>(msg);
+    // Rejoin keeps the dedup seqs around as the TOB resume floor too.
+    if (rejoining_) rejoin_floor_ = begin.dedup_seqs;
     executor_.engine().reset_for_restore(begin.schemas);
     std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
     for (const auto& [client, seq] : begin.dedup_seqs) {
@@ -201,6 +279,7 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     return;
   }
   if (msg.header == kSnapBatchHeader) {
+    if (!joining_) return;
     const auto& body = net::msg_body<SnapBatchBody>(msg);
     // "Row insertion speed constitutes the bottleneck of state transfer."
     ctx.charge(executor_.engine().restore_batch(body.batch));
@@ -211,11 +290,30 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     return;
   }
   if (msg.header == kSnapDoneHeader) {
+    if (!joining_) return;
+    const auto& done = net::msg_body<SnapDoneBody>(msg);
+    if (rejoining_) {
+      if (rejoin_timer_) {
+        world_.cancel(*rejoin_timer_);
+        rejoin_timer_.reset();
+      }
+      delivered_index_ = done.resume_index == 0 ? 0 : done.resume_index - 1;
+      tob::TobNode::ResumePoint rp;
+      rp.slot = done.resume_slot;
+      rp.index_base = done.resume_index;
+      rp.floor = std::move(rejoin_floor_);
+      rp.control_keys = done.control_keys;
+      tob_.resume_from(rp);
+      // Seed our own control-key history so a later rejoiner we serve gets
+      // the full set, not just what we saw post-restart.
+      seen_control_keys_ = done.control_keys;
+      rejoining_ = false;
+    }
     active_ = true;
     joining_ = false;
     if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone,
-                                     net::msg_body<SnapDoneBody>(msg).rows, msg.from);
+      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, done.rows,
+                                     msg.from);
       config_.tracer->recover(ctx.now(), self_, delivered_index_);
     }
     for (const auto& [index, req] : buffered_) execute_txn(ctx, index, req);

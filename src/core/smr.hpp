@@ -29,6 +29,8 @@
 namespace shadow::core {
 
 inline constexpr const char* kSmrReconfigProc = "::smr-reconfig";
+/// Crash-restart rejoin request: params = [joiner node, snapshot proposer].
+inline constexpr const char* kSmrRejoinProc = "::smr-rejoin";
 inline constexpr const char* kSnapRequestHeader = "smr-snap-req";
 inline constexpr const char* kSnapBeginHeader = "smr-snap-begin";
 inline constexpr const char* kSnapBatchHeader = "smr-snap-batch";
@@ -40,6 +42,11 @@ inline constexpr const char* kSmrDeliverBatchHeader = "smr-deliver-batch";
 /// ids with this bit set, so the pipelined delivery path can spot them in a
 /// decided batch without decoding any transaction payloads.
 inline constexpr std::uint32_t kControlClientBit = 0x40000000u;
+/// Rejoin requests use their own id space (still above kControlClientBit, so
+/// the pipelined path spots them): kRejoinClientBit + node id, with a
+/// caller-supplied sequence number that must be unique per restart
+/// incarnation (wall-clock µs in the real cluster).
+inline constexpr std::uint32_t kRejoinClientBit = 0x50000000u;
 
 struct SmrConfig {
   net::Time hb_period = 1000000;        // 1 s heartbeats between replicas
@@ -90,6 +97,15 @@ class SmrReplica {
     if (pipeline_) pipeline_->flush();
   }
 
+  /// Crash-restart recovery: a freshly restarted process calls this on its
+  /// own (reconstructed, empty) replica. The replica pauses its co-located
+  /// TOB node, broadcasts a ::smr-rejoin request through `via_tob` (retrying
+  /// until answered), and on `proposer`'s snapshot stream restores the
+  /// database, resumes the TOB node at the snapshot's slot/index, and goes
+  /// active. `seq` must be unique across this node's restart incarnations
+  /// (the cluster deduplicates rejoin requests by exact (client, seq) key).
+  void start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq);
+
  private:
   void on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t index,
                   const tob::Command& cmd);
@@ -98,6 +114,9 @@ class SmrReplica {
   void on_message(net::NodeContext& ctx, const net::Message& msg);
   void on_heartbeat_tick(net::NodeContext& ctx);
   void handle_reconfig(net::NodeContext& ctx, const workload::TxnRequest& req, std::uint64_t index);
+  void handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest& req, Slot slot,
+                     std::uint64_t index);
+  void send_rejoin_request(net::NodeContext& ctx);
   void execute_txn(net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req);
 
   net::Transport& world_;
@@ -121,6 +140,20 @@ class SmrReplica {
   std::uint64_t join_from_index_ = 0;
   std::deque<std::pair<std::uint64_t, workload::TxnRequest>> buffered_;  // (index, request)
   std::uint64_t buffered_from_ = 0;
+
+  // Crash-restart rejoin state (see start_rejoin). `seen_control_keys_` is
+  // maintained by every replica: the exact (client, seq) keys of delivered
+  // control commands, shipped with rejoin snapshots so the joiner's TOB node
+  // deduplicates them (control clients get fresh ids per incarnation, so the
+  // per-client floor cannot cover them).
+  bool rejoining_ = false;
+  NodeId rejoin_via_{};
+  NodeId rejoin_proposer_{};
+  ClientId rejoin_client_id_{};
+  RequestSeq rejoin_seq_ = 0;
+  std::vector<std::pair<std::uint32_t, RequestSeq>> rejoin_floor_;
+  std::optional<net::TimerId> rejoin_timer_;
+  std::vector<std::pair<std::uint32_t, RequestSeq>> seen_control_keys_;
 
   // Pipelined mode: the DB executor stage. Declared last so its destructor
   // (which flushes and joins the executor thread) runs while every member

@@ -298,7 +298,7 @@ void TcpTransport::ensure_peer_connection(HostId host) {
   const TcpHostAddr& addr = options_.hosts[host.value];
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    peer.retry_at = now() + options_.connect_retry;
+    schedule_reconnect(host);
     return;
   }
   int one = 1;
@@ -308,31 +308,68 @@ void TcpTransport::ensure_peer_connection(HostId host) {
   sa.sin_port = htons(addr.port);
   if (::inet_pton(AF_INET, addr.address.c_str(), &sa.sin_addr) != 1) {
     ::close(fd);
-    peer.retry_at = now() + options_.connect_retry;
+    schedule_reconnect(host);
     return;
   }
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
   if (rc == 0) {
     peer.fd = fd;
-    peer.connecting = false;
+    peer_connected(host);
   } else if (errno == EINPROGRESS) {
     peer.fd = fd;
     peer.connecting = true;
   } else {
     ::close(fd);
-    peer.retry_at = now() + options_.connect_retry;
+    schedule_reconnect(host);
   }
 }
 
 void TcpTransport::fail_peer(HostId host) {
   Peer& peer = peers_[host.value];
+  const bool established = peer.fd >= 0 && !peer.connecting;
   close_fd(peer.fd);
   peer.connecting = false;
-  peer.retry_at = now() + options_.connect_retry;
+  if (established) {
+    peer_down_total_.fetch_add(1, std::memory_order_relaxed);
+    peer.down_since = now();
+    for (TransportObserver* obs : observers_) obs->on_peer_down(now(), host);
+  }
+  schedule_reconnect(host);
   // The receiver discarded the partial stream with the dead connection;
   // rewind the in-flight record so the replacement connection resends it
   // whole and framing stays intact.
   if (!peer.outq.empty()) peer.outq.front().offset = 0;
+}
+
+void TcpTransport::schedule_reconnect(HostId host) {
+  Peer& peer = peers_[host.value];
+  peer.backoff = peer.backoff == 0
+                     ? options_.connect_retry
+                     : std::min(peer.backoff * 2, options_.connect_retry_cap);
+  ++peer.attempts;
+  reconnect_attempts_.fetch_add(1, std::memory_order_relaxed);
+  // Seeded jitter: every process derives its delays from its own RNG, so a
+  // cluster-wide restart doesn't reconnect in lockstep. In pipelined mode
+  // all connect paths run on the I/O thread, so rng_ is single-threaded.
+  const double spread = options_.connect_retry_jitter;
+  const double factor = 1.0 + spread * (2.0 * rng_.uniform01() - 1.0);
+  const Time delay = std::max<Time>(1, static_cast<Time>(
+                                           static_cast<double>(peer.backoff) * factor));
+  peer.retry_at = now() + delay;
+  for (TransportObserver* obs : observers_) {
+    obs->on_reconnect_attempt(now(), host, peer.attempts, peer.backoff);
+  }
+}
+
+void TcpTransport::peer_connected(HostId host) {
+  Peer& peer = peers_[host.value];
+  peer.connecting = false;
+  peer.backoff = 0;
+  peer.attempts = 0;
+  peer.retry_at = 0;
+  const Time downtime = peer.down_since == 0 ? 0 : now() - peer.down_since;
+  peer.down_since = 0;
+  for (TransportObserver* obs : observers_) obs->on_peer_up(now(), host, downtime);
 }
 
 void TcpTransport::flush_peer(HostId host) {
@@ -403,16 +440,39 @@ std::size_t TcpTransport::drain_inbound(Inbound& in) {
     if (got > 0) {
       in.buf.insert(in.buf.end(), chunk, chunk + got);
       if (!parse_records(in, handled)) {
-        close_fd(in.fd);  // desynchronized stream
+        close_inbound(in, wire::FrameStatus::kBadMagic);  // desynchronized stream
         break;
       }
       continue;
     }
     if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_fd(in.fd);  // EOF or hard error
+    close_inbound(in, wire::FrameStatus::kTruncated);  // EOF or hard error
     break;
   }
   return handled;
+}
+
+void TcpTransport::close_inbound(Inbound& in, wire::FrameStatus reason) {
+  // A peer dying mid-record leaves a frame prefix in the buffer that can
+  // never complete: account it as a traced drop (the sender will resend the
+  // whole record on its replacement connection) and release the memory.
+  const std::size_t leftover = in.buf.size() - in.consumed;
+  if (leftover > 0) {
+    NodeId from{};
+    NodeId to{};
+    if (leftover >= kRoutePrefix) {
+      const std::uint8_t* base = in.buf.data() + in.consumed;
+      from = NodeId{read_u32le(base + 4)};
+      to = NodeId{read_u32le(base + 8)};
+    }
+    wire_drops_.fetch_add(1, std::memory_order_relaxed);
+    for (TransportObserver* obs : observers_) {
+      obs->on_wire_drop(now(), from, to, "", leftover, reason);
+    }
+  }
+  close_fd(in.fd);
+  in.buf.clear();
+  in.consumed = 0;
 }
 
 bool TcpTransport::parse_records(Inbound& in, std::size_t& handled) {
@@ -632,7 +692,7 @@ std::size_t TcpTransport::poll_sockets(Time max_wait, int wake_fd) {
             fail_peer(host);
             break;
           }
-          peer.connecting = false;
+          peer_connected(host);
         }
         if ((revents & (POLLERR | POLLHUP)) != 0 && !peer.connecting) {
           fail_peer(host);

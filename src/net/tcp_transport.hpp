@@ -66,8 +66,16 @@ struct TcpOptions {
   /// in-process loopback tests run several transports side by side) pass
   /// the same epoch; by default each instance starts its clock at 0.
   std::optional<std::chrono::steady_clock::time_point> epoch;
-  /// How long to wait before re-trying a refused/broken peer connection.
+  /// Base delay before re-trying a refused/broken peer connection. Each
+  /// consecutive failure doubles the delay (capped at connect_retry_cap)
+  /// and a successful connect resets it, so a dead peer costs ever fewer
+  /// syscalls while a restarted one is picked up quickly.
   Time connect_retry = 50000;  // 50 ms
+  Time connect_retry_cap = 2000000;  // 2 s
+  /// Uniform jitter applied to every backoff delay (fraction of the delay,
+  /// drawn from the transport's seeded RNG): 0.2 → delay x [0.8, 1.2].
+  /// Desynchronizes the reconnect stampede when a host restarts.
+  double connect_retry_jitter = 0.2;
 };
 
 /// Poll-loop TCP implementation of net::Transport.
@@ -160,6 +168,14 @@ class TcpTransport final : public Transport {
   std::uint64_t writev_records() const {
     return writev_records_.load(std::memory_order_relaxed);
   }
+  /// Connect attempts made after a failure (first tries don't count).
+  std::uint64_t reconnect_attempts() const {
+    return reconnect_attempts_.load(std::memory_order_relaxed);
+  }
+  /// Established peer connections lost (one per outage).
+  std::uint64_t peer_down_total() const {
+    return peer_down_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   class TcpContext;
@@ -192,6 +208,9 @@ class TcpTransport final : public Transport {
     int fd = -1;
     bool connecting = false;
     Time retry_at = 0;        // when to attempt (re)connecting, 0 = now
+    Time backoff = 0;         // current (pre-jitter) retry delay, 0 = base
+    std::uint64_t attempts = 0;  // consecutive failures this outage
+    Time down_since = 0;      // when an established connection died, 0 = never
     std::deque<OutRecord> outq;
   };
 
@@ -243,6 +262,14 @@ class TcpTransport final : public Transport {
   void ensure_peer_connection(HostId host);
   void flush_peer(HostId host);
   void fail_peer(HostId host);
+  /// Backoff bookkeeping for one failed connect attempt: doubles the delay
+  /// (capped), jitters it, arms retry_at, and fires on_reconnect_attempt.
+  void schedule_reconnect(HostId host);
+  /// A connect completed: resets the backoff and fires on_peer_up.
+  void peer_connected(HostId host);
+  /// Closes an inbound connection; any partially buffered frame is released
+  /// and accounted as a traced wire drop (the peer died mid-record).
+  void close_inbound(Inbound& in, wire::FrameStatus reason);
   std::size_t drain_inbound(Inbound& in);
   bool parse_records(Inbound& in, std::size_t& handled);
   /// Validates + decodes one frame read off a socket (contiguous inbound
@@ -302,6 +329,8 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> wire_drops_{0};
   std::atomic<std::uint64_t> writev_calls_{0};
   std::atomic<std::uint64_t> writev_records_{0};
+  std::atomic<std::uint64_t> reconnect_attempts_{0};
+  std::atomic<std::uint64_t> peer_down_total_{0};
 
   // -- pipelined mode state ----------------------------------------------------
   static constexpr std::size_t kRingCapacity = 4096;

@@ -98,6 +98,16 @@ class TransportObserver {
   /// (obs turns this into the `net.encode_count` metric).
   virtual void on_frame_encoded(Time /*t*/, const std::string& /*header*/,
                                 std::size_t /*frame_size*/) {}
+  /// An established peer connection died (TCP backend). Fires once per
+  /// outage, not per reconnect attempt.
+  virtual void on_peer_down(Time /*t*/, HostId /*peer*/) {}
+  /// A peer connection (re-)established. `downtime` is µs since the
+  /// matching on_peer_down, 0 for a first-ever connect.
+  virtual void on_peer_up(Time /*t*/, HostId /*peer*/, Time /*downtime*/) {}
+  /// A reconnect attempt was scheduled after a failure. `attempt` counts
+  /// from 1 within the outage; `backoff` is the chosen (pre-jitter) delay.
+  virtual void on_reconnect_attempt(Time /*t*/, HostId /*peer*/, std::uint64_t /*attempt*/,
+                                    Time /*backoff*/) {}
 };
 
 /// Abstract transport: topology, clock, timers, lifecycle, observation.

@@ -215,6 +215,23 @@ void Tracer::on_frame_encoded(net::Time /*t*/, const std::string& /*header*/,
   metrics_.counter("net.encode_bytes").add(frame_size);
 }
 
+void Tracer::on_peer_down(net::Time /*t*/, net::HostId /*peer*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.counter("net.peer_down_total").add();
+}
+
+void Tracer::on_peer_up(net::Time /*t*/, net::HostId /*peer*/, net::Time downtime) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.counter("net.peer_up_total").add();
+  if (downtime > 0) metrics_.histogram("net.peer_downtime_us").observe(downtime);
+}
+
+void Tracer::on_reconnect_attempt(net::Time /*t*/, net::HostId /*peer*/,
+                                  std::uint64_t /*attempt*/, net::Time /*backoff*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.counter("net.reconnect_attempts").add();
+}
+
 void Tracer::on_crash(net::Time t, NodeId node) {
   std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter("replica.crashes").add();

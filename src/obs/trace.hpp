@@ -126,6 +126,12 @@ class Tracer final : public net::TransportObserver {
   /// when the transport shares the encoded buffer across a multicast.
   void on_frame_encoded(net::Time t, const std::string& header,
                         std::size_t frame_size) override;
+  /// TCP peer lifecycle → net.peer_down_total / net.peer_up_total (with a
+  /// net.peer_downtime_us histogram) / net.reconnect_attempts.
+  void on_peer_down(net::Time t, net::HostId peer) override;
+  void on_peer_up(net::Time t, net::HostId peer, net::Time downtime) override;
+  void on_reconnect_attempt(net::Time t, net::HostId peer, std::uint64_t attempt,
+                            net::Time backoff) override;
 
   // -- broadcast service ----------------------------------------------------
   void tob_broadcast(net::Time t, NodeId node, ClientId client, RequestSeq seq);

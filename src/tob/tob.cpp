@@ -41,16 +41,18 @@ TobNode::TobNode(net::Transport& world, NodeId self, TobConfig config,
 }
 
 void TobNode::arm_tick(net::NodeContext& ctx) {
-  module_->on_tick(ctx);
-  // Expire stale relays: the leader we relayed to may have crashed.
-  for (PendingCommand& p : pending_) {
-    if (!p.in_flight && p.relayed_at != 0 &&
-        ctx.now() - p.relayed_at > config_.relay_timeout) {
-      p.relayed_at = 0;
-      p.relay_expired = true;
+  if (!paused_) {
+    module_->on_tick(ctx);
+    // Expire stale relays: the leader we relayed to may have crashed.
+    for (PendingCommand& p : pending_) {
+      if (!p.in_flight && p.relayed_at != 0 &&
+          ctx.now() - p.relayed_at > config_.relay_timeout) {
+        p.relayed_at = 0;
+        p.relay_expired = true;
+      }
     }
+    maybe_propose(ctx);
   }
-  maybe_propose(ctx);
   ctx.set_timer(config_.tick_period, [this](net::NodeContext& c) { arm_tick(c); });
 }
 
@@ -76,9 +78,10 @@ void TobNode::on_message(net::NodeContext& ctx, const net::Message& msg) {
 
 void TobNode::on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId from) {
   const auto key = std::make_pair(cmd.client.value, cmd.seq);
-  if (delivered_keys_.count(key) > 0) {
-    // Duplicate of an already-delivered command (client retry): re-ack so
-    // the broadcast is at-most-once from the subscriber's point of view.
+  if (delivered_keys_.count(key) > 0 || floored(key)) {
+    // Duplicate of an already-delivered command (client retry), or one the
+    // snapshot we rejoined from already covers: re-ack so the broadcast is
+    // at-most-once from the subscriber's point of view.
     ctx.send(from, net::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, 0}));
     return;
   }
@@ -104,7 +107,7 @@ void TobNode::on_relay(net::NodeContext& ctx, const RelayBody& body) {
   bool all_fresh = !cmds.empty();
   for (const Command& cmd : cmds) {
     const auto key = std::make_pair(cmd.client.value, cmd.seq);
-    const bool dup = delivered_keys_.count(key) > 0 ||
+    const bool dup = delivered_keys_.count(key) > 0 || floored(key) ||
                      std::any_of(pending_.begin(), pending_.end(), [&key](const PendingCommand& p) {
                        return std::make_pair(p.command.client.value, p.command.seq) == key;
                      });
@@ -131,6 +134,7 @@ void TobNode::on_relay(net::NodeContext& ctx, const RelayBody& body) {
 }
 
 void TobNode::maybe_propose(net::NodeContext& ctx) {
+  if (paused_) return;  // rejoining: hold proposals until resume_from
   std::size_t eligible = 0;
   for (const PendingCommand& p : pending_) {
     if (!p.in_flight) ++eligible;
@@ -272,19 +276,26 @@ void TobNode::on_decide(net::NodeContext& ctx, Slot slot, const EncodedBatch& ba
 }
 
 void TobNode::deliver_ready(net::NodeContext& ctx) {
+  if (paused_) return;  // rejoining: decisions accumulate until resume_from
   while (true) {
     auto it = decisions_.find(next_deliver_slot_);
     if (it == decisions_.end()) return;
     const EncodedBatch& encoded = it->second;
     const Batch& batch = encoded.commands();
     config_.profile.charge(ctx, batch.size());
-    const std::uint64_t base_index = delivery_log_.size();
+    const std::uint64_t base_index = index_base_ + delivery_log_.size();
     Batch fresh;  // the commands actually delivered from this slot
 
     for (const Command& cmd : batch) {
       const auto key = std::make_pair(cmd.client.value, cmd.seq);
-      if (!delivered_keys_.insert(key).second) continue;  // no-duplication
-      const std::uint64_t index = delivery_log_.size();
+      if (floored(key) || !delivered_keys_.insert(key).second) {
+        // no-duplication: already delivered here, or covered by the
+        // snapshot this node rejoined from. Still ack + retire the pending
+        // entry (a retry may have entered through us post-restart).
+        ack_and_retire_pending(ctx, key, it->first);
+        continue;
+      }
+      const std::uint64_t index = index_base_ + delivery_log_.size();
       delivery_log_.push_back(cmd);
       fresh.push_back(cmd);
       if (config_.tracer) {
@@ -297,17 +308,7 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
       // unless we relayed it to the leader, whose own pending entry acks
       // (exactly one ack in the normal case; duplicates can only arise in
       // failover windows, and clients deduplicate by sequence number).
-      for (auto p = pending_.begin(); p != pending_.end(); ++p) {
-        if (std::make_pair(p->command.client.value, p->command.seq) == key) {
-          const bool relayed_elsewhere = p->relayed_at != 0 && !p->relay_expired;
-          if (!relayed_elsewhere) {
-            ctx.send(p->origin,
-                     net::make_msg(kAckHeader, AckBody{cmd.client, cmd.seq, it->first}));
-          }
-          pending_.erase(p);
-          break;
-        }
-      }
+      ack_and_retire_pending(ctx, key, it->first);
     }
     // Whole-slot subscribers (local batch subscriber and remote tob-deliver)
     // get the decided sub-frame as-is — the same bytes consensus agreed on,
@@ -326,6 +327,49 @@ void TobNode::deliver_ready(net::NodeContext& ctx) {
     }
     ++next_deliver_slot_;
   }
+}
+
+void TobNode::ack_and_retire_pending(net::NodeContext& ctx,
+                                     const std::pair<std::uint32_t, RequestSeq>& key,
+                                     Slot slot) {
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (std::make_pair(p->command.client.value, p->command.seq) != key) continue;
+    const bool relayed_elsewhere = p->relayed_at != 0 && !p->relay_expired;
+    if (!relayed_elsewhere) {
+      ctx.send(p->origin, net::make_msg(kAckHeader,
+                                        AckBody{p->command.client, p->command.seq, slot}));
+    }
+    pending_.erase(p);
+    return;
+  }
+}
+
+void TobNode::pause_for_rejoin() {
+  paused_ = true;
+}
+
+void TobNode::resume_from(const ResumePoint& rp) {
+  SHADOW_REQUIRE_MSG(delivery_log_.empty(),
+                     "resume_from is only valid on a freshly restarted node");
+  next_deliver_slot_ = std::max(next_deliver_slot_, rp.slot);
+  next_propose_slot_ = std::max(next_propose_slot_, rp.slot);
+  index_base_ = rp.index_base;
+  for (const auto& [client, seq] : rp.floor) {
+    RequestSeq& floor = delivered_floor_[client];
+    floor = std::max(floor, seq);
+  }
+  // Control commands (reconfig/rejoin) use a fresh client id per incarnation,
+  // so a per-client floor cannot cover them: dedup them by exact key.
+  for (const auto& key : rp.control_keys) delivered_keys_.insert(key);
+  // Decided slots below the resume point are covered by the snapshot.
+  decisions_.erase(decisions_.begin(), decisions_.lower_bound(next_deliver_slot_));
+  paused_ = false;
+  // Kick delivery/proposing from a proper node context (we are called from
+  // the co-located replica's handler, under its identity, not ours).
+  world_.schedule_timer_for_node(self_, world_.now(), [this](net::NodeContext& ctx) {
+    deliver_ready(ctx);
+    maybe_propose(ctx);
+  });
 }
 
 TobService make_service(net::Transport& world, const TobConfig& config,

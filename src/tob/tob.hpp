@@ -149,6 +149,37 @@ class TobNode {
   NodeId node() const { return self_; }
   consensus::ConsensusModule& module() { return *module_; }
 
+  // -- crash-restart rejoin ---------------------------------------------------
+  //
+  // A freshly restarted process reconstructs an empty TobNode, but the
+  // cluster's delivery log has moved on. The co-located replica fetches a
+  // database snapshot from a live peer, then resumes this node at the
+  // snapshot's position: delivery (and proposing) stay paused until the
+  // snapshot arrives, so the replica never observes commands the snapshot
+  // already covers.
+
+  /// Where a snapshot leaves off: the first slot still to deliver, the
+  /// global delivery index that slot's first fresh command gets, the
+  /// per-client delivered-sequence floor (every (client, seq<=floor[client])
+  /// is already covered by the snapshot), and the exact keys of delivered
+  /// control commands (reconfig/rejoin), which use fresh client ids per
+  /// incarnation and therefore cannot be floored.
+  struct ResumePoint {
+    Slot slot = 0;
+    std::uint64_t index_base = 0;
+    std::vector<std::pair<std::uint32_t, RequestSeq>> floor;
+    std::vector<std::pair<std::uint32_t, RequestSeq>> control_keys;
+  };
+
+  /// Suspends delivery and proposing (consensus keeps answering — acceptor
+  /// state must stay live for quorums). Call before requesting the snapshot.
+  void pause_for_rejoin();
+
+  /// Installs the snapshot's resume point and un-pauses. Decided slots below
+  /// `rp.slot` are discarded (the snapshot covers them); delivery restarts
+  /// at `rp.slot` with indices continuing from `rp.index_base`.
+  void resume_from(const ResumePoint& rp);
+
  private:
   void on_message(net::NodeContext& ctx, const net::Message& msg);
   void on_broadcast(net::NodeContext& ctx, const Command& cmd, NodeId from);
@@ -157,6 +188,16 @@ class TobNode {
   void maybe_propose(net::NodeContext& ctx);
   void deliver_ready(net::NodeContext& ctx);
   void arm_tick(net::NodeContext& ctx);
+
+  /// Whether the snapshot we rejoined from already covers this command.
+  bool floored(const std::pair<std::uint32_t, RequestSeq>& key) const {
+    auto it = delivered_floor_.find(key.first);
+    return it != delivered_floor_.end() && key.second <= it->second;
+  }
+  /// Ack (unless relayed away) and drop the pending entry for a command that
+  /// turned out to be already delivered elsewhere.
+  void ack_and_retire_pending(net::NodeContext& ctx,
+                              const std::pair<std::uint32_t, RequestSeq>& key, Slot slot);
 
   net::Transport& world_;
   NodeId self_;
@@ -190,6 +231,10 @@ class TobNode {
 
   std::set<std::pair<std::uint32_t, RequestSeq>> delivered_keys_;  // dedup guard
   std::vector<Command> delivery_log_;
+  // -- rejoin state (see pause_for_rejoin/resume_from) -----------------------
+  bool paused_ = false;            // delivery + proposing suspended
+  std::uint64_t index_base_ = 0;   // global index of delivery_log_[0]
+  std::map<std::uint32_t, RequestSeq> delivered_floor_;  // snapshot dedup floor
   LocalDeliverFn local_subscriber_;
   LocalDeliverBatchFn batch_subscriber_;
   std::function<std::size_t()> backlog_probe_;

@@ -1,6 +1,8 @@
 // SpscRing: the pipeline's thread-boundary queue. Wraparound, FIFO order
 // under concurrency, backpressure blocking, shutdown drain, and the
 // move-only value contract — all also run under the TSan gate in check.sh.
+// The ExecutorPipeline test at the bottom drives the ring's real consumer:
+// shutdown with batches still queued must execute them all, not drop them.
 #include "common/spsc_ring.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +12,12 @@
 #include <memory>
 #include <thread>
 #include <vector>
+
+#include "core/codecs.hpp"
+#include "core/pipeline.hpp"
+#include "net/tcp_transport.hpp"
+#include "workload/bank.hpp"
+#include "workload/messages.hpp"
 
 namespace shadow {
 namespace {
@@ -144,6 +152,58 @@ TEST(SpscRing, ConcurrentProducerConsumerPreservesOrderAndCount) {
   }
   producer.join();
   EXPECT_EQ(expected, kValues);
+}
+
+// The ring's production consumer: a replica's DB-executor stage fed far more
+// decided batches than its ring holds, then shut down immediately. shutdown()
+// must flush — every queued batch executes, every response is posted — before
+// the executor thread is joined; a shutdown that merely closed the ring would
+// lose the queued tail. (Runs under the TSan gate in check.sh: the handoffs
+// cross a real thread boundary.)
+TEST(ExecutorPipeline, ShutdownDrainsNonEmptyRingWithoutLosingBatches) {
+  core::register_wire_codecs();
+
+  // An unstarted TCP transport is a pure in-process message sink: post()
+  // routes same-host messages onto the loopback queue without any sockets.
+  net::TcpOptions options;
+  options.hosts = {net::TcpHostAddr{}};
+  net::TcpTransport world(options);
+  const net::HostId h0 = world.add_host();
+  const NodeId replica = world.add_node("replica", h0);
+  const NodeId client = world.add_node("client", h0);
+
+  auto registry = std::make_shared<workload::ProcedureRegistry>();
+  workload::bank::register_procedures(*registry);
+  const workload::bank::BankConfig bank{200, 0};
+  auto engine = std::make_shared<db::Engine>(db::make_derby_traits());
+  workload::bank::load(*engine, bank);
+  core::TxnExecutor executor(engine, registry);
+
+  constexpr std::uint64_t kBatches = 32;
+  Rng rng(11);
+  {
+    // Ring capacity far below the batch count: pushes 5..32 backpressure
+    // through the full-ring path while the executor drains.
+    core::ExecutorPipeline pipeline(world, replica, executor,
+                                    /*ring_capacity=*/4, /*tracer=*/nullptr);
+    for (std::uint64_t i = 0; i < kBatches; ++i) {
+      workload::TxnRequest req;
+      req.client = ClientId{1};
+      req.seq = i + 1;
+      req.reply_to = client;
+      req.proc = workload::bank::kDepositProc;
+      req.params = workload::bank::make_deposit(rng, bank);
+      consensus::Batch batch{
+          consensus::Command{ClientId{1}, i + 1, workload::encode_request(req)}};
+      pipeline.push(core::DeliverBatchHandoff{i + 1, i, consensus::EncodedBatch(batch)});
+    }
+    // Shut down with the ring (very likely) still holding undelivered
+    // batches; the contract is flush-then-join, whatever the queue depth.
+    pipeline.shutdown();
+    EXPECT_EQ(pipeline.executed_txns(), kBatches);
+    EXPECT_EQ(pipeline.queue_depth(), 0u);
+  }
+  EXPECT_EQ(executor.executed_count(), kBatches);
 }
 
 TEST(SpscRing, SharedPtrCrossesWithoutCopyingThePointee) {
