@@ -7,7 +7,12 @@
 // faults. A failing plan prints its replay seed and the minimized schedule.
 //
 //   chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]
+//                  [--shards N] [--cross-shard-pct P]
 //                  [--replay PLAN_SEED] [--no-minimize] [--verbose]
+//
+// --shards > 1 runs every plan against a sharded cluster (N consensus
+// groups over the same machines, cross-shard 2PC transfers in the mix);
+// faults then hit the victim's slice of every group at once.
 //
 // Exit status is non-zero iff any plan fails a checker (or fails to
 // complete before the virtual-time horizon), so check.sh can gate on it.
@@ -79,6 +84,10 @@ int main(int argc, char** argv) {
       config.clients = parse_u64(next());
     } else if (arg == "--replay") {
       replay_seed = parse_u64(next());
+    } else if (arg == "--shards") {
+      config.shards = parse_u64(next());
+    } else if (arg == "--cross-shard-pct") {
+      config.cross_shard_pct = parse_u64(next());
     } else if (arg == "--no-minimize") {
       config.minimize = false;
     } else if (arg == "--verbose") {
@@ -86,6 +95,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]\n"
+                   "                      [--shards N] [--cross-shard-pct P]\n"
                    "                      [--replay PLAN_SEED] [--no-minimize] [--verbose]\n");
       return 2;
     }
@@ -100,9 +110,10 @@ int main(int argc, char** argv) {
     return outcome.ok() ? 0 : 1;
   }
 
-  std::printf("chaos campaign: %zu plans, campaign seed %llu, %zu clients x %zu txns\n",
+  std::printf("chaos campaign: %zu plans, campaign seed %llu, %zu clients x %zu txns, "
+              "%zu shard(s)\n",
               config.plans, static_cast<unsigned long long>(config.seed), config.clients,
-              config.txns_per_client);
+              config.txns_per_client, config.shards);
   const shadow::chaos::CampaignResult result = shadow::chaos::run_campaign(config);
   for (const auto& outcome : result.outcomes) print_outcome(outcome, verbose);
 

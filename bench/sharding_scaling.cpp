@@ -1,0 +1,173 @@
+// Sharded scale-out: aggregate committed txn/s vs. number of consensus
+// groups, swept over the cross-shard transaction ratio.
+//
+// Each shard is a full ReplicationGroup — its own 3-machine broadcast
+// service and database replicas — so adding a shard adds machines, the
+// scale-out story the paper's single-group design stops short of. Clients
+// route through the ShardRouter: single-shard deposits go straight to the
+// owning group; adjacent-account transfers (always cross-shard for N > 1)
+// run the TOB-ordered 2PC path. Virtual time prices every machine's CPU
+// independently, so the measurement reflects the deployment's parallelism
+// rather than the bench host's core count (the wall-clock equivalent lives
+// in examples/run_cluster.sh — see EXPERIMENTS.md).
+//
+// Expectation: near-linear aggregate scaling 1→4 shards at 0% cross-shard,
+// degrading gracefully as the 2PC ratio grows (every cross-shard transfer
+// occupies two groups for three ordered log entries instead of one).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/shadowdb.hpp"
+#include "obs/checker.hpp"
+#include "sim/world.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::bench {
+namespace {
+
+using workload::bank::BankConfig;
+
+// Enough clients to push each group toward its ~900 txn/s saturation
+// (Fig. 9a saturates near 32 clients): at saturation the aggregate measures
+// per-group CPU capacity rather than the 2PC round-trip latency a
+// half-idle closed loop would expose.
+constexpr std::size_t kTxnsPerClient = 300;
+constexpr std::size_t kClientsPerShard = 24;
+const BankConfig kBank{4096, 0};
+
+struct ShardedRun {
+  std::size_t shards = 0;
+  std::size_t cross_pct = 0;
+  double txn_per_sec = 0.0;
+  double measured_cross_ratio = 0.0;
+  std::uint64_t conflict_retries = 0;
+  bool check_ok = false;
+  std::string check_summary;
+};
+
+ShardedRun run_sharded(std::size_t shards, std::size_t cross_pct) {
+  sim::World world(41 + shards * 7 + cross_pct);
+  obs::Tracer tracer{{.capacity = 1 << 21, .record_messages = false}};
+  tracer.attach(world);
+
+  auto registry = std::make_shared<workload::ProcedureRegistry>();
+  workload::bank::register_procedures(*registry);
+  core::ClusterOptions opts;
+  opts.registry = registry;
+  opts.engines = {db::make_h2_traits()};
+  opts.loader = [](db::Engine& e) { workload::bank::load(e, kBank); };
+  opts.tracer = &tracer;
+
+  core::ShardRouter router(shards);
+  router.install_default_extractors();
+  router.set_tracer(&tracer);
+  std::vector<core::ReplicationGroup> groups;
+  for (std::size_t g = 0; g < shards; ++g) {
+    core::GroupOptions go;
+    go.id = static_cast<core::GroupId>(g);
+    if (shards > 1) {
+      go.name_prefix = "g" + std::to_string(g) + ".";
+      go.metric_scope = "group." + std::to_string(g) + ".";
+    }
+    // machines left empty: every group allocates its OWN three machines
+    // (scale-out), unlike the co-located chaos/cluster deployments.
+    go.router = &router;
+    groups.push_back(core::make_replication_group(world, opts, go));
+  }
+  for (std::size_t g = 0; g < shards; ++g) {
+    router.set_group_targets(static_cast<core::GroupId>(g), groups[g].tob_nodes,
+                             groups[g].replica_nodes);
+  }
+
+  std::vector<std::unique_ptr<core::DbClient>> clients;
+  const std::size_t n = kClientsPerShard * shards;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = world.add_node("client" + std::to_string(i + 1));
+    core::DbClient::Options copts;
+    copts.mode = core::DbClient::Mode::kTob;
+    copts.router = &router;
+    copts.retry_conflict_aborts = true;
+    copts.txn_limit = kTxnsPerClient;
+    copts.tracer = &tracer;
+    auto rng = std::make_shared<Rng>(1000 + i);
+    clients.push_back(std::make_unique<core::DbClient>(
+        world, node, ClientId{static_cast<std::uint32_t>(i + 1)}, copts,
+        [rng, cross_pct]() {
+          if (cross_pct > 0 && rng->next() % 100 < cross_pct) {
+            const auto from = static_cast<std::int64_t>(
+                rng->next() % static_cast<std::uint64_t>(kBank.accounts));
+            return std::make_pair(
+                std::string(workload::bank::kTransferProc),
+                workload::Params{db::Value(from), db::Value((from + 1) % kBank.accounts),
+                                 db::Value(std::int64_t{1})});
+          }
+          return std::make_pair(std::string(workload::bank::kDepositProc),
+                                workload::bank::make_deposit(*rng, kBank));
+        }));
+  }
+
+  for (auto& c : clients) c->start();
+  net::Time horizon = 0;
+  while (true) {
+    horizon += 20000;
+    world.run_until(horizon);
+    const bool all = std::all_of(clients.begin(), clients.end(),
+                                 [](const auto& c) { return c->done(); });
+    if (all || horizon > 3000000000ULL) break;
+  }
+
+  ShardedRun run;
+  run.shards = shards;
+  run.cross_pct = cross_pct;
+  std::uint64_t committed = 0;
+  for (auto& c : clients) {
+    committed += c->committed();
+    run.conflict_retries += c->conflict_retries();
+  }
+  run.txn_per_sec = static_cast<double>(committed) * 1e6 / static_cast<double>(world.now());
+  run.measured_cross_ratio = router.cross_shard_ratio();
+  const obs::CheckResult check = obs::check_trace(tracer.snapshot());
+  run.check_ok = check.ok() && check.committed_txns_checked >= committed;
+  run.check_summary = check.summary();
+  return run;
+}
+
+}  // namespace
+}  // namespace shadow::bench
+
+int main() {
+  using shadow::bench::ShardedRun;
+  std::printf("# Sharded scale-out: aggregate committed txn/s (virtual time)\n");
+  std::printf("# %zu clients and %zu txns per shard; each shard = 3 own machines\n",
+              shadow::bench::kClientsPerShard,
+              shadow::bench::kClientsPerShard * shadow::bench::kTxnsPerClient);
+  std::printf("%-8s %-10s %-12s %-12s %-10s %-8s\n", "shards", "xs_pct", "txn/s",
+              "xs_ratio", "retries", "check");
+  bool all_ok = true;
+  double base_txn_s = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t cross : {std::size_t{0}, std::size_t{10}, std::size_t{30}}) {
+      const ShardedRun run = shadow::bench::run_sharded(shards, cross);
+      std::printf("%-8zu %-10zu %-12.0f %-12.3f %-10llu %-8s\n", run.shards, run.cross_pct,
+                  run.txn_per_sec, run.measured_cross_ratio,
+                  static_cast<unsigned long long>(run.conflict_retries),
+                  run.check_ok ? "ok" : "FAIL");
+      if (!run.check_ok) {
+        all_ok = false;
+        std::printf("  %s\n", run.check_summary.c_str());
+      }
+      if (shards == 1 && cross == 0) base_txn_s = run.txn_per_sec;
+      if (shards == 4 && cross == 10 && base_txn_s > 0.0 &&
+          run.txn_per_sec < 2.5 * base_txn_s) {
+        all_ok = false;
+        std::printf("  FAIL: 4-shard @ 10%% cross-shard is %.2fx the 1-shard baseline "
+                    "(acceptance: >= 2.5x)\n",
+                    run.txn_per_sec / base_txn_s);
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}

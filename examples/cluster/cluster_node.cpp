@@ -54,18 +54,24 @@ struct Args {
   std::string trace_path;
   bool rejoin = false;           // SMR only: restarted process, rejoin via snapshot
   std::uint64_t suspect_ms = 10000;  // SMR failure-detection suspicion timeout
+  std::size_t shards = 1;        // SMR only: independent consensus groups
+  std::size_t cross_shard_pct = 10;  // sharded workload: % cross-shard transfers
+  std::uint64_t epoch = 0;       // restart epoch tagged in group_info events
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
                " [--txns N] [--clients C] [--pipelined] [--run-for-ms M] [--trace FILE]\n"
-               "       [--rejoin] [--suspect-ms M]\n"
+               "       [--rejoin] [--suspect-ms M] [--shards N] [--cross-shard-pct P]"
+               " [--epoch E]\n"
                "       cluster_node check TRACE...\n"
                "  --pipelined (smr only) runs each process as a 3-stage pipeline\n"
                "  (I/O / consensus / DB executor threads) with adaptive batching\n"
                "  --rejoin (smr, hosts 1..%zu) marks this process as a crash-restart:\n"
-               "  it fetches a snapshot from host 0's replica and resumes mid-stream\n",
+               "  it fetches a snapshot from host 0's replica and resumes mid-stream\n"
+               "  --shards (smr only) partitions the bank keyspace across N consensus\n"
+               "  groups; --cross-shard-pct of transactions become 2PC transfers\n",
                kHostCount - 1, kServerHosts - 1);
   std::exit(2);
 }
@@ -118,12 +124,20 @@ int run_node(const Args& args) {
   opts.tob_adaptive_batching = args.pipelined;
 
   // Identical assembly in every process; only local nodes execute here.
+  // Sharded SMR builds N groups over the same three hosts; `groups` views
+  // them uniformly (the classic cluster is one group).
   core::PbrCluster pbr;
   core::SmrCluster smr;
+  core::ShardedSmrCluster sharded;
+  std::vector<core::ReplicationGroup*> groups;
   if (args.pbr) {
     pbr = core::make_pbr_cluster(transport, opts);
+  } else if (args.shards > 1) {
+    sharded = core::make_sharded_smr_cluster(transport, opts, args.shards, args.epoch);
+    for (auto& group : sharded.groups) groups.push_back(&group);
   } else {
     smr = core::make_smr_cluster(transport, opts);
+    groups.push_back(&smr);
   }
   const net::HostId client_host = transport.add_host();  // the 4th table entry
   std::vector<NodeId> client_nodes;
@@ -133,7 +147,12 @@ int run_node(const Args& args) {
 
   core::DbClient::Options client_options;
   client_options.mode = args.pbr ? core::DbClient::Mode::kDirect : core::DbClient::Mode::kTob;
-  client_options.targets = args.pbr ? pbr.request_targets() : smr.broadcast_targets();
+  client_options.targets =
+      args.pbr ? pbr.request_targets() : groups.front()->broadcast_targets();
+  if (args.shards > 1) {
+    client_options.router = sharded.router.get();
+    client_options.retry_conflict_aborts = true;
+  }
   client_options.tracer = &tracer;
   std::vector<std::unique_ptr<core::DbClient>> clients;
   if (args.host == kClientHost) {
@@ -142,9 +161,21 @@ int run_node(const Args& args) {
       client_options.txn_limit =
           args.txns / args.clients + (c < args.txns % args.clients ? 1 : 0);
       auto rng = std::make_shared<Rng>(7 + c);
+      const std::size_t cross_pct = args.shards > 1 ? args.cross_shard_pct : 0;
       clients.push_back(std::make_unique<core::DbClient>(
           transport, client_nodes[c], ClientId{static_cast<std::uint32_t>(c + 1)},
-          client_options, [rng, bank]() {
+          client_options, [rng, bank, cross_pct]() {
+            if (cross_pct > 0 && rng->next() % 100 < cross_pct) {
+              // Cross-shard transfer: adjacent accounts always land in
+              // different mod-N shards. Amount 1 keeps the global balance
+              // easy to audit.
+              const auto from = static_cast<std::int64_t>(
+                  rng->next() % static_cast<std::uint64_t>(bank.accounts));
+              const std::int64_t to = (from + 1) % bank.accounts;
+              return std::make_pair(
+                  std::string(workload::bank::kTransferProc),
+                  workload::Params{db::Value(from), db::Value(to), db::Value(std::int64_t{1})});
+            }
             return std::make_pair(std::string(workload::bank::kDepositProc),
                                   workload::bank::make_deposit(*rng, bank));
           }));
@@ -153,14 +184,20 @@ int run_node(const Args& args) {
 
   if (args.rejoin) {
     // Crash-restart: this process replaces a SIGKILLed incarnation of the
-    // same host. Pause our TOB node, ask host 0's replica for a snapshot,
-    // and resume mid-stream. The rejoin sequence number is the shared
-    // monotonic clock in µs — unique across this host's incarnations.
+    // same host. Pause our TOB node IN EVERY GROUP, ask host 0's replica of
+    // that group for a snapshot, and resume each group mid-stream — the
+    // resume points are independent per group. The rejoin sequence number is
+    // the shared monotonic clock in µs — unique across this host's
+    // incarnations (the rejoin client id already differs per group, since
+    // each group's replica has its own NodeId).
     const auto seq = static_cast<RequestSeq>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
-    smr.replicas[args.host]->start_rejoin(smr.tob_nodes[0], smr.replica_nodes[0], seq);
+    for (core::ReplicationGroup* group : groups) {
+      group->replicas[args.host]->start_rejoin(group->tob_nodes[0], group->replica_nodes[0],
+                                               seq);
+    }
   }
 
   // The topology is frozen: hand the sockets to the transport I/O thread.
@@ -199,28 +236,54 @@ int run_node(const Args& args) {
         secs > 0 ? static_cast<double>(committed) / secs : 0.0,
         static_cast<unsigned long long>(retries),
         static_cast<unsigned long long>(transport.messages_delivered()));
+    if (args.shards > 1) {
+      std::printf("client: shards %zu, cross-shard ratio %.3f (%llu/%llu routed)\n",
+                  args.shards, sharded.router->cross_shard_ratio(),
+                  static_cast<unsigned long long>(sharded.router->cross_shard_count()),
+                  static_cast<unsigned long long>(sharded.router->routed_count()));
+    }
     exit_code = (all_done() && committed == args.txns) ? 0 : 1;
   } else {
     transport.run_for(args.run_for_ms * 1000);
-    if (!args.pbr) smr.replicas[args.host]->quiesce();
-    const std::uint64_t executed = args.pbr ? pbr.replicas[args.host]->executed()
-                                            : smr.replicas[args.host]->executed();
-    std::printf("host %u: executed %llu txns, delivered %llu frames, digest %016llx\n",
-                args.host, static_cast<unsigned long long>(executed),
-                static_cast<unsigned long long>(transport.messages_delivered()),
-                static_cast<unsigned long long>(
-                    args.pbr ? pbr.replicas[args.host]->state_digest()
-                             : smr.replicas[args.host]->state_digest()));
-    if (args.pipelined) {
-      // The zero-copy and coalescing proof obligations of pipelined mode.
-      std::printf("host %u: batch bytes copied %llu, writev %llu calls / %llu records, "
-                  "tob batch limit %zu\n",
+    if (args.pbr) {
+      std::printf("host %u: executed %llu txns, delivered %llu frames, digest %016llx\n",
                   args.host,
+                  static_cast<unsigned long long>(pbr.replicas[args.host]->executed()),
+                  static_cast<unsigned long long>(transport.messages_delivered()),
+                  static_cast<unsigned long long>(pbr.replicas[args.host]->state_digest()));
+    } else {
+      // Per-group executed counts and digests: with one group this prints
+      // exactly the classic line; sharded runs add one line per group.
+      std::uint64_t executed_total = 0;
+      for (core::ReplicationGroup* group : groups) group->replicas[args.host]->quiesce();
+      for (core::ReplicationGroup* group : groups) {
+        executed_total += group->replicas[args.host]->executed();
+      }
+      std::printf("host %u: executed %llu txns, delivered %llu frames, digest %016llx\n",
+                  args.host, static_cast<unsigned long long>(executed_total),
+                  static_cast<unsigned long long>(transport.messages_delivered()),
                   static_cast<unsigned long long>(
-                      splice_stats().batch_bytes_copied.load(std::memory_order_relaxed)),
-                  static_cast<unsigned long long>(transport.writev_calls()),
-                  static_cast<unsigned long long>(transport.writev_records()),
-                  smr.tob.nodes[args.host]->batch_limit());
+                      groups.front()->replicas[args.host]->state_digest()));
+      if (args.shards > 1) {
+        for (core::ReplicationGroup* group : groups) {
+          std::printf("host %u: group %u executed %llu txns, digest %016llx\n", args.host,
+                      group->id,
+                      static_cast<unsigned long long>(group->replicas[args.host]->executed()),
+                      static_cast<unsigned long long>(
+                          group->replicas[args.host]->state_digest()));
+        }
+      }
+      if (args.pipelined) {
+        // The zero-copy and coalescing proof obligations of pipelined mode.
+        std::printf("host %u: batch bytes copied %llu, writev %llu calls / %llu records, "
+                    "tob batch limit %zu\n",
+                    args.host,
+                    static_cast<unsigned long long>(
+                        splice_stats().batch_bytes_copied.load(std::memory_order_relaxed)),
+                    static_cast<unsigned long long>(transport.writev_calls()),
+                    static_cast<unsigned long long>(transport.writev_records()),
+                    groups.front()->tob.nodes[args.host]->batch_limit());
+      }
     }
   }
 
@@ -273,6 +336,12 @@ int main(int argc, char** argv) {
       args.rejoin = true;
     } else if (flag == "--suspect-ms") {
       args.suspect_ms = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--shards") {
+      args.shards = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--cross-shard-pct") {
+      args.cross_shard_pct = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--epoch") {
+      args.epoch = std::strtoull(value().c_str(), nullptr, 10);
     } else {
       usage();
     }
@@ -280,6 +349,8 @@ int main(int argc, char** argv) {
   if (args.host >= kHostCount) usage();
   if (args.clients == 0) usage();
   if (args.pipelined && args.pbr) usage();  // the pipeline is the SMR path
+  if (args.shards == 0 || (args.shards > 1 && args.pbr)) usage();  // sharding is SMR-only
+  if (args.cross_shard_pct > 100) usage();
   // Rejoin is the SMR snapshot path; host 0 serves the snapshots (and holds
   // the Paxos leader), so it is never the one restarting.
   if (args.rejoin && (args.pbr || args.host == 0 || args.host >= kClientHost)) usage();

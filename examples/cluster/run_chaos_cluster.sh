@@ -3,7 +3,7 @@
 # processes mid-load and restart them with --rejoin, which fetches a snapshot
 # from host 0's replica and resumes the restarted TOB node mid-stream.
 #
-#   run_chaos_cluster.sh [txns] [base_port] [run_ms] [cycles] [clients]
+#   run_chaos_cluster.sh [txns] [base_port] [run_ms] [cycles] [clients] [shards] [xs_pct]
 #
 # Hosts 1 and 2 are killed alternately (`cycles` times total); host 0 — the
 # Paxos leader and snapshot server — always survives, since the acceptors
@@ -12,9 +12,16 @@
 # trace generation, and the merged generations must still pass the offline
 # checker.
 #
+# With `shards` > 1 every server process participates in that many
+# independent consensus groups; a SIGKILLed process loses its slice of ALL
+# groups at once and the restart rejoins each group from its own snapshot,
+# at per-group resume points that are independent of each other. Restarted
+# incarnations carry --epoch so their group_info trace events distinguish
+# incarnations.
+#
 # Exits 0 iff every transaction committed, every restart rejoined, AND the
-# merged traces pass total order, at-most-once, durability, and strict
-# serializability.
+# merged traces pass total order, at-most-once, durability, strict
+# serializability and (sharded) cross-shard atomicity.
 set -u
 
 TXNS="${1:-40000}"
@@ -22,9 +29,14 @@ BASE_PORT="${2:-$((36200 + RANDOM % 1000))}"
 RUN_MS="${3:-60000}"
 CYCLES="${4:-5}"
 CLIENTS="${5:-2}"
+SHARDS="${6:-1}"
+XS_PCT="${7:-10}"
 SUSPECT_MS=120000  # keep false suspicions out of the restart windows
 BIN="$(dirname "$0")/cluster_node"
 [ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
+
+SHARD_ARGS=()
+[ "$SHARDS" -gt 1 ] && SHARD_ARGS=(--shards "$SHARDS" --cross-shard-pct "$XS_PCT")
 
 WORK="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
@@ -39,19 +51,22 @@ launch() {  # launch HOST GENERATION [--rejoin]
   local h="$1" gen="$2"; shift 2
   "$BIN" --mode smr --host "$h" --base-port "$BASE_PORT" \
          --trace "$WORK/t${h}.g${gen}.jsonl" --run-for-ms "$(remaining_ms)" \
-         --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" "$@" &
+         --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" \
+         ${SHARD_ARGS[@]+"${SHARD_ARGS[@]}"} --epoch "$gen" "$@" &
   SERVER_PID[$h]=$!
 }
 
 echo "== ShadowDB-SMR chaos on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)):" \
-     "${TXNS} txns, ${CLIENTS} clients, ${CYCLES} kill/restart cycles =="
+     "${TXNS} txns, ${CLIENTS} clients, ${CYCLES} kill/restart cycles" \
+     "$([ "$SHARDS" -gt 1 ] && echo ", ${SHARDS} shards (${XS_PCT}% cross)")=="
 declare -a SERVER_PID
 for h in 0 1 2; do launch "$h" 0; done
 sleep 0.2
 
 "$BIN" --mode smr --host 3 --base-port "$BASE_PORT" \
        --trace "$WORK/t3.jsonl" --txns "$TXNS" --run-for-ms "$RUN_MS" \
-       --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" &
+       --clients "$CLIENTS" --suspect-ms "$SUSPECT_MS" \
+       ${SHARD_ARGS[@]+"${SHARD_ARGS[@]}"} &
 CLIENT_PID=$!
 
 GEN1=0; GEN2=0

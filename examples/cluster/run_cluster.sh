@@ -3,14 +3,18 @@
 # closed-loop bank-workload client — over TCP sockets, then merges the
 # per-process traces and replays them through the offline checker.
 #
-#   run_cluster.sh [pbr|smr] [txns] [base_port] [run_ms] [clients] [pipelined]
+#   run_cluster.sh [pbr|smr] [txns] [base_port] [run_ms] [clients] [pipelined] [shards] [xs_pct]
 #
 # `clients` (default 1) fans the transaction budget across that many
 # closed-loop clients; `pipelined` (any non-empty value, smr only) runs every
-# process as the 3-stage pipeline with adaptive batching.
+# process as the 3-stage pipeline with adaptive batching; `shards` (default 1,
+# smr only) partitions the bank keyspace across that many consensus groups
+# with `xs_pct`% (default 10) of transactions running as cross-shard 2PC
+# transfers.
 #
 # Exits 0 iff every transaction committed AND the merged trace passes total
-# order, at-most-once, durability, and strict serializability.
+# order, at-most-once, durability, strict serializability and (sharded)
+# cross-shard atomicity.
 set -u
 
 MODE="${1:-pbr}"
@@ -19,17 +23,20 @@ BASE_PORT="${3:-$((35200 + RANDOM % 1000))}"
 RUN_MS="${4:-20000}"
 CLIENTS="${5:-1}"
 PIPELINED="${6:-}"
+SHARDS="${7:-1}"
+XS_PCT="${8:-10}"
 BIN="$(dirname "$0")/cluster_node"
 [ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
 
 EXTRA=(--clients "$CLIENTS")
 [ -n "$PIPELINED" ] && EXTRA+=(--pipelined)
+[ "$SHARDS" -gt 1 ] && EXTRA+=(--shards "$SHARDS" --cross-shard-pct "$XS_PCT")
 
 WORK="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 
 echo "== ShadowDB-${MODE^^} on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)), ${TXNS} txns," \
-     "${CLIENTS} clients${PIPELINED:+, pipelined} =="
+     "${CLIENTS} clients${PIPELINED:+, pipelined}$([ "$SHARDS" -gt 1 ] && echo ", ${SHARDS} shards (${XS_PCT}% cross)") =="
 for h in 0 1 2; do
   "$BIN" --mode "$MODE" --host "$h" --base-port "$BASE_PORT" \
          --trace "$WORK/t$h.jsonl" --run-for-ms "$RUN_MS" "${EXTRA[@]}" &

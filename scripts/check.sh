@@ -10,7 +10,8 @@
 #     observability layers stay warning-clean;
 #   * layering grep gates: protocol code (consensus, tob, core, baselines)
 #     must program against net::Transport/net::NodeContext only — no
-#     sim::Context and no sim/world.hpp includes;
+#     sim::Context and no sim/world.hpp includes — and the consensus/TOB
+#     layers must stay sharding-blind (no ShardRouter/GroupId);
 #   * an ASan+UBSan build of the whole tree with the test suites run under
 #     it (the zero-copy payload path lives or dies by buffer ownership);
 #   * a TSan build of the threaded suites — the SPSC ring unit tests and the
@@ -21,12 +22,14 @@
 #   * a fixed-seed chaos campaign: 20 seeded multi-fault schedules (crashes,
 #     leader failover, partitions, link faults) against the simulated SMR
 #     cluster, which must commit everything with zero checker violations —
-#     plus a smaller campaign and the TCP chaos suite under TSan;
+#     plus a sharded (2-group) campaign where every fault hits both groups
+#     at once, and a smaller campaign and the TCP chaos suite under TSan;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
 #     bank workload, and the offline trace checker (skipped gracefully when
-#     the environment forbids sockets), single-threaded and pipelined — and
-#     the chaos launcher, which SIGKILLs and rejoins server processes
-#     mid-load (run_chaos_cluster.sh).
+#     the environment forbids sockets), single-threaded, pipelined, and
+#     sharded (2 consensus groups with cross-shard 2PC) — and the chaos
+#     launcher, which SIGKILLs and rejoins server processes mid-load
+#     (run_chaos_cluster.sh).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +51,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   fi
   if grep -rl 'sim/world\.hpp' src/consensus src/tob src/core src/baselines; then
     echo "FAIL: protocol code includes sim/world.hpp (use net/transport.hpp)" >&2
+    exit 1
+  fi
+  # Sharding stays above the consensus/TOB layer: a Paxos acceptor or TOB
+  # node never knows which replication group it serves (groups are just
+  # disjoint node sets wired by core/group.cpp).
+  if grep -rlw 'ShardRouter\|GroupId' src/consensus src/tob; then
+    echo "FAIL: consensus/tob code names ShardRouter/GroupId (sharding lives in src/core)" >&2
     exit 1
   fi
 
@@ -76,7 +86,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j --target common_spsc_ring_test net_tcp_cluster_e2e_test
   ./build-tsan/tests/common_spsc_ring_test >/dev/null
   ./build-tsan/tests/net_tcp_cluster_e2e_test \
-    --gtest_filter='*SmrPipelined*' >/dev/null
+    --gtest_filter='*SmrPipelined*:TcpShardedClusterE2e.*' >/dev/null
 
   echo "== wire: round-trip suite under extra corruption seeds =="
   for seed in 7 131 9973; do
@@ -97,6 +107,12 @@ if [[ "${1:-}" != "--fast" ]]; then
   # replay seed and its minimized schedule.
   timeout 600 ./build/bench/chaos_campaign --plans 20 --seed 20140623 >/dev/null
 
+  echo "== chaos: sharded fixed-seed campaign (2 groups, faults hit both at once) =="
+  # Every fault lands on the target machine's node in BOTH groups; a crash
+  # restart drives two independent per-group snapshot rejoins under load.
+  timeout 600 ./build/bench/chaos_campaign --plans 8 --seed 20140623 \
+    --shards 2 --cross-shard-pct 20 >/dev/null
+
   echo "== chaos: TSan campaign + TCP chaos suite =="
   # Fault schedules exercise crash/restart interleavings the clean-run TSan
   # gates never reach (rejoin snapshots racing the executor pipeline).
@@ -115,6 +131,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "-- smr pipelined: 3-stage pipeline, 4 clients, adaptive batching"
     timeout 120 ./build/examples/run_cluster.sh smr 200 \
       "$((34000 + RANDOM % 1000))" 10000 4 pipelined
+    echo "-- smr sharded: 2 consensus groups, 10% cross-shard 2PC transfers"
+    timeout 120 ./build/examples/run_cluster.sh smr 200 \
+      "$((34000 + RANDOM % 1000))" 10000 4 pipelined 2 10
     echo "-- smr chaos: SIGKILL/restart cycles with snapshot rejoin under load"
     timeout 240 ./build/examples/run_chaos_cluster.sh 40000 \
       "$((35000 + RANDOM % 1000))" 60000 5 2

@@ -48,7 +48,19 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
   opts.smr.hb_period = config.hb_period;
   opts.smr.suspect_timeout = config.suspect_timeout;
   opts.tracer = &tracer;
-  core::SmrCluster cluster = core::make_smr_cluster(world, opts);
+  // Classic path for shards == 1 (byte-identical to the pre-sharding
+  // campaigns, so the pinned regression seeds replay the original schedules);
+  // shards > 1 builds N groups over the same machines.
+  core::SmrCluster cluster;
+  core::ShardedSmrCluster sharded;
+  std::vector<core::ReplicationGroup*> groups;
+  if (config.shards > 1) {
+    sharded = core::make_sharded_smr_cluster(world, opts, config.shards);
+    for (auto& group : sharded.groups) groups.push_back(&group);
+  } else {
+    cluster = core::make_smr_cluster(world, opts);
+    groups.push_back(&cluster);
+  }
 
   // Closed-loop clients on their own machine, so client CPU never competes
   // with the servers under test.
@@ -58,13 +70,27 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
     const NodeId node = world.add_node("chaos-client-" + std::to_string(c), client_machine);
     core::DbClient::Options copts;
     copts.mode = core::DbClient::Mode::kTob;
-    copts.targets = cluster.broadcast_targets();
+    copts.targets = groups.front()->broadcast_targets();
+    if (config.shards > 1) {
+      copts.router = sharded.router.get();
+      copts.retry_conflict_aborts = true;
+    }
     copts.txn_limit = config.txns_per_client;
     copts.tracer = &tracer;
     auto rng = std::make_shared<Rng>(plan.seed + 0x9e37 * (c + 1));
+    const std::size_t cross_pct = config.shards > 1 ? config.cross_shard_pct : 0;
     clients.push_back(std::make_unique<core::DbClient>(
         world, node, ClientId{static_cast<std::uint32_t>(c + 1)}, copts,
-        [rng, bank]() -> std::pair<std::string, workload::Params> {
+        [rng, bank, cross_pct]() -> std::pair<std::string, workload::Params> {
+          if (cross_pct > 0 && rng->next() % 100 < cross_pct) {
+            // Adjacent accounts always differ in `mod shards` group.
+            const auto from = static_cast<std::int64_t>(
+                rng->next() % static_cast<std::uint64_t>(bank.accounts));
+            const std::int64_t to = (from + 1) % bank.accounts;
+            return {std::string(workload::bank::kTransferProc),
+                    workload::Params{db::Value(from), db::Value(to),
+                                     db::Value(std::int64_t{1})}};
+          }
           return {workload::bank::kDepositProc, workload::bank::make_deposit(*rng, bank)};
         }));
     clients.back()->start(/*initial_delay=*/c * 500);
@@ -72,37 +98,63 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
 
   // Inject the plan. Heals and second-stage crashes are scheduled from
   // inside the event callback, so their delays compose with `ev.at`.
+  // A fault target names a MACHINE slice: with shards > 1 the event hits the
+  // target's node in every group at once (one OS process runs all of them),
+  // but still counts as one injected fault.
   for (const FaultEvent& ev : plan.events) {
-    world.schedule(ev.at, [&world, &cluster, &config, &outcome, ev] {
+    world.schedule(ev.at, [&world, &groups, &config, &outcome, ev] {
       switch (ev.kind) {
-        case FaultKind::kCrashReplica:
-          if (crash_once(world, cluster.replica_nodes[ev.target])) ++outcome.faults_injected;
+        case FaultKind::kCrashReplica: {
+          bool any = false;
+          for (core::ReplicationGroup* g : groups) {
+            any |= crash_once(world, g->replica_nodes[ev.target]);
+          }
+          if (any) ++outcome.faults_injected;
           break;
-        case FaultKind::kCrashTobNode:
-          if (crash_once(world, cluster.tob_nodes[ev.target])) ++outcome.faults_injected;
+        }
+        case FaultKind::kCrashTobNode: {
+          bool any = false;
+          for (core::ReplicationGroup* g : groups) {
+            any |= crash_once(world, g->tob_nodes[ev.target]);
+          }
+          if (any) ++outcome.faults_injected;
           break;
+        }
         case FaultKind::kPartition: {
-          const NodeId a = cluster.tob_nodes[ev.target];
-          const NodeId b = cluster.tob_nodes[ev.target2];
-          world.set_partitioned(a, b, true);
+          for (core::ReplicationGroup* g : groups) {
+            const NodeId a = g->tob_nodes[ev.target];
+            const NodeId b = g->tob_nodes[ev.target2];
+            world.set_partitioned(a, b, true);
+            world.schedule(ev.duration,
+                           [&world, a, b] { world.set_partitioned(a, b, false); });
+          }
           ++outcome.faults_injected;
-          world.schedule(ev.duration, [&world, a, b] { world.set_partitioned(a, b, false); });
           break;
         }
         case FaultKind::kLinkFault: {
-          const NodeId a = cluster.tob_nodes[ev.target];
-          const NodeId b = cluster.tob_nodes[ev.target2];
-          world.set_link_fault(a, b, sim::LinkFault{ev.corrupt_prob, ev.truncate_prob});
+          for (core::ReplicationGroup* g : groups) {
+            const NodeId a = g->tob_nodes[ev.target];
+            const NodeId b = g->tob_nodes[ev.target2];
+            world.set_link_fault(a, b, sim::LinkFault{ev.corrupt_prob, ev.truncate_prob});
+            world.schedule(ev.duration, [&world, a, b] { world.clear_link_fault(a, b); });
+          }
           ++outcome.faults_injected;
-          world.schedule(ev.duration, [&world, a, b] { world.clear_link_fault(a, b); });
           break;
         }
         case FaultKind::kCrashPair: {
-          if (crash_once(world, cluster.replica_nodes[ev.target])) ++outcome.faults_injected;
-          const NodeId second = cluster.replica_nodes[ev.target2];
-          world.schedule(config.suspect_timeout + ev.duration, [&world, second, &outcome] {
-            if (crash_once(world, second)) ++outcome.faults_injected;
-          });
+          bool any = false;
+          for (core::ReplicationGroup* g : groups) {
+            any |= crash_once(world, g->replica_nodes[ev.target]);
+          }
+          if (any) ++outcome.faults_injected;
+          world.schedule(config.suspect_timeout + ev.duration,
+                         [&world, &groups, ev, &outcome] {
+                           bool second = false;
+                           for (core::ReplicationGroup* g : groups) {
+                             second |= crash_once(world, g->replica_nodes[ev.target2]);
+                           }
+                           if (second) ++outcome.faults_injected;
+                         });
           break;
         }
       }

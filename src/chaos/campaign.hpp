@@ -31,6 +31,15 @@ struct CampaignConfig {
   std::size_t txns_per_client = 120;
   std::int64_t bank_accounts = 200;
 
+  /// > 1: shard the bank keyspace across that many independent consensus
+  /// groups (core/group.hpp). Every fault event then hits the target's slice
+  /// of EVERY group at once — a crashed machine takes all of its group
+  /// memberships down together — and `cross_shard_pct` percent of the
+  /// workload becomes 2PC transfers between adjacent (different-group)
+  /// accounts. 1 keeps the exact classic single-group campaign.
+  std::size_t shards = 1;
+  std::size_t cross_shard_pct = 10;
+
   net::Time hb_period = 50000;          // replica heartbeats, µs
   net::Time suspect_timeout = 400000;   // failure detection, µs (mirrored
                                         // into PlanConfig for kCrashPair)

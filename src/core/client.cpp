@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include "core/pbr.hpp"
+#include "core/twopc.hpp"
 #include "obs/trace.hpp"
 
 namespace shadow::core {
@@ -12,7 +13,8 @@ DbClient::DbClient(net::Transport& world, NodeId self, ClientId id, Options opti
       id_(id),
       options_(std::move(options)),
       next_txn_(std::move(next_txn)) {
-  SHADOW_REQUIRE(!options_.targets.empty());
+  backoff_state_ = 0x9e3779b97f4a7c15ULL ^ (std::uint64_t{id.value} * 0xbf58476d1ce4e5b9ULL);
+  SHADOW_REQUIRE(!options_.targets.empty() || options_.router != nullptr);
   world_.set_handler(self_, [this](net::NodeContext& ctx, const net::Message& msg) {
     on_message(ctx, msg);
   });
@@ -47,12 +49,22 @@ void DbClient::submit_next(net::NodeContext& ctx) {
 void DbClient::send_current(net::NodeContext& ctx) {
   SHADOW_CHECK(in_flight_.has_value());
   ctx.charge(options_.client_cpu_us);
-  const NodeId target = options_.targets[target_idx_ % options_.targets.size()];
+  // Routed clients pick the pool per request (the coordinator group's TOB
+  // nodes); target rotation on retry stays within the pool.
+  const std::vector<NodeId>& pool =
+      options_.router != nullptr ? options_.router->route(*in_flight_) : options_.targets;
+  const NodeId target = pool[target_idx_ % pool.size()];
   if (options_.mode == Mode::kDirect) {
     ctx.send(target, workload::make_request_msg(*in_flight_));
   } else {
+    ClientId wire_id = id_;
+    if (options_.router != nullptr && options_.router->cross_shard(*in_flight_)) {
+      // Mark the broadcast itself: the delivery path spots the control bit
+      // in the decided batch and takes the serial 2PC path without decoding.
+      wire_id = ClientId{kXsBeginBit | (id_.value & kXsClientMask)};
+    }
     tob::BroadcastBody body{
-        tob::Command{id_, in_flight_->seq, workload::encode_request(*in_flight_)}};
+        tob::Command{wire_id, in_flight_->seq, workload::encode_request(*in_flight_)}};
     ctx.send(target, net::make_msg(tob::kBroadcastHeader, std::move(body)));
   }
   timeout_timer_ = ctx.set_timer(options_.retry_timeout,
@@ -114,6 +126,36 @@ void DbClient::finish_current(net::NodeContext& ctx, const workload::TxnResponse
   consecutive_busy_ = 0;
   ctx.cancel_timer(timeout_timer_);
   ctx.charge(options_.client_cpu_us);
+  if (!resp.committed && options_.retry_conflict_aborts && resp.error == "xs-lock-conflict") {
+    // A no-wait 2PC vote-NO: the transaction lost a lock race, not a
+    // semantic check. Resubmit it as a fresh transaction (new seq — the old
+    // one is terminally aborted in every replica's dedup table). The seq
+    // bump happens NOW so the duplicate abort answers from the other
+    // coordinator replicas keep being filtered as late duplicates; the
+    // resend itself waits out a jittered backoff so it does not re-collide
+    // with the winner that still holds the contended locks.
+    if (options_.tracer) options_.tracer->txn_ack(ctx.now(), self_, id_, resp.seq, false);
+    ++conflict_retries_;
+    in_flight_->seq = ++seq_;
+    net::Time delay = 0;
+    if (options_.conflict_backoff_us > 0) {
+      const std::uint32_t streak = conflict_streak_ < 6 ? conflict_streak_ : 6;
+      backoff_state_ = backoff_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const net::Time span = options_.conflict_backoff_us << streak;
+      delay = options_.conflict_backoff_us + (backoff_state_ >> 33) % span;
+    }
+    ++conflict_streak_;
+    ctx.set_timer(delay, [this](net::NodeContext& c) {
+      if (!in_flight_ || done_) return;
+      sent_at_ = c.now();
+      if (options_.tracer) {
+        options_.tracer->txn_begin(c.now(), self_, id_, in_flight_->seq, in_flight_->proc);
+      }
+      send_current(c);
+    });
+    return;
+  }
+  conflict_streak_ = 0;
   latencies_.add(ctx.now() - sent_at_);
   if (options_.tracer) {
     options_.tracer->txn_ack(ctx.now(), self_, id_, resp.seq, resp.committed);

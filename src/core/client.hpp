@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/stats.hpp"
+#include "core/router.hpp"
 #include "tob/tob.hpp"
 #include "workload/messages.hpp"
 
@@ -33,6 +34,24 @@ class DbClient {
     std::size_t txn_limit = 1000;       // closed-loop transaction count
     std::uint64_t client_cpu_us = 4;    // per send/receive on the client machine
     obs::Tracer* tracer = nullptr;      // optional structured trace recorder
+    /// Sharded deployments (kTob mode): route each request to its
+    /// coordinator group's TOB nodes instead of `targets`, and flag
+    /// cross-shard requests on the wire (kXsBeginBit) so replicas classify
+    /// them without decoding payloads. Null for classic clusters.
+    const ShardRouter* router = nullptr;
+    /// Resubmit (with a fresh sequence number) transactions aborted by the
+    /// no-wait 2PC conflict rule ("xs-lock-conflict") — those aborts are
+    /// transient serialization failures, not transaction outcomes. Semantic
+    /// aborts (overdraft, missing account) are never retried.
+    bool retry_conflict_aborts = false;
+    /// Jittered exponential backoff before a conflict retry is resubmitted:
+    /// the delay is uniform in [base, base * 2^min(streak, 6)] where streak
+    /// counts consecutive conflicts of the same transaction. Without it,
+    /// an immediate retry usually re-collides with the still-in-flight
+    /// winner (its locks are held until its decide), and every spin burns
+    /// three ordered log entries per participant group — under contention
+    /// that feedback loop collapses throughput. 0 retries immediately.
+    net::Time conflict_backoff_us = 400;
   };
 
   /// Supplies the next transaction (procedure name + parameters).
@@ -52,6 +71,7 @@ class DbClient {
   std::uint64_t committed() const { return committed_; }
   std::uint64_t aborted() const { return aborted_; }
   std::uint64_t retries() const { return retries_; }
+  std::uint64_t conflict_retries() const { return conflict_retries_; }
   ClientId id() const { return id_; }
 
  private:
@@ -74,12 +94,15 @@ class DbClient {
   std::size_t target_idx_ = 0;
   net::TimerId timeout_timer_ = 0;
   std::size_t consecutive_busy_ = 0;
+  std::uint32_t conflict_streak_ = 0;
+  std::uint64_t backoff_state_ = 0;  // per-client deterministic jitter LCG
   bool done_ = false;
 
   LatencyStats latencies_;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t conflict_retries_ = 0;
   std::size_t submitted_ = 0;
 };
 

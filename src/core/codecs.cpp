@@ -1,18 +1,23 @@
 #include "core/codecs.hpp"
 
+#include <mutex>
+
 #include "consensus/paxos.hpp"
 #include "consensus/two_third.hpp"
 #include "core/chain.hpp"
 #include "core/pbr.hpp"
 #include "core/replica_common.hpp"
 #include "core/smr.hpp"
+#include "core/twopc.hpp"
 #include "tob/tob.hpp"
 #include "wire/registry.hpp"
 #include "workload/messages.hpp"
 
 namespace shadow::core {
 
-void register_wire_codecs() {
+namespace {
+
+void register_wire_codecs_impl() {
   wire::Registry& reg = wire::registry();
 
   // Consensus: Paxos Synod and TwoThird.
@@ -43,6 +48,11 @@ void register_wire_codecs() {
   reg.ensure<ReplSnapBatchBody>(kSnapBatchHeader);
   reg.ensure<ReplSnapDoneBody>(kSnapDoneHeader);
 
+  // Cross-shard 2PC (sharded deployments; every group shares one header
+  // vocabulary — the participant group travels inside the message bodies,
+  // so N groups in one process register exactly the same bindings).
+  reg.ensure<XsSnapBody>(kXsSnapHeader);
+
   // Primary/backup replication.
   reg.ensure<ReplForwardBody>(kPbrForwardHeader);
   reg.ensure<ReplAckBody>(kPbrAckHeader);
@@ -64,6 +74,18 @@ void register_wire_codecs() {
   reg.ensure<ReplSnapDoneBody>(kChainSnapDoneHeader);
   reg.ensure<ReplSnapDoneBody>(kChainRecoveredHeader);
   reg.ensure<consensus::Command>(kChainDeliverHeader);
+}
+
+}  // namespace
+
+void register_wire_codecs() {
+  // Once per process, even when many groups assemble concurrently with live
+  // transport threads already decoding frames (a sharded in-process cluster
+  // builds group g+1 while group g's TCP loops run): Registry::ensure is
+  // idempotent per header but not synchronized, so the one-time guard is
+  // what keeps later assemblies from racing the map.
+  static std::once_flag once;
+  std::call_once(once, register_wire_codecs_impl);
 }
 
 }  // namespace shadow::core

@@ -15,11 +15,12 @@ constexpr std::chrono::microseconds kWaitSlice{50};
 
 ExecutorPipeline::ExecutorPipeline(net::Transport& world, NodeId self,
                                    TxnExecutor& executor, std::size_t ring_capacity,
-                                   obs::Tracer* tracer)
+                                   obs::Tracer* tracer, std::string metric_scope)
     : world_(world),
       self_(self),
       executor_(executor),
       tracer_(tracer),
+      depth_metric_(metric_scope + "pipeline.queue_depth"),
       batches_(ring_capacity),
       // Completions outnumber batches by the batch size; give them headroom
       // so the executor rarely blocks between drain cycles.
@@ -35,7 +36,7 @@ void ExecutorPipeline::push(DeliverBatchHandoff handoff) {
   // publishes it).
   handoff.batch.commands();
   ++pushed_;
-  if (tracer_) tracer_->observe("pipeline.queue_depth", queue_depth());
+  if (tracer_) tracer_->observe(depth_metric_, queue_depth());
   while (!batches_.try_push(handoff)) {
     // Ring full: the executor is behind. Keep draining completions while
     // waiting — never sleep on a non-empty completions ring, or a full one

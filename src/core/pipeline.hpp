@@ -60,9 +60,11 @@ class ExecutorPipeline {
  public:
   /// `executor` and `tracer` must outlive the pipeline; the executor thread
   /// starts immediately. `self` is the replica node responses are posted
-  /// from (via Transport::post on the consensus thread).
+  /// from (via Transport::post on the consensus thread). `metric_scope`
+  /// prefixes the queue-depth metric ("group.<id>." in sharded deployments).
   ExecutorPipeline(net::Transport& world, NodeId self, TxnExecutor& executor,
-                   std::size_t ring_capacity, obs::Tracer* tracer);
+                   std::size_t ring_capacity, obs::Tracer* tracer,
+                   std::string metric_scope = {});
   ~ExecutorPipeline();
 
   ExecutorPipeline(const ExecutorPipeline&) = delete;
@@ -109,6 +111,7 @@ class ExecutorPipeline {
   NodeId self_;
   TxnExecutor& executor_;
   obs::Tracer* tracer_;
+  std::string depth_metric_;  // metric_scope + "pipeline.queue_depth"
 
   SpscRing<DeliverBatchHandoff> batches_;
   SpscRing<Completion> completions_;

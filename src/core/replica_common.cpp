@@ -35,4 +35,30 @@ TxnExecutor::Execution TxnExecutor::execute(const workload::TxnRequest& req) {
   return exec;
 }
 
+TxnExecutor::Execution TxnExecutor::apply_prepared(const workload::TxnRequest& req,
+                                                   const std::vector<db::Statement>& staged,
+                                                   bool commit, std::string error) {
+  Execution exec;
+  std::uint64_t engine_cost = 0;
+  if (commit) {
+    const db::TxnId txn = engine_->begin();
+    for (const db::Statement& stmt : staged) {
+      const db::ExecResult r = engine_->execute(txn, stmt);
+      SHADOW_CHECK_MSG(r.ok(), "prepared cross-shard statement must apply cleanly");
+      engine_cost += r.cost_us;
+    }
+    const db::ExecResult c = engine_->commit(txn);
+    SHADOW_CHECK(c.ok());
+    engine_cost += c.cost_us;
+  }
+  ++executed_;
+  exec.response.client = req.client;
+  exec.response.seq = req.seq;
+  exec.response.committed = commit;
+  exec.response.error = std::move(error);
+  exec.cost_us = costs_.per_txn_us + engine_cost + costs_.per_stmt_us * staged.size();
+  last_by_client_[req.client.value] = {req.seq, exec.response};
+  return exec;
+}
+
 }  // namespace shadow::core

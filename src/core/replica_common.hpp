@@ -129,6 +129,15 @@ class TxnExecutor {
   };
   Execution execute(const workload::TxnRequest& req);
 
+  /// Applies a cross-shard transaction's decision (core/twopc.hpp): runs the
+  /// staged statements in one engine transaction (commit) or nothing (abort),
+  /// records the outcome in the dedup table either way, and prices it like a
+  /// normal execution. The statements were planned under exclusive locks, so
+  /// they must apply cleanly.
+  Execution apply_prepared(const workload::TxnRequest& req,
+                           const std::vector<db::Statement>& staged, bool commit,
+                           std::string error);
+
   /// Number of distinct transactions executed (not deduplicated).
   std::uint64_t executed_count() const { return executed_; }
 

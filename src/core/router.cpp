@@ -1,0 +1,96 @@
+#include "core/router.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+
+namespace shadow::core {
+
+ShardRouter::ShardRouter(std::size_t shards) : shards_(shards), targets_(shards) {
+  SHADOW_REQUIRE(shards >= 1);
+}
+
+void ShardRouter::register_proc(const std::string& proc, ProcInfo info) {
+  procs_[proc] = std::move(info);
+}
+
+void ShardRouter::install_default_extractors() {
+  // Bank: accounts are the keyspace; transfer is the only multi-key (and so
+  // the only potentially cross-shard) procedure. audit scans every account
+  // and stays key-less (pinned to group 0 — correct only for shards == 1; the
+  // sharded workloads do not issue it).
+  register_proc("bank.deposit", ProcInfo{"accounts", {0}});
+  register_proc("bank.balance", ProcInfo{"accounts", {0}});
+  register_proc("bank.transfer", ProcInfo{"accounts", {0, 1}});
+  register_proc("bank.audit", ProcInfo{"accounts", {}});
+  // TPC-C: partitioned by warehouse (params[0] in every procedure); all five
+  // procedures are single-warehouse here, so TPC-C never crosses shards.
+  register_proc("tpcc.new_order", ProcInfo{"warehouse", {0}});
+  register_proc("tpcc.payment", ProcInfo{"warehouse", {0}});
+  register_proc("tpcc.order_status", ProcInfo{"warehouse", {0}});
+  register_proc("tpcc.delivery", ProcInfo{"warehouse", {0}});
+  register_proc("tpcc.stock_level", ProcInfo{"warehouse", {0}});
+}
+
+const ShardRouter::ProcInfo* ShardRouter::proc_info(const std::string& proc) const {
+  const auto it = procs_.find(proc);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::int64_t> ShardRouter::keys_of(const workload::TxnRequest& req) const {
+  std::vector<std::int64_t> keys;
+  if (const ProcInfo* info = proc_info(req.proc)) {
+    for (const std::size_t idx : info->key_params) {
+      SHADOW_CHECK(idx < req.params.size());
+      keys.push_back(req.params[idx].as_int());
+    }
+  }
+  return keys;
+}
+
+std::vector<GroupId> ShardRouter::shards_of(const workload::TxnRequest& req) const {
+  std::vector<GroupId> groups;
+  for (const std::int64_t key : keys_of(req)) groups.push_back(shard_of_key(key));
+  if (groups.empty()) groups.push_back(0);  // key-less procedures pin to group 0
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+bool ShardRouter::cross_shard(const workload::TxnRequest& req) const {
+  return shards_of(req).size() > 1;
+}
+
+GroupId ShardRouter::coordinator_of(const workload::TxnRequest& req) const {
+  return shards_of(req).front();
+}
+
+void ShardRouter::set_group_targets(GroupId g, std::vector<NodeId> tob,
+                                    std::vector<NodeId> replicas) {
+  SHADOW_REQUIRE(g < targets_.size());
+  targets_[g] = Targets{std::move(tob), std::move(replicas)};
+}
+
+const std::vector<NodeId>& ShardRouter::tob_targets(GroupId g) const {
+  SHADOW_REQUIRE(g < targets_.size());
+  return targets_[g].tob;
+}
+
+const std::vector<NodeId>& ShardRouter::replica_targets(GroupId g) const {
+  SHADOW_REQUIRE(g < targets_.size());
+  return targets_[g].replicas;
+}
+
+const std::vector<NodeId>& ShardRouter::route(const workload::TxnRequest& req) const {
+  const std::vector<GroupId> groups = shards_of(req);
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  if (groups.size() > 1) cross_routed_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->count("router.txns_total");
+    if (groups.size() > 1) tracer_->count("router.cross_shard");
+  }
+  return tob_targets(groups.front());
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,109 @@
+// Keyspace partitioning across replication groups.
+//
+// A sharded deployment runs N independent consensus groups (see
+// core/group.hpp); the router maps every transaction onto the groups that
+// own its partition keys. Single-shard transactions are broadcast straight
+// into their group's TOB; cross-shard transactions go to a coordinator group
+// (the first participant) which drives a TOB-ordered two-phase commit
+// (core/twopc.hpp).
+//
+// The partition function is deliberately trivial and rebalance-free —
+// `key mod shards` — so that routing is a pure function of the request:
+// every client and every replica computes the same participant set forever,
+// which is what makes the 2PC message flow deterministic and the merged
+// traces checkable offline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::obs {
+class Tracer;
+}
+
+namespace shadow::core {
+
+/// Identifies one replication group (one TOB instance + its replica set).
+using GroupId = std::uint32_t;
+
+class ShardRouter {
+ public:
+  /// How a procedure's parameters map onto the partitioned keyspace.
+  struct ProcInfo {
+    std::string table;                    // lock/partition namespace
+    std::vector<std::size_t> key_params;  // parameter indices holding keys
+  };
+
+  explicit ShardRouter(std::size_t shards);
+
+  std::size_t shard_count() const { return shards_; }
+
+  /// Stable, rebalance-free partition: key → group by modulo.
+  GroupId shard_of_key(std::int64_t key) const {
+    return static_cast<GroupId>(static_cast<std::uint64_t>(key) %
+                                static_cast<std::uint64_t>(shards_));
+  }
+
+  /// Registers a procedure's partition-key layout. Procedures with no key
+  /// parameters (full scans like bank.audit) and unregistered procedures pin
+  /// to group 0.
+  void register_proc(const std::string& proc, ProcInfo info);
+  /// Registers the built-in bank + TPC-C layouts (bank: account params;
+  /// TPC-C: the warehouse parameter — every TPC-C procedure is
+  /// single-warehouse here, so TPC-C never crosses shards).
+  void install_default_extractors();
+
+  const ProcInfo* proc_info(const std::string& proc) const;
+  /// The request's partition keys (empty for key-less procedures).
+  std::vector<std::int64_t> keys_of(const workload::TxnRequest& req) const;
+  /// Sorted, deduplicated participant groups (never empty; {0} for key-less).
+  std::vector<GroupId> shards_of(const workload::TxnRequest& req) const;
+  bool cross_shard(const workload::TxnRequest& req) const;
+  /// The group that owns a transaction end-to-end (single-shard) or drives
+  /// its two-phase commit (cross-shard): the first participant group.
+  GroupId coordinator_of(const workload::TxnRequest& req) const;
+
+  /// Deployment wiring (filled by make_sharded_smr_cluster after the groups
+  /// are built; replicas only consult targets at delivery time).
+  void set_group_targets(GroupId g, std::vector<NodeId> tob, std::vector<NodeId> replicas);
+  const std::vector<NodeId>& tob_targets(GroupId g) const;
+  const std::vector<NodeId>& replica_targets(GroupId g) const;
+
+  /// Client-side routing: the submission targets (coordinator group's TOB
+  /// nodes) for this request. Counts `router.txns_total` / and, for
+  /// cross-shard requests, `router.cross_shard` on the attached tracer.
+  const std::vector<NodeId>& route(const workload::TxnRequest& req) const;
+
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Routing statistics (mirrors the `router.*` counters; atomics because
+  /// clients may route from multiple threads in a pipelined process).
+  std::uint64_t routed_count() const { return routed_.load(std::memory_order_relaxed); }
+  std::uint64_t cross_shard_count() const {
+    return cross_routed_.load(std::memory_order_relaxed);
+  }
+  double cross_shard_ratio() const {
+    const std::uint64_t total = routed_count();
+    return total == 0 ? 0.0 : static_cast<double>(cross_shard_count()) / total;
+  }
+
+ private:
+  std::size_t shards_;
+  std::map<std::string, ProcInfo> procs_;
+  struct Targets {
+    std::vector<NodeId> tob;
+    std::vector<NodeId> replicas;
+  };
+  std::vector<Targets> targets_;
+  obs::Tracer* tracer_ = nullptr;
+  mutable std::atomic<std::uint64_t> routed_{0};
+  mutable std::atomic<std::uint64_t> cross_routed_{0};
+};
+
+}  // namespace shadow::core

@@ -4,91 +4,11 @@
 
 namespace shadow::core {
 
-db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index) {
-  if (!options.engines.empty()) return options.engines[index % options.engines.size()];
-  // The paper's diversity deployment: H2 primary, HSQLDB backup, Derby spare.
-  switch (index % 3) {
-    case 0: return db::make_h2_traits();
-    case 1: return db::make_hsqldb_traits();
-    default: return db::make_derby_traits();
-  }
-}
-
-namespace {
-
-tob::TobConfig make_tob_config(net::Transport& world, const ClusterOptions& options,
-                               std::vector<net::HostId>& machines,
-                               std::vector<NodeId>& tob_nodes) {
-  tob::TobConfig config;
-  config.protocol = options.protocol;
-  config.profile.tier = options.tob_tier;
-  config.batch_max = options.tob_batch_max;
-  config.max_outstanding = options.tob_max_outstanding;
-  config.adaptive_batching = options.tob_adaptive_batching;
-  config.batch_min = options.tob_batch_min;
-  config.tracer = options.tracer;
-  config.paxos.tracer = options.tracer;
-  config.two_third.tracer = options.tracer;
-  // TwoThird needs n > 3f; Paxos needs a majority: both satisfied by the
-  // requested machine count (callers pick 3 for Paxos, 4 for TwoThird).
-  for (std::size_t i = 0; i < options.machines; ++i) {
-    machines.push_back(world.add_host());
-    tob_nodes.push_back(world.add_node("tob" + std::to_string(i), machines.back()));
-  }
-  config.nodes = tob_nodes;
-  return config;
-}
-
-std::shared_ptr<db::Engine> make_loaded_engine(const ClusterOptions& options,
-                                               std::size_t index) {
-  auto engine = std::make_shared<db::Engine>(engine_for_replica(options, index));
-  if (options.loader) options.loader(*engine);
-  return engine;
-}
-
-}  // namespace
-
 SmrCluster make_smr_cluster(net::Transport& world, const ClusterOptions& options) {
-  SHADOW_REQUIRE(options.registry != nullptr);
-  // A TCP cluster process must decode message types it never builds.
-  register_wire_codecs();
-  SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
-  SmrCluster cluster;
-  cluster.safety = std::make_shared<consensus::SafetyRecorder>();
-  const tob::TobConfig tob_config =
-      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
-  cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
-
-  const std::size_t total = options.db_replicas + options.db_spares;
-  std::vector<NodeId> group;
-  std::vector<NodeId> spares;
-  for (std::size_t i = 0; i < total; ++i) {
-    cluster.replica_nodes.push_back(
-        world.add_node("db" + std::to_string(i), cluster.machines[i]));
-    (i < options.db_replicas ? group : spares).push_back(cluster.replica_nodes.back());
-  }
-  SmrConfig smr_config = options.smr;
-  if (smr_config.tracer == nullptr) smr_config.tracer = options.tracer;
-  for (std::size_t i = 0; i < total; ++i) {
-    auto replica = std::make_unique<SmrReplica>(
-        world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
-        make_loaded_engine(options, i), options.registry, group, spares, smr_config,
-        options.server_costs);
-    if (i >= options.db_replicas) replica->make_spare();
-    cluster.replicas.push_back(std::move(replica));
-  }
-  if (smr_config.pipelined_execution) {
-    // Adaptive batching senses downstream congestion through the co-located
-    // replica's executor pipeline: a deep queue means the DB stage is the
-    // bottleneck and bigger batches amortize consensus better.
-    for (std::size_t i = 0; i < total; ++i) {
-      if (!world.is_local(cluster.replica_nodes[i])) continue;
-      SmrReplica* replica = cluster.replicas[i].get();
-      cluster.tob.nodes[i]->set_backlog_probe(
-          [replica] { return replica->pipeline_depth(); });
-    }
-  }
-  return cluster;
+  // Exactly one replication group under the classic node names (empty
+  // GroupOptions): the extraction is a strict refactor of the original
+  // single-cluster assembly.
+  return SmrCluster{make_replication_group(world, options)};
 }
 
 PbrCluster make_pbr_cluster(net::Transport& world, const ClusterOptions& options) {
@@ -98,8 +18,8 @@ PbrCluster make_pbr_cluster(net::Transport& world, const ClusterOptions& options
   SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
   PbrCluster cluster;
   cluster.safety = std::make_shared<consensus::SafetyRecorder>();
-  const tob::TobConfig tob_config =
-      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
+  const tob::TobConfig tob_config = detail::make_group_tob_config(
+      world, options, GroupOptions{}, cluster.machines, cluster.tob_nodes);
   cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
 
   const std::size_t total = options.db_replicas + options.db_spares;
@@ -115,7 +35,7 @@ PbrCluster make_pbr_cluster(net::Transport& world, const ClusterOptions& options
   for (std::size_t i = 0; i < total; ++i) {
     auto replica = std::make_unique<PbrReplica>(
         world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
-        make_loaded_engine(options, i), options.registry, group, spares, pbr_config,
+        detail::make_loaded_engine(options, i), options.registry, group, spares, pbr_config,
         options.server_costs);
     if (i >= options.db_replicas) replica->make_spare();
     cluster.replicas.push_back(std::move(replica));
@@ -130,8 +50,8 @@ ChainCluster make_chain_cluster(net::Transport& world, const ClusterOptions& opt
   SHADOW_REQUIRE(options.db_replicas + options.db_spares <= options.machines);
   ChainCluster cluster;
   cluster.safety = std::make_shared<consensus::SafetyRecorder>();
-  const tob::TobConfig tob_config =
-      make_tob_config(world, options, cluster.machines, cluster.tob_nodes);
+  const tob::TobConfig tob_config = detail::make_group_tob_config(
+      world, options, GroupOptions{}, cluster.machines, cluster.tob_nodes);
   cluster.tob = tob::make_service(world, tob_config, cluster.safety.get());
 
   const std::size_t total = options.db_replicas + options.db_spares;
@@ -146,7 +66,7 @@ ChainCluster make_chain_cluster(net::Transport& world, const ClusterOptions& opt
   for (std::size_t i = 0; i < total; ++i) {
     auto replica = std::make_unique<ChainReplica>(
         world, cluster.replica_nodes[i], *cluster.tob.nodes[i],
-        make_loaded_engine(options, i), options.registry, chain, spares, chain_config,
+        detail::make_loaded_engine(options, i), options.registry, chain, spares, chain_config,
         options.server_costs);
     if (i >= options.db_replicas) replica->make_spare();
     cluster.replicas.push_back(std::move(replica));

@@ -13,60 +13,16 @@
 
 #include "core/chain.hpp"
 #include "core/client.hpp"
+#include "core/group.hpp"
 #include "core/pbr.hpp"
 #include "core/smr.hpp"
 
 namespace shadow::core {
 
-struct ClusterOptions {
-  std::size_t machines = 3;        // broadcast service size (Paxos: f = 1)
-  std::size_t db_replicas = 2;     // active database group size
-  std::size_t db_spares = 1;       // passive replacements
-  tob::Protocol protocol = tob::Protocol::kPaxos;
-  gpm::ExecutionTier tob_tier = gpm::ExecutionTier::kCompiled;
-  std::size_t tob_batch_max = 64;
-  // Multi-decree pipelining (PMMC's WINDOW): proposals in flight per node.
-  // 1 maximizes batching, which wins when consensus work dominates.
-  std::size_t tob_max_outstanding = 1;
-  /// Load-adaptive proposal sizing (see TobConfig::adaptive_batching). When
-  /// `smr.pipelined_execution` is also on, each TOB node's backlog probe is
-  /// wired to its co-located replica's executor-pipeline queue depth.
-  bool tob_adaptive_batching = false;
-  std::size_t tob_batch_min = 1;
-
-  /// Engine flavour per replica index (cycled). Empty → the paper's diverse
-  /// default [H2, HSQLDB, Derby].
-  std::vector<db::EngineTraits> engines;
-
-  /// Populates each replica's database identically before the run.
-  std::function<void(db::Engine&)> loader;
-
-  std::shared_ptr<const workload::ProcedureRegistry> registry;
-  ServerCosts server_costs{};
-  PbrConfig pbr{};
-  SmrConfig smr{};
-
-  /// Optional structured trace recorder; propagated into the TOB service,
-  /// its consensus module, and every replica (unless their sub-configs
-  /// already carry one). Attach it to the World separately for network and
-  /// crash events: `tracer.attach(world)`.
-  obs::Tracer* tracer = nullptr;
-};
-
-db::EngineTraits engine_for_replica(const ClusterOptions& options, std::size_t index);
-
-/// A deployed ShadowDB-SMR cluster.
-struct SmrCluster {
-  std::vector<net::HostId> machines;
-  tob::TobService tob;
-  std::vector<std::unique_ptr<SmrReplica>> replicas;  // actives then spares
-  std::vector<NodeId> tob_nodes;
-  std::vector<NodeId> replica_nodes;
-  std::shared_ptr<consensus::SafetyRecorder> safety;
-
-  /// Submission targets for kTob clients.
-  const std::vector<NodeId>& broadcast_targets() const { return tob_nodes; }
-};
+/// A deployed ShadowDB-SMR cluster: exactly one replication group (the
+/// ClusterOptions/GroupOptions split lives in core/group.hpp, where sharded
+/// deployments assemble N of these over a shared machine set).
+struct SmrCluster : ReplicationGroup {};
 
 SmrCluster make_smr_cluster(net::Transport& world, const ClusterOptions& options);
 

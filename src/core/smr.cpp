@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/twopc.hpp"
 #include "obs/trace.hpp"
 
 namespace shadow::core {
@@ -56,7 +57,8 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                                     DeliverBatchHandoff{slot, base_index, batch}));
     });
     pipeline_ = std::make_unique<ExecutorPipeline>(
-        world_, self_, executor_, config_.pipeline_ring_capacity, config_.tracer);
+        world_, self_, executor_, config_.pipeline_ring_capacity, config_.tracer,
+        config_.metric_scope);
     world_.add_idle_hook([this] { return pipeline_->drain_completions(); });
   } else {
     tob_.subscribe_local([this](net::NodeContext& ctx, Slot slot, std::uint64_t index,
@@ -71,7 +73,17 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
     world_.schedule_timer_for_node(self_, world_.now() + config_.hb_period,
                                    [this](net::NodeContext& ctx) { on_heartbeat_tick(ctx); });
   }
+  if (config_.router != nullptr && config_.router->shard_count() > 1) {
+    xs_ = std::make_unique<XsCoordinator>(
+        world_, self_, config_.group, *config_.router, executor_,
+        [this](net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req) {
+          execute_txn(ctx, index, req);
+        },
+        config_.tracer);
+  }
 }
+
+SmrReplica::~SmrReplica() = default;
 
 void SmrReplica::on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t index,
                             const tob::Command& cmd) {
@@ -94,6 +106,12 @@ void SmrReplica::on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t inde
     if (joining_) buffered_.emplace_back(index, req);
     return;
   }
+  apply_delivered(ctx, index, req);
+}
+
+void SmrReplica::apply_delivered(net::NodeContext& ctx, std::uint64_t index,
+                                 const workload::TxnRequest& req) {
+  if (xs_ && xs_->on_deliver(ctx, index, req)) return;
   execute_txn(ctx, index, req);
 }
 
@@ -108,10 +126,12 @@ void SmrReplica::on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_
       break;
     }
   }
-  if (control || !active_) {
+  if (control || !active_ || (xs_ && xs_->busy())) {
     // Control commands mutate group/replica state on the consensus thread,
-    // and inactive replicas buffer or discard: drain the executor first so
-    // delivery order is preserved, then take the single-threaded path.
+    // inactive replicas buffer or discard, and a busy 2PC engine must see
+    // every delivery serially so lock-conflict parking stays a deterministic
+    // function of the delivery prefix: drain the executor first so delivery
+    // order is preserved, then take the single-threaded path.
     pipeline_->flush();
     for (std::size_t i = 0; i < cmds.size(); ++i) {
       on_deliver(ctx, slot, base_index + i, cmds[i]);
@@ -171,27 +191,43 @@ void SmrReplica::handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest
   // slot) are covered by the dedup floor and the control keys; commands
   // after it the joiner delivers itself, at indexes continuing from
   // resume_index.
+  SnapDoneBody done;
+  done.resume_slot = slot;
+  done.resume_index = index + 1;
+  done.control_keys = seen_control_keys_;
+  send_snapshot_stream(ctx, joiner, done);
+}
+
+void SmrReplica::send_snapshot_stream(net::NodeContext& ctx, NodeId to,
+                                      const ReplSnapDoneBody& done_template) {
+  // Serialize at the deterministic point we are at now (all actives have
+  // applied the same prefix), then stream ~50 KB batches. Row serialization
+  // cost is charged here. A pipelined replica drains its executor first —
+  // the engine belongs to the executor thread until the pipeline is
+  // quiescent.
   if (pipeline_) pipeline_->flush();
   const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
   ctx.charge(snap.serialize_cost_us);
   if (config_.tracer) {
-    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, joiner);
+    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, to);
   }
   SnapBeginBody begin;
   begin.schemas = snap.schemas;
   for (const auto& [client, entry] : executor_.dedup_table()) {
     begin.dedup_seqs.emplace_back(client, entry.first);
   }
-  ctx.send(joiner, net::make_msg(kSnapBeginHeader, std::move(begin)));
+  ctx.send(to, net::make_msg(kSnapBeginHeader, std::move(begin)));
   for (const auto& batch : snap.batches) {
-    ctx.send(joiner, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
+    ctx.send(to, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
   }
-  SnapDoneBody done;
+  // Sharded deployments ship the 2PC engine's in-flight state (prepared
+  // votes, parked transactions, coordinator entries) as its own stream
+  // element; classic clusters have no xs_ and the stream is byte-identical
+  // to what it always was.
+  if (xs_) ctx.send(to, net::make_msg(kXsSnapHeader, xs_->snapshot()));
+  SnapDoneBody done = done_template;
   done.rows = snap.total_rows;
-  done.resume_slot = slot;
-  done.resume_index = index + 1;
-  done.control_keys = seen_control_keys_;
-  ctx.send(joiner, net::make_msg(kSnapDoneHeader, std::move(done)));
+  ctx.send(to, net::make_msg(kSnapDoneHeader, std::move(done)));
 }
 
 void SmrReplica::start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq) {
@@ -241,28 +277,14 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     return;
   }
   if (msg.header == kSnapRequestHeader) {
-    // Proposer side of the state transfer: serialize at the deterministic
-    // point we are at now (all actives have applied the same prefix), then
-    // stream ~50 KB batches. Row serialization cost is charged here. A
-    // pipelined replica drains its executor first — the engine belongs to
-    // the executor thread until the pipeline is quiescent.
-    if (pipeline_) pipeline_->flush();
-    const db::Engine::Snapshot snap =
-        executor_.engine().snapshot(config_.snapshot_batch_bytes);
-    ctx.charge(snap.serialize_cost_us);
-    if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, msg.from);
-    }
-    SnapBeginBody begin;
-    begin.schemas = snap.schemas;
-    for (const auto& [client, entry] : executor_.dedup_table()) {
-      begin.dedup_seqs.emplace_back(client, entry.first);
-    }
-    ctx.send(msg.from, net::make_msg(kSnapBeginHeader, std::move(begin)));
-    for (const auto& batch : snap.batches) {
-      ctx.send(msg.from, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
-    }
-    ctx.send(msg.from, net::make_msg(kSnapDoneHeader, SnapDoneBody{0, snap.total_rows}));
+    // Proposer side of a spare-promotion state transfer. Zeroed resume
+    // fields: the spare's TOB node was live all along, so no resume point
+    // travels.
+    send_snapshot_stream(ctx, msg.from, SnapDoneBody{});
+    return;
+  }
+  if (msg.header == kXsSnapHeader) {
+    if (joining_ && xs_) xs_->restore(net::msg_body<XsSnapBody>(msg));
     return;
   }
   if (msg.header == kSnapBeginHeader) {
@@ -316,7 +338,7 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
                                      msg.from);
       config_.tracer->recover(ctx.now(), self_, delivered_index_);
     }
-    for (const auto& [index, req] : buffered_) execute_txn(ctx, index, req);
+    for (const auto& [index, req] : buffered_) apply_delivered(ctx, index, req);
     buffered_.clear();
     return;
   }

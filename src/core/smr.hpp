@@ -24,9 +24,12 @@
 
 #include "core/pipeline.hpp"
 #include "core/replica_common.hpp"
+#include "core/router.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::core {
+
+class XsCoordinator;  // core/twopc.hpp
 
 inline constexpr const char* kSmrReconfigProc = "::smr-reconfig";
 /// Crash-restart rejoin request: params = [joiner node, snapshot proposer].
@@ -61,6 +64,17 @@ struct SmrConfig {
   bool pipelined_execution = false;
   std::size_t pipeline_ring_capacity = 256;  // decided batches in flight
   obs::Tracer* tracer = nullptr;        // optional structured trace recorder
+
+  /// Sharded deployments (core/group.hpp): which replication group this
+  /// replica belongs to and the shared router. A router with more than one
+  /// shard arms the replica's cross-shard 2PC engine (core/twopc.hpp);
+  /// classic single-group clusters leave it null and behave exactly as
+  /// before.
+  const ShardRouter* router = nullptr;
+  GroupId group = 0;
+  /// Prefix for this replica's pipeline metrics ("group.<id>." when sharded,
+  /// empty — the classic names — otherwise).
+  std::string metric_scope;
 };
 
 /// One SMR database replica. `tob` must be the co-located broadcast-service
@@ -72,6 +86,7 @@ class SmrReplica {
              std::shared_ptr<const workload::ProcedureRegistry> registry,
              std::vector<NodeId> replica_group, std::vector<NodeId> spares,
              SmrConfig config = {}, ServerCosts costs = {});
+  ~SmrReplica();  // out of line: XsCoordinator is incomplete here
 
   NodeId node() const { return self_; }
   bool active() const { return active_; }
@@ -117,7 +132,12 @@ class SmrReplica {
   void handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest& req, Slot slot,
                      std::uint64_t index);
   void send_rejoin_request(net::NodeContext& ctx);
+  /// Post-dispatch delivery: through the 2PC engine when armed, else (or for
+  /// uninvolved transactions) the normal execution path.
+  void apply_delivered(net::NodeContext& ctx, std::uint64_t index,
+                       const workload::TxnRequest& req);
   void execute_txn(net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req);
+  void send_snapshot_stream(net::NodeContext& ctx, NodeId to, const ReplSnapDoneBody& done);
 
   net::Transport& world_;
   NodeId self_;
@@ -154,6 +174,11 @@ class SmrReplica {
   std::vector<std::pair<std::uint32_t, RequestSeq>> rejoin_floor_;
   std::optional<net::TimerId> rejoin_timer_;
   std::vector<std::pair<std::uint32_t, RequestSeq>> seen_control_keys_;
+
+  // Cross-shard 2PC engine, armed only when config_.router names more than
+  // one shard (core/twopc.hpp). All its state transitions happen on the
+  // consensus thread inside the serial delivery path.
+  std::unique_ptr<XsCoordinator> xs_;
 
   // Pipelined mode: the DB executor stage. Declared last so its destructor
   // (which flushes and joins the executor thread) runs while every member

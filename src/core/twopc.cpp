@@ -1,0 +1,520 @@
+#include "core/twopc.hpp"
+
+#include "common/check.hpp"
+#include "obs/trace.hpp"
+#include "tob/tob.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::core {
+
+namespace {
+
+constexpr net::Time kXsTickPeriod = 500000;  // retransmission sweep, 500 ms
+constexpr std::uint32_t kXsMaxDecideResends = 2;
+
+// The local share of bank.transfer (the one built-in cross-shard procedure):
+// the group owning `from` checks the balance and stages the debit; the group
+// owning `to` stages the credit unconditionally — exactly the statements the
+// single-shard procedure (workload/bank.cpp) would run, split by key owner.
+XsLocalPlan bank_transfer_plan(db::Engine& engine, const workload::TxnRequest& req,
+                               const std::vector<std::int64_t>& local_keys) {
+  XsLocalPlan plan;
+  const std::int64_t from = req.params[0].as_int();
+  const std::int64_t amount = req.params[2].as_int();
+  for (const std::int64_t key : local_keys) {
+    if (key == from) {
+      const db::TxnId txn = engine.begin();
+      const db::ExecResult r =
+          engine.execute(txn, db::make_select(workload::bank::kTable, {db::Value(key)}));
+      plan.cost_us += r.cost_us + engine.commit(txn).cost_us;
+      if (!r.ok() || r.rows.empty()) {
+        plan.vote_yes = false;
+        plan.error = "no such account";
+      } else if (r.rows[0][2].as_int() < amount) {
+        plan.vote_yes = false;
+        plan.error = "overdraft";
+      }
+      if (!plan.vote_yes) {
+        plan.staged.clear();
+        return plan;
+      }
+      plan.staged.push_back(db::make_update(workload::bank::kTable, {db::Value(key)},
+                                            {db::SetClause{2, db::SetOp::kAdd,
+                                                           db::Value(-amount)}}));
+    } else {
+      plan.staged.push_back(db::make_update(workload::bank::kTable, {db::Value(key)},
+                                            {db::SetClause{2, db::SetOp::kAdd,
+                                                           db::Value(amount)}}));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+XsPlanFn xs_plan_for(const std::string& proc) {
+  if (proc == workload::bank::kTransferProc) return &bank_transfer_plan;
+  return nullptr;
+}
+
+XsCoordinator::XsCoordinator(net::Transport& world, NodeId self, GroupId group,
+                             const ShardRouter& router, TxnExecutor& executor,
+                             ExecuteFn execute, obs::Tracer* tracer)
+    : world_(world),
+      self_(self),
+      group_(group),
+      router_(router),
+      executor_(executor),
+      execute_(std::move(execute)),
+      tracer_(tracer) {
+  world_.schedule_timer_for_node(self_, world_.now() + kXsTickPeriod,
+                                 [this](net::NodeContext& ctx) { on_tick(ctx); });
+}
+
+bool XsCoordinator::on_deliver(net::NodeContext& ctx, std::uint64_t index,
+                               const workload::TxnRequest& req) {
+  if (req.proc == kXsPrepareProc) {
+    handle_prepare(ctx, index, req);
+    return true;
+  }
+  if (req.proc == kXsVoteProc) {
+    handle_vote(ctx, req);
+    return true;
+  }
+  if (req.proc == kXsDecideProc) {
+    handle_decide(ctx, req);
+    return true;
+  }
+  if (router_.cross_shard(req)) {
+    handle_begin(ctx, index, req);
+    return true;
+  }
+  if (locked_keys_.empty() && parked_.empty()) return false;
+  const ShardRouter::ProcInfo* info = router_.proc_info(req.proc);
+  std::vector<std::int64_t> keys = router_.keys_of(req);
+  const bool keyless = keys.empty();
+  const std::string table = info != nullptr ? info->table : std::string();
+  if (!conflicts(keys, keyless, table)) return false;
+  // Parked: executes in delivery order once the blocking locks release.
+  if (keyless) {
+    ++parked_keyless_;
+  } else {
+    for (const std::int64_t k : keys) ++parked_keys_[PartKey{table, k}];
+  }
+  parked_.push_back(ParkedTxn{index, req, std::move(keys), keyless});
+  if (tracer_ != nullptr) tracer_->count("xs.parked");
+  return true;
+}
+
+bool XsCoordinator::conflicts(const std::vector<std::int64_t>& keys, bool keyless,
+                              const std::string& table) const {
+  if (keyless) return !locked_keys_.empty() || !parked_.empty();
+  if (parked_keyless_ > 0) return true;
+  for (const std::int64_t k : keys) {
+    if (locked_keys_.count(PartKey{table, k}) != 0 ||
+        parked_keys_.count(PartKey{table, k}) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void XsCoordinator::handle_begin(net::NodeContext& ctx, std::uint64_t index,
+                                 const workload::TxnRequest& orig) {
+  SHADOW_REQUIRE_MSG((orig.client.value & ~kXsClientMask) == 0,
+                     "sharded mode requires client ids < 2^20");
+  // A retried request whose response was lost after completion: answer from
+  // the dedup table (the coordinator entry is gone by then).
+  const auto& dedup = executor_.dedup_table();
+  if (const auto it = dedup.find(orig.client.value);
+      it != dedup.end() && orig.seq <= it->second.first) {
+    ctx.send(orig.reply_to, workload::make_response_msg(it->second.second));
+    return;
+  }
+  const TxnKey key{orig.client.value, orig.seq};
+  if (coord_.count(key) != 0) return;
+  Coord co;
+  co.orig = orig;
+  co.participants = router_.shards_of(orig);
+  const auto [it, inserted] = coord_.emplace(key, std::move(co));
+  SHADOW_CHECK(inserted);
+  // Co-located participant: this group is always one of the participants
+  // (the coordinator IS the first participant group), and the begin is
+  // already a totally-ordered point in its log — so run the local prepare
+  // right here and record our vote directly instead of round-tripping an
+  // ::xs-prepare and an ::xs-vote through our own log.
+  prepare_local(ctx, index, group_, orig);
+  const auto pit = prepared_.find(key);
+  SHADOW_CHECK(pit != prepared_.end());
+  it->second.votes.emplace(group_, pit->second.vote_yes);
+  if (!pit->second.vote_yes && it->second.abort_error.empty()) {
+    it->second.abort_error = pit->second.error;
+  }
+  for (const GroupId g : it->second.participants) {
+    if (g != group_) send_prepare(ctx, g, it->second, orig.seq, orig.client.value);
+  }
+  maybe_decide(ctx, it->first, it->second);
+}
+
+void XsCoordinator::handle_prepare(net::NodeContext& ctx, std::uint64_t index,
+                                   const workload::TxnRequest& req) {
+  SHADOW_CHECK(req.params.size() >= 2);
+  const auto coordinator = static_cast<GroupId>(req.params[0].as_int());
+  const workload::TxnRequest orig = workload::decode_request(req.params[1].as_string());
+  const TxnKey key{orig.client.value, orig.seq};
+  // Already completed here (a post-rejoin retransmit), or already prepared.
+  const auto& dedup = executor_.dedup_table();
+  if (const auto dit = dedup.find(orig.client.value);
+      dit != dedup.end() && orig.seq <= dit->second.first) {
+    return;
+  }
+  if (prepared_.count(key) != 0) return;
+  prepare_local(ctx, index, coordinator, orig);
+  const Prepared& pr = prepared_.at(key);
+  workload::TxnRequest vote;
+  vote.client = ClientId{kXsVoteBit | (static_cast<std::uint32_t>(group_) << kXsVoteGroupShift) |
+                         (orig.client.value & kXsClientMask)};
+  vote.seq = orig.seq;
+  vote.reply_to = self_;
+  vote.proc = kXsVoteProc;
+  vote.params = {db::Value(static_cast<std::int64_t>(group_)),
+                 db::Value(static_cast<std::int64_t>(pr.vote_yes ? 1 : 0)),
+                 db::Value(static_cast<std::int64_t>(orig.client.value)),
+                 db::Value(pr.error)};
+  broadcast_into(ctx, coordinator, vote.client, vote.seq, vote);
+}
+
+void XsCoordinator::prepare_local(net::NodeContext& ctx, std::uint64_t index,
+                                  GroupId coordinator, const workload::TxnRequest& orig) {
+  const TxnKey key{orig.client.value, orig.seq};
+  if (prepared_.count(key) != 0) return;
+  Prepared pr;
+  pr.orig = orig;
+  pr.prepare_index = index;
+  pr.coordinator = coordinator;
+  for (const std::int64_t k : router_.keys_of(orig)) {
+    if (router_.shard_of_key(k) == group_) pr.local_keys.push_back(k);
+  }
+  const ShardRouter::ProcInfo* info = router_.proc_info(orig.proc);
+  const std::string table = info != nullptr ? info->table : std::string();
+  if (const XsPlanFn plan = xs_plan_for(orig.proc); plan == nullptr) {
+    pr.vote_yes = false;
+    pr.error = "no cross-shard plan for " + orig.proc;
+  } else {
+    XsLocalPlan lp = plan(executor_.engine(), orig, pr.local_keys);
+    ctx.charge(lp.cost_us);
+    pr.vote_yes = lp.vote_yes;
+    pr.error = std::move(lp.error);
+    pr.staged = std::move(lp.staged);
+  }
+  if (pr.vote_yes) {
+    // Vote NO on any conflict instead of waiting: no waits-for edges across
+    // groups means no distributed deadlock. Parked keys count as conflicts —
+    // an earlier-delivered parked transaction must apply before our staged
+    // writes touch its keys.
+    bool granted = !conflicts(pr.local_keys, false, table);
+    if (granted) {
+      const db::TxnId lt = lock_txn_of(key);
+      for (const std::int64_t k : pr.local_keys) {
+        if (locks_.acquire(lt, db::LockTarget{table, db::Key{db::Value(k)}},
+                           db::LockMode::kExclusive,
+                           ctx.now()) != db::AcquireStatus::kGranted) {
+          granted = false;
+          break;
+        }
+      }
+      if (!granted) locks_.release_all(lt);
+    }
+    if (granted) {
+      for (const std::int64_t k : pr.local_keys) ++locked_keys_[PartKey{table, k}];
+    } else {
+      pr.vote_yes = false;
+      pr.error = "xs-lock-conflict";
+      pr.staged.clear();
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->xs_phase(ctx.now(), self_, orig.client, orig.seq, obs::XsPhase::kPrepare, group_,
+                      orig.proc);
+  }
+  prepared_.emplace(key, std::move(pr));
+}
+
+void XsCoordinator::handle_vote(net::NodeContext& ctx, const workload::TxnRequest& req) {
+  SHADOW_CHECK(req.params.size() >= 3);
+  const auto g = static_cast<GroupId>(req.params[0].as_int());
+  const bool yes = req.params[1].as_int() != 0;
+  const auto orig_client = static_cast<std::uint32_t>(req.params[2].as_int());
+  const auto it = coord_.find(TxnKey{orig_client, req.seq});
+  if (it == coord_.end()) return;  // stale vote for a completed transaction
+  it->second.votes.emplace(g, yes);
+  if (!yes && it->second.abort_error.empty() && req.params.size() >= 4) {
+    it->second.abort_error = req.params[3].as_string();
+  }
+  maybe_decide(ctx, it->first, it->second);
+}
+
+void XsCoordinator::maybe_decide(net::NodeContext& ctx, const TxnKey& key, Coord& co) {
+  if (co.decided || co.votes.size() < co.participants.size()) return;
+  co.decided = true;
+  co.commit = true;
+  for (const auto& [g, yes] : co.votes) {
+    if (!yes) co.commit = false;
+  }
+  for (const GroupId g : co.participants) {
+    if (g != group_) send_decide(ctx, g, co, key.second, key.first);
+  }
+  // Co-located participant, decide side: the final vote's delivery position
+  // IS this group's decide point — a deterministic function of the delivery
+  // prefix, so every coordinator replica applies its staged share and
+  // answers the client right here instead of routing an ::xs-decide through
+  // its own log (one more ordered entry saved per transaction).
+  apply_decision(ctx, key, co.commit);
+  if (!co.responded) {
+    co.responded = true;
+    const std::string error =
+        co.commit ? std::string()
+                  : (co.abort_error.empty() ? std::string("xs-abort") : co.abort_error);
+    workload::TxnResponse resp{co.orig.client, co.orig.seq, co.commit, {}, error};
+    ctx.send(co.orig.reply_to, workload::make_response_msg(resp));
+  }
+  drain_parked(ctx);
+}
+
+void XsCoordinator::apply_decision(net::NodeContext& ctx, const TxnKey& key, bool commit) {
+  const auto it = prepared_.find(key);
+  if (it == prepared_.end()) return;
+  const Prepared pr = std::move(it->second);
+  prepared_.erase(it);
+  SHADOW_CHECK_MSG(!commit || pr.vote_yes, "a commit decision implies every yes vote");
+  const TxnExecutor::Execution exec = executor_.apply_prepared(
+      pr.orig, pr.staged, commit,
+      commit ? std::string() : (pr.error.empty() ? std::string("xs-abort") : pr.error));
+  ctx.charge(exec.cost_us);
+  if (tracer_ != nullptr) {
+    tracer_->xs_phase(ctx.now(), self_, pr.orig.client, pr.orig.seq,
+                      commit ? obs::XsPhase::kCommit : obs::XsPhase::kAbort, group_,
+                      pr.orig.proc);
+    tracer_->txn_execute(ctx.now(), self_, pr.orig.client, pr.orig.seq, pr.prepare_index,
+                         false, commit, pr.orig.proc);
+  }
+  if (pr.vote_yes) {
+    locks_.release_all(lock_txn_of(key));
+    const std::string& table = router_.proc_info(pr.orig.proc)->table;
+    for (const std::int64_t k : pr.local_keys) {
+      const auto lit = locked_keys_.find(PartKey{table, k});
+      if (lit != locked_keys_.end() && --lit->second == 0) locked_keys_.erase(lit);
+    }
+  }
+}
+
+void XsCoordinator::handle_decide(net::NodeContext& ctx, const workload::TxnRequest& req) {
+  SHADOW_CHECK(req.params.size() >= 2);
+  const bool commit = req.params[0].as_int() != 0;
+  const auto orig_client = static_cast<std::uint32_t>(req.params[1].as_int());
+  apply_decision(ctx, TxnKey{orig_client, req.seq}, commit);
+  drain_parked(ctx);
+}
+
+void XsCoordinator::drain_parked(net::NodeContext& ctx) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::map<PartKey, int> earlier;
+    bool earlier_keyless = false;
+    for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+      const ShardRouter::ProcInfo* info = router_.proc_info(it->req.proc);
+      const std::string table =
+          it->keyless || info == nullptr ? std::string() : info->table;
+      bool runnable;
+      if (it->keyless) {
+        runnable = locked_keys_.empty() && earlier.empty() && !earlier_keyless;
+      } else if (earlier_keyless) {
+        runnable = false;
+      } else {
+        runnable = true;
+        for (const std::int64_t k : it->keys) {
+          if (locked_keys_.count(PartKey{table, k}) != 0 ||
+              earlier.count(PartKey{table, k}) != 0) {
+            runnable = false;
+            break;
+          }
+        }
+      }
+      if (runnable) {
+        ParkedTxn t = std::move(*it);
+        parked_.erase(it);
+        if (t.keyless) {
+          --parked_keyless_;
+        } else {
+          for (const std::int64_t k : t.keys) {
+            const auto pit = parked_keys_.find(PartKey{table, k});
+            if (pit != parked_keys_.end() && --pit->second == 0) parked_keys_.erase(pit);
+          }
+        }
+        execute_(ctx, t.index, t.req);
+        progress = true;
+        break;  // restart the scan: the execution may have changed nothing,
+                // but iterator + `earlier` bookkeeping are stale now
+      }
+      if (it->keyless) {
+        earlier_keyless = true;
+      } else {
+        for (const std::int64_t k : it->keys) ++earlier[PartKey{table, k}];
+      }
+    }
+  }
+}
+
+void XsCoordinator::send_prepare(net::NodeContext& ctx, GroupId g, const Coord& co,
+                                 RequestSeq seq, std::uint32_t orig_client) {
+  workload::TxnRequest prep;
+  prep.client = ClientId{kXsPrepareBit | (orig_client & kXsClientMask)};
+  prep.seq = seq;
+  prep.reply_to = self_;
+  prep.proc = kXsPrepareProc;
+  prep.params = {db::Value(static_cast<std::int64_t>(group_)),
+                 db::Value(workload::encode_request(co.orig))};
+  broadcast_into(ctx, g, prep.client, seq, prep);
+}
+
+void XsCoordinator::send_decide(net::NodeContext& ctx, GroupId g, const Coord& co,
+                                RequestSeq seq, std::uint32_t orig_client) {
+  workload::TxnRequest dec;
+  dec.client = ClientId{kXsDecideBit | (orig_client & kXsClientMask)};
+  dec.seq = seq;
+  dec.reply_to = self_;
+  dec.proc = kXsDecideProc;
+  dec.params = {db::Value(static_cast<std::int64_t>(co.commit ? 1 : 0)),
+                db::Value(static_cast<std::int64_t>(orig_client))};
+  broadcast_into(ctx, g, dec.client, seq, dec);
+}
+
+void XsCoordinator::broadcast_into(net::NodeContext& ctx, GroupId g, ClientId client,
+                                   RequestSeq seq, const workload::TxnRequest& req) {
+  const std::vector<NodeId>& tobs = router_.tob_targets(g);
+  SHADOW_CHECK(!tobs.empty());
+  // Spread the R-way replica fan-in over the group's TOB frontends; the
+  // target TOB deduplicates the R identical commands at delivery.
+  const NodeId target = tobs[self_.value % tobs.size()];
+  tob::BroadcastBody body{tob::Command{client, seq, workload::encode_request(req)}};
+  ctx.send(target, net::make_msg(tob::kBroadcastHeader, std::move(body)));
+}
+
+void XsCoordinator::on_tick(net::NodeContext& ctx) {
+  for (auto it = coord_.begin(); it != coord_.end();) {
+    Coord& co = it->second;
+    if (!co.decided) {
+      // Re-prepare the groups whose vote is still missing (the prepare or the
+      // vote was lost; TOB dedup makes retransmission idempotent).
+      for (const GroupId g : co.participants) {
+        if (co.votes.count(g) == 0) send_prepare(ctx, g, co, it->first.second, it->first.first);
+      }
+      ++it;
+    } else if (co.responded && co.decide_resends >= kXsMaxDecideResends) {
+      it = coord_.erase(it);
+    } else {
+      ++co.decide_resends;
+      for (const GroupId g : co.participants) {
+        if (g != group_) send_decide(ctx, g, co, it->first.second, it->first.first);
+      }
+      ++it;
+    }
+  }
+  ctx.set_timer(kXsTickPeriod, [this](net::NodeContext& c) { on_tick(c); });
+}
+
+XsSnapBody XsCoordinator::snapshot() const {
+  XsSnapBody body;
+  for (const auto& [key, pr] : prepared_) {
+    body.prepared.push_back(XsSnapBody::PrepEntry{
+        workload::encode_request(pr.orig), pr.prepare_index, pr.coordinator,
+        static_cast<std::uint8_t>(pr.vote_yes ? 1 : 0), pr.error});
+  }
+  for (const ParkedTxn& t : parked_) {
+    body.parked.push_back(XsSnapBody::ParkEntry{t.index, workload::encode_request(t.req)});
+  }
+  for (const auto& [key, co] : coord_) {
+    XsSnapBody::CoordEntry e;
+    e.orig = workload::encode_request(co.orig);
+    e.participants.assign(co.participants.begin(), co.participants.end());
+    for (const auto& [g, yes] : co.votes) {
+      e.votes.emplace_back(g, static_cast<std::uint8_t>(yes ? 1 : 0));
+    }
+    e.abort_error = co.abort_error;
+    e.decided = co.decided ? 1 : 0;
+    e.commit = co.commit ? 1 : 0;
+    e.responded = co.responded ? 1 : 0;
+    e.decide_resends = co.decide_resends;
+    body.coords.push_back(std::move(e));
+  }
+  return body;
+}
+
+void XsCoordinator::restore(const XsSnapBody& snap) {
+  prepared_.clear();
+  coord_.clear();
+  parked_.clear();
+  locked_keys_.clear();
+  parked_keys_.clear();
+  parked_keyless_ = 0;
+  locks_ = db::LockManager{};
+  for (const auto& e : snap.prepared) {
+    Prepared pr;
+    pr.orig = workload::decode_request(e.orig);
+    pr.prepare_index = e.prepare_index;
+    pr.coordinator = e.coordinator;
+    pr.vote_yes = e.vote_yes != 0;
+    pr.error = e.error;
+    for (const std::int64_t k : router_.keys_of(pr.orig)) {
+      if (router_.shard_of_key(k) == group_) pr.local_keys.push_back(k);
+    }
+    const TxnKey key{pr.orig.client.value, pr.orig.seq};
+    if (pr.vote_yes) {
+      // The exclusive locks froze the plan's read set between prepare and
+      // snapshot, so re-running it reproduces the donor's staged writes.
+      const XsPlanFn plan = xs_plan_for(pr.orig.proc);
+      SHADOW_CHECK(plan != nullptr);
+      XsLocalPlan lp = plan(executor_.engine(), pr.orig, pr.local_keys);
+      SHADOW_CHECK_MSG(lp.vote_yes, "restored plan must reproduce the yes vote");
+      pr.staged = std::move(lp.staged);
+      const db::TxnId lt = lock_txn_of(key);
+      const std::string& table = router_.proc_info(pr.orig.proc)->table;
+      for (const std::int64_t k : pr.local_keys) {
+        SHADOW_CHECK(locks_.acquire(lt, db::LockTarget{table, db::Key{db::Value(k)}},
+                                    db::LockMode::kExclusive,
+                                    0) == db::AcquireStatus::kGranted);
+        ++locked_keys_[PartKey{table, k}];
+      }
+    }
+    prepared_.emplace(key, std::move(pr));
+  }
+  for (const auto& e : snap.parked) {
+    ParkedTxn t;
+    t.index = e.index;
+    t.req = workload::decode_request(e.orig);
+    t.keys = router_.keys_of(t.req);
+    t.keyless = t.keys.empty();
+    if (t.keyless) {
+      ++parked_keyless_;
+    } else {
+      const std::string& table = router_.proc_info(t.req.proc)->table;
+      for (const std::int64_t k : t.keys) ++parked_keys_[PartKey{table, k}];
+    }
+    parked_.push_back(std::move(t));
+  }
+  for (const auto& e : snap.coords) {
+    Coord co;
+    co.orig = workload::decode_request(e.orig);
+    co.participants.assign(e.participants.begin(), e.participants.end());
+    for (const auto& [g, yes] : e.votes) co.votes[g] = yes != 0;
+    co.abort_error = e.abort_error;
+    co.decided = e.decided != 0;
+    co.commit = e.commit != 0;
+    co.responded = e.responded != 0;
+    co.decide_resends = e.decide_resends;
+    coord_.emplace(TxnKey{co.orig.client.value, co.orig.seq}, std::move(co));
+  }
+}
+
+}  // namespace shadow::core

@@ -48,6 +48,20 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
     }
   };
 
+  // ---- pass 0: node → replication group (sharded traces stamp every node
+  // with a group_info event; absent events put the node in group 0, which
+  // makes every classic trace a one-group trace).
+  std::unordered_map<std::uint32_t, std::uint32_t> node_group;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == EventKind::kGroupInfo) {
+      node_group[e.node.value] = static_cast<std::uint32_t>(e.a);
+    }
+  }
+  const auto group_of = [&](std::uint32_t node) {
+    const auto it = node_group.find(node);
+    return it == node_group.end() ? 0u : it->second;
+  };
+
   // ---- pass 1: gather per-node execution logs, delivery logs, crashes, and
   // client-side transaction intervals. Events are time-ordered per node by
   // construction (the simulator is sequential and virtual time is monotone).
@@ -59,6 +73,8 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   // node -> delivery index -> command (TOB delivery logs)
   std::map<std::uint32_t, std::map<std::uint64_t, TxnKey>> deliver_by_node;
   std::map<TxnKey, TxnTimes> txns;
+  // cross-shard txn -> participant group -> applied 2PC decision
+  std::map<TxnKey, std::map<std::uint64_t, XsPhase>> xs_decisions;
 
   for (const TraceEvent& e : trace.events) {
     switch (e.kind) {
@@ -111,21 +127,56 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
         }
         break;
       }
+      case EventKind::kXsPhase: {
+        const auto phase = static_cast<XsPhase>(e.a);
+        if (phase == XsPhase::kPrepare) break;
+        const TxnKey key{e.client.value, e.seq};
+        const auto [it, inserted] = xs_decisions[key].emplace(e.b, phase);
+        if (!inserted && it->second != phase) {
+          report("cross-shard-atomicity", "group g" + std::to_string(e.b) +
+                                              " applied both commit and abort for " +
+                                              txn_name(key));
+        }
+        break;
+      }
       default:
         break;
     }
   }
 
-  // ---- total order: TOB nodes must agree on every common delivery index.
-  // Crashed TOB nodes stay included: consensus safety guarantees a crashed
-  // learner's delivery log is a consistent prefix.
-  if (!deliver_by_node.empty()) {
-    const auto& [ref_node, ref_log] = *deliver_by_node.begin();
+  // ---- cross-shard atomicity: every participant group applied the same
+  // 2PC decision (a commit on one shard with an abort on another would leave
+  // the transfer half-applied).
+  for (const auto& [key, decisions] : xs_decisions) {
+    std::string committed_on;
+    std::string aborted_on;
+    for (const auto& [group, phase] : decisions) {
+      std::string& list = phase == XsPhase::kCommit ? committed_on : aborted_on;
+      if (!list.empty()) list += ",";
+      list += "g" + std::to_string(group);
+    }
+    if (!committed_on.empty() && !aborted_on.empty()) {
+      report("cross-shard-atomicity", "cross-shard " + txn_name(key) + " committed on " +
+                                          committed_on + " but aborted on " + aborted_on);
+    }
+  }
+
+  // ---- total order: TOB nodes of the same group must agree on every common
+  // delivery index (each group is its own TOB instance; comparing across
+  // groups would be meaningless). Crashed TOB nodes stay included: consensus
+  // safety guarantees a crashed learner's delivery log is a consistent prefix.
+  {
+    // group -> (reference node, its log); every later node of the group is
+    // compared against the group's first.
+    std::map<std::uint32_t, std::pair<std::uint32_t, const std::map<std::uint64_t, TxnKey>*>>
+        ref_by_group;
     for (const auto& [node, log] : deliver_by_node) {
-      if (node == ref_node) continue;
+      const auto [rit, first] = ref_by_group.try_emplace(group_of(node), node, &log);
+      if (first) continue;
+      const auto& [ref_node, ref_log] = rit->second;
       for (const auto& [index, key] : log) {
-        const auto it = ref_log.find(index);
-        if (it != ref_log.end() && it->second != key) {
+        const auto it = ref_log->find(index);
+        if (it != ref_log->end() && it->second != key) {
           report("total-order", "TOB delivery index " + std::to_string(index) + " is " +
                                     txn_name(it->second) + " on n" + std::to_string(ref_node) +
                                     " but " + txn_name(key) + " on n" + std::to_string(node));
@@ -134,13 +185,16 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
     }
   }
 
-  // ---- total order: surviving replicas must agree on every common
-  // execution-order index (pairwise against the union keeps it O(n log n)).
-  std::map<std::uint64_t, std::pair<TxnKey, std::uint32_t>> agreed_order;
+  // ---- total order: surviving replicas of the same group must agree on
+  // every common execution-order index (pairwise against the group's union
+  // keeps it O(n log n)).
+  std::map<std::uint32_t, std::map<std::uint64_t, std::pair<TxnKey, std::uint32_t>>>
+      agreed_by_group;
   for (const auto& [node, log] : exec_by_node) {
     const bool node_crashed = crashed.count(node) > 0;
     if (node_crashed && !options.include_crashed_in_order_check) continue;
     ++result.replicas_checked;
+    auto& agreed_order = agreed_by_group[group_of(node)];
     for (const auto& [order, key] : log) {
       const auto [it, inserted] = agreed_order.try_emplace(order, key, node);
       if (!inserted && it->second.first != key) {
@@ -153,12 +207,18 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   }
 
   // ---- durability + strict serializability over committed transactions.
-  // Position = the agreed execution-order index. Strict serializability on
-  // sequentially-executed identical state machines reduces to: the single
-  // agreed total order exists (checked above) and respects real time — if
-  // ack(T1) happened before begin(T2), then pos(T1) < pos(T2).
-  std::map<TxnKey, std::uint64_t> position;
-  for (const auto& [order, entry] : agreed_order) position.emplace(entry.first, order);
+  // Position = the agreed execution-order index within a group (a
+  // cross-shard transaction has one per participant group: its prepare's
+  // delivery index, the point its locks serialize it at). Strict
+  // serializability on sequentially-executed identical state machines
+  // reduces to: each group's agreed total order exists (checked above) and
+  // respects real time — checked per group below, which for sharded traces
+  // covers every real-time precedence each group can observe.
+  std::map<std::uint32_t, std::map<TxnKey, std::uint64_t>> position_by_group;
+  for (const auto& [group, agreed_order] : agreed_by_group) {
+    auto& position = position_by_group[group];
+    for (const auto& [order, entry] : agreed_order) position.emplace(entry.first, order);
+  }
 
   // Durable = executed (in any position, or unordered) on a never-crashed
   // replica. Unordered executions (chain-tail reads) satisfy durability but
@@ -171,7 +231,6 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
 
   struct Committed {
     TxnKey key;
-    std::uint64_t pos;
     net::Time begin;
     net::Time ack;
   };
@@ -184,34 +243,60 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
                                " was never executed on a surviving replica");
       continue;
     }
-    const auto it = position.find(key);
-    if (it == position.end()) continue;  // unordered (e.g. a read): no position
-    committed.push_back(Committed{key, it->second, t.begun ? t.begin : 0, t.ack});
+    committed.push_back(Committed{key, t.begun ? t.begin : 0, t.ack});
   }
 
-  std::sort(committed.begin(), committed.end(),
-            [](const Committed& x, const Committed& y) { return x.pos < y.pos; });
-  // Violation iff some T1, T2 have ack(T1) < begin(T2) yet pos(T2) < pos(T1):
-  // T2 started after T1's answer was on the wire, but serialized before T1.
-  // Scanning in position order with the running maximum of begin times, T1 is
-  // the current element and T2 any earlier-positioned one, so the test is
-  // ack(current) < max(begin of predecessors).
-  net::Time max_begin_so_far = 0;
-  TxnKey max_begin_key{};
-  for (const Committed& t : committed) {
-    if (max_begin_so_far != 0 && t.ack < max_begin_so_far) {
-      report("strict-serializability",
-             txn_name(t.key) + " (order " + std::to_string(t.pos) + ", acked at " +
-                 std::to_string(t.ack) + "us) is serialized after " + txn_name(max_begin_key) +
-                 " which was submitted at " + std::to_string(max_begin_so_far) +
-                 "us, after that acknowledgment");
+  // Per-group real-time check. Violation iff some T1, T2 in the group have
+  // ack(T1) < begin(T2) yet pos(T2) < pos(T1): T2 started after T1's answer
+  // was on the wire, but serialized before T1. Scanning in position order
+  // with the running maximum of begin times, T1 is the current element and
+  // T2 any earlier-positioned one, so the test is ack(current) < max(begin
+  // of predecessors).
+  for (const auto& [group, position] : position_by_group) {
+    struct Ordered {
+      TxnKey key;
+      std::uint64_t pos;
+      net::Time begin;
+      net::Time ack;
+    };
+    std::vector<Ordered> ordered;
+    for (const Committed& t : committed) {
+      const auto it = position.find(t.key);
+      if (it == position.end()) continue;  // other group, or unordered (a read)
+      ordered.push_back(Ordered{t.key, it->second, t.begin, t.ack});
     }
-    if (t.begin > max_begin_so_far) {
-      max_begin_so_far = t.begin;
-      max_begin_key = t.key;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Ordered& x, const Ordered& y) { return x.pos < y.pos; });
+    net::Time max_begin_so_far = 0;
+    TxnKey max_begin_key{};
+    for (const Ordered& t : ordered) {
+      if (max_begin_so_far != 0 && t.ack < max_begin_so_far) {
+        report("strict-serializability",
+               txn_name(t.key) + " (order " + std::to_string(t.pos) + ", acked at " +
+                   std::to_string(t.ack) + "us) is serialized after " + txn_name(max_begin_key) +
+                   " which was submitted at " + std::to_string(max_begin_so_far) +
+                   "us, after that acknowledgment");
+      }
+      if (t.begin > max_begin_so_far) {
+        max_begin_so_far = t.begin;
+        max_begin_key = t.key;
+      }
     }
   }
 
+  // ---- cross-group note: there is deliberately NO cycle check over the
+  // union of the per-group position orders. Such a check would assert that
+  // every pair of transactions is ordered the same way by every common
+  // group, which is stronger than strict serializability: non-conflicting
+  // transactions commute, so two groups may legitimately serialize them in
+  // opposite orders (TOB proposal racing does exactly that to concurrent
+  // cross-shard prepares). The trace does not record key sets, so conflicts
+  // are unobservable here — and the no-wait 2PC rule makes the full-chain
+  // check redundant anyway: concurrently-prepared transactions only both
+  // commit when their lock sets were disjoint (a conflict votes NO), while
+  // non-concurrent pairs are covered by the per-group real-time scans above.
+  // What IS checked across groups: per-group total order + real time (both
+  // above) and uniform 2PC decisions (cross-shard-atomicity, earlier).
   return result;
 }
 

@@ -14,6 +14,21 @@
 //                      precedes T2 in the execution order;
 //   durability       — every acknowledged-committed transaction was executed
 //                      on at least one surviving (never-crashed) replica.
+//   cross-shard-atomicity (sharded traces)
+//                    — a cross-shard transaction's 2PC decision is uniform:
+//                      no participant group applies a commit while another
+//                      applies an abort.
+//
+// Sharded traces (group_info events present, core/group.hpp) are checked
+// per replication group — each group is its own TOB instance and execution
+// order, so order agreement and the real-time scan run within each group —
+// plus cross-shard atomicity over the 2PC decision events. There is no
+// cross-group order-agreement check: groups may serialize non-conflicting
+// transactions in opposite orders (they commute), and the trace does not
+// record key sets, so a checker demanding a single order embedding every
+// group's full chain would reject correct executions. Traces without
+// group_info events put every node in group 0 and take exactly the original
+// single-group checks.
 //
 // Replicas that crash during the run are excluded from the order-agreement
 // comparison by default: a crashed primary may have executed a suffix of
@@ -34,7 +49,8 @@
 namespace shadow::obs {
 
 struct Violation {
-  std::string invariant;  // "total-order", "at-most-once", "strict-serializability", "durability"
+  std::string invariant;  // "total-order", "at-most-once", "strict-serializability",
+                          // "durability", "cross-shard-atomicity"
   std::string detail;
 };
 

@@ -35,6 +35,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kCrash, "crash"},
     {EventKind::kRecover, "recover"},
     {EventKind::kStateTransfer, "state_transfer"},
+    {EventKind::kGroupInfo, "group_info"},
+    {EventKind::kXsPhase, "xs_phase"},
 };
 
 bool kind_from_string(const std::string& s, EventKind& out) {
@@ -414,6 +416,36 @@ void Tracer::state_transfer(net::Time t, NodeId node, StatePhase phase, std::uin
   e.a = static_cast<std::uint64_t>(phase);
   e.b = bytes;
   e.c = peer.value;
+  append(e);
+}
+
+void Tracer::group_info(net::Time t, NodeId node, std::uint64_t group, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kGroupInfo;
+  e.node = node;
+  e.a = group;
+  e.b = epoch;
+  append(e);
+}
+
+void Tracer::xs_phase(net::Time t, NodeId node, ClientId client, RequestSeq seq, XsPhase phase,
+                      std::uint64_t group, const std::string& proc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.counter(phase == XsPhase::kPrepare  ? "xs.prepares"
+                   : phase == XsPhase::kCommit ? "xs.commits"
+                                               : "xs.aborts")
+      .add();
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kXsPhase;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.a = static_cast<std::uint64_t>(phase);
+  e.b = group;
+  e.label = intern(proc);
   append(e);
 }
 

@@ -46,10 +46,16 @@ enum class EventKind : std::uint8_t {
   kCrash,          // node
   kRecover,        // node, a=order/index recovered up to
   kStateTransfer,  // node, a=phase (StatePhase), b=bytes, c=peer node
+  kGroupInfo,      // node, a=replication group id, b=restart epoch
+  kXsPhase,        // node, client/seq, a=phase (XsPhase), b=group id, label=proc
 };
 
 enum class BallotPhase : std::uint8_t { kScout = 0, kAdopted = 1, kPreempted = 2 };
 enum class StatePhase : std::uint8_t { kBegin = 0, kBatch = 1, kDone = 2 };
+/// Cross-shard two-phase-commit lifecycle as observed by a participant
+/// replica (core/twopc.hpp): prepared (locks held, vote cast), then the
+/// coordinator's decision applied as commit or abort.
+enum class XsPhase : std::uint8_t { kPrepare = 0, kCommit = 1, kAbort = 2 };
 
 /// Order value for kTxnExecute events that carry no position in the replica's
 /// execution order (chain-replication tail reads, answers served straight
@@ -156,6 +162,17 @@ class Tracer final : public net::TransportObserver {
   void recover(net::Time t, NodeId node, std::uint64_t up_to_order);
   void state_transfer(net::Time t, NodeId node, StatePhase phase, std::uint64_t bytes,
                       NodeId peer);
+
+  // -- sharded deployments ---------------------------------------------------
+  /// Declares a node's replication group (and restart epoch) so the offline
+  /// checker can split merged multi-group traces per group. Emitted once per
+  /// node by the sharded assembly; traces without group_info events are
+  /// treated as one group (id 0).
+  void group_info(net::Time t, NodeId node, std::uint64_t group, std::uint64_t epoch);
+  /// Cross-shard 2PC lifecycle: a participant replica prepared / committed /
+  /// aborted the transaction in its own group's log.
+  void xs_phase(net::Time t, NodeId node, ClientId client, RequestSeq seq, XsPhase phase,
+                std::uint64_t group, const std::string& proc);
 
   // -- thread-safe metric helpers --------------------------------------------
   /// Locked histogram observation / counter bump for callers on pipeline

@@ -13,6 +13,10 @@ TobNode::TobNode(net::Transport& world, NodeId self, TobConfig config,
   SHADOW_REQUIRE(!config_.nodes.empty());
   SHADOW_REQUIRE(config_.batch_min >= 1 && config_.batch_min <= config_.batch_max);
   batch_limit_ = config_.adaptive_batching ? config_.batch_min : config_.batch_max;
+  // Metric names are prefixed once here, not per observation (the scope is
+  // empty — the classic names — outside sharded deployments).
+  adaptive_metric_ = config_.metric_scope + "net.batch_size_adaptive";
+  encode_metric_ = config_.metric_scope + "net.batch_encode_count";
 
   if (config_.protocol == Protocol::kPaxos) {
     consensus::PaxosConfig pc = config_.paxos;
@@ -242,6 +246,11 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   }
   if (builder.empty()) return;
   EncodedBatch batch = builder.build();
+  if (config_.tracer && !config_.metric_scope.empty()) {
+    // Per-group encode counter: the process-wide wire::batch_stats() fold
+    // cannot attribute encodes when several groups share one process.
+    config_.tracer->count(encode_metric_);
+  }
   const Slot slot = std::max(next_propose_slot_, next_deliver_slot_);
   next_propose_slot_ = slot + 1;
   outstanding_[slot] = batch;
@@ -251,7 +260,7 @@ void TobNode::maybe_propose(net::NodeContext& ctx) {
   if (config_.tracer) {
     config_.tracer->tob_propose(ctx.now(), self_, slot, batch.size());
     if (config_.adaptive_batching) {
-      config_.tracer->observe("net.batch_size_adaptive", batch_limit_);
+      config_.tracer->observe(adaptive_metric_, batch_limit_);
     }
   }
   module_->propose(ctx, slot, batch);

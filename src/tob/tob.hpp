@@ -107,6 +107,10 @@ struct TobConfig {
   net::Time relay_timeout = 500000; // relayed commands not delivered by then
                                     // are proposed locally (leader may be dead)
   obs::Tracer* tracer = nullptr;    // optional structured trace recorder
+  /// Prefix for this service's metric names ("group.<id>." in sharded
+  /// deployments, so N groups in one process don't collapse into one
+  /// counter; empty — the classic names — otherwise).
+  std::string metric_scope;
 };
 
 /// One node of the broadcast service. Construct one per NodeId in
@@ -239,6 +243,8 @@ class TobNode {
   LocalDeliverBatchFn batch_subscriber_;
   std::function<std::size_t()> backlog_probe_;
   std::size_t batch_limit_ = 0;  // live adaptive cap, set in the constructor
+  std::string adaptive_metric_;  // metric_scope + "net.batch_size_adaptive"
+  std::string encode_metric_;    // metric_scope + "net.batch_encode_count"
   std::vector<NodeId> remote_subscribers_;
   bool tick_armed_ = false;
 };

@@ -1,0 +1,135 @@
+// ShardRouter unit suite: the partition function is a pure, rebalance-free
+// function of the request — every client and replica must compute identical
+// participant sets forever, because 2PC correctness and offline checkability
+// both hang on that determinism.
+#include <gtest/gtest.h>
+
+#include "core/router.hpp"
+#include "workload/bank.hpp"
+#include "workload/messages.hpp"
+
+namespace shadow::core {
+namespace {
+
+workload::TxnRequest make_req(const std::string& proc, workload::Params params) {
+  workload::TxnRequest req;
+  req.client = ClientId{1};
+  req.seq = 1;
+  req.proc = proc;
+  req.params = std::move(params);
+  return req;
+}
+
+TEST(ShardRouter, KeyToGroupIsStableAndCoversAllGroups) {
+  ShardRouter router(4);
+  std::vector<std::size_t> hits(4, 0);
+  for (std::int64_t key = 0; key < 1000; ++key) {
+    const GroupId g = router.shard_of_key(key);
+    ASSERT_LT(g, 4u);
+    ASSERT_EQ(g, router.shard_of_key(key)) << "unstable mapping for key " << key;
+    ++hits[g];
+  }
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(hits[g], 250u) << "modulo partition must balance a dense keyspace";
+  }
+}
+
+TEST(ShardRouter, DeterministicAcrossIndependentInstances) {
+  // Two routers built independently (as every process of a cluster does)
+  // agree on every mapping — there is no hidden state to rebalance.
+  ShardRouter a(3);
+  ShardRouter b(3);
+  a.install_default_extractors();
+  b.install_default_extractors();
+  for (std::int64_t key = 0; key < 500; ++key) {
+    ASSERT_EQ(a.shard_of_key(key), b.shard_of_key(key));
+  }
+  for (std::int64_t from = 0; from < 60; ++from) {
+    const auto req = make_req(std::string(workload::bank::kTransferProc),
+                              {db::Value(from), db::Value(from + 7), db::Value(1)});
+    ASSERT_EQ(a.shards_of(req), b.shards_of(req));
+    ASSERT_EQ(a.coordinator_of(req), b.coordinator_of(req));
+  }
+}
+
+TEST(ShardRouter, ParticipantSetsAreSortedDedupedAndCorrect) {
+  ShardRouter router(2);
+  router.install_default_extractors();
+
+  // Single-shard: both accounts even → one participant.
+  const auto same = make_req(std::string(workload::bank::kTransferProc),
+                             {db::Value(2), db::Value(4), db::Value(1)});
+  EXPECT_EQ(router.shards_of(same), (std::vector<GroupId>{0}));
+  EXPECT_FALSE(router.cross_shard(same));
+
+  // Cross-shard: adjacent accounts differ mod 2; participants sorted.
+  const auto cross = make_req(std::string(workload::bank::kTransferProc),
+                              {db::Value(3), db::Value(4), db::Value(1)});
+  EXPECT_EQ(router.shards_of(cross), (std::vector<GroupId>{0, 1}));
+  EXPECT_TRUE(router.cross_shard(cross));
+  EXPECT_EQ(router.coordinator_of(cross), 0u);
+
+  // Deposits are always single-shard.
+  const auto dep =
+      make_req(std::string(workload::bank::kDepositProc), {db::Value(5), db::Value(10)});
+  EXPECT_EQ(router.shards_of(dep), (std::vector<GroupId>{1}));
+  EXPECT_FALSE(router.cross_shard(dep));
+}
+
+TEST(ShardRouter, KeylessAndUnknownProceduresPinToGroupZero) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  const auto audit = make_req(std::string(workload::bank::kAuditProc), {});
+  EXPECT_EQ(router.shards_of(audit), (std::vector<GroupId>{0}));
+  EXPECT_FALSE(router.cross_shard(audit));
+
+  const auto unknown = make_req("not.registered", {db::Value(17)});
+  EXPECT_EQ(router.shards_of(unknown), (std::vector<GroupId>{0}));
+  EXPECT_EQ(router.coordinator_of(unknown), 0u);
+}
+
+TEST(ShardRouter, TpccStaysSingleWarehouseSingleShard) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  for (std::int64_t w = 0; w < 16; ++w) {
+    const auto req = make_req("tpcc.new_order", {db::Value(w), db::Value(1), db::Value(2)});
+    const auto groups = router.shards_of(req);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], router.shard_of_key(w));
+    EXPECT_FALSE(router.cross_shard(req));
+  }
+}
+
+TEST(ShardRouter, RouteReturnsCoordinatorTargetsAndCounts) {
+  ShardRouter router(2);
+  router.install_default_extractors();
+  const std::vector<NodeId> tob0 = {NodeId{10}, NodeId{11}};
+  const std::vector<NodeId> tob1 = {NodeId{20}, NodeId{21}};
+  router.set_group_targets(0, tob0, {NodeId{12}});
+  router.set_group_targets(1, tob1, {NodeId{22}});
+
+  const auto dep1 =
+      make_req(std::string(workload::bank::kDepositProc), {db::Value(1), db::Value(5)});
+  EXPECT_EQ(router.route(dep1), tob1);
+  const auto cross = make_req(std::string(workload::bank::kTransferProc),
+                              {db::Value(1), db::Value(2), db::Value(1)});
+  EXPECT_EQ(router.route(cross), tob0);  // coordinator = first participant
+
+  EXPECT_EQ(router.routed_count(), 2u);
+  EXPECT_EQ(router.cross_shard_count(), 1u);
+  EXPECT_DOUBLE_EQ(router.cross_shard_ratio(), 0.5);
+}
+
+TEST(ShardRouter, SingleShardDeploymentNeverCrosses) {
+  ShardRouter router(1);
+  router.install_default_extractors();
+  for (std::int64_t from = 0; from < 32; ++from) {
+    const auto req = make_req(std::string(workload::bank::kTransferProc),
+                              {db::Value(from), db::Value(from + 1), db::Value(1)});
+    EXPECT_FALSE(router.cross_shard(req));
+    EXPECT_EQ(router.shards_of(req), (std::vector<GroupId>{0}));
+  }
+}
+
+}  // namespace
+}  // namespace shadow::core

@@ -225,6 +225,124 @@ TEST_P(TcpClusterE2eTest, BankWorkloadCommitsAndPassesTheChecker) {
   }
 }
 
+/// Two replication groups (--shards 2) in every process, pipelined, with the
+/// mixed workload routed through the ShardRouter: deposits go straight to
+/// the owning group's TOB, adjacent-account transfers take the TOB-ordered
+/// 2PC path across both groups over real sockets. Per-group replica digests
+/// must agree host-to-host and the merged trace must pass the extended
+/// checker (per-group total order + real time, cross-shard atomicity). This
+/// is also the multi-group target of the TSan gate in scripts/check.sh.
+TEST(TcpShardedClusterE2e, MixedWorkloadCommitsAndPassesTheChecker) {
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kShardTxns = 60;
+  struct Proc {
+    std::unique_ptr<net::TcpTransport> transport;
+    std::unique_ptr<obs::Tracer> tracer;
+    ShardedSmrCluster cluster;
+    std::shared_ptr<workload::ProcedureRegistry> registry;
+    std::unique_ptr<DbClient> client;
+  };
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<net::TcpHostAddr> hosts(kHostCount);
+  std::vector<Proc> procs;
+  for (std::size_t h = 0; h < kHostCount; ++h) {
+    net::TcpOptions options;
+    options.local_host = static_cast<std::uint32_t>(h);
+    options.hosts = hosts;
+    options.seed = 42;
+    options.epoch = epoch;
+    auto transport = std::make_unique<net::TcpTransport>(options);
+    if (!transport->start()) GTEST_SKIP() << "sockets unavailable in this environment";
+    procs.push_back(Proc{});
+    procs.back().transport = std::move(transport);
+  }
+  for (auto& p : procs) {
+    for (std::size_t h = 0; h < kHostCount; ++h) {
+      p.transport->set_host_port(net::HostId{static_cast<std::uint32_t>(h)},
+                                 procs[h].transport->listen_port());
+    }
+  }
+
+  const workload::bank::BankConfig bank{1000, 0};
+  for (auto& p : procs) {
+    net::TcpTransport& t = *p.transport;
+    p.tracer = std::make_unique<obs::Tracer>(
+        obs::TracerOptions{.capacity = 1 << 18, .record_messages = false});
+    p.tracer->attach(t);
+    p.registry = std::make_shared<workload::ProcedureRegistry>();
+    workload::bank::register_procedures(*p.registry);
+
+    ClusterOptions opts;
+    opts.db_replicas = 3;
+    opts.db_spares = 0;
+    opts.registry = p.registry;
+    opts.tracer = p.tracer.get();
+    opts.loader = [bank](db::Engine& e) { workload::bank::load(e, bank); };
+    opts.smr.pipelined_execution = true;
+    opts.tob_adaptive_batching = true;
+    p.cluster = make_sharded_smr_cluster(t, opts, kShards);
+
+    const NodeId client_node = t.add_node("client1");
+    DbClient::Options options;
+    options.mode = DbClient::Mode::kTob;
+    options.router = p.cluster.router.get();
+    options.retry_conflict_aborts = true;
+    options.txn_limit = kShardTxns;
+    options.tracer = p.tracer.get();
+    auto rng = std::make_shared<Rng>(7);
+    p.client = std::make_unique<DbClient>(
+        t, client_node, ClientId{1}, options, [rng, bank]() {
+          if (rng->next() % 100 < 20) {
+            const auto from = static_cast<std::int64_t>(
+                rng->next() % static_cast<std::uint64_t>(bank.accounts));
+            return std::make_pair(
+                std::string(workload::bank::kTransferProc),
+                workload::Params{db::Value(from), db::Value((from + 1) % bank.accounts),
+                                 db::Value(std::int64_t{1})});
+          }
+          return std::make_pair(std::string(workload::bank::kDepositProc),
+                                workload::bank::make_deposit(*rng, bank));
+        });
+    ASSERT_TRUE(t.start_pipeline());
+  }
+
+  DbClient& client = *procs[kClientHost].client;
+  client.start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(90);
+  while (!client.done() && std::chrono::steady_clock::now() < deadline) {
+    for (auto& p : procs) p.transport->poll_once(300);
+  }
+  ASSERT_TRUE(client.done()) << "sharded cluster did not complete the workload in time";
+  EXPECT_EQ(client.committed(), kShardTxns);
+  EXPECT_GT(procs[kClientHost].cluster.router->cross_shard_count(), 0u);
+
+  // Drain in-flight replication, then each group's replicas must agree
+  // host-to-host (each host executes its own replica of every group).
+  const auto drain = std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (std::chrono::steady_clock::now() < drain) {
+    for (auto& p : procs) p.transport->poll_once(300);
+  }
+  for (std::size_t g = 0; g < kShards; ++g) {
+    std::uint64_t first = 0;
+    for (std::size_t h = 0; h < kServerHosts; ++h) {
+      procs[h].cluster.groups[g].replicas[h]->quiesce();
+      const std::uint64_t digest = procs[h].cluster.groups[g].replicas[h]->state_digest();
+      if (h == 0) {
+        first = digest;
+      } else {
+        EXPECT_EQ(digest, first) << "group " << g << " host " << h;
+      }
+    }
+  }
+
+  std::vector<obs::Trace> traces;
+  for (auto& p : procs) traces.push_back(p.tracer->snapshot());
+  const obs::CheckResult check = obs::check_trace(obs::merge_traces(traces));
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(check.committed_txns_checked, kShardTxns);
+  EXPECT_EQ(check.replicas_checked, kServerHosts * kShards);
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, TcpClusterE2eTest,
                          ::testing::Values(Mode::kPbr, Mode::kSmr, Mode::kSmrPipelined),
                          [](const ::testing::TestParamInfo<Mode>& info) {

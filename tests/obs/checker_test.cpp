@@ -69,6 +69,21 @@ struct TraceBuilder {
   }
 
   void crash(net::Time t, NodeId node) { add(t, EventKind::kCrash, node); }
+
+  void group_info(NodeId node, std::uint64_t group) {
+    TraceEvent& e = add(0, EventKind::kGroupInfo, node);
+    e.a = group;
+  }
+
+  void xs_phase(net::Time t, NodeId node, ClientId c, RequestSeq s, XsPhase phase,
+                std::uint64_t group) {
+    TraceEvent& e = add(t, EventKind::kXsPhase, node);
+    e.client = c;
+    e.seq = s;
+    e.a = static_cast<std::uint64_t>(phase);
+    e.b = group;
+    e.label = label("transfer");
+  }
 };
 
 bool has_violation(const CheckResult& result, const std::string& invariant) {
@@ -303,6 +318,118 @@ TEST(Checker, ViolationReportIsCapped) {
   const CheckResult result = check_trace(b.trace, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.violations.size(), 5u);
+}
+
+// ---- sharded traces ---------------------------------------------------------
+
+/// A 2PC decision applied as commit on one shard but abort on the other: the
+/// transfer is half-applied and the checker must reject the trace. This is
+/// the seeded isolation violation the sharded e2e gates rely on being
+/// detectable.
+TEST(Checker, DetectsCrossShardCommitAbortSplit) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.begin(10, ClientId{1}, 1);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kPrepare, 0);
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kPrepare, 1);
+  b.xs_phase(30, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0);
+  b.xs_phase(31, NodeId{2}, ClientId{1}, 1, XsPhase::kAbort, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "cross-shard-atomicity")) << result.summary();
+}
+
+/// One group applying BOTH decisions for the same transaction is equally
+/// broken (a replayed decide flipping the verdict).
+TEST(Checker, DetectsConflictingDecisionsWithinOneGroup) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kPrepare, 0);
+  b.xs_phase(30, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0);
+  b.xs_phase(40, NodeId{1}, ClientId{1}, 1, XsPhase::kAbort, 0);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "cross-shard-atomicity")) << result.summary();
+}
+
+/// Uniform decisions — commit everywhere, or abort everywhere — pass.
+TEST(Checker, UniformCrossShardDecisionsPass) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0);
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kCommit, 1);
+  b.xs_phase(30, NodeId{1}, ClientId{2}, 1, XsPhase::kAbort, 0);
+  b.xs_phase(31, NodeId{2}, ClientId{2}, 1, XsPhase::kAbort, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+/// Nodes of different groups legitimately execute different transactions at
+/// the same order index — order agreement is scoped to the group. A
+/// single-group trace with the same events would be a total-order violation.
+TEST(Checker, OrderAgreementIsScopedPerGroup) {
+  TraceBuilder b;
+  b.begin(10, ClientId{1}, 1);
+  b.begin(11, ClientId{2}, 1);
+  b.execute(30, NodeId{1}, ClientId{1}, 1, 0);
+  b.execute(31, NodeId{2}, ClientId{2}, 1, 0);  // same index, different txn
+  b.ack(40, ClientId{1}, 1);
+  b.ack(41, ClientId{2}, 1);
+  EXPECT_FALSE(check_trace(b.trace).ok());  // one group: divergence
+
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  EXPECT_TRUE(check_trace(b.trace).ok()) << check_trace(b.trace).summary();
+}
+
+/// Two groups serializing two concurrent committed transactions in opposite
+/// orders is NOT a violation: with no conflict information in the trace the
+/// transactions may commute (and under no-wait 2PC, concurrently-committed
+/// ones provably do). Regression test for an over-strict cross-group cycle
+/// check that rejected exactly this.
+TEST(Checker, AllowsOppositePositionsInDifferentGroups) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.begin(10, ClientId{1}, 1);
+  b.begin(11, ClientId{2}, 1);  // concurrent with c1#1
+  // Group 0 serializes c1#1 before c2#1; group 1 the other way around.
+  b.execute(30, NodeId{1}, ClientId{1}, 1, 0);
+  b.execute(31, NodeId{1}, ClientId{2}, 1, 1);
+  b.execute(30, NodeId{2}, ClientId{2}, 1, 0);
+  b.execute(31, NodeId{2}, ClientId{1}, 1, 1);
+  b.ack(40, ClientId{1}, 1);
+  b.ack(41, ClientId{2}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.committed_txns_checked, 2u);
+}
+
+/// The real-time scan still applies within each group of a sharded trace.
+TEST(Checker, DetectsRealTimeInversionInsideOneGroupOfShardedTrace) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.begin(10, ClientId{1}, 1);
+  b.execute(30, NodeId{1}, ClientId{1}, 1, 1);
+  b.ack(40, ClientId{1}, 1);
+  b.begin(50, ClientId{2}, 1);                  // after c1#1's answer...
+  b.execute(60, NodeId{1}, ClientId{2}, 1, 0);  // ...but serialized before it in group 0
+  b.ack(70, ClientId{2}, 1);
+  // Group 1 does unrelated clean work.
+  b.begin(12, ClientId{3}, 1);
+  b.execute(35, NodeId{2}, ClientId{3}, 1, 0);
+  b.ack(45, ClientId{3}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "strict-serializability")) << result.summary();
 }
 
 }  // namespace
