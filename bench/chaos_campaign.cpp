@@ -8,11 +8,18 @@
 //
 //   chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]
 //                  [--shards N] [--cross-shard-pct P]
+//                  [--rebalance-at-ms T] [--kill-donor]
 //                  [--replay PLAN_SEED] [--no-minimize] [--verbose]
 //
 // --shards > 1 runs every plan against a sharded cluster (N consensus
 // groups over the same machines, cross-shard 2PC transfers in the mix);
 // faults then hit the victim's slice of every group at once.
+//
+// --rebalance-at-ms T (with --shards > 1) broadcasts a `::mig-split` moving
+// a quarter of the keyspace from group 0 to group 1 at virtual time T ms,
+// concurrent with the fault schedule; a plan then passes only if the
+// migration also commits. --kill-donor crashes the preferred donor replica
+// 30 ms later, mid-transfer.
 //
 // Exit status is non-zero iff any plan fails a checker (or fails to
 // complete before the virtual-time horizon), so check.sh can gate on it.
@@ -43,6 +50,10 @@ void print_outcome(const shadow::chaos::PlanOutcome& outcome, bool verbose) {
               outcome.faults_injected, outcome.ok() ? "OK  " : "FAIL",
               static_cast<unsigned long long>(outcome.committed),
               static_cast<double>(outcome.virtual_duration) / 1e6, outcome.txn_per_sec());
+  if (outcome.rebalance_required) {
+    std::printf("  rebalance: %s\n",
+                outcome.rebalanced ? "range split committed" : "RANGE SPLIT DID NOT COMMIT");
+  }
   if (verbose || !outcome.ok()) {
     std::printf("  %s\n", outcome.plan.describe().c_str());
   }
@@ -88,6 +99,10 @@ int main(int argc, char** argv) {
       config.shards = parse_u64(next());
     } else if (arg == "--cross-shard-pct") {
       config.cross_shard_pct = parse_u64(next());
+    } else if (arg == "--rebalance-at-ms") {
+      config.rebalance_at = static_cast<shadow::net::Time>(parse_u64(next())) * 1000;
+    } else if (arg == "--kill-donor") {
+      config.kill_donor = true;
     } else if (arg == "--no-minimize") {
       config.minimize = false;
     } else if (arg == "--verbose") {
@@ -96,6 +111,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]\n"
                    "                      [--shards N] [--cross-shard-pct P]\n"
+                   "                      [--rebalance-at-ms T] [--kill-donor]\n"
                    "                      [--replay PLAN_SEED] [--no-minimize] [--verbose]\n");
       return 2;
     }

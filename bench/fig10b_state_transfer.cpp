@@ -10,13 +10,17 @@
 //   5e5: 22.6 / 69.6 s. "In all experiments, row insertion speed
 //   constitutes the bottleneck of state transfer."
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bench_util.hpp"
 #include "db/engine.hpp"
 #include "db/wire.hpp"
+#include "repl/state_transfer.hpp"
 #include "sim/world.hpp"
+#include "workload/bank.hpp"
 #include "workload/tpcc.hpp"
 
 namespace shadow::bench {
@@ -111,11 +115,139 @@ void run_series(const char* name, std::size_t row_bytes, std::size_t columns,
   }
 }
 
+// ------------------------------------------------ re-sync byte volume (v2) --
+
+// Process-wide codec registry: these headers belong to this benchmark alone.
+constexpr const char* kVolBegin2 = "fig-begin2";
+constexpr const char* kVolBatch2 = "fig-batch2";
+constexpr const char* kVolDone2 = "fig-done2";
+constexpr const char* kVolDel2 = "fig-del2";
+
+/// Streams source → dest once through repl::StateTransfer v2 and returns the
+/// sender's volume accounting; `tracer` accumulates the repl.* counters the
+/// table is read from.
+repl::SendStats stream_v2(db::Engine& source, db::Engine& dest, obs::Tracer& tracer,
+                          bool compress, std::optional<std::uint64_t> delta_since) {
+  sim::World world(5);
+  const NodeId src = world.add_node("source");
+  const NodeId dst = world.add_node("destination");
+  repl::StateTransfer::Receiver rx({&tracer, dst});
+  repl::SendStats stats;
+  bool finished = false;
+
+  world.set_handler(dst, [&](net::NodeContext& ctx, const sim::Message& m) {
+    if (m.header == kVolBegin2) {
+      rx.begin_v2(dest, sim::msg_body<repl::SnapBegin2Body>(m));
+    } else if (m.header == kVolBatch2) {
+      SHADOW_CHECK(rx.on_batch2(ctx, dest, sim::msg_body<repl::SnapBatch2Body>(m), m.from));
+    } else if (m.header == kVolDel2) {
+      rx.on_delete2(ctx, dest, sim::msg_body<repl::SnapDelete2Body>(m));
+    } else if (m.header == kVolDone2) {
+      SHADOW_CHECK(rx.complete(sim::msg_body<repl::SnapDone2Body>(m)));
+      rx.finish(dest);
+      finished = true;
+    }
+  });
+  world.schedule_timer_for_node(src, 1, [&](net::NodeContext& ctx) {
+    repl::StateTransfer::SendV2 spec;
+    spec.headers = {kVolBegin2, kVolBatch2, kVolDone2, kVolDel2};
+    spec.compress = compress;
+    spec.delta_since = delta_since;
+    spec.done_carries_rows = true;
+    spec.tracer = &tracer;
+    stats = repl::StateTransfer::send_v2(ctx, source, dst, spec);
+  });
+  world.run_until(600000000000ULL);
+  SHADOW_CHECK_MSG(finished, "v2 stream did not finish");
+  SHADOW_CHECK(dest.state_digest() == source.state_digest());
+  return stats;
+}
+
+/// The Fig. 10(b) byte-volume companion: what a bank-replica re-sync costs on
+/// the wire as raw full copy vs. compressed full vs. compressed delta (~1% of
+/// accounts touched since the receiver fell behind). Returns false when the
+/// 3x gate fails.
+bool run_resync_volume(bool gate) {
+  std::printf("\n-- bank re-sync byte volume (repl::StateTransfer v2) --\n");
+  std::printf("%10s %12s %14s %12s %10s %10s %11s\n", "accounts", "raw full B", "compressed B",
+              "delta B", "ratio", "reduction", "full B/row");
+  bool ok = true;
+  const std::int64_t sizes[] = {1000, 10000, 50000};
+  for (const std::int64_t accounts : sizes) {
+    db::Engine source(db::make_h2_traits());
+    workload::bank::load(source, workload::bank::BankConfig{accounts, 0});
+    source.set_state_version(1);
+
+    // Raw full copy: the v1-equivalent baseline.
+    obs::Tracer t_raw({.capacity = 1 << 12, .record_messages = false});
+    db::Engine dest_raw(db::make_h2_traits());
+    stream_v2(source, dest_raw, t_raw, /*compress=*/false, std::nullopt);
+    const std::uint64_t raw_full = t_raw.metrics().counter("repl.bytes_wire").value();
+
+    // Compressed full copy.
+    obs::Tracer t_full({.capacity = 1 << 12, .record_messages = false});
+    db::Engine dest_full(db::make_h2_traits());
+    stream_v2(source, dest_full, t_full, /*compress=*/true, std::nullopt);
+    const std::uint64_t wire_full = t_full.metrics().counter("repl.bytes_wire").value();
+
+    // Compressed delta: the receiver holds version 1, the source has since
+    // touched ~1% of the accounts at version 2.
+    obs::Tracer t_seed({.capacity = 1 << 12, .record_messages = false});
+    db::Engine dest_delta(db::make_h2_traits());
+    stream_v2(source, dest_delta, t_seed, /*compress=*/false, std::nullopt);
+    source.set_state_version(2);
+    const std::int64_t touched = accounts / 100;
+    for (std::int64_t k = 0; k < touched; ++k) {
+      const db::TxnId txn = source.begin();
+      SHADOW_CHECK(source
+                       .execute(txn, db::make_update(workload::bank::kTable, {db::Value(k)},
+                                                     {{2, db::SetOp::kAdd, db::Value(
+                                                                               std::int64_t{1})}}))
+                       .ok());
+      SHADOW_CHECK(source.commit(txn).ok());
+    }
+    obs::Tracer t_delta({.capacity = 1 << 12, .record_messages = false});
+    const repl::SendStats delta_stats =
+        stream_v2(source, dest_delta, t_delta, /*compress=*/true, std::uint64_t{1});
+    SHADOW_CHECK_MSG(delta_stats.delta, "sender fell back to a full copy");
+    SHADOW_CHECK(t_delta.metrics().counter("repl.delta_hits").value() == 1);
+    const std::uint64_t wire_delta = t_delta.metrics().counter("repl.bytes_wire").value();
+
+    const double ratio = wire_full > 0 ? static_cast<double>(raw_full) / wire_full : 0.0;
+    const double reduction = wire_delta > 0 ? static_cast<double>(raw_full) / wire_delta : 0.0;
+    std::printf("%10lld %12llu %14llu %12llu %9.1fx %9.1fx %11.1f\n",
+                static_cast<long long>(accounts), static_cast<unsigned long long>(raw_full),
+                static_cast<unsigned long long>(wire_full),
+                static_cast<unsigned long long>(wire_delta), ratio, reduction,
+                static_cast<double>(wire_full) / static_cast<double>(accounts));
+    if (raw_full < 3 * wire_delta) {
+      std::printf("   GATE FAIL: delta+compressed re-sync is only %.1fx below a raw full copy "
+                  "(need >= 3x)\n",
+                  reduction);
+      ok = false;
+    }
+  }
+  if (gate) {
+    std::printf("gate: delta+compressed re-sync >= 3x below raw full copy — %s\n",
+                ok ? "PASS" : "FAIL");
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace shadow::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace shadow::bench;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+  }
+  if (gate) {
+    // check.sh mode: only the byte-volume table, asserted, in seconds.
+    return run_resync_volume(/*gate=*/true) ? 0 : 1;
+  }
+
   print_header("Fig. 10(b) — state transfer time vs. database size (50 KB batches)",
                "paper: 16 B rows 0.4/1.4/3.8/22.6 s; 1 KB rows 0.5/2.4/9.1/69.6 s; "
                "TPC-C 1 warehouse 54.5 s");
@@ -135,5 +267,6 @@ int main() {
                 source.total_rows(), secs);
     print_metrics_block("TPC-C state transfer", tracer);
   }
+  run_resync_volume(/*gate=*/false);
   return 0;
 }

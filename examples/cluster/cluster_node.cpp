@@ -29,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "core/migrate.hpp"
 #include "core/shadowdb.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/checker.hpp"
+#include "tob/tob.hpp"
 #include "workload/bank.hpp"
 
 namespace {
@@ -57,22 +59,48 @@ struct Args {
   std::size_t shards = 1;        // SMR only: independent consensus groups
   std::size_t cross_shard_pct = 10;  // sharded workload: % cross-shard transfers
   std::uint64_t epoch = 0;       // restart epoch tagged in group_info events
+  std::uint64_t split_at_ms = 0;  // sharded SMR: broadcast ::mig-split at T ms
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
                " [--txns N] [--clients C] [--pipelined] [--run-for-ms M] [--trace FILE]\n"
                "       [--rejoin] [--suspect-ms M] [--shards N] [--cross-shard-pct P]"
-               " [--epoch E]\n"
+               " [--epoch E] [--split-at-ms T]\n"
                "       cluster_node check TRACE...\n"
-               "  --pipelined (smr only) runs each process as a 3-stage pipeline\n"
-               "  (I/O / consensus / DB executor threads) with adaptive batching\n"
-               "  --rejoin (smr, hosts 1..%zu) marks this process as a crash-restart:\n"
-               "  it fetches a snapshot from host 0's replica and resumes mid-stream\n"
-               "  --shards (smr only) partitions the bank keyspace across N consensus\n"
-               "  groups; --cross-shard-pct of transactions become 2PC transfers\n",
-               kHostCount - 1, kServerHosts - 1);
+               "       cluster_node --help\n"
+               "\n"
+               "Every process — %zu server hosts plus one client host — runs this same\n"
+               "binary with the same --base-port and topology flags, differing only in\n"
+               "--host. The client process (host %zu) drives the bank workload and exits\n"
+               "0 iff every transaction committed; `check` merges the per-process traces\n"
+               "and replays them through the offline checker.\n"
+               "\n"
+               "  --pipelined       (smr only) runs each process as a 3-stage pipeline\n"
+               "                    (I/O / consensus / DB executor threads) with adaptive\n"
+               "                    TOB batching\n"
+               "  --rejoin          (smr, hosts 1..%zu) marks this process as a\n"
+               "                    crash-restart: it pauses its TOB node(s), fetches a\n"
+               "                    snapshot from host 0's replica of each group, and\n"
+               "                    resumes mid-stream; pass a fresh --epoch per restart\n"
+               "  --suspect-ms M    (smr) failure-detection suspicion timeout; a replica\n"
+               "                    silent for M ms is proposed for replacement\n"
+               "                    (default 10000)\n"
+               "  --shards N        (smr only) partitions the bank keyspace across N\n"
+               "                    consensus groups over the same hosts;\n"
+               "                    --cross-shard-pct of transactions become 2PC\n"
+               "                    transfers (default 10)\n"
+               "  --split-at-ms T   (sharded smr) every process broadcasts a ::mig-split\n"
+               "                    moving bank keys [accounts/4, accounts/2) from group\n"
+               "                    0 to group 1 at T ms after start (the TOB collapses\n"
+               "                    the duplicates); server processes then exit non-zero\n"
+               "                    unless their replicas committed the migration\n",
+               kHostCount - 1, kServerHosts, kClientHost, kServerHosts - 1);
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -182,6 +210,46 @@ int run_node(const Args& args) {
     }
   }
 
+  if (args.split_at_ms > 0) {
+    // Dynamic rebalancing over real sockets. Identical assembly everywhere:
+    // one admin node per host so the node tables agree, but only the local
+    // one fires. Every process broadcasts the same (client, seq) split into
+    // every group — the TOB deduplicates control commands by exact key, so
+    // one delivery per group survives no matter how many processes send.
+    std::vector<NodeId> admin_nodes;
+    for (std::size_t h = 0; h < kHostCount; ++h) {
+      const net::HostId host = h == kClientHost ? client_host : static_cast<net::HostId>(h);
+      admin_nodes.push_back(transport.add_node("mig-admin" + std::to_string(h), host));
+    }
+    core::RangeSpec split;
+    split.mid = 1;
+    split.table = workload::bank::kTable;
+    split.lo = static_cast<std::int64_t>(bank.accounts) / 4;
+    split.hi = static_cast<std::int64_t>(bank.accounts) / 2;
+    split.from = 0;
+    split.to = 1;
+    split.donor = sharded.groups[0].replica_nodes[0];
+    const NodeId admin = admin_nodes[args.host];
+    for (int i = 0; i < 6; ++i) {
+      // Rebroadcast every 500 ms against lost frames, rotating the TOB
+      // frontend so a crashed one cannot black-hole every retry.
+      transport.schedule_timer_for_node(
+          admin,
+          transport.now() + args.split_at_ms * 1000 + static_cast<net::Time>(i) * 500000,
+          [&sharded, split, admin, i](net::NodeContext& ctx) {
+            workload::TxnRequest req = core::make_split_request(split);
+            req.reply_to = admin;
+            for (core::GroupId g = 0; g < sharded.router->shard_count(); ++g) {
+              const auto tobs = sharded.router->tob_targets(g);
+              tob::BroadcastBody body{tob::Command{req.client, req.seq,
+                                                   workload::encode_request(req)}};
+              ctx.send(tobs[static_cast<std::size_t>(i) % tobs.size()],
+                       net::make_msg(tob::kBroadcastHeader, std::move(body)));
+            }
+          });
+    }
+  }
+
   if (args.rejoin) {
     // Crash-restart: this process replaces a SIGKILLed incarnation of the
     // same host. Pause our TOB node IN EVERY GROUP, ask host 0's replica of
@@ -287,6 +355,22 @@ int run_node(const Args& args) {
     }
   }
 
+  if (args.split_at_ms > 0 && args.host != kClientHost) {
+    // The rebalance gate: this host runs one replica per group, and every
+    // replica counts "mig.commits" once when it delivers the ::mig-commit.
+    const std::uint64_t commits = tracer.metrics().counter("mig.commits").value();
+    std::printf("host %u: mig commits=%llu rows_out=%llu rows_in=%llu forwards=%llu\n",
+                args.host, static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(tracer.metrics().counter("mig.rows_out").value()),
+                static_cast<unsigned long long>(tracer.metrics().counter("mig.rows_in").value()),
+                static_cast<unsigned long long>(
+                    tracer.metrics().counter("mig.forwards").value()));
+    if (commits == 0) {
+      std::fprintf(stderr, "host %u: range split did not commit on this host\n", args.host);
+      exit_code = 1;
+    }
+  }
+
   if (!args.trace_path.empty()) {
     obs::export_jsonl_file(tracer.snapshot(), args.trace_path);
   }
@@ -342,6 +426,11 @@ int main(int argc, char** argv) {
       args.cross_shard_pct = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--epoch") {
       args.epoch = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--split-at-ms") {
+      args.split_at_ms = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--help" || flag == "-h") {
+      print_usage(stdout);
+      return 0;
     } else {
       usage();
     }
@@ -354,5 +443,7 @@ int main(int argc, char** argv) {
   // Rejoin is the SMR snapshot path; host 0 serves the snapshots (and holds
   // the Paxos leader), so it is never the one restarting.
   if (args.rejoin && (args.pbr || args.host == 0 || args.host >= kClientHost)) usage();
+  // The split moves keys from group 0 to group 1, so it needs both to exist.
+  if (args.split_at_ms > 0 && (args.pbr || args.shards < 2)) usage();
   return run_node(args);
 }

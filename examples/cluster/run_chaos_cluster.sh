@@ -24,6 +24,11 @@
 # serializability and (sharded) cross-shard atomicity.
 set -u
 
+if [ "${1:-}" = "--help" ] || [ "${1:-}" = "-h" ]; then
+  sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+  exit 0
+fi
+
 TXNS="${1:-40000}"
 BASE_PORT="${2:-$((36200 + RANDOM % 1000))}"
 RUN_MS="${3:-60000}"

@@ -10,8 +10,10 @@
 #     observability layers stay warning-clean;
 #   * layering grep gates: protocol code (consensus, tob, core, baselines)
 #     must program against net::Transport/net::NodeContext only — no
-#     sim::Context and no sim/world.hpp includes — and the consensus/TOB
-#     layers must stay sharding-blind (no ShardRouter/GroupId);
+#     sim::Context and no sim/world.hpp includes — the consensus/TOB
+#     layers must stay sharding-blind (no ShardRouter/GroupId) and
+#     replication-blind (no repl/ includes), and src/repl must never
+#     include sim/ or net/tcp;
 #   * an ASan+UBSan build of the whole tree with the test suites run under
 #     it (the zero-copy payload path lives or dies by buffer ownership);
 #   * a TSan build of the threaded suites — the SPSC ring unit tests and the
@@ -23,7 +25,10 @@
 #     leader failover, partitions, link faults) against the simulated SMR
 #     cluster, which must commit everything with zero checker violations —
 #     plus a sharded (2-group) campaign where every fault hits both groups
-#     at once, and a smaller campaign and the TCP chaos suite under TSan;
+#     at once, rebalance-under-faults campaigns (a range split mid-schedule,
+#     with and without the donor replica killed mid-transfer), the Fig.
+#     10(b) compressed/delta byte-volume gate, and a smaller campaign and
+#     the TCP chaos suite under TSan;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
 #     bank workload, and the offline trace checker (skipped gracefully when
 #     the environment forbids sockets), single-threaded, pipelined, and
@@ -58,6 +63,19 @@ if [[ "${1:-}" != "--fast" ]]; then
   # disjoint node sets wired by core/group.cpp).
   if grep -rlw 'ShardRouter\|GroupId' src/consensus src/tob; then
     echo "FAIL: consensus/tob code names ShardRouter/GroupId (sharding lives in src/core)" >&2
+    exit 1
+  fi
+  # The state-transfer engine is transport- and simulator-agnostic: it sees
+  # net::Transport only, never the simulator or the TCP backend, so every
+  # protocol (and the TCP cluster) can mount streams on it unchanged.
+  if grep -rl '#include "sim/\|#include "net/tcp' src/repl; then
+    echo "FAIL: src/repl reaches into sim/ or net/tcp (repl is transport-agnostic)" >&2
+    exit 1
+  fi
+  # And the ordering layers below it stay replication-blind: consensus/TOB
+  # order opaque commands; what a snapshot stream is lives above them.
+  if grep -rl '#include "repl/' src/consensus src/tob; then
+    echo "FAIL: consensus/tob code includes repl/ (state transfer lives above ordering)" >&2
     exit 1
   fi
 
@@ -113,6 +131,21 @@ if [[ "${1:-}" != "--fast" ]]; then
   timeout 600 ./build/bench/chaos_campaign --plans 8 --seed 20140623 \
     --shards 2 --cross-shard-pct 20 >/dev/null
 
+  echo "== chaos: rebalance under faults (range split mid-campaign, donor killed) =="
+  # A ::mig-split moves a quarter of the keyspace between groups at t=2s,
+  # concurrent with the fault schedule; plans pass only if the migration also
+  # commits. The second run SIGKILLs the preferred donor replica
+  # mid-transfer, which must fail over to another from-group replica.
+  timeout 600 ./build/bench/chaos_campaign --plans 4 --seed 20140623 \
+    --shards 2 --cross-shard-pct 20 --rebalance-at-ms 2000 >/dev/null
+  timeout 600 ./build/bench/chaos_campaign --plans 4 --seed 20140623 \
+    --shards 2 --cross-shard-pct 20 --rebalance-at-ms 2000 --kill-donor >/dev/null
+
+  echo "== repl: compressed + delta snapshot byte-volume gate =="
+  # Fig. 10(b) companion: a delta+compressed bank re-sync must stay >= 3x
+  # below the raw full copy on the wire.
+  timeout 300 ./build/bench/fig10b_state_transfer --gate
+
   echo "== chaos: TSan campaign + TCP chaos suite =="
   # Fault schedules exercise crash/restart interleavings the clean-run TSan
   # gates never reach (rejoin snapshots racing the executor pipeline).
@@ -134,6 +167,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "-- smr sharded: 2 consensus groups, 10% cross-shard 2PC transfers"
     timeout 120 ./build/examples/run_cluster.sh smr 200 \
       "$((34000 + RANDOM % 1000))" 10000 4 pipelined 2 10
+    echo "-- smr rebalance: range split at t=500ms under 2-client load"
+    timeout 120 ./build/examples/run_cluster.sh smr 6000 \
+      "$((34000 + RANDOM % 1000))" 20000 2 "" 2 20 500
     echo "-- smr chaos: SIGKILL/restart cycles with snapshot rejoin under load"
     timeout 240 ./build/examples/run_chaos_cluster.sh 40000 \
       "$((35000 + RANDOM % 1000))" 60000 5 2

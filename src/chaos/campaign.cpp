@@ -1,11 +1,14 @@
 #include "chaos/campaign.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "core/migrate.hpp"
 #include "core/shadowdb.hpp"
 #include "sim/world.hpp"
+#include "tob/tob.hpp"
 #include "workload/bank.hpp"
 
 namespace shadow::chaos {
@@ -26,6 +29,21 @@ bool crash_once(sim::World& world, NodeId node) {
 PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
   PlanOutcome outcome;
   outcome.plan = plan;
+  if (config.kill_donor) {
+    // The donor kill IS this plan's replica-crash fault. Stacking it on the
+    // generator's own replica crashes can exceed the ≤2-crash budget the
+    // fault model is designed for (three dead replicas leave no surviving
+    // execution witness for early txns, which the durability checker rightly
+    // rejects), so those events are dropped; TOB crashes, partitions, and
+    // link faults stay.
+    auto& evs = outcome.plan.events;
+    evs.erase(std::remove_if(evs.begin(), evs.end(),
+                             [](const FaultEvent& ev) {
+                               return ev.kind == FaultKind::kCrashReplica ||
+                                      ev.kind == FaultKind::kCrashPair;
+                             }),
+              evs.end());
+  }
 
   // Decorrelate the world's network/jitter randomness from the plan-shape
   // randomness (both derive from the same seed).
@@ -96,12 +114,50 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
     clients.back()->start(/*initial_delay=*/c * 500);
   }
 
+  // Mid-plan rebalance: an administrator node broadcasts the same
+  // `::mig-split` into every group's log on a fixed cadence (TOB dedup
+  // collapses the retries into one delivery per group), concurrently with
+  // whatever faults the plan injects. The donor kill is deliberately timed
+  // into the pull window so the stream must be re-sourced from a surviving
+  // donor replica.
+  core::RangeSpec split;
+  if (config.shards > 1 && config.rebalance_at > 0) {
+    outcome.rebalance_required = true;
+    split.mid = 1;
+    split.table = workload::bank::kTable;
+    split.lo = config.bank_accounts / 4;
+    split.hi = config.bank_accounts / 2;
+    split.from = 0;
+    split.to = 1;
+    split.donor = sharded.groups[0].replica_nodes[0];
+    const NodeId admin = world.add_node("mig-admin", client_machine);
+    for (int i = 0; i < 8; ++i) {
+      world.schedule_timer_for_node(
+          admin, config.rebalance_at + static_cast<net::Time>(i) * 500000,
+          [&sharded, split, admin](net::NodeContext& ctx) {
+            workload::TxnRequest req = core::make_split_request(split);
+            req.reply_to = admin;
+            for (core::GroupId g = 0; g < sharded.router->shard_count(); ++g) {
+              tob::BroadcastBody body{
+                  tob::Command{req.client, req.seq, workload::encode_request(req)}};
+              ctx.send(sharded.router->tob_targets(g)[0],
+                       net::make_msg(tob::kBroadcastHeader, std::move(body)));
+            }
+          });
+    }
+    if (config.kill_donor) {
+      world.schedule(config.rebalance_at + 30000, [&world, &outcome, split] {
+        if (crash_once(world, split.donor)) ++outcome.faults_injected;
+      });
+    }
+  }
+
   // Inject the plan. Heals and second-stage crashes are scheduled from
   // inside the event callback, so their delays compose with `ev.at`.
   // A fault target names a MACHINE slice: with shards > 1 the event hits the
   // target's node in every group at once (one OS process runs all of them),
   // but still counts as one injected fault.
-  for (const FaultEvent& ev : plan.events) {
+  for (const FaultEvent& ev : outcome.plan.events) {
     world.schedule(ev.at, [&world, &groups, &config, &outcome, ev] {
       switch (ev.kind) {
         case FaultKind::kCrashReplica: {
@@ -179,6 +235,7 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
   outcome.virtual_duration = world.now();
 
   for (const auto& client : clients) outcome.committed += client->committed();
+  outcome.rebalanced = tracer.metrics().counter("mig.commits").value() > 0;
 
   obs::Trace trace = tracer.snapshot();
   if (config.saboteur) config.saboteur(plan, trace);

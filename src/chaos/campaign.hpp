@@ -40,6 +40,16 @@ struct CampaignConfig {
   std::size_t shards = 1;
   std::size_t cross_shard_pct = 10;
 
+  /// > 0 (and shards > 1): at this virtual time an administrator broadcasts
+  /// a `::mig-split` moving bank keys [accounts/4, accounts/2) from group 0
+  /// to group 1 while the fault schedule runs, and the plan only passes if
+  /// the migration commits everywhere before the horizon. `kill_donor`
+  /// additionally crashes the split's preferred donor replica 30 ms after
+  /// the broadcast — mid-pull — forcing the receivers to rotate to another
+  /// donor and the spare promotion to carry the routing override.
+  net::Time rebalance_at = 0;
+  bool kill_donor = false;
+
   net::Time hb_period = 50000;          // replica heartbeats, µs
   net::Time suspect_timeout = 400000;   // failure detection, µs (mirrored
                                         // into PlanConfig for kCrashPair)
@@ -65,8 +75,12 @@ struct PlanOutcome {
   std::size_t faults_injected = 0; // fault events actually applied
   net::Time virtual_duration = 0;  // virtual µs from start to quiesce
   std::optional<Plan> minimized;   // set when !ok() and minimization ran
+  bool rebalance_required = false; // config asked for a mid-plan range split
+  bool rebalanced = false;         // the split committed (mig.commits > 0)
 
-  bool ok() const { return completed && check.ok(); }
+  bool ok() const {
+    return completed && check.ok() && (!rebalance_required || rebalanced);
+  }
   double txn_per_sec() const {
     return virtual_duration == 0
                ? 0.0

@@ -35,6 +35,7 @@ ChainReplica::ChainReplica(net::Transport& world, NodeId self, tob::TobNode& tob
                      "chain replicas are co-located with their broadcast service node");
   chain_size_target_ = chain_.size();
   reconfig_client_id_ = ClientId{0x60000000u + self_.value};
+  snap_rx_ = repl::StateTransfer::Receiver({config_.tracer, self_});
   if (!contains(chain_, self_)) state_ = State::kSpare;
 
   tob_.subscribe_local([this](net::NodeContext& ctx, Slot, std::uint64_t, const tob::Command& cmd) {
@@ -68,7 +69,7 @@ void ChainReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     on_client_request(ctx, net::msg_body<workload::TxnRequest>(msg));
     return;
   }
-  if (msg.header == kChainFwdHeader) {
+  if (msg.header == kReplFwdHeader) {
     on_forward(ctx, net::msg_body<ForwardBody>(msg));
     return;
   }
@@ -95,35 +96,18 @@ void ChainReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kChainSnapBeginHeader) {
     const auto& body = net::msg_body<SnapBeginBody>(msg);
     if (body.config != config_seq_) return;
-    executor_.engine().reset_for_restore(body.schemas);
-    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
-    for (const auto& [client, seq] : body.dedup_seqs) {
-      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
-    }
-    executor_.install_dedup_table(std::move(dedup));
-    // The snapshot's order is claimed only once the full snapshot applied:
-    // a partially-restored replica must not present itself as up to date in
-    // a later election (a crash of the sender mid-stream would otherwise
-    // let garbage state win).
-    pending_snapshot_order_ = body.order;
-    awaiting_snapshot_ = true;
+    snap_rx_.begin_full(executor_.engine(), body);
+    install_snapshot_dedup(executor_, body);
     return;
   }
   if (msg.header == kChainSnapBatchHeader) {
-    if (!awaiting_snapshot_) return;
-    const auto& body = net::msg_body<SnapBatchBody>(msg);
-    ctx.charge(executor_.engine().restore_batch(body.batch));
-    if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
-                                     body.batch.data.size(), msg.from);
-    }
+    snap_rx_.on_batch(ctx, executor_.engine(), net::msg_body<SnapBatchBody>(msg), msg.from);
     return;
   }
   if (msg.header == kChainSnapDoneHeader) {
     const auto& body = net::msg_body<SnapDoneBody>(msg);
-    if (body.config != config_seq_ || !awaiting_snapshot_) return;
-    awaiting_snapshot_ = false;
-    executed_order_ = pending_snapshot_order_;
+    if (body.config != config_seq_ || !snap_rx_.awaiting()) return;
+    executed_order_ = snap_rx_.finish(executor_.engine());
     next_order_ = std::max(next_order_, executed_order_);
     state_ = State::kNormal;
     if (config_.tracer) {
@@ -213,7 +197,7 @@ void ChainReplica::forward_down(net::NodeContext& ctx, std::uint64_t order,
   const auto next = successor();
   if (!next) return;
   ctx.charge(kForwardCost);
-  ctx.send(*next, net::make_msg(kChainFwdHeader, ForwardBody{config_seq_, order, req}));
+  ctx.send(*next, net::make_msg(kReplFwdHeader, ForwardBody{config_seq_, order, req}));
 }
 
 void ChainReplica::on_forward(net::NodeContext& ctx, const ForwardBody& fwd) {
@@ -269,7 +253,7 @@ void ChainReplica::on_deliver(net::NodeContext& ctx, const tob::Command& cmd) {
   config_seq_ = g + 1;
   chain_ = new_chain;
   buffered_forwards_.clear();
-  awaiting_snapshot_ = false;
+  snap_rx_.reset();
   recovered_.clear();
   accepting_ = false;
 
@@ -349,23 +333,15 @@ void ChainReplica::send_state_to(net::NodeContext& ctx, NodeId member, std::uint
     ctx.send(member, net::make_msg(kChainCatchupHeader, std::move(body)));
     return;
   }
-  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
-  ctx.charge(snap.serialize_cost_us);
-  if (config_.tracer) {
-    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, member);
-  }
-  SnapBeginBody begin;
-  begin.config = config_seq_;
-  begin.schemas = snap.schemas;
-  begin.order = executed_order_;
-  for (const auto& [client, entry] : executor_.dedup_table()) {
-    begin.dedup_seqs.emplace_back(client, entry.first);
-  }
-  ctx.send(member, net::make_msg(kChainSnapBeginHeader, std::move(begin)));
-  for (const auto& batch : snap.batches) {
-    ctx.send(member, net::make_msg(kChainSnapBatchHeader, SnapBatchBody{batch}));
-  }
-  ctx.send(member, net::make_msg(kChainSnapDoneHeader, SnapDoneBody{config_seq_}));
+  repl::StateTransfer::SendV1 spec;
+  spec.headers = {kChainSnapBeginHeader, kChainSnapBatchHeader, kChainSnapDoneHeader, ""};
+  spec.batch_bytes = config_.snapshot_batch_bytes;
+  spec.begin.config = config_seq_;
+  spec.begin.order = executed_order_;
+  collect_snapshot_dedup(executor_, spec.begin);
+  spec.done = SnapDoneBody{config_seq_};
+  spec.tracer = config_.tracer;
+  repl::StateTransfer::send_full_v1(ctx, executor_.engine(), member, std::move(spec));
 }
 
 // ----------------------------------------------------------- failure detection --

@@ -25,12 +25,12 @@
 #include <vector>
 
 #include "core/replica_common.hpp"
+#include "repl/state_transfer.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::core {
 
 inline constexpr const char* kChainReconfigProc = "::chain-reconfig";
-inline constexpr const char* kChainFwdHeader = "chain-fwd";
 inline constexpr const char* kChainElectHeader = "chain-elect";
 inline constexpr const char* kChainCatchupHeader = "chain-catchup";
 inline constexpr const char* kChainSnapBeginHeader = "chain-snap-begin";
@@ -118,8 +118,7 @@ class ChainReplica {
   std::deque<std::pair<std::uint64_t, workload::TxnRequest>> txn_cache_;
   std::map<ConfigSeq, std::map<std::uint32_t, std::uint64_t>> pending_elects_;
   std::deque<ForwardBody> buffered_forwards_;
-  bool awaiting_snapshot_ = false;
-  std::uint64_t pending_snapshot_order_ = 0;
+  repl::StateTransfer::Receiver snap_rx_;
   std::set<std::uint32_t> recovered_;
   bool accepting_ = true;
 

@@ -126,8 +126,12 @@ void DbClient::finish_current(net::NodeContext& ctx, const workload::TxnResponse
   consecutive_busy_ = 0;
   ctx.cancel_timer(timeout_timer_);
   ctx.charge(options_.client_cpu_us);
-  if (!resp.committed && options_.retry_conflict_aborts && resp.error == "xs-lock-conflict") {
-    // A no-wait 2PC vote-NO: the transaction lost a lock race, not a
+  const bool transient_abort = resp.error == "xs-lock-conflict" ||
+                               resp.error == "range-frozen" ||
+                               resp.error == "xs-epoch-retry";
+  if (!resp.committed && options_.retry_conflict_aborts && transient_abort) {
+    // A no-wait 2PC vote-NO (lock race), a key range frozen mid-migration,
+    // or a routing-epoch mismatch: the transaction lost a race, not a
     // semantic check. Resubmit it as a fresh transaction (new seq — the old
     // one is terminally aborted in every replica's dedup table). The seq
     // bump happens NOW so the duplicate abort answers from the other

@@ -5,6 +5,7 @@
 #include "consensus/paxos.hpp"
 #include "consensus/two_third.hpp"
 #include "core/chain.hpp"
+#include "core/migrate.hpp"
 #include "core/pbr.hpp"
 #include "core/replica_common.hpp"
 #include "core/smr.hpp"
@@ -48,13 +49,29 @@ void register_wire_codecs_impl() {
   reg.ensure<ReplSnapBatchBody>(kSnapBatchHeader);
   reg.ensure<ReplSnapDoneBody>(kSnapDoneHeader);
 
+  // v2 state-transfer stream (compressed / delta rejoin).
+  reg.ensure<repl::SnapBegin2Body>(kSnapBegin2Header);
+  reg.ensure<repl::SnapBatch2Body>(kSnapBatch2Header);
+  reg.ensure<repl::SnapDelete2Body>(kSnapDelete2Header);
+  reg.ensure<repl::SnapDone2Body>(kSnapDone2Header);
+
   // Cross-shard 2PC (sharded deployments; every group shares one header
   // vocabulary — the participant group travels inside the message bodies,
   // so N groups in one process register exactly the same bindings).
   reg.ensure<XsSnapBody>(kXsSnapHeader);
 
-  // Primary/backup replication.
-  reg.ensure<ReplForwardBody>(kPbrForwardHeader);
+  // Shard-range migration: pull handshake, the filtered v2 stream mounted on
+  // its own headers, and the rejoin/promotion rider.
+  reg.ensure<MigPullBody>(kMigPullHeader);
+  reg.ensure<repl::SnapBegin2Body>(kMigSnapBeginHeader);
+  reg.ensure<repl::SnapBatch2Body>(kMigSnapBatchHeader);
+  reg.ensure<repl::SnapDelete2Body>(kMigSnapDeleteHeader);
+  reg.ensure<repl::SnapDone2Body>(kMigSnapDoneHeader);
+  reg.ensure<MigSnapBody>(kMigSnapRiderHeader);
+
+  // Primary/backup and chain replication share the forwarding header (the
+  // body's config scopes it to whichever protocol the receiver runs).
+  reg.ensure<ReplForwardBody>(kReplFwdHeader);
   reg.ensure<ReplAckBody>(kPbrAckHeader);
   reg.ensure<ReplElectBody>(kPbrElectHeader);
   reg.ensure<ReplCatchupBody>(kPbrCatchupHeader);
@@ -66,7 +83,6 @@ void register_wire_codecs_impl() {
   reg.ensure<consensus::Command>(kPbrDeliverHeader);
 
   // Chain replication (shares the Repl* body shapes and the redirect body).
-  reg.ensure<ReplForwardBody>(kChainFwdHeader);
   reg.ensure<ReplElectBody>(kChainElectHeader);
   reg.ensure<ReplCatchupBody>(kChainCatchupHeader);
   reg.ensure<ReplSnapBeginBody>(kChainSnapBeginHeader);

@@ -1,0 +1,310 @@
+// Dynamic shard rebalancing: TOB-ordered range migration between groups.
+//
+// A migration moves ownership of `table` keys in [lo, hi) from group `from`
+// to group `to`, without stopping either group and without any step that is
+// not a deterministic function of some group's delivery order:
+//
+//   split    an administrator broadcasts `::mig-split` into EVERY group's
+//            log (redundant rebroadcasts collapse under TOB dedup). At its
+//            delivery each group freezes the range: transactions touching it
+//            are answered with a retryable "range-frozen" abort (single-
+//            shard) or a NO vote (2PC prepares, via XsCoordinator's range-
+//            block hook), so the donor's copy of the range stops changing;
+//   stream   each replica of `to` pulls the frozen range from any replica of
+//            `from` (they all hold the identical frozen state — no donor
+//            takeover protocol is needed when the donor dies) as a filtered
+//            v2 state-transfer stream (repl/state_transfer.hpp), and buffers
+//            the row batches without applying them;
+//   ready    a `to` replica whose buffer is complete broadcasts `::mig-
+//            ready` into its OWN group's log; a replica broadcasts `::mig-
+//            commit` into every group's log once the delivered ready set
+//            covers every member its heartbeat view calls live, OR covers a
+//            majority of the membership (re-checked on reconfigurations and
+//            every tick). The laggards a majority commit leaves behind —
+//            crashed members, or live ones whose delivery stream stalled —
+//            cannot apply the flip from their own buffer, so they recover
+//            through a full rejoin resync (below) instead of blocking the
+//            commit forever;
+//   commit   at its own `::mig-commit` delivery each group atomically flips
+//            routing by installing a RangeOverride in its RoutingView: the
+//            `from` group first deletes its (still pre-override-owned) rows
+//            of the range, the `to` group applies its buffered upserts, and
+//            the range unfreezes everywhere.
+//
+// Clients keep routing by the base partition function; the `from` group
+// forwards transactions it no longer owns to the current owner (one extra
+// hop, answered from the owner). A forwarded retry is answered from the
+// donor's dedup table so nothing executes twice, and 2PC prepares carry the
+// coordinator's routing epoch so a participant with a different partition
+// picture refuses to stage ("xs-epoch-retry") instead of misplanning.
+//
+// Pipelined executors: while a migration is live — and, on the `from` group,
+// forever after (its deliveries may need forwarding) — decided batches take
+// the serial delivery path (see needs_serial), trading the donor group's
+// pipelining for correctness of the diversion checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/replica_common.hpp"
+#include "core/router.hpp"
+#include "core/twopc.hpp"
+#include "db/wire.hpp"
+#include "net/transport.hpp"
+
+namespace shadow::core {
+
+inline constexpr const char* kMigSplitProc = "::mig-split";
+inline constexpr const char* kMigReadyProc = "::mig-ready";
+inline constexpr const char* kMigCommitProc = "::mig-commit";
+
+/// Node-addressed pull + filtered v2 snapshot stream headers (the stream's
+/// `tag` carries the migration id, so concurrent migrations never mix).
+inline constexpr const char* kMigPullHeader = "mig-pull";
+inline constexpr const char* kMigSnapBeginHeader = "mig-snap-begin2";
+inline constexpr const char* kMigSnapBatchHeader = "mig-snap-batch2";
+inline constexpr const char* kMigSnapDeleteHeader = "mig-snap-del2";
+inline constexpr const char* kMigSnapDoneHeader = "mig-snap-done2";
+/// Rejoin/promotion snapshot rider carrying MigSnapBody. Sent BEFORE the 2PC
+/// rider: XsCoordinator::restore recomputes key ownership through the
+/// RoutingView, which this rider's overrides must have rebuilt first.
+inline constexpr const char* kMigSnapRiderHeader = "smr-snap-mig";
+
+/// Synthetic client-id spaces (all above kControlClientBit, so the pipelined
+/// delivery path flushes for them; see the 2PC spaces in core/twopc.hpp).
+inline constexpr std::uint32_t kMigAdminClientBit = 0x44000000u;   // admin → all TOBs
+inline constexpr std::uint32_t kMigCommitClientBit = 0x45000000u;  // to-replicas → all TOBs
+inline constexpr std::uint32_t kMigReadyClientBit = 0x46000000u;   // to-replica → own TOB
+inline constexpr std::uint32_t kMigIdMask = 0x000FFFFFu;
+
+/// One range migration's immutable parameters.
+struct RangeSpec {
+  std::uint64_t mid = 0;  // migration id, unique per deployment
+  std::string table;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  GroupId from = 0;
+  GroupId to = 0;
+  NodeId donor{0};  // preferred serving replica (pull rotation start)
+};
+
+/// The `::mig-split` command an administrator broadcasts into every group's
+/// TOB (wire client kMigAdminClientBit | mid, seq 1 — rebroadcasts collapse).
+/// The caller fills reply_to.
+workload::TxnRequest make_split_request(const RangeSpec& spec);
+
+/// A `to` replica's pull request for one migration's frozen range.
+struct MigPullBody {
+  std::uint64_t mid = 0;
+};
+
+/// Migration state shipped with rejoin/promotion snapshots: the committed
+/// overrides (rebuilds the RoutingView) and, per in-flight migration, the
+/// spec, the delivered ready set, and the joiner's would-be buffer so a
+/// promoted spare can complete the handshake itself.
+struct MigSnapBody {
+  struct Inflight {
+    RangeSpec spec;
+    std::vector<std::uint32_t> ready;
+    std::uint8_t buffered = 0;
+    std::vector<db::Engine::SnapshotBatch> batches;
+  };
+  std::vector<RangeOverride> overrides;
+  std::vector<Inflight> inflight;
+};
+
+/// Per-replica migration engine, owned by an SmrReplica in a sharded
+/// deployment. All delivery-driven transitions run on the consensus thread;
+/// like the 2PC engine, state is a pure function of the group's delivery
+/// order (plus the pull buffer, which only ever feeds a delivery-ordered
+/// commit).
+class RangeMigrator {
+ public:
+  struct Config {
+    obs::Tracer* tracer = nullptr;
+    std::size_t batch_bytes = 50 * 1024;
+    bool compress = false;
+    /// Drains the owning replica's executor pipeline before the engine is
+    /// read for a stream (the engine belongs to the executor thread until
+    /// the pipeline is quiescent).
+    std::function<void()> flush;
+    /// Ready coverage counts only members this predicate calls live (the
+    /// owning replica's heartbeat view). A crashed member can stay in the
+    /// group forever — replacement needs a free spare AND the one-shot
+    /// reconfig proposal surviving the wire — and a commit must not wait for
+    /// a ready broadcast that will never come. A replica wrongly called dead
+    /// here re-syncs through the rejoin snapshot (whose rider carries the
+    /// override), the same recovery as any other missed suffix. Unset: every
+    /// member counts.
+    std::function<bool(NodeId)> peer_live;
+    /// Full self-resync (SmrReplica::start_rejoin): invoked when this
+    /// replica delivers a `::mig-commit` it has no buffer for — its group
+    /// committed without it (dead by heartbeat, or alive with a stalled
+    /// delivery stream), and the donor's copy of the range is already gone,
+    /// so a fresh snapshot from a peer is the only consistent way forward.
+    /// Unset: the commit half-applies and "mig.buffer_miss" records the
+    /// divergence.
+    std::function<void()> resync;
+  };
+
+  RangeMigrator(net::Transport& world, NodeId self, GroupId group, RoutingView& view,
+                TxnExecutor& executor, XsCoordinator* xs,
+                const std::vector<NodeId>* group_members, const bool* active, Config cfg);
+
+  /// Delivery interception for the `::mig-*` control commands. Returns true
+  /// if consumed.
+  bool on_deliver(net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req);
+
+  /// Post-2PC delivery check for ordinary transactions: answers a retryable
+  /// "range-frozen" abort for frozen keys, forwards (or answers from the
+  /// dedup table) transactions this group no longer owns. Returns true if
+  /// consumed; false means the caller executes normally.
+  bool divert(net::NodeContext& ctx, const workload::TxnRequest& req);
+
+  /// True when any key of `keys` lies in a live (uncommitted) migration's
+  /// range — mounted as the 2PC engine's range-block hook.
+  bool frozen(const std::string& table, const std::vector<std::int64_t>& keys) const;
+
+  /// Node-addressed traffic: pull requests (donor side) and the filtered
+  /// snapshot stream (receiver side). Returns true if consumed.
+  bool on_message(net::NodeContext& ctx, const net::Message& msg);
+
+  /// Re-evaluates ready coverage after a reconfiguration changed the group.
+  void on_membership_change(net::NodeContext& ctx);
+
+  /// True while decided batches must take the serial delivery path: a live
+  /// migration (frozen-range checks), or this group donated a range at some
+  /// point (its deliveries may need forwarding forever).
+  bool needs_serial() const;
+
+  MigSnapBody snapshot() const;
+  void restore(net::NodeContext& ctx, const MigSnapBody& body);
+
+ private:
+  struct Migration {
+    RangeSpec spec;
+    std::set<std::uint32_t> ready;
+    bool committed = false;
+    // Receiver (to-group) pull/buffer state.
+    bool receiving = false;
+    bool buffered = false;
+    std::uint64_t frames_seen = 0;
+    std::uint64_t frames_last_tick = 0;
+    std::uint32_t pull_attempts = 0;
+    std::uint32_t commit_resends = 0;
+    std::vector<db::Engine::SnapshotBatch> batches;
+  };
+
+  void handle_split(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void handle_ready(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void handle_commit(net::NodeContext& ctx, const workload::TxnRequest& req);
+  void serve_pull(net::NodeContext& ctx, std::uint64_t mid, NodeId to);
+  void send_pull(net::NodeContext& ctx, Migration& m);
+  void broadcast_ready(net::NodeContext& ctx, const Migration& m);
+  void broadcast_commit(net::NodeContext& ctx, const Migration& m);
+  void maybe_commit(net::NodeContext& ctx, Migration& m);
+  void broadcast_into(net::NodeContext& ctx, GroupId g, ClientId client, RequestSeq seq,
+                      const workload::TxnRequest& req);
+  void on_tick(net::NodeContext& ctx);
+  void count(const char* metric, std::uint64_t n = 1) const;
+
+  net::Transport& world_;
+  NodeId self_;
+  GroupId group_;
+  RoutingView& view_;
+  TxnExecutor& executor_;
+  XsCoordinator* xs_;
+  const std::vector<NodeId>* group_members_;  // owning replica's current group
+  const bool* active_;                        // owning replica's active flag
+  Config cfg_;
+
+  std::map<std::uint64_t, Migration> migrations_;
+  std::uint32_t bcast_attempts_ = 0;  // rotates the TOB frontend per broadcast
+};
+
+}  // namespace shadow::core
+
+namespace shadow::wire {
+
+template <>
+struct Codec<core::RangeSpec> {
+  static void encode(BytesWriter& w, const core::RangeSpec& v) {
+    w.u64(v.mid);
+    w.str(v.table);
+    w.u64(static_cast<std::uint64_t>(v.lo));
+    w.u64(static_cast<std::uint64_t>(v.hi));
+    w.u32(v.from);
+    w.u32(v.to);
+    w.u32(v.donor.value);
+  }
+  static core::RangeSpec decode(BytesReader& r) {
+    core::RangeSpec v;
+    v.mid = r.u64();
+    v.table = r.str();
+    v.lo = static_cast<std::int64_t>(r.u64());
+    v.hi = static_cast<std::int64_t>(r.u64());
+    v.from = r.u32();
+    v.to = r.u32();
+    v.donor = NodeId{r.u32()};
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::MigPullBody> {
+  static void encode(BytesWriter& w, const core::MigPullBody& v) { w.u64(v.mid); }
+  static core::MigPullBody decode(BytesReader& r) { return {r.u64()}; }
+};
+
+template <>
+struct Codec<core::RangeOverride> {
+  static void encode(BytesWriter& w, const core::RangeOverride& v) {
+    w.str(v.table);
+    w.u64(static_cast<std::uint64_t>(v.lo));
+    w.u64(static_cast<std::uint64_t>(v.hi));
+    w.u32(v.from);
+    w.u32(v.to);
+  }
+  static core::RangeOverride decode(BytesReader& r) {
+    core::RangeOverride v;
+    v.table = r.str();
+    v.lo = static_cast<std::int64_t>(r.u64());
+    v.hi = static_cast<std::int64_t>(r.u64());
+    v.from = r.u32();
+    v.to = r.u32();
+    return v;
+  }
+};
+
+template <>
+struct Codec<core::MigSnapBody> {
+  static void encode(BytesWriter& w, const core::MigSnapBody& v) {
+    Codec<std::vector<core::RangeOverride>>::encode(w, v.overrides);
+    w.u32(static_cast<std::uint32_t>(v.inflight.size()));
+    for (const auto& e : v.inflight) {
+      Codec<core::RangeSpec>::encode(w, e.spec);
+      Codec<std::vector<std::uint32_t>>::encode(w, e.ready);
+      w.u8(e.buffered);
+      Codec<std::vector<db::Engine::SnapshotBatch>>::encode(w, e.batches);
+    }
+  }
+  static core::MigSnapBody decode(BytesReader& r) {
+    core::MigSnapBody v;
+    v.overrides = Codec<std::vector<core::RangeOverride>>::decode(r);
+    v.inflight.resize(r.u32());
+    for (auto& e : v.inflight) {
+      e.spec = Codec<core::RangeSpec>::decode(r);
+      e.ready = Codec<std::vector<std::uint32_t>>::decode(r);
+      e.buffered = r.u8();
+      e.batches = Codec<std::vector<db::Engine::SnapshotBatch>>::decode(r);
+    }
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

@@ -36,6 +36,7 @@ PbrReplica::PbrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
   primary_ = members_[0];
   group_size_target_ = members_.size();
   reconfig_client_id_ = ClientId{0x50000000u + self_.value};
+  snap_rx_ = repl::StateTransfer::Receiver({config_.tracer, self_});
   if (!contains(members_, self_)) state_ = State::kSpare;
   for (NodeId b : members_) {
     if (b != self_) recovered_backups_.insert(b.value);
@@ -69,7 +70,7 @@ void PbrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     on_client_request(ctx, net::msg_body<workload::TxnRequest>(msg));
     return;
   }
-  if (msg.header == kPbrForwardHeader) {
+  if (msg.header == kReplFwdHeader) {
     on_forward(ctx, net::msg_body<ForwardBody>(msg));
     return;
   }
@@ -100,35 +101,18 @@ void PbrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
   if (msg.header == kPbrSnapBeginHeader) {
     const auto& body = net::msg_body<SnapBeginBody>(msg);
     if (body.config != config_seq_) return;
-    executor_.engine().reset_for_restore(body.schemas);
-    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
-    for (const auto& [client, seq] : body.dedup_seqs) {
-      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
-    }
-    executor_.install_dedup_table(std::move(dedup));
-    // The snapshot's order is claimed only once the full snapshot applied:
-    // a partially-restored replica must not present itself as up to date in
-    // a later election (a crash of the sender mid-stream would otherwise
-    // let garbage state win).
-    pending_snapshot_order_ = body.order;
-    awaiting_snapshot_ = true;
+    snap_rx_.begin_full(executor_.engine(), body);
+    install_snapshot_dedup(executor_, body);
     return;
   }
   if (msg.header == kPbrSnapBatchHeader) {
-    if (!awaiting_snapshot_) return;
-    const auto& body = net::msg_body<SnapBatchBody>(msg);
-    ctx.charge(executor_.engine().restore_batch(body.batch));
-    if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
-                                     body.batch.data.size(), msg.from);
-    }
+    snap_rx_.on_batch(ctx, executor_.engine(), net::msg_body<SnapBatchBody>(msg), msg.from);
     return;
   }
   if (msg.header == kPbrSnapDoneHeader) {
     const auto& body = net::msg_body<SnapDoneBody>(msg);
-    if (body.config != config_seq_ || !awaiting_snapshot_) return;
-    awaiting_snapshot_ = false;
-    executed_order_ = pending_snapshot_order_;
+    if (body.config != config_seq_ || !snap_rx_.awaiting()) return;
+    executed_order_ = snap_rx_.finish(executor_.engine());
     next_order_ = std::max(next_order_, executed_order_);
     state_ = State::kNormal;
     if (config_.tracer) {
@@ -193,7 +177,7 @@ void PbrReplica::on_client_request(net::NodeContext& ctx, const workload::TxnReq
   out.request = req;
   out.response = exec.response;
   out.waiting = recovered_backups_;
-  const net::Message fwd = net::make_msg(kPbrForwardHeader, ForwardBody{config_seq_, order, req});
+  const net::Message fwd = net::make_msg(kReplFwdHeader, ForwardBody{config_seq_, order, req});
   for (NodeId member : members_) {
     if (member == self_) continue;
     ctx.charge(kForwardCost);
@@ -283,7 +267,7 @@ void PbrReplica::on_deliver(net::NodeContext& ctx, const tob::Command& cmd) {
   outstanding_.clear();
   recovered_backups_.clear();
   buffered_forwards_.clear();
-  awaiting_snapshot_ = false;
+  snap_rx_.reset();
   stopped_ = false;
   primary_ = NodeId{UINT32_MAX};
 
@@ -365,25 +349,17 @@ void PbrReplica::send_state_to(net::NodeContext& ctx, NodeId backup, std::uint64
     return;
   }
 
-  // Snapshot path: serialize here (cost charged on this machine), stream
-  // ~50 KB batches; the backup pays the insertion cost per batch.
-  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
-  ctx.charge(snap.serialize_cost_us);
-  if (config_.tracer) {
-    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, backup);
-  }
-  SnapBeginBody begin;
-  begin.config = config_seq_;
-  begin.schemas = snap.schemas;
-  begin.order = executed_order_;
-  for (const auto& [client, entry] : executor_.dedup_table()) {
-    begin.dedup_seqs.emplace_back(client, entry.first);
-  }
-  ctx.send(backup, net::make_msg(kPbrSnapBeginHeader, std::move(begin)));
-  for (const auto& batch : snap.batches) {
-    ctx.send(backup, net::make_msg(kPbrSnapBatchHeader, SnapBatchBody{batch}));
-  }
-  ctx.send(backup, net::make_msg(kPbrSnapDoneHeader, SnapDoneBody{config_seq_}));
+  // Snapshot path: delegate to the shared state-transfer engine (serialize
+  // here, cost charged on this machine; the backup pays insertion per batch).
+  repl::StateTransfer::SendV1 spec;
+  spec.headers = {kPbrSnapBeginHeader, kPbrSnapBatchHeader, kPbrSnapDoneHeader, ""};
+  spec.batch_bytes = config_.snapshot_batch_bytes;
+  spec.begin.config = config_seq_;
+  spec.begin.order = executed_order_;
+  collect_snapshot_dedup(executor_, spec.begin);
+  spec.done = SnapDoneBody{config_seq_};
+  spec.tracer = config_.tracer;
+  repl::StateTransfer::send_full_v1(ctx, executor_.engine(), backup, std::move(spec));
 }
 
 void PbrReplica::backup_recovered(net::NodeContext& ctx, NodeId backup) {

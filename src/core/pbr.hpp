@@ -32,12 +32,12 @@
 #include <vector>
 
 #include "core/replica_common.hpp"
+#include "repl/state_transfer.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::core {
 
 inline constexpr const char* kPbrReconfigProc = "::pbr-reconfig";
-inline constexpr const char* kPbrForwardHeader = "pbr-fwd";
 inline constexpr const char* kPbrAckHeader = "pbr-ack";
 inline constexpr const char* kPbrElectHeader = "pbr-elect";
 inline constexpr const char* kPbrCatchupHeader = "pbr-catchup";
@@ -152,10 +152,10 @@ class PbrReplica {
   // Election state.
   std::map<ConfigSeq, std::map<std::uint32_t, std::uint64_t>> pending_elects_;
 
-  // Backup recovery state.
+  // Backup recovery state. The inbound snapshot stream (awaiting flag,
+  // pending order) lives in the shared state-transfer receiver.
   std::deque<ForwardBody> buffered_forwards_;
-  bool awaiting_snapshot_ = false;
-  std::uint64_t pending_snapshot_order_ = 0;
+  repl::StateTransfer::Receiver snap_rx_;
 
   // Failure detection.
   std::map<std::uint32_t, net::Time> last_heard_;

@@ -76,6 +76,9 @@ void ExecutorPipeline::executor_loop() {
     const consensus::Batch& cmds = item->batch.commands();  // pre-decoded memo
     for (std::size_t i = 0; i < cmds.size(); ++i) {
       const workload::TxnRequest req = workload::decode_request(cmds[i].payload);
+      // Delivery stamps are index + 1 (version 0 is reserved for loader
+      // writes); the delta tracking keys dirty rows by these stamps.
+      executor_.engine().set_state_version(item->base_index + i + 1);
       const TxnExecutor::Execution exec = executor_.execute(req);
       // charge() is a no-op on the TCP transport (the only pipelined one):
       // the real CPU was actually consumed, on this thread.

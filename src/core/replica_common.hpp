@@ -15,6 +15,7 @@
 #include "consensus/types.hpp"
 #include "db/engine.hpp"
 #include "db/wire.hpp"
+#include "repl/wire.hpp"
 #include "workload/messages.hpp"
 #include "workload/procedures.hpp"
 
@@ -22,10 +23,16 @@ namespace shadow::core {
 
 // -- replication message bodies ----------------------------------------------
 //
-// PBR and chain replication exchange structurally identical messages under
-// distinct headers ("pbr-fwd" vs "chain-fwd"); SMR's snapshot state transfer
-// shares the snapshot bodies (with config = 0, order/rows as applicable).
-// One definition each, one wire codec each.
+// PBR and chain replication exchange structurally identical messages; the
+// forwarding step even shares one header ("repl-fwd") since the body already
+// carries the configuration that scopes it. The snapshot-stream bodies live
+// in repl/wire.hpp (the unified state-transfer codec) and are aliased here;
+// SMR state transfer shares them too (config = 0, order/rows as applicable).
+
+/// Primary → backup (or chain successor), and chain node → successor:
+/// execute this transaction. One header for both protocols — a node is only
+/// ever part of one, and `config` scopes the message to its configuration.
+inline constexpr const char* kReplFwdHeader = "repl-fwd";
 
 /// Primary → backup (or chain successor): execute this transaction.
 struct ReplForwardBody {
@@ -52,36 +59,11 @@ struct ReplCatchupBody {
   std::vector<std::pair<std::uint64_t, workload::TxnRequest>> txns;
 };
 
-/// Snapshot stream prologue: schemas + dedup table + represented order.
-struct ReplSnapBeginBody {
-  ConfigSeq config = 0;
-  std::vector<db::TableSchema> schemas;
-  std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
-  std::uint64_t order = 0;  // executed-order the snapshot represents
-};
-
-/// One ~50 KB chunk of serialized rows.
-struct ReplSnapBatchBody {
-  db::Engine::SnapshotBatch batch;
-};
-
-/// Snapshot stream epilogue / recovery acknowledgement. For SMR
-/// crash-restart rejoin it additionally carries the TOB resume point: the
-/// first slot the joiner must deliver itself, the global delivery index of
-/// that slot, and the exact keys of control commands (reconfig/rejoin) the
-/// snapshot covers — control clients use fresh ids per incarnation, so the
-/// per-client dedup floor cannot cover them. Zeroed fields (PBR, chain,
-/// plain spare promotion) mean "no TOB resume".
-struct ReplSnapDoneBody {
-  ReplSnapDoneBody() = default;
-  explicit ReplSnapDoneBody(ConfigSeq c, std::uint64_t r = 0) : config(c), rows(r) {}
-
-  ConfigSeq config = 0;
-  std::uint64_t rows = 0;  // total rows restored (SMR reports it back)
-  std::uint64_t resume_slot = 0;
-  std::uint64_t resume_index = 0;  // delivery index of resume_slot's first command
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> control_keys;
-};
+// Snapshot-stream bodies: defined once in repl/wire.hpp, aliased for the
+// protocol code that predates the extraction.
+using ReplSnapBeginBody = repl::SnapBeginBody;
+using ReplSnapBatchBody = repl::SnapBatchBody;
+using ReplSnapDoneBody = repl::SnapDoneBody;
 
 /// Loopback handoff of a TOB delivery into the replica's own identity.
 struct DeliverHandoff {
@@ -164,6 +146,25 @@ class TxnExecutor {
   std::uint64_t executed_ = 0;
 };
 
+/// Rebuilds the executor's dedup table from a snapshot prologue. The stored
+/// responses are synthesized (committed, empty rows): a client that re-sends
+/// a request old enough to be under the snapshot's floor has necessarily seen
+/// its real response already.
+inline void install_snapshot_dedup(TxnExecutor& executor, const repl::SnapBeginBody& body) {
+  std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
+  for (const auto& [client, seq] : body.dedup_seqs) {
+    dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
+  }
+  executor.install_dedup_table(std::move(dedup));
+}
+
+/// Copies the executor's dedup floor into a snapshot prologue.
+inline void collect_snapshot_dedup(const TxnExecutor& executor, repl::SnapBeginBody& body) {
+  for (const auto& [client, entry] : executor.dedup_table()) {
+    body.dedup_seqs.emplace_back(client, entry.first);
+  }
+}
+
 }  // namespace shadow::core
 
 namespace shadow::wire {
@@ -222,54 +223,6 @@ struct Codec<core::ReplCatchupBody> {
     core::ReplCatchupBody v;
     v.config = r.u64();
     v.txns = Codec<std::vector<std::pair<std::uint64_t, workload::TxnRequest>>>::decode(r);
-    return v;
-  }
-};
-
-template <>
-struct Codec<core::ReplSnapBeginBody> {
-  static void encode(BytesWriter& w, const core::ReplSnapBeginBody& v) {
-    w.u64(v.config);
-    Codec<std::vector<db::TableSchema>>::encode(w, v.schemas);
-    Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::encode(w, v.dedup_seqs);
-    w.u64(v.order);
-  }
-  static core::ReplSnapBeginBody decode(BytesReader& r) {
-    core::ReplSnapBeginBody v;
-    v.config = r.u64();
-    v.schemas = Codec<std::vector<db::TableSchema>>::decode(r);
-    v.dedup_seqs = Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::decode(r);
-    v.order = r.u64();
-    return v;
-  }
-};
-
-template <>
-struct Codec<core::ReplSnapBatchBody> {
-  static void encode(BytesWriter& w, const core::ReplSnapBatchBody& v) {
-    Codec<db::Engine::SnapshotBatch>::encode(w, v.batch);
-  }
-  static core::ReplSnapBatchBody decode(BytesReader& r) {
-    return {Codec<db::Engine::SnapshotBatch>::decode(r)};
-  }
-};
-
-template <>
-struct Codec<core::ReplSnapDoneBody> {
-  static void encode(BytesWriter& w, const core::ReplSnapDoneBody& v) {
-    w.u64(v.config);
-    w.u64(v.rows);
-    w.u64(v.resume_slot);
-    w.u64(v.resume_index);
-    Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::encode(w, v.control_keys);
-  }
-  static core::ReplSnapDoneBody decode(BytesReader& r) {
-    core::ReplSnapDoneBody v;
-    v.config = r.u64();
-    v.rows = r.u64();
-    v.resume_slot = r.u64();
-    v.resume_index = r.u64();
-    v.control_keys = Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::decode(r);
     return v;
   }
 };

@@ -82,6 +82,17 @@ const std::vector<NodeId>& ShardRouter::replica_targets(GroupId g) const {
   return targets_[g].replicas;
 }
 
+std::vector<GroupId> RoutingView::shards_of(const workload::TxnRequest& req) const {
+  const ShardRouter::ProcInfo* info = base_->proc_info(req.proc);
+  const std::string table = info != nullptr ? info->table : std::string();
+  std::vector<GroupId> groups;
+  for (const std::int64_t key : base_->keys_of(req)) groups.push_back(shard_of(table, key));
+  if (groups.empty()) groups.push_back(0);  // key-less procedures pin to group 0
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
 const std::vector<NodeId>& ShardRouter::route(const workload::TxnRequest& req) const {
   const std::vector<GroupId> groups = shards_of(req);
   routed_.fetch_add(1, std::memory_order_relaxed);

@@ -7,11 +7,14 @@
 // (the first participant) which drives a TOB-ordered two-phase commit
 // (core/twopc.hpp).
 //
-// The partition function is deliberately trivial and rebalance-free —
-// `key mod shards` — so that routing is a pure function of the request:
-// every client and every replica computes the same participant set forever,
-// which is what makes the 2PC message flow deterministic and the merged
-// traces checkable offline.
+// The BASE partition function is deliberately trivial — `key mod shards` —
+// so that client-side routing stays a pure function of the request. Dynamic
+// rebalancing (core/migrate.hpp) layers RangeOverrides on top: each replica
+// holds a RoutingView (base + the overrides its group's delivery order has
+// committed), and a group that receives a transaction it no longer owns
+// forwards it to the owner. Clients keep routing by the base alone, which
+// costs a moved key one extra hop forever but keeps client routing
+// deterministic and the merged traces checkable offline.
 #pragma once
 
 #include <atomic>
@@ -104,6 +107,66 @@ class ShardRouter {
   obs::Tracer* tracer_ = nullptr;
   mutable std::atomic<std::uint64_t> routed_{0};
   mutable std::atomic<std::uint64_t> cross_routed_{0};
+};
+
+/// One committed shard-rebalancing step (core/migrate.hpp): keys of `table`
+/// in [lo, hi) that the view would otherwise place on `from` now live on
+/// `to`. Overrides compose in install order, so a later migration can move a
+/// sub-range onward.
+struct RangeOverride {
+  std::string table;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  GroupId from = 0;
+  GroupId to = 0;
+};
+
+/// A replica's current picture of the keyspace partition: the shared,
+/// immutable base router plus the ordered overrides committed by
+/// `::mig-commit` deliveries. The view is per-replica state advanced
+/// deterministically by each group's own delivery order; clients never see
+/// it (they route by the base and the owning group forwards). epoch() counts
+/// installed overrides — 2PC prepares are stamped with the coordinator's
+/// epoch so a participant whose partition picture differs can refuse the
+/// plan (vote NO "xs-epoch-retry") instead of staging against stale
+/// ownership.
+class RoutingView {
+ public:
+  explicit RoutingView(const ShardRouter* base) : base_(base) {}
+
+  const ShardRouter& base() const { return *base_; }
+  std::size_t shard_count() const { return base_->shard_count(); }
+  std::uint64_t epoch() const { return overrides_.size(); }
+  const std::vector<RangeOverride>& overrides() const { return overrides_; }
+
+  void install(RangeOverride o) { overrides_.push_back(std::move(o)); }
+  void reset_overrides(std::vector<RangeOverride> o) { overrides_ = std::move(o); }
+
+  /// Owner of one partition key, overrides applied in install order.
+  GroupId shard_of(const std::string& table, std::int64_t key) const {
+    GroupId g = base_->shard_of_key(key);
+    for (const RangeOverride& o : overrides_) {
+      if (g == o.from && o.table == table && key >= o.lo && key < o.hi) g = o.to;
+    }
+    return g;
+  }
+
+  const ShardRouter::ProcInfo* proc_info(const std::string& proc) const {
+    return base_->proc_info(proc);
+  }
+  std::vector<std::int64_t> keys_of(const workload::TxnRequest& req) const {
+    return base_->keys_of(req);
+  }
+  /// Sorted, deduplicated participant groups under the current overrides
+  /// (never empty; {0} for key-less).
+  std::vector<GroupId> shards_of(const workload::TxnRequest& req) const;
+  bool cross_shard(const workload::TxnRequest& req) const { return shards_of(req).size() > 1; }
+
+  const std::vector<NodeId>& tob_targets(GroupId g) const { return base_->tob_targets(g); }
+
+ private:
+  const ShardRouter* base_;
+  std::vector<RangeOverride> overrides_;
 };
 
 }  // namespace shadow::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/migrate.hpp"
 #include "core/twopc.hpp"
 #include "obs/trace.hpp"
 
@@ -38,6 +39,7 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
   SHADOW_REQUIRE_MSG(world_.host_of(self_) == world_.host_of(tob_.node()),
                      "SMR replicas must be co-located with their broadcast service node");
   reconfig_client_id_ = ClientId{kControlClientBit + self_.value};
+  snap_rx_ = repl::StateTransfer::Receiver({config_.tracer, self_});
 
   // The broadcast service hands deliveries to the co-located replica through
   // an in-process queue: model it as a loopback message so that (a) the
@@ -74,12 +76,62 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
                                    [this](net::NodeContext& ctx) { on_heartbeat_tick(ctx); });
   }
   if (config_.router != nullptr && config_.router->shard_count() > 1) {
+    view_ = std::make_unique<RoutingView>(config_.router);
+    // The parked-drain re-entry runs the same diversion checks as a fresh
+    // delivery: a migration may have committed while the transaction sat
+    // parked, in which case it must forward, not execute here.
     xs_ = std::make_unique<XsCoordinator>(
-        world_, self_, config_.group, *config_.router, executor_,
+        world_, self_, config_.group, *view_, executor_,
         [this](net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req) {
+          if (mig_ && mig_->divert(ctx, req)) return;
           execute_txn(ctx, index, req);
         },
         config_.tracer);
+    RangeMigrator::Config mcfg;
+    mcfg.tracer = config_.tracer;
+    mcfg.batch_bytes = config_.snapshot_batch_bytes;
+    mcfg.compress = config_.transfer_compression;
+    mcfg.flush = [this] {
+      if (pipeline_) pipeline_->flush();
+    };
+    // Same evidence the failure detector acts on: a peer nothing was heard
+    // from for a suspect timeout is dead for ready-coverage purposes. A peer
+    // never seen yet (no heartbeat tick ran) counts as live — coverage
+    // waits, it never skips early.
+    mcfg.peer_live = [this](NodeId peer) {
+      if (peer == self_) return true;
+      const auto it = last_heard_.find(peer.value);
+      return it == last_heard_.end() || world_.now() - it->second < config_.suspect_timeout;
+    };
+    // Laggard recovery: the group committed a migration this replica never
+    // buffered (its delivery stream stalled, or the heartbeat view wrote it
+    // off). The donor already dropped the range, so the only consistent
+    // continuation is a full rejoin from a live peer — the snapshot's rider
+    // carries the post-commit rows and the routing override. Seq is the
+    // current virtual millisecond: unique across this node's resyncs and
+    // disjoint from restart incarnation counters.
+    mcfg.resync = [this] {
+      if (joining_ || rejoining_ || !active_) return;
+      NodeId proposer{};
+      bool found = false;
+      for (const NodeId peer : group_) {
+        if (peer == self_) continue;
+        const auto it = last_heard_.find(peer.value);
+        if (it == last_heard_.end() || world_.now() - it->second < config_.suspect_timeout) {
+          proposer = peer;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;  // nobody live to serve a snapshot: stay as we are
+      start_rejoin(tob_.node(), proposer, static_cast<RequestSeq>(world_.now() / 1000));
+    };
+    mig_ = std::make_unique<RangeMigrator>(world_, self_, config_.group, *view_, executor_,
+                                           xs_.get(), &group_, &active_, std::move(mcfg));
+    xs_->set_range_block(
+        [this](const std::string& table, const std::vector<std::int64_t>& keys) {
+          return mig_->frozen(table, keys);
+        });
   }
 }
 
@@ -111,8 +163,18 @@ void SmrReplica::on_deliver(net::NodeContext& ctx, Slot slot, std::uint64_t inde
 
 void SmrReplica::apply_delivered(net::NodeContext& ctx, std::uint64_t index,
                                  const workload::TxnRequest& req) {
+  stamp_state_version(index);
+  if (mig_ && mig_->on_deliver(ctx, index, req)) return;
   if (xs_ && xs_->on_deliver(ctx, index, req)) return;
+  if (mig_ && mig_->divert(ctx, req)) return;
   execute_txn(ctx, index, req);
+}
+
+void SmrReplica::stamp_state_version(std::uint64_t index) {
+  // Deliveries are stamped as index + 1 so version 0 stays reserved for
+  // pre-delivery (loader) writes: the TOB's first delivery has index 0.
+  db::Engine& engine = executor_.engine();
+  if (index + 1 > engine.state_version()) engine.set_state_version(index + 1);
 }
 
 void SmrReplica::on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_t base_index,
@@ -126,7 +188,7 @@ void SmrReplica::on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_
       break;
     }
   }
-  if (control || !active_ || (xs_ && xs_->busy())) {
+  if (control || !active_ || (xs_ && xs_->busy()) || (mig_ && mig_->needs_serial())) {
     // Control commands mutate group/replica state on the consensus thread,
     // inactive replicas buffer or discard, and a busy 2PC engine must see
     // every delivery serially so lock-conflict parking stays a deterministic
@@ -177,6 +239,10 @@ void SmrReplica::handle_reconfig(net::NodeContext& ctx, const workload::TxnReque
     buffered_.clear();
     ctx.send(proposer, net::make_signal(kSnapRequestHeader));
   }
+  // The membership just changed under any in-flight migration: its ready
+  // coverage is over the CURRENT group, so re-evaluate (the removed replica
+  // may have been the only one still missing from the ready set).
+  if (mig_) mig_->on_membership_change(ctx);
 }
 
 void SmrReplica::handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest& req,
@@ -185,6 +251,12 @@ void SmrReplica::handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest
   const NodeId joiner{static_cast<std::uint32_t>(req.params[0].as_int())};
   const NodeId proposer{static_cast<std::uint32_t>(req.params[1].as_int())};
   if (proposer != self_ || joiner == self_ || !active_) return;
+  std::uint64_t base_version = 0;
+  bool accepts_v2 = false;
+  if (req.params.size() >= 4) {
+    base_version = static_cast<std::uint64_t>(req.params[2].as_int());
+    accepts_v2 = req.params[3].as_int() != 0;
+  }
   // Serve the snapshot at this deterministic point: every active replica has
   // applied the same prefix. The joiner resumes its TOB node at this very
   // slot — commands delivered before this one (including earlier in this
@@ -195,39 +267,58 @@ void SmrReplica::handle_rejoin(net::NodeContext& ctx, const workload::TxnRequest
   done.resume_slot = slot;
   done.resume_index = index + 1;
   done.control_keys = seen_control_keys_;
-  send_snapshot_stream(ctx, joiner, done);
+  // Version 0 conflates "empty" with "freshly loaded" across process
+  // incarnations, so only a positive base is offered as a delta baseline.
+  std::optional<std::uint64_t> delta_since;
+  if (base_version > 0) delta_since = base_version;
+  send_snapshot_stream(ctx, joiner, done, delta_since, accepts_v2);
 }
 
 void SmrReplica::send_snapshot_stream(net::NodeContext& ctx, NodeId to,
-                                      const ReplSnapDoneBody& done_template) {
+                                      const ReplSnapDoneBody& done_template,
+                                      std::optional<std::uint64_t> delta_since, bool v2) {
   // Serialize at the deterministic point we are at now (all actives have
   // applied the same prefix), then stream ~50 KB batches. Row serialization
   // cost is charged here. A pipelined replica drains its executor first —
   // the engine belongs to the executor thread until the pipeline is
   // quiescent.
   if (pipeline_) pipeline_->flush();
-  const db::Engine::Snapshot snap = executor_.engine().snapshot(config_.snapshot_batch_bytes);
-  ctx.charge(snap.serialize_cost_us);
-  if (config_.tracer) {
-    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBegin, 0, to);
+  repl::SnapBeginBody begin;
+  collect_snapshot_dedup(executor_, begin);
+  // Sharded deployments ship the migration state (routing overrides +
+  // in-flight migrations) and the 2PC engine's in-flight state (prepared
+  // votes, parked transactions, coordinator entries) as their own stream
+  // elements between the row batches and `done` — migration first, because
+  // the 2PC restore recomputes key ownership through the RoutingView the
+  // migration rider rebuilds. Classic clusters have neither and the v1
+  // stream is byte-identical to what it always was.
+  auto xs_rider = [this, &ctx, to] {
+    if (mig_) ctx.send(to, net::make_msg(kMigSnapRiderHeader, mig_->snapshot()));
+    if (xs_) ctx.send(to, net::make_msg(kXsSnapHeader, xs_->snapshot()));
+  };
+  if (v2) {
+    repl::StateTransfer::SendV2 spec;
+    spec.headers = {kSnapBegin2Header, kSnapBatch2Header, kSnapDone2Header, kSnapDelete2Header};
+    spec.batch_bytes = config_.snapshot_batch_bytes;
+    spec.begin_base = std::move(begin);
+    spec.done_base = done_template;
+    spec.done_carries_rows = true;
+    spec.compress = config_.transfer_compression;
+    spec.delta_since = delta_since;
+    spec.mid_stream = xs_rider;
+    spec.tracer = config_.tracer;
+    repl::StateTransfer::send_v2(ctx, executor_.engine(), to, std::move(spec));
+  } else {
+    repl::StateTransfer::SendV1 spec;
+    spec.headers = {kSnapBeginHeader, kSnapBatchHeader, kSnapDoneHeader, ""};
+    spec.batch_bytes = config_.snapshot_batch_bytes;
+    spec.begin = std::move(begin);
+    spec.done = done_template;
+    spec.done_carries_rows = true;
+    spec.mid_stream = xs_rider;
+    spec.tracer = config_.tracer;
+    repl::StateTransfer::send_full_v1(ctx, executor_.engine(), to, std::move(spec));
   }
-  SnapBeginBody begin;
-  begin.schemas = snap.schemas;
-  for (const auto& [client, entry] : executor_.dedup_table()) {
-    begin.dedup_seqs.emplace_back(client, entry.first);
-  }
-  ctx.send(to, net::make_msg(kSnapBeginHeader, std::move(begin)));
-  for (const auto& batch : snap.batches) {
-    ctx.send(to, net::make_msg(kSnapBatchHeader, SnapBatchBody{batch}));
-  }
-  // Sharded deployments ship the 2PC engine's in-flight state (prepared
-  // votes, parked transactions, coordinator entries) as its own stream
-  // element; classic clusters have no xs_ and the stream is byte-identical
-  // to what it always was.
-  if (xs_) ctx.send(to, net::make_msg(kXsSnapHeader, xs_->snapshot()));
-  SnapDoneBody done = done_template;
-  done.rows = snap.total_rows;
-  ctx.send(to, net::make_msg(kSnapDoneHeader, std::move(done)));
 }
 
 void SmrReplica::start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq) {
@@ -239,6 +330,13 @@ void SmrReplica::start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq) {
   rejoin_proposer_ = proposer;
   rejoin_client_id_ = ClientId{kRejoinClientBit + self_.value};
   rejoin_seq_ = seq;
+  // Offer the engine's version as a delta baseline: nonzero when this
+  // replica object survived the crash with its state intact (simulator
+  // crash-restart); 0 after a real process restart, which gets a full copy.
+  rejoin_base_version_ = executor_.engine().state_version();
+  rejoin_requested_ = false;
+  rejoin_stream_started_ = false;
+  snap_rx_.reset();
   // Hold TOB delivery/proposing until the snapshot tells us where to resume.
   tob_.pause_for_rejoin();
   // First request after a short grace period (the transport may still be
@@ -249,13 +347,30 @@ void SmrReplica::start_rejoin(NodeId via_tob, NodeId proposer, RequestSeq seq) {
 
 void SmrReplica::send_rejoin_request(net::NodeContext& ctx) {
   if (!rejoining_) return;
+  if (rejoin_requested_) {
+    // The previous request produced no completed stream by the time this
+    // retry fires. Either it was never delivered (transport still
+    // connecting) or it WAS delivered and the stream broke mid-air (sender
+    // crash, frames lost to checksum corruption) — and in the second case a
+    // same-(client, seq) retry is deduplicated by TOB and serves nothing,
+    // stalling the rejoin forever. The joiner cannot tell the cases apart,
+    // so every retry takes a fresh seq; redundant streams are harmless (a
+    // begin while joining restarts the restore, one arriving after the join
+    // completed is ignored).
+    ++rejoin_seq_;
+    rejoin_stream_started_ = false;
+    snap_rx_.reset();
+  }
+  rejoin_requested_ = true;
   workload::TxnRequest req;
   req.client = rejoin_client_id_;
   req.seq = rejoin_seq_;
   req.reply_to = self_;
   req.proc = kSmrRejoinProc;
   req.params = {db::Value(static_cast<std::int64_t>(self_.value)),
-                db::Value(static_cast<std::int64_t>(rejoin_proposer_.value))};
+                db::Value(static_cast<std::int64_t>(rejoin_proposer_.value)),
+                db::Value(static_cast<std::int64_t>(rejoin_base_version_)),
+                db::Value(static_cast<std::int64_t>(1))};
   tob::BroadcastBody body{tob::Command{req.client, req.seq, workload::encode_request(req)}};
   ctx.send(rejoin_via_, net::make_msg(tob::kBroadcastHeader, std::move(body)));
   rejoin_timer_ = ctx.set_timer(500000, [this](net::NodeContext& c) { send_rejoin_request(c); });
@@ -287,61 +402,105 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     if (joining_ && xs_) xs_->restore(net::msg_body<XsSnapBody>(msg));
     return;
   }
+  if (msg.header == kMigSnapRiderHeader) {
+    if (joining_ && mig_) mig_->restore(ctx, net::msg_body<MigSnapBody>(msg));
+    return;
+  }
+  if (mig_ && mig_->on_message(ctx, msg)) return;
   if (msg.header == kSnapBeginHeader) {
     if (!joining_) return;  // stray/duplicate stream: we are not expecting one
     const auto& begin = net::msg_body<SnapBeginBody>(msg);
-    // Rejoin keeps the dedup seqs around as the TOB resume floor too.
-    if (rejoining_) rejoin_floor_ = begin.dedup_seqs;
-    executor_.engine().reset_for_restore(begin.schemas);
-    std::unordered_map<std::uint32_t, std::pair<RequestSeq, workload::TxnResponse>> dedup;
-    for (const auto& [client, seq] : begin.dedup_seqs) {
-      dedup[client] = {seq, workload::TxnResponse{ClientId{client}, seq, true, {}, ""}};
+    if (rejoining_) {
+      // Rejoin keeps the dedup seqs around as the TOB resume floor too.
+      rejoin_floor_ = begin.dedup_seqs;
+      rejoin_stream_started_ = true;
+      // The reset wipes the state our delta baseline referred to; a retry
+      // after a broken stream must fetch a full copy.
+      rejoin_base_version_ = 0;
     }
-    executor_.install_dedup_table(std::move(dedup));
+    snap_rx_.begin_full(executor_.engine(), begin);
+    install_snapshot_dedup(executor_, begin);
     return;
   }
   if (msg.header == kSnapBatchHeader) {
     if (!joining_) return;
-    const auto& body = net::msg_body<SnapBatchBody>(msg);
     // "Row insertion speed constitutes the bottleneck of state transfer."
-    ctx.charge(executor_.engine().restore_batch(body.batch));
-    if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kBatch,
-                                     body.batch.data.size(), msg.from);
-    }
+    snap_rx_.on_batch(ctx, executor_.engine(), net::msg_body<SnapBatchBody>(msg), msg.from);
     return;
   }
   if (msg.header == kSnapDoneHeader) {
     if (!joining_) return;
-    const auto& done = net::msg_body<SnapDoneBody>(msg);
-    if (rejoining_) {
-      if (rejoin_timer_) {
-        world_.cancel(*rejoin_timer_);
-        rejoin_timer_.reset();
-      }
-      delivered_index_ = done.resume_index == 0 ? 0 : done.resume_index - 1;
-      tob::TobNode::ResumePoint rp;
-      rp.slot = done.resume_slot;
-      rp.index_base = done.resume_index;
-      rp.floor = std::move(rejoin_floor_);
-      rp.control_keys = done.control_keys;
-      tob_.resume_from(rp);
-      // Seed our own control-key history so a later rejoiner we serve gets
-      // the full set, not just what we saw post-restart.
-      seen_control_keys_ = done.control_keys;
-      rejoining_ = false;
-    }
-    active_ = true;
-    joining_ = false;
-    if (config_.tracer) {
-      config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, done.rows,
-                                     msg.from);
-      config_.tracer->recover(ctx.now(), self_, delivered_index_);
-    }
-    for (const auto& [index, req] : buffered_) apply_delivered(ctx, index, req);
-    buffered_.clear();
+    finish_join(ctx, net::msg_body<SnapDoneBody>(msg), msg.from);
     return;
   }
+  if (msg.header == kSnapBegin2Header) {
+    if (!joining_) return;
+    const auto& begin = net::msg_body<repl::SnapBegin2Body>(msg);
+    if (rejoining_) {
+      rejoin_floor_ = begin.base.dedup_seqs;
+      rejoin_stream_started_ = true;
+      if (begin.mode == static_cast<std::uint8_t>(repl::TransferMode::kFull)) {
+        rejoin_base_version_ = 0;  // see the v1 begin handler
+      }
+    }
+    snap_rx_.begin_v2(executor_.engine(), begin);
+    install_snapshot_dedup(executor_, begin.base);
+    return;
+  }
+  if (msg.header == kSnapBatch2Header) {
+    if (!joining_) return;
+    if (!snap_rx_.on_batch2(ctx, executor_.engine(), net::msg_body<repl::SnapBatch2Body>(msg),
+                            msg.from)) {
+      snap_rx_.reset();  // malformed frame; the rejoin timer re-requests
+    }
+    return;
+  }
+  if (msg.header == kSnapDelete2Header) {
+    if (!joining_) return;
+    snap_rx_.on_delete2(ctx, executor_.engine(), net::msg_body<repl::SnapDelete2Body>(msg));
+    return;
+  }
+  if (msg.header == kSnapDone2Header) {
+    if (!joining_) return;
+    const auto& done = net::msg_body<repl::SnapDone2Body>(msg);
+    if (!snap_rx_.awaiting() || !snap_rx_.complete(done)) {
+      // A frame of the stream was lost (checksum corruption surfaces as
+      // loss): abandon it and let the rejoin timer request a fresh stream.
+      snap_rx_.reset();
+      return;
+    }
+    finish_join(ctx, done.base, msg.from);
+    return;
+  }
+}
+
+void SmrReplica::finish_join(net::NodeContext& ctx, const SnapDoneBody& done, NodeId from) {
+  snap_rx_.finish(executor_.engine());
+  if (rejoining_) {
+    if (rejoin_timer_) {
+      world_.cancel(*rejoin_timer_);
+      rejoin_timer_.reset();
+    }
+    delivered_index_ = done.resume_index == 0 ? 0 : done.resume_index - 1;
+    tob::TobNode::ResumePoint rp;
+    rp.slot = done.resume_slot;
+    rp.index_base = done.resume_index;
+    rp.floor = std::move(rejoin_floor_);
+    rp.control_keys = done.control_keys;
+    tob_.resume_from(rp);
+    // Seed our own control-key history so a later rejoiner we serve gets
+    // the full set, not just what we saw post-restart.
+    seen_control_keys_ = done.control_keys;
+    rejoining_ = false;
+  }
+  active_ = true;
+  joining_ = false;
+  if (config_.tracer) {
+    config_.tracer->state_transfer(ctx.now(), self_, obs::StatePhase::kDone, done.rows, from);
+    config_.tracer->recover(ctx.now(), self_, delivered_index_);
+  }
+  for (const auto& [index, req] : buffered_) apply_delivered(ctx, index, req);
+  buffered_.clear();
 }
 
 void SmrReplica::on_heartbeat_tick(net::NodeContext& ctx) {

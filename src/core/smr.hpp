@@ -25,19 +25,31 @@
 #include "core/pipeline.hpp"
 #include "core/replica_common.hpp"
 #include "core/router.hpp"
+#include "repl/state_transfer.hpp"
 #include "tob/tob.hpp"
 
 namespace shadow::core {
 
 class XsCoordinator;  // core/twopc.hpp
+class RangeMigrator;  // core/migrate.hpp
+class RoutingView;    // core/router.hpp
 
 inline constexpr const char* kSmrReconfigProc = "::smr-reconfig";
-/// Crash-restart rejoin request: params = [joiner node, snapshot proposer].
+/// Crash-restart rejoin request: params = [joiner node, snapshot proposer,
+/// joiner's engine state version (0: no usable base), accepts-v2 flag]. The
+/// last two are optional on the wire for robustness; every current sender
+/// includes them.
 inline constexpr const char* kSmrRejoinProc = "::smr-rejoin";
 inline constexpr const char* kSnapRequestHeader = "smr-snap-req";
 inline constexpr const char* kSnapBeginHeader = "smr-snap-begin";
 inline constexpr const char* kSnapBatchHeader = "smr-snap-batch";
 inline constexpr const char* kSnapDoneHeader = "smr-snap-done";
+// v2 snapshot stream (repl/wire.hpp): compressed and/or incremental, used
+// for crash-restart rejoin. Node-addressed, so the headers are protocol-free.
+inline constexpr const char* kSnapBegin2Header = "repl-snap-begin2";
+inline constexpr const char* kSnapBatch2Header = "repl-snap-batch2";
+inline constexpr const char* kSnapDelete2Header = "repl-snap-del2";
+inline constexpr const char* kSnapDone2Header = "repl-snap-done2";
 inline constexpr const char* kSmrDeliverHeader = "smr-deliver";
 inline constexpr const char* kSmrDeliverBatchHeader = "smr-deliver-batch";
 
@@ -63,6 +75,9 @@ struct SmrConfig {
   /// single-threaded and must leave this off.
   bool pipelined_execution = false;
   std::size_t pipeline_ring_capacity = 256;  // decided batches in flight
+  /// Block-compress v2 snapshot frames (rejoin state transfer). Off by
+  /// default: compression trades sender/receiver CPU for wire volume.
+  bool transfer_compression = false;
   obs::Tracer* tracer = nullptr;        // optional structured trace recorder
 
   /// Sharded deployments (core/group.hpp): which replication group this
@@ -86,7 +101,7 @@ class SmrReplica {
              std::shared_ptr<const workload::ProcedureRegistry> registry,
              std::vector<NodeId> replica_group, std::vector<NodeId> spares,
              SmrConfig config = {}, ServerCosts costs = {});
-  ~SmrReplica();  // out of line: XsCoordinator is incomplete here
+  ~SmrReplica();  // out of line: XsCoordinator/RangeMigrator are incomplete here
 
   NodeId node() const { return self_; }
   bool active() const { return active_; }
@@ -137,7 +152,18 @@ class SmrReplica {
   void apply_delivered(net::NodeContext& ctx, std::uint64_t index,
                        const workload::TxnRequest& req);
   void execute_txn(net::NodeContext& ctx, std::uint64_t index, const workload::TxnRequest& req);
-  void send_snapshot_stream(net::NodeContext& ctx, NodeId to, const ReplSnapDoneBody& done);
+  /// Streams the database to `to`. v1 (spare promotion, pinned wire format)
+  /// or v2 (rejoin: optionally compressed, delta when `delta_since` is a
+  /// version our dirty tracking still covers).
+  void send_snapshot_stream(net::NodeContext& ctx, NodeId to, const ReplSnapDoneBody& done,
+                            std::optional<std::uint64_t> delta_since = std::nullopt,
+                            bool v2 = false);
+  /// Shared epilogue of both stream versions' `done` handling.
+  void finish_join(net::NodeContext& ctx, const ReplSnapDoneBody& done, NodeId from);
+  /// Stamps the engine's state version for the command at `index`,
+  /// monotonically (parked 2PC transactions drain at a later delivery and
+  /// must not move the version backwards).
+  void stamp_state_version(std::uint64_t index);
 
   net::Transport& world_;
   NodeId self_;
@@ -171,13 +197,24 @@ class SmrReplica {
   NodeId rejoin_proposer_{};
   ClientId rejoin_client_id_{};
   RequestSeq rejoin_seq_ = 0;
+  std::uint64_t rejoin_base_version_ = 0;  // engine version presented for a delta
+  bool rejoin_requested_ = false;          // a request went out for the current seq
+  bool rejoin_stream_started_ = false;     // a begin arrived for the current seq
   std::vector<std::pair<std::uint32_t, RequestSeq>> rejoin_floor_;
   std::optional<net::TimerId> rejoin_timer_;
   std::vector<std::pair<std::uint32_t, RequestSeq>> seen_control_keys_;
 
-  // Cross-shard 2PC engine, armed only when config_.router names more than
-  // one shard (core/twopc.hpp). All its state transitions happen on the
-  // consensus thread inside the serial delivery path.
+  // Inbound snapshot stream state (shared state-transfer receiver).
+  repl::StateTransfer::Receiver snap_rx_;
+
+  // Sharded-mode engines, armed only when config_.router names more than
+  // one shard. All their state transitions happen on the consensus thread
+  // inside the serial delivery path. view_ is this replica's own picture of
+  // the partition (base router + overrides committed by its delivery order);
+  // mig_ drives range migrations and declares before xs_ so the 2PC engine's
+  // range-block hook outlives nothing it points at.
+  std::unique_ptr<RoutingView> view_;
+  std::unique_ptr<RangeMigrator> mig_;
   std::unique_ptr<XsCoordinator> xs_;
 
   // Pipelined mode: the DB executor stage. Declared last so its destructor

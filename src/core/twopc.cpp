@@ -1,5 +1,7 @@
 #include "core/twopc.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "obs/trace.hpp"
 #include "tob/tob.hpp"
@@ -58,12 +60,12 @@ XsPlanFn xs_plan_for(const std::string& proc) {
 }
 
 XsCoordinator::XsCoordinator(net::Transport& world, NodeId self, GroupId group,
-                             const ShardRouter& router, TxnExecutor& executor,
+                             const RoutingView& view, TxnExecutor& executor,
                              ExecuteFn execute, obs::Tracer* tracer)
     : world_(world),
       self_(self),
       group_(group),
-      router_(router),
+      view_(view),
       executor_(executor),
       execute_(std::move(execute)),
       tracer_(tracer) {
@@ -85,13 +87,17 @@ bool XsCoordinator::on_deliver(net::NodeContext& ctx, std::uint64_t index,
     handle_decide(ctx, req);
     return true;
   }
-  if (router_.cross_shard(req)) {
+  if (std::vector<GroupId> parts = view_.shards_of(req); parts.size() > 1) {
+    // Misrouted begin (a migration moved every key we used to coordinate for
+    // off this group): decline it so the replica's migration layer forwards
+    // it to the owning coordinator instead of us driving 2PC as an outsider.
+    if (std::find(parts.begin(), parts.end(), group_) == parts.end()) return false;
     handle_begin(ctx, index, req);
     return true;
   }
   if (locked_keys_.empty() && parked_.empty()) return false;
-  const ShardRouter::ProcInfo* info = router_.proc_info(req.proc);
-  std::vector<std::int64_t> keys = router_.keys_of(req);
+  const ShardRouter::ProcInfo* info = view_.proc_info(req.proc);
+  std::vector<std::int64_t> keys = view_.keys_of(req);
   const bool keyless = keys.empty();
   const std::string table = info != nullptr ? info->table : std::string();
   if (!conflicts(keys, keyless, table)) return false;
@@ -119,6 +125,15 @@ bool XsCoordinator::conflicts(const std::vector<std::int64_t>& keys, bool keyles
   return false;
 }
 
+bool XsCoordinator::range_clear(const std::string& table, std::int64_t lo,
+                                std::int64_t hi) const {
+  const auto touches = [&](const std::map<PartKey, int>& keys) {
+    const auto it = keys.lower_bound(PartKey{table, lo});
+    return it != keys.end() && it->first.first == table && it->first.second < hi;
+  };
+  return parked_keyless_ == 0 && !touches(locked_keys_) && !touches(parked_keys_);
+}
+
 void XsCoordinator::handle_begin(net::NodeContext& ctx, std::uint64_t index,
                                  const workload::TxnRequest& orig) {
   SHADOW_REQUIRE_MSG((orig.client.value & ~kXsClientMask) == 0,
@@ -135,7 +150,8 @@ void XsCoordinator::handle_begin(net::NodeContext& ctx, std::uint64_t index,
   if (coord_.count(key) != 0) return;
   Coord co;
   co.orig = orig;
-  co.participants = router_.shards_of(orig);
+  co.participants = view_.shards_of(orig);
+  co.epoch = view_.epoch();
   const auto [it, inserted] = coord_.emplace(key, std::move(co));
   SHADOW_CHECK(inserted);
   // Co-located participant: this group is always one of the participants
@@ -161,6 +177,8 @@ void XsCoordinator::handle_prepare(net::NodeContext& ctx, std::uint64_t index,
   SHADOW_CHECK(req.params.size() >= 2);
   const auto coordinator = static_cast<GroupId>(req.params[0].as_int());
   const workload::TxnRequest orig = workload::decode_request(req.params[1].as_string());
+  const std::uint64_t epoch =
+      req.params.size() >= 3 ? static_cast<std::uint64_t>(req.params[2].as_int()) : 0;
   const TxnKey key{orig.client.value, orig.seq};
   // Already completed here (a post-rejoin retransmit), or already prepared.
   const auto& dedup = executor_.dedup_table();
@@ -169,7 +187,12 @@ void XsCoordinator::handle_prepare(net::NodeContext& ctx, std::uint64_t index,
     return;
   }
   if (prepared_.count(key) != 0) return;
-  prepare_local(ctx, index, coordinator, orig);
+  // A coordinator whose routing epoch differs planned against a different
+  // partition picture — the key shares it computed may not match ours, so
+  // refuse the plan rather than stage against stale ownership. The client
+  // retries and the rerouted begin recomputes everything at current epochs.
+  prepare_local(ctx, index, coordinator, orig,
+                epoch != view_.epoch() ? "xs-epoch-retry" : nullptr);
   const Prepared& pr = prepared_.at(key);
   workload::TxnRequest vote;
   vote.client = ClientId{kXsVoteBit | (static_cast<std::uint32_t>(group_) << kXsVoteGroupShift) |
@@ -185,19 +208,26 @@ void XsCoordinator::handle_prepare(net::NodeContext& ctx, std::uint64_t index,
 }
 
 void XsCoordinator::prepare_local(net::NodeContext& ctx, std::uint64_t index,
-                                  GroupId coordinator, const workload::TxnRequest& orig) {
+                                  GroupId coordinator, const workload::TxnRequest& orig,
+                                  const char* veto) {
   const TxnKey key{orig.client.value, orig.seq};
   if (prepared_.count(key) != 0) return;
   Prepared pr;
   pr.orig = orig;
   pr.prepare_index = index;
   pr.coordinator = coordinator;
-  for (const std::int64_t k : router_.keys_of(orig)) {
-    if (router_.shard_of_key(k) == group_) pr.local_keys.push_back(k);
-  }
-  const ShardRouter::ProcInfo* info = router_.proc_info(orig.proc);
+  const ShardRouter::ProcInfo* info = view_.proc_info(orig.proc);
   const std::string table = info != nullptr ? info->table : std::string();
-  if (const XsPlanFn plan = xs_plan_for(orig.proc); plan == nullptr) {
+  for (const std::int64_t k : view_.keys_of(orig)) {
+    if (view_.shard_of(table, k) == group_) pr.local_keys.push_back(k);
+  }
+  if (veto != nullptr) {
+    pr.vote_yes = false;
+    pr.error = veto;
+  } else if (range_block_ && range_block_(table, pr.local_keys)) {
+    pr.vote_yes = false;
+    pr.error = "range-frozen";
+  } else if (const XsPlanFn plan = xs_plan_for(orig.proc); plan == nullptr) {
     pr.vote_yes = false;
     pr.error = "no cross-shard plan for " + orig.proc;
   } else {
@@ -300,7 +330,7 @@ void XsCoordinator::apply_decision(net::NodeContext& ctx, const TxnKey& key, boo
   }
   if (pr.vote_yes) {
     locks_.release_all(lock_txn_of(key));
-    const std::string& table = router_.proc_info(pr.orig.proc)->table;
+    const std::string& table = view_.proc_info(pr.orig.proc)->table;
     for (const std::int64_t k : pr.local_keys) {
       const auto lit = locked_keys_.find(PartKey{table, k});
       if (lit != locked_keys_.end() && --lit->second == 0) locked_keys_.erase(lit);
@@ -323,7 +353,7 @@ void XsCoordinator::drain_parked(net::NodeContext& ctx) {
     std::map<PartKey, int> earlier;
     bool earlier_keyless = false;
     for (auto it = parked_.begin(); it != parked_.end(); ++it) {
-      const ShardRouter::ProcInfo* info = router_.proc_info(it->req.proc);
+      const ShardRouter::ProcInfo* info = view_.proc_info(it->req.proc);
       const std::string table =
           it->keyless || info == nullptr ? std::string() : info->table;
       bool runnable;
@@ -374,7 +404,8 @@ void XsCoordinator::send_prepare(net::NodeContext& ctx, GroupId g, const Coord& 
   prep.reply_to = self_;
   prep.proc = kXsPrepareProc;
   prep.params = {db::Value(static_cast<std::int64_t>(group_)),
-                 db::Value(workload::encode_request(co.orig))};
+                 db::Value(workload::encode_request(co.orig)),
+                 db::Value(static_cast<std::int64_t>(co.epoch))};
   broadcast_into(ctx, g, prep.client, seq, prep);
 }
 
@@ -392,7 +423,7 @@ void XsCoordinator::send_decide(net::NodeContext& ctx, GroupId g, const Coord& c
 
 void XsCoordinator::broadcast_into(net::NodeContext& ctx, GroupId g, ClientId client,
                                    RequestSeq seq, const workload::TxnRequest& req) {
-  const std::vector<NodeId>& tobs = router_.tob_targets(g);
+  const std::vector<NodeId>& tobs = view_.tob_targets(g);
   SHADOW_CHECK(!tobs.empty());
   // Spread the R-way replica fan-in over the group's TOB frontends; the
   // target TOB deduplicates the R identical commands at delivery.
@@ -446,6 +477,7 @@ XsSnapBody XsCoordinator::snapshot() const {
     e.commit = co.commit ? 1 : 0;
     e.responded = co.responded ? 1 : 0;
     e.decide_resends = co.decide_resends;
+    e.epoch = co.epoch;
     body.coords.push_back(std::move(e));
   }
   return body;
@@ -466,8 +498,12 @@ void XsCoordinator::restore(const XsSnapBody& snap) {
     pr.coordinator = e.coordinator;
     pr.vote_yes = e.vote_yes != 0;
     pr.error = e.error;
-    for (const std::int64_t k : router_.keys_of(pr.orig)) {
-      if (router_.shard_of_key(k) == group_) pr.local_keys.push_back(k);
+    {
+      const ShardRouter::ProcInfo* info = view_.proc_info(pr.orig.proc);
+      const std::string table = info != nullptr ? info->table : std::string();
+      for (const std::int64_t k : view_.keys_of(pr.orig)) {
+        if (view_.shard_of(table, k) == group_) pr.local_keys.push_back(k);
+      }
     }
     const TxnKey key{pr.orig.client.value, pr.orig.seq};
     if (pr.vote_yes) {
@@ -479,7 +515,7 @@ void XsCoordinator::restore(const XsSnapBody& snap) {
       SHADOW_CHECK_MSG(lp.vote_yes, "restored plan must reproduce the yes vote");
       pr.staged = std::move(lp.staged);
       const db::TxnId lt = lock_txn_of(key);
-      const std::string& table = router_.proc_info(pr.orig.proc)->table;
+      const std::string& table = view_.proc_info(pr.orig.proc)->table;
       for (const std::int64_t k : pr.local_keys) {
         SHADOW_CHECK(locks_.acquire(lt, db::LockTarget{table, db::Key{db::Value(k)}},
                                     db::LockMode::kExclusive,
@@ -493,12 +529,12 @@ void XsCoordinator::restore(const XsSnapBody& snap) {
     ParkedTxn t;
     t.index = e.index;
     t.req = workload::decode_request(e.orig);
-    t.keys = router_.keys_of(t.req);
+    t.keys = view_.keys_of(t.req);
     t.keyless = t.keys.empty();
     if (t.keyless) {
       ++parked_keyless_;
     } else {
-      const std::string& table = router_.proc_info(t.req.proc)->table;
+      const std::string& table = view_.proc_info(t.req.proc)->table;
       for (const std::int64_t k : t.keys) ++parked_keys_[PartKey{table, k}];
     }
     parked_.push_back(std::move(t));
@@ -513,6 +549,7 @@ void XsCoordinator::restore(const XsSnapBody& snap) {
     co.commit = e.commit != 0;
     co.responded = e.responded != 0;
     co.decide_resends = e.decide_resends;
+    co.epoch = e.epoch;
     coord_.emplace(TxnKey{co.orig.client.value, co.orig.seq}, std::move(co));
   }
 }

@@ -122,6 +122,7 @@ struct XsSnapBody {
     std::uint8_t commit = 0;
     std::uint8_t responded = 0;
     std::uint32_t decide_resends = 0;
+    std::uint64_t epoch = 0;
   };
   std::vector<PrepEntry> prepared;
   std::vector<ParkEntry> parked;
@@ -139,8 +140,15 @@ class XsCoordinator {
   using ExecuteFn =
       std::function<void(net::NodeContext&, std::uint64_t, const workload::TxnRequest&)>;
 
-  XsCoordinator(net::Transport& world, NodeId self, GroupId group, const ShardRouter& router,
+  XsCoordinator(net::Transport& world, NodeId self, GroupId group, const RoutingView& view,
                 TxnExecutor& executor, ExecuteFn execute, obs::Tracer* tracer);
+
+  /// Shard-rebalancing freeze hook (core/migrate.hpp): when set and true for
+  /// a transaction's keys, prepare_local votes NO "range-frozen" instead of
+  /// planning — the range is mid-migration and retryable once it lands.
+  using RangeBlockFn =
+      std::function<bool(const std::string& table, const std::vector<std::int64_t>& keys)>;
+  void set_range_block(RangeBlockFn fn) { range_block_ = std::move(fn); }
 
   /// Delivery interception, called for every non-reconfig/rejoin delivery.
   /// Returns true if consumed (an xs control command, a cross-shard
@@ -152,6 +160,11 @@ class XsCoordinator {
   /// batches must take the serial delivery path so parking stays a
   /// deterministic function of the delivery prefix.
   bool busy() const { return !locked_keys_.empty() || !parked_.empty(); }
+
+  /// True when no prepared lock and no parked transaction touches `table`
+  /// keys in [lo, hi) — the migration donor's drain condition: new prepares
+  /// against a frozen range vote NO, so once clear the range stays clear.
+  bool range_clear(const std::string& table, std::int64_t lo, std::int64_t hi) const;
 
   XsSnapBody snapshot() const;
   void restore(const XsSnapBody& snap);
@@ -178,6 +191,7 @@ class XsCoordinator {
     bool commit = false;
     bool responded = false;
     std::uint32_t decide_resends = 0;
+    std::uint64_t epoch = 0;  // routing-view epoch the participant set was computed at
   };
   struct ParkedTxn {
     std::uint64_t index = 0;
@@ -191,9 +205,11 @@ class XsCoordinator {
   void handle_prepare(net::NodeContext& ctx, std::uint64_t index,
                       const workload::TxnRequest& req);
   /// Runs this group's local prepare (plan + no-wait locks) for `orig` at
-  /// log position `index` and records it in `prepared_`. Idempotent.
+  /// log position `index` and records it in `prepared_`. Idempotent. A
+  /// non-null `veto` skips planning and records an immediate NO vote with
+  /// that error (epoch mismatch, frozen range).
   void prepare_local(net::NodeContext& ctx, std::uint64_t index, GroupId coordinator,
-                     const workload::TxnRequest& orig);
+                     const workload::TxnRequest& orig, const char* veto = nullptr);
   void handle_vote(net::NodeContext& ctx, const workload::TxnRequest& req);
   void handle_decide(net::NodeContext& ctx, const workload::TxnRequest& req);
   /// Applies (or drops) this group's staged share of the transaction and
@@ -221,10 +237,11 @@ class XsCoordinator {
   net::Transport& world_;
   NodeId self_;
   GroupId group_;
-  const ShardRouter& router_;
+  const RoutingView& view_;
   TxnExecutor& executor_;
   ExecuteFn execute_;
   obs::Tracer* tracer_;
+  RangeBlockFn range_block_;
   db::LockManager locks_;
 
   std::map<TxnKey, Prepared> prepared_;
@@ -268,6 +285,7 @@ struct Codec<core::XsSnapBody> {
       w.u8(c.commit);
       w.u8(c.responded);
       w.u32(c.decide_resends);
+      w.u64(c.epoch);
     }
   }
   static core::XsSnapBody decode(BytesReader& r) {
@@ -295,6 +313,7 @@ struct Codec<core::XsSnapBody> {
       c.commit = r.u8();
       c.responded = r.u8();
       c.decide_resends = r.u32();
+      c.epoch = r.u64();
     }
     return v;
   }

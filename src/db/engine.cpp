@@ -244,6 +244,7 @@ ExecResult Engine::do_insert(Txn& txn, const Statement& stmt, Table& table) {
     return result;
   }
   txn.undo.push_back(UndoEntry{UndoEntry::Kind::kInsert, stmt.table, key, {}});
+  touch(stmt.table, key);
   result.affected = 1;
   return result;
 }
@@ -267,6 +268,7 @@ ExecResult Engine::do_point(Txn& txn, const Statement& stmt, Table& table) {
             traits_.costs.byte_us * static_cast<double>(row_wire_size(*row)));
         txn.undo.push_back(UndoEntry{UndoEntry::Kind::kUpdate, stmt.table, stmt.key, *row});
         apply_sets(*row, stmt.sets);
+        touch(stmt.table, stmt.key);
         result.affected = 1;
       }
       return result;
@@ -276,6 +278,7 @@ ExecResult Engine::do_point(Txn& txn, const Statement& stmt, Table& table) {
       if (const Row* row = table.storage->get(stmt.key)) {
         txn.undo.push_back(UndoEntry{UndoEntry::Kind::kDelete, stmt.table, stmt.key, *row});
         table.storage->erase(stmt.key);
+        touch(stmt.table, stmt.key);
         result.affected = 1;
       }
       return result;
@@ -427,6 +430,7 @@ ExecResult Engine::do_predicate(Txn& txn, const Statement& stmt, Table& table) {
         txn.undo.push_back(UndoEntry{UndoEntry::Kind::kDelete, stmt.table, key, *row});
         table.storage->erase(key);
       }
+      touch(stmt.table, key);
       ++result.affected;
     }
   }
@@ -502,6 +506,9 @@ void Engine::rollback(Txn& txn) {
         table.storage->insert(it->key, it->old_row);
         break;
     }
+    // The key's value just changed again (back to its pre-statement state);
+    // re-touching may over-approximate the dirty set, which is always safe.
+    touch(it->table, it->key);
   }
   txn.undo.clear();
 }
@@ -561,6 +568,12 @@ std::size_t Engine::total_rows() const {
 }
 
 Engine::Snapshot Engine::snapshot(std::size_t batch_bytes) const {
+  return snapshot_filtered(batch_bytes, nullptr);
+}
+
+Engine::Snapshot Engine::snapshot_filtered(
+    std::size_t batch_bytes,
+    const std::function<bool(const std::string&, const Key&)>& include) const {
   Snapshot snap;
   double cost = 0.0;
   for (const auto& [name, table] : tables_) {
@@ -580,7 +593,8 @@ Engine::Snapshot Engine::snapshot(std::size_t batch_bytes) const {
       writer = BytesWriter();
       rows_in_batch = 0;
     };
-    table.storage->scan([&](const Key&, const Row& row) {
+    table.storage->scan([&](const Key& key, const Row& row) {
+      if (include && !include(name, key)) return true;
       serialize_row(writer, row);
       ++rows_in_batch;
       cost += traits_.costs.snap_serialize_col_us * static_cast<double>(cols) +
@@ -612,7 +626,124 @@ void Engine::reset_for_restore(const std::vector<TableSchema>& schemas) {
   tables_.clear();
   txns_.clear();
   locks_ = LockManager();
+  // Dirty history refers to state that just got wiped, so no delta can be
+  // served from here until a transfer completes and stamps the restore
+  // version as the new floor (a v1 transfer carries no version and leaves
+  // the engine unable to serve deltas — always safe, never wrong).
+  dirty_.clear();
+  tombstones_.clear();
+  delta_floor_ = UINT64_MAX;
   for (const TableSchema& schema : schemas) create_table(schema);
+}
+
+void Engine::touch(const std::string& table, const Key& key) {
+  if (table_of(table).storage->get(key) != nullptr) {
+    dirty_[table][key] = state_version_;
+    auto ts = tombstones_.find(table);
+    if (ts != tombstones_.end()) ts->second.erase(key);
+  } else {
+    tombstones_[table][key] = state_version_;
+    auto d = dirty_.find(table);
+    if (d != dirty_.end()) d->second.erase(key);
+  }
+}
+
+Engine::DeltaSnapshot Engine::delta_snapshot(std::uint64_t since,
+                                             std::size_t batch_bytes) const {
+  SHADOW_REQUIRE_MSG(delta_valid(since), "delta requested below the tracking floor");
+  DeltaSnapshot delta;
+  double cost = 0.0;
+  for (const auto& [name, touched] : dirty_) {
+    const Table& table = table_of(name);
+    const std::size_t cols = table.schema.columns.size();
+    // Deterministic emission: sort the touched keys (the maps are hashed).
+    std::vector<const Key*> keys;
+    for (const auto& [key, version] : touched) {
+      if (version > since) keys.push_back(&key);
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const Key* a, const Key* b) { return *a < *b; });
+    BytesWriter writer;
+    std::size_t rows_in_batch = 0;
+    auto flush = [&]() {
+      if (rows_in_batch == 0) return;
+      SnapshotBatch batch;
+      batch.table = name;
+      batch.data = writer.take();
+      batch.rows = rows_in_batch;
+      delta.total_bytes += batch.data.size();
+      delta.total_rows += batch.rows;
+      delta.upserts.push_back(std::move(batch));
+      writer = BytesWriter();
+      rows_in_batch = 0;
+    };
+    for (const Key* key : keys) {
+      const Row* row = table.storage->get(*key);
+      SHADOW_CHECK_MSG(row != nullptr, "dirty key missing from storage");
+      serialize_row(writer, *row);
+      ++rows_in_batch;
+      cost += traits_.costs.snap_serialize_col_us * static_cast<double>(cols) +
+              traits_.costs.snap_serialize_byte_us * static_cast<double>(row_wire_size(*row));
+      if (writer.size() >= batch_bytes) flush();
+    }
+    flush();
+  }
+  for (const auto& [name, gone] : tombstones_) {
+    std::vector<Key> keys;
+    for (const auto& [key, version] : gone) {
+      if (version > since) keys.push_back(key);
+    }
+    if (keys.empty()) continue;
+    std::sort(keys.begin(), keys.end());
+    delta.total_deletes += keys.size();
+    delta.deletes.emplace_back(name, std::move(keys));
+  }
+  delta.serialize_cost_us = static_cast<std::uint64_t>(cost);
+  return delta;
+}
+
+std::uint64_t Engine::restore_upsert_batch(const SnapshotBatch& batch) {
+  Table& table = table_of(batch.table);
+  BytesReader reader(batch.data);
+  double cost = 0.0;
+  while (!reader.done()) {
+    Row row = deserialize_row(reader);
+    cost += traits_.costs.snap_insert_row_us +
+            traits_.costs.snap_insert_byte_us * static_cast<double>(row_wire_size(row));
+    const Key key = table.schema.key_of(row);
+    if (Row* existing = table.storage->get_mutable(key)) {
+      *existing = std::move(row);
+    } else {
+      table.storage->insert(key, std::move(row));
+    }
+    touch(batch.table, key);
+  }
+  return static_cast<std::uint64_t>(cost);
+}
+
+std::uint64_t Engine::apply_deletes(const std::string& table_name,
+                                    const std::vector<Key>& keys) {
+  Table& table = table_of(table_name);
+  for (const Key& key : keys) {
+    table.storage->erase(key);
+    touch(table_name, key);
+  }
+  return traits_.costs.point_write_us * keys.size();
+}
+
+std::size_t Engine::delete_where_key(const std::string& table_name,
+                                     const std::function<bool(const Key&)>& include) {
+  Table& table = table_of(table_name);
+  std::vector<Key> doomed;
+  table.storage->scan([&](const Key& key, const Row&) {
+    if (include(key)) doomed.push_back(key);
+    return true;
+  });
+  for (const Key& key : doomed) {
+    table.storage->erase(key);
+    touch(table_name, key);
+  }
+  return doomed.size();
 }
 
 std::uint64_t Engine::state_digest() const {

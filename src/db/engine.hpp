@@ -117,10 +117,54 @@ class Engine {
 
   /// Serializes all tables in ~batch_bytes chunks (the paper uses ~50 KB).
   Snapshot snapshot(std::size_t batch_bytes = 50 * 1024) const;
+  /// Like snapshot(), but only rows where `include(table, key)` is true.
+  /// Used by shard rebalancing to serialize exactly the migrating range.
+  Snapshot snapshot_filtered(
+      std::size_t batch_bytes,
+      const std::function<bool(const std::string&, const Key&)>& include) const;
   /// Applies one batch; returns the CPU cost (row insertion dominates).
   std::uint64_t restore_batch(const SnapshotBatch& batch);
   /// Installs schemas and clears data (start of a full state transfer).
   void reset_for_restore(const std::vector<TableSchema>& schemas);
+
+  // -- incremental (delta) state transfer ---------------------------------------
+  //
+  // The replication layer stamps a monotone state version on the engine as it
+  // applies its command sequence (the same version at the same position on
+  // every replica of a group). Every mutation marks its key dirty at the
+  // current version; a delta snapshot "since V" then ships exactly the rows
+  // touched after V plus the keys deleted after V — a receiver whose state
+  // matches version V reaches the sender's state by upserting/deleting them.
+
+  /// Sets the current state version; mutations stamp their keys with it.
+  void set_state_version(std::uint64_t v) { state_version_ = v; }
+  std::uint64_t state_version() const { return state_version_; }
+  /// Oldest version a delta can be served from. 0 on a fresh engine (dirty
+  /// tracking has seen every mutation); raised to the restore version after a
+  /// full restore (history before it was never observed here).
+  std::uint64_t delta_floor() const { return delta_floor_; }
+  void set_delta_floor(std::uint64_t v) { delta_floor_ = v; }
+  bool delta_valid(std::uint64_t since) const { return since >= delta_floor_; }
+
+  struct DeltaSnapshot {
+    std::vector<SnapshotBatch> upserts;  // current rows of keys touched after `since`
+    std::vector<std::pair<std::string, std::vector<Key>>> deletes;  // per table
+    std::uint64_t serialize_cost_us = 0;
+    std::size_t total_bytes = 0;
+    std::size_t total_rows = 0;
+    std::size_t total_deletes = 0;
+  };
+  /// Requires delta_valid(since). Deterministic (keys emitted in order).
+  DeltaSnapshot delta_snapshot(std::uint64_t since, std::size_t batch_bytes = 50 * 1024) const;
+  /// Applies a delta batch: insert-or-overwrite each row. Returns CPU cost.
+  std::uint64_t restore_upsert_batch(const SnapshotBatch& batch);
+  /// Applies a delta's deletions for one table. Returns CPU cost.
+  std::uint64_t apply_deletes(const std::string& table, const std::vector<Key>& keys);
+  /// Deletes every row of `table` where `include(key)` (rebalancing: the
+  /// donor group drops the migrated range at the routing flip). Returns the
+  /// number of rows removed.
+  std::size_t delete_where_key(const std::string& table,
+                               const std::function<bool(const Key&)>& include);
 
   /// Order-independent digest of the full database state, for the paper's
   /// State-agreement property ("replicas start in the same state").
@@ -144,6 +188,9 @@ class Engine {
 
   Table& table_of(const std::string& name);
   const Table& table_of(const std::string& name) const;
+  /// Records a mutation of (table, key) at the current state version: the
+  /// key joins the dirty set if present in storage, the tombstone set if not.
+  void touch(const std::string& table, const Key& key);
   ExecResult run_statement(Txn& txn, TxnId id, const Statement& stmt);
   ExecResult do_insert(Txn& txn, const Statement& stmt, Table& table);
   ExecResult do_point(Txn& txn, const Statement& stmt, Table& table);
@@ -163,6 +210,15 @@ class Engine {
   std::function<net::Time()> clock_;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
+
+  // Delta state-transfer tracking: last-touch version per key. A key lives in
+  // at most one of the two maps (dirty if present in storage, tombstone if
+  // deleted). Cleared by reset_for_restore (the floor takes over).
+  using TouchMap = std::unordered_map<Key, std::uint64_t, KeyHash>;
+  std::uint64_t state_version_ = 0;
+  std::uint64_t delta_floor_ = 0;
+  std::map<std::string, TouchMap> dirty_;
+  std::map<std::string, TouchMap> tombstones_;
 };
 
 }  // namespace shadow::db

@@ -1,0 +1,113 @@
+#include "repl/compress.hpp"
+
+#include <cstdint>
+
+namespace shadow::repl {
+
+namespace {
+
+// Token format. A group starts with one flag byte; bit i of it describes the
+// i-th item that follows (LSB first): 0 = literal byte, 1 = a two-byte match
+// token. A match token packs a 12-bit distance (1..4096) and a 4-bit length
+// (kMinMatch..kMinMatch+15): byte0 = distance low 8, byte1 = distance high 4
+// in the upper nibble | (length - kMinMatch) in the lower nibble.
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = kMinMatch + 15;
+constexpr std::size_t kHashSize = 1 << 13;
+
+inline std::size_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - 13) & (kHashSize - 1);
+}
+
+}  // namespace
+
+Bytes compress_block(const Bytes& in) {
+  Bytes out;
+  if (in.empty()) return out;
+  out.reserve(in.size() / 2 + 16);
+
+  // head[h] is the most recent position whose first three bytes hashed to h.
+  std::vector<std::uint32_t> head(kHashSize, 0xffffffffu);
+
+  std::size_t pos = 0;
+  std::size_t flag_pos = 0;  // index of the current group's flag byte
+  int items_in_group = 8;    // force a fresh flag byte on the first item
+  auto begin_item = [&](bool is_match) {
+    if (items_in_group == 8) {
+      flag_pos = out.size();
+      out.push_back(0);
+      items_in_group = 0;
+    }
+    if (is_match) out[flag_pos] |= static_cast<std::uint8_t>(1u << items_in_group);
+    ++items_in_group;
+  };
+
+  while (pos < in.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= in.size()) {
+      const std::size_t h = hash3(in.data() + pos);
+      const std::uint32_t candidate = head[h];
+      if (candidate != 0xffffffffu && candidate < pos && pos - candidate <= kWindow) {
+        const std::size_t limit =
+            in.size() - pos < kMaxMatch ? in.size() - pos : kMaxMatch;
+        std::size_t len = 0;
+        while (len < limit && in[candidate + len] == in[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_dist = pos - candidate;
+        }
+      }
+      head[h] = static_cast<std::uint32_t>(pos);
+    }
+    if (best_len >= kMinMatch) {
+      begin_item(true);
+      out.push_back(static_cast<std::uint8_t>(best_dist & 0xff));
+      out.push_back(static_cast<std::uint8_t>(((best_dist >> 8) & 0x0f) << 4 |
+                                              (best_len - kMinMatch)));
+      // Index the skipped positions too, so later matches can reach them.
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= in.size() && p < end; ++p) {
+        head[hash3(in.data() + p)] = static_cast<std::uint32_t>(p);
+      }
+      pos = end;
+    } else {
+      begin_item(false);
+      out.push_back(in[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+bool decompress_block(const Bytes& in, std::size_t raw_len, Bytes& out) {
+  out.clear();
+  out.reserve(raw_len);
+  std::size_t pos = 0;
+  while (out.size() < raw_len) {
+    if (pos >= in.size()) return false;
+    const std::uint8_t flags = in[pos++];
+    for (int i = 0; i < 8 && out.size() < raw_len; ++i) {
+      if ((flags >> i & 1) == 0) {
+        if (pos >= in.size()) return false;
+        out.push_back(in[pos++]);
+      } else {
+        if (pos + 2 > in.size()) return false;
+        const std::size_t dist = static_cast<std::size_t>(in[pos]) |
+                                 (static_cast<std::size_t>(in[pos + 1] >> 4) << 8);
+        const std::size_t len = kMinMatch + (in[pos + 1] & 0x0f);
+        pos += 2;
+        if (dist == 0 || dist > out.size() || out.size() + len > raw_len) return false;
+        const std::size_t start = out.size() - dist;
+        for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+      }
+    }
+  }
+  return out.size() == raw_len && pos == in.size();
+}
+
+}  // namespace shadow::repl

@@ -1,0 +1,32 @@
+// Block compression for state-transfer frames.
+//
+// A dependency-free LZ77 variant (LZSS): back-references into a sliding
+// window, encoded as token groups of eight flag-prefixed items — either a
+// literal byte or a (distance, length) pair packed into two bytes. Snapshot
+// batches are highly repetitive (serialized rows share type tags, column
+// layout and padding), so even this small-window scheme routinely removes
+// most of the volume; the sender keeps the raw bytes whenever compression
+// does not shrink them, so the codec never inflates a frame by more than its
+// one-byte-per-eight flag overhead being avoided entirely.
+//
+// Layering: repl/ depends on common/ only here — no sim/, no net/tcp.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.hpp"
+
+namespace shadow::repl {
+
+/// Compresses `in`. The output may be larger than the input for
+/// incompressible data; callers compare sizes and keep the raw bytes then.
+Bytes compress_block(const Bytes& in);
+
+/// Decompresses a compress_block() output into exactly `raw_len` bytes.
+/// Returns false (leaving `out` unspecified) on malformed input — a
+/// truncated stream, a back-reference before the window start, or a length
+/// mismatch. Corruption inside the frame body is normally caught by the wire
+/// checksum first; this guards the decoder itself.
+bool decompress_block(const Bytes& in, std::size_t raw_len, Bytes& out);
+
+}  // namespace shadow::repl

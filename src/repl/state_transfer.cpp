@@ -1,0 +1,240 @@
+#include "repl/state_transfer.hpp"
+
+#include <utility>
+
+#include "net/message.hpp"
+#include "repl/compress.hpp"
+
+namespace shadow::repl {
+
+namespace {
+
+// Virtual CPU cost of the LZSS codec, per byte of raw payload. Calibrated to
+// the rough throughput of small-window LZ codecs (~250 MB/s compressing,
+// ~1 GB/s decompressing) so compression trades CPU for wire volume in the
+// simulator the way it would on hardware.
+constexpr double kCompressByteUs = 0.004;
+constexpr double kDecompressByteUs = 0.001;
+
+/// Wraps one serialized row batch as a v2 frame, compressing when asked and
+/// profitable, and sends it. Keeps the raw bytes when compression does not
+/// shrink them, so a frame never inflates.
+void send_batch2(net::NodeContext& ctx, NodeId to, const StateTransfer::SendV2& spec,
+                 const db::Engine::SnapshotBatch& batch, std::uint8_t base_flags,
+                 SendStats& stats) {
+  SnapBatch2Body body;
+  body.table = batch.table;
+  body.flags = base_flags;
+  body.raw_len = static_cast<std::uint32_t>(batch.data.size());
+  body.rows = batch.rows;
+  body.tag = spec.tag;
+  if (spec.compress) {
+    Bytes packed = compress_block(batch.data);
+    ctx.charge(static_cast<net::Time>(kCompressByteUs * static_cast<double>(batch.data.size())));
+    if (!packed.empty() && packed.size() < batch.data.size()) {
+      body.flags |= kBatchCompressed;
+      body.payload = std::move(packed);
+    } else {
+      body.payload = batch.data;
+    }
+  } else {
+    body.payload = batch.data;
+  }
+  stats.raw_bytes += batch.data.size();
+  stats.wire_bytes += body.payload.size();
+  ++stats.frames;
+  ctx.send(to, net::make_msg(spec.headers.batch, std::move(body)));
+}
+
+}  // namespace
+
+SendStats StateTransfer::send_full_v1(net::NodeContext& ctx, const db::Engine& engine,
+                                      NodeId to, SendV1 spec) {
+  // Serialize here (cost charged on this machine), stream ~50 KB batches;
+  // the receiver pays the insertion cost per batch.
+  const db::Engine::Snapshot snap = engine.snapshot(spec.batch_bytes);
+  ctx.charge(snap.serialize_cost_us);
+  if (spec.tracer) {
+    spec.tracer->state_transfer(ctx.now(), ctx.self(), obs::StatePhase::kBegin, 0, to);
+  }
+  spec.begin.schemas = snap.schemas;
+  ctx.send(to, net::make_msg(spec.headers.begin, std::move(spec.begin)));
+  SendStats stats;
+  for (const auto& batch : snap.batches) {
+    stats.raw_bytes += batch.data.size();
+    stats.wire_bytes += batch.data.size();
+    ++stats.frames;
+    ctx.send(to, net::make_msg(spec.headers.batch, SnapBatchBody{batch}));
+  }
+  stats.rows = snap.total_rows;
+  if (spec.mid_stream) spec.mid_stream();
+  if (spec.done_carries_rows) spec.done.rows = snap.total_rows;
+  ctx.send(to, net::make_msg(spec.headers.done, std::move(spec.done)));
+  return stats;
+}
+
+SendStats StateTransfer::send_v2(net::NodeContext& ctx, const db::Engine& engine,
+                                 NodeId to, SendV2 spec) {
+  SendStats stats;
+  SnapDone2Body done;
+  done.base = spec.done_base;
+  done.tag = spec.tag;
+  // Delta only when the receiver's base is still covered by dirty tracking
+  // and not ahead of us (a filtered copy always ships the range in full).
+  const bool use_delta = spec.delta_since.has_value() && !spec.filter &&
+                         engine.delta_valid(*spec.delta_since) &&
+                         *spec.delta_since <= engine.state_version();
+  if (use_delta) {
+    const db::Engine::DeltaSnapshot delta =
+        engine.delta_snapshot(*spec.delta_since, spec.batch_bytes);
+    ctx.charge(delta.serialize_cost_us);
+    if (spec.tracer) {
+      spec.tracer->state_transfer(ctx.now(), ctx.self(), obs::StatePhase::kBegin, 0, to);
+      spec.tracer->count("repl.delta_hits");
+    }
+    SnapBegin2Body begin;
+    begin.base = spec.begin_base;  // schemas stay empty: the receiver keeps its tables
+    begin.mode = static_cast<std::uint8_t>(TransferMode::kDelta);
+    begin.state_version = engine.state_version();
+    begin.tag = spec.tag;
+    ctx.send(to, net::make_msg(spec.headers.begin, std::move(begin)));
+    for (const auto& batch : delta.upserts) {
+      send_batch2(ctx, to, spec, batch, kBatchDeltaUpsert, stats);
+    }
+    for (const auto& [table, keys] : delta.deletes) {
+      ctx.send(to, net::make_msg(spec.headers.deletes, SnapDelete2Body{table, keys, spec.tag}));
+      ++stats.frames;
+    }
+    stats.rows = delta.total_rows;
+    stats.delta = true;
+  } else {
+    const db::Engine::Snapshot snap =
+        spec.filter ? engine.snapshot_filtered(spec.batch_bytes, spec.filter)
+                    : engine.snapshot(spec.batch_bytes);
+    ctx.charge(snap.serialize_cost_us);
+    if (spec.tracer) {
+      spec.tracer->state_transfer(ctx.now(), ctx.self(), obs::StatePhase::kBegin, 0, to);
+    }
+    SnapBegin2Body begin;
+    begin.base = spec.begin_base;
+    begin.base.schemas = snap.schemas;
+    begin.mode = static_cast<std::uint8_t>(TransferMode::kFull);
+    begin.state_version = engine.state_version();
+    begin.tag = spec.tag;
+    ctx.send(to, net::make_msg(spec.headers.begin, std::move(begin)));
+    for (const auto& batch : snap.batches) {
+      send_batch2(ctx, to, spec, batch, 0, stats);
+    }
+    stats.rows = snap.total_rows;
+  }
+  if (spec.mid_stream) spec.mid_stream();
+  if (spec.done_carries_rows) done.base.rows = stats.rows;
+  done.frames = stats.frames;
+  ctx.send(to, net::make_msg(spec.headers.done, std::move(done)));
+  if (spec.tracer) {
+    spec.tracer->count("repl.bytes_raw", stats.raw_bytes);
+    spec.tracer->count("repl.bytes_wire", stats.wire_bytes);
+  }
+  return stats;
+}
+
+bool StateTransfer::unwrap_batch(const SnapBatch2Body& body, db::Engine::SnapshotBatch& out) {
+  out.table = body.table;
+  out.rows = body.rows;
+  if ((body.flags & kBatchCompressed) != 0) {
+    Bytes raw;
+    if (!decompress_block(body.payload, body.raw_len, raw)) return false;
+    out.data = std::move(raw);
+  } else {
+    if (body.payload.size() != body.raw_len) return false;
+    out.data = body.payload;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ receiver --
+
+void StateTransfer::Receiver::begin_full(db::Engine& engine, const SnapBeginBody& body) {
+  engine.reset_for_restore(body.schemas);
+  awaiting_ = true;
+  delta_ = false;
+  // The snapshot's order is claimed only once the full snapshot applied: a
+  // partially-restored replica must not present itself as up to date in a
+  // later election (a crash of the sender mid-stream would otherwise let
+  // garbage state win).
+  pending_order_ = body.order;
+  sender_version_ = 0;
+  frames_seen_ = 0;
+}
+
+void StateTransfer::Receiver::begin_v2(db::Engine& engine, const SnapBegin2Body& body) {
+  if (body.mode == static_cast<std::uint8_t>(TransferMode::kDelta)) {
+    awaiting_ = true;
+    delta_ = true;
+    pending_order_ = body.base.order;
+    frames_seen_ = 0;
+    // Advance to the sender's version up front so the upserts about to be
+    // applied mark their keys at it — this engine must be able to serve a
+    // correct delta of its own later.
+    engine.set_state_version(body.state_version);
+  } else {
+    begin_full(engine, body.base);
+  }
+  sender_version_ = body.state_version;
+}
+
+void StateTransfer::Receiver::on_batch(net::NodeContext& ctx, db::Engine& engine,
+                                       const SnapBatchBody& body, NodeId from) {
+  if (!awaiting_) return;
+  ctx.charge(engine.restore_batch(body.batch));
+  if (cfg_.tracer) {
+    cfg_.tracer->state_transfer(ctx.now(), cfg_.self, obs::StatePhase::kBatch,
+                                body.batch.data.size(), from);
+  }
+}
+
+bool StateTransfer::Receiver::on_batch2(net::NodeContext& ctx, db::Engine& engine,
+                                        const SnapBatch2Body& body, NodeId from) {
+  if (!awaiting_) return true;
+  db::Engine::SnapshotBatch batch;
+  if (!unwrap_batch(body, batch)) return false;
+  if ((body.flags & kBatchCompressed) != 0) {
+    ctx.charge(static_cast<net::Time>(kDecompressByteUs * static_cast<double>(batch.data.size())));
+  }
+  ctx.charge((body.flags & kBatchDeltaUpsert) != 0 ? engine.restore_upsert_batch(batch)
+                                                   : engine.restore_batch(batch));
+  ++frames_seen_;
+  if (cfg_.tracer) {
+    cfg_.tracer->state_transfer(ctx.now(), cfg_.self, obs::StatePhase::kBatch,
+                                body.payload.size(), from);
+  }
+  return true;
+}
+
+void StateTransfer::Receiver::on_delete2(net::NodeContext& ctx, db::Engine& engine,
+                                         const SnapDelete2Body& body) {
+  if (!awaiting_) return;
+  ctx.charge(engine.apply_deletes(body.table, body.keys));
+  ++frames_seen_;
+}
+
+std::uint64_t StateTransfer::Receiver::finish(db::Engine& engine) {
+  awaiting_ = false;
+  frames_seen_ = 0;
+  if (sender_version_ != 0) {
+    // A full restore never observed history before the sender's version, so
+    // deltas cannot be served from below it; after a delta the existing
+    // floor still holds.
+    if (!delta_) engine.set_delta_floor(sender_version_);
+    engine.set_state_version(sender_version_);
+  }
+  return pending_order_;
+}
+
+void StateTransfer::Receiver::reset() {
+  awaiting_ = false;
+  delta_ = false;
+  frames_seen_ = 0;
+}
+
+}  // namespace shadow::repl

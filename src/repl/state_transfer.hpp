@@ -1,0 +1,172 @@
+// The unified state-transfer engine.
+//
+// Sender and receiver state machines for streaming database state between
+// replicas, shared by every replication protocol in the stack:
+//
+//   * SMR crash-restart rejoin and spare promotion (core/smr.cpp)
+//   * primary-backup recovery (core/pbr.cpp)
+//   * chain-replication recovery (core/chain.cpp)
+//   * shard-range migration (core/migrate.cpp)
+//
+// A transfer is one `begin` message (schemas + dedup floor + protocol
+// bookkeeping), N ~50 KB row batches, optional protocol riders, and one
+// `done`. The protocols differ only in which headers the stream is mounted
+// on and what they do at the endpoints, so they pass a StreamHeaders triple
+// plus begin/done templates and keep their own epilogue logic.
+//
+// Two stream versions (bodies in repl/wire.hpp):
+//   v1 — uncompressed full copy, byte- and cost-identical to the historical
+//        per-protocol implementations (pinned by tests/repl/).
+//   v2 — adds block compression and incremental (delta) mode: when the
+//        receiver presents a state version the sender's dirty tracking still
+//        covers, only rows touched since then (plus deletions) are shipped.
+//
+// Layering: repl/ sees common/, wire/, net/ (transport-independent parts),
+// obs/ and db/ — never sim/ or net/tcp (enforced by scripts/check.sh).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/ids.hpp"
+#include "db/engine.hpp"
+#include "net/transport.hpp"
+#include "obs/trace.hpp"
+#include "repl/wire.hpp"
+
+namespace shadow::repl {
+
+/// The message headers one protocol mounts a snapshot stream on.
+struct StreamHeaders {
+  std::string begin;
+  std::string batch;
+  std::string done;
+  std::string deletes;  // v2 delta deletions; unused by v1 streams
+};
+
+/// Volume accounting for one sent stream (feeds the repl.* counters and the
+/// Fig. 10(b) byte-volume table). Byte counts cover row payloads only, not
+/// framing or deletion lists, so raw/wire ratios compare like with like.
+struct SendStats {
+  std::size_t raw_bytes = 0;   // serialized row bytes before compression
+  std::size_t wire_bytes = 0;  // row payload bytes actually sent
+  std::uint64_t rows = 0;
+  std::uint64_t frames = 0;  // batch + delete messages (v2 gap detection)
+  bool delta = false;
+};
+
+class StateTransfer {
+ public:
+  using KeyFilter = std::function<bool(const std::string&, const db::Key&)>;
+
+  /// v1 sender parameters. `begin` arrives with config/order/dedup_seqs
+  /// filled by the protocol; schemas are filled from the snapshot here.
+  /// `done` is the protocol's template; rows is filled from the snapshot
+  /// only when `done_carries_rows` (SMR reports totals, PBR/chain send 0).
+  struct SendV1 {
+    StreamHeaders headers;
+    std::size_t batch_bytes = 50 * 1024;
+    SnapBeginBody begin;
+    SnapDoneBody done;
+    bool done_carries_rows = false;
+    /// Runs after the row batches, before `done` — SMR mounts its 2PC
+    /// coordination rider here.
+    std::function<void()> mid_stream;
+    obs::Tracer* tracer = nullptr;
+  };
+
+  /// Serializes the full database and streams it uncompressed: charge
+  /// serialization, trace kBegin, send begin / batches / rider / done.
+  static SendStats send_full_v1(net::NodeContext& ctx, const db::Engine& engine,
+                                NodeId to, SendV1 spec);
+
+  /// v2 sender parameters.
+  struct SendV2 {
+    StreamHeaders headers;
+    std::size_t batch_bytes = 50 * 1024;
+    SnapBeginBody begin_base;
+    SnapDoneBody done_base;
+    bool done_carries_rows = false;
+    std::uint64_t tag = 0;  // stream id (0 rejoin; migration id otherwise)
+    bool compress = false;
+    /// Receiver's state version; a delta is sent when the sender's dirty
+    /// tracking still covers it (engine.delta_valid), a full copy otherwise.
+    std::optional<std::uint64_t> delta_since;
+    /// Restricts a full copy to matching rows (shard-range migration).
+    /// Ignored in delta mode, which always covers the whole keyspace.
+    KeyFilter filter;
+    std::function<void()> mid_stream;
+    obs::Tracer* tracer = nullptr;
+  };
+
+  /// Streams state in the v2 framing (full or delta, optionally compressed)
+  /// and bumps the repl.bytes_raw / repl.bytes_wire / repl.delta_hits
+  /// counters on the sender's tracer.
+  static SendStats send_v2(net::NodeContext& ctx, const db::Engine& engine,
+                           NodeId to, SendV2 spec);
+
+  /// Recovers the v1 SnapshotBatch a v2 batch frame carries, decompressing
+  /// if flagged. Returns false on a malformed compressed payload (the caller
+  /// drops the stream and re-requests; wire checksums catch corruption
+  /// first, this guards the decoder itself).
+  static bool unwrap_batch(const SnapBatch2Body& body, db::Engine::SnapshotBatch& out);
+
+  /// Receiver state machine: one in-progress inbound stream. Owns the
+  /// awaiting/pending-order state the protocols used to keep ad hoc; the
+  /// dedup-table install and protocol epilogues stay with the caller.
+  class Receiver {
+   public:
+    struct Config {
+      obs::Tracer* tracer = nullptr;
+      NodeId self{0};
+    };
+    explicit Receiver(Config cfg) : cfg_(cfg) {}
+    Receiver() = default;
+
+    /// v1 / v2-full prologue: installs schemas, clears data, stashes the
+    /// order the finished snapshot will represent.
+    void begin_full(db::Engine& engine, const SnapBeginBody& body);
+    /// v2 prologue for either mode. In delta mode the engine keeps its rows
+    /// and only upserts/deletes are applied.
+    void begin_v2(db::Engine& engine, const SnapBegin2Body& body);
+
+    /// v1 row batch: restore, charge, trace kBatch.
+    void on_batch(net::NodeContext& ctx, db::Engine& engine,
+                  const SnapBatchBody& body, NodeId from);
+    /// v2 row batch (counts toward the frame total). Returns false on a
+    /// malformed compressed payload; the stream should be abandoned.
+    bool on_batch2(net::NodeContext& ctx, db::Engine& engine,
+                   const SnapBatch2Body& body, NodeId from);
+    /// v2 deletion list (counts toward the frame total).
+    void on_delete2(net::NodeContext& ctx, db::Engine& engine,
+                    const SnapDelete2Body& body);
+
+    /// True when every frame the v2 epilogue announces actually arrived
+    /// (checksum-dropped frames surface as a gap here).
+    bool complete(const SnapDone2Body& done) const { return frames_seen_ == done.frames; }
+
+    /// Ends the stream: stamps the engine with the sender's state version
+    /// and, after a full restore, raises the delta floor (history before the
+    /// restore was never observed here). Returns the represented order.
+    std::uint64_t finish(db::Engine& engine);
+    /// Abandons an in-progress stream (sender crash, view change, gap).
+    void reset();
+
+    bool awaiting() const { return awaiting_; }
+    bool delta() const { return delta_; }
+    std::uint64_t pending_order() const { return pending_order_; }
+    std::uint64_t sender_version() const { return sender_version_; }
+
+   private:
+    Config cfg_;
+    bool awaiting_ = false;
+    bool delta_ = false;
+    std::uint64_t pending_order_ = 0;
+    std::uint64_t sender_version_ = 0;
+    std::uint64_t frames_seen_ = 0;
+  };
+};
+
+}  // namespace shadow::repl

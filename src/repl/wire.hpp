@@ -1,0 +1,241 @@
+// The unified, versioned state-transfer wire codec.
+//
+// Every ShadowDB replication protocol ships database state as the same
+// stream shape: one `begin` (schemas + dedup floor + protocol bookkeeping),
+// N row batches, protocol riders, one `done` (totals + resume bookkeeping).
+// This header defines the bodies ONCE, in two codec versions:
+//
+//   * v1 — the original uncompressed full-copy bodies (SnapBeginBody /
+//     SnapBatchBody / SnapDoneBody), byte-for-byte identical to what the
+//     per-protocol copies in smr/pbr/chain historically emitted. PBR and
+//     chain use them under their own headers; SMR rejoin and spare promotion
+//     use them under the smr-snap-* headers. Pinned by
+//     tests/repl/state_transfer_test.cpp.
+//
+//   * v2 — the compressed / incremental stream (SnapBegin2Body /
+//     SnapBatch2Body / SnapDelete2Body / SnapDone2Body): each row batch
+//     carries a flags byte (block-compressed payload, delta-upsert
+//     semantics), deltas additionally ship per-table deletion lists, and the
+//     epilogue carries a frame count so a receiver can tell a complete
+//     stream from one with checksum-dropped frames. Used by SMR rejoin when
+//     both ends opt in, and by shard-range migration.
+//
+// Layering: repl/ sees common/, wire/ and db/ only — never sim/, net/tcp,
+// consensus/ or tob/ (enforced by scripts/check.sh).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "db/engine.hpp"
+#include "db/wire.hpp"
+
+namespace shadow::repl {
+
+/// Snapshot stream prologue: schemas + dedup table + represented order.
+struct SnapBeginBody {
+  ConfigSeq config = 0;
+  std::vector<db::TableSchema> schemas;
+  std::vector<std::pair<std::uint32_t, RequestSeq>> dedup_seqs;
+  std::uint64_t order = 0;  // executed-order the snapshot represents
+};
+
+/// One ~50 KB chunk of serialized rows.
+struct SnapBatchBody {
+  db::Engine::SnapshotBatch batch;
+};
+
+/// Snapshot stream epilogue / recovery acknowledgement. For SMR
+/// crash-restart rejoin it additionally carries the TOB resume point: the
+/// first slot the joiner must deliver itself, the global delivery index of
+/// that slot, and the exact keys of control commands (reconfig/rejoin) the
+/// snapshot covers — control clients use fresh ids per incarnation, so the
+/// per-client dedup floor cannot cover them. Zeroed fields (PBR, chain,
+/// plain spare promotion) mean "no TOB resume".
+struct SnapDoneBody {
+  SnapDoneBody() = default;
+  explicit SnapDoneBody(ConfigSeq c, std::uint64_t r = 0) : config(c), rows(r) {}
+
+  ConfigSeq config = 0;
+  std::uint64_t rows = 0;  // total rows restored (SMR reports it back)
+  std::uint64_t resume_slot = 0;
+  std::uint64_t resume_index = 0;  // delivery index of resume_slot's first command
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> control_keys;
+};
+
+// -- v2: compressed / incremental stream --------------------------------------
+
+/// Stream mode announced by the v2 prologue.
+enum class TransferMode : std::uint8_t {
+  kFull = 0,   // receiver resets and rebuilds from the batches
+  kDelta = 1,  // receiver keeps its state and applies upserts + deletes
+};
+
+/// SnapBatch2Body.flags bits.
+inline constexpr std::uint8_t kBatchCompressed = 1;   // payload is an LZSS block
+inline constexpr std::uint8_t kBatchDeltaUpsert = 2;  // rows overwrite on key clash
+
+/// v2 prologue. `tag` disambiguates concurrent streams sharing one header
+/// (0 for rejoin; the migration id for shard rebalancing). `state_version`
+/// is the sender's engine version at serialization — the receiver's new
+/// delta floor, and the base a future delta can be requested against.
+struct SnapBegin2Body {
+  SnapBeginBody base;
+  std::uint8_t mode = 0;  // TransferMode
+  std::uint64_t state_version = 0;
+  std::uint64_t tag = 0;
+};
+
+/// One v2 row batch: `raw` bytes of serialized rows, possibly compressed.
+struct SnapBatch2Body {
+  std::string table;
+  std::uint8_t flags = 0;
+  std::uint32_t raw_len = 0;  // payload length before compression
+  std::uint64_t rows = 0;
+  Bytes payload;
+  std::uint64_t tag = 0;
+};
+
+/// Delta deletions for one table (keys removed since the receiver's base).
+struct SnapDelete2Body {
+  std::string table;
+  std::vector<db::Key> keys;
+  std::uint64_t tag = 0;
+};
+
+/// v2 epilogue. `frames` counts the batch + delete messages of the stream so
+/// the receiver can detect checksum-dropped frames and re-request.
+struct SnapDone2Body {
+  SnapDoneBody base;
+  std::uint64_t frames = 0;
+  std::uint64_t tag = 0;
+};
+
+}  // namespace shadow::repl
+
+namespace shadow::wire {
+
+template <>
+struct Codec<repl::SnapBeginBody> {
+  static void encode(BytesWriter& w, const repl::SnapBeginBody& v) {
+    w.u64(v.config);
+    Codec<std::vector<db::TableSchema>>::encode(w, v.schemas);
+    Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::encode(w, v.dedup_seqs);
+    w.u64(v.order);
+  }
+  static repl::SnapBeginBody decode(BytesReader& r) {
+    repl::SnapBeginBody v;
+    v.config = r.u64();
+    v.schemas = Codec<std::vector<db::TableSchema>>::decode(r);
+    v.dedup_seqs = Codec<std::vector<std::pair<std::uint32_t, RequestSeq>>>::decode(r);
+    v.order = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<repl::SnapBatchBody> {
+  static void encode(BytesWriter& w, const repl::SnapBatchBody& v) {
+    Codec<db::Engine::SnapshotBatch>::encode(w, v.batch);
+  }
+  static repl::SnapBatchBody decode(BytesReader& r) {
+    return {Codec<db::Engine::SnapshotBatch>::decode(r)};
+  }
+};
+
+template <>
+struct Codec<repl::SnapDoneBody> {
+  static void encode(BytesWriter& w, const repl::SnapDoneBody& v) {
+    w.u64(v.config);
+    w.u64(v.rows);
+    w.u64(v.resume_slot);
+    w.u64(v.resume_index);
+    Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::encode(w, v.control_keys);
+  }
+  static repl::SnapDoneBody decode(BytesReader& r) {
+    repl::SnapDoneBody v;
+    v.config = r.u64();
+    v.rows = r.u64();
+    v.resume_slot = r.u64();
+    v.resume_index = r.u64();
+    v.control_keys = Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Codec<repl::SnapBegin2Body> {
+  static void encode(BytesWriter& w, const repl::SnapBegin2Body& v) {
+    Codec<repl::SnapBeginBody>::encode(w, v.base);
+    w.u8(v.mode);
+    w.u64(v.state_version);
+    w.u64(v.tag);
+  }
+  static repl::SnapBegin2Body decode(BytesReader& r) {
+    repl::SnapBegin2Body v;
+    v.base = Codec<repl::SnapBeginBody>::decode(r);
+    v.mode = r.u8();
+    v.state_version = r.u64();
+    v.tag = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<repl::SnapBatch2Body> {
+  static void encode(BytesWriter& w, const repl::SnapBatch2Body& v) {
+    w.str(v.table);
+    w.u8(v.flags);
+    w.u32(v.raw_len);
+    w.u64(v.rows);
+    Codec<Bytes>::encode(w, v.payload);
+    w.u64(v.tag);
+  }
+  static repl::SnapBatch2Body decode(BytesReader& r) {
+    repl::SnapBatch2Body v;
+    v.table = r.str();
+    v.flags = r.u8();
+    v.raw_len = r.u32();
+    v.rows = r.u64();
+    v.payload = Codec<Bytes>::decode(r);
+    v.tag = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<repl::SnapDelete2Body> {
+  static void encode(BytesWriter& w, const repl::SnapDelete2Body& v) {
+    w.str(v.table);
+    Codec<std::vector<db::Key>>::encode(w, v.keys);
+    w.u64(v.tag);
+  }
+  static repl::SnapDelete2Body decode(BytesReader& r) {
+    repl::SnapDelete2Body v;
+    v.table = r.str();
+    v.keys = Codec<std::vector<db::Key>>::decode(r);
+    v.tag = r.u64();
+    return v;
+  }
+};
+
+template <>
+struct Codec<repl::SnapDone2Body> {
+  static void encode(BytesWriter& w, const repl::SnapDone2Body& v) {
+    Codec<repl::SnapDoneBody>::encode(w, v.base);
+    w.u64(v.frames);
+    w.u64(v.tag);
+  }
+  static repl::SnapDone2Body decode(BytesReader& r) {
+    repl::SnapDone2Body v;
+    v.base = Codec<repl::SnapDoneBody>::decode(r);
+    v.frames = r.u64();
+    v.tag = r.u64();
+    return v;
+  }
+};
+
+}  // namespace shadow::wire

@@ -358,8 +358,14 @@ void TobNode::pause_for_rejoin() {
 }
 
 void TobNode::resume_from(const ResumePoint& rp) {
-  SHADOW_REQUIRE_MSG(delivery_log_.empty(),
-                     "resume_from is only valid on a freshly restarted node");
+  // Two callers: a freshly restarted process (empty log) and a simulator
+  // crash-restart where the node object survived with its history intact —
+  // the retained engine state is what makes the rejoin a delta. Either way
+  // the snapshot supersedes everything delivered so far: rebase the index
+  // space at the resume point and drop the superseded log. (The donor serves
+  // the resume point at its own delivery frontier, which is at or ahead of
+  // any paused node's, so rp.slot/rp.index_base never move us backwards.)
+  delivery_log_.clear();
   next_deliver_slot_ = std::max(next_deliver_slot_, rp.slot);
   next_propose_slot_ = std::max(next_propose_slot_, rp.slot);
   index_base_ = rp.index_base;

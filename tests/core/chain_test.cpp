@@ -156,7 +156,7 @@ TEST(ChainReplication, NoAckTrafficInNormalCase) {
   client->start();
   fx.world.run_until(60000000);
   ASSERT_TRUE(client->done());
-  EXPECT_EQ(counter.sends["chain-fwd"], 2 * 30);  // head→mid, mid→tail per txn
+  EXPECT_EQ(counter.sends["repl-fwd"], 2 * 30);  // head→mid, mid→tail per txn
   EXPECT_EQ(counter.sends["pbr-ack"], 0);
   EXPECT_EQ(counter.sends["chain-recovered"], 0);
 }

@@ -131,10 +131,7 @@ std::vector<sim::Message> sample_messages() {
   begin.order = 21;
   const core::ReplSnapBatchBody batch{{"accounts", Bytes{1, 2, 3, 4}, 2}};
   const core::ReplSnapDoneBody done{3, 2};
-  for (const char* header :
-       {core::kPbrForwardHeader, core::kChainFwdHeader}) {
-    samples.push_back(sim::make_msg(header, fwd));
-  }
+  samples.push_back(sim::make_msg(core::kReplFwdHeader, fwd));
   samples.push_back(sim::make_msg(core::kPbrAckHeader, ack));
   for (const char* header : {core::kPbrElectHeader, core::kChainElectHeader}) {
     samples.push_back(sim::make_msg(header, elect));
