@@ -7,13 +7,15 @@
 // faults. A failing plan prints its replay seed and the minimized schedule.
 //
 //   chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]
-//                  [--shards N] [--cross-shard-pct P]
+//                  [--shards N] [--cross-shard-pct P] [--read-pct P]
 //                  [--rebalance-at-ms T] [--kill-donor]
 //                  [--replay PLAN_SEED] [--no-minimize] [--verbose]
 //
 // --shards > 1 runs every plan against a sharded cluster (N consensus
 // groups over the same machines, cross-shard 2PC transfers in the mix);
-// faults then hit the victim's slice of every group at once.
+// faults then hit the victim's slice of every group at once. --read-pct
+// additionally makes that % of transactions cross-shard snapshot reads, so
+// crashes land mid-version-cut-exchange and mid-read-fanout.
 //
 // --rebalance-at-ms T (with --shards > 1) broadcasts a `::mig-split` moving
 // a quarter of the keyspace from group 0 to group 1 at virtual time T ms,
@@ -99,6 +101,8 @@ int main(int argc, char** argv) {
       config.shards = parse_u64(next());
     } else if (arg == "--cross-shard-pct") {
       config.cross_shard_pct = parse_u64(next());
+    } else if (arg == "--read-pct") {
+      config.read_pct = parse_u64(next());
     } else if (arg == "--rebalance-at-ms") {
       config.rebalance_at = static_cast<shadow::net::Time>(parse_u64(next())) * 1000;
     } else if (arg == "--kill-donor") {
@@ -110,7 +114,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: chaos_campaign [--plans N] [--seed S] [--txns T] [--clients C]\n"
-                   "                      [--shards N] [--cross-shard-pct P]\n"
+                   "                      [--shards N] [--cross-shard-pct P] [--read-pct P]\n"
                    "                      [--rebalance-at-ms T] [--kill-donor]\n"
                    "                      [--replay PLAN_SEED] [--no-minimize] [--verbose]\n");
       return 2;

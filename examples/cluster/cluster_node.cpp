@@ -58,6 +58,7 @@ struct Args {
   std::uint64_t suspect_ms = 10000;  // SMR failure-detection suspicion timeout
   std::size_t shards = 1;        // SMR only: independent consensus groups
   std::size_t cross_shard_pct = 10;  // sharded workload: % cross-shard transfers
+  std::size_t read_pct = 0;      // sharded workload: % cross-shard pair reads
   std::uint64_t epoch = 0;       // restart epoch tagged in group_info events
   std::uint64_t split_at_ms = 0;  // sharded SMR: broadcast ::mig-split at T ms
 };
@@ -67,7 +68,7 @@ void print_usage(std::FILE* out) {
                "usage: cluster_node --mode pbr|smr --host 0..%zu --base-port P"
                " [--txns N] [--clients C] [--pipelined] [--run-for-ms M] [--trace FILE]\n"
                "       [--rejoin] [--suspect-ms M] [--shards N] [--cross-shard-pct P]"
-               " [--epoch E] [--split-at-ms T]\n"
+               " [--read-pct P] [--epoch E] [--split-at-ms T]\n"
                "       cluster_node check TRACE...\n"
                "       cluster_node --help\n"
                "\n"
@@ -91,6 +92,10 @@ void print_usage(std::FILE* out) {
                "                    consensus groups over the same hosts;\n"
                "                    --cross-shard-pct of transactions become 2PC\n"
                "                    transfers (default 10)\n"
+               "  --read-pct P      (sharded smr) P%% of transactions become cross-shard\n"
+               "                    bank.balance2 pair reads served by the lock-free\n"
+               "                    snapshot-read path — no consensus log entries, no\n"
+               "                    prepare locks (default 0)\n"
                "  --split-at-ms T   (sharded smr) every process broadcasts a ::mig-split\n"
                "                    moving bank keys [accounts/4, accounts/2) from group\n"
                "                    0 to group 1 at T ms after start (the TOB collapses\n"
@@ -190,10 +195,22 @@ int run_node(const Args& args) {
           args.txns / args.clients + (c < args.txns % args.clients ? 1 : 0);
       auto rng = std::make_shared<Rng>(7 + c);
       const std::size_t cross_pct = args.shards > 1 ? args.cross_shard_pct : 0;
+      const std::size_t read_pct = args.shards > 1 ? args.read_pct : 0;
       clients.push_back(std::make_unique<core::DbClient>(
           transport, client_nodes[c], ClientId{static_cast<std::uint32_t>(c + 1)},
-          client_options, [rng, bank, cross_pct]() {
-            if (cross_pct > 0 && rng->next() % 100 < cross_pct) {
+          client_options, [rng, bank, cross_pct, read_pct]() {
+            const std::uint64_t pick = rng->next() % 100;
+            if (pick < read_pct) {
+              // Cross-shard pair read: adjacent accounts land in different
+              // mod-N shards, so this exercises the snapshot-read version-cut
+              // exchange over real TCP sockets.
+              const auto from = static_cast<std::int64_t>(
+                  rng->next() % static_cast<std::uint64_t>(bank.accounts));
+              const std::int64_t to = (from + 1) % bank.accounts;
+              return std::make_pair(std::string(workload::bank::kBalance2Proc),
+                                    workload::Params{db::Value(from), db::Value(to)});
+            }
+            if (cross_pct > 0 && pick < read_pct + cross_pct) {
               // Cross-shard transfer: adjacent accounts always land in
               // different mod-N shards. Amount 1 keeps the global balance
               // easy to audit.
@@ -424,6 +441,8 @@ int main(int argc, char** argv) {
       args.shards = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--cross-shard-pct") {
       args.cross_shard_pct = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--read-pct") {
+      args.read_pct = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--epoch") {
       args.epoch = std::strtoull(value().c_str(), nullptr, 10);
     } else if (flag == "--split-at-ms") {
@@ -440,6 +459,8 @@ int main(int argc, char** argv) {
   if (args.pipelined && args.pbr) usage();  // the pipeline is the SMR path
   if (args.shards == 0 || (args.shards > 1 && args.pbr)) usage();  // sharding is SMR-only
   if (args.cross_shard_pct > 100) usage();
+  if (args.read_pct > 100 || args.cross_shard_pct + args.read_pct > 100) usage();
+  if (args.read_pct > 0 && args.shards < 2) usage();  // pair reads need 2 groups
   // Rejoin is the SMR snapshot path; host 0 serves the snapshots (and holds
   // the Paxos leader), so it is never the one restarting.
   if (args.rejoin && (args.pbr || args.host == 0 || args.host >= kClientHost)) usage();

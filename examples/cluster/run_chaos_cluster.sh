@@ -3,7 +3,7 @@
 # processes mid-load and restart them with --rejoin, which fetches a snapshot
 # from host 0's replica and resumes the restarted TOB node mid-stream.
 #
-#   run_chaos_cluster.sh [txns] [base_port] [run_ms] [cycles] [clients] [shards] [xs_pct]
+#   run_chaos_cluster.sh [txns] [base_port] [run_ms] [cycles] [clients] [shards] [xs_pct] [read_pct]
 #
 # Hosts 1 and 2 are killed alternately (`cycles` times total); host 0 — the
 # Paxos leader and snapshot server — always survives, since the acceptors
@@ -17,7 +17,8 @@
 # groups at once and the restart rejoins each group from its own snapshot,
 # at per-group resume points that are independent of each other. Restarted
 # incarnations carry --epoch so their group_info trace events distinguish
-# incarnations.
+# incarnations. `read_pct` (default 0, sharded only) makes that % of
+# transactions cross-shard snapshot reads, so kills land mid-read-fanout too.
 #
 # Exits 0 iff every transaction committed, every restart rejoined, AND the
 # merged traces pass total order, at-most-once, durability, strict
@@ -25,7 +26,7 @@
 set -u
 
 if [ "${1:-}" = "--help" ] || [ "${1:-}" = "-h" ]; then
-  sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
   exit 0
 fi
 
@@ -36,12 +37,14 @@ CYCLES="${4:-5}"
 CLIENTS="${5:-2}"
 SHARDS="${6:-1}"
 XS_PCT="${7:-10}"
+READ_PCT="${8:-0}"
 SUSPECT_MS=120000  # keep false suspicions out of the restart windows
 BIN="$(dirname "$0")/cluster_node"
 [ -x "$BIN" ] || BIN="${CLUSTER_NODE:-cluster_node}"
 
 SHARD_ARGS=()
 [ "$SHARDS" -gt 1 ] && SHARD_ARGS=(--shards "$SHARDS" --cross-shard-pct "$XS_PCT")
+[ "$READ_PCT" -gt 0 ] && SHARD_ARGS+=(--read-pct "$READ_PCT")
 
 WORK="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
@@ -63,7 +66,7 @@ launch() {  # launch HOST GENERATION [--rejoin]
 
 echo "== ShadowDB-SMR chaos on 127.0.0.1:${BASE_PORT}-$((BASE_PORT + 3)):" \
      "${TXNS} txns, ${CLIENTS} clients, ${CYCLES} kill/restart cycles" \
-     "$([ "$SHARDS" -gt 1 ] && echo ", ${SHARDS} shards (${XS_PCT}% cross)")=="
+     "$([ "$SHARDS" -gt 1 ] && echo ", ${SHARDS} shards (${XS_PCT}% cross)")$([ "$READ_PCT" -gt 0 ] && echo ", ${READ_PCT}% reads")=="
 declare -a SERVER_PID
 for h in 0 1 2; do launch "$h" 0; done
 sleep 0.2

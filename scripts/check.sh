@@ -12,8 +12,9 @@
 #     must program against net::Transport/net::NodeContext only — no
 #     sim::Context and no sim/world.hpp includes — the consensus/TOB
 #     layers must stay sharding-blind (no ShardRouter/GroupId) and
-#     replication-blind (no repl/ includes), and src/repl must never
-#     include sim/ or net/tcp;
+#     replication-blind (no repl/ includes), src/repl must never include
+#     sim/ or net/tcp, and the versioned storage engine (src/db) must
+#     never include consensus/, tob/, or repl/ headers;
 #   * an ASan+UBSan build of the whole tree with the test suites run under
 #     it (the zero-copy payload path lives or dies by buffer ownership);
 #   * a TSan build of the threaded suites — the SPSC ring unit tests and the
@@ -26,9 +27,12 @@
 #     cluster, which must commit everything with zero checker violations —
 #     plus a sharded (2-group) campaign where every fault hits both groups
 #     at once, rebalance-under-faults campaigns (a range split mid-schedule,
-#     with and without the donor replica killed mid-transfer), the Fig.
-#     10(b) compressed/delta byte-volume gate, and a smaller campaign and
-#     the TCP chaos suite under TSan;
+#     with and without the donor replica killed mid-transfer), a read-mix
+#     campaign plus one pinned seed that kills replicas mid-read-only-fanout
+#     (snapshot-read checker must stay green), the Fig. 10(b)
+#     compressed/delta byte-volume gate, the read-mix throughput gate
+#     (lock-free snapshot reads >= 2x the 2PC-read baseline), and a smaller
+#     campaign and the TCP chaos suite under TSan;
 #   * a timeboxed localhost TCP cluster: real processes, real sockets, the
 #     bank workload, and the offline trace checker (skipped gracefully when
 #     the environment forbids sockets), single-threaded, pipelined, and
@@ -76,6 +80,13 @@ if [[ "${1:-}" != "--fast" ]]; then
   # order opaque commands; what a snapshot stream is lives above them.
   if grep -rl '#include "repl/' src/consensus src/tob; then
     echo "FAIL: consensus/tob code includes repl/ (state transfer lives above ordering)" >&2
+    exit 1
+  fi
+  # The versioned storage engine is a pure library under the replication
+  # stack: version chains, GC, and read_at know nothing about ordering,
+  # consensus, or state transfer (those drive the engine from above).
+  if grep -rl '#include "\(consensus\|tob\|repl\)/' src/db; then
+    echo "FAIL: src/db includes consensus/tob/repl headers (storage sits below ordering)" >&2
     exit 1
   fi
 
@@ -140,6 +151,27 @@ if [[ "${1:-}" != "--fast" ]]; then
     --shards 2 --cross-shard-pct 20 --rebalance-at-ms 2000 >/dev/null
   timeout 600 ./build/bench/chaos_campaign --plans 4 --seed 20140623 \
     --shards 2 --cross-shard-pct 20 --rebalance-at-ms 2000 --kill-donor >/dev/null
+
+  echo "== chaos: read-mix campaign + pinned replica-kill-mid-read-only-fanout seed =="
+  # 40% of each client's txns ride the lock-free snapshot-read path while the
+  # fault schedules crash replicas and TOB nodes under them; the offline
+  # checker's snapshot-read check (kRoCut cross-check) must stay green. The
+  # pinned replay is a crash-pair plan that SIGKILLs two of the three active
+  # replicas in every group while read-only fanouts are in flight: it once
+  # wedged clients in a permanent re-snap loop against a v1-promoted spare
+  # whose version chains had never re-opened (served snaps, refused every
+  # pinned read), and a regression here reprints the failing plan's seed.
+  timeout 600 ./build/bench/chaos_campaign --plans 6 --seed 20140623 \
+    --shards 2 --cross-shard-pct 20 --read-pct 40 >/dev/null
+  timeout 600 ./build/bench/chaos_campaign --replay 2340316686833741077 \
+    --shards 2 --cross-shard-pct 20 --read-pct 40 >/dev/null
+
+  echo "== db: read-mix throughput gate (snapshot reads vs 2PC-read baseline) =="
+  # Cross-shard read-only fast path must clear 2x the 2PC-read baseline's
+  # aggregate throughput with zero reader lock conflicts/aborts, and both
+  # traces must pass the offline checker (the ro trace with a non-zero
+  # snapshot-cut count).
+  timeout 400 ./build/bench/read_mix --gate >/dev/null
 
   echo "== repl: compressed + delta snapshot byte-volume gate =="
   # Fig. 10(b) companion: a delta+compressed bank re-sync must stay >= 3x

@@ -97,10 +97,23 @@ PlanOutcome run_plan(const Plan& plan, const CampaignConfig& config) {
     copts.tracer = &tracer;
     auto rng = std::make_shared<Rng>(plan.seed + 0x9e37 * (c + 1));
     const std::size_t cross_pct = config.shards > 1 ? config.cross_shard_pct : 0;
+    const std::size_t read_pct = config.shards > 1 ? config.read_pct : 0;
     clients.push_back(std::make_unique<core::DbClient>(
         world, node, ClientId{static_cast<std::uint32_t>(c + 1)}, copts,
-        [rng, bank, cross_pct]() -> std::pair<std::string, workload::Params> {
-          if (cross_pct > 0 && rng->next() % 100 < cross_pct) {
+        [rng, bank, cross_pct, read_pct]() -> std::pair<std::string, workload::Params> {
+          // One draw decides the kind, so read_pct == 0 replays the exact
+          // pre-snapshot-read draw sequence (pinned seeds stay byte-stable).
+          const std::uint64_t pick = rng->next() % 100;
+          if (pick < read_pct) {
+            // Cross-shard pair read on the snapshot path; adjacent accounts
+            // always differ in `mod shards` group.
+            const auto from = static_cast<std::int64_t>(
+                rng->next() % static_cast<std::uint64_t>(bank.accounts));
+            const std::int64_t to = (from + 1) % bank.accounts;
+            return {std::string(workload::bank::kBalance2Proc),
+                    workload::Params{db::Value(from), db::Value(to)}};
+          }
+          if (cross_pct > 0 && pick < read_pct + cross_pct) {
             // Adjacent accounts always differ in `mod shards` group.
             const auto from = static_cast<std::int64_t>(
                 rng->next() % static_cast<std::uint64_t>(bank.accounts));

@@ -40,6 +40,13 @@ struct CampaignConfig {
   std::size_t shards = 1;
   std::size_t cross_shard_pct = 10;
 
+  /// > 0 (and shards > 1): that percent of the workload becomes cross-shard
+  /// bank.balance2 pair reads on the lock-free snapshot-read path, so fault
+  /// events land mid-version-cut-exchange and mid-read-fanout; the client
+  /// must recover by rotating replicas or restarting the read attempt, and
+  /// the checker's snapshot-read invariant covers every cut it pins.
+  std::size_t read_pct = 0;
+
   /// > 0 (and shards > 1): at this virtual time an administrator broadcasts
   /// a `::mig-split` moving bank keys [accounts/4, accounts/2) from group 0
   /// to group 1 while the fault schedule runs, and the plan only passes if

@@ -13,9 +13,12 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
 
 #include "common/stats.hpp"
+#include "core/rosnap.hpp"
 #include "core/router.hpp"
 #include "tob/tob.hpp"
 #include "workload/messages.hpp"
@@ -58,10 +61,14 @@ class DbClient {
   using NextTxnFn = std::function<std::pair<std::string, workload::Params>()>;
   /// Optional per-commit hook (virtual completion time) for timelines.
   using CommitHook = std::function<void(net::Time)>;
+  /// Optional hook fired on every FINAL answer (after conflict-retry
+  /// filtering), committed or aborted — tests use it to assert on rows.
+  using ResponseHook = std::function<void(const workload::TxnResponse&)>;
 
   DbClient(net::Transport& world, NodeId self, ClientId id, Options options, NextTxnFn next_txn);
 
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void set_response_hook(ResponseHook hook) { response_hook_ = std::move(hook); }
 
   /// Begins the closed loop (schedules the first submission).
   void start(net::Time initial_delay = 0);
@@ -72,6 +79,12 @@ class DbClient {
   std::uint64_t aborted() const { return aborted_; }
   std::uint64_t retries() const { return retries_; }
   std::uint64_t conflict_retries() const { return conflict_retries_; }
+  /// Read-only transactions completed through the lock-free snapshot path
+  /// (these never acquire 2PC locks, so they cannot produce
+  /// "xs-lock-conflict" aborts).
+  std::uint64_t ro_committed() const { return ro_committed_; }
+  /// RO attempts restarted end-to-end (ro-stale/ro-moved/ro-split/timeouts).
+  std::uint64_t ro_restarts() const { return ro_restarts_; }
   ClientId id() const { return id_; }
 
  private:
@@ -81,12 +94,29 @@ class DbClient {
   void on_timeout(net::NodeContext& ctx);
   void finish_current(net::NodeContext& ctx, const workload::TxnResponse& resp);
 
+  // -- read-only snapshot path (core/rosnap.hpp; the client coordinates) ------
+  /// Eligible: sharded kTob deployment and a procedure registered read-only.
+  bool ro_eligible(const workload::TxnRequest& req) const;
+  void start_ro_attempt(net::NodeContext& ctx);
+  void restart_ro_attempt(net::NodeContext& ctx);
+  void send_ro_snap(net::NodeContext& ctx, GroupId g);
+  void send_ro_read(net::NodeContext& ctx, GroupId g, std::uint64_t version,
+                    std::uint64_t floor);
+  void on_ro_snap_resp(net::NodeContext& ctx, const RoSnapRespBody& body);
+  void on_ro_read_resp(net::NodeContext& ctx, const RoReadRespBody& body);
+  /// All snaps in: torn-cut detection (re-snap lagging groups) or fan out
+  /// the pinned reads.
+  void resolve_ro_cut(net::NodeContext& ctx);
+  void finish_ro(net::NodeContext& ctx);
+  NodeId ro_replica_of(GroupId g) const;
+
   net::Transport& world_;
   NodeId self_;
   ClientId id_;
   Options options_;
   NextTxnFn next_txn_;
   CommitHook commit_hook_;
+  ResponseHook response_hook_;
 
   RequestSeq seq_ = 0;
   std::optional<workload::TxnRequest> in_flight_;
@@ -98,11 +128,40 @@ class DbClient {
   std::uint64_t backoff_state_ = 0;  // per-client deterministic jitter LCG
   bool done_ = false;
 
+  /// One in-flight read-only attempt. Phase 0 collects one RoSnapResp per
+  /// participant group (cross-shard only); phase 1 collects the versioned
+  /// reads. Every replica answer is matched against the current in-flight
+  /// seq, the awaiting set, and (cross-shard) the pinned cut version, so
+  /// answers from an abandoned attempt cannot tear the cut.
+  struct RoAttempt {
+    std::vector<GroupId> participants;
+    bool cross = false;
+    int phase = 0;
+    std::uint32_t rounds = 0;  // re-snap rounds this attempt
+    std::set<GroupId> awaiting;
+    std::map<GroupId, RoSnapRespBody> snaps;
+    std::map<GroupId, std::uint64_t> cut;  // group → pinned version (0 = current)
+    std::map<GroupId, std::vector<db::Row>> rows;
+  };
+  std::optional<RoAttempt> ro_;
+  /// Session floors: per group, the apply position this client's own commits
+  /// (and completed RO cuts) are visible at — read-your-writes + monotonic
+  /// reads across the session.
+  std::map<std::uint32_t, std::uint64_t> ro_floors_;
+  /// Per-group replica rotation for snaps/reads. Independent per group on
+  /// purpose: the groups' replica lists are machine-aligned, so a shared
+  /// offset could never address, say, the sole surviving replica index in
+  /// every group at once — the snap phase (which needs ALL groups to
+  /// answer) would then starve forever after a multi-replica crash.
+  std::map<std::uint32_t, std::size_t> ro_rot_;
+
   LatencyStats latencies_;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t conflict_retries_ = 0;
+  std::uint64_t ro_committed_ = 0;
+  std::uint64_t ro_restarts_ = 0;
   std::size_t submitted_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include "core/migrate.hpp"
 #include "core/pbr.hpp"
 #include "core/replica_common.hpp"
+#include "core/rosnap.hpp"
 #include "core/smr.hpp"
 #include "core/twopc.hpp"
 #include "tob/tob.hpp"
@@ -59,6 +60,12 @@ void register_wire_codecs_impl() {
   // vocabulary — the participant group travels inside the message bodies,
   // so N groups in one process register exactly the same bindings).
   reg.ensure<XsSnapBody>(kXsSnapHeader);
+
+  // Read-only snapshot reads (node-addressed, never enter a TOB log).
+  reg.ensure<RoSnapBody>(kRoSnapHeader);
+  reg.ensure<RoSnapRespBody>(kRoSnapRespHeader);
+  reg.ensure<RoReadBody>(kRoReadHeader);
+  reg.ensure<RoReadRespBody>(kRoReadRespHeader);
 
   // Shard-range migration: pull handshake, the filtered v2 stream mounted on
   // its own headers, and the rejoin/promotion rider.

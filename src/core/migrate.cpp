@@ -209,8 +209,29 @@ void RangeMigrator::handle_commit(net::NodeContext& ctx, const workload::TxnRequ
     count("mig.rows_in", rows);
   }
   m.batches.clear();
-  view_.install(RangeOverride{m.spec.table, m.spec.lo, m.spec.hi, m.spec.from, m.spec.to});
+  RangeOverride flip{m.spec.table, m.spec.lo, m.spec.hi, m.spec.from, m.spec.to};
+  // Versioned reads pinned below this position still reconstruct the donated
+  // rows from the donor's version chains (delete_where_key captured their
+  // pre-images at this very version); at or above it the owner serves.
+  committed_flips_.emplace_back(flip, executor_.engine().state_version());
+  view_.install(std::move(flip));
   count("mig.commits");
+}
+
+std::optional<GroupId> RangeMigrator::ro_forward_target(const std::string& table,
+                                                        std::int64_t key,
+                                                        std::uint64_t version) const {
+  const GroupId owner = view_.shard_of(table, key);
+  if (owner == group_) return std::nullopt;
+  if (version != 0) {
+    for (const auto& [o, flip_version] : committed_flips_) {
+      if (o.from == group_ && o.table == table && key >= o.lo && key < o.hi &&
+          version < flip_version) {
+        return std::nullopt;  // pinned below the flip: serve from history here
+      }
+    }
+  }
+  return owner;
 }
 
 bool RangeMigrator::frozen(const std::string& table,
@@ -465,6 +486,7 @@ MigSnapBody RangeMigrator::snapshot() const {
 void RangeMigrator::restore(net::NodeContext& ctx, const MigSnapBody& body) {
   view_.reset_overrides(body.overrides);
   migrations_.clear();
+  committed_flips_.clear();  // see the member comment: forward-everything is safe
   for (const auto& e : body.inflight) {
     Migration m;
     m.spec = e.spec;

@@ -47,8 +47,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/replica_common.hpp"
@@ -170,6 +172,16 @@ class RangeMigrator {
   /// range — mounted as the 2PC engine's range-block hook.
   bool frozen(const std::string& table, const std::vector<std::int64_t>& keys) const;
 
+  /// Routing decision for a versioned read of (table, key) at `version`
+  /// (0 = current). nullopt: serve locally. A key owned here serves here; a
+  /// frozen (pre-flip) range also serves here — its rows are immutable and
+  /// still ours. A donated key serves here only when the read is pinned
+  /// BELOW the committed flip's version: the flip captured the donated
+  /// rows' pre-images into the version chains when it deleted them. Reads at
+  /// or above the flip (and "current" reads) return the owner to forward to.
+  std::optional<GroupId> ro_forward_target(const std::string& table, std::int64_t key,
+                                           std::uint64_t version) const;
+
   /// Node-addressed traffic: pull requests (donor side) and the filtered
   /// snapshot stream (receiver side). Returns true if consumed.
   bool on_message(net::NodeContext& ctx, const net::Message& msg);
@@ -225,6 +237,11 @@ class RangeMigrator {
 
   std::map<std::uint64_t, Migration> migrations_;
   std::uint32_t bcast_attempts_ = 0;  // rotates the TOB frontend per broadcast
+  /// Committed routing flips with the engine state version each applied at
+  /// (this group's own delivery order), for ro_forward_target. Cleared on
+  /// restore: a resynced replica's version chains don't reach below its
+  /// snapshot anyway, so forwarding everything donated stays correct.
+  std::vector<std::pair<RangeOverride, std::uint64_t>> committed_flips_;
 };
 
 }  // namespace shadow::core

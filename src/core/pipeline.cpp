@@ -79,7 +79,13 @@ void ExecutorPipeline::executor_loop() {
       // Delivery stamps are index + 1 (version 0 is reserved for loader
       // writes); the delta tracking keys dirty rows by these stamps.
       executor_.engine().set_state_version(item->base_index + i + 1);
-      const TxnExecutor::Execution exec = executor_.execute(req);
+      TxnExecutor::Execution exec = executor_.execute(req);
+      if (stamp_commit_) {
+        // Commit coordinates for read-only session floors (core/rosnap.hpp);
+        // published to this thread by the ring hand-off of the first batch.
+        exec.response.commit_group = commit_group_;
+        exec.response.commit_pos = executor_.engine().state_version();
+      }
       // charge() is a no-op on the TCP transport (the only pipelined one):
       // the real CPU was actually consumed, on this thread.
       if (tracer_) {

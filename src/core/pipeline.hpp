@@ -95,6 +95,14 @@ class ExecutorPipeline {
     return executed_txns_.load(std::memory_order_relaxed);
   }
 
+  /// Sharded deployments: stamp responses with this group id and the
+  /// command's apply position (read-only session floors, see core/rosnap.hpp).
+  /// Call before the first push — the executor thread reads it unfenced.
+  void set_commit_group(std::uint32_t group) {
+    commit_group_ = group;
+    stamp_commit_ = true;
+  }
+
   /// flush() + stop and join the executor thread. Idempotent; the
   /// destructor calls it.
   void shutdown();
@@ -119,6 +127,8 @@ class ExecutorPipeline {
   std::uint64_t pushed_ = 0;                      // consensus thread only
   std::atomic<std::uint64_t> executed_batches_{0};
   std::atomic<std::uint64_t> executed_txns_{0};
+  std::uint32_t commit_group_ = 0;  // set once before the first push
+  bool stamp_commit_ = false;
 
   std::thread executor_thread_;  // last: joined before members die
 };

@@ -1,0 +1,216 @@
+#include "core/rosnap.hpp"
+
+#include "core/migrate.hpp"
+#include "core/twopc.hpp"
+#include "obs/trace.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::core {
+
+namespace {
+
+/// The read-only plan of `req`'s share at one group: point selects for every
+/// local partition key, or the procedure's scan for key-less reads
+/// (bank.audit's sum). Mirrors the procedure bodies (workload/bank.cpp) the
+/// same way the 2PC local planners in core/twopc.cpp do. `sum_column >= 0`
+/// asks serve_read to sum that column over the rows this group OWNS and
+/// answer one synthesized row: every engine holds the full loader image but
+/// only maintains its own partition, so a raw engine-side aggregate would
+/// also count the other groups' stale unowned rows.
+struct RoPlan {
+  std::vector<db::Statement> stmts;
+  int sum_column = -1;
+};
+
+RoPlan ro_plan(const std::string& table, const workload::TxnRequest& req,
+               const std::vector<std::int64_t>& local_keys) {
+  RoPlan plan;
+  if (req.proc == workload::bank::kAuditProc) {
+    plan.stmts.push_back(db::make_scan(workload::bank::kTable, {}));
+    plan.sum_column = 2;
+    return plan;
+  }
+  for (const std::int64_t k : local_keys) {
+    plan.stmts.push_back(db::make_select(table, {db::Value(k)}));
+  }
+  return plan;
+}
+
+}  // namespace
+
+RoServer::RoServer(NodeId self, GroupId group, const RoutingView& view, TxnExecutor& executor,
+                   const XsCoordinator* xs, const RangeMigrator* mig, Hooks hooks)
+    : self_(self),
+      group_(group),
+      view_(view),
+      executor_(executor),
+      xs_(xs),
+      mig_(mig),
+      hooks_(std::move(hooks)) {}
+
+void RoServer::count(const char* metric) const {
+  if (hooks_.tracer != nullptr) hooks_.tracer->count(metric);
+}
+
+bool RoServer::on_message(net::NodeContext& ctx, const net::Message& msg) {
+  if (msg.header == kRoSnapHeader) {
+    serve_snap(ctx, net::msg_body<RoSnapBody>(msg), msg.from);
+    return true;
+  }
+  if (msg.header == kRoReadHeader) {
+    serve_read(ctx, net::msg_body<RoReadBody>(msg));
+    return true;
+  }
+  return false;
+}
+
+void RoServer::serve_snap(net::NodeContext& ctx, const RoSnapBody& body, NodeId from) {
+  if (hooks_.flush) hooks_.flush();
+  RoSnapRespBody resp;
+  resp.group = group_;
+  resp.seq = body.seq;
+  resp.serving = hooks_.serving && hooks_.serving() ? 1 : 0;
+  const db::Engine& engine = executor_.engine();
+  resp.position = engine.state_version();
+  resp.floor = engine.min_read_version();
+  // A freshly restored replica whose version chains have not re-opened yet
+  // (floor above position) cannot serve ANY versioned read: advertising
+  // serving=1 would let the client pin a cut here and then bounce off
+  // "ro-stale" forever. Refuse instead — the client rotates to a peer.
+  if (resp.floor > resp.position) resp.serving = 0;
+  if (resp.serving != 0 && xs_ != nullptr) {
+    resp.prepared = xs_->prepared_txns();
+    resp.last_decided.assign(xs_->last_decided().begin(), xs_->last_decided().end());
+    for (const XsCoordinator::DecideRecord& d : xs_->recent_decides()) {
+      RoSnapRespBody::Decide e;
+      e.client = d.client;
+      e.seq = d.seq;
+      e.decide_pos = d.decide_pos;
+      e.committed = d.committed ? 1 : 0;
+      e.participants = d.participants;
+      resp.decides.push_back(std::move(e));
+    }
+  }
+  count("ro.snaps");
+  ctx.send(from, net::make_msg(kRoSnapRespHeader, std::move(resp)));
+}
+
+void RoServer::answer_error(net::NodeContext& ctx, const RoReadBody& body, const char* error) {
+  RoReadRespBody resp;
+  resp.client = body.req.client.value;
+  resp.seq = body.req.seq;
+  resp.group = body.group;
+  resp.served_group = group_;
+  resp.error = error;
+  count("ro.errors");
+  ctx.send(body.req.reply_to, net::make_msg(kRoReadRespHeader, std::move(resp)));
+}
+
+void RoServer::serve_read(net::NodeContext& ctx, const RoReadBody& body) {
+  if (hooks_.flush) hooks_.flush();
+  if (!hooks_.serving || !hooks_.serving()) {
+    answer_error(ctx, body, "ro-joining");
+    return;
+  }
+  const ShardRouter::ProcInfo* info = view_.proc_info(body.req.proc);
+  const std::string table = info != nullptr ? info->table : std::string();
+  // The group's share: the keys the CLIENT routed here — by the base
+  // partition function (clients never see overrides). Migrated keys are the
+  // forwarding decision below, exactly as in RangeMigrator::divert.
+  std::vector<std::int64_t> local_keys;
+  for (const std::int64_t k : view_.base().keys_of(body.req)) {
+    if (view_.base().shard_of_key(k) == body.group) local_keys.push_back(k);
+  }
+  // Migration forwarding: keys this group donated move as a unit or not at
+  // all ("ro-split" guards shares the bundled workloads never produce).
+  bool any_local = false;
+  bool have_target = false;
+  std::optional<GroupId> target;
+  for (const std::int64_t k : local_keys) {
+    const std::optional<GroupId> t =
+        mig_ != nullptr ? mig_->ro_forward_target(table, k, body.version) : std::nullopt;
+    if (!t.has_value()) {
+      any_local = true;
+    } else if (!have_target) {
+      have_target = true;
+      target = t;
+    } else if (*target != *t) {
+      answer_error(ctx, body, "ro-split");
+      return;
+    }
+  }
+  if (have_target && any_local) {
+    answer_error(ctx, body, "ro-split");
+    return;
+  }
+  if (have_target) {
+    if (body.hops + 1 > kRoMaxForwardHops) {
+      answer_error(ctx, body, "ro-moved");
+      return;
+    }
+    const std::vector<NodeId>& owners = view_.base().replica_targets(*target);
+    if (owners.empty()) {
+      answer_error(ctx, body, "ro-moved");
+      return;
+    }
+    // The owner serves at ITS current version (the pinned version belongs to
+    // the donor's log; the owner's state at any current version includes the
+    // flip). The response still echoes body.group for the client's matching.
+    RoReadBody fwd = body;
+    ++fwd.hops;
+    fwd.version = 0;
+    fwd.floor = 0;
+    count("ro.forwarded");
+    ctx.send(owners[(self_.value + fwd.hops) % owners.size()],
+             net::make_msg(kRoReadHeader, std::move(fwd)));
+    return;
+  }
+
+  db::Engine& engine = executor_.engine();
+  if (engine.state_version() < body.version || engine.state_version() < body.floor) {
+    // Behind the pinned cut (or the client's read-your-writes floor): this
+    // replica's log replay hasn't caught up. The client rotates or retries.
+    answer_error(ctx, body, "ro-lagging");
+    return;
+  }
+  const std::uint64_t version = body.version == 0 ? engine.state_version() : body.version;
+  if (!engine.read_version_valid(version)) {
+    answer_error(ctx, body, "ro-stale");
+    return;
+  }
+  // Pin the version against GC for the (synchronous) read, then serve every
+  // statement from the version chains — no transaction, no locks.
+  const std::uint64_t reader = engine.register_reader(version);
+  RoReadRespBody resp;
+  resp.client = body.req.client.value;
+  resp.seq = body.req.seq;
+  resp.group = body.group;
+  resp.served_group = group_;
+  resp.version = version;
+  resp.ok = 1;
+  const RoPlan plan = ro_plan(table, body.req, local_keys);
+  std::uint64_t cost = hooks_.costs.per_txn_us + hooks_.costs.per_stmt_us * plan.stmts.size();
+  for (const db::Statement& stmt : plan.stmts) {
+    const db::ExecResult r = engine.read_at(stmt, version);
+    cost += r.cost_us;
+    if (plan.sum_column >= 0) {
+      // Aggregate share: sum over the rows this group owns (routing view,
+      // key = primary-key column 0) and travel as one synthesized row — the
+      // TxnResponse has no aggregate slot, so the client adds shares up.
+      std::int64_t sum = 0;
+      for (const db::Row& row : r.rows) {
+        if (view_.shard_of(stmt.table, row[0].as_int()) != group_) continue;
+        sum += row[static_cast<std::size_t>(plan.sum_column)].as_int();
+      }
+      resp.rows.push_back({db::Value(sum)});
+      continue;
+    }
+    for (const db::Row& row : r.rows) resp.rows.push_back(row);
+  }
+  engine.release_reader(reader);
+  ctx.charge(cost);
+  count("ro.served");
+  ctx.send(body.req.reply_to, net::make_msg(kRoReadRespHeader, std::move(resp)));
+}
+
+}  // namespace shadow::core

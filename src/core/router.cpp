@@ -18,12 +18,14 @@ void ShardRouter::register_proc(const std::string& proc, ProcInfo info) {
 void ShardRouter::install_default_extractors() {
   // Bank: accounts are the keyspace; transfer is the only multi-key (and so
   // the only potentially cross-shard) procedure. audit scans every account
-  // and stays key-less (pinned to group 0 — correct only for shards == 1; the
-  // sharded workloads do not issue it).
+  // and stays key-less: the write path pins it to group 0 (correct only for
+  // shards == 1), while the read-only snapshot path fans it out to every
+  // group via ro_shards_of.
   register_proc("bank.deposit", ProcInfo{"accounts", {0}});
-  register_proc("bank.balance", ProcInfo{"accounts", {0}});
+  register_proc("bank.balance", ProcInfo{"accounts", {0}, /*read_only=*/true});
   register_proc("bank.transfer", ProcInfo{"accounts", {0, 1}});
-  register_proc("bank.audit", ProcInfo{"accounts", {}});
+  register_proc("bank.balance2", ProcInfo{"accounts", {0, 1}, /*read_only=*/true});
+  register_proc("bank.audit", ProcInfo{"accounts", {}, /*read_only=*/true});
   // TPC-C: partitioned by warehouse (params[0] in every procedure); all five
   // procedures are single-warehouse here, so TPC-C never crosses shards.
   register_proc("tpcc.new_order", ProcInfo{"warehouse", {0}});
@@ -53,6 +55,18 @@ std::vector<GroupId> ShardRouter::shards_of(const workload::TxnRequest& req) con
   std::vector<GroupId> groups;
   for (const std::int64_t key : keys_of(req)) groups.push_back(shard_of_key(key));
   if (groups.empty()) groups.push_back(0);  // key-less procedures pin to group 0
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+std::vector<GroupId> ShardRouter::ro_shards_of(const workload::TxnRequest& req) const {
+  std::vector<GroupId> groups;
+  for (const std::int64_t key : keys_of(req)) groups.push_back(shard_of_key(key));
+  if (groups.empty()) {
+    for (std::size_t g = 0; g < shards_; ++g) groups.push_back(static_cast<GroupId>(g));
+    return groups;
+  }
   std::sort(groups.begin(), groups.end());
   groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
   return groups;

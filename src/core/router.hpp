@@ -41,6 +41,9 @@ class ShardRouter {
   struct ProcInfo {
     std::string table;                    // lock/partition namespace
     std::vector<std::size_t> key_params;  // parameter indices holding keys
+    /// Pure-read procedures take the lock-free versioned read path in
+    /// sharded deployments (kRoBeginBit on the wire) instead of 2PC.
+    bool read_only = false;
   };
 
   explicit ShardRouter(std::size_t shards);
@@ -67,7 +70,18 @@ class ShardRouter {
   std::vector<std::int64_t> keys_of(const workload::TxnRequest& req) const;
   /// Sorted, deduplicated participant groups (never empty; {0} for key-less).
   std::vector<GroupId> shards_of(const workload::TxnRequest& req) const;
+  /// Participant groups for the read-only snapshot path: same as shards_of,
+  /// except key-less procedures (full scans like bank.audit) fan out to
+  /// EVERY group — each group serves its owned partition at the cut — where
+  /// the write path pins them to group 0.
+  std::vector<GroupId> ro_shards_of(const workload::TxnRequest& req) const;
   bool cross_shard(const workload::TxnRequest& req) const;
+  /// True when the request's procedure is registered read-only (eligible for
+  /// the versioned snapshot-read path; never acquires 2PC prepare locks).
+  bool read_only(const workload::TxnRequest& req) const {
+    const ProcInfo* info = proc_info(req.proc);
+    return info != nullptr && info->read_only;
+  }
   /// The group that owns a transaction end-to-end (single-shard) or drives
   /// its two-phase commit (cross-shard): the first participant group.
   GroupId coordinator_of(const workload::TxnRequest& req) const;
@@ -161,6 +175,7 @@ class RoutingView {
   /// (never empty; {0} for key-less).
   std::vector<GroupId> shards_of(const workload::TxnRequest& req) const;
   bool cross_shard(const workload::TxnRequest& req) const { return shards_of(req).size() > 1; }
+  bool read_only(const workload::TxnRequest& req) const { return base_->read_only(req); }
 
   const std::vector<NodeId>& tob_targets(GroupId g) const { return base_->tob_targets(g); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/migrate.hpp"
+#include "core/rosnap.hpp"
 #include "core/twopc.hpp"
 #include "obs/trace.hpp"
 
@@ -132,6 +133,18 @@ SmrReplica::SmrReplica(net::Transport& world, NodeId self, tob::TobNode& tob,
         [this](const std::string& table, const std::vector<std::int64_t>& keys) {
           return mig_->frozen(table, keys);
         });
+    RoServer::Hooks ro_hooks;
+    ro_hooks.serving = [this] { return active_ && !joining_ && !rejoining_; };
+    ro_hooks.flush = [this] {
+      if (pipeline_) pipeline_->flush();
+    };
+    ro_hooks.tracer = config_.tracer;
+    ro_hooks.costs = costs;
+    ro_ = std::make_unique<RoServer>(self_, config_.group, *view_, executor_, xs_.get(),
+                                     mig_.get(), std::move(ro_hooks));
+    // Sharded responses carry the commit coordinates read-only sessions use
+    // as per-group floors; the pipelined response path stamps its own.
+    if (pipeline_) pipeline_->set_commit_group(config_.group);
   }
 }
 
@@ -206,8 +219,14 @@ void SmrReplica::on_deliver_batch(net::NodeContext& ctx, Slot slot, std::uint64_
 
 void SmrReplica::execute_txn(net::NodeContext& ctx, std::uint64_t index,
                              const workload::TxnRequest& req) {
-  const TxnExecutor::Execution exec = executor_.execute(req);
+  TxnExecutor::Execution exec = executor_.execute(req);
   ctx.charge(exec.cost_us);
+  if (view_) {
+    // Commit coordinates for read-only session floors (rosnap.hpp): the
+    // write is visible at this group's state at or after this position.
+    exec.response.commit_group = config_.group;
+    exec.response.commit_pos = executor_.engine().state_version();
+  }
   if (config_.tracer) {
     config_.tracer->txn_execute(ctx.now(), self_, req.client, req.seq, index, exec.duplicate,
                                 exec.response.committed, req.proc);
@@ -407,6 +426,7 @@ void SmrReplica::on_message(net::NodeContext& ctx, const net::Message& msg) {
     return;
   }
   if (mig_ && mig_->on_message(ctx, msg)) return;
+  if (ro_ && ro_->on_message(ctx, msg)) return;
   if (msg.header == kSnapBeginHeader) {
     if (!joining_) return;  // stray/duplicate stream: we are not expecting one
     const auto& begin = net::msg_body<SnapBeginBody>(msg);

@@ -32,6 +32,7 @@ namespace shadow::core {
 
 class XsCoordinator;  // core/twopc.hpp
 class RangeMigrator;  // core/migrate.hpp
+class RoServer;       // core/rosnap.hpp
 class RoutingView;    // core/router.hpp
 
 inline constexpr const char* kSmrReconfigProc = "::smr-reconfig";
@@ -216,6 +217,7 @@ class SmrReplica {
   std::unique_ptr<RoutingView> view_;
   std::unique_ptr<RangeMigrator> mig_;
   std::unique_ptr<XsCoordinator> xs_;
+  std::unique_ptr<RoServer> ro_;  // lock-free snapshot reads (core/rosnap.hpp)
 
   // Pipelined mode: the DB executor stage. Declared last so its destructor
   // (which flushes and joins the executor thread) runs while every member

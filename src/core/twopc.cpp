@@ -18,6 +18,29 @@ constexpr std::uint32_t kXsMaxDecideResends = 2;
 // the group owning `from` checks the balance and stages the debit; the group
 // owning `to` stages the credit unconditionally — exactly the statements the
 // single-shard procedure (workload/bank.cpp) would run, split by key owner.
+// The local share of bank.balance2 (the cross-shard read-only pair): point
+// reads of the local keys, nothing staged. Exists as a 2PC plan so the
+// read-only fast path has an apples-to-apples locked baseline to beat — the
+// prepare still takes exclusive row locks and costs the full ordered-entry
+// budget, which is exactly what the snapshot-read path removes.
+XsLocalPlan bank_balance2_plan(db::Engine& engine, const workload::TxnRequest& req,
+                               const std::vector<std::int64_t>& local_keys) {
+  (void)req;
+  XsLocalPlan plan;
+  for (const std::int64_t key : local_keys) {
+    const db::TxnId txn = engine.begin();
+    const db::ExecResult r =
+        engine.execute(txn, db::make_select(workload::bank::kTable, {db::Value(key)}));
+    plan.cost_us += r.cost_us + engine.commit(txn).cost_us;
+    if (!r.ok() || r.rows.empty()) {
+      plan.vote_yes = false;
+      plan.error = "no such account";
+      return plan;
+    }
+  }
+  return plan;
+}
+
 XsLocalPlan bank_transfer_plan(db::Engine& engine, const workload::TxnRequest& req,
                                const std::vector<std::int64_t>& local_keys) {
   XsLocalPlan plan;
@@ -56,6 +79,7 @@ XsLocalPlan bank_transfer_plan(db::Engine& engine, const workload::TxnRequest& r
 
 XsPlanFn xs_plan_for(const std::string& proc) {
   if (proc == workload::bank::kTransferProc) return &bank_transfer_plan;
+  if (proc == workload::bank::kBalance2Proc) return &bank_balance2_plan;
   return nullptr;
 }
 
@@ -123,6 +147,13 @@ bool XsCoordinator::conflicts(const std::vector<std::int64_t>& keys, bool keyles
     }
   }
   return false;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> XsCoordinator::prepared_txns() const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> keys;
+  keys.reserve(prepared_.size());
+  for (const auto& [key, pr] : prepared_) keys.push_back(key);
+  return keys;
 }
 
 bool XsCoordinator::range_clear(const std::string& table, std::int64_t lo,
@@ -306,6 +337,12 @@ void XsCoordinator::maybe_decide(net::NodeContext& ctx, const TxnKey& key, Coord
         co.commit ? std::string()
                   : (co.abort_error.empty() ? std::string("xs-abort") : co.abort_error);
     workload::TxnResponse resp{co.orig.client, co.orig.seq, co.commit, {}, error};
+    // Commit position for read-your-writes: the coordinator group's apply
+    // position suffices as the client's session floor — a later snapshot
+    // read that covers it detects (and re-snaps past) any participant group
+    // whose cut would exclude this transaction.
+    resp.commit_group = group_;
+    resp.commit_pos = executor_.engine().state_version();
     ctx.send(co.orig.reply_to, workload::make_response_msg(resp));
   }
   drain_parked(ctx);
@@ -321,10 +358,23 @@ void XsCoordinator::apply_decision(net::NodeContext& ctx, const TxnKey& key, boo
       pr.orig, pr.staged, commit,
       commit ? std::string() : (pr.error.empty() ? std::string("xs-abort") : pr.error));
   ctx.charge(exec.cost_us);
+  // Record the applied decision for the RO snapshot protocol. Participants
+  // are recomputed from the current view — good enough for split detection,
+  // which only needs the set to cover the transaction's groups.
+  DecideRecord rec;
+  rec.client = pr.orig.client.value;
+  rec.seq = pr.orig.seq;
+  rec.decide_pos = executor_.engine().state_version();
+  rec.committed = commit;
+  rec.participants = view_.shards_of(pr.orig);
+  decides_.push_back(std::move(rec));
+  if (decides_.size() > kDecideRingCap) decides_.pop_front();
+  std::uint64_t& high = last_decided_[pr.orig.client.value];
+  high = std::max(high, pr.orig.seq);
   if (tracer_ != nullptr) {
     tracer_->xs_phase(ctx.now(), self_, pr.orig.client, pr.orig.seq,
                       commit ? obs::XsPhase::kCommit : obs::XsPhase::kAbort, group_,
-                      pr.orig.proc);
+                      pr.orig.proc, executor_.engine().state_version());
     tracer_->txn_execute(ctx.now(), self_, pr.orig.client, pr.orig.seq, pr.prepare_index,
                          false, commit, pr.orig.proc);
   }
@@ -480,6 +530,7 @@ XsSnapBody XsCoordinator::snapshot() const {
     e.epoch = co.epoch;
     body.coords.push_back(std::move(e));
   }
+  body.last_decided.assign(last_decided_.begin(), last_decided_.end());
   return body;
 }
 
@@ -552,6 +603,8 @@ void XsCoordinator::restore(const XsSnapBody& snap) {
     co.epoch = e.epoch;
     coord_.emplace(TxnKey{co.orig.client.value, co.orig.seq}, std::move(co));
   }
+  last_decided_.clear();
+  for (const auto& [c, s] : snap.last_decided) last_decided_[c] = s;
 }
 
 }  // namespace shadow::core

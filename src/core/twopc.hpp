@@ -127,6 +127,9 @@ struct XsSnapBody {
   std::vector<PrepEntry> prepared;
   std::vector<ParkEntry> parked;
   std::vector<CoordEntry> coords;
+  /// Per-client decided high-water marks: a rejoined replica must answer RO
+  /// snap exchanges without claiming every old decide is still "future".
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> last_decided;
 };
 
 /// Per-replica 2PC engine, owned by an SmrReplica in a sharded deployment.
@@ -165,6 +168,32 @@ class XsCoordinator {
   /// keys in [lo, hi) — the migration donor's drain condition: new prepares
   /// against a frozen range vote NO, so once clear the range stays clear.
   bool range_clear(const std::string& table, std::int64_t lo, std::int64_t hi) const;
+
+  /// One applied 2PC decision, kept in a bounded recent-decide ring for the
+  /// read-only snapshot protocol: an RO coordinator that sees this txn's
+  /// writes included at one group (decide_pos <= the group's snap position)
+  /// uses `participants` to check the other groups' cuts include it too.
+  struct DecideRecord {
+    std::uint32_t client = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t decide_pos = 0;  // engine state version when the share applied
+    bool committed = false;
+    std::vector<GroupId> participants;
+  };
+  /// The ring, newest last. Bounded (kDecideRingCap); eviction is safe for
+  /// the RO protocol because `last_decided` disambiguates: a decide missing
+  /// from the ring was either applied before every ring entry (its client's
+  /// high-water covers the seq) or has not arrived at this group at all.
+  const std::deque<DecideRecord>& recent_decides() const { return decides_; }
+  /// Per xs client, the highest seq whose decision this group has APPLIED.
+  /// Client seqs are monotone (closed-loop), and a prepare always precedes
+  /// its decide in the group's log, so `last_decided[c] >= s` proves txn
+  /// (c, s) applied at or below the current engine position — even after
+  /// its DecideRecord fell off the bounded ring.
+  const std::map<std::uint32_t, std::uint64_t>& last_decided() const { return last_decided_; }
+  /// (client, seq) of every prepared-but-undecided cross-shard transaction
+  /// at this group — the RO snapshot response's in-doubt set.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> prepared_txns() const;
 
   XsSnapBody snapshot() const;
   void restore(const XsSnapBody& snap);
@@ -244,9 +273,13 @@ class XsCoordinator {
   RangeBlockFn range_block_;
   db::LockManager locks_;
 
+  static constexpr std::size_t kDecideRingCap = 64;
+
   std::map<TxnKey, Prepared> prepared_;
   std::map<TxnKey, Coord> coord_;
   std::deque<ParkedTxn> parked_;
+  std::deque<DecideRecord> decides_;
+  std::map<std::uint32_t, std::uint64_t> last_decided_;
   // Multisets backing the O(log n) conflict test: keys exclusively locked by
   // yes-voted prepares, and keys of parked transactions (plus a count of
   // parked key-less scans, which conflict with everything).
@@ -287,6 +320,7 @@ struct Codec<core::XsSnapBody> {
       w.u32(c.decide_resends);
       w.u64(c.epoch);
     }
+    Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::encode(w, v.last_decided);
   }
   static core::XsSnapBody decode(BytesReader& r) {
     core::XsSnapBody v;
@@ -315,6 +349,7 @@ struct Codec<core::XsSnapBody> {
       c.decide_resends = r.u32();
       c.epoch = r.u64();
     }
+    v.last_decided = Codec<std::vector<std::pair<std::uint32_t, std::uint64_t>>>::decode(r);
     return v;
   }
 };

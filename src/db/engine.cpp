@@ -238,6 +238,7 @@ ExecResult Engine::do_insert(Txn& txn, const Statement& stmt, Table& table) {
   SHADOW_REQUIRE_MSG(stmt.row.size() == table.schema.columns.size(),
                      "row arity mismatch for " + stmt.table);
   const Key key = table.schema.key_of(stmt.row);
+  capture_history(stmt.table, key);
   if (!table.storage->insert(key, stmt.row)) {
     result.status = ExecResult::Status::kAborted;
     result.error = "duplicate primary key in " + stmt.table;
@@ -267,6 +268,7 @@ ExecResult Engine::do_point(Txn& txn, const Statement& stmt, Table& table) {
         result.cost_us += static_cast<std::uint64_t>(
             traits_.costs.byte_us * static_cast<double>(row_wire_size(*row)));
         txn.undo.push_back(UndoEntry{UndoEntry::Kind::kUpdate, stmt.table, stmt.key, *row});
+        capture_history(stmt.table, stmt.key);
         apply_sets(*row, stmt.sets);
         touch(stmt.table, stmt.key);
         result.affected = 1;
@@ -277,6 +279,7 @@ ExecResult Engine::do_point(Txn& txn, const Statement& stmt, Table& table) {
       result.cost_us = traits_.costs.point_write_us;
       if (const Row* row = table.storage->get(stmt.key)) {
         txn.undo.push_back(UndoEntry{UndoEntry::Kind::kDelete, stmt.table, stmt.key, *row});
+        capture_history(stmt.table, stmt.key);
         table.storage->erase(stmt.key);
         touch(stmt.table, stmt.key);
         result.affected = 1;
@@ -333,6 +336,60 @@ bool key_has_prefix(const Key& key, const Key& prefix) {
   return true;
 }
 
+/// Shared kScan row accumulation (aggregates, projection, order_by, limit),
+/// used by both the locked read path and the lock-free versioned read path.
+struct ScanAccumulator {
+  const Statement& stmt;
+  ExecResult& result;
+  bool agg_init = false;
+  std::int64_t count = 0;
+  Value agg;
+
+  void add(const Row& row) {
+    switch (stmt.agg) {
+      case Agg::kNone:
+        result.rows.push_back(project(row, stmt.select_columns));
+        break;
+      case Agg::kCount:
+        ++count;
+        break;
+      case Agg::kSum:
+        agg = agg_init ? agg.plus(row[stmt.agg_column]) : row[stmt.agg_column];
+        agg_init = true;
+        break;
+      case Agg::kMin:
+        if (!agg_init || row[stmt.agg_column] < agg) agg = row[stmt.agg_column];
+        agg_init = true;
+        break;
+      case Agg::kMax:
+        if (!agg_init || agg < row[stmt.agg_column]) agg = row[stmt.agg_column];
+        agg_init = true;
+        break;
+    }
+  }
+
+  void finish() {
+    if (stmt.agg == Agg::kCount) {
+      result.agg_value = Value(count);
+    } else if (stmt.agg != Agg::kNone) {
+      result.agg_value = agg;
+    }
+    if (stmt.agg == Agg::kNone) {
+      if (stmt.order_by) {
+        const auto [col, desc] = *stmt.order_by;
+        // Note: projection happens before ordering, so order_by columns must
+        // be part of select_columns (or select all). The SQL front end
+        // enforces this.
+        std::stable_sort(result.rows.begin(), result.rows.end(),
+                         [col = col, desc = desc](const Row& a, const Row& b) {
+                           return desc ? b[col] < a[col] : a[col] < b[col];
+                         });
+      }
+      if (result.rows.size() > stmt.limit) result.rows.resize(stmt.limit);
+    }
+  }
+};
+
 }  // namespace
 
 ExecResult Engine::do_predicate(Txn& txn, const Statement& stmt, Table& table) {
@@ -364,52 +421,13 @@ ExecResult Engine::do_predicate(Txn& txn, const Statement& stmt, Table& table) {
   };
 
   if (stmt.kind == Statement::Kind::kScan) {
-    bool agg_init = false;
-    std::int64_t count = 0;
-    Value agg;
+    ScanAccumulator accum{stmt, result};
     ranged_scan([&](const Key&, const Row& row) {
       ++visited;
-      if (!matches(row)) return true;
-      switch (stmt.agg) {
-        case Agg::kNone:
-          result.rows.push_back(project(row, stmt.select_columns));
-          break;
-        case Agg::kCount:
-          ++count;
-          break;
-        case Agg::kSum:
-          agg = agg_init ? agg.plus(row[stmt.agg_column]) : row[stmt.agg_column];
-          agg_init = true;
-          break;
-        case Agg::kMin:
-          if (!agg_init || row[stmt.agg_column] < agg) agg = row[stmt.agg_column];
-          agg_init = true;
-          break;
-        case Agg::kMax:
-          if (!agg_init || agg < row[stmt.agg_column]) agg = row[stmt.agg_column];
-          agg_init = true;
-          break;
-      }
+      if (matches(row)) accum.add(row);
       return true;
     });
-    if (stmt.agg == Agg::kCount) {
-      result.agg_value = Value(count);
-    } else if (stmt.agg != Agg::kNone) {
-      result.agg_value = agg;
-    }
-    if (stmt.agg == Agg::kNone) {
-      if (stmt.order_by) {
-        const auto [col, desc] = *stmt.order_by;
-        // Note: projection happens before ordering, so order_by columns must
-        // be part of select_columns (or select all). The SQL front end
-        // enforces this.
-        std::stable_sort(result.rows.begin(), result.rows.end(),
-                         [col = col, desc = desc](const Row& a, const Row& b) {
-                           return desc ? b[col] < a[col] : a[col] < b[col];
-                         });
-      }
-      if (result.rows.size() > stmt.limit) result.rows.resize(stmt.limit);
-    }
+    accum.finish();
   } else {
     // UpdateWhere / DeleteWhere: collect matching keys first, then mutate.
     std::vector<Key> keys;
@@ -419,6 +437,7 @@ ExecResult Engine::do_predicate(Txn& txn, const Statement& stmt, Table& table) {
       return true;
     });
     for (const Key& key : keys) {
+      capture_history(stmt.table, key);
       if (stmt.kind == Statement::Kind::kUpdateWhere) {
         Row* row = table.storage->get_mutable(key);
         SHADOW_CHECK(row != nullptr);
@@ -492,6 +511,9 @@ ExecResult Engine::abort(TxnId id) {
 void Engine::rollback(Txn& txn) {
   for (auto it = txn.undo.rbegin(); it != txn.undo.rend(); ++it) {
     Table& table = table_of(it->table);
+    // The undo application is itself a mutation at the current version; the
+    // capture is a no-op when the forward mutation already captured here.
+    capture_history(it->table, it->key);
     switch (it->kind) {
       case UndoEntry::Kind::kInsert:
         table.storage->erase(it->key);
@@ -633,6 +655,13 @@ void Engine::reset_for_restore(const std::vector<TableSchema>& schemas) {
   dirty_.clear();
   tombstones_.clear();
   delta_floor_ = UINT64_MAX;
+  // Version chains likewise describe the wiped state; until the transfer
+  // completes and stamps its version as the new floor (set_delta_floor),
+  // no historical read can be served from here.
+  history_.clear();
+  history_entries_ = 0;
+  readers_.clear();
+  history_floor_ = UINT64_MAX;
   for (const TableSchema& schema : schemas) create_table(schema);
 }
 
@@ -711,6 +740,7 @@ std::uint64_t Engine::restore_upsert_batch(const SnapshotBatch& batch) {
     cost += traits_.costs.snap_insert_row_us +
             traits_.costs.snap_insert_byte_us * static_cast<double>(row_wire_size(row));
     const Key key = table.schema.key_of(row);
+    capture_history(batch.table, key);
     if (Row* existing = table.storage->get_mutable(key)) {
       *existing = std::move(row);
     } else {
@@ -725,6 +755,7 @@ std::uint64_t Engine::apply_deletes(const std::string& table_name,
                                     const std::vector<Key>& keys) {
   Table& table = table_of(table_name);
   for (const Key& key : keys) {
+    capture_history(table_name, key);
     table.storage->erase(key);
     touch(table_name, key);
   }
@@ -740,10 +771,157 @@ std::size_t Engine::delete_where_key(const std::string& table_name,
     return true;
   });
   for (const Key& key : doomed) {
+    capture_history(table_name, key);
     table.storage->erase(key);
     touch(table_name, key);
   }
   return doomed.size();
+}
+
+void Engine::capture_history(const std::string& table, const Key& key) {
+  VersionChain& chain = history_[table][key];
+  // One capture per state version: the chain records the value at the
+  // version's start, and later mutations within the version overwrite state
+  // the first capture already preserved.
+  if (!chain.empty() && chain.back().superseded_at >= state_version_) return;
+  VersionEntry entry;
+  entry.superseded_at = state_version_;
+  if (const Row* row = table_of(table).storage->get(key)) {
+    entry.existed = true;
+    entry.row = *row;
+  }
+  chain.push_back(std::move(entry));
+  ++history_entries_;
+  if (++captures_since_gc_ >= 4096) gc_versions();
+}
+
+std::pair<bool, const Row*> Engine::value_at(const std::string& table, const Key& key,
+                                             std::uint64_t version) const {
+  // A key untouched since `version` reads straight from storage.
+  std::uint64_t last_touch = 0;
+  bool touched = false;
+  if (auto d = dirty_.find(table); d != dirty_.end()) {
+    if (auto it = d->second.find(key); it != d->second.end()) {
+      last_touch = it->second;
+      touched = true;
+    }
+  }
+  if (!touched) {
+    if (auto t = tombstones_.find(table); t != tombstones_.end()) {
+      if (auto it = t->second.find(key); it != t->second.end()) {
+        last_touch = it->second;
+        touched = true;
+      }
+    }
+  }
+  if (touched && last_touch > version) {
+    // Mutated after `version`: the first chain entry superseding the key
+    // later than `version` preserved its value as of `version`.
+    if (auto h = history_.find(table); h != history_.end()) {
+      if (auto it = h->second.find(key); it != h->second.end()) {
+        const VersionChain& chain = it->second;
+        auto e = std::lower_bound(
+            chain.begin(), chain.end(), version,
+            [](const VersionEntry& a, std::uint64_t v) { return a.superseded_at <= v; });
+        if (e != chain.end()) return {e->existed, e->existed ? &e->row : nullptr};
+      }
+    }
+    // Pre-image GC'd or never captured — only reachable below the floor,
+    // which read_version_valid() callers never are.
+  }
+  const Row* row = table_of(table).storage->get(key);
+  return {row != nullptr, row};
+}
+
+ExecResult Engine::read_at(const Statement& stmt, std::uint64_t version) const {
+  ExecResult result;
+  if (stmt.kind == Statement::Kind::kSelect) {
+    result.cost_us = traits_.costs.point_read_us;
+    const auto [exists, row] = value_at(stmt.table, stmt.key, version);
+    if (exists) {
+      result.cost_us += static_cast<std::uint64_t>(traits_.costs.byte_us *
+                                                   static_cast<double>(row_wire_size(*row)));
+      result.rows.push_back(project(*row, stmt.select_columns));
+    }
+    return result;
+  }
+  if (stmt.kind != Statement::Kind::kScan) {
+    result.status = ExecResult::Status::kAborted;
+    result.error = "read_at supports only read-only statements";
+    return result;
+  }
+  const Table& table = table_of(stmt.table);
+  const auto matches = [&stmt](const Row& row) {
+    return std::all_of(stmt.where.begin(), stmt.where.end(),
+                       [&row](const Condition& c) { return c.matches(row); });
+  };
+  ScanAccumulator accum{stmt, result};
+  std::size_t visited = 0;
+  // Pass 1: keys currently in storage, each reconstructed as of `version`.
+  table.storage->scan([&](const Key& key, const Row&) {
+    ++visited;
+    const auto [exists, row] = value_at(stmt.table, key, version);
+    if (exists && matches(*row)) accum.add(*row);
+    return true;
+  });
+  // Pass 2: keys deleted since `version` survive only in the version chains
+  // (sorted for deterministic row order).
+  if (auto h = history_.find(stmt.table); h != history_.end()) {
+    std::vector<const Key*> gone;
+    for (const auto& [key, chain] : h->second) {
+      if (table.storage->get(key) == nullptr) gone.push_back(&key);
+    }
+    std::sort(gone.begin(), gone.end(), [](const Key* a, const Key* b) { return *a < *b; });
+    for (const Key* key : gone) {
+      ++visited;
+      const auto [exists, row] = value_at(stmt.table, *key, version);
+      if (exists && matches(*row)) accum.add(*row);
+    }
+  }
+  accum.finish();
+  result.cost_us =
+      traits_.costs.point_read_us +
+      static_cast<std::uint64_t>(traits_.costs.scan_row_us * static_cast<double>(visited));
+  return result;
+}
+
+std::uint64_t Engine::register_reader(std::uint64_t version) {
+  const std::uint64_t id = next_reader_++;
+  readers_[id] = version;
+  return id;
+}
+
+void Engine::release_reader(std::uint64_t reader_id) { readers_.erase(reader_id); }
+
+std::uint64_t Engine::read_watermark() const {
+  std::uint64_t wm = state_version_;
+  for (const auto& [id, version] : readers_) wm = std::min(wm, version);
+  return wm;
+}
+
+std::size_t Engine::gc_versions() {
+  captures_since_gc_ = 0;
+  const std::uint64_t wm = read_watermark();
+  std::size_t dropped = 0;
+  for (auto t = history_.begin(); t != history_.end();) {
+    auto& chains = t->second;
+    for (auto it = chains.begin(); it != chains.end();) {
+      VersionChain& chain = it->second;
+      // An entry superseded at or before the watermark only serves reads
+      // below it, which no registered reader can still issue.
+      std::size_t dead = 0;
+      while (dead < chain.size() && chain[dead].superseded_at <= wm) ++dead;
+      if (dead > 0) {
+        chain.erase(chain.begin(), chain.begin() + static_cast<std::ptrdiff_t>(dead));
+        dropped += dead;
+      }
+      it = chain.empty() ? chains.erase(it) : std::next(it);
+    }
+    t = chains.empty() ? history_.erase(t) : std::next(t);
+  }
+  history_entries_ -= dropped;
+  if (history_floor_ < wm) history_floor_ = wm;
+  return dropped;
 }
 
 std::uint64_t Engine::state_digest() const {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -137,13 +138,28 @@ class Engine {
   // matches version V reaches the sender's state by upserting/deleting them.
 
   /// Sets the current state version; mutations stamp their keys with it.
-  void set_state_version(std::uint64_t v) { state_version_ = v; }
+  /// A full restore wipes the version chains and parks the history floor at
+  /// UINT64_MAX ("nothing reconstructible here"). Version-carrying streams
+  /// re-open the floor through set_delta_floor; the v1 stream carries no
+  /// version, so the first post-restore delivery stamp re-opens it instead:
+  /// the restored storage plus the transaction stamped `v` is exactly the
+  /// state at `v`. Without this, a v1-promoted spare would refuse every
+  /// versioned read forever.
+  void set_state_version(std::uint64_t v) {
+    if (history_floor_ == UINT64_MAX && v != UINT64_MAX) history_floor_ = v;
+    state_version_ = v;
+  }
   std::uint64_t state_version() const { return state_version_; }
   /// Oldest version a delta can be served from. 0 on a fresh engine (dirty
   /// tracking has seen every mutation); raised to the restore version after a
   /// full restore (history before it was never observed here).
   std::uint64_t delta_floor() const { return delta_floor_; }
-  void set_delta_floor(std::uint64_t v) { delta_floor_ = v; }
+  /// Also re-opens versioned reads from `v`: a completed restore at version
+  /// `v` makes current storage exactly the state at `v`.
+  void set_delta_floor(std::uint64_t v) {
+    delta_floor_ = v;
+    history_floor_ = v;
+  }
   bool delta_valid(std::uint64_t since) const { return since >= delta_floor_; }
 
   struct DeltaSnapshot {
@@ -170,6 +186,38 @@ class Engine {
   /// State-agreement property ("replicas start in the same state").
   std::uint64_t state_digest() const;
 
+  // -- versioned reads (MVCC-lite) ----------------------------------------------
+  //
+  // Every mutation captures the key's pre-image into a bounded version chain
+  // before overwriting it, stamped with the state version doing the
+  // overwrite. A read "at version V" then reconstructs the row exactly as it
+  // stood after all mutations stamped <= V: if the key's last touch is <= V
+  // the current storage value is the answer; otherwise the first chain entry
+  // superseding it after V holds the historical value. Readers never take
+  // locks and writers never wait for readers — the chains are append-only
+  // and GC'd below the slowest registered reader.
+
+  /// Pins `version` against GC; returns a reader id for release_reader().
+  std::uint64_t register_reader(std::uint64_t version);
+  void release_reader(std::uint64_t reader_id);
+  /// Slowest in-flight registered reader's version (state_version() if none):
+  /// the GC watermark — chain entries that only serve reads below it die.
+  std::uint64_t read_watermark() const;
+  /// Oldest version read_at() can still reconstruct exactly. Raised by GC
+  /// (to the watermark) and by full restores (history was never seen here).
+  std::uint64_t min_read_version() const { return history_floor_; }
+  bool read_version_valid(std::uint64_t v) const { return v >= min_read_version(); }
+  /// Executes a read-only statement (kSelect / kScan) against the state as
+  /// of `version`, without touching the lock manager or any transaction.
+  /// Requires read_version_valid(version).
+  ExecResult read_at(const Statement& stmt, std::uint64_t version) const;
+  /// Drops version-chain entries no reader can still need. Returns the
+  /// number of entries dropped; also runs automatically every few thousand
+  /// pre-image captures so unread history never accumulates.
+  std::size_t gc_versions();
+  /// Live version-chain entries (memory gauge for benches and tests).
+  std::size_t version_entries() const { return history_entries_; }
+
  private:
   struct UndoEntry {
     enum class Kind : std::uint8_t { kInsert, kUpdate, kDelete };
@@ -191,6 +239,15 @@ class Engine {
   /// Records a mutation of (table, key) at the current state version: the
   /// key joins the dirty set if present in storage, the tombstone set if not.
   void touch(const std::string& table, const Key& key);
+  /// Appends the key's current value (or absence) to its version chain,
+  /// stamped superseded-at the current state version. Called BEFORE every
+  /// mutation; a second capture within the same state version is a no-op
+  /// (the chain records the value at the version's start).
+  void capture_history(const std::string& table, const Key& key);
+  /// The (exists, row) pair as of `version`. The pointer stays valid until
+  /// the next mutation or GC.
+  std::pair<bool, const Row*> value_at(const std::string& table, const Key& key,
+                                       std::uint64_t version) const;
   ExecResult run_statement(Txn& txn, TxnId id, const Statement& stmt);
   ExecResult do_insert(Txn& txn, const Statement& stmt, Table& table);
   ExecResult do_point(Txn& txn, const Statement& stmt, Table& table);
@@ -219,6 +276,23 @@ class Engine {
   std::uint64_t delta_floor_ = 0;
   std::map<std::string, TouchMap> dirty_;
   std::map<std::string, TouchMap> tombstones_;
+
+  // MVCC-lite version chains: per key, the pre-images of its mutations in
+  // ascending superseded-at order. An entry {V, existed, row} holds the value
+  // the key had before the first mutation stamped V — i.e. its value at every
+  // version in [previous entry's V, V-1].
+  struct VersionEntry {
+    std::uint64_t superseded_at = 0;
+    bool existed = false;
+    Row row;
+  };
+  using VersionChain = std::vector<VersionEntry>;
+  std::map<std::string, std::unordered_map<Key, VersionChain, KeyHash>> history_;
+  std::unordered_map<std::uint64_t, std::uint64_t> readers_;  // reader id → version
+  std::uint64_t next_reader_ = 1;
+  std::uint64_t history_floor_ = 0;
+  std::size_t history_entries_ = 0;
+  std::uint64_t captures_since_gc_ = 0;
 };
 
 }  // namespace shadow::db

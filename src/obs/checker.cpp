@@ -33,7 +33,8 @@ std::string CheckResult::summary() const {
   std::string s = ok() ? "trace check PASSED" : "trace check FAILED";
   s += " (" + std::to_string(replicas_checked) + " replicas, " +
        std::to_string(executions_checked) + " executions, " +
-       std::to_string(committed_txns_checked) + " committed txns)";
+       std::to_string(committed_txns_checked) + " committed txns, " +
+       std::to_string(ro_cuts_checked) + " ro cuts)";
   for (const Violation& v : violations) {
     s += "\n  [" + v.invariant + "] " + v.detail;
   }
@@ -75,6 +76,12 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   std::map<TxnKey, TxnTimes> txns;
   // cross-shard txn -> participant group -> applied 2PC decision
   std::map<TxnKey, std::map<std::uint64_t, XsPhase>> xs_decisions;
+  // committed cross-shard txn -> group -> engine state version at apply
+  // (0/unrecorded positions are skipped; replicas of one group apply the
+  // decision at the same deterministic position, so first-recorded wins)
+  std::map<TxnKey, std::map<std::uint64_t, std::uint64_t>> xs_commit_pos;
+  // read-only txn -> group -> pinned read version (the snapshot cut)
+  std::map<TxnKey, std::map<std::uint64_t, std::uint64_t>> ro_cuts;
 
   for (const TraceEvent& e : trace.events) {
     switch (e.kind) {
@@ -137,6 +144,13 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
                                               " applied both commit and abort for " +
                                               txn_name(key));
         }
+        if (phase == XsPhase::kCommit && e.c != 0) {
+          xs_commit_pos[key].emplace(e.b, e.c);
+        }
+        break;
+      }
+      case EventKind::kRoCut: {
+        ro_cuts[{e.client.value, e.seq}][e.a] = e.b;
         break;
       }
       default:
@@ -238,7 +252,10 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
   for (const auto& [key, t] : txns) {
     if (!t.acked) continue;
     ++result.committed_txns_checked;
-    if (durable.count(key) == 0) {
+    if (durable.count(key) == 0 && ro_cuts.count(key) == 0) {
+      // Read-only snapshot transactions (identified by their ro_cut events)
+      // never enter a TOB log or execute as state-machine commands, so
+      // durability does not apply to them.
       report("durability", "committed " + txn_name(key) +
                                " was never executed on a surviving replica");
       continue;
@@ -280,6 +297,34 @@ CheckResult check_trace(const Trace& trace, const CheckOptions& options) {
       if (t.begin > max_begin_so_far) {
         max_begin_so_far = t.begin;
         max_begin_key = t.key;
+      }
+    }
+  }
+
+  // ---- snapshot-read consistency: a cross-shard read-only cut must be a
+  // consistent prefix of every committed cross-shard transaction it shares
+  // at least two groups with — the transaction is visible at a group g iff
+  // its decision applied at a position <= the cut's pinned version S_g, and
+  // that visibility must be uniform across the shared groups. A torn cut
+  // (included on one group, excluded on another) is exactly the anomaly the
+  // client's ro-snap exchange exists to prevent. One shared group is never a
+  // violation: atomic visibility is trivially satisfied per group.
+  for (const auto& [rkey, cut] : ro_cuts) {
+    if (cut.size() >= 2) ++result.ro_cuts_checked;
+    for (const auto& [xkey, positions] : xs_commit_pos) {
+      std::string included_on;
+      std::string excluded_on;
+      for (const auto& [group, pos] : positions) {
+        const auto it = cut.find(group);
+        if (it == cut.end()) continue;
+        std::string& list = pos <= it->second ? included_on : excluded_on;
+        if (!list.empty()) list += ",";
+        list += "g" + std::to_string(group);
+      }
+      if (!included_on.empty() && !excluded_on.empty()) {
+        report("snapshot-read", "read-only " + txn_name(rkey) + " observes " +
+                                    txn_name(xkey) + " on " + included_on +
+                                    " but not on " + excluded_on);
       }
     }
   }

@@ -14,10 +14,19 @@
 //                      precedes T2 in the execution order;
 //   durability       — every acknowledged-committed transaction was executed
 //                      on at least one surviving (never-crashed) replica.
+//                      Read-only snapshot transactions are exempt: they never
+//                      enter a TOB log (their ro_cut events identify them).
 //   cross-shard-atomicity (sharded traces)
 //                    — a cross-shard transaction's 2PC decision is uniform:
 //                      no participant group applies a commit while another
 //                      applies an abort.
+//   snapshot-read (sharded traces)
+//                    — every cross-shard read-only cut (the per-group read
+//                      versions in its ro_cut events) observes each committed
+//                      cross-shard transaction uniformly: visible at a shared
+//                      group iff its decision applied at a position <= the
+//                      cut's version there, and that answer agrees across all
+//                      shared groups (no torn reads).
 //
 // Sharded traces (group_info events present, core/group.hpp) are checked
 // per replication group — each group is its own TOB instance and execution
@@ -50,7 +59,7 @@ namespace shadow::obs {
 
 struct Violation {
   std::string invariant;  // "total-order", "at-most-once", "strict-serializability",
-                          // "durability", "cross-shard-atomicity"
+                          // "durability", "cross-shard-atomicity", "snapshot-read"
   std::string detail;
 };
 
@@ -60,6 +69,7 @@ struct CheckResult {
   std::size_t replicas_checked = 0;
   std::size_t executions_checked = 0;
   std::size_t committed_txns_checked = 0;
+  std::size_t ro_cuts_checked = 0;  // cross-shard read-only cuts examined
 
   bool ok() const { return violations.empty(); }
   std::string summary() const;

@@ -37,6 +37,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kStateTransfer, "state_transfer"},
     {EventKind::kGroupInfo, "group_info"},
     {EventKind::kXsPhase, "xs_phase"},
+    {EventKind::kRoCut, "ro_cut"},
 };
 
 bool kind_from_string(const std::string& s, EventKind& out) {
@@ -431,7 +432,7 @@ void Tracer::group_info(net::Time t, NodeId node, std::uint64_t group, std::uint
 }
 
 void Tracer::xs_phase(net::Time t, NodeId node, ClientId client, RequestSeq seq, XsPhase phase,
-                      std::uint64_t group, const std::string& proc) {
+                      std::uint64_t group, const std::string& proc, std::uint64_t pos) {
   std::lock_guard<std::mutex> lock(mu_);
   metrics_.counter(phase == XsPhase::kPrepare  ? "xs.prepares"
                    : phase == XsPhase::kCommit ? "xs.commits"
@@ -445,7 +446,23 @@ void Tracer::xs_phase(net::Time t, NodeId node, ClientId client, RequestSeq seq,
   e.seq = seq;
   e.a = static_cast<std::uint64_t>(phase);
   e.b = group;
+  e.c = pos;
   e.label = intern(proc);
+  append(e);
+}
+
+void Tracer::ro_cut(net::Time t, NodeId node, ClientId client, RequestSeq seq,
+                    std::uint64_t group, std::uint64_t version, std::uint64_t parts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.time = t;
+  e.kind = EventKind::kRoCut;
+  e.node = node;
+  e.client = client;
+  e.seq = seq;
+  e.a = group;
+  e.b = version;
+  e.c = parts;
   append(e);
 }
 

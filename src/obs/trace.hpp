@@ -47,7 +47,11 @@ enum class EventKind : std::uint8_t {
   kRecover,        // node, a=order/index recovered up to
   kStateTransfer,  // node, a=phase (StatePhase), b=bytes, c=peer node
   kGroupInfo,      // node, a=replication group id, b=restart epoch
-  kXsPhase,        // node, client/seq, a=phase (XsPhase), b=group id, label=proc
+  kXsPhase,        // node, client/seq, a=phase (XsPhase), b=group id,
+                   // c=apply position (engine state version; 0 = unrecorded),
+                   // label=proc
+  kRoCut,          // node=client node, client/seq, a=group id, b=read version
+                   // chosen for that group, c=cut size (participant groups)
 };
 
 enum class BallotPhase : std::uint8_t { kScout = 0, kAdopted = 1, kPreempted = 2 };
@@ -170,9 +174,18 @@ class Tracer final : public net::TransportObserver {
   /// treated as one group (id 0).
   void group_info(net::Time t, NodeId node, std::uint64_t group, std::uint64_t epoch);
   /// Cross-shard 2PC lifecycle: a participant replica prepared / committed /
-  /// aborted the transaction in its own group's log.
+  /// aborted the transaction in its own group's log. `pos` is the replica's
+  /// engine state version when the decision applied (0 for prepares and for
+  /// callers that predate versioned storage) — the snapshot-read check uses
+  /// it to decide whether a read-only cut includes this transaction.
   void xs_phase(net::Time t, NodeId node, ClientId client, RequestSeq seq, XsPhase phase,
-                std::uint64_t group, const std::string& proc);
+                std::uint64_t group, const std::string& proc, std::uint64_t pos = 0);
+  /// The per-group read-version vector a read-only transaction executed at
+  /// (one event per participant group). Emitted by the client once the
+  /// snapshot read succeeds; the offline checker verifies the cut is
+  /// prefix-consistent against every committed cross-shard transaction.
+  void ro_cut(net::Time t, NodeId node, ClientId client, RequestSeq seq, std::uint64_t group,
+              std::uint64_t version, std::uint64_t parts);
 
   // -- thread-safe metric helpers --------------------------------------------
   /// Locked histogram observation / counter bump for callers on pipeline

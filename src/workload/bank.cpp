@@ -64,6 +64,17 @@ void register_procedures(ProcedureRegistry& registry) {
     }
   });
 
+  registry.add(kBalance2Proc, [](const StepContext& ctx) -> ProcStep {
+    switch (ctx.step) {
+      case 0:
+        return ProcStep::statement(db::make_select(kTable, {ctx.params[0]}));
+      case 1:
+        return ProcStep::statement(db::make_select(kTable, {ctx.params[1]}));
+      default:
+        return ProcStep::commit();
+    }
+  });
+
   registry.add(kAuditProc, [](const StepContext& ctx) -> ProcStep {
     if (ctx.step == 0) {
       db::Statement scan = db::make_scan(kTable, {});

@@ -17,6 +17,7 @@ inline constexpr const char* kTable = "accounts";
 inline constexpr const char* kDepositProc = "bank.deposit";
 inline constexpr const char* kBalanceProc = "bank.balance";
 inline constexpr const char* kTransferProc = "bank.transfer";
+inline constexpr const char* kBalance2Proc = "bank.balance2";
 inline constexpr const char* kAuditProc = "bank.audit";
 
 struct BankConfig {
@@ -29,10 +30,12 @@ db::TableSchema make_schema();
 /// Creates and populates the accounts table.
 void load(db::Engine& engine, const BankConfig& config);
 
-/// Registers deposit / balance / transfer / audit procedures.
+/// Registers deposit / balance / transfer / balance2 / audit procedures.
 ///   deposit  (account, amount)          — the Fig. 9(a) update transaction
 ///   balance  (account)                  — point read
 ///   transfer (from, to, amount)         — aborts (rolls back) on overdraft
+///   balance2 (a, b)                     — two point reads (the cross-shard
+///                                         read-only transaction)
 ///   audit    ()                         — SUM over all balances
 void register_procedures(ProcedureRegistry& registry);
 

@@ -31,6 +31,12 @@ struct TxnResponse {
   bool committed = false;
   std::vector<db::Row> rows;  // the transaction's answer set, if any
   std::string error;
+  /// Commit position (sharded deployments): the coordinator group and its
+  /// apply position when the transaction executed. Read-only sessions use
+  /// these as per-group read floors so a client's next snapshot read cannot
+  /// miss its own committed write. Zero for classic (unsharded) clusters.
+  std::uint32_t commit_group = 0;
+  std::uint64_t commit_pos = 0;
 };
 
 /// Serialized request — the opaque payload carried in TOB commands and in
@@ -73,6 +79,8 @@ struct Codec<workload::TxnResponse> {
     w.u8(v.committed ? 1 : 0);
     Codec<std::vector<db::Row>>::encode(w, v.rows);
     w.str(v.error);
+    w.u32(v.commit_group);
+    w.u64(v.commit_pos);
   }
   static workload::TxnResponse decode(BytesReader& r) {
     workload::TxnResponse v;
@@ -81,6 +89,8 @@ struct Codec<workload::TxnResponse> {
     v.committed = r.u8() != 0;
     v.rows = Codec<std::vector<db::Row>>::decode(r);
     v.error = r.str();
+    v.commit_group = r.u32();
+    v.commit_pos = r.u64();
     return v;
   }
 };

@@ -1,0 +1,235 @@
+// End-to-end tests of the lock-free read-only snapshot path (core/rosnap.*):
+// cross-shard reads pick a consistent per-group version cut via the ro-snap
+// exchange and execute against version history without ever touching the
+// lock manager, concurrent transfers stay atomic under observation, session
+// floors give read-your-writes and monotonic reads, and the offline checker
+// verifies every recorded cut against the committed 2PC positions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shadowdb.hpp"
+#include "db/sql.hpp"
+#include "obs/checker.hpp"
+#include "sim/world.hpp"
+#include "workload/bank.hpp"
+
+namespace shadow::core {
+namespace {
+
+struct RoFixture {
+  sim::World world;
+  obs::Tracer tracer{{.capacity = 1 << 20, .record_messages = false}};
+  ShardedSmrCluster cluster;
+  std::vector<std::unique_ptr<DbClient>> clients;
+  workload::bank::BankConfig bank{200, 0};
+
+  explicit RoFixture(std::size_t shards, std::uint64_t seed = 1, ClusterOptions opts = {})
+      : world(seed) {
+    tracer.attach(world);
+    auto registry = std::make_shared<workload::ProcedureRegistry>();
+    workload::bank::register_procedures(*registry);
+    opts.registry = registry;
+    opts.tracer = &tracer;
+    if (!opts.loader) {
+      opts.loader = [this](db::Engine& e) { workload::bank::load(e, bank); };
+    }
+    cluster = make_sharded_smr_cluster(world, opts, shards);
+  }
+
+  DbClient& add_client(std::size_t txns, DbClient::NextTxnFn next) {
+    const ClientId id{static_cast<std::uint32_t>(clients.size() + 1)};
+    const NodeId node = world.add_node("client" + std::to_string(id.value));
+    DbClient::Options options;
+    options.mode = DbClient::Mode::kTob;
+    options.router = cluster.router.get();
+    options.retry_conflict_aborts = true;
+    options.txn_limit = txns;
+    options.tracer = &tracer;
+    clients.push_back(std::make_unique<DbClient>(world, node, id, options, std::move(next)));
+    return *clients.back();
+  }
+
+  void run_all(net::Time limit) {
+    for (auto& c : clients) c->start();
+    world.run_until(limit);
+  }
+
+  obs::CheckResult check() const { return obs::check_trace(tracer.snapshot()); }
+};
+
+workload::Params two_keys(std::int64_t a, std::int64_t b) {
+  return workload::Params{db::Value(a), db::Value(b)};
+}
+
+/// Transfers move money strictly within disjoint account pairs (2k, 2k+1)
+/// while readers snapshot-read exactly those pairs: every balance2 answer
+/// must sum to the pair's invariant 2000. A torn read — debit applied on one
+/// shard, credit not yet visible on the other — would break the sum. With 2
+/// shards, accounts 2k and 2k+1 always live on different groups, so every
+/// transfer is cross-shard 2PC and every pair read is a cross-shard cut.
+TEST(RoSnap, CrossShardSnapshotReadsObserveTransfersAtomically) {
+  RoFixture fx(2);
+  auto wrng = std::make_shared<Rng>(7);
+  const auto cfg = fx.bank;
+  DbClient& writer = fx.add_client(150, [wrng, cfg]() {
+    const std::int64_t pair =
+        static_cast<std::int64_t>(wrng->next() % static_cast<std::uint64_t>(cfg.accounts / 2));
+    const bool flip = wrng->next() % 2 == 0;
+    const std::int64_t from = 2 * pair + (flip ? 1 : 0);
+    const std::int64_t to = 2 * pair + (flip ? 0 : 1);
+    return std::make_pair(std::string(workload::bank::kTransferProc),
+                          workload::Params{db::Value(from), db::Value(to),
+                                           db::Value(std::int64_t{1})});
+  });
+  auto rrng = std::make_shared<Rng>(8);
+  DbClient& reader = fx.add_client(150, [rrng, cfg]() {
+    const std::int64_t pair =
+        static_cast<std::int64_t>(rrng->next() % static_cast<std::uint64_t>(cfg.accounts / 2));
+    return std::make_pair(std::string(workload::bank::kBalance2Proc),
+                          two_keys(2 * pair, 2 * pair + 1));
+  });
+  std::size_t pair_sums_checked = 0;
+  reader.set_response_hook([&](const workload::TxnResponse& resp) {
+    if (!resp.committed) return;
+    ASSERT_EQ(resp.rows.size(), 2u) << "balance2 returns one row per account";
+    const std::int64_t sum = resp.rows[0][2].as_int() + resp.rows[1][2].as_int();
+    EXPECT_EQ(sum, 2000) << "torn snapshot: pair invariant broken";
+    ++pair_sums_checked;
+  });
+  fx.run_all(240000000);
+  ASSERT_TRUE(writer.done());
+  ASSERT_TRUE(reader.done());
+  EXPECT_EQ(writer.committed(), 150u);
+  EXPECT_EQ(reader.committed(), 150u);
+  EXPECT_EQ(reader.ro_committed(), 150u) << "every pair read must take the snapshot path";
+  EXPECT_EQ(reader.conflict_retries(), 0u)
+      << "snapshot reads never touch the lock manager, so they cannot conflict";
+  EXPECT_GT(pair_sums_checked, 0u);
+
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_GT(check.ro_cuts_checked, 0u) << "checker must have real cuts to examine";
+}
+
+/// Read-your-writes across the 2PC/RO boundary: a client that just committed
+/// a cross-shard transfer must observe it in its own immediately-following
+/// snapshot read (session floors force the cut past the commit position).
+TEST(RoSnap, ReadYourWritesAcrossCommitThenSnapshotRead) {
+  RoFixture fx(2);
+  // deposit(0, +5), transfer(0 -> 1, 3), then read the pair: the read MUST
+  // see 1000+5-3 = 1002 / 1000+3 = 1003, not any earlier version.
+  auto step = std::make_shared<int>(0);
+  DbClient& client = fx.add_client(30, [step]() {
+    const int s = (*step)++ % 3;
+    if (s == 0) {
+      return std::make_pair(std::string(workload::bank::kDepositProc),
+                            workload::Params{db::Value(std::int64_t{0}),
+                                             db::Value(std::int64_t{5})});
+    }
+    if (s == 1) {
+      return std::make_pair(std::string(workload::bank::kTransferProc),
+                            workload::Params{db::Value(std::int64_t{0}),
+                                             db::Value(std::int64_t{1}),
+                                             db::Value(std::int64_t{3})});
+    }
+    return std::make_pair(std::string(workload::bank::kBalance2Proc), two_keys(0, 1));
+  });
+  std::int64_t expected0 = 1000;
+  std::int64_t expected1 = 1000;
+  std::size_t reads_checked = 0;
+  client.set_response_hook([&](const workload::TxnResponse& resp) {
+    if (!resp.committed) return;
+    if (resp.rows.size() == 2) {  // the balance2 answer of this round
+      expected0 += 5 - 3;
+      expected1 += 3;
+      EXPECT_EQ(resp.rows[0][2].as_int(), expected0)
+          << "snapshot read missed the client's own committed writes";
+      EXPECT_EQ(resp.rows[1][2].as_int(), expected1);
+      ++reads_checked;
+    }
+  });
+  fx.run_all(120000000);
+  ASSERT_TRUE(client.done());
+  EXPECT_EQ(client.committed(), 30u);
+  EXPECT_EQ(reads_checked, 10u);
+  EXPECT_EQ(client.ro_committed(), 10u);
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+/// Single-shard reads skip the snap exchange entirely (one versioned read at
+/// the replica's current state) and still count as snapshot-path commits.
+TEST(RoSnap, SingleShardReadsSkipSnapExchange) {
+  RoFixture fx(2);
+  auto rng = std::make_shared<Rng>(9);
+  const auto cfg = fx.bank;
+  DbClient& reader = fx.add_client(50, [rng, cfg]() {
+    const auto key =
+        static_cast<std::int64_t>(rng->next() % static_cast<std::uint64_t>(cfg.accounts));
+    return std::make_pair(std::string(workload::bank::kBalanceProc),
+                          workload::Params{db::Value(key)});
+  });
+  std::size_t rows_seen = 0;
+  reader.set_response_hook([&](const workload::TxnResponse& resp) {
+    if (!resp.committed) return;
+    ASSERT_EQ(resp.rows.size(), 1u);
+    EXPECT_EQ(resp.rows[0][2].as_int(), 1000) << "loader seeds every account with 1000";
+    ++rows_seen;
+  });
+  fx.run_all(60000000);
+  ASSERT_TRUE(reader.done());
+  EXPECT_EQ(reader.committed(), 50u);
+  EXPECT_EQ(reader.ro_committed(), 50u);
+  EXPECT_EQ(rows_seen, 50u);
+  // Single-shard cuts have one group: the checker records no cross-shard cut.
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(check.ro_cuts_checked, 0u);
+}
+
+/// bank.audit scans every group at the cut and returns one sum row per
+/// group; under a transfer-only workload the global total is invariant, so
+/// the per-group sums must always add up to accounts * 1000.
+TEST(RoSnap, CrossShardAuditSumsAreConservedUnderTransfers) {
+  RoFixture fx(3);
+  const std::int64_t total = fx.bank.accounts * 1000;
+  auto wrng = std::make_shared<Rng>(17);
+  const auto cfg = fx.bank;
+  DbClient& writer = fx.add_client(120, [wrng, cfg]() {
+    const auto from =
+        static_cast<std::int64_t>(wrng->next() % static_cast<std::uint64_t>(cfg.accounts));
+    return std::make_pair(std::string(workload::bank::kTransferProc),
+                          workload::Params{db::Value(from),
+                                           db::Value((from + 1) % cfg.accounts),
+                                           db::Value(std::int64_t{1})});
+  });
+  DbClient& auditor = fx.add_client(40, []() {
+    return std::make_pair(std::string(workload::bank::kAuditProc), workload::Params{});
+  });
+  std::size_t audits_checked = 0;
+  auditor.set_response_hook([&](const workload::TxnResponse& resp) {
+    if (!resp.committed) return;
+    ASSERT_EQ(resp.rows.size(), 3u) << "one sum row per group";
+    std::int64_t sum = 0;
+    for (const db::Row& row : resp.rows) {
+      ASSERT_EQ(row.size(), 1u);
+      sum += row[0].as_int();
+    }
+    EXPECT_EQ(sum, total) << "audit cut tore a transfer apart";
+    ++audits_checked;
+  });
+  fx.run_all(240000000);
+  ASSERT_TRUE(writer.done());
+  ASSERT_TRUE(auditor.done());
+  EXPECT_EQ(auditor.ro_committed(), 40u);
+  EXPECT_EQ(audits_checked, 40u);
+  const obs::CheckResult check = fx.check();
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_GT(check.ro_cuts_checked, 0u);
+}
+
+}  // namespace
+}  // namespace shadow::core

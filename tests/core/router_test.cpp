@@ -131,5 +131,82 @@ TEST(ShardRouter, SingleShardDeploymentNeverCrosses) {
   }
 }
 
+// ---- RangeOverride boundary semantics ---------------------------------------
+// A migrated range is [lo, hi): the low bound MOVES with the range, the high
+// bound STAYS. Off-by-one here silently splits ownership of a boundary key
+// between donor and target — both would accept writes — so the exact
+// boundary behavior gets its own tests.
+
+TEST(RoutingView, OverrideLowBoundIsInclusive) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  RoutingView view(&router);
+  // Pick lo so the base owner is its shard; move [lo, lo+8) to group to.
+  const std::int64_t lo = 12;
+  const GroupId from = router.shard_of_key(lo);
+  const GroupId to = (from + 1) % 4;
+  view.install(RangeOverride{workload::bank::kTable, lo, lo + 8, from, to});
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, lo), to)
+      << "key == lo is part of the migrated range";
+}
+
+TEST(RoutingView, OverrideHighBoundIsExclusive) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  RoutingView view(&router);
+  // lo and hi both base-owned by the same group (mod-4: 12 and 16 → g0), so
+  // the hi assertion really exercises the bound, not the from-filter.
+  const std::int64_t lo = 12;
+  const std::int64_t hi = 16;
+  const GroupId from = router.shard_of_key(lo);
+  ASSERT_EQ(router.shard_of_key(hi), from);
+  const GroupId to = (from + 1) % 4;
+  view.install(RangeOverride{workload::bank::kTable, lo, hi, from, to});
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, hi), from)
+      << "key == hi stays with its base owner even though `from` owns it";
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, lo), to)
+      << "the from-owned key inside [lo, hi) moves";
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, lo - 4), from)
+      << "the from-owned key just below the range stays";
+}
+
+TEST(RoutingView, OverrideOnlyMovesKeysOwnedByFrom) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  RoutingView view(&router);
+  // The range [0, 8) spans keys of all four mod-4 base owners; an override
+  // naming from=g0 must move only g0's keys inside it.
+  view.install(RangeOverride{workload::bank::kTable, 0, 8, 0, 2});
+  for (std::int64_t k = 0; k < 8; ++k) {
+    const GroupId base = router.shard_of_key(k);
+    const GroupId expect = base == 0 ? 2 : base;
+    EXPECT_EQ(view.shard_of(workload::bank::kTable, k), expect) << "key " << k;
+  }
+}
+
+TEST(RoutingView, ChainedOverridesApplyInInstallOrder) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  RoutingView view(&router);
+  const std::int64_t lo = 8;  // base owner g0 under mod-4
+  ASSERT_EQ(router.shard_of_key(lo), 0u);
+  view.install(RangeOverride{workload::bank::kTable, lo, lo + 4, 0, 1});
+  view.install(RangeOverride{workload::bank::kTable, lo, lo + 4, 1, 3});
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, lo), 3u)
+      << "a re-migrated range follows the full override chain";
+  EXPECT_EQ(view.epoch(), 2u);
+}
+
+TEST(RoutingView, OverridesAreScopedToTheirTable) {
+  ShardRouter router(4);
+  router.install_default_extractors();
+  RoutingView view(&router);
+  const std::int64_t lo = 12;
+  const GroupId from = router.shard_of_key(lo);
+  view.install(RangeOverride{"warehouse", lo, lo + 8, from, (from + 1) % 4});
+  EXPECT_EQ(view.shard_of(workload::bank::kTable, lo), from)
+      << "an override on another table must not move this one's keys";
+}
+
 }  // namespace
 }  // namespace shadow::core

@@ -76,13 +76,24 @@ struct TraceBuilder {
   }
 
   void xs_phase(net::Time t, NodeId node, ClientId c, RequestSeq s, XsPhase phase,
-                std::uint64_t group) {
+                std::uint64_t group, std::uint64_t pos = 0) {
     TraceEvent& e = add(t, EventKind::kXsPhase, node);
     e.client = c;
     e.seq = s;
     e.a = static_cast<std::uint64_t>(phase);
     e.b = group;
+    e.c = pos;
     e.label = label("transfer");
+  }
+
+  void ro_cut(net::Time t, ClientId c, RequestSeq s, std::uint64_t group,
+              std::uint64_t version, std::uint64_t parts) {
+    TraceEvent& e = add(t, EventKind::kRoCut, NodeId{100 + c.value});
+    e.client = c;
+    e.seq = s;
+    e.a = group;
+    e.b = version;
+    e.c = parts;
   }
 };
 
@@ -430,6 +441,104 @@ TEST(Checker, DetectsRealTimeInversionInsideOneGroupOfShardedTrace) {
   const CheckResult result = check_trace(b.trace);
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(has_violation(result, "strict-serializability")) << result.summary();
+}
+
+// ---- read-only snapshot cuts ------------------------------------------------
+
+/// A committed cross-shard transfer applied at position 5 on group 0 and 9 on
+/// group 1. A read-only cut pinned at {g0: 5, g1: 8} sees the transfer's
+/// debit but not its credit — a torn read the checker must reject. This is
+/// the seeded violation the snapshot-read e2e gates rely on being detectable.
+TEST(Checker, DetectsTornSnapshotReadCut) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0, /*pos=*/5);
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kCommit, 1, /*pos=*/9);
+  b.begin(30, ClientId{2}, 1);
+  b.ro_cut(40, ClientId{2}, 1, 0, 5, 2);  // includes: 5 <= 5
+  b.ro_cut(40, ClientId{2}, 1, 1, 8, 2);  // excludes: 9 > 8
+  b.ack(50, ClientId{2}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(has_violation(result, "snapshot-read")) << result.summary();
+  EXPECT_EQ(result.ro_cuts_checked, 1u);
+}
+
+/// Cuts that include the transaction everywhere, or exclude it everywhere,
+/// both pass — atomic visibility only demands uniformity.
+TEST(Checker, ConsistentSnapshotReadCutsPass) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0, /*pos=*/5);
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kCommit, 1, /*pos=*/9);
+  b.begin(30, ClientId{2}, 1);
+  b.ro_cut(40, ClientId{2}, 1, 0, 6, 2);  // after the commit on both groups
+  b.ro_cut(40, ClientId{2}, 1, 1, 9, 2);
+  b.ack(50, ClientId{2}, 1);
+  b.begin(60, ClientId{2}, 2);
+  b.ro_cut(70, ClientId{2}, 2, 0, 4, 2);  // before the commit on both groups
+  b.ro_cut(70, ClientId{2}, 2, 1, 8, 2);
+  b.ack(80, ClientId{2}, 2);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.ro_cuts_checked, 2u);
+}
+
+/// A cut sharing only ONE group with a committed cross-shard transaction can
+/// never tear it: per-group visibility is atomic by construction.
+TEST(Checker, SingleSharedGroupIsNeverATornCut) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.group_info(NodeId{3}, 2);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0, /*pos=*/5);
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kCommit, 1, /*pos=*/9);
+  b.begin(30, ClientId{2}, 1);
+  b.ro_cut(40, ClientId{2}, 1, 1, 3, 2);  // excludes the transfer on g1...
+  b.ro_cut(40, ClientId{2}, 1, 2, 7, 2);  // ...g2 never saw it at all
+  b.ack(50, ClientId{2}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+/// Commit events without an apply position (pre-versioned-storage traces,
+/// e.c == 0) are skipped rather than misread as "position 0, always included".
+TEST(Checker, UnrecordedCommitPositionsAreSkipped) {
+  TraceBuilder b;
+  b.group_info(NodeId{1}, 0);
+  b.group_info(NodeId{2}, 1);
+  b.xs_phase(20, NodeId{1}, ClientId{1}, 1, XsPhase::kCommit, 0);  // pos unrecorded
+  b.xs_phase(21, NodeId{2}, ClientId{1}, 1, XsPhase::kCommit, 1, /*pos=*/9);
+  b.begin(30, ClientId{2}, 1);
+  b.ro_cut(40, ClientId{2}, 1, 0, 100, 2);
+  b.ro_cut(40, ClientId{2}, 1, 1, 1, 2);
+  b.ack(50, ClientId{2}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+/// Read-only snapshot transactions never execute as state-machine commands,
+/// so a committed answer with ro_cut events and no execution is NOT a
+/// durability violation (a write with the same shape still is).
+TEST(Checker, ReadOnlyTransactionsExemptFromDurability) {
+  TraceBuilder b;
+  b.begin(10, ClientId{1}, 1);
+  b.ro_cut(20, ClientId{1}, 1, 0, 7, 1);
+  b.ack(30, ClientId{1}, 1);
+
+  const CheckResult result = check_trace(b.trace);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.committed_txns_checked, 1u);
+
+  b.begin(40, ClientId{2}, 1);  // a write with no surviving execution
+  b.ack(50, ClientId{2}, 1);
+  EXPECT_TRUE(has_violation(check_trace(b.trace), "durability"));
 }
 
 }  // namespace

@@ -19,7 +19,9 @@
 #include "consensus/two_third.hpp"
 #include "core/chain.hpp"
 #include "core/pbr.hpp"
+#include "core/rosnap.hpp"
 #include "core/smr.hpp"
+#include "core/twopc.hpp"
 #include "db/wire.hpp"
 #include "sim/message.hpp"
 #include "tob/tob.hpp"
@@ -158,6 +160,74 @@ std::vector<sim::Message> sample_messages() {
   samples.push_back(sim::make_msg(core::kChainDeliverHeader, sample_command(13)));
   samples.push_back(sim::make_msg(
       "smr-deliver", core::DeliverHandoff{5, 6, sample_command(14)}));
+  // read-only snapshot protocol (core/rosnap.hpp) — exercise every optional
+  // section: a prepared set, a decide ring entry with participants, and the
+  // per-client decided high-water map the torn-cut rule disambiguates with.
+  samples.push_back(sim::make_msg(core::kRoSnapHeader,
+                                  core::RoSnapBody{core::kRoBeginBit | 7, 42, 1}));
+  {
+    core::RoSnapRespBody snap;
+    snap.group = 1;
+    snap.seq = 42;
+    snap.position = 75;
+    snap.floor = 18;
+    snap.serving = 1;
+    snap.prepared = {{7, 41}};
+    core::RoSnapRespBody::Decide d;
+    d.client = 7;
+    d.seq = 40;
+    d.decide_pos = 73;
+    d.committed = 1;
+    d.participants = {0, 1};
+    snap.decides.push_back(std::move(d));
+    snap.last_decided = {{7, 40}, {9, 12}};
+    samples.push_back(sim::make_msg(core::kRoSnapRespHeader, snap));
+  }
+  {
+    core::RoReadBody read;
+    read.req = req;
+    read.version = 75;
+    read.floor = 18;
+    read.group = 1;
+    read.hops = 1;
+    samples.push_back(sim::make_msg(core::kRoReadHeader, read));
+  }
+  {
+    core::RoReadRespBody resp;
+    resp.client = core::kRoBeginBit | 7;
+    resp.seq = 42;
+    resp.group = 1;
+    resp.served_group = 0;  // forwarded mid-migration
+    resp.version = 75;
+    resp.ok = 1;
+    resp.rows = {{db::Value(std::int64_t{12}), db::Value(std::int64_t{500})}};
+    samples.push_back(sim::make_msg(core::kRoReadRespHeader, resp));
+  }
+  // 2PC snapshot rider, including the decided high-water map a rejoiner
+  // must restore to keep answering RO snap exchanges correctly.
+  {
+    core::XsSnapBody xs;
+    core::XsSnapBody::PrepEntry prep;
+    prep.orig = workload::encode_request(req);
+    prep.prepare_index = 11;
+    prep.coordinator = 0;
+    prep.vote_yes = 1;
+    xs.prepared.push_back(std::move(prep));
+    core::XsSnapBody::ParkEntry park;
+    park.index = 12;
+    park.orig = prep.orig;
+    xs.parked.push_back(std::move(park));
+    core::XsSnapBody::CoordEntry coord;
+    coord.orig = park.orig;
+    coord.participants = {0, 1};
+    coord.votes = {{1, 1}};
+    coord.decided = 1;
+    coord.commit = 1;
+    coord.epoch = 2;
+    xs.coords.push_back(std::move(coord));
+    xs.last_decided = {{7, 40}};
+    samples.push_back(sim::make_msg(core::kXsSnapHeader, xs));
+  }
   // baselines
   samples.push_back(sim::make_msg(
       baselines::kReplicateHeader,
